@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation: profiler perturbation (the paper's §V future work).
+ *
+ * "The LiLa profiler could potentially exhibit measurement
+ * perturbation. For example, it could slow down the application due
+ * to its instrumentation [...]. We plan to study the perturbation of
+ * LiLa in future work."
+ *
+ * This harness performs that study on the simulated substrate: the
+ * same sessions are re-run with 0 / 20 / 100 microseconds of extra
+ * CPU charged to every instrumented call, and the resulting Table
+ * III metrics are compared. Because the workload is deterministic,
+ * every difference is attributable to the instrumentation.
+ */
+
+#include <iostream>
+
+#include "app/catalog.hh"
+#include "app/session_runner.hh"
+#include "core/overview.hh"
+#include "core/pattern.hh"
+#include "report/table.hh"
+#include "study_util.hh"
+#include "util/strings.hh"
+
+int
+main()
+{
+    using namespace lag;
+
+    const char *apps[] = {"JEdit", "GanttProject", "Jmol"};
+    const DurationNs overheads[] = {0, usToNs(20), usToNs(100)};
+
+    report::TextTable table;
+    table.addColumn("Benchmark", report::Align::Left);
+    table.addColumn("probe cost", report::Align::Right);
+    table.addColumn("In-Eps[%]", report::Align::Right);
+    table.addColumn(">=3ms", report::Align::Right);
+    table.addColumn(">=100ms", report::Align::Right);
+    table.addColumn("Dist", report::Align::Right);
+
+    std::cout << "Ablation: profiler perturbation (extra CPU per "
+                 "instrumented call; 60 s sessions)\n"
+              << "The paper left measuring LiLa's perturbation to "
+                 "future work (SV); here the substrate makes it "
+                 "directly observable.\n\n";
+
+    for (const char *name : apps) {
+        app::AppParams params = app::catalogApp(name);
+        params.sessionLength = secToNs(60);
+        for (const DurationNs overhead : overheads) {
+            app::SessionOptions options;
+            options.instrumentationOverhead = overhead;
+            auto result = app::runSession(params, 0, options);
+            const core::Session session =
+                core::Session::fromTrace(std::move(result.trace));
+            const core::PatternSet patterns =
+                core::PatternMiner(msToNs(100)).mine(session);
+            const auto row = core::computeOverview(
+                session, patterns, msToNs(100));
+            table.addRow({overhead == 0 ? name : "",
+                          formatDurationNs(overhead),
+                          formatDouble(row.inEpsPercent, 1),
+                          formatCount(row.tracedCount),
+                          formatCount(row.perceptibleCount),
+                          formatCount(row.distinctPatterns)});
+        }
+        table.addSeparator();
+    }
+
+    std::cout << table.render() << '\n'
+              << "Per-call probe costs inflate in-episode time and "
+                 "push borderline episodes across the 3 ms filter "
+                 "(more traced episodes); the perceptible counts "
+                 "move much less, since 100 ms episodes contain few "
+                 "enough instrumented calls for the probe cost to "
+                 "matter. A 20 us probe is a tolerable perturbation; "
+                 "100 us visibly distorts the trace.\n";
+    return 0;
+}

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * Reproduces Figure 3: the cumulative distribution of episodes into
+ * patterns, one series per application. The paper's headline: "the
+ * patterns follow the Pareto rule: roughly 80% of episodes are
+ * covered by only 20% of the patterns."
+ */
+
+#include <iostream>
+
+#include "report/table.hh"
+#include "study_util.hh"
+#include "util/strings.hh"
+#include "viz/charts.hh"
+#include "viz/palette.hh"
+
+int
+main()
+{
+    using namespace lag;
+    using namespace lag::bench;
+
+    app::Study study(selectStudyConfig());
+    const std::vector<AppAnalysis> apps = analyzeStudy(study);
+
+    report::TextTable table;
+    table.addColumn("Benchmark", report::Align::Left);
+    table.addColumn("eps@10%pat", report::Align::Right);
+    table.addColumn("eps@20%pat", report::Align::Right);
+    table.addColumn("eps@50%pat", report::Align::Right);
+
+    viz::CdfChart chart("Figure 3: cumulative distribution of "
+                        "episodes into patterns",
+                        "Patterns [%]", "Cumulative episodes [%]");
+
+    double at20_total = 0.0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &cdf = apps[i].cdfEpisodesAtPatternPercent;
+        table.addRow({apps[i].name, formatPercent(cdf[10]),
+                      formatPercent(cdf[20]), formatPercent(cdf[50])});
+        at20_total += cdf[20];
+
+        viz::CdfSeries series;
+        series.label = apps[i].name;
+        series.color = std::string(viz::seriesColor(i));
+        for (int x = 0; x <= 100; ++x) {
+            series.points.emplace_back(
+                static_cast<double>(x) / 100.0,
+                cdf[static_cast<std::size_t>(x)]);
+        }
+        chart.addSeries(std::move(series));
+    }
+
+    std::cout << "Figure 3: episodes covered by the most populous "
+                 "patterns (mean of 4 sessions)\n\n"
+              << table.render() << '\n';
+    std::cout << "Pareto check — paper: ~80% of episodes in 20% of "
+                 "patterns; measured mean: "
+              << formatPercent(at20_total /
+                               static_cast<double>(apps.size()))
+              << " of episodes in 20% of patterns\n";
+
+    const std::string path = figurePath("fig3_pattern_cdf.svg");
+    chart.render().writeFile(path);
+    std::cout << "SVG written to " << path << '\n';
+    return 0;
+}

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Reproduces Figure 5: episode triggers — input, output,
+ * asynchronous, or unspecified — over all episodes and over the
+ * perceptible ones. Paper headlines (perceptible): 40% input / 47%
+ * output / 7% async on average; JMol 98% output; ArgoUML 78% input;
+ * FindBugs 42% async; Arabeske 57% unspecified.
+ */
+
+#include <iostream>
+
+#include "paper_data.hh"
+#include "report/table.hh"
+#include "study_util.hh"
+#include "util/strings.hh"
+#include "viz/charts.hh"
+#include "viz/palette.hh"
+
+namespace
+{
+
+using namespace lag;
+using namespace lag::bench;
+
+viz::StackedBarChart
+makeChart(const char *title,
+          const std::vector<AppAnalysis> &apps,
+          const std::function<const core::TriggerShares &(
+              const AppAnalysis &)> &select)
+{
+    viz::StackedBarChart chart(title, "Episodes [%]", 100.0);
+    chart.addLegend("Input", std::string(viz::triggerColor(0)));
+    chart.addLegend("Output", std::string(viz::triggerColor(1)));
+    chart.addLegend("Async", std::string(viz::triggerColor(2)));
+    chart.addLegend("Unspecified", std::string(viz::triggerColor(3)));
+    for (const auto &app : apps) {
+        const core::TriggerShares &shares = select(app);
+        chart.addRow(viz::BarRow{
+            app.name,
+            {{shares.input * 100.0, std::string(viz::triggerColor(0))},
+             {shares.output * 100.0,
+              std::string(viz::triggerColor(1))},
+             {shares.async * 100.0, std::string(viz::triggerColor(2))},
+             {shares.unspecified * 100.0,
+              std::string(viz::triggerColor(3))}}});
+    }
+    return chart;
+}
+
+} // namespace
+
+int
+main()
+{
+    app::Study study(selectStudyConfig());
+    const std::vector<AppAnalysis> apps = analyzeStudy(study);
+
+    report::TextTable table;
+    table.addColumn("Benchmark", report::Align::Left);
+    table.addColumn("", report::Align::Left);
+    table.addColumn("input", report::Align::Right);
+    table.addColumn("output", report::Align::Right);
+    table.addColumn("async", report::Align::Right);
+    table.addColumn("unspec", report::Align::Right);
+    table.addColumn("| all:input", report::Align::Right);
+    table.addColumn("output", report::Align::Right);
+    table.addColumn("async", report::Align::Right);
+
+    core::TriggerShares mean_perc;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &perc = apps[i].triggers.perceptible;
+        const auto &all = apps[i].triggers.all;
+        const auto &paper = kPaperFig5Perceptible[i];
+        table.addRow({apps[i].name, "paper",
+                      std::to_string(paper.input) + "%",
+                      std::to_string(paper.output) + "%",
+                      std::to_string(paper.async) + "%",
+                      std::to_string(paper.unspecified) + "%", "", "",
+                      ""});
+        table.addRow({"", "ours", formatPercent(perc.input, 0),
+                      formatPercent(perc.output, 0),
+                      formatPercent(perc.async, 0),
+                      formatPercent(perc.unspecified, 0),
+                      formatPercent(all.input, 0),
+                      formatPercent(all.output, 0),
+                      formatPercent(all.async, 0)});
+        mean_perc.input += perc.input / 14.0;
+        mean_perc.output += perc.output / 14.0;
+        mean_perc.async += perc.async / 14.0;
+        mean_perc.unspecified += perc.unspecified / 14.0;
+    }
+
+    std::cout << "Figure 5: triggers of (perceptible) episodes\n\n"
+              << table.render() << '\n';
+    std::cout << "Mean over perceptible episodes — paper: 40% input, "
+                 "47% output, 7% async; measured: "
+              << formatPercent(mean_perc.input, 0) << " input, "
+              << formatPercent(mean_perc.output, 0) << " output, "
+              << formatPercent(mean_perc.async, 0) << " async\n";
+
+    makeChart("Figure 5 (upper): triggers of all episodes", apps,
+              [](const AppAnalysis &a) -> const core::TriggerShares & {
+                  return a.triggers.all;
+              })
+        .render()
+        .writeFile(figurePath("fig5_triggers_all.svg"));
+    makeChart("Figure 5 (lower): triggers of perceptible episodes",
+              apps,
+              [](const AppAnalysis &a) -> const core::TriggerShares & {
+                  return a.triggers.perceptible;
+              })
+        .render()
+        .writeFile(figurePath("fig5_triggers_perceptible.svg"));
+    std::cout << "SVGs written to figures/fig5_triggers_*.svg\n";
+    return 0;
+}

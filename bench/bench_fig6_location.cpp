@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Reproduces Figure 6: where episode time is spent — application vs
+ * runtime library (from GUI-thread stack samples) and GC vs native
+ * (from explicit intervals). Paper headlines (perceptible): 52%
+ * library / 48% application on average, 11% GC, 5% native; Arabeske
+ * ~60% GC; ArgoUML 26% GC; JFreeChart 24% native; Euclide 73%
+ * library; JHotDraw 96% application.
+ */
+
+#include <iostream>
+
+#include "paper_data.hh"
+#include "report/table.hh"
+#include "study_util.hh"
+#include "util/strings.hh"
+#include "viz/charts.hh"
+
+int
+main()
+{
+    using namespace lag;
+    using namespace lag::bench;
+
+    app::Study study(selectStudyConfig());
+    const std::vector<AppAnalysis> apps = analyzeStudy(study);
+
+    report::TextTable table;
+    table.addColumn("Benchmark", report::Align::Left);
+    table.addColumn("", report::Align::Left);
+    table.addColumn("library", report::Align::Right);
+    table.addColumn("app", report::Align::Right);
+    table.addColumn("GC", report::Align::Right);
+    table.addColumn("native", report::Align::Right);
+    table.addColumn("| all:GC", report::Align::Right);
+
+    viz::StackedBarChart lib_chart(
+        "Figure 6: perceptible episode time, library vs application",
+        "Episodes >100ms - Time [%]", 100.0);
+    lib_chart.addLegend("RT Library", "#4c78a8");
+    lib_chart.addLegend("Application", "#59a14f");
+    viz::StackedBarChart gc_chart(
+        "Figure 6: perceptible episode time, GC and native",
+        "Episodes >100ms - Time [%]", 100.0);
+    gc_chart.addLegend("GC", "#d62728");
+    gc_chart.addLegend("Native", "#e8743b");
+
+    double mean_lib = 0.0;
+    double mean_gc = 0.0;
+    double mean_native = 0.0;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &perc = apps[i].location.perceptible;
+        const auto &all = apps[i].location.all;
+        const auto &paper = kPaperFig6Perceptible[i];
+        table.addRow({apps[i].name, "paper",
+                      std::to_string(paper.library) + "%",
+                      std::to_string(paper.app) + "%",
+                      std::to_string(paper.gc) + "%",
+                      std::to_string(paper.native) + "%", ""});
+        table.addRow({"", "ours",
+                      formatPercent(perc.libraryFraction, 0),
+                      formatPercent(perc.appFraction, 0),
+                      formatPercent(perc.gcFraction, 0),
+                      formatPercent(perc.nativeFraction, 0),
+                      formatPercent(all.gcFraction, 0)});
+        lib_chart.addRow(viz::BarRow{
+            apps[i].name,
+            {{perc.libraryFraction * 100.0, "#4c78a8"},
+             {perc.appFraction * 100.0, "#59a14f"}}});
+        gc_chart.addRow(viz::BarRow{
+            apps[i].name,
+            {{perc.gcFraction * 100.0, "#d62728"},
+             {perc.nativeFraction * 100.0, "#e8743b"}}});
+        mean_lib += perc.libraryFraction / 14.0;
+        mean_gc += perc.gcFraction / 14.0;
+        mean_native += perc.nativeFraction / 14.0;
+    }
+
+    std::cout << "Figure 6: location of time in (perceptible) "
+                 "episodes\n\n"
+              << table.render() << '\n';
+    std::cout << "Means — paper: 52% library, 11% GC, 5% native; "
+                 "measured: "
+              << formatPercent(mean_lib, 0) << " library, "
+              << formatPercent(mean_gc, 0) << " GC, "
+              << formatPercent(mean_native, 0) << " native\n";
+
+    lib_chart.render().writeFile(figurePath("fig6_location_lib.svg"));
+    gc_chart.render().writeFile(figurePath("fig6_location_gc.svg"));
+    std::cout << "SVGs written to figures/fig6_location_*.svg\n";
+    return 0;
+}

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Reproduces Figure 7: concurrency in episodes — the mean number of
+ * runnable threads per in-episode stack sample. Paper headlines:
+ * only ~1.2 threads runnable on average; below 1 for perceptible
+ * episodes; above 1 during perceptible episodes only for Arabeske,
+ * FindBugs and NetBeans (their background threads).
+ */
+
+#include <iostream>
+
+#include "paper_data.hh"
+#include "report/table.hh"
+#include "study_util.hh"
+#include "util/strings.hh"
+#include "viz/charts.hh"
+
+int
+main()
+{
+    using namespace lag;
+    using namespace lag::bench;
+
+    app::Study study(selectStudyConfig());
+    const std::vector<AppAnalysis> apps = analyzeStudy(study);
+
+    report::TextTable table;
+    table.addColumn("Benchmark", report::Align::Left);
+    table.addColumn("paper:all", report::Align::Right);
+    table.addColumn("ours:all", report::Align::Right);
+    table.addColumn("paper:perc", report::Align::Right);
+    table.addColumn("ours:perc", report::Align::Right);
+
+    viz::StackedBarChart all_chart(
+        "Figure 7 (upper): mean runnable threads, all episodes",
+        "Runnable threads", 2.0);
+    viz::StackedBarChart perc_chart(
+        "Figure 7 (lower): mean runnable threads, perceptible",
+        "Runnable threads", 2.0);
+
+    double mean_all = 0.0;
+    std::vector<std::string> above_one;
+    for (std::size_t i = 0; i < apps.size(); ++i) {
+        const auto &conc = apps[i].concurrency;
+        const auto &paper = kPaperFig7[i];
+        table.addRow({apps[i].name, formatDouble(paper.all, 2),
+                      formatDouble(conc.meanRunnableAll, 2),
+                      formatDouble(paper.perceptible, 2),
+                      formatDouble(conc.meanRunnablePerceptible, 2)});
+        all_chart.addRow(viz::BarRow{
+            apps[i].name,
+            {{conc.meanRunnableAll, "#4c78a8"}}});
+        perc_chart.addRow(viz::BarRow{
+            apps[i].name,
+            {{conc.meanRunnablePerceptible, "#4c78a8"}}});
+        mean_all += conc.meanRunnableAll / 14.0;
+        if (conc.meanRunnablePerceptible > 1.05)
+            above_one.push_back(apps[i].name);
+    }
+
+    std::cout << "Figure 7: concurrency in episodes (mean runnable "
+                 "threads per sample; paper values approximate "
+                 "except stated ones)\n\n"
+              << table.render() << '\n';
+    std::cout << "Mean over all episodes — paper: ~1.2; measured: "
+              << formatDouble(mean_all, 2) << '\n';
+    std::cout << "Above 1 during perceptible episodes — paper: "
+                 "Arabeske, FindBugs, NetBeans; measured: "
+              << join(above_one, ", ") << '\n';
+
+    all_chart.render().writeFile(
+        figurePath("fig7_concurrency_all.svg"));
+    perc_chart.render().writeFile(
+        figurePath("fig7_concurrency_perceptible.svg"));
+    std::cout << "SVGs written to figures/fig7_concurrency_*.svg\n";
+    return 0;
+}

@@ -1,0 +1,179 @@
+/**
+ * @file
+ * Performance of the analysis pipeline (google-benchmark).
+ *
+ * The paper reports: "The fully automated analysis of about 7.5
+ * hours of interactive sessions (roughly 250'000 episodes) took 15
+ * minutes (including the generation of MATLAB graphs)" — about 280
+ * episodes analyzed per second. These microbenchmarks measure the
+ * stages of our pipeline (trace decode, session build, pattern
+ * mining, the full analysis suite, sketch rendering) and report
+ * episodes/second for comparison.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "app/catalog.hh"
+#include "app/session_runner.hh"
+#include "core/concurrency.hh"
+#include "core/location.hh"
+#include "core/overview.hh"
+#include "core/pattern.hh"
+#include "core/pattern_stats.hh"
+#include "core/triggers.hh"
+#include "trace/io.hh"
+#include "viz/sketch.hh"
+
+namespace
+{
+
+using namespace lag;
+
+/** One cached 60 s GanttProject session (trace bytes + session). */
+struct Fixture
+{
+    std::string bytes;
+    core::Session session;
+    std::size_t episodes;
+
+    Fixture()
+        : bytes([] {
+              app::AppParams params =
+                  app::catalogApp("GanttProject");
+              params.sessionLength = secToNs(60);
+              return trace::serializeTrace(
+                  app::runSession(params, 0).trace);
+          }()),
+          session(core::Session::fromTrace(
+              trace::deserializeTrace(bytes))),
+          episodes(session.episodes().size())
+    {
+    }
+
+    static const Fixture &
+    get()
+    {
+        static const Fixture fixture;
+        return fixture;
+    }
+};
+
+void
+BM_TraceDecode(benchmark::State &state)
+{
+    const Fixture &f = Fixture::get();
+    for (auto _ : state) {
+        trace::Trace t = trace::deserializeTrace(f.bytes);
+        benchmark::DoNotOptimize(t.events.data());
+    }
+    state.counters["episodes/s"] = benchmark::Counter(
+        static_cast<double>(f.episodes * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_TraceDecode)->Unit(benchmark::kMillisecond);
+
+void
+BM_SessionBuild(benchmark::State &state)
+{
+    const Fixture &f = Fixture::get();
+    for (auto _ : state) {
+        state.PauseTiming();
+        trace::Trace t = trace::deserializeTrace(f.bytes);
+        state.ResumeTiming();
+        core::Session s = core::Session::fromTrace(std::move(t));
+        benchmark::DoNotOptimize(s.episodes().data());
+    }
+    state.counters["episodes/s"] = benchmark::Counter(
+        static_cast<double>(f.episodes * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SessionBuild)->Unit(benchmark::kMillisecond);
+
+void
+BM_PatternMining(benchmark::State &state)
+{
+    const Fixture &f = Fixture::get();
+    const core::PatternMiner miner(msToNs(100));
+    for (auto _ : state) {
+        core::PatternSet set = miner.mine(f.session);
+        benchmark::DoNotOptimize(set.patterns.data());
+    }
+    state.counters["episodes/s"] = benchmark::Counter(
+        static_cast<double>(f.episodes * state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_PatternMining)->Unit(benchmark::kMillisecond);
+
+void
+BM_FullAnalysisSuite(benchmark::State &state)
+{
+    const Fixture &f = Fixture::get();
+    const core::PatternMiner miner(msToNs(100));
+    for (auto _ : state) {
+        const core::PatternSet set = miner.mine(f.session);
+        const auto overview =
+            core::computeOverview(f.session, set, msToNs(100));
+        const auto triggers =
+            core::analyzeTriggers(f.session, msToNs(100));
+        const auto location =
+            core::analyzeLocation(f.session, msToNs(100));
+        const auto concurrency =
+            core::analyzeConcurrency(f.session, msToNs(100));
+        const auto states =
+            core::analyzeGuiStates(f.session, msToNs(100));
+        const auto occurrence = core::occurrenceShares(set);
+        const auto cdf = core::patternCdf(set);
+        benchmark::DoNotOptimize(overview.tracedCount);
+        benchmark::DoNotOptimize(triggers.all.input);
+        benchmark::DoNotOptimize(location.all.gcFraction);
+        benchmark::DoNotOptimize(concurrency.meanRunnableAll);
+        benchmark::DoNotOptimize(states.all.blocked);
+        benchmark::DoNotOptimize(occurrence.always);
+        benchmark::DoNotOptimize(cdf.size());
+    }
+    // The paper's pipeline: ~250k episodes in 15 min = ~280/s.
+    state.counters["episodes/s"] = benchmark::Counter(
+        static_cast<double>(f.episodes * state.iterations()),
+        benchmark::Counter::kIsRate);
+    state.counters["paper_episodes/s"] = 280;
+}
+BENCHMARK(BM_FullAnalysisSuite)->Unit(benchmark::kMillisecond);
+
+void
+BM_SketchRender(benchmark::State &state)
+{
+    const Fixture &f = Fixture::get();
+    // Slowest episode, like the examples render.
+    const core::Episode *slowest = &f.session.episodes()[0];
+    for (const auto &episode : f.session.episodes()) {
+        if (episode.duration() > slowest->duration())
+            slowest = &episode;
+    }
+    for (auto _ : state) {
+        const viz::SvgDocument doc =
+            viz::renderEpisodeSketch(f.session, *slowest);
+        benchmark::DoNotOptimize(doc.finish().size());
+    }
+}
+BENCHMARK(BM_SketchRender)->Unit(benchmark::kMillisecond);
+
+void
+BM_SessionSimulation(benchmark::State &state)
+{
+    // Measurement-side throughput: simulate 10 s of CrosswordSage.
+    app::AppParams params = app::catalogApp("CrosswordSage");
+    params.sessionLength = secToNs(10);
+    for (auto _ : state) {
+        auto result = app::runSession(
+            params, static_cast<std::uint32_t>(state.iterations()));
+        benchmark::DoNotOptimize(result.trace.events.data());
+    }
+    state.counters["sim_s/s"] = benchmark::Counter(
+        10.0 * static_cast<double>(state.iterations()),
+        benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_SessionSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Reproduces Table I: the interval-type taxonomy. Definitional, but
+ * printed from the implementation so the taxonomy in code and paper
+ * are verifiably the same.
+ */
+
+#include <iostream>
+
+#include "core/interval.hh"
+#include "report/table.hh"
+
+int
+main()
+{
+    using namespace lag;
+
+    struct Row
+    {
+        core::IntervalType type;
+        const char *description;
+    };
+    const Row rows[] = {
+        {core::IntervalType::Dispatch,
+         "Start to end of a given episode"},
+        {core::IntervalType::Listener, "A listener notification call"},
+        {core::IntervalType::Paint, "A graphics rendering operation"},
+        {core::IntervalType::Native, "A JNI native call"},
+        {core::IntervalType::Async,
+         "The handling of an event posted in a background thread"},
+        {core::IntervalType::Gc, "A garbage collection"},
+    };
+
+    report::TextTable table;
+    table.addColumn("Name", report::Align::Left);
+    table.addColumn("Description", report::Align::Left);
+    for (const auto &row : rows) {
+        table.addRow({core::intervalTypeName(row.type),
+                      row.description});
+    }
+    std::cout << "Table I: interval types\n\n" << table.render();
+    return 0;
+}

@@ -1,0 +1,173 @@
+#include "study_util.hh"
+
+#include <cstdlib>
+#include <filesystem>
+
+#include "util/logging.hh"
+
+namespace lag::bench
+{
+
+app::StudyConfig
+selectStudyConfig()
+{
+    const char *quick = std::getenv("LAGALYZER_QUICK");
+    if (quick != nullptr && quick[0] != '\0' && quick[0] != '0') {
+        inform("bench: LAGALYZER_QUICK set; using the scaled-down "
+               "study");
+        return app::StudyConfig::quickStudy();
+    }
+    return app::StudyConfig::paperStudy();
+}
+
+namespace
+{
+
+/** Linear resample of a CDF onto the 0..100 pattern-percent grid. */
+std::vector<double>
+resampleCdf(const std::vector<std::pair<double, double>> &points)
+{
+    std::vector<double> grid(101, 0.0);
+    if (points.size() < 2) {
+        // Degenerate set: everything covered immediately.
+        for (int x = 1; x <= 100; ++x)
+            grid[static_cast<std::size_t>(x)] = 1.0;
+        return grid;
+    }
+    std::size_t seg = 0;
+    for (int x = 0; x <= 100; ++x) {
+        const double fx = static_cast<double>(x) / 100.0;
+        while (seg + 1 < points.size() - 1 &&
+               points[seg + 1].first < fx) {
+            ++seg;
+        }
+        const auto &[x0, y0] = points[seg];
+        const auto &[x1, y1] = points[seg + 1];
+        double y;
+        if (fx <= x0) {
+            y = y0;
+        } else if (fx >= x1) {
+            y = y1;
+        } else {
+            y = y0 + (y1 - y0) * (fx - x0) / (x1 - x0);
+        }
+        grid[static_cast<std::size_t>(x)] = y;
+    }
+    return grid;
+}
+
+} // namespace
+
+std::vector<AppAnalysis>
+analyzeStudy(app::Study &study)
+{
+    const DurationNs threshold = study.config().perceptibleThreshold;
+    core::PatternMiner miner(threshold);
+
+    std::vector<AppAnalysis> results;
+    for (std::size_t a = 0; a < study.config().apps.size(); ++a) {
+        app::AppSessions loaded = study.loadApp(a);
+        AppAnalysis result;
+        result.name = loaded.params.name;
+        result.cdfEpisodesAtPatternPercent.assign(101, 0.0);
+
+        std::vector<core::OverviewRow> rows;
+        const auto n = static_cast<double>(loaded.sessions.size());
+        for (const core::Session &session : loaded.sessions) {
+            const core::PatternSet patterns = miner.mine(session);
+            rows.push_back(
+                core::computeOverview(session, patterns, threshold));
+
+            const auto triggers =
+                core::analyzeTriggers(session, threshold);
+            const auto location =
+                core::analyzeLocation(session, threshold);
+            const auto concurrency =
+                core::analyzeConcurrency(session, threshold);
+            const auto states =
+                core::analyzeGuiStates(session, threshold);
+            const auto occurrence = core::occurrenceShares(patterns);
+            const auto cdf = resampleCdf(core::patternCdf(patterns));
+
+            const auto add_shares = [&](core::TriggerShares &dst,
+                                        const core::TriggerShares &src) {
+                dst.input += src.input / n;
+                dst.output += src.output / n;
+                dst.async += src.async / n;
+                dst.unspecified += src.unspecified / n;
+                dst.episodeCount += src.episodeCount;
+            };
+            add_shares(result.triggers.all, triggers.all);
+            add_shares(result.triggers.perceptible,
+                       triggers.perceptible);
+
+            const auto add_location =
+                [&](core::LocationShares &dst,
+                    const core::LocationShares &src) {
+                    dst.appFraction += src.appFraction / n;
+                    dst.libraryFraction += src.libraryFraction / n;
+                    dst.gcFraction += src.gcFraction / n;
+                    dst.nativeFraction += src.nativeFraction / n;
+                    dst.sampleCount += src.sampleCount;
+                    dst.episodeCount += src.episodeCount;
+                };
+            add_location(result.location.all, location.all);
+            add_location(result.location.perceptible,
+                         location.perceptible);
+
+            result.concurrency.meanRunnableAll +=
+                concurrency.meanRunnableAll / n;
+            result.concurrency.meanRunnablePerceptible +=
+                concurrency.meanRunnablePerceptible / n;
+            result.concurrency.samplesAll += concurrency.samplesAll;
+            result.concurrency.samplesPerceptible +=
+                concurrency.samplesPerceptible;
+
+            const auto add_states = [&](core::GuiStateShares &dst,
+                                        const core::GuiStateShares &src) {
+                dst.blocked += src.blocked / n;
+                dst.waiting += src.waiting / n;
+                dst.sleeping += src.sleeping / n;
+                dst.runnable += src.runnable / n;
+                dst.sampleCount += src.sampleCount;
+            };
+            add_states(result.states.all, states.all);
+            add_states(result.states.perceptible, states.perceptible);
+
+            result.occurrence.always += occurrence.always / n;
+            result.occurrence.sometimes += occurrence.sometimes / n;
+            result.occurrence.once += occurrence.once / n;
+            result.occurrence.never += occurrence.never / n;
+            result.occurrence.patternCount += occurrence.patternCount;
+
+            for (int x = 0; x <= 100; ++x) {
+                result.cdfEpisodesAtPatternPercent
+                    [static_cast<std::size_t>(x)] +=
+                    cdf[static_cast<std::size_t>(x)] / n;
+            }
+        }
+        result.overview = core::meanOverview(rows);
+        results.push_back(std::move(result));
+    }
+    return results;
+}
+
+double
+meanOf(const std::vector<AppAnalysis> &apps,
+       const std::function<double(const AppAnalysis &)> &get)
+{
+    lag_assert(!apps.empty(), "meanOf over zero apps");
+    double total = 0.0;
+    for (const auto &app : apps)
+        total += get(app);
+    return total / static_cast<double>(apps.size());
+}
+
+std::string
+figurePath(const std::string &name)
+{
+    std::filesystem::create_directories("figures");
+    return "figures/" + name;
+}
+
+} // namespace lag::bench

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * Shared plumbing for the bench harnesses.
+ *
+ * Every figure/table harness works from the same cached study
+ * (simulated on first use); per-app results are averaged over the
+ * four sessions exactly as the paper's Table III does. Set
+ * LAGALYZER_QUICK=1 to run against the scaled-down study instead
+ * (useful on slow machines; the shapes survive, absolute counts
+ * shrink).
+ */
+
+#ifndef LAG_BENCH_STUDY_UTIL_HH
+#define LAG_BENCH_STUDY_UTIL_HH
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "app/study.hh"
+#include "core/concurrency.hh"
+#include "core/location.hh"
+#include "core/overview.hh"
+#include "core/pattern.hh"
+#include "core/pattern_stats.hh"
+#include "core/triggers.hh"
+
+namespace lag::bench
+{
+
+/** The study configuration selected by the environment. */
+app::StudyConfig selectStudyConfig();
+
+/** Everything analyses need from one app, session-averaged. */
+struct AppAnalysis
+{
+    std::string name;
+    core::OverviewRow overview;
+    core::TriggerAnalysisResult triggers;
+    core::LocationAnalysisResult location;
+    core::ConcurrencyResult concurrency;
+    core::ThreadStateResult states;
+    core::OccurrenceShares occurrence;
+    /** Session-averaged pattern CDF (resampled to percent grid). */
+    std::vector<double> cdfEpisodesAtPatternPercent; ///< index 0..100
+};
+
+/**
+ * Run the full analysis pipeline for every app in the study,
+ * averaging the four sessions per app. Loads lazily app-by-app to
+ * bound memory. Progress lines go to stderr.
+ */
+std::vector<AppAnalysis> analyzeStudy(app::Study &study);
+
+/** Average the per-app values of @p get over all apps. */
+double meanOf(const std::vector<AppAnalysis> &apps,
+              const std::function<double(const AppAnalysis &)> &get);
+
+/** Create ./figures/ if needed and return the path of @p name. */
+std::string figurePath(const std::string &name);
+
+} // namespace lag::bench
+
+#endif // LAG_BENCH_STUDY_UTIL_HH

@@ -1,0 +1,183 @@
+/**
+ * @file
+ * The "LagAlyzer side": load a .lag trace file and run the complete
+ * analysis suite — overview statistics (Table III row), pattern
+ * mining, triggers, location, concurrency and GUI-thread states —
+ * then render the slowest perceptible episode as an SVG sketch.
+ *
+ * Usage: ./analyze_trace <trace.lag> [--threshold-ms N]
+ *
+ * (Produce a trace with ./record_session first.)
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <optional>
+
+#include "core/blame.hh"
+#include "core/browser.hh"
+#include "core/concurrency.hh"
+#include "core/location.hh"
+#include "core/overview.hh"
+#include "core/pattern.hh"
+#include "core/pattern_stats.hh"
+#include "core/session.hh"
+#include "core/triggers.hh"
+#include "report/table.hh"
+#include "trace/io.hh"
+#include "util/strings.hh"
+#include "viz/sketch.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lag;
+
+    if (argc < 2) {
+        std::cerr << "usage: analyze_trace <trace.lag> "
+                     "[--threshold-ms N]\n";
+        return 2;
+    }
+    const std::string path = argv[1];
+    DurationNs threshold = msToNs(100);
+    for (int i = 2; i + 1 < argc; ++i) {
+        if (std::strcmp(argv[i], "--threshold-ms") == 0)
+            threshold = msToNs(std::atoi(argv[i + 1]));
+    }
+
+    std::optional<core::Session> loaded;
+    try {
+        loaded = core::Session::fromTrace(trace::readTraceFile(path));
+    } catch (const trace::TraceError &err) {
+        std::cerr << "cannot analyze '" << path << "': " << err.what()
+                  << '\n';
+        return 1;
+    }
+    const core::Session &session = *loaded;
+
+    std::cout << "=== " << session.meta().appName << ", session "
+              << session.meta().sessionIndex << " ===\n\n";
+
+    const core::PatternMiner miner(threshold);
+    const core::PatternSet patterns = miner.mine(session);
+    const auto overview =
+        core::computeOverview(session, patterns, threshold);
+
+    report::TextTable ov;
+    ov.addColumn("metric", report::Align::Left);
+    ov.addColumn("value", report::Align::Right);
+    ov.addRow({"end-to-end time",
+               formatDouble(overview.e2eSeconds, 1) + " s"});
+    ov.addRow({"in-episode time",
+               formatDouble(overview.inEpsPercent, 1) + " %"});
+    ov.addRow({"episodes < 3 ms (filtered)",
+               formatCount(overview.shortCount)});
+    ov.addRow({"episodes >= 3 ms (traced)",
+               formatCount(overview.tracedCount)});
+    ov.addRow({"episodes >= " + formatDurationNs(threshold),
+               formatCount(overview.perceptibleCount)});
+    ov.addRow({"perceptible per in-episode minute",
+               formatDouble(overview.longPerMin, 1)});
+    ov.addRow({"distinct patterns",
+               formatCount(overview.distinctPatterns)});
+    ov.addRow({"episodes covered by patterns",
+               formatCount(overview.coveredEpisodes)});
+    ov.addRow({"singleton patterns",
+               formatDouble(overview.oneEpPercent, 0) + " %"});
+    ov.addRow({"mean tree size (Descs)",
+               formatDouble(overview.meanDescs, 1)});
+    ov.addRow({"mean tree depth",
+               formatDouble(overview.meanDepth, 1)});
+    std::cout << "Overview (Table III row):\n" << ov.render() << '\n';
+
+    const auto triggers = core::analyzeTriggers(session, threshold);
+    const auto location = core::analyzeLocation(session, threshold);
+    const auto concurrency =
+        core::analyzeConcurrency(session, threshold);
+    const auto states = core::analyzeGuiStates(session, threshold);
+
+    report::TextTable an;
+    an.addColumn("analysis", report::Align::Left);
+    an.addColumn("all episodes", report::Align::Right);
+    an.addColumn("perceptible", report::Align::Right);
+    an.addRow({"trigger: input", formatPercent(triggers.all.input),
+               formatPercent(triggers.perceptible.input)});
+    an.addRow({"trigger: output", formatPercent(triggers.all.output),
+               formatPercent(triggers.perceptible.output)});
+    an.addRow({"trigger: async", formatPercent(triggers.all.async),
+               formatPercent(triggers.perceptible.async)});
+    an.addRow({"trigger: unspecified",
+               formatPercent(triggers.all.unspecified),
+               formatPercent(triggers.perceptible.unspecified)});
+    an.addSeparator();
+    an.addRow({"time in runtime library",
+               formatPercent(location.all.libraryFraction),
+               formatPercent(location.perceptible.libraryFraction)});
+    an.addRow({"time in application",
+               formatPercent(location.all.appFraction),
+               formatPercent(location.perceptible.appFraction)});
+    an.addRow({"time in GC", formatPercent(location.all.gcFraction),
+               formatPercent(location.perceptible.gcFraction)});
+    an.addRow({"time in native calls",
+               formatPercent(location.all.nativeFraction),
+               formatPercent(location.perceptible.nativeFraction)});
+    an.addSeparator();
+    an.addRow({"mean runnable threads",
+               formatDouble(concurrency.meanRunnableAll, 2),
+               formatDouble(concurrency.meanRunnablePerceptible, 2)});
+    an.addRow({"GUI thread blocked",
+               formatPercent(states.all.blocked),
+               formatPercent(states.perceptible.blocked)});
+    an.addRow({"GUI thread waiting",
+               formatPercent(states.all.waiting),
+               formatPercent(states.perceptible.waiting)});
+    an.addRow({"GUI thread sleeping",
+               formatPercent(states.all.sleeping),
+               formatPercent(states.perceptible.sleeping)});
+    std::cout << "Characterization (paper SIV):\n" << an.render()
+              << '\n';
+
+    // Blame report: which code the GUI thread was in during
+    // perceptible episodes (the paper's manual drill-down, SIV).
+    core::BlameOptions blame_options;
+    blame_options.perceptibleThreshold = threshold;
+    blame_options.byMethod = true;
+    blame_options.limit = 8;
+    const auto blame = core::blameReport(session, blame_options);
+    if (!blame.empty()) {
+        report::TextTable bl;
+        bl.addColumn("sampled in (perceptible episodes)",
+                     report::Align::Left);
+        bl.addColumn("samples", report::Align::Right);
+        bl.addColumn("share", report::Align::Right);
+        bl.addColumn("not-runnable", report::Align::Right);
+        bl.addColumn("origin", report::Align::Left);
+        for (const auto &entry : blame) {
+            bl.addRow({entry.symbol, std::to_string(entry.samples),
+                       formatPercent(entry.share),
+                       std::to_string(entry.notRunnableSamples),
+                       entry.isLibrary ? "library" : "application"});
+        }
+        std::cout << "Blame (innermost sampled frames):\n"
+                  << bl.render() << '\n';
+    }
+
+    // Slowest perceptible episode as a sketch.
+    const core::Episode *slowest = nullptr;
+    for (const auto &episode : session.episodes()) {
+        if (slowest == nullptr ||
+            episode.duration() > slowest->duration()) {
+            slowest = &episode;
+        }
+    }
+    if (slowest != nullptr) {
+        const std::string svg_path = path + ".sketch.svg";
+        viz::renderEpisodeSketch(session, *slowest)
+            .writeFile(svg_path);
+        std::cout << "Slowest episode ("
+                  << formatDurationNs(slowest->duration())
+                  << ") sketched to " << svg_path << '\n';
+    }
+    return 0;
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Quickstart: the 60-second tour of the LagAlyzer API.
+ *
+ * 1. Simulate a short interactive session of one application under
+ *    the LiLa tracing agent (the "measurement side").
+ * 2. Load the trace into a core::Session (the "analysis side").
+ * 3. Mine episode patterns and print the Pattern Browser table.
+ * 4. Render the slowest episode as an ASCII episode sketch and as
+ *    an SVG file.
+ *
+ * Run:  ./quickstart [app-name] [seconds]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "app/catalog.hh"
+#include "app/session_runner.hh"
+#include "core/overview.hh"
+#include "core/pattern.hh"
+#include "core/session.hh"
+#include "report/table.hh"
+#include "util/strings.hh"
+#include "viz/sketch.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lag;
+
+    const std::string app_name = argc > 1 ? argv[1] : "GanttProject";
+    const int seconds = argc > 2 ? std::atoi(argv[2]) : 45;
+
+    // --- Measurement side -------------------------------------------
+    app::AppParams params = app::catalogApp(app_name);
+    params.sessionLength = secToNs(seconds);
+    std::cout << "Simulating a " << seconds << " s session of "
+              << params.name << " (" << params.description << ") ...\n";
+    app::SessionRunResult run = app::runSession(params, /*session=*/0);
+    std::cout << "  user events posted: " << run.userEvents
+              << ", episodes dispatched: " << run.vmStats.dispatches
+              << ", GCs: " << run.vmStats.minorGcs << " minor / "
+              << run.vmStats.majorGcs << " major\n\n";
+
+    // --- Analysis side ----------------------------------------------
+    core::Session session =
+        core::Session::fromTrace(std::move(run.trace));
+    core::PatternMiner miner(msToNs(100));
+    core::PatternSet patterns = miner.mine(session);
+
+    std::cout << "Traced episodes (>= 3 ms): "
+              << session.episodes().size() << ", filtered short ones: "
+              << session.meta().filteredShortEpisodes
+              << ", perceptible (>= 100 ms): "
+              << session.perceptibleCount(msToNs(100)) << "\n\n";
+
+    // Pattern Browser table (paper SII.E), top patterns only.
+    report::TextTable table;
+    table.addColumn("#", report::Align::Right);
+    table.addColumn("episodes", report::Align::Right);
+    table.addColumn("perceptible", report::Align::Right);
+    table.addColumn("min", report::Align::Right);
+    table.addColumn("avg", report::Align::Right);
+    table.addColumn("max", report::Align::Right);
+    table.addColumn("total", report::Align::Right);
+    table.addColumn("class", report::Align::Left);
+    table.addColumn("signature (truncated)", report::Align::Left);
+    const std::size_t show =
+        std::min<std::size_t>(10, patterns.patterns.size());
+    for (std::size_t i = 0; i < show; ++i) {
+        const core::Pattern &p = patterns.patterns[i];
+        std::string sig = p.signature.substr(0, 44);
+        if (p.signature.size() > 44)
+            sig += "...";
+        table.addRow({std::to_string(i + 1),
+                      std::to_string(p.episodes.size()),
+                      std::to_string(p.perceptibleCount),
+                      formatDurationNs(p.minLag),
+                      formatDurationNs(p.avgLag()),
+                      formatDurationNs(p.maxLag),
+                      formatDurationNs(p.totalLag),
+                      core::occurrenceClassName(p.occurrence), sig});
+    }
+    std::cout << "Top patterns (" << patterns.patterns.size()
+              << " total, " << patterns.coveredEpisodes
+              << " episodes covered):\n"
+              << table.render() << '\n';
+
+    // --- Episode sketch ---------------------------------------------
+    const core::Episode *slowest = nullptr;
+    for (const auto &episode : session.episodes()) {
+        if (slowest == nullptr ||
+            episode.duration() > slowest->duration()) {
+            slowest = &episode;
+        }
+    }
+    if (slowest != nullptr) {
+        std::cout << "Slowest episode as an ASCII sketch:\n"
+                  << viz::renderAsciiSketch(session, *slowest, 100)
+                  << '\n';
+        viz::SvgDocument svg =
+            viz::renderEpisodeSketch(session, *slowest);
+        svg.writeFile("quickstart_sketch.svg");
+        std::cout << "SVG sketch written to quickstart_sketch.svg\n";
+    }
+    return 0;
+}

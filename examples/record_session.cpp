@@ -1,0 +1,64 @@
+/**
+ * @file
+ * The "profiler side": run one of the Table II application models
+ * under the LiLa tracing agent and write the session trace to disk.
+ * This is what the paper's authors did by sitting in front of each
+ * application with LiLa attached.
+ *
+ * Usage: ./record_session [app] [seconds] [session-index] [out.lag]
+ *
+ * The resulting file can be inspected with analyze_trace and
+ * pattern_browser.
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "app/catalog.hh"
+#include "app/session_runner.hh"
+#include "trace/io.hh"
+#include "util/strings.hh"
+
+int
+main(int argc, char **argv)
+{
+    using namespace lag;
+
+    const std::string app_name = argc > 1 ? argv[1] : "JEdit";
+    const int seconds = argc > 2 ? std::atoi(argv[2]) : 60;
+    const auto session_index = static_cast<std::uint32_t>(
+        argc > 3 ? std::atoi(argv[3]) : 0);
+    const std::string out_path =
+        argc > 4 ? argv[4]
+                 : app_name + "_s" + std::to_string(session_index) +
+                       ".lag";
+
+    app::AppParams params = app::catalogApp(app_name);
+    params.sessionLength = secToNs(seconds);
+
+    std::cout << "Recording a " << seconds << " s session of "
+              << params.name << " (session " << session_index
+              << ", seed " << app::sessionSeed(params, session_index)
+              << ") ...\n";
+    app::SessionRunResult result =
+        app::runSession(params, session_index);
+
+    std::cout << "  episodes dispatched: " << result.vmStats.dispatches
+              << " (filtered short: "
+              << formatCount(result.trace.meta.filteredShortEpisodes)
+              << ")\n"
+              << "  GCs: " << result.vmStats.minorGcs << " minor / "
+              << result.vmStats.majorGcs << " major\n"
+              << "  samples: " << result.trace.samples.size() << "\n"
+              << "  in-episode time: "
+              << formatDurationNs(result.trace.meta.totalInEpisodeTime)
+              << " of " << seconds << " s\n";
+
+    trace::writeTraceFile(result.trace, out_path);
+    std::cout << "Trace written to " << out_path << " ("
+              << formatCount(trace::serializeTrace(result.trace).size())
+              << " bytes)\n";
+    std::cout << "Analyze it with: ./analyze_trace " << out_path
+              << '\n';
+    return 0;
+}

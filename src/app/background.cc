@@ -1,0 +1,125 @@
+#include "background.hh"
+
+#include <algorithm>
+
+#include "jvm/vm.hh"
+#include "util/logging.hh"
+
+namespace lag::app
+{
+
+using jvm::ActivityKind;
+using jvm::ActivityNode;
+using jvm::ProgramStep;
+
+TimerProgram::TimerProgram(const AppParams &params,
+                           std::size_t timer_index,
+                           HandlerFactory &factory, std::uint64_t seed)
+    : params_(params), index_(timer_index), factory_(factory), rng_(seed)
+{
+    lag_assert(timer_index < params.timers.size(), "bad timer index");
+}
+
+jvm::ProgramStep
+TimerProgram::next(jvm::Jvm &vm, jvm::VThread &)
+{
+    const TimerSpec &spec = params_.timers[index_];
+    const auto start = static_cast<TimeNs>(
+        spec.activeFrom * static_cast<double>(params_.sessionLength));
+    const auto stop = static_cast<TimeNs>(
+        spec.activeTo * static_cast<double>(params_.sessionLength));
+
+    if (vm.now() < start) {
+        started_ = false;
+        return ProgramStep::sleepFor(start - vm.now());
+    }
+    if (vm.now() >= stop)
+        return ProgramStep::exitThread();
+    if (started_)
+        vm.postGuiEvent(factory_.timerEvent(index_));
+    started_ = true;
+    return ProgramStep::sleepFor(spec.period);
+}
+
+LoaderProgram::LoaderProgram(const AppParams &params,
+                             std::size_t loader_index,
+                             HandlerFactory &factory, std::uint64_t seed)
+    : params_(params), index_(loader_index), factory_(factory),
+      rng_(seed)
+{
+    lag_assert(loader_index < params.loaders.size(), "bad loader index");
+}
+
+jvm::ProgramStep
+LoaderProgram::next(jvm::Jvm &vm, jvm::VThread &)
+{
+    const LoaderSpec &spec = params_.loaders[index_];
+    const auto start = static_cast<TimeNs>(
+        spec.startAt * static_cast<double>(params_.sessionLength));
+    const auto stop = static_cast<TimeNs>(
+        spec.endAt * static_cast<double>(params_.sessionLength));
+
+    if (vm.now() < start) {
+        started_ = false;
+        return ProgramStep::sleepFor(start - vm.now());
+    }
+    if (vm.now() >= stop)
+        return ProgramStep::exitThread();
+
+    if (started_ && spec.postProb > 0.0 && rng_.chance(spec.postProb))
+        vm.postGuiEvent(factory_.loaderEvent(index_));
+    started_ = true;
+
+    ActivityNode chunk;
+    chunk.frame = jvm::Frame{params_.appPackage + ".io.ProjectLoader",
+                             "loadNextEntry"};
+    chunk.selfCost = std::max<DurationNs>(
+        usToNs(100),
+        static_cast<DurationNs>(
+            static_cast<double>(spec.chunkCost) *
+            rng_.uniformReal(0.6, 1.4)));
+    if (spec.allocPerMs > 0) {
+        chunk.allocBytes =
+            spec.allocPerMs *
+            static_cast<std::uint64_t>(chunk.selfCost) /
+            static_cast<std::uint64_t>(kMillisecond);
+    }
+    if (spec.restBetweenChunks > 0 && rest_next_) {
+        rest_next_ = false;
+        return ProgramStep::sleepFor(static_cast<DurationNs>(
+            static_cast<double>(spec.restBetweenChunks) *
+            rng_.uniformReal(0.5, 1.5)));
+    }
+    rest_next_ = true;
+    return ProgramStep::runActivity(
+        std::make_shared<const ActivityNode>(std::move(chunk)));
+}
+
+HogProgram::HogProgram(const AppParams &params, std::size_t hog_index,
+                       std::uint64_t seed)
+    : params_(params), index_(hog_index), rng_(seed)
+{
+    lag_assert(hog_index < params.hogs.size(), "bad hog index");
+}
+
+jvm::ProgramStep
+HogProgram::next(jvm::Jvm &, jvm::VThread &)
+{
+    const HogSpec &spec = params_.hogs[index_];
+    if (!hold_next_) {
+        hold_next_ = true;
+        const auto gap = static_cast<DurationNs>(rng_.exponential(
+            static_cast<double>(std::max<DurationNs>(spec.period, 1))));
+        return ProgramStep::sleepFor(std::max<DurationNs>(gap, msToNs(1)));
+    }
+    hold_next_ = false;
+    ActivityNode hold;
+    hold.frame = jvm::Frame{"java.awt.GraphicsEnvironment",
+                            "getDefaultScreenDevice"};
+    hold.selfCost = drawCost(rng_, spec.holdCost);
+    hold.monitorId = spec.monitorId;
+    return ProgramStep::runActivity(
+        std::make_shared<const ActivityNode>(std::move(hold)));
+}
+
+} // namespace lag::app

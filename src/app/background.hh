@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Background-thread programs used by the application models.
+ *
+ * Three archetypes cover everything the paper's study attributes to
+ * background activity:
+ *
+ *  - TimerProgram: periodic poster (animation repaint timers like
+ *    JMol's 40 ms molecule animation, progress-bar updaters like
+ *    FindBugs');
+ *  - LoaderProgram: CPU-burning background work over a window of
+ *    the session (FindBugs' 3-minute project load, NetBeans
+ *    indexing) that competes with the EDT for cores and optionally
+ *    posts asynchronous UI updates;
+ *  - HogProgram: periodically holds a monitor that listeners also
+ *    need (FreeMind's display-configuration contention).
+ */
+
+#ifndef LAG_APP_BACKGROUND_HH
+#define LAG_APP_BACKGROUND_HH
+
+#include <cstdint>
+
+#include "handlers.hh"
+#include "jvm/program.hh"
+#include "params.hh"
+#include "util/random.hh"
+
+namespace lag::app
+{
+
+/** Periodic GUI-event poster. */
+class TimerProgram : public jvm::ThreadProgram
+{
+  public:
+    TimerProgram(const AppParams &params, std::size_t timer_index,
+                 HandlerFactory &factory, std::uint64_t seed);
+
+    jvm::ProgramStep next(jvm::Jvm &vm, jvm::VThread &thread) override;
+
+  private:
+    const AppParams &params_;
+    std::size_t index_;
+    HandlerFactory &factory_;
+    Rng rng_;
+    bool started_ = false;
+};
+
+/** Background CPU burner with optional async UI updates. */
+class LoaderProgram : public jvm::ThreadProgram
+{
+  public:
+    LoaderProgram(const AppParams &params, std::size_t loader_index,
+                  HandlerFactory &factory, std::uint64_t seed);
+
+    jvm::ProgramStep next(jvm::Jvm &vm, jvm::VThread &thread) override;
+
+  private:
+    const AppParams &params_;
+    std::size_t index_;
+    HandlerFactory &factory_;
+    Rng rng_;
+    bool started_ = false;
+    bool rest_next_ = false;
+};
+
+/** Periodic monitor holder. */
+class HogProgram : public jvm::ThreadProgram
+{
+  public:
+    HogProgram(const AppParams &params, std::size_t hog_index,
+               std::uint64_t seed);
+
+    jvm::ProgramStep next(jvm::Jvm &vm, jvm::VThread &thread) override;
+
+  private:
+    const AppParams &params_;
+    std::size_t index_;
+    Rng rng_;
+    bool hold_next_ = false;
+};
+
+} // namespace lag::app
+
+#endif // LAG_APP_BACKGROUND_HH

@@ -1,0 +1,639 @@
+#include "catalog.hh"
+
+#include "util/logging.hh"
+
+namespace lag::app
+{
+
+namespace
+{
+
+/**
+ * Calibration notes
+ * -----------------
+ * actionsPerSec is the inverse of the mean think time between
+ * interaction bursts; bursts themselves take time, so the realized
+ * action rate is 1 / (think + E[burst duration]). Rates below were
+ * derived from Table III per app:
+ *
+ *   shorts/s  = drag + typing event rates,
+ *   traced/s  = clicks*(1+postRepaintProb) + repaint sources +
+ *               lognormal tails of drag/typing costs above the 3 ms
+ *               filter + timer/loader posts,
+ *   In-Eps%   = event rates x mean handler costs (the dispatch
+ *               overhead of ~80 us rides on every episode),
+ *
+ * and the perceptible column from the heavy-click probability, the
+ * paint-tree sizes, quirk probabilities, and lognormal upper tails.
+ */
+
+/** Common defaults shared by all models. */
+AppParams
+base(const char *name, const char *version, int classes,
+     const char *description, const char *pkg, int session_seconds)
+{
+    AppParams p;
+    p.name = name;
+    p.version = version;
+    p.classCount = classes;
+    p.description = description;
+    p.appPackage = pkg;
+    p.sessionLength = secToNs(session_seconds);
+    return p;
+}
+
+AppParams
+arabeske()
+{
+    // Texture editor: near-continuous drawing strokes; a fifth of
+    // the commands call System.gc() explicitly (paper §IV.C: 57% of
+    // perceptible episodes are "empty" GC episodes; §IV.D: GC is
+    // ~60% of perceptible lag); a worker thread keeps concurrency
+    // above one (Figure 7).
+    AppParams p = base("Arabeske", "2.0.1", 222,
+                       "Arabeske texture editor", "org.arabeske", 461);
+    p.actionsPerSec = 8.0;
+    p.typingShare = 0.05;
+    p.dragShare = 0.55;
+    p.clickShare = 0.40;
+    p.typingBurstLen = 10;
+    p.typingRate = 8;
+    p.dragBurstLen = 520;
+    p.dragRate = 1500;
+    p.dragRepaintEvery = 65;
+    p.dragCost = CostModel::of(usToNs(50), 0.5, usToNs(10), msToNs(20));
+    p.typeCost = CostModel::of(usToNs(250), 0.5, usToNs(20), msToNs(20));
+    p.clickCost = CostModel::of(msToNs(6), 0.9, usToNs(200), msToNs(600));
+    p.heavyClickProb = 0.08;
+    p.explicitGcProb = 0.22;
+    p.paintDepthMin = 2;
+    p.paintDepthMax = 4;
+    p.paintNodeCost =
+        CostModel::of(usToNs(500), 1.0, usToNs(80), msToNs(300));
+    p.postRepaintProb = 0.4;
+    p.systemRepaintRate = 0.3;
+    p.libraryTimeShare = 0.45;
+    p.patternConcentration = 400;
+    p.repaintConcentration = 40;
+    p.majorPauseMedian = msToNs(260);
+    p.loaders.push_back(LoaderSpec{"TextureWorker", 0.02, 0.98,
+                                   msToNs(2), msToNs(3), 40 << 10, 0.02,
+                                   CostModel::of(msToNs(4), 0.6,
+                                                 msToNs(1), msToNs(40))});
+    return p;
+}
+
+AppParams
+argouml()
+{
+    // UML CASE tool: input-dominated perceptible lag (78%, §IV.C),
+    // a very high allocation rate — minor collections spread across
+    // all episodes (16% of episode time overall, 26% of perceptible
+    // lag, §IV.D) — and the largest pattern count in Table III.
+    AppParams p = base("ArgoUML", "0.28", 5349, "UML CASE tool",
+                       "org.argouml", 630);
+    p.actionsPerSec = 14.0;
+    p.typingShare = 0.30;
+    p.dragShare = 0.25;
+    p.clickShare = 0.45;
+    p.typingBurstLen = 8;
+    p.typingRate = 12;
+    p.dragBurstLen = 500;
+    p.dragRate = 900;
+    p.typeCost = CostModel::of(usToNs(700), 0.6, usToNs(50), msToNs(40));
+    p.dragCost = CostModel::of(usToNs(450), 0.95, usToNs(40),
+                               msToNs(80));
+    p.clickCost = CostModel::of(msToNs(7), 0.95, usToNs(300),
+                                msToNs(800));
+    p.heavyClickProb = 0.22;
+    p.heavyClickCost =
+        CostModel::of(msToNs(110), 0.7, msToNs(40), secToNs(3));
+    p.postRepaintProb = 0.8;
+    p.systemRepaintRate = 0.5;
+    p.paintDepthMin = 3;
+    p.paintDepthMax = 5;
+    p.paintNodeCost =
+        CostModel::of(msToNs(3) + usToNs(500), 0.9, usToNs(200),
+                      msToNs(400));
+    p.allocPerMsWork = 350 << 10;
+    p.libraryTimeShare = 0.55;
+    p.patternConcentration = 12000;
+    p.repaintConcentration = 1500;
+    p.listenerClassCount = 40;
+    p.paintClassCount = 24;
+    return p;
+}
+
+AppParams
+crosswordsage()
+{
+    // Small, focused crossword editor: the smallest pattern count
+    // and the lowest in-episode share of Table III. Word checks on
+    // keystrokes put a slice of typing above the trace filter.
+    AppParams p = base("CrosswordSage", "0.3.5", 34,
+                       "Crossword puzzle editor", "crosswordsage", 367);
+    p.actionsPerSec = 6.7;
+    p.typingShare = 0.50;
+    p.dragShare = 0.30;
+    p.clickShare = 0.20;
+    p.typingBurstLen = 14;
+    p.typingRate = 9;
+    p.dragBurstLen = 700;
+    p.dragRate = 1500;
+    p.dragCost = CostModel::of(usToNs(150), 0.7, usToNs(10), msToNs(15));
+    p.typeCost =
+        CostModel::of(msToNs(2), 0.8, usToNs(40),
+                      msToNs(60));
+    p.clickCost = CostModel::of(msToNs(5), 0.9, usToNs(200), msToNs(500));
+    p.heavyClickProb = 0.30;
+    p.heavyClickCost =
+        CostModel::of(msToNs(250), 0.55, msToNs(50), secToNs(2));
+    p.postRepaintProb = 0.3;
+    p.systemRepaintRate = 0.2;
+    p.libraryTimeShare = 0.6;
+    p.patternConcentration = 45;
+    p.repaintConcentration = 15;
+    p.listenerClassCount = 8;
+    p.paintClassCount = 6;
+    return p;
+}
+
+AppParams
+euclide()
+{
+    // Geometry construction kit: the paper's standout Thread.sleep
+    // case — over 60% of perceptible lag is the Apple toolkit's
+    // combo-box blink animation (§IV.E) — and 73% of perceptible
+    // lag in runtime-library code (§IV.D). Dragging construction
+    // points produces a broad borderline tail of traced episodes.
+    AppParams p = base("Euclide", "0.5.2", 398,
+                       "Geometry construction kit", "org.euclide", 614);
+    p.actionsPerSec = 8.3;
+    p.typingShare = 0.15;
+    p.dragShare = 0.45;
+    p.clickShare = 0.40;
+    p.typingBurstLen = 8;
+    p.typingRate = 10;
+    p.dragBurstLen = 150;
+    p.dragRate = 800;
+    p.dragCost = CostModel::of(usToNs(800), 0.85, usToNs(40),
+                               msToNs(80));
+    p.clickCost = CostModel::of(msToNs(6), 0.9, usToNs(200),
+                                msToNs(600));
+    p.heavyClickProb = 0.03;
+    p.comboSleepProb = 0.09;
+    p.comboSleep = CostModel::of(msToNs(300), 0.35, msToNs(120),
+                                 msToNs(900));
+    p.postRepaintProb = 0.3;
+    p.systemRepaintRate = 0.25;
+    p.libraryTimeShare = 0.73;
+    p.patternConcentration = 35;
+    p.repaintConcentration = 30;
+    return p;
+}
+
+AppParams
+findbugs()
+{
+    // Bug browser: a ~4.5-minute background project load on two
+    // worker threads (with Arabeske and NetBeans the only apps with
+    // concurrency above one during perceptible episodes, §IV.E) and
+    // a progress-bar updater posting asynchronous events — the
+    // largest async share of perceptible lag (42%, §IV.C). The
+    // progress handler allocates heavily, dragging GCs into its
+    // episodes (the pattern the paper highlights).
+    AppParams p = base("FindBugs", "1.3.8", 3698, "Bug browser",
+                       "edu.umd.cs.findbugs", 599);
+    p.actionsPerSec = 3.3;
+    p.typingShare = 0.45;
+    p.dragShare = 0.15;
+    p.clickShare = 0.40;
+    p.typingBurstLen = 10;
+    p.typingRate = 10;
+    p.dragBurstLen = 300;
+    p.dragRate = 700;
+    p.typeCost = CostModel::of(msToNs(1), 0.7, usToNs(60), msToNs(50));
+    p.dragCost =
+        CostModel::of(msToNs(1) + usToNs(100), 0.5, usToNs(60),
+                      msToNs(40));
+    p.clickCost = CostModel::of(msToNs(8), 0.9, usToNs(300),
+                                msToNs(900));
+    p.heavyClickProb = 0.06;
+    p.postRepaintProb = 0.3;
+    p.systemRepaintRate = 0.3;
+    p.libraryTimeShare = 0.5;
+    p.patternConcentration = 100;
+    p.repaintConcentration = 30;
+    p.timers.push_back(TimerSpec{
+        "ProgressUpdater", msToNs(70), /*postsRepaint=*/false,
+        CostModel::of(msToNs(5), 1.25, usToNs(500), msToNs(600)),
+        250 << 10, 0.05, 0.50});
+    p.loaders.push_back(LoaderSpec{"AnalysisWorker-0", 0.05, 0.50,
+                                   msToNs(3), msToNs(2) + usToNs(500),
+                                   40 << 10, 0.0, CostModel{}});
+    p.loaders.push_back(LoaderSpec{"AnalysisWorker-1", 0.05, 0.50,
+                                   msToNs(3), msToNs(2) + usToNs(500),
+                                   40 << 10, 0.0, CostModel{}});
+    return p;
+}
+
+AppParams
+freemind()
+{
+    // Mind mapper: almost never slow (92% of patterns never
+    // perceptible, §IV.B); what little perceptible lag exists is
+    // partly monitor contention in display-configuration code (12%,
+    // §IV.E) — a background hog shares monitor 1 with a fraction of
+    // the click handlers. Very cheap pan/drag handlers produce the
+    // second-largest short-episode count with the third-lowest
+    // in-episode time.
+    AppParams p = base("FreeMind", "0.8.1", 1909, "Mind mapping editor",
+                       "freemind", 524);
+    p.actionsPerSec = 10.0;
+    p.typingShare = 0.15;
+    p.dragShare = 0.55;
+    p.clickShare = 0.30;
+    p.typingBurstLen = 10;
+    p.typingRate = 10;
+    p.dragBurstLen = 380;
+    p.dragRate = 2200;
+    p.dragRepaintEvery = 60;
+    p.dragCost = CostModel::of(usToNs(30), 0.6, usToNs(5), msToNs(10));
+    p.typeCost = CostModel::of(usToNs(300), 0.6, usToNs(20), msToNs(20));
+    p.clickCost = CostModel::of(msToNs(4), 0.7, usToNs(200),
+                                msToNs(300));
+    p.heavyClickProb = 0.04;
+    p.contentionProb = 0.15;
+    p.contentionMonitor = 1;
+    p.hogs.push_back(HogSpec{
+        "DisplayConfigWorker", msToNs(400),
+        CostModel::of(msToNs(150), 0.4, msToNs(60), msToNs(500)), 1});
+    p.postRepaintProb = 0.25;
+    p.systemRepaintRate = 0.3;
+    p.paintDepthMin = 2;
+    p.paintDepthMax = 3;
+    p.paintNodeCost =
+        CostModel::of(usToNs(900), 0.7, usToNs(100),
+                      msToNs(100));
+    p.libraryTimeShare = 0.6;
+    p.patternConcentration = 40;
+    p.repaintConcentration = 12;
+    return p;
+}
+
+AppParams
+ganttproject()
+{
+    // Gantt chart editor: the paper's worst always-slow case — 57%
+    // of patterns always perceptible, 168 long episodes per minute,
+    // 47% of the session inside episodes, and the richest episode
+    // trees (Descs 18, Depth 12) from its deeply nested component
+    // paints (Figure 2). Nearly every interaction repaints the
+    // whole chart.
+    AppParams p = base("GanttProject", "2.0.9", 5288,
+                       "Gantt chart editor",
+                       "net.sourceforge.ganttproject", 523);
+    p.actionsPerSec = 8.3;
+    p.typingShare = 0.10;
+    p.dragShare = 0.40;
+    p.clickShare = 0.50;
+    p.typingBurstLen = 8;
+    p.typingRate = 10;
+    p.dragBurstLen = 200;
+    p.dragRate = 800;
+    p.dragRepaintEvery = 190;
+    p.dragCost = CostModel::of(usToNs(300), 0.5, usToNs(30), msToNs(20));
+    p.clickCost = CostModel::of(msToNs(9), 0.9, usToNs(300),
+                                msToNs(900));
+    p.heavyClickProb = 0.09;
+    p.heavyClickCost =
+        CostModel::of(msToNs(200), 0.6, msToNs(60), secToNs(3));
+    p.postRepaintProb = 0.65;
+    p.systemRepaintRate = 0.2;
+    p.paintDepthMin = 9;
+    p.paintDepthMax = 13;
+    p.paintFanout = 1.10;
+    p.paintNodeCost = CostModel::of(msToNs(4) + usToNs(200), 0.5, usToNs(300),
+                                    msToNs(300));
+    p.libraryTimeShare = 0.5;
+    p.patternConcentration = 160;
+    p.repaintConcentration = 28;
+    p.paintClassCount = 22;
+    return p;
+}
+
+AppParams
+jedit()
+{
+    // Programmer's text editor: few perceptible episodes, a quarter
+    // of whose lag is Object.wait() inside modal-dialog event
+    // handling (§IV.E). Text selection drags repaint the view.
+    AppParams p = base("JEdit", "4.3pre16", 1150,
+                       "Programmer's text editor", "org.gjt.sp.jedit",
+                       502);
+    p.actionsPerSec = 5.0;
+    p.typingShare = 0.50;
+    p.dragShare = 0.30;
+    p.clickShare = 0.20;
+    p.typingBurstLen = 12;
+    p.typingRate = 11;
+    p.dragBurstLen = 800;
+    p.dragRate = 1600;
+    p.dragRepaintEvery = 80;
+    p.typeCost = CostModel::of(usToNs(500), 0.6, usToNs(40), msToNs(30));
+    p.dragCost = CostModel::of(usToNs(140), 0.55, usToNs(20),
+                               msToNs(20));
+    p.clickCost = CostModel::of(msToNs(5), 0.8, usToNs(200),
+                                msToNs(400));
+    p.heavyClickProb = 0.05;
+    p.modalWaitProb = 0.06;
+    p.modalWait = CostModel::of(msToNs(120), 0.5, msToNs(60),
+                                msToNs(500));
+    p.postRepaintProb = 0.3;
+    p.systemRepaintRate = 0.2;
+    p.paintDepthMin = 2;
+    p.paintDepthMax = 4;
+    p.paintNodeCost =
+        CostModel::of(msToNs(2) + usToNs(500), 0.7, usToNs(100),
+                      msToNs(150));
+    p.libraryTimeShare = 0.5;
+    p.patternConcentration = 35;
+    p.repaintConcentration = 10;
+    return p;
+}
+
+AppParams
+jfreechart()
+{
+    // Chart library demo (time-series data): shortest sessions in
+    // the study; output-dominated; 24% of perceptible lag in native
+    // rendering calls that individually complete quickly (§IV.D) —
+    // paint trees carry several short Native children each.
+    AppParams p = base("JFreeChart", "1.0.13", 1667,
+                       "Chart library (time data)", "org.jfree", 250);
+    p.actionsPerSec = 8.3;
+    p.typingShare = 0.10;
+    p.dragShare = 0.40;
+    p.clickShare = 0.50;
+    p.typingBurstLen = 8;
+    p.typingRate = 10;
+    p.dragBurstLen = 260;
+    p.dragRate = 900;
+    p.dragRepaintEvery = 85;
+    p.dragCost = CostModel::of(usToNs(150), 0.6, usToNs(20), msToNs(20));
+    p.clickCost = CostModel::of(msToNs(6), 0.85, usToNs(200),
+                                msToNs(600));
+    p.heavyClickProb = 0.10;
+    p.heavyClickCost =
+        CostModel::of(msToNs(160), 0.6, msToNs(40), secToNs(2));
+    p.postRepaintProb = 0.9;
+    p.systemRepaintRate = 1.2;
+    p.paintDepthMin = 4;
+    p.paintDepthMax = 6;
+    p.paintFanout = 1.15;
+    p.paintNodeCost = CostModel::of(msToNs(2) + usToNs(200), 0.95, usToNs(200),
+                                    msToNs(300));
+    p.nativeInPaintProb = 0.35;
+    p.nativeCost =
+        CostModel::of(msToNs(2) + usToNs(500), 1.1, usToNs(100),
+                      msToNs(500));
+    p.libraryTimeShare = 0.5;
+    p.patternConcentration = 15;
+    p.repaintConcentration = 6;
+    return p;
+}
+
+AppParams
+jhotdraw()
+{
+    // Vector graphics editor: 96% of perceptible lag in application
+    // code — bezier handle/outline drawing (§IV.D); continuous
+    // canvas repaints while the user draws.
+    AppParams p = base("JHotDraw", "7.1", 1146, "Vector graphics editor",
+                       "org.jhotdraw", 421);
+    p.actionsPerSec = 10.0;
+    p.typingShare = 0.10;
+    p.dragShare = 0.50;
+    p.clickShare = 0.40;
+    p.typingBurstLen = 8;
+    p.typingRate = 10;
+    p.dragBurstLen = 400;
+    p.dragRate = 1400;
+    p.dragRepaintEvery = 62;
+    p.dragCost = CostModel::of(usToNs(70), 0.6, usToNs(10), msToNs(15));
+    p.clickCost = CostModel::of(msToNs(6), 0.85, usToNs(200),
+                                msToNs(600));
+    p.heavyClickProb = 0.18;
+    p.heavyClickCost =
+        CostModel::of(msToNs(250), 0.8, msToNs(60), secToNs(4));
+    p.postRepaintProb = 0.5;
+    p.systemRepaintRate = 0.2;
+    p.paintDepthMin = 3;
+    p.paintDepthMax = 5;
+    p.paintFanout = 1.15;
+    p.paintNodeCost = CostModel::of(msToNs(2) + usToNs(800), 0.95, usToNs(200),
+                                    msToNs(500));
+    p.libraryTimeShare = 0.05;
+    p.patternConcentration = 110;
+    p.repaintConcentration = 35;
+    return p;
+}
+
+AppParams
+jmol()
+{
+    // Chemical structure viewer: a timer-driven 3D animation posts
+    // repaints continuously; 98% of perceptible episodes are output
+    // and JMol has the study's worst perceptible-episode rate (180
+    // per minute, §IV.A/§IV.C). Frames are slow (the paper observed
+    // the frame rate dropping on complex surfaces), so the handler
+    // cost median sits at 40 ms with a wide spread.
+    AppParams p = base("Jmol", "11.6.21", 1422,
+                       "Chemical structure viewer", "org.jmol", 449);
+    p.actionsPerSec = 6.7;
+    p.typingShare = 0.20;
+    p.dragShare = 0.50;
+    p.clickShare = 0.30;
+    p.typingBurstLen = 8;
+    p.typingRate = 10;
+    p.dragBurstLen = 200;
+    p.dragRate = 1100;
+    p.dragCost = CostModel::of(usToNs(150), 0.5, usToNs(20), msToNs(20));
+    p.clickCost = CostModel::of(msToNs(6), 0.8, usToNs(200),
+                                msToNs(600));
+    p.heavyClickProb = 0.06;
+    p.postRepaintProb = 0.3;
+    p.systemRepaintRate = 0.2;
+    p.paintDepthMin = 3;
+    p.paintDepthMax = 4;
+    p.nativeInPaintProb = 0.3;
+    p.libraryTimeShare = 0.35;
+    p.patternConcentration = 40;
+    p.repaintConcentration = 8;
+    p.timers.push_back(TimerSpec{
+        "AnimationThread", msToNs(75), /*postsRepaint=*/true,
+        CostModel::of(msToNs(31), 1.05, msToNs(2), secToNs(1)),
+        60 << 10, 0.20, 0.75});
+    return p;
+}
+
+AppParams
+laoe()
+{
+    // Audio sample editor: by far the most sub-threshold episodes
+    // in the study (1.24 million per session) from very-high-rate
+    // waveform scrubbing, yet among the fewest perceptible ones and
+    // the lowest rate of long episodes per minute.
+    AppParams p = base("Laoe", "0.6.03", 688, "Audio sample editor",
+                       "ch.laoe", 460);
+    p.actionsPerSec = 10.0;
+    p.typingShare = 0.10;
+    p.dragShare = 0.60;
+    p.clickShare = 0.30;
+    p.typingBurstLen = 10;
+    p.typingRate = 10;
+    p.dragBurstLen = 2200;
+    p.dragRate = 5000;
+    p.dragRepaintEvery = 290;
+    p.dragCost = CostModel::of(usToNs(45), 0.5, usToNs(5), msToNs(10));
+    p.typeCost = CostModel::of(usToNs(200), 0.4, usToNs(10), msToNs(10));
+    p.clickCost = CostModel::of(msToNs(6), 0.8, usToNs(200),
+                                msToNs(500));
+    p.heavyClickProb = 0.17;
+    p.heavyClickCost =
+        CostModel::of(msToNs(300), 0.7, msToNs(80), secToNs(4));
+    p.postRepaintProb = 0.8;
+    p.systemRepaintRate = 0.5;
+    p.paintDepthMin = 3;
+    p.paintDepthMax = 4;
+    p.paintNodeCost =
+        CostModel::of(msToNs(1) + usToNs(100), 0.9, usToNs(100),
+                      msToNs(200));
+    p.libraryTimeShare = 0.45;
+    p.patternConcentration = 70;
+    p.repaintConcentration = 12;
+    return p;
+}
+
+AppParams
+netbeans()
+{
+    // Full IDE (45k classes): background indexing keeps concurrency
+    // above one; heavy first-use costs (class loading across a huge
+    // code base) create the one-shot initialization patterns §II.D
+    // describes; typing carries a noticeable traced tail (editor
+    // hints, code completion).
+    AppParams p = base("NetBeans", "6.7", 45367,
+                       "Development environment", "org.netbeans", 398);
+    p.actionsPerSec = 10.0;
+    p.typingShare = 0.30;
+    p.dragShare = 0.20;
+    p.clickShare = 0.50;
+    p.typingBurstLen = 10;
+    p.typingRate = 12;
+    p.dragBurstLen = 1200;
+    p.dragRate = 3500;
+    p.dragRepaintEvery = 300;
+    p.typeCost =
+        CostModel::of(msToNs(1) + usToNs(200), 0.7, usToNs(60),
+                      msToNs(60));
+    p.dragCost = CostModel::of(usToNs(50), 0.6, usToNs(10), msToNs(15));
+    p.clickCost = CostModel::of(msToNs(7), 0.9, usToNs(300),
+                                msToNs(800));
+    p.heavyClickProb = 0.09;
+    p.heavyClickCost =
+        CostModel::of(msToNs(200), 0.7, msToNs(60), secToNs(3));
+    p.firstUseCost = CostModel::of(msToNs(22), 0.8, msToNs(5),
+                                   secToNs(1));
+    p.postRepaintProb = 0.4;
+    p.systemRepaintRate = 1.0;
+    p.paintDepthMin = 2;
+    p.paintDepthMax = 4;
+    p.paintNodeCost =
+        CostModel::of(msToNs(1) + usToNs(200), 0.7, usToNs(100),
+                      msToNs(150));
+    p.allocPerMsWork = 120 << 10;
+    p.libraryTimeShare = 0.5;
+    p.patternConcentration = 5000;
+    p.repaintConcentration = 600;
+    p.listenerClassCount = 48;
+    p.paintClassCount = 30;
+    p.timers.push_back(TimerSpec{
+        "StatusLineUpdater", msToNs(800), /*postsRepaint=*/false,
+        CostModel::of(msToNs(5), 0.9, usToNs(300), msToNs(200)),
+        60 << 10, 0.0, 1.0});
+    p.loaders.push_back(LoaderSpec{"Indexer-0", 0.0, 0.40, msToNs(3),
+                                   msToNs(3), 120 << 10, 0.01,
+                                   CostModel::of(msToNs(6), 0.8,
+                                                 msToNs(1),
+                                                 msToNs(100))});
+    p.loaders.push_back(LoaderSpec{"Indexer-1", 0.0, 0.40, msToNs(3),
+                                   msToNs(3), 120 << 10, 0.01,
+                                   CostModel::of(msToNs(6), 0.8,
+                                                 msToNs(1),
+                                                 msToNs(100))});
+    return p;
+}
+
+AppParams
+swingset()
+{
+    // Swing component demo: a bit of everything, including combo
+    // boxes (the paper notes the Apple blink-sleep issue appeared
+    // across all benchmarks); demo panes repaint on every switch.
+    AppParams p = base("SwingSet", "2", 131, "Swing component demo",
+                       "swingset", 384);
+    p.actionsPerSec = 10.0;
+    p.typingShare = 0.15;
+    p.dragShare = 0.45;
+    p.clickShare = 0.40;
+    p.typingBurstLen = 8;
+    p.typingRate = 10;
+    p.dragBurstLen = 480;
+    p.dragRate = 1700;
+    p.dragRepaintEvery = 52;
+    p.dragCost = CostModel::of(usToNs(70), 0.8, usToNs(10), msToNs(20));
+    p.clickCost = CostModel::of(msToNs(5), 0.85, usToNs(200),
+                                msToNs(500));
+    p.heavyClickProb = 0.04;
+    p.heavyClickCost =
+        CostModel::of(msToNs(250), 0.6, msToNs(60), secToNs(2));
+    p.comboSleepProb = 0.03;
+    p.postRepaintProb = 0.85;
+    p.systemRepaintRate = 0.8;
+    p.paintDepthMin = 3;
+    p.paintDepthMax = 5;
+    p.paintNodeCost =
+        CostModel::of(msToNs(1), 0.95, usToNs(100),
+                      msToNs(200));
+    p.libraryTimeShare = 0.75;
+    p.patternConcentration = 260;
+    p.repaintConcentration = 22;
+    return p;
+}
+
+} // namespace
+
+std::vector<AppParams>
+defaultCatalog()
+{
+    return {
+        arabeske(),   argouml(),  crosswordsage(), euclide(),
+        findbugs(),   freemind(), ganttproject(),  jedit(),
+        jfreechart(), jhotdraw(), jmol(),          laoe(),
+        netbeans(),   swingset(),
+    };
+}
+
+AppParams
+catalogApp(std::string_view name)
+{
+    for (auto &app : defaultCatalog()) {
+        if (app.name == name)
+            return app;
+    }
+    fatal("unknown application '", std::string(name),
+          "'; see Table II for the catalog");
+}
+
+} // namespace lag::app

@@ -1,0 +1,35 @@
+/**
+ * @file
+ * The 14 benchmark application models (paper Table II).
+ *
+ * Each entry carries the paper's identity data (name, version,
+ * class count, description) and behavioural parameters calibrated
+ * against the paper's evaluation: Table III's episode statistics
+ * and the per-app characteristics called out in §IV (Arabeske's
+ * System.gc() calls, JMol's animation timer, Euclide's combo-box
+ * sleeps, jEdit's modal waits, FreeMind's monitor contention,
+ * FindBugs' background project load, GanttProject's deeply nested
+ * paints, JFreeChart's native rendering, JHotDraw's app-side bezier
+ * math, NetBeans' initialization effects).
+ */
+
+#ifndef LAG_APP_CATALOG_HH
+#define LAG_APP_CATALOG_HH
+
+#include <string_view>
+#include <vector>
+
+#include "params.hh"
+
+namespace lag::app
+{
+
+/** All 14 application models, in the paper's Table II order. */
+std::vector<AppParams> defaultCatalog();
+
+/** Look up one model by name; fatal() if unknown. */
+AppParams catalogApp(std::string_view name);
+
+} // namespace lag::app
+
+#endif // LAG_APP_CATALOG_HH

@@ -1,0 +1,561 @@
+#include "handlers.hh"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <functional>
+
+#include "util/logging.hh"
+
+namespace lag::app
+{
+
+namespace
+{
+
+using jvm::ActivityKind;
+using jvm::ActivityNode;
+using jvm::Frame;
+
+const std::array<Frame, 5> kLibraryListenerFrames = {{
+    {"javax.swing.plaf.basic.BasicButtonListener", "actionPerformed"},
+    {"javax.swing.JComboBox", "actionPerformed"},
+    {"javax.swing.text.DefaultCaret", "mouseDragged"},
+    {"javax.swing.plaf.basic.BasicTreeUI$Handler", "valueChanged"},
+    {"javax.swing.Timer$DoPostEvent", "actionPerformed"},
+}};
+
+const std::array<Frame, 10> kLibraryPaintFrames = {{
+    {"javax.swing.JPanel", "paintComponent"},
+    {"javax.swing.JToolBar", "paint"},
+    {"javax.swing.JScrollPane", "paint"},
+    {"javax.swing.JViewport", "paint"},
+    {"javax.swing.JTable", "paintComponent"},
+    {"javax.swing.JTree", "paintComponent"},
+    {"javax.swing.JComponent", "paintChildren"},
+    {"javax.swing.CellRendererPane", "paintComponent"},
+    {"javax.swing.JSplitPane", "paint"},
+    {"javax.swing.JTabbedPane", "paintComponent"},
+}};
+
+const std::array<Frame, 8> kLibraryWorkFrames = {{
+    {"java.util.HashMap", "get"},
+    {"java.util.ArrayList", "addAll"},
+    {"java.lang.StringBuilder", "append"},
+    {"javax.swing.text.GapContent", "insertString"},
+    {"java.awt.geom.AffineTransform", "transform"},
+    {"sun.font.FontDesignMetrics", "stringWidth"},
+    {"javax.swing.RepaintManager", "validateInvalidComponents"},
+    {"java.util.TreeMap", "put"},
+}};
+
+const std::array<Frame, 6> kNativeFrames = {{
+    {"sun.java2d.loops.DrawLine", "DrawLine"},
+    {"sun.java2d.loops.FillRect", "FillRect"},
+    {"sun.java2d.loops.Blit", "Blit"},
+    {"sun.awt.image.ImageRepresentation", "setBytePixels"},
+    {"sun.java2d.OSXOffScreenSurfaceData", "xorSurfacePixels"},
+    {"sun.font.StrikeCache", "getGlyphImagePtrs"},
+}};
+
+const std::array<const char *, 6> kListenerMethods = {
+    "actionPerformed", "mouseClicked", "keyPressed",
+    "stateChanged",    "mousePressed", "valueChanged",
+};
+
+const std::array<const char *, 6> kWorkMethods = {
+    "update", "compute", "layout", "rebuild", "apply", "resolve",
+};
+
+const std::array<const char *, 20> kClassStems = {
+    "Canvas",  "Document", "Selection", "Command", "Tool",
+    "Layer",   "Chart",    "Node",      "View",    "Panel",
+    "Editor",  "Manager",  "Renderer",  "Outline", "Model",
+    "Diagram", "Element",  "Shape",     "Buffer",  "Palette",
+};
+
+} // namespace
+
+DurationNs
+drawCost(Rng &rng, const CostModel &cost)
+{
+    return rng.duration(cost.median, cost.sigma, cost.min, cost.max);
+}
+
+HandlerFactory::HandlerFactory(const AppParams &params,
+                               std::uint64_t session_seed,
+                               std::uint64_t template_seed)
+    : params_(params), rng_(session_seed),
+      click_pool_(template_seed ^ 0x636c69636bULL),
+      repaint_pool_(template_seed ^ 0x7265706169ULL)
+{
+    lag_assert(!params_.appPackage.empty(), "app package required");
+
+    for (int i = 0; i < params_.listenerClassCount; ++i) {
+        app_listener_classes_.push_back(
+            params_.appPackage + ".ui." +
+            kClassStems[static_cast<std::size_t>(i) %
+                        kClassStems.size()] +
+            "Listener" + (i >= static_cast<int>(kClassStems.size())
+                              ? std::to_string(i)
+                              : ""));
+    }
+    for (int i = 0; i < params_.paintClassCount; ++i) {
+        app_paint_classes_.push_back(
+            params_.appPackage + ".ui." +
+            kClassStems[static_cast<std::size_t>(i) %
+                        kClassStems.size()] +
+            (i % 2 == 0 ? "Panel" : "View") +
+            (i >= static_cast<int>(kClassStems.size())
+                 ? std::to_string(i)
+                 : ""));
+    }
+    for (int i = 0; i < 12; ++i) {
+        app_work_classes_.push_back(
+            params_.appPackage + ".model." +
+            kClassStems[static_cast<std::size_t>(i) %
+                        kClassStems.size()]);
+    }
+
+    // Canonical sub-threshold handlers: one structure each, so the
+    // profiler's filter sees a homogeneous stream of short episodes.
+    {
+        jvm::ActivityBuilder typing(
+            ActivityKind::Listener,
+            params_.appPackage + ".ui.DocumentListener", "keyTyped");
+        typing.cost(params_.typeCost.median);
+        typing_template_ = std::move(typing).buildShared();
+
+        jvm::ActivityBuilder drag(ActivityKind::Listener,
+                                  params_.appPackage +
+                                      ".ui.CanvasMotionListener",
+                                  "mouseDragged");
+        drag.cost(params_.dragCost.median);
+        drag_template_ = std::move(drag).buildShared();
+    }
+
+    for (std::size_t i = 0; i < params_.timers.size(); ++i)
+        timer_pools_.emplace_back(template_seed ^ (0x74690000ULL + i));
+    for (std::size_t i = 0; i < params_.loaders.size(); ++i)
+        loader_pools_.emplace_back(template_seed ^ (0x6c6f0000ULL + i));
+}
+
+const std::string &
+HandlerFactory::pickSkewed(Rng &rng,
+                           const std::vector<std::string> &pool)
+{
+    lag_assert(!pool.empty(), "empty class pool");
+    const double u = rng.nextDouble();
+    const auto idx = static_cast<std::size_t>(
+        std::pow(u, params_.classSkew) *
+        static_cast<double>(pool.size()));
+    return pool[std::min(idx, pool.size() - 1)];
+}
+
+Frame
+HandlerFactory::workFrame(Rng &rng)
+{
+    if (rng.chance(params_.libraryTimeShare)) {
+        return kLibraryWorkFrames[static_cast<std::size_t>(
+            rng.uniformInt(0,
+                                     kLibraryWorkFrames.size() - 1))];
+    }
+    return Frame{
+        pickSkewed(rng, app_work_classes_),
+        kWorkMethods[static_cast<std::size_t>(
+            rng.uniformInt(0, kWorkMethods.size() - 1))]};
+}
+
+jvm::ActivityNode
+HandlerFactory::makeNativeNode(Rng &rng)
+{
+    const Frame &frame = kNativeFrames[static_cast<std::size_t>(
+        rng.uniformInt(0, kNativeFrames.size() - 1))];
+    ActivityNode node;
+    node.kind = ActivityKind::Native;
+    node.frame = frame;
+    node.selfCost = drawCost(rng, params_.nativeCost);
+    return node;
+}
+
+jvm::ActivityNode
+HandlerFactory::makePaintSubtree(Rng &rng, int depth)
+{
+    ActivityNode node;
+    node.kind = ActivityKind::Paint;
+    if (rng.chance(params_.libraryTimeShare)) {
+        node.frame = kLibraryPaintFrames[static_cast<std::size_t>(
+            rng.uniformInt(0, kLibraryPaintFrames.size() - 1))];
+    } else {
+        node.frame =
+            Frame{pickSkewed(rng, app_paint_classes_), "paintComponent"};
+    }
+    node.selfCost = drawCost(rng, params_.paintNodeCost);
+    if (depth > 1) {
+        const int extra = rng.poisson(
+            std::max(0.0, params_.paintFanout - 1.0));
+        const int kids = std::min(3, 1 + extra);
+        for (int i = 0; i < kids; ++i)
+            node.children.push_back(makePaintSubtree(rng, depth - 1));
+    }
+    if (rng.chance(params_.nativeInPaintProb))
+        node.children.push_back(makeNativeNode(rng));
+    return node;
+}
+
+jvm::ActivityNode
+HandlerFactory::makeClickTemplate(Rng &rng)
+{
+    Frame listener_frame;
+    if (rng.chance(0.25)) {
+        listener_frame =
+            kLibraryListenerFrames[static_cast<std::size_t>(
+                rng.uniformInt(0, kLibraryListenerFrames.size() - 1))];
+    } else {
+        listener_frame = Frame{
+            pickSkewed(rng, app_listener_classes_),
+            kListenerMethods[static_cast<std::size_t>(rng.uniformInt(
+                0, kListenerMethods.size() - 1))]};
+    }
+
+    ActivityNode root;
+    root.kind = ActivityKind::Listener;
+    root.frame = listener_frame;
+
+    // Explicit-GC command (Arabeske): the collection is requested
+    // from a posted Runnable, not from an instrumented listener, so
+    // the resulting episode has no Listener/Paint/Async intervals at
+    // all — just the dispatch and the GC. These are the "empty"
+    // perceptible episodes of the paper's §IV.C.
+    if (rng.chance(params_.explicitGcProb)) {
+        root.kind = ActivityKind::Plain;
+        root.frame = Frame{params_.appPackage + ".command.GcRequest",
+                           "run"};
+        root.selfCost = usToNs(400);
+        ActivityNode gc_call;
+        gc_call.frame = Frame{"java.lang.System", "gc"};
+        gc_call.selfCost = usToNs(150);
+        gc_call.explicitGc = true;
+        root.children.push_back(std::move(gc_call));
+        assignAllocations(root, params_.allocPerMsWork);
+        return root;
+    }
+
+    const bool heavy = rng.chance(params_.heavyClickProb);
+    const DurationNs total = drawCost(
+        rng_, heavy ? params_.heavyClickCost : params_.clickCost);
+    root.selfCost = total / 6;
+
+    const int workers = static_cast<int>(rng.uniformInt(1, 3));
+    const DurationNs share =
+        (total - root.selfCost) / static_cast<DurationNs>(workers);
+    for (int i = 0; i < workers; ++i) {
+        ActivityNode work;
+        work.frame = workFrame(rng);
+        work.selfCost = share;
+        // Roughly half of the work happens inside nested listener
+        // notifications (model/selection listeners fired by the
+        // primary handler) — this is what gives episodes the tree
+        // sizes of Table III's Descs/Depth columns.
+        if (rng.chance(0.45)) {
+            work.kind = ActivityKind::Listener;
+            work.frame = Frame{
+                pickSkewed(rng, app_listener_classes_),
+                kListenerMethods[static_cast<std::size_t>(
+                    rng.uniformInt(0, kListenerMethods.size() - 1))]};
+            if (rng.chance(0.3)) {
+                ActivityNode inner;
+                inner.kind = ActivityKind::Listener;
+                inner.frame = Frame{pickSkewed(rng, app_listener_classes_),
+                                    "stateChanged"};
+                inner.selfCost = work.selfCost / 2;
+                work.selfCost -= inner.selfCost;
+                work.children.push_back(std::move(inner));
+            }
+        }
+        root.children.push_back(std::move(work));
+    }
+
+    if (rng.chance(params_.contentionProb)) {
+        ActivityNode guarded;
+        guarded.frame = Frame{"java.awt.Component$FlipBufferStrategy",
+                              "showSubRegion"};
+        guarded.selfCost = msToNs(2);
+        guarded.monitorId = params_.contentionMonitor;
+        root.children.push_back(std::move(guarded));
+    }
+
+    if (rng.chance(params_.comboSleepProb)) {
+        ActivityNode blink;
+        blink.frame =
+            Frame{"com.apple.laf.AquaComboBoxButton", "blinkSelection"};
+        blink.selfCost = usToNs(300);
+        blink.sleepNs = params_.comboSleep.median; // re-drawn per use
+        root.children.push_back(std::move(blink));
+    }
+
+    if (rng.chance(params_.modalWaitProb)) {
+        ActivityNode modal;
+        modal.frame = Frame{"java.awt.Dialog", "show"};
+        modal.selfCost = msToNs(1);
+        modal.waitNs = params_.modalWait.median; // re-drawn per use
+        root.children.push_back(std::move(modal));
+    }
+
+    if (rng.chance(params_.nativeInListenerProb))
+        root.children.push_back(makeNativeNode(rng));
+
+    if (rng.chance(params_.paintInListenerProb)) {
+        const int depth = static_cast<int>(rng.uniformInt(
+            params_.paintDepthMin,
+            std::max(params_.paintDepthMin, params_.paintDepthMax / 2)));
+        root.children.push_back(makePaintSubtree(rng, depth));
+    }
+
+    assignAllocations(root, params_.allocPerMsWork);
+    return root;
+}
+
+jvm::ActivityNode
+HandlerFactory::makeRepaintTemplate(Rng &rng)
+{
+    // The standard Swing paint cascade from the window root (the
+    // structure of the paper's Figure 1 episode).
+    ActivityNode frame_paint;
+    frame_paint.kind = ActivityKind::Paint;
+    frame_paint.frame = Frame{"javax.swing.JFrame", "paint"};
+    frame_paint.selfCost = usToNs(200);
+
+    ActivityNode root_pane;
+    root_pane.kind = ActivityKind::Paint;
+    root_pane.frame = Frame{"javax.swing.JRootPane", "paint"};
+    root_pane.selfCost = usToNs(150);
+
+    ActivityNode layered;
+    layered.kind = ActivityKind::Paint;
+    layered.frame = Frame{"javax.swing.JLayeredPane", "paint"};
+    layered.selfCost = usToNs(150);
+
+    const int depth = static_cast<int>(rng.uniformInt(
+        params_.paintDepthMin, params_.paintDepthMax));
+    layered.children.push_back(makePaintSubtree(rng, std::max(2, depth - 2)));
+    root_pane.children.push_back(std::move(layered));
+    frame_paint.children.push_back(std::move(root_pane));
+    assignAllocations(frame_paint, params_.allocPerMsWork);
+    return frame_paint;
+}
+
+void
+HandlerFactory::assignAllocations(jvm::ActivityNode &node,
+                                  std::uint64_t bytes_per_ms) const
+{
+    if (node.selfCost > 0) {
+        node.allocBytes = bytes_per_ms *
+                          static_cast<std::uint64_t>(node.selfCost) /
+                          static_cast<std::uint64_t>(kMillisecond);
+    }
+    for (auto &child : node.children)
+        assignAllocations(child, bytes_per_ms);
+}
+
+jvm::ActivityNode
+HandlerFactory::instantiate(const jvm::ActivityNode &node,
+                            double multiplier, bool add_first_use)
+{
+    ActivityNode copy;
+    copy.kind = node.kind;
+    copy.frame = node.frame;
+    copy.monitorId = node.monitorId;
+    copy.explicitGc = node.explicitGc;
+    copy.postAtEnd = node.postAtEnd;
+
+    const double jitter =
+        multiplier * std::exp(0.15 * rng_.gaussian());
+    copy.selfCost =
+        static_cast<DurationNs>(
+            static_cast<double>(node.selfCost) * jitter);
+    if (node.selfCost > 0 && node.allocBytes > 0) {
+        copy.allocBytes = static_cast<std::uint64_t>(
+            static_cast<double>(node.allocBytes) * jitter);
+    }
+    if (node.sleepNs > 0)
+        copy.sleepNs = drawCost(rng_, params_.comboSleep);
+    if (node.waitNs > 0)
+        copy.waitNs = drawCost(rng_, params_.modalWait);
+
+    if (add_first_use)
+        copy.selfCost += drawCost(rng_, params_.firstUseCost);
+
+    copy.children.reserve(node.children.size());
+    for (const auto &child : node.children)
+        copy.children.push_back(instantiate(child, multiplier, false));
+    return copy;
+}
+
+template <typename MakeFn>
+HandlerFactory::NodePtr
+HandlerFactory::drawFromPool(Pool &pool, double alpha, double sigma,
+                             MakeFn &&make)
+{
+    alpha = std::max(0.5, alpha);
+    const double n = static_cast<double>(pool.totalUses);
+    std::size_t index;
+    if (pool.templates.empty() ||
+        rng_.nextDouble() < alpha / (n + alpha)) {
+        pool.templates.push_back(std::make_shared<const ActivityNode>(
+            make(pool.templateRng)));
+        pool.uses.push_back(0);
+        pool.firstUsePending.push_back(true);
+        index = pool.templates.size() - 1;
+    } else {
+        // Pick an existing template proportionally to popularity.
+        std::uint64_t target = rng_.nextU64() % pool.totalUses;
+        index = 0;
+        while (index + 1 < pool.uses.size() &&
+               target >= pool.uses[index]) {
+            target -= pool.uses[index];
+            ++index;
+        }
+    }
+    ++pool.uses[index];
+    ++pool.totalUses;
+    const bool first = pool.firstUsePending[index];
+    pool.firstUsePending[index] = false;
+    const double multiplier = std::exp(sigma * rng_.gaussian());
+    return std::make_shared<const ActivityNode>(
+        instantiate(*pool.templates[index], multiplier, first));
+}
+
+jvm::GuiEvent
+HandlerFactory::typingEvent()
+{
+    jvm::GuiEvent event;
+    const double multiplier =
+        std::exp(params_.typeCost.sigma * rng_.gaussian());
+    event.handler = std::make_shared<const ActivityNode>(
+        instantiate(*typing_template_, multiplier, false));
+    return event;
+}
+
+jvm::GuiEvent
+HandlerFactory::dragEvent()
+{
+    jvm::GuiEvent event;
+    const double multiplier =
+        std::exp(params_.dragCost.sigma * rng_.gaussian());
+    event.handler = std::make_shared<const ActivityNode>(
+        instantiate(*drag_template_, multiplier, false));
+    return event;
+}
+
+jvm::GuiEvent
+HandlerFactory::clickEvent()
+{
+    jvm::GuiEvent event;
+    event.handler =
+        drawFromPool(click_pool_, params_.patternConcentration,
+                     params_.costJitterSigma,
+                     [this](Rng &rng) { return makeClickTemplate(rng); });
+    return event;
+}
+
+jvm::GuiEvent
+HandlerFactory::repaintEvent(bool via_repaint_manager)
+{
+    jvm::GuiEvent event;
+    const double alpha = params_.repaintConcentration >= 0.0
+                             ? params_.repaintConcentration
+                             : params_.patternConcentration * 0.6;
+    event.handler =
+        drawFromPool(repaint_pool_, alpha, params_.paintNodeCost.sigma,
+                     [this](Rng &rng) { return makeRepaintTemplate(rng); });
+    event.postedByBackground = via_repaint_manager;
+    return event;
+}
+
+jvm::GuiEvent
+HandlerFactory::timerEvent(std::size_t index)
+{
+    lag_assert(index < params_.timers.size(), "bad timer index");
+    const TimerSpec &spec = params_.timers[index];
+    jvm::GuiEvent event;
+    event.postedByBackground = true;
+    event.handler = drawFromPool(
+        timer_pools_[index], 2.0, spec.handlerCost.sigma,
+        [this, &spec](Rng &rng) {
+        if (spec.postsRepaint) {
+            ActivityNode tree = makeRepaintTemplate(rng);
+            // Rescale the paint cascade to the timer's cost model so
+            // an animation frame costs what the spec says.
+            const DurationNs base = tree.subtreeCost();
+            const DurationNs want = spec.handlerCost.median;
+            if (base > 0) {
+                const double k = static_cast<double>(want) /
+                                 static_cast<double>(base);
+                const std::function<void(ActivityNode &)> scale =
+                    [&](ActivityNode &node) {
+                        node.selfCost = static_cast<DurationNs>(
+                            static_cast<double>(node.selfCost) * k);
+                        for (auto &child : node.children)
+                            scale(child);
+                    };
+                scale(tree);
+            }
+            assignAllocations(tree, spec.handlerAllocPerMs);
+            return tree;
+        }
+        // Asynchronous model update (progress bars, network state):
+        // library-code work only, so the trigger stays Async.
+        ActivityNode update;
+        update.frame = Frame{"javax.swing.plaf.basic.BasicProgressBarUI",
+                             "incrementAnimationIndex"};
+        update.selfCost = spec.handlerCost.median;
+        ActivityNode repaint_mgr;
+        repaint_mgr.frame =
+            Frame{"javax.swing.RepaintManager", "addDirtyRegion"};
+        repaint_mgr.selfCost = spec.handlerCost.median / 4;
+        update.children.push_back(std::move(repaint_mgr));
+        assignAllocations(update, spec.handlerAllocPerMs);
+        return update;
+    });
+    return event;
+}
+
+jvm::GuiEvent
+HandlerFactory::loaderEvent(std::size_t index)
+{
+    lag_assert(index < params_.loaders.size(), "bad loader index");
+    const LoaderSpec &spec = params_.loaders[index];
+    jvm::GuiEvent event;
+    event.postedByBackground = true;
+    event.handler = drawFromPool(
+        loader_pools_[index], 2.0, spec.postHandlerCost.sigma,
+        [this, &spec](Rng &rng) {
+        ActivityNode update;
+        update.frame =
+            Frame{params_.appPackage + ".model.ProjectModel",
+                  "fireContentsChanged"};
+        update.selfCost = spec.postHandlerCost.median;
+        ActivityNode work;
+        work.frame = workFrame(rng);
+        work.selfCost = spec.postHandlerCost.median / 2;
+        update.children.push_back(std::move(work));
+        assignAllocations(update, params_.allocPerMsWork);
+        return update;
+    });
+    return event;
+}
+
+std::size_t
+HandlerFactory::templateCount() const
+{
+    std::size_t count = click_pool_.templates.size() +
+                        repaint_pool_.templates.size();
+    for (const auto &pool : timer_pools_)
+        count += pool.templates.size();
+    for (const auto &pool : loader_pools_)
+        count += pool.templates.size();
+    return count;
+}
+
+} // namespace lag::app

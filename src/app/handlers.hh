@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Handler factory: builds the activity trees an application runs.
+ *
+ * Traced episode variety is driven by a pool of episode *templates*
+ * grown by a Chinese-restaurant process: each traced interaction
+ * either reuses an existing template (with probability proportional
+ * to its popularity) or mints a new one (with probability
+ * concentration / (n + concentration)). This produces the power-law
+ * pattern popularity behind the paper's Figure 3 ("roughly 80% of
+ * episodes are covered by only 20% of the patterns") without
+ * hand-tuning a popularity table.
+ *
+ * Templates fix the interval *structure* (which is what LagAlyzer's
+ * pattern mining keys on); instantiation re-draws every node cost
+ * with multiplicative jitter, so episodes of one pattern vary in
+ * duration — some perceptible, some not — exactly the behaviour the
+ * always/sometimes/once/never analysis (§IV.B) classifies.
+ */
+
+#ifndef LAG_APP_HANDLERS_HH
+#define LAG_APP_HANDLERS_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "jvm/activity.hh"
+#include "params.hh"
+#include "util/random.hh"
+
+namespace lag::app
+{
+
+/** Draw a duration from a cost model. */
+DurationNs drawCost(Rng &rng, const CostModel &cost);
+
+/** Factory for one application's handler trees. */
+class HandlerFactory
+{
+  public:
+    /**
+     * @param params        the application model
+     * @param session_seed  drives per-session decisions (which
+     *                      template each event uses, cost jitter)
+     * @param template_seed drives template *content*; pass the same
+     *                      value for every session of one app so the
+     *                      k-th minted template is identical across
+     *                      sessions — the same handler code exists in
+     *                      every run of a real application, which is
+     *                      what makes cross-session pattern merging
+     *                      (core/aggregate.hh) meaningful.
+     */
+    HandlerFactory(const AppParams &params, std::uint64_t session_seed,
+                   std::uint64_t template_seed);
+
+    /** Keystroke handler (canonical, sub-threshold). */
+    jvm::GuiEvent typingEvent();
+
+    /** Mouse-drag handler (canonical, sub-threshold). */
+    jvm::GuiEvent dragEvent();
+
+    /** Click / command handler: template-pool draw, may carry paint
+     * subtrees, natives and the app's quirks. */
+    jvm::GuiEvent clickEvent();
+
+    /** Repaint handler (output episode). @p via_repaint_manager
+     * marks the posted-by-background path of the paper's §IV.C
+     * footnote (an Async interval wrapping the Paint). */
+    jvm::GuiEvent repaintEvent(bool via_repaint_manager);
+
+    /** Handler posted by timer thread @p index. */
+    jvm::GuiEvent timerEvent(std::size_t index);
+
+    /** Async model-update handler posted by loader @p index. */
+    jvm::GuiEvent loaderEvent(std::size_t index);
+
+    /** Number of templates minted so far (diagnostics). */
+    std::size_t templateCount() const;
+
+  private:
+    using NodePtr = std::shared_ptr<const jvm::ActivityNode>;
+
+    /** One template pool (clicks, repaints, per-timer, ...).
+     * Each pool owns its template-content RNG, seeded from the
+     * app-stable template seed plus the pool's name, so the k-th
+     * template of a pool is identical across sessions regardless of
+     * how minting interleaves between pools. */
+    struct Pool
+    {
+        explicit Pool(std::uint64_t template_seed)
+            : templateRng(template_seed)
+        {
+        }
+
+        Rng templateRng;
+        std::vector<NodePtr> templates;
+        std::vector<std::uint64_t> uses;
+        std::uint64_t totalUses = 0;
+        std::vector<bool> firstUsePending;
+    };
+
+    /** CRP draw from @p pool with concentration @p alpha, minting
+     * with @p make when needed; instances get an episode-level cost
+     * multiplier of lognormal spread @p sigma. */
+    template <typename MakeFn>
+    NodePtr drawFromPool(Pool &pool, double alpha, double sigma,
+                         MakeFn &&make);
+
+    /**
+     * Deep copy of a template with costs scaled by @p multiplier
+     * (one draw per episode — this is what spreads one pattern's
+     * durations across the perceptibility threshold) plus small
+     * per-node jitter, and with sleep/wait durations re-drawn.
+     */
+    jvm::ActivityNode instantiate(const jvm::ActivityNode &node,
+                                  double multiplier,
+                                  bool add_first_use);
+
+    /** Pick a class name with Zipf-like skew using @p rng. */
+    const std::string &pickSkewed(Rng &rng,
+                                  const std::vector<std::string> &pool);
+
+    /** Frame of a work (Plain) node: library or app code. */
+    jvm::Frame workFrame(Rng &rng);
+
+    /** Fresh click-episode template. */
+    jvm::ActivityNode makeClickTemplate(Rng &rng);
+
+    /** Fresh repaint template (paint tree from the window root). */
+    jvm::ActivityNode makeRepaintTemplate(Rng &rng);
+
+    /** Fresh paint subtree of the given remaining depth. */
+    jvm::ActivityNode makePaintSubtree(Rng &rng, int depth);
+
+    /** Fresh native call node. */
+    jvm::ActivityNode makeNativeNode(Rng &rng);
+
+    /** Attach allocation volume proportional to node costs. */
+    void assignAllocations(jvm::ActivityNode &node,
+                           std::uint64_t bytes_per_ms) const;
+
+    const AppParams &params_;
+    Rng rng_; ///< per-session decisions
+
+    std::vector<std::string> app_listener_classes_;
+    std::vector<std::string> app_paint_classes_;
+    std::vector<std::string> app_work_classes_;
+
+    NodePtr typing_template_;
+    NodePtr drag_template_;
+    Pool click_pool_;
+    Pool repaint_pool_;
+    std::vector<Pool> timer_pools_;
+    std::vector<Pool> loader_pools_;
+};
+
+} // namespace lag::app
+
+#endif // LAG_APP_HANDLERS_HH

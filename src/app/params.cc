@@ -1,0 +1,78 @@
+#include "params.hh"
+
+#include <sstream>
+
+namespace lag::app
+{
+
+namespace
+{
+
+void
+dump(std::ostringstream &out, const CostModel &cost)
+{
+    out << cost.median << '/' << cost.sigma << '/' << cost.min << '/'
+        << cost.max << ';';
+}
+
+} // namespace
+
+std::string
+AppParams::fingerprint() const
+{
+    std::ostringstream out;
+    out << name << '|' << version << '|' << classCount << '|'
+        << appPackage << '|' << sessionLength << '|' << actionsPerSec
+        << '|' << typingShare << '|' << clickShare << '|' << dragShare
+        << '|' << typingBurstLen << '|' << typingRate << '|'
+        << dragBurstLen << '|' << dragRate << '|' << dragRepaintEvery
+        << '|';
+    dump(out, typeCost);
+    dump(out, dragCost);
+    dump(out, clickCost);
+    out << heavyClickProb << '|';
+    dump(out, heavyClickCost);
+    out << paintInListenerProb << '|' << postRepaintProb << '|'
+        << asyncRepaintShare << '|' << paintDepthMin << '|'
+        << paintDepthMax << '|' << paintFanout << '|';
+    dump(out, paintNodeCost);
+    out << systemRepaintRate << '|' << nativeInPaintProb << '|'
+        << nativeInListenerProb << '|';
+    dump(out, nativeCost);
+    out << allocPerMsWork << '|' << youngCapacityBytes << '|'
+        << majorPauseMedian << '|'
+        << explicitGcProb << '|' << comboSleepProb << '|';
+    dump(out, comboSleep);
+    out << modalWaitProb << '|';
+    dump(out, modalWait);
+    out << contentionProb << '|' << contentionMonitor << '|';
+    dump(out, firstUseCost);
+    out << listenerClassCount << '|' << paintClassCount << '|'
+        << classSkew << '|' << patternConcentration << '|'
+        << repaintConcentration << '|'
+        << costJitterSigma << '|' << libraryTimeShare << '|' << baseSeed
+        << '|';
+    for (const auto &timer : timers) {
+        out << "T:" << timer.name << ',' << timer.period << ','
+            << timer.postsRepaint << ',';
+        dump(out, timer.handlerCost);
+        out << timer.handlerAllocPerMs << ',' << timer.activeFrom << ','
+            << timer.activeTo << '|';
+    }
+    for (const auto &loader : loaders) {
+        out << "L:" << loader.name << ',' << loader.startAt << ','
+            << loader.endAt << ',' << loader.chunkCost << ','
+            << loader.restBetweenChunks << ',' << loader.allocPerMs
+            << ',' << loader.postProb << ',';
+        dump(out, loader.postHandlerCost);
+        out << '|';
+    }
+    for (const auto &hog : hogs) {
+        out << "H:" << hog.name << ',' << hog.period << ',';
+        dump(out, hog.holdCost);
+        out << hog.monitorId << '|';
+    }
+    return out.str();
+}
+
+} // namespace lag::app

@@ -1,0 +1,93 @@
+#include "session_runner.hh"
+
+#include "background.hh"
+#include "handlers.hh"
+#include "lila/agent.hh"
+#include "user_script.hh"
+#include "util/hash.hh"
+
+namespace lag::app
+{
+
+std::uint64_t
+sessionSeed(const AppParams &params, std::uint32_t session_index)
+{
+    Fnv1aHasher hasher;
+    hasher.addValue(params.baseSeed);
+    hasher.addString(params.name);
+    hasher.addValue(session_index);
+    return hasher.digest();
+}
+
+SessionRunResult
+runSession(const AppParams &params, std::uint32_t session_index,
+           const SessionOptions &options)
+{
+    const std::uint64_t seed = sessionSeed(params, session_index);
+    SplitMix64 seeder(seed);
+
+    lila::LilaConfig lila_config;
+    lila_config.filterThreshold = options.filterThreshold;
+    lila::LilaAgent agent(lila_config);
+
+    jvm::JvmConfig vm_config;
+    vm_config.cores = options.cores;
+    vm_config.samplePeriod = options.samplePeriod;
+    vm_config.dispatchOverhead = usToNs(80);
+    vm_config.instrumentationOverhead =
+        options.instrumentationOverhead;
+    vm_config.heap.youngCapacityBytes = params.youngCapacityBytes;
+    if (params.majorPauseMedian > 0)
+        vm_config.heap.majorPauseMedian = params.majorPauseMedian;
+    vm_config.seed = seeder.next();
+
+    jvm::Jvm vm(vm_config, agent);
+    // Template content is seeded per application (not per session):
+    // the same handler code exists in every session of a real app,
+    // which is what makes cross-session pattern merging meaningful.
+    Fnv1aHasher template_seeder;
+    template_seeder.addValue(params.baseSeed);
+    template_seeder.addString(params.name);
+    template_seeder.addString("templates");
+    HandlerFactory factory(params, seeder.next(),
+                           template_seeder.digest());
+
+    vm.createEventDispatchThread();
+    for (std::size_t i = 0; i < params.timers.size(); ++i) {
+        vm.createThread(params.timers[i].name, false,
+                        std::make_shared<TimerProgram>(
+                            params, i, factory, seeder.next()),
+                        {{"java.lang.Thread", "run"},
+                         {"javax.swing.Timer", "run"}});
+    }
+    for (std::size_t i = 0; i < params.loaders.size(); ++i) {
+        vm.createThread(params.loaders[i].name, false,
+                        std::make_shared<LoaderProgram>(
+                            params, i, factory, seeder.next()),
+                        {{"java.lang.Thread", "run"},
+                         {params.appPackage + ".io.ProjectLoader",
+                          "run"}});
+    }
+    for (std::size_t i = 0; i < params.hogs.size(); ++i) {
+        vm.createThread(params.hogs[i].name, false,
+                        std::make_shared<HogProgram>(params, i,
+                                                     seeder.next()),
+                        {{"java.lang.Thread", "run"}});
+    }
+
+    UserScript user(vm, params, factory, seeder.next());
+
+    agent.beginSession(params.name, session_index, seed,
+                       options.samplePeriod, 0);
+    vm.start();
+    user.start();
+    vm.run(params.sessionLength);
+
+    SessionRunResult result;
+    result.trace = agent.finishSession(vm.now());
+    result.vmStats = vm.stats();
+    result.userEvents = user.eventsPosted();
+    return result;
+}
+
+} // namespace lag::app

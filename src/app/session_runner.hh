@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Runs one interactive session: app model + simulated JVM + LiLa.
+ *
+ * This is the "measurement side" of the reproduction: what the
+ * paper's authors did by sitting in front of each application for
+ * ~8 minutes with the LiLa profiler attached. The output is a
+ * trace::Trace ready for LagAlyzer.
+ */
+
+#ifndef LAG_APP_SESSION_RUNNER_HH
+#define LAG_APP_SESSION_RUNNER_HH
+
+#include <cstdint>
+
+#include "jvm/vm.hh"
+#include "params.hh"
+#include "trace/trace.hh"
+
+namespace lag::app
+{
+
+/** Measurement-side options (profiler and platform). */
+struct SessionOptions
+{
+    /** LiLa's episode/interval filter (paper: 3 ms). */
+    DurationNs filterThreshold = msToNs(3);
+
+    /** Stack-sampling period. */
+    DurationNs samplePeriod = msToNs(10);
+
+    /** CPU cores (paper platform: Core 2 Duo). */
+    int cores = 2;
+
+    /** Profiler perturbation: CPU charged per instrumented call
+     * (0 = the unperturbed baseline all calibration assumes). */
+    DurationNs instrumentationOverhead = 0;
+};
+
+/** Everything a session run produces. */
+struct SessionRunResult
+{
+    trace::Trace trace;
+    jvm::JvmStats vmStats;
+    std::uint64_t userEvents = 0;
+};
+
+/** Derive the seed of (app, session). */
+std::uint64_t sessionSeed(const AppParams &params,
+                          std::uint32_t session_index);
+
+/** Simulate one session of @p params and return its trace. */
+SessionRunResult runSession(const AppParams &params,
+                            std::uint32_t session_index,
+                            const SessionOptions &options = {});
+
+} // namespace lag::app
+
+#endif // LAG_APP_SESSION_RUNNER_HH

@@ -1,0 +1,169 @@
+#include "study.hh"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "catalog.hh"
+#include "trace/io.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+#include "util/strings.hh"
+
+namespace lag::app
+{
+
+namespace fs = std::filesystem;
+
+StudyConfig
+StudyConfig::paperStudy()
+{
+    StudyConfig config;
+    config.apps = defaultCatalog();
+    return config;
+}
+
+StudyConfig
+StudyConfig::quickStudy(int session_seconds)
+{
+    StudyConfig config;
+    config.apps = defaultCatalog();
+    for (auto &app : config.apps) {
+        const double shrink =
+            static_cast<double>(secToNs(session_seconds)) /
+            static_cast<double>(app.sessionLength);
+        app.sessionLength = secToNs(session_seconds);
+        // Keep rates, shrink pattern variety with the session so
+        // the CRP still saturates realistically.
+        app.patternConcentration =
+            std::max(5.0, app.patternConcentration * shrink * 4.0);
+        // Long drag bursts would span most of a short session.
+        app.dragBurstLen = std::min(app.dragBurstLen, 200.0);
+    }
+    config.cacheDir = "lagalyzer-cache-quick";
+    return config;
+}
+
+namespace
+{
+
+/** Bumped whenever generator behaviour (not parameters) changes, so
+ * stale caches from older binaries are regenerated. */
+constexpr int kStudyBehaviorVersion = 5;
+
+} // namespace
+
+std::string
+StudyConfig::fingerprint() const
+{
+    std::ostringstream out;
+    out << kStudyBehaviorVersion << '|';
+    out << trace::kFormatVersion << '|' << sessionsPerApp << '|'
+        << sessionOptions.filterThreshold << '|'
+        << sessionOptions.samplePeriod << '|' << sessionOptions.cores
+        << '|' << perceptibleThreshold << '|';
+    for (const auto &app : apps)
+        out << app.fingerprint() << '\n';
+    Fnv1aHasher hasher;
+    hasher.addString(out.str());
+    std::ostringstream hex;
+    hex << std::hex << hasher.digest();
+    return hex.str();
+}
+
+Study::Study(StudyConfig config) : config_(std::move(config))
+{
+    lag_assert(!config_.apps.empty(), "study needs at least one app");
+    lag_assert(config_.sessionsPerApp > 0, "study needs sessions");
+}
+
+std::string
+Study::tracePath(std::size_t app_index,
+                 std::uint32_t session_index) const
+{
+    const AppParams &app = config_.apps[app_index];
+    return config_.cacheDir + "/" + app.name + "_s" +
+           std::to_string(session_index) + ".lag";
+}
+
+bool
+Study::cacheValid() const
+{
+    std::ifstream manifest(config_.cacheDir + "/manifest");
+    if (!manifest)
+        return false;
+    std::string stored;
+    std::getline(manifest, stored);
+    return stored == config_.fingerprint();
+}
+
+void
+Study::writeManifest() const
+{
+    std::ofstream manifest(config_.cacheDir + "/manifest",
+                           std::ios::trunc);
+    manifest << config_.fingerprint() << '\n';
+}
+
+std::vector<std::vector<std::string>>
+Study::ensureTraces()
+{
+    if (!validated_) {
+        fs::create_directories(config_.cacheDir);
+        if (!cacheValid()) {
+            inform("study: configuration changed; clearing trace cache "
+                   "in ",
+                   config_.cacheDir);
+            for (const auto &entry :
+                 fs::directory_iterator(config_.cacheDir)) {
+                if (entry.path().extension() == ".lag")
+                    fs::remove(entry.path());
+            }
+            writeManifest();
+        }
+        validated_ = true;
+    }
+
+    std::vector<std::vector<std::string>> paths(config_.apps.size());
+    for (std::size_t a = 0; a < config_.apps.size(); ++a) {
+        for (std::uint32_t s = 0; s < config_.sessionsPerApp; ++s) {
+            const std::string path = tracePath(a, s);
+            if (!fs::exists(path)) {
+                inform("study: simulating ", config_.apps[a].name,
+                       " session ", s + 1, "/",
+                       config_.sessionsPerApp, " ...");
+                SessionRunResult result = runSession(
+                    config_.apps[a], s, config_.sessionOptions);
+                trace::writeTraceFile(result.trace, path);
+            }
+            paths[a].push_back(path);
+        }
+    }
+    return paths;
+}
+
+AppSessions
+Study::loadApp(std::size_t app_index)
+{
+    lag_assert(app_index < config_.apps.size(), "bad app index");
+    const auto paths = ensureTraces();
+    AppSessions loaded;
+    loaded.params = config_.apps[app_index];
+    for (const auto &path : paths[app_index]) {
+        loaded.sessions.push_back(
+            core::Session::fromTrace(trace::readTraceFile(path)));
+    }
+    return loaded;
+}
+
+std::vector<AppSessions>
+Study::loadAll()
+{
+    std::vector<AppSessions> all;
+    all.reserve(config_.apps.size());
+    for (std::size_t a = 0; a < config_.apps.size(); ++a)
+        all.push_back(loadApp(a));
+    return all;
+}
+
+} // namespace lag::app

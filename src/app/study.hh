@@ -1,0 +1,98 @@
+/**
+ * @file
+ * The characterization study: 14 applications x 4 sessions.
+ *
+ * The paper's evaluation analyzes roughly 7.5 hours of interactive
+ * sessions. Simulating them takes a while, so the Study simulates
+ * once and caches every trace on disk (written and re-read through
+ * the production trace codec); all bench harnesses share the cache.
+ * The cache is keyed by a fingerprint of the full configuration —
+ * recalibrating any model parameter invalidates it.
+ */
+
+#ifndef LAG_APP_STUDY_HH
+#define LAG_APP_STUDY_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/session.hh"
+#include "params.hh"
+#include "session_runner.hh"
+
+namespace lag::app
+{
+
+/** Study-wide configuration. */
+struct StudyConfig
+{
+    std::vector<AppParams> apps;
+    std::uint32_t sessionsPerApp = 4;
+    SessionOptions sessionOptions;
+
+    /** LagAlyzer's perceptibility threshold (paper: 100 ms). */
+    DurationNs perceptibleThreshold = msToNs(100);
+
+    /** Trace cache directory. */
+    std::string cacheDir = "lagalyzer-cache";
+
+    /** The paper's full study. */
+    static StudyConfig paperStudy();
+
+    /**
+     * A scaled-down variant (shorter sessions, reduced input rates)
+     * for tests and quick demos; same structure, much faster.
+     */
+    static StudyConfig quickStudy(int session_seconds = 30);
+
+    /** Cache key over every parameter. */
+    std::string fingerprint() const;
+};
+
+/** One application's sessions, loaded for analysis. */
+struct AppSessions
+{
+    AppParams params;
+    std::vector<core::Session> sessions;
+};
+
+/** Runs and caches the study. */
+class Study
+{
+  public:
+    explicit Study(StudyConfig config);
+
+    const StudyConfig &config() const { return config_; }
+
+    /**
+     * Make sure every session trace exists in the cache, simulating
+     * the missing ones. Returns the trace file paths indexed
+     * [app][session].
+     */
+    std::vector<std::vector<std::string>> ensureTraces();
+
+    /** Load (and, if needed, first generate) one app's sessions. */
+    AppSessions loadApp(std::size_t app_index);
+
+    /** Load every app (memory-heavy; benches prefer per-app). */
+    std::vector<AppSessions> loadAll();
+
+  private:
+    /** Path of one session's trace file. */
+    std::string tracePath(std::size_t app_index,
+                          std::uint32_t session_index) const;
+
+    /** True when the cache manifest matches this configuration. */
+    bool cacheValid() const;
+
+    /** Write the manifest after (re)generation. */
+    void writeManifest() const;
+
+    StudyConfig config_;
+    bool validated_ = false;
+};
+
+} // namespace lag::app
+
+#endif // LAG_APP_STUDY_HH

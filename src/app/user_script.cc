@@ -1,0 +1,134 @@
+#include "user_script.hh"
+
+#include <algorithm>
+
+namespace lag::app
+{
+
+UserScript::UserScript(jvm::Jvm &vm, const AppParams &params,
+                       HandlerFactory &factory, std::uint64_t seed)
+    : vm_(vm), params_(params), factory_(factory), rng_(seed)
+{
+}
+
+void
+UserScript::start()
+{
+    scheduleNextAction(
+        static_cast<DurationNs>(rng_.exponential(
+            static_cast<double>(kSecond) /
+            std::max(0.01, params_.actionsPerSec))));
+    if (params_.systemRepaintRate > 0.0)
+        scheduleSystemRepaint();
+}
+
+void
+UserScript::scheduleNextAction(DurationNs delay)
+{
+    vm_.eventQueue().scheduleAfter(std::max<DurationNs>(delay, 1000),
+                                   [this] { performAction(); });
+}
+
+void
+UserScript::performAction()
+{
+    const double mix = rng_.nextDouble();
+    if (mix < params_.typingShare) {
+        const int chars =
+            1 + rng_.poisson(std::max(0.0, params_.typingBurstLen - 1));
+        continueTyping(chars);
+    } else if (mix < params_.typingShare + params_.dragShare) {
+        const int moves =
+            1 + rng_.poisson(std::max(0.0, params_.dragBurstLen - 1));
+        continueDrag(moves);
+    } else {
+        vm_.postGuiEvent(factory_.clickEvent());
+        ++events_posted_;
+        // postRepaintProb is an expected count: a command may dirty
+        // several panes, each repainting separately.
+        int repaints = static_cast<int>(params_.postRepaintProb);
+        if (rng_.chance(params_.postRepaintProb -
+                        static_cast<double>(repaints))) {
+            ++repaints;
+        }
+        for (int i = 0; i < repaints; ++i) {
+            const bool via_manager =
+                rng_.chance(params_.asyncRepaintShare);
+            vm_.postGuiEvent(factory_.repaintEvent(via_manager));
+            ++events_posted_;
+        }
+        scheduleNextAction(static_cast<DurationNs>(rng_.exponential(
+            static_cast<double>(kSecond) /
+            std::max(0.01, params_.actionsPerSec))));
+    }
+}
+
+void
+UserScript::continueTyping(int remaining)
+{
+    vm_.postGuiEvent(factory_.typingEvent());
+    ++events_posted_;
+    if (remaining > 1) {
+        const auto gap = static_cast<DurationNs>(
+            rng_.exponential(static_cast<double>(kSecond) /
+                             std::max(0.5, params_.typingRate)));
+        vm_.eventQueue().scheduleAfter(
+            std::max<DurationNs>(gap, usToNs(200)),
+            [this, remaining] { continueTyping(remaining - 1); });
+    } else {
+        scheduleNextAction(static_cast<DurationNs>(rng_.exponential(
+            static_cast<double>(kSecond) /
+            std::max(0.01, params_.actionsPerSec))));
+    }
+}
+
+void
+UserScript::continueDrag(int remaining)
+{
+    vm_.postGuiEvent(factory_.dragEvent());
+    ++events_posted_;
+    ++drag_events_;
+    if (params_.dragRepaintEvery > 0 &&
+        drag_events_ % static_cast<std::uint64_t>(
+                           params_.dragRepaintEvery) == 0) {
+        // Continuous canvas feedback while the user draws.
+        vm_.postGuiEvent(factory_.repaintEvent(
+            rng_.chance(params_.asyncRepaintShare)));
+        ++events_posted_;
+    }
+    if (remaining > 1) {
+        const auto gap = static_cast<DurationNs>(
+            static_cast<double>(kSecond) /
+            std::max(1.0, params_.dragRate));
+        vm_.eventQueue().scheduleAfter(
+            std::max<DurationNs>(gap, usToNs(50)),
+            [this, remaining] { continueDrag(remaining - 1); });
+    } else {
+        // A drag usually ends with a final repaint of the result.
+        if (rng_.chance(params_.postRepaintProb)) {
+            vm_.postGuiEvent(factory_.repaintEvent(
+                rng_.chance(params_.asyncRepaintShare)));
+            ++events_posted_;
+        }
+        scheduleNextAction(static_cast<DurationNs>(rng_.exponential(
+            static_cast<double>(kSecond) /
+            std::max(0.01, params_.actionsPerSec))));
+    }
+}
+
+void
+UserScript::scheduleSystemRepaint()
+{
+    const auto gap = static_cast<DurationNs>(
+        rng_.exponential(static_cast<double>(kSecond) /
+                         params_.systemRepaintRate));
+    vm_.eventQueue().scheduleAfter(
+        std::max<DurationNs>(gap, msToNs(5)), [this] {
+            vm_.postGuiEvent(factory_.repaintEvent(
+                rng_.chance(params_.asyncRepaintShare)));
+            ++events_posted_;
+            scheduleSystemRepaint();
+        });
+}
+
+} // namespace lag::app

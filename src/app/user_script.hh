@@ -1,0 +1,59 @@
+/**
+ * @file
+ * The scripted "user" driving an interactive session.
+ *
+ * The paper's sessions were performed manually ("we planned the
+ * sessions to cover a reasonable and realistic usage scenario");
+ * here a UserScript replays a stochastic but seeded plan: think
+ * time, then an interaction burst (typing, a click/command, or a
+ * mouse drag), repeated until the session ends. Clicks may be
+ * followed by posted repaints; a background repaint source models
+ * window-system damage. Four sessions of one app are four seeds of
+ * the same script.
+ */
+
+#ifndef LAG_APP_USER_SCRIPT_HH
+#define LAG_APP_USER_SCRIPT_HH
+
+#include <cstdint>
+
+#include "handlers.hh"
+#include "jvm/vm.hh"
+#include "params.hh"
+#include "util/random.hh"
+
+namespace lag::app
+{
+
+/** Generates the user-input event stream for one session. */
+class UserScript
+{
+  public:
+    UserScript(jvm::Jvm &vm, const AppParams &params,
+               HandlerFactory &factory, std::uint64_t seed);
+
+    /** Schedule the first action; the script then self-perpetuates
+     * on the VM's event queue until the session horizon. */
+    void start();
+
+    /** Input events posted so far (diagnostics). */
+    std::uint64_t eventsPosted() const { return events_posted_; }
+
+  private:
+    void scheduleNextAction(DurationNs delay);
+    void performAction();
+    void continueTyping(int remaining);
+    void continueDrag(int remaining);
+    void scheduleSystemRepaint();
+
+    jvm::Jvm &vm_;
+    const AppParams &params_;
+    HandlerFactory &factory_;
+    Rng rng_;
+    std::uint64_t events_posted_ = 0;
+    std::uint64_t drag_events_ = 0;
+};
+
+} // namespace lag::app
+
+#endif // LAG_APP_USER_SCRIPT_HH

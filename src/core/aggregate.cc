@@ -1,0 +1,105 @@
+#include "aggregate.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/logging.hh"
+
+namespace lag::core
+{
+
+std::size_t
+MergedPatternSet::recurringCount() const
+{
+    std::size_t count = 0;
+    for (const auto &pattern : patterns) {
+        if (pattern.recurring(sessionCount))
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+MergedPatternSet::recurringAlwaysCount() const
+{
+    std::size_t count = 0;
+    for (const auto &pattern : patterns) {
+        if (pattern.recurring(sessionCount) &&
+            pattern.occurrence == OccurrenceClass::Always) {
+            ++count;
+        }
+    }
+    return count;
+}
+
+MergedPatternSet
+mergePatternSets(const std::vector<PatternSet> &sets)
+{
+    lag_assert(!sets.empty(), "merging zero pattern sets");
+    MergedPatternSet result;
+    result.sessionCount = sets.size();
+    result.perceptibleThreshold = sets.front().perceptibleThreshold;
+    for (const auto &set : sets) {
+        lag_assert(set.perceptibleThreshold ==
+                       result.perceptibleThreshold,
+                   "pattern sets mined with different thresholds");
+    }
+
+    std::unordered_map<std::string, std::size_t> index;
+    for (std::size_t s = 0; s < sets.size(); ++s) {
+        for (const Pattern &pattern : sets[s].patterns) {
+            const auto [it, inserted] = index.emplace(
+                pattern.signature, result.patterns.size());
+            if (inserted) {
+                MergedPattern merged;
+                merged.signature = pattern.signature;
+                merged.key = pattern.key;
+                merged.descendants = pattern.descendants;
+                merged.depth = pattern.depth;
+                merged.minLag = pattern.minLag;
+                merged.maxLag = pattern.maxLag;
+                result.patterns.push_back(std::move(merged));
+            }
+            MergedPattern &merged = result.patterns[it->second];
+            merged.sessions.push_back(s);
+            merged.episodeCounts.push_back(pattern.episodes.size());
+            merged.totalEpisodes += pattern.episodes.size();
+            merged.totalPerceptible += pattern.perceptibleCount;
+            merged.totalLag += pattern.totalLag;
+            merged.minLag = std::min(merged.minLag, pattern.minLag);
+            merged.maxLag = std::max(merged.maxLag, pattern.maxLag);
+        }
+    }
+
+    for (auto &merged : result.patterns) {
+        if (merged.totalPerceptible == 0)
+            merged.occurrence = OccurrenceClass::Never;
+        else if (merged.totalPerceptible == merged.totalEpisodes)
+            merged.occurrence = OccurrenceClass::Always;
+        else if (merged.totalPerceptible == 1)
+            merged.occurrence = OccurrenceClass::Once;
+        else
+            merged.occurrence = OccurrenceClass::Sometimes;
+    }
+
+    std::stable_sort(result.patterns.begin(), result.patterns.end(),
+                     [](const MergedPattern &a,
+                        const MergedPattern &b) {
+                         return a.totalEpisodes > b.totalEpisodes;
+                     });
+    return result;
+}
+
+MergedPatternSet
+minePatternsAcrossSessions(const std::vector<Session> &sessions,
+                           DurationNs perceptible_threshold)
+{
+    const PatternMiner miner(perceptible_threshold);
+    std::vector<PatternSet> sets;
+    sets.reserve(sessions.size());
+    for (const Session &session : sessions)
+        sets.push_back(miner.mine(session));
+    return mergePatternSets(sets);
+}
+
+} // namespace lag::core

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Blame analysis: which code was executing during perceptible lag.
+ *
+ * The paper's §IV narratives all end in this drill-down: "A look at
+ * the call stack samples during these episodes shows that Euclide
+ * was particularly slow in reacting to events in combo box
+ * controls"; "a large fraction of the call stack samples were taken
+ * in code related to drawing handles and outlines of bezier curves".
+ * This module turns that manual step into an API: rank classes (or
+ * class.method pairs) by how many in-episode GUI-thread samples hit
+ * them, and find the episodes/patterns a given symbol appears in.
+ */
+
+#ifndef LAG_CORE_BLAME_HH
+#define LAG_CORE_BLAME_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "pattern.hh"
+#include "session.hh"
+
+namespace lag::core
+{
+
+/** One line of a blame report. */
+struct BlameEntry
+{
+    std::string symbol; ///< class name, or "class.method"
+    std::size_t samples = 0;
+    double share = 0.0; ///< of all counted samples
+    bool isLibrary = false;
+
+    /** Samples in which the GUI thread was not runnable (the lag
+     * was a block/wait/sleep at this symbol, not work). */
+    std::size_t notRunnableSamples = 0;
+};
+
+/** Options for blame reports. */
+struct BlameOptions
+{
+    /** Restrict to episodes at/above this duration; 0 = all. */
+    DurationNs perceptibleThreshold = msToNs(100);
+
+    /** Group by class.method instead of class only. */
+    bool byMethod = false;
+
+    /** Attribute a sample to its innermost frame only (true, the
+     * paper's choice for Figure 6) or to every frame on the stack
+     * (false — inclusive attribution, like a flame graph). */
+    bool innermostOnly = true;
+
+    /** Maximum entries returned (0 = all). */
+    std::size_t limit = 20;
+};
+
+/**
+ * Rank symbols by in-episode GUI-thread samples. Entries are sorted
+ * by sample count, descending.
+ */
+std::vector<BlameEntry> blameReport(const Session &session,
+                                    const BlameOptions &options = {});
+
+/**
+ * Indices (into Session::episodes()) of episodes in which any
+ * GUI-thread sample frame's class contains @p class_substring.
+ */
+std::vector<std::size_t>
+episodesSampledIn(const Session &session,
+                  std::string_view class_substring);
+
+/**
+ * Indices (into PatternSet::patterns) of patterns whose signature
+ * mentions @p substring (class or method fragment).
+ */
+std::vector<std::size_t>
+patternsMentioning(const PatternSet &patterns,
+                   std::string_view substring);
+
+} // namespace lag::core
+
+#endif // LAG_CORE_BLAME_HH

@@ -1,0 +1,95 @@
+#include "browser.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace lag::core
+{
+
+PatternBrowserModel::PatternBrowserModel(const Session &session,
+                                         const PatternSet &patterns)
+    : session_(session), patterns_(patterns)
+{
+    rebuildVisible();
+}
+
+void
+PatternBrowserModel::setPerceptibleOnly(bool enabled)
+{
+    if (perceptible_only_ == enabled)
+        return;
+    perceptible_only_ = enabled;
+    rebuildVisible();
+    if (has_selection_) {
+        // Drop the selection if its pattern was filtered away.
+        const bool still_visible =
+            std::find(visible_.begin(), visible_.end(),
+                      selected_pattern_) != visible_.end();
+        if (!still_visible)
+            has_selection_ = false;
+    }
+}
+
+void
+PatternBrowserModel::rebuildVisible()
+{
+    visible_.clear();
+    for (std::size_t i = 0; i < patterns_.patterns.size(); ++i) {
+        if (perceptible_only_ &&
+            patterns_.patterns[i].perceptibleCount == 0) {
+            continue;
+        }
+        visible_.push_back(i);
+    }
+}
+
+void
+PatternBrowserModel::selectRow(std::size_t row)
+{
+    lag_assert(row < visible_.size(), "browser row ", row,
+               " out of range (", visible_.size(), " visible)");
+    has_selection_ = true;
+    selected_pattern_ = visible_[row];
+    episode_pos_ = 0;
+}
+
+bool
+PatternBrowserModel::hasSelection() const
+{
+    return has_selection_;
+}
+
+const Pattern &
+PatternBrowserModel::selectedPattern() const
+{
+    lag_assert(has_selection_, "no pattern selected");
+    return patterns_.patterns[selected_pattern_];
+}
+
+const Episode &
+PatternBrowserModel::currentEpisode() const
+{
+    const Pattern &pattern = selectedPattern();
+    lag_assert(episode_pos_ < pattern.episodes.size(),
+               "episode position out of range");
+    return session_.episodes()[pattern.episodes[episode_pos_]];
+}
+
+void
+PatternBrowserModel::nextEpisode()
+{
+    const Pattern &pattern = selectedPattern();
+    if (episode_pos_ + 1 < pattern.episodes.size())
+        ++episode_pos_;
+}
+
+void
+PatternBrowserModel::prevEpisode()
+{
+    lag_assert(has_selection_, "no pattern selected");
+    if (episode_pos_ > 0)
+        --episode_pos_;
+}
+
+} // namespace lag::core

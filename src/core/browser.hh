@@ -1,0 +1,87 @@
+/**
+ * @file
+ * The Pattern Browser model (paper §II.E).
+ *
+ * "LagAlyzer presents the user with a table of patterns. For each
+ * pattern, it shows the number of episodes and the minimum, average,
+ * maximum, and total lag [...]. The developer can filter the pattern
+ * table by eliding any patterns that do not have any perceptible
+ * episodes. By selecting a pattern [...] the developer can reveal a
+ * list of all the episodes in that pattern [...] and browse through
+ * the sketches of all episodes."
+ *
+ * This class is the GUI-free model behind that browser: filtering,
+ * selection and episode iteration. The terminal front end lives in
+ * examples/pattern_browser.cpp; sketch rendering in src/viz.
+ */
+
+#ifndef LAG_CORE_BROWSER_HH
+#define LAG_CORE_BROWSER_HH
+
+#include <cstddef>
+#include <vector>
+
+#include "pattern.hh"
+#include "session.hh"
+
+namespace lag::core
+{
+
+/** Navigable view over a session's mined patterns. */
+class PatternBrowserModel
+{
+  public:
+    /** @p patterns must have been mined from @p session; both are
+     * borrowed and must outlive the model. */
+    PatternBrowserModel(const Session &session,
+                        const PatternSet &patterns);
+
+    /** Show only patterns with at least one perceptible episode. */
+    void setPerceptibleOnly(bool enabled);
+    bool perceptibleOnly() const { return perceptible_only_; }
+
+    /** Visible patterns as indices into PatternSet::patterns. */
+    const std::vector<std::size_t> &visibleRows() const
+    {
+        return visible_;
+    }
+
+    /** Select a visible row; resets episode browsing to the
+     * pattern's first episode. */
+    void selectRow(std::size_t row);
+
+    /** True when a pattern is selected (and survived filtering). */
+    bool hasSelection() const;
+
+    /** The selected pattern. Requires hasSelection(). */
+    const Pattern &selectedPattern() const;
+
+    /** Episode currently shown as a sketch. Requires selection. */
+    const Episode &currentEpisode() const;
+
+    /** Position of currentEpisode within the pattern (0-based). */
+    std::size_t currentEpisodeIndex() const { return episode_pos_; }
+
+    /** Step to the next/previous episode of the selected pattern;
+     * clamps at the ends. */
+    void nextEpisode();
+    void prevEpisode();
+
+    const Session &session() const { return session_; }
+    const PatternSet &patterns() const { return patterns_; }
+
+  private:
+    void rebuildVisible();
+
+    const Session &session_;
+    const PatternSet &patterns_;
+    bool perceptible_only_ = false;
+    std::vector<std::size_t> visible_;
+    bool has_selection_ = false;
+    std::size_t selected_pattern_ = 0; ///< index into patterns_
+    std::size_t episode_pos_ = 0;
+};
+
+} // namespace lag::core
+
+#endif // LAG_CORE_BROWSER_HH

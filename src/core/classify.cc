@@ -1,0 +1,24 @@
+#include "classify.hh"
+
+#include <array>
+
+#include "util/strings.hh"
+
+namespace lag::core
+{
+
+bool
+isRuntimeLibraryClass(std::string_view class_name)
+{
+    static constexpr std::array<std::string_view, 10> kPrefixes = {
+        "java.",     "javax.",  "sun.",     "com.sun.", "com.apple.",
+        "apple.",    "jdk.",    "org.omg.", "org.w3c.", "org.xml.",
+    };
+    for (const auto prefix : kPrefixes) {
+        if (startsWith(class_name, prefix))
+            return true;
+    }
+    return false;
+}
+
+} // namespace lag::core

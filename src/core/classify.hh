@@ -1,0 +1,27 @@
+/**
+ * @file
+ * Application vs runtime-library classification of class names.
+ *
+ * The paper's Figure 6 partitions sample time into application and
+ * runtime-library code "based on the fully qualified class name of
+ * the method that was executing when the sample was taken" (§IV.D).
+ * This is that classifier.
+ */
+
+#ifndef LAG_CORE_CLASSIFY_HH
+#define LAG_CORE_CLASSIFY_HH
+
+#include <string_view>
+
+namespace lag::core
+{
+
+/**
+ * True when @p class_name belongs to the Java runtime libraries
+ * (JDK, toolkit, vendor packages) rather than the application.
+ */
+bool isRuntimeLibraryClass(std::string_view class_name);
+
+} // namespace lag::core
+
+#endif // LAG_CORE_CLASSIFY_HH

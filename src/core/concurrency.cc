@@ -1,0 +1,110 @@
+#include "concurrency.hh"
+
+namespace lag::core
+{
+
+ConcurrencyResult
+analyzeConcurrency(const Session &session,
+                   DurationNs perceptible_threshold)
+{
+    std::uint64_t runnable_all = 0;
+    std::uint64_t runnable_perc = 0;
+    std::size_t samples_all = 0;
+    std::size_t samples_perc = 0;
+    const auto &samples = session.samples();
+
+    for (const auto &episode : session.episodes()) {
+        const bool perceptible =
+            episode.duration() >= perceptible_threshold;
+        for (std::size_t s = episode.firstSample;
+             s < episode.lastSample; ++s) {
+            std::uint64_t runnable = 0;
+            for (const auto &entry : samples[s].threads) {
+                if (entry.state == trace::TraceThreadState::Runnable)
+                    ++runnable;
+            }
+            runnable_all += runnable;
+            ++samples_all;
+            if (perceptible) {
+                runnable_perc += runnable;
+                ++samples_perc;
+            }
+        }
+    }
+
+    ConcurrencyResult result;
+    result.samplesAll = samples_all;
+    result.samplesPerceptible = samples_perc;
+    if (samples_all > 0) {
+        result.meanRunnableAll = static_cast<double>(runnable_all) /
+                                 static_cast<double>(samples_all);
+    }
+    if (samples_perc > 0) {
+        result.meanRunnablePerceptible =
+            static_cast<double>(runnable_perc) /
+            static_cast<double>(samples_perc);
+    }
+    return result;
+}
+
+ThreadStateResult
+analyzeGuiStates(const Session &session, DurationNs perceptible_threshold)
+{
+    // Counters indexed by TraceThreadState.
+    std::size_t all[4] = {0, 0, 0, 0};
+    std::size_t perc[4] = {0, 0, 0, 0};
+    const ThreadId gui = session.guiThread();
+    const auto &samples = session.samples();
+
+    for (const auto &episode : session.episodes()) {
+        const bool perceptible =
+            episode.duration() >= perceptible_threshold;
+        for (std::size_t s = episode.firstSample;
+             s < episode.lastSample; ++s) {
+            for (const auto &entry : samples[s].threads) {
+                if (entry.thread != gui)
+                    continue;
+                const auto idx =
+                    static_cast<std::size_t>(entry.state);
+                ++all[idx];
+                if (perceptible)
+                    ++perc[idx];
+                break;
+            }
+        }
+    }
+
+    const auto to_shares = [](const std::size_t counts[4]) {
+        GuiStateShares shares;
+        shares.sampleCount =
+            counts[0] + counts[1] + counts[2] + counts[3];
+        if (shares.sampleCount == 0)
+            return shares;
+        const auto total = static_cast<double>(shares.sampleCount);
+        using TS = trace::TraceThreadState;
+        shares.runnable =
+            static_cast<double>(
+                counts[static_cast<std::size_t>(TS::Runnable)]) /
+            total;
+        shares.blocked =
+            static_cast<double>(
+                counts[static_cast<std::size_t>(TS::Blocked)]) /
+            total;
+        shares.waiting =
+            static_cast<double>(
+                counts[static_cast<std::size_t>(TS::Waiting)]) /
+            total;
+        shares.sleeping =
+            static_cast<double>(
+                counts[static_cast<std::size_t>(TS::Sleeping)]) /
+            total;
+        return shares;
+    };
+
+    ThreadStateResult result;
+    result.all = to_shares(all);
+    result.perceptible = to_shares(perc);
+    return result;
+}
+
+} // namespace lag::core

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Concurrency and GUI-thread state analyses (§IV.E, Figures 7–8).
+ *
+ * Both analyses work on the call-stack samples taken during
+ * episodes:
+ *
+ *  - concurrency: the mean number of runnable threads per sample —
+ *    exactly 1 means only the GUI thread was runnable, below 1 means
+ *    the GUI thread was sometimes blocked/waiting/sleeping, above 1
+ *    means background threads competed for the cores;
+ *  - GUI-thread states: the fraction of samples in which the GUI
+ *    thread was blocked on a monitor, waiting (Object.wait /
+ *    LockSupport.park), sleeping (Thread.sleep), or runnable.
+ */
+
+#ifndef LAG_CORE_CONCURRENCY_HH
+#define LAG_CORE_CONCURRENCY_HH
+
+#include "session.hh"
+
+namespace lag::core
+{
+
+/** Figure 7: mean runnable thread count per in-episode sample. */
+struct ConcurrencyResult
+{
+    double meanRunnableAll = 0.0;
+    double meanRunnablePerceptible = 0.0;
+    std::size_t samplesAll = 0;
+    std::size_t samplesPerceptible = 0;
+};
+
+/** Run the concurrency analysis on a session. */
+ConcurrencyResult analyzeConcurrency(const Session &session,
+                                     DurationNs perceptible_threshold);
+
+/** Shares of GUI-thread states over one episode set; the four
+ * fractions sum to 1 when samples exist. */
+struct GuiStateShares
+{
+    double blocked = 0.0;
+    double waiting = 0.0;
+    double sleeping = 0.0;
+    double runnable = 0.0;
+    std::size_t sampleCount = 0;
+};
+
+/** Figure 8's two graphs. */
+struct ThreadStateResult
+{
+    GuiStateShares all;
+    GuiStateShares perceptible;
+};
+
+/** Run the GUI-thread state analysis on a session. */
+ThreadStateResult analyzeGuiStates(const Session &session,
+                                   DurationNs perceptible_threshold);
+
+} // namespace lag::core
+
+#endif // LAG_CORE_CONCURRENCY_HH

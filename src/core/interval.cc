@@ -1,0 +1,67 @@
+#include "interval.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace lag::core
+{
+
+const char *
+intervalTypeName(IntervalType type)
+{
+    switch (type) {
+      case IntervalType::Dispatch: return "Dispatch";
+      case IntervalType::Listener: return "Listener";
+      case IntervalType::Paint:    return "Paint";
+      case IntervalType::Native:   return "Native";
+      case IntervalType::Async:    return "Async";
+      case IntervalType::Gc:       return "GC";
+    }
+    return "?";
+}
+
+IntervalType
+fromTraceKind(trace::IntervalKind kind)
+{
+    switch (kind) {
+      case trace::IntervalKind::Listener: return IntervalType::Listener;
+      case trace::IntervalKind::Paint:    return IntervalType::Paint;
+      case trace::IntervalKind::Native:   return IntervalType::Native;
+      case trace::IntervalKind::Async:    return IntervalType::Async;
+    }
+    lag_panic("unknown trace interval kind");
+}
+
+std::size_t
+IntervalNode::descendantCount() const
+{
+    std::size_t count = children.size();
+    for (const auto &child : children)
+        count += child.descendantCount();
+    return count;
+}
+
+std::size_t
+IntervalNode::depth() const
+{
+    std::size_t deepest = 0;
+    for (const auto &child : children)
+        deepest = std::max(deepest, child.depth());
+    return deepest + 1;
+}
+
+DurationNs
+IntervalNode::typeTime(IntervalType wanted) const
+{
+    DurationNs total = 0;
+    for (const auto &child : children) {
+        if (child.type == wanted)
+            total += child.duration();
+        else
+            total += child.typeTime(wanted);
+    }
+    return total;
+}
+
+} // namespace lag::core

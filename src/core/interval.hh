@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Interval trees: LagAlyzer's central data structure.
+ *
+ * The paper's Table I defines six interval types; LagAlyzer
+ * represents the activity of each thread as a tree of properly
+ * nested intervals of these types (paper §II.A). GC intervals are
+ * special: because a collection stops the world, a copy of each GC
+ * interval is added to every thread's tree.
+ */
+
+#ifndef LAG_CORE_INTERVAL_HH
+#define LAG_CORE_INTERVAL_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "trace/trace.hh"
+#include "util/types.hh"
+
+namespace lag::core
+{
+
+/** The six interval types of Table I. */
+enum class IntervalType : std::uint8_t
+{
+    Dispatch = 0, ///< start to end of a given episode
+    Listener = 1, ///< a listener notification call
+    Paint = 2,    ///< a graphics rendering operation
+    Native = 3,   ///< a JNI native call
+    Async = 4,    ///< handling of an event posted in a background thread
+    Gc = 5,       ///< a garbage collection
+};
+
+/** Human-readable name of an interval type (as in Table I). */
+const char *intervalTypeName(IntervalType type);
+
+/** Map a trace interval kind to the core interval type. */
+IntervalType fromTraceKind(trace::IntervalKind kind);
+
+/** One node of a thread's interval tree. */
+struct IntervalNode
+{
+    IntervalType type = IntervalType::Dispatch;
+    TimeNs begin = 0;
+    TimeNs end = 0;
+
+    /** Symbolic information (class, method); 0 for Dispatch/Gc. */
+    SymbolId classSym = 0;
+    SymbolId methodSym = 0;
+
+    /** Minor/major; meaningful for Gc nodes only. */
+    trace::TraceGcKind gcKind = trace::TraceGcKind::Minor;
+
+    std::vector<IntervalNode> children;
+
+    DurationNs duration() const { return end - begin; }
+
+    /** True when [other.begin, other.end] lies within this node. */
+    bool
+    contains(TimeNs b, TimeNs e) const
+    {
+        return begin <= b && e <= end;
+    }
+
+    /** Number of descendants (excluding this node). */
+    std::size_t descendantCount() const;
+
+    /** Depth of the subtree; a leaf has depth 1. */
+    std::size_t depth() const;
+
+    /** Total duration of descendants with the given type.
+     * Nested same-type descendants are not double counted: once a
+     * node of the type is found, its subtree is not descended. */
+    DurationNs typeTime(IntervalType type) const;
+};
+
+} // namespace lag::core
+
+#endif // LAG_CORE_INTERVAL_HH

@@ -1,0 +1,114 @@
+#include "location.hh"
+
+#include "classify.hh"
+
+namespace lag::core
+{
+
+namespace
+{
+
+/** Accumulator for one episode set. */
+struct Tally
+{
+    std::size_t appSamples = 0;
+    std::size_t librarySamples = 0;
+    DurationNs gcTime = 0;
+    DurationNs nativeTime = 0;
+    DurationNs episodeTime = 0;
+    std::size_t episodes = 0;
+
+    LocationShares
+    finish() const
+    {
+        LocationShares shares;
+        shares.sampleCount = appSamples + librarySamples;
+        if (shares.sampleCount > 0) {
+            const auto total = static_cast<double>(shares.sampleCount);
+            shares.appFraction =
+                static_cast<double>(appSamples) / total;
+            shares.libraryFraction =
+                static_cast<double>(librarySamples) / total;
+        }
+        shares.episodeCount = episodes;
+        if (episodeTime > 0) {
+            const auto total = static_cast<double>(episodeTime);
+            shares.gcFraction = static_cast<double>(gcTime) / total;
+            shares.nativeFraction =
+                static_cast<double>(nativeTime) / total;
+        }
+        return shares;
+    }
+};
+
+} // namespace
+
+DurationNs
+nativeTimeExcludingGc(const IntervalNode &root)
+{
+    DurationNs total = 0;
+    for (const auto &child : root.children) {
+        if (child.type == IntervalType::Native) {
+            // The whole native interval counts once; subtract any
+            // collections that ran inside it.
+            total += child.duration() - child.typeTime(IntervalType::Gc);
+        } else if (child.type != IntervalType::Gc) {
+            total += nativeTimeExcludingGc(child);
+        }
+    }
+    return total;
+}
+
+LocationAnalysisResult
+analyzeLocation(const Session &session, DurationNs perceptible_threshold)
+{
+    Tally all;
+    Tally perc;
+    const ThreadId gui = session.guiThread();
+    const auto &samples = session.samples();
+
+    for (const auto &episode : session.episodes()) {
+        const IntervalNode &root = session.episodeRoot(episode);
+        const bool perceptible =
+            episode.duration() >= perceptible_threshold;
+
+        const DurationNs gc_time = root.typeTime(IntervalType::Gc);
+        const DurationNs native_time = nativeTimeExcludingGc(root);
+
+        std::size_t app = 0;
+        std::size_t lib = 0;
+        for (std::size_t s = episode.firstSample;
+             s < episode.lastSample; ++s) {
+            for (const auto &entry : samples[s].threads) {
+                if (entry.thread != gui || entry.frames.empty())
+                    continue;
+                const auto &cls = session.symbol(
+                    entry.frames.back().classSym);
+                if (isRuntimeLibraryClass(cls))
+                    ++lib;
+                else
+                    ++app;
+                break;
+            }
+        }
+
+        const auto apply = [&](Tally &tally) {
+            tally.appSamples += app;
+            tally.librarySamples += lib;
+            tally.gcTime += gc_time;
+            tally.nativeTime += native_time;
+            tally.episodeTime += episode.duration();
+            ++tally.episodes;
+        };
+        apply(all);
+        if (perceptible)
+            apply(perc);
+    }
+
+    LocationAnalysisResult result;
+    result.all = all.finish();
+    result.perceptible = perc.finish();
+    return result;
+}
+
+} // namespace lag::core

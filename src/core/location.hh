@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Location analysis: application, library, GC, or native (§IV.D).
+ *
+ * Two complementary measurements per the paper:
+ *
+ *  - application vs runtime-library shares come from the call-stack
+ *    samples of the GUI thread taken during episodes, classified by
+ *    the class of the innermost frame;
+ *  - GC and native shares come directly from the explicit GC and
+ *    Native intervals in the episode trees, as fractions of total
+ *    episode time. Collections that occur inside native calls count
+ *    as GC, not native (Figure 1's episode shows why blaming the
+ *    native call would be wrong).
+ */
+
+#ifndef LAG_CORE_LOCATION_HH
+#define LAG_CORE_LOCATION_HH
+
+#include "session.hh"
+
+namespace lag::core
+{
+
+/** Where episode time was spent, over one set of episodes. */
+struct LocationShares
+{
+    /** Sample-based split; appFraction + libraryFraction == 1 when
+     * any samples exist. */
+    double appFraction = 0.0;
+    double libraryFraction = 0.0;
+    std::size_t sampleCount = 0;
+
+    /** Interval-based split as fractions of total episode time. */
+    double gcFraction = 0.0;
+    double nativeFraction = 0.0;
+    std::size_t episodeCount = 0;
+};
+
+/** Figure 6's two graphs: all episodes and perceptible only. */
+struct LocationAnalysisResult
+{
+    LocationShares all;
+    LocationShares perceptible;
+};
+
+/** Time spent in Native intervals below @p root, excluding any GC
+ * time nested inside them. */
+DurationNs nativeTimeExcludingGc(const IntervalNode &root);
+
+/** Run the location analysis on a session. */
+LocationAnalysisResult analyzeLocation(const Session &session,
+                                       DurationNs perceptible_threshold);
+
+} // namespace lag::core
+
+#endif // LAG_CORE_LOCATION_HH

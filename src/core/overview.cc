@@ -1,0 +1,87 @@
+#include "overview.hh"
+
+#include "util/logging.hh"
+
+namespace lag::core
+{
+
+OverviewRow
+computeOverview(const Session &session, const PatternSet &patterns,
+                DurationNs perceptible_threshold)
+{
+    OverviewRow row;
+    row.e2eSeconds = nsToSec(session.wallTime());
+    const DurationNs in_eps = session.meta().totalInEpisodeTime;
+    if (session.wallTime() > 0) {
+        row.inEpsPercent = 100.0 * static_cast<double>(in_eps) /
+                           static_cast<double>(session.wallTime());
+    }
+    row.shortCount = session.meta().filteredShortEpisodes;
+    row.tracedCount = session.episodes().size();
+    row.perceptibleCount =
+        session.perceptibleCount(perceptible_threshold);
+
+    const double in_eps_minutes = nsToSec(in_eps) / 60.0;
+    if (in_eps_minutes > 0.0) {
+        row.longPerMin =
+            static_cast<double>(row.perceptibleCount) / in_eps_minutes;
+    }
+
+    row.distinctPatterns = patterns.patterns.size();
+    row.coveredEpisodes = patterns.coveredEpisodes;
+    if (!patterns.patterns.empty()) {
+        row.oneEpPercent =
+            100.0 * static_cast<double>(patterns.singletonCount()) /
+            static_cast<double>(patterns.patterns.size());
+        double descs = 0.0;
+        double depth = 0.0;
+        for (const auto &pattern : patterns.patterns) {
+            descs += static_cast<double>(pattern.descendants);
+            depth += static_cast<double>(pattern.depth);
+        }
+        const auto n = static_cast<double>(patterns.patterns.size());
+        row.meanDescs = descs / n;
+        row.meanDepth = depth / n;
+    }
+    return row;
+}
+
+OverviewRow
+meanOverview(const std::vector<OverviewRow> &rows)
+{
+    lag_assert(!rows.empty(), "mean of zero overview rows");
+    OverviewRow mean;
+    double short_count = 0.0;
+    double traced = 0.0;
+    double perceptible = 0.0;
+    double distinct = 0.0;
+    double covered = 0.0;
+    for (const auto &row : rows) {
+        mean.e2eSeconds += row.e2eSeconds;
+        mean.inEpsPercent += row.inEpsPercent;
+        short_count += static_cast<double>(row.shortCount);
+        traced += static_cast<double>(row.tracedCount);
+        perceptible += static_cast<double>(row.perceptibleCount);
+        mean.longPerMin += row.longPerMin;
+        distinct += static_cast<double>(row.distinctPatterns);
+        covered += static_cast<double>(row.coveredEpisodes);
+        mean.oneEpPercent += row.oneEpPercent;
+        mean.meanDescs += row.meanDescs;
+        mean.meanDepth += row.meanDepth;
+    }
+    const auto n = static_cast<double>(rows.size());
+    mean.e2eSeconds /= n;
+    mean.inEpsPercent /= n;
+    mean.shortCount = static_cast<std::uint64_t>(short_count / n);
+    mean.tracedCount = static_cast<std::size_t>(traced / n);
+    mean.perceptibleCount = static_cast<std::size_t>(perceptible / n);
+    mean.longPerMin /= n;
+    mean.distinctPatterns = static_cast<std::size_t>(distinct / n);
+    mean.coveredEpisodes = static_cast<std::size_t>(covered / n);
+    mean.oneEpPercent /= n;
+    mean.meanDescs /= n;
+    mean.meanDepth /= n;
+    return mean;
+}
+
+} // namespace lag::core

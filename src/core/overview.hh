@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Overview statistics: one Table III row per session (§IV.A).
+ */
+
+#ifndef LAG_CORE_OVERVIEW_HH
+#define LAG_CORE_OVERVIEW_HH
+
+#include "pattern.hh"
+#include "session.hh"
+
+namespace lag::core
+{
+
+/** One row of the paper's Table III. */
+struct OverviewRow
+{
+    /** "E2E [s]": end-to-end session duration. */
+    double e2eSeconds = 0.0;
+
+    /** "In-Eps [%]": time handling requests / end-to-end time. */
+    double inEpsPercent = 0.0;
+
+    /** "< 3ms": episodes the profiler filtered out. */
+    std::uint64_t shortCount = 0;
+
+    /** ">= 3ms": episodes represented in the trace. */
+    std::size_t tracedCount = 0;
+
+    /** ">= 100ms": perceptible episodes. */
+    std::size_t perceptibleCount = 0;
+
+    /** "Long/min": perceptible episodes per minute of in-episode
+     * time (the stable denominator, per the paper's footnote 2). */
+    double longPerMin = 0.0;
+
+    /** "Dist": distinct patterns. */
+    std::size_t distinctPatterns = 0;
+
+    /** "#Eps": episodes covered by patterns. */
+    std::size_t coveredEpisodes = 0;
+
+    /** "One-Ep [%]": share of singleton patterns. */
+    double oneEpPercent = 0.0;
+
+    /** "Descs": mean non-GC descendants of the dispatch interval,
+     * averaged over patterns. */
+    double meanDescs = 0.0;
+
+    /** "Depth": mean interval-tree depth, averaged over patterns. */
+    double meanDepth = 0.0;
+};
+
+/** Compute a session's Table III row. @p patterns must have been
+ * mined from @p session. */
+OverviewRow computeOverview(const Session &session,
+                            const PatternSet &patterns,
+                            DurationNs perceptible_threshold);
+
+/** Average several rows (e.g. the four sessions of one app, or the
+ * per-app rows into the paper's "Mean" row). */
+OverviewRow meanOverview(const std::vector<OverviewRow> &rows);
+
+} // namespace lag::core
+
+#endif // LAG_CORE_OVERVIEW_HH

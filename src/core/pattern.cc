@@ -1,0 +1,200 @@
+#include "pattern.hh"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace lag::core
+{
+
+namespace
+{
+
+/** Append the signature of @p node (and descendants) to @p out. */
+void
+appendSignature(const IntervalNode &node,
+                const trace::StringTable &strings, std::string &out)
+{
+    switch (node.type) {
+      case IntervalType::Dispatch: out += 'D'; break;
+      case IntervalType::Listener: out += 'L'; break;
+      case IntervalType::Paint:    out += 'P'; break;
+      case IntervalType::Native:   out += 'N'; break;
+      case IntervalType::Async:    out += 'A'; break;
+      case IntervalType::Gc:
+        lag_panic("GC nodes are excluded before signature emission");
+    }
+    if (node.classSym != 0 || node.methodSym != 0) {
+        out += '[';
+        out += strings.lookup(node.classSym);
+        out += '.';
+        out += strings.lookup(node.methodSym);
+        out += ']';
+    }
+    bool any_child = false;
+    for (const auto &child : node.children) {
+        if (child.type == IntervalType::Gc)
+            continue;
+        if (!any_child) {
+            out += '(';
+            any_child = true;
+        }
+        appendSignature(child, strings, out);
+    }
+    if (any_child)
+        out += ')';
+}
+
+/** Non-GC descendant count. */
+std::size_t
+nonGcDescendants(const IntervalNode &node)
+{
+    std::size_t count = 0;
+    for (const auto &child : node.children) {
+        if (child.type == IntervalType::Gc)
+            continue;
+        count += 1 + nonGcDescendants(child);
+    }
+    return count;
+}
+
+/** Depth of the tree ignoring GC nodes; a leaf counts 1. */
+std::size_t
+nonGcDepth(const IntervalNode &node)
+{
+    std::size_t deepest = 0;
+    for (const auto &child : node.children) {
+        if (child.type == IntervalType::Gc)
+            continue;
+        deepest = std::max(deepest, nonGcDepth(child));
+    }
+    return deepest + 1;
+}
+
+OccurrenceClass
+classify(std::size_t perceptible, std::size_t total)
+{
+    if (perceptible == 0)
+        return OccurrenceClass::Never;
+    if (perceptible == total)
+        return OccurrenceClass::Always;
+    if (perceptible == 1)
+        return OccurrenceClass::Once;
+    return OccurrenceClass::Sometimes;
+}
+
+} // namespace
+
+const char *
+occurrenceClassName(OccurrenceClass cls)
+{
+    switch (cls) {
+      case OccurrenceClass::Always:    return "always";
+      case OccurrenceClass::Sometimes: return "sometimes";
+      case OccurrenceClass::Once:      return "once";
+      case OccurrenceClass::Never:     return "never";
+    }
+    return "?";
+}
+
+std::string
+patternSignature(const IntervalNode &root,
+                 const trace::StringTable &strings)
+{
+    std::string out;
+    appendSignature(root, strings, out);
+    return out;
+}
+
+std::size_t
+PatternSet::singletonCount() const
+{
+    std::size_t count = 0;
+    for (const auto &pattern : patterns) {
+        if (pattern.episodes.size() == 1)
+            ++count;
+    }
+    return count;
+}
+
+std::size_t
+PatternSet::perceptiblePatternCount() const
+{
+    std::size_t count = 0;
+    for (const auto &pattern : patterns) {
+        if (pattern.perceptibleCount > 0)
+            ++count;
+    }
+    return count;
+}
+
+PatternMiner::PatternMiner(DurationNs perceptible_threshold)
+    : threshold_(perceptible_threshold)
+{
+    lag_assert(threshold_ > 0, "perceptible threshold must be positive");
+}
+
+PatternSet
+PatternMiner::mine(const Session &session) const
+{
+    PatternSet result;
+    result.perceptibleThreshold = threshold_;
+
+    std::unordered_map<std::string, std::size_t> index;
+    const auto &episodes = session.episodes();
+
+    for (std::size_t i = 0; i < episodes.size(); ++i) {
+        const IntervalNode &root = session.episodeRoot(episodes[i]);
+        if (root.children.empty()) {
+            // "We exclude episodes that have no internal structure"
+            // (paper §IV.A).
+            ++result.structurelessEpisodes;
+            continue;
+        }
+        std::string signature =
+            patternSignature(root, session.strings());
+
+        const auto [it, inserted] =
+            index.emplace(signature, result.patterns.size());
+        if (inserted) {
+            Pattern pattern;
+            pattern.key = fnv1a(signature);
+            pattern.signature = std::move(signature);
+            pattern.descendants = nonGcDescendants(root);
+            pattern.depth = nonGcDepth(root);
+            result.patterns.push_back(std::move(pattern));
+        }
+        Pattern &pattern = result.patterns[it->second];
+
+        const DurationNs lag = episodes[i].duration();
+        const bool perceptible = lag >= threshold_;
+        if (pattern.episodes.empty()) {
+            pattern.minLag = lag;
+            pattern.maxLag = lag;
+            pattern.firstPerceptible = perceptible;
+        } else {
+            pattern.minLag = std::min(pattern.minLag, lag);
+            pattern.maxLag = std::max(pattern.maxLag, lag);
+        }
+        pattern.totalLag += lag;
+        if (perceptible)
+            ++pattern.perceptibleCount;
+        pattern.episodes.push_back(i);
+        ++result.coveredEpisodes;
+    }
+
+    for (auto &pattern : result.patterns) {
+        pattern.occurrence =
+            classify(pattern.perceptibleCount, pattern.episodes.size());
+    }
+
+    std::stable_sort(result.patterns.begin(), result.patterns.end(),
+                     [](const Pattern &a, const Pattern &b) {
+                         return a.episodes.size() > b.episodes.size();
+                     });
+    return result;
+}
+
+} // namespace lag::core

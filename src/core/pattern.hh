@@ -1,0 +1,136 @@
+/**
+ * @file
+ * Episode patterns: equivalence classes over interval-tree structure.
+ *
+ * Two episodes belong to the same pattern when their interval trees
+ * have the same structure — interval types plus symbolic information
+ * (class and method names) — ignoring all timing and excluding GC
+ * nodes (paper §II.D). Ignoring GC lets a developer see whether a
+ * class of episodes always or rarely suffers collections; ignoring
+ * timing groups fast and slow instances of the same behaviour, which
+ * is what makes the always/sometimes/once/never characterization of
+ * §IV.B possible.
+ *
+ * Episodes whose dispatch interval has no children ("no internal
+ * structure") are excluded from pattern coverage, matching the
+ * paper's #Eps accounting in Table III.
+ */
+
+#ifndef LAG_CORE_PATTERN_HH
+#define LAG_CORE_PATTERN_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "session.hh"
+#include "util/types.hh"
+
+namespace lag::core
+{
+
+/** How a pattern's episodes relate to the perceptibility threshold
+ * (paper §IV.B). Singleton patterns whose only episode is
+ * perceptible classify as Always. */
+enum class OccurrenceClass : std::uint8_t
+{
+    Always,    ///< every episode is perceptible
+    Sometimes, ///< more than one, but not all
+    Once,      ///< exactly one of several
+    Never,     ///< none
+};
+
+/** Human-readable name of an occurrence class. */
+const char *occurrenceClassName(OccurrenceClass cls);
+
+/** One mined pattern with its statistics. */
+struct Pattern
+{
+    /** Canonical structural signature (GC-free, timing-free). */
+    std::string signature;
+
+    /** Stable 64-bit key of the signature. */
+    std::uint64_t key = 0;
+
+    /** Member episodes as indices into Session::episodes(). */
+    std::vector<std::size_t> episodes;
+
+    /** Lag statistics over member episodes (Pattern Browser cols). */
+    DurationNs minLag = 0;
+    DurationNs maxLag = 0;
+    DurationNs totalLag = 0;
+
+    /** Member episodes at or above the perceptibility threshold. */
+    std::size_t perceptibleCount = 0;
+
+    /** True when the first (earliest) member is perceptible; one-
+     * shot initialization effects show up as Once + firstPerceptible
+     * (paper §II.D). */
+    bool firstPerceptible = false;
+
+    /** Non-GC descendants of the dispatch interval (Table III
+     * "Descs"). */
+    std::size_t descendants = 0;
+
+    /** Depth of the (non-GC) interval tree (Table III "Depth"). */
+    std::size_t depth = 0;
+
+    OccurrenceClass occurrence = OccurrenceClass::Never;
+
+    DurationNs
+    avgLag() const
+    {
+        return episodes.empty()
+                   ? 0
+                   : totalLag / static_cast<DurationNs>(episodes.size());
+    }
+};
+
+/** Result of mining one session. */
+struct PatternSet
+{
+    /** Patterns, most populous first (ties: first-seen order). */
+    std::vector<Pattern> patterns;
+
+    /** Episodes covered by some pattern (Table III "#Eps"). */
+    std::size_t coveredEpisodes = 0;
+
+    /** Episodes excluded for having no internal structure. */
+    std::size_t structurelessEpisodes = 0;
+
+    /** The perceptibility threshold used for classification. */
+    DurationNs perceptibleThreshold = 0;
+
+    /** Number of singleton patterns (Table III "One-Ep"). */
+    std::size_t singletonCount() const;
+
+    /** Patterns with at least one perceptible episode. */
+    std::size_t perceptiblePatternCount() const;
+};
+
+/**
+ * Compute the canonical structural signature of an interval tree.
+ * GC nodes are skipped entirely; timing is not part of the result.
+ * Exposed for tests and for cross-session pattern matching.
+ */
+std::string patternSignature(const IntervalNode &root,
+                              const trace::StringTable &strings);
+
+/** Mines patterns from a session. */
+class PatternMiner
+{
+  public:
+    /** @param perceptible_threshold lag bound for classification
+     *        (paper default: 100 ms). */
+    explicit PatternMiner(DurationNs perceptible_threshold = msToNs(100));
+
+    /** Group the session's episodes into patterns. */
+    PatternSet mine(const Session &session) const;
+
+  private:
+    DurationNs threshold_;
+};
+
+} // namespace lag::core
+
+#endif // LAG_CORE_PATTERN_HH

@@ -1,0 +1,59 @@
+#include "pattern_stats.hh"
+
+namespace lag::core
+{
+
+std::vector<std::pair<double, double>>
+patternCdf(const PatternSet &patterns)
+{
+    std::vector<std::pair<double, double>> points;
+    points.emplace_back(0.0, 0.0);
+    if (patterns.patterns.empty() || patterns.coveredEpisodes == 0)
+        return points;
+
+    // PatternSet::patterns is already sorted most-populous-first.
+    const auto total_patterns =
+        static_cast<double>(patterns.patterns.size());
+    const auto total_episodes =
+        static_cast<double>(patterns.coveredEpisodes);
+    points.reserve(patterns.patterns.size() + 1);
+    std::size_t covered = 0;
+    for (std::size_t i = 0; i < patterns.patterns.size(); ++i) {
+        covered += patterns.patterns[i].episodes.size();
+        points.emplace_back(
+            static_cast<double>(i + 1) / total_patterns,
+            static_cast<double>(covered) / total_episodes);
+    }
+    return points;
+}
+
+OccurrenceShares
+occurrenceShares(const PatternSet &patterns)
+{
+    std::size_t counts[4] = {0, 0, 0, 0};
+    for (const auto &pattern : patterns.patterns)
+        ++counts[static_cast<std::size_t>(pattern.occurrence)];
+
+    OccurrenceShares shares;
+    shares.patternCount = patterns.patterns.size();
+    if (shares.patternCount == 0)
+        return shares;
+    const auto total = static_cast<double>(shares.patternCount);
+    using OC = OccurrenceClass;
+    shares.always =
+        static_cast<double>(counts[static_cast<std::size_t>(OC::Always)]) /
+        total;
+    shares.sometimes =
+        static_cast<double>(
+            counts[static_cast<std::size_t>(OC::Sometimes)]) /
+        total;
+    shares.once =
+        static_cast<double>(counts[static_cast<std::size_t>(OC::Once)]) /
+        total;
+    shares.never =
+        static_cast<double>(counts[static_cast<std::size_t>(OC::Never)]) /
+        total;
+    return shares;
+}
+
+} // namespace lag::core

@@ -1,0 +1,43 @@
+/**
+ * @file
+ * Pattern-level statistics for Figures 3 and 4.
+ */
+
+#ifndef LAG_CORE_PATTERN_STATS_HH
+#define LAG_CORE_PATTERN_STATS_HH
+
+#include <utility>
+#include <vector>
+
+#include "pattern.hh"
+
+namespace lag::core
+{
+
+/**
+ * Figure 3: cumulative distribution of episodes into patterns.
+ * Patterns are taken most-populous-first; point k is
+ * (fraction of patterns considered, fraction of episodes covered),
+ * both in [0, 1]. The first point is (0, 0); the last is (1, 1)
+ * whenever the set is non-empty.
+ */
+std::vector<std::pair<double, double>>
+patternCdf(const PatternSet &patterns);
+
+/** Figure 4: shares of patterns per occurrence class; the four
+ * fractions sum to 1 when patterns exist. */
+struct OccurrenceShares
+{
+    double always = 0.0;
+    double sometimes = 0.0;
+    double once = 0.0;
+    double never = 0.0;
+    std::size_t patternCount = 0;
+};
+
+/** Classify all patterns of a set. */
+OccurrenceShares occurrenceShares(const PatternSet &patterns);
+
+} // namespace lag::core
+
+#endif // LAG_CORE_PATTERN_STATS_HH

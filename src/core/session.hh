@@ -1,0 +1,109 @@
+/**
+ * @file
+ * The Session: LagAlyzer's in-memory model of one trace.
+ *
+ * "The core of LagAlyzer consists of an in-memory representation of
+ * the latency traces [...]. This core provides the basis for the
+ * visualizations and analyses" (paper §II.A). A Session owns the
+ * per-thread interval trees (built with nesting validation and with
+ * GC intervals copied into every thread's tree), the list of
+ * episodes on the dispatch thread(s), the stack samples, and the
+ * interned symbols.
+ */
+
+#ifndef LAG_CORE_SESSION_HH
+#define LAG_CORE_SESSION_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "interval.hh"
+#include "trace/trace.hh"
+#include "util/types.hh"
+
+namespace lag::core
+{
+
+/** One thread's interval forest. */
+struct ThreadTree
+{
+    ThreadId id = 0;
+    std::string name;
+    bool isGui = false;
+    std::vector<IntervalNode> roots; ///< time-ordered
+};
+
+/**
+ * One episode: a Dispatch interval on a dispatch thread, plus the
+ * range of stack samples that fall inside it.
+ */
+struct Episode
+{
+    ThreadId thread = 0;
+    std::size_t treeIndex = 0;   ///< index into the thread's tree list
+    std::size_t rootIndex = 0;   ///< index into that tree's roots
+    TimeNs begin = 0;
+    TimeNs end = 0;
+    std::size_t firstSample = 0; ///< [firstSample, lastSample)
+    std::size_t lastSample = 0;
+
+    DurationNs duration() const { return end - begin; }
+};
+
+/** A parsed, validated session ready for analysis. */
+class Session
+{
+  public:
+    /**
+     * Build a session from a trace. Validates interval nesting and
+     * GC containment; throws trace::TraceError on malformed input.
+     */
+    static Session fromTrace(trace::Trace trace);
+
+    const trace::TraceMeta &meta() const { return meta_; }
+    const std::vector<ThreadTree> &threads() const { return threads_; }
+    const std::vector<Episode> &episodes() const { return episodes_; }
+    const std::vector<trace::TraceSample> &samples() const
+    {
+        return samples_;
+    }
+    const trace::StringTable &strings() const { return strings_; }
+
+    /** Resolve a symbol id. */
+    const std::string &symbol(SymbolId id) const
+    {
+        return strings_.lookup(id);
+    }
+
+    /** The tree of the thread with @p id; throws if unknown. */
+    const ThreadTree &threadTree(ThreadId id) const;
+
+    /** Root interval node of @p episode. */
+    const IntervalNode &episodeRoot(const Episode &episode) const;
+
+    /** Id of the (first) GUI thread; throws if there is none. */
+    ThreadId guiThread() const;
+
+    /** Session wall time (end - start). */
+    DurationNs wallTime() const
+    {
+        return meta_.endTime - meta_.startTime;
+    }
+
+    /** Count of episodes at or above @p threshold. */
+    std::size_t perceptibleCount(DurationNs threshold) const;
+
+  private:
+    Session() = default;
+
+    trace::TraceMeta meta_;
+    std::vector<ThreadTree> threads_;
+    std::vector<Episode> episodes_;
+    std::vector<trace::TraceSample> samples_;
+    trace::StringTable strings_;
+};
+
+} // namespace lag::core
+
+#endif // LAG_CORE_SESSION_HH

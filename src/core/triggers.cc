@@ -1,0 +1,105 @@
+#include "triggers.hh"
+
+namespace lag::core
+{
+
+namespace
+{
+
+/**
+ * Preorder search for the first Listener/Paint/Async interval below
+ * @p node. Returns nullptr when the subtree has none.
+ */
+const IntervalNode *
+firstMarker(const IntervalNode &node)
+{
+    for (const auto &child : node.children) {
+        if (child.type == IntervalType::Listener ||
+            child.type == IntervalType::Paint ||
+            child.type == IntervalType::Async) {
+            return &child;
+        }
+        // Descend through Native and GC-free structure; GC children
+        // have no descendants relevant here.
+        if (const IntervalNode *found = firstMarker(child))
+            return found;
+    }
+    return nullptr;
+}
+
+} // namespace
+
+const char *
+triggerKindName(TriggerKind kind)
+{
+    switch (kind) {
+      case TriggerKind::Input:       return "input";
+      case TriggerKind::Output:      return "output";
+      case TriggerKind::Async:       return "async";
+      case TriggerKind::Unspecified: return "unspecified";
+    }
+    return "?";
+}
+
+TriggerKind
+episodeTrigger(const IntervalNode &root)
+{
+    const IntervalNode *marker = firstMarker(root);
+    if (marker == nullptr)
+        return TriggerKind::Unspecified;
+    switch (marker->type) {
+      case IntervalType::Listener:
+        return TriggerKind::Input;
+      case IntervalType::Paint:
+        return TriggerKind::Output;
+      case IntervalType::Async: {
+        // Repaint-manager special case (paper §IV.C footnote): an
+        // async interval that contains a paint as its first nested
+        // marker is really an output episode.
+        const IntervalNode *inner = firstMarker(*marker);
+        if (inner != nullptr && inner->type == IntervalType::Paint)
+            return TriggerKind::Output;
+        return TriggerKind::Async;
+      }
+      default:
+        break;
+    }
+    return TriggerKind::Unspecified;
+}
+
+TriggerAnalysisResult
+analyzeTriggers(const Session &session, DurationNs perceptible_threshold)
+{
+    std::size_t counts_all[4] = {0, 0, 0, 0};
+    std::size_t counts_perc[4] = {0, 0, 0, 0};
+
+    for (const auto &episode : session.episodes()) {
+        const TriggerKind kind =
+            episodeTrigger(session.episodeRoot(episode));
+        const auto idx = static_cast<std::size_t>(kind);
+        ++counts_all[idx];
+        if (episode.duration() >= perceptible_threshold)
+            ++counts_perc[idx];
+    }
+
+    const auto to_shares = [](const std::size_t counts[4]) {
+        TriggerShares shares;
+        shares.episodeCount =
+            counts[0] + counts[1] + counts[2] + counts[3];
+        if (shares.episodeCount == 0)
+            return shares;
+        const auto total = static_cast<double>(shares.episodeCount);
+        shares.input = static_cast<double>(counts[0]) / total;
+        shares.output = static_cast<double>(counts[1]) / total;
+        shares.async = static_cast<double>(counts[2]) / total;
+        shares.unspecified = static_cast<double>(counts[3]) / total;
+        return shares;
+    };
+
+    TriggerAnalysisResult result;
+    result.all = to_shares(counts_all);
+    result.perceptible = to_shares(counts_perc);
+    return result;
+}
+
+} // namespace lag::core

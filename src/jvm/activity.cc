@@ -1,0 +1,131 @@
+#include "activity.hh"
+
+#include <algorithm>
+
+namespace lag::jvm
+{
+
+const char *
+activityKindName(ActivityKind kind)
+{
+    switch (kind) {
+      case ActivityKind::Plain:    return "plain";
+      case ActivityKind::Listener: return "listener";
+      case ActivityKind::Paint:    return "paint";
+      case ActivityKind::Native:   return "native";
+      case ActivityKind::Async:    return "async";
+    }
+    return "?";
+}
+
+DurationNs
+ActivityNode::subtreeCost() const
+{
+    DurationNs total = selfCost;
+    for (const auto &c : children)
+        total += c.subtreeCost();
+    return total;
+}
+
+std::size_t
+ActivityNode::subtreeSize() const
+{
+    std::size_t total = 1;
+    for (const auto &c : children)
+        total += c.subtreeSize();
+    return total;
+}
+
+std::size_t
+ActivityNode::subtreeDepth() const
+{
+    std::size_t deepest = 0;
+    for (const auto &c : children)
+        deepest = std::max(deepest, c.subtreeDepth());
+    return deepest + 1;
+}
+
+ActivityBuilder::ActivityBuilder(ActivityKind kind, std::string class_name,
+                                 std::string method_name)
+{
+    node_.kind = kind;
+    node_.frame.className = std::move(class_name);
+    node_.frame.methodName = std::move(method_name);
+}
+
+ActivityBuilder &
+ActivityBuilder::cost(DurationNs ns)
+{
+    node_.selfCost = ns;
+    return *this;
+}
+
+ActivityBuilder &
+ActivityBuilder::alloc(std::uint64_t bytes)
+{
+    node_.allocBytes = bytes;
+    return *this;
+}
+
+ActivityBuilder &
+ActivityBuilder::sleep(DurationNs ns)
+{
+    node_.sleepNs = ns;
+    return *this;
+}
+
+ActivityBuilder &
+ActivityBuilder::wait(DurationNs ns)
+{
+    node_.waitNs = ns;
+    return *this;
+}
+
+ActivityBuilder &
+ActivityBuilder::monitor(int id)
+{
+    node_.monitorId = id;
+    return *this;
+}
+
+ActivityBuilder &
+ActivityBuilder::systemGc()
+{
+    node_.explicitGc = true;
+    return *this;
+}
+
+ActivityBuilder &
+ActivityBuilder::postAtEnd(GuiEvent event)
+{
+    node_.postAtEnd.push_back(std::move(event));
+    return *this;
+}
+
+ActivityBuilder &
+ActivityBuilder::child(ActivityNode node)
+{
+    node_.children.push_back(std::move(node));
+    return *this;
+}
+
+ActivityBuilder &
+ActivityBuilder::child(ActivityBuilder builder)
+{
+    node_.children.push_back(std::move(builder).build());
+    return *this;
+}
+
+ActivityNode
+ActivityBuilder::build() &&
+{
+    return std::move(node_);
+}
+
+std::shared_ptr<const ActivityNode>
+ActivityBuilder::buildShared() &&
+{
+    return std::make_shared<const ActivityNode>(std::move(node_));
+}
+
+} // namespace lag::jvm

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * Activity trees: the "programs" simulated threads execute.
+ *
+ * An activity tree is a nested structure of method calls. Each node
+ * carries a frame (class + method), a CPU self-cost that is consumed
+ * in chunks interleaved around its children, an allocation volume,
+ * and optional blocking operations (sleep, timed wait, monitor
+ * acquisition, explicit GC) that model the behaviours the paper's
+ * study observes: Euclide's combo-box Thread.sleep, jEdit's modal
+ * dialog waits, FreeMind's monitor contention and Arabeske's
+ * System.gc() calls.
+ *
+ * Nodes whose kind is not Plain additionally produce trace intervals
+ * (Listener / Paint / Native / Async per Table I of the paper).
+ */
+
+#ifndef LAG_JVM_ACTIVITY_HH
+#define LAG_JVM_ACTIVITY_HH
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace lag::jvm
+{
+
+struct ActivityNode;
+
+/**
+ * Kind of method call a node models. Plain frames appear in call
+ * stacks only; the other kinds additionally open a trace interval.
+ */
+enum class ActivityKind : std::uint8_t
+{
+    Plain,    ///< ordinary method call; stack frame only
+    Listener, ///< user-input listener notification
+    Paint,    ///< graphics rendering operation
+    Native,   ///< JNI native call
+    Async,    ///< dispatch of an event posted by a background thread
+};
+
+/** Human-readable name of an activity kind. */
+const char *activityKindName(ActivityKind kind);
+
+/** One call-stack frame. */
+struct Frame
+{
+    std::string className;
+    std::string methodName;
+
+    bool
+    operator==(const Frame &other) const
+    {
+        return className == other.className &&
+               methodName == other.methodName;
+    }
+};
+
+/**
+ * An event posted to the GUI event queue. Dispatching one of these
+ * on the event-dispatch thread constitutes an episode.
+ */
+struct GuiEvent
+{
+    /** Handler executed by the event-dispatch thread. */
+    std::shared_ptr<const ActivityNode> handler;
+
+    /**
+     * True when the event was posted by a background thread; the
+     * dispatch is then wrapped in an Async interval (paper §II.A,
+     * "background-thread event dispatches").
+     */
+    bool postedByBackground = false;
+};
+
+/** A node in an activity tree. */
+struct ActivityNode
+{
+    ActivityKind kind = ActivityKind::Plain;
+    Frame frame;
+
+    /**
+     * CPU time this node consumes itself, interleaved in equal
+     * chunks around its children.
+     */
+    DurationNs selfCost = 0;
+
+    /** Bytes allocated while consuming selfCost (spread pro rata). */
+    std::uint64_t allocBytes = 0;
+
+    /** If > 0, Thread.sleep for this long on entry. */
+    DurationNs sleepNs = 0;
+
+    /** If > 0, Object.wait/park with this timeout on entry. */
+    DurationNs waitNs = 0;
+
+    /** If >= 0, hold this monitor for the duration of the node. */
+    int monitorId = -1;
+
+    /** If true, invoke System.gc() (a major collection) on entry. */
+    bool explicitGc = false;
+
+    /** Events posted to the GUI queue when the node completes. */
+    std::vector<GuiEvent> postAtEnd;
+
+    std::vector<ActivityNode> children;
+
+    /** Total CPU demand of the subtree (self costs only, no waits). */
+    DurationNs subtreeCost() const;
+
+    /** Number of nodes in the subtree (including this node). */
+    std::size_t subtreeSize() const;
+
+    /** Maximum depth of the subtree (this node counts as 1). */
+    std::size_t subtreeDepth() const;
+};
+
+/**
+ * Fluent helper for building activity trees in application models
+ * and tests without writing aggregate-initializer pyramids.
+ */
+class ActivityBuilder
+{
+  public:
+    /** Start a tree rooted at a node of the given kind and frame. */
+    ActivityBuilder(ActivityKind kind, std::string class_name,
+                    std::string method_name);
+
+    /** Set the root's CPU self-cost. */
+    ActivityBuilder &cost(DurationNs ns);
+
+    /** Set the root's allocation volume. */
+    ActivityBuilder &alloc(std::uint64_t bytes);
+
+    /** Sleep on entry. */
+    ActivityBuilder &sleep(DurationNs ns);
+
+    /** Timed wait on entry. */
+    ActivityBuilder &wait(DurationNs ns);
+
+    /** Hold a monitor for the node's duration. */
+    ActivityBuilder &monitor(int id);
+
+    /** Trigger System.gc() on entry. */
+    ActivityBuilder &systemGc();
+
+    /** Post an event to the GUI queue when the node completes. */
+    ActivityBuilder &postAtEnd(GuiEvent event);
+
+    /** Append a fully built child. */
+    ActivityBuilder &child(ActivityNode node);
+
+    /** Append the tree built by another builder as a child. */
+    ActivityBuilder &child(ActivityBuilder builder);
+
+    /** Finish and return the tree by value. */
+    ActivityNode build() &&;
+
+    /** Finish and return the tree behind a shared pointer. */
+    std::shared_ptr<const ActivityNode> buildShared() &&;
+
+  private:
+    ActivityNode node_;
+};
+
+} // namespace lag::jvm
+
+#endif // LAG_JVM_ACTIVITY_HH

@@ -1,0 +1,52 @@
+#include "gui_queue.hh"
+
+#include <algorithm>
+#include <utility>
+
+#include "vm.hh"
+
+namespace lag::jvm
+{
+
+void
+GuiEventQueue::push(GuiEvent event)
+{
+    queue_.push_back(std::move(event));
+    ++total_posted_;
+    max_depth_ = std::max(max_depth_, queue_.size());
+}
+
+std::optional<GuiEvent>
+GuiEventQueue::pop()
+{
+    if (queue_.empty())
+        return std::nullopt;
+    GuiEvent front = std::move(queue_.front());
+    queue_.pop_front();
+    return front;
+}
+
+ProgramStep
+EdtProgram::next(Jvm &vm, VThread &)
+{
+    auto event = vm.guiQueue().pop();
+    if (!event)
+        return ProgramStep::idle();
+
+    ActivityBuilder dispatch(ActivityKind::Plain, "java.awt.EventQueue",
+                             "dispatchEvent");
+    dispatch.cost(vm.config().dispatchOverhead);
+    if (event->postedByBackground) {
+        ActivityBuilder wrapper(ActivityKind::Async,
+                                "java.awt.event.InvocationEvent",
+                                "dispatch");
+        wrapper.child(*event->handler);
+        dispatch.child(std::move(wrapper));
+    } else {
+        dispatch.child(*event->handler);
+    }
+    return ProgramStep::runActivity(std::move(dispatch).buildShared(),
+                                    /*as_episode=*/true);
+}
+
+} // namespace lag::jvm

@@ -1,0 +1,67 @@
+/**
+ * @file
+ * The GUI event queue and the event-dispatch thread's program.
+ *
+ * Models java.awt.EventQueue: user input, repaint requests and
+ * background-thread posts all funnel through one queue serviced by a
+ * single event-dispatch thread (EDT). Each dispatched event is one
+ * episode (paper §II: "a time interval from the point a user request
+ * is dispatched until the point the request is completed").
+ */
+
+#ifndef LAG_JVM_GUI_QUEUE_HH
+#define LAG_JVM_GUI_QUEUE_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+
+#include "activity.hh"
+#include "program.hh"
+
+namespace lag::jvm
+{
+
+/** FIFO of pending GUI events. */
+class GuiEventQueue
+{
+  public:
+    /** Enqueue an event. */
+    void push(GuiEvent event);
+
+    /** Dequeue the oldest event, if any. */
+    std::optional<GuiEvent> pop();
+
+    bool empty() const { return queue_.empty(); }
+    std::size_t size() const { return queue_.size(); }
+
+    /** Total events ever enqueued. */
+    std::uint64_t totalPosted() const { return total_posted_; }
+
+    /** High-water mark of the queue depth (backlog diagnostics). */
+    std::size_t maxDepth() const { return max_depth_; }
+
+  private:
+    std::deque<GuiEvent> queue_;
+    std::uint64_t total_posted_ = 0;
+    std::size_t max_depth_ = 0;
+};
+
+/**
+ * Program of the event-dispatch thread: pull the next GUI event and
+ * dispatch it as an episode; park when the queue is empty.
+ *
+ * Handlers are wrapped in a java.awt.EventQueue.dispatchEvent frame,
+ * and events posted by background threads are additionally wrapped
+ * in an Async interval node, which is how the paper's traces
+ * distinguish asynchronous episodes (§II.A).
+ */
+class EdtProgram : public ThreadProgram
+{
+  public:
+    ProgramStep next(Jvm &vm, VThread &thread) override;
+};
+
+} // namespace lag::jvm
+
+#endif // LAG_JVM_GUI_QUEUE_HH

@@ -1,0 +1,82 @@
+#include "heap.hh"
+
+#include "util/logging.hh"
+
+namespace lag::jvm
+{
+
+const char *
+gcKindName(GcKind kind)
+{
+    switch (kind) {
+      case GcKind::Minor: return "minor";
+      case GcKind::Major: return "major";
+    }
+    return "?";
+}
+
+Heap::Heap(const HeapConfig &config, std::uint64_t seed)
+    : config_(config), rng_(seed)
+{
+    lag_assert(config_.youngCapacityBytes > 0, "empty young generation");
+    lag_assert(config_.promoteFraction >= 0.0 &&
+               config_.promoteFraction <= 1.0,
+               "promoteFraction out of [0,1]");
+    lag_assert(config_.oldSurvivorFraction >= 0.0 &&
+               config_.oldSurvivorFraction <= 1.0,
+               "oldSurvivorFraction out of [0,1]");
+}
+
+void
+Heap::allocate(std::uint64_t bytes)
+{
+    young_used_ += bytes;
+    total_allocated_ += bytes;
+}
+
+bool
+Heap::needsMinor() const
+{
+    return young_used_ >= config_.youngCapacityBytes;
+}
+
+bool
+Heap::needsMajor() const
+{
+    return old_used_ >= config_.oldCapacityBytes;
+}
+
+DurationNs
+Heap::drawPause(GcKind kind)
+{
+    if (kind == GcKind::Minor) {
+        return rng_.duration(config_.minorPauseMedian,
+                             config_.minorPauseSigma,
+                             config_.minorPauseMin,
+                             config_.minorPauseMax);
+    }
+    return rng_.duration(config_.majorPauseMedian,
+                         config_.majorPauseSigma,
+                         config_.majorPauseMin,
+                         config_.majorPauseMax);
+}
+
+void
+Heap::finishCollection(GcKind kind)
+{
+    if (kind == GcKind::Minor) {
+        const auto promoted = static_cast<std::uint64_t>(
+            static_cast<double>(young_used_) * config_.promoteFraction);
+        old_used_ += promoted;
+        young_used_ = 0;
+        ++minor_count_;
+    } else {
+        const auto survivors = static_cast<std::uint64_t>(
+            static_cast<double>(old_used_) * config_.oldSurvivorFraction);
+        old_used_ = survivors;
+        young_used_ = 0;
+        ++major_count_;
+    }
+}
+
+} // namespace lag::jvm

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Generational heap model driving the stop-the-world collector.
+ *
+ * Two generations: allocation fills the young space; a full young
+ * space triggers a minor collection, which promotes a fraction of
+ * the young bytes. A full old space (or an explicit System.gc())
+ * triggers a major collection. Pause lengths are lognormal draws so
+ * that collections inside episodes vary realistically; the paper's
+ * Figure 1 episode contains a 466 ms (major-scale) collection and
+ * ArgoUML's profile shows frequent short minor collections.
+ */
+
+#ifndef LAG_JVM_HEAP_HH
+#define LAG_JVM_HEAP_HH
+
+#include <cstdint>
+
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace lag::jvm
+{
+
+/** Kind of a stop-the-world collection. */
+enum class GcKind : std::uint8_t
+{
+    Minor,
+    Major,
+};
+
+/** Human-readable name of a GC kind. */
+const char *gcKindName(GcKind kind);
+
+/** Heap sizing and pause-model parameters. */
+struct HeapConfig
+{
+    /** Young-generation capacity; reaching it triggers a minor GC. */
+    std::uint64_t youngCapacityBytes = 24ull << 20;
+
+    /** Fraction of young bytes promoted by each minor collection. */
+    double promoteFraction = 0.08;
+
+    /** Old-generation capacity; reaching it upgrades to a major GC. */
+    std::uint64_t oldCapacityBytes = 192ull << 20;
+
+    /** Fraction of old bytes surviving a major collection. */
+    double oldSurvivorFraction = 0.35;
+
+    /** Minor pause distribution (lognormal, clamped). */
+    DurationNs minorPauseMedian = msToNs(12);
+    double minorPauseSigma = 0.45;
+    DurationNs minorPauseMin = msToNs(3);
+    DurationNs minorPauseMax = msToNs(90);
+
+    /** Major pause distribution (lognormal, clamped). */
+    DurationNs majorPauseMedian = msToNs(380);
+    double majorPauseSigma = 0.25;
+    DurationNs majorPauseMin = msToNs(140);
+    DurationNs majorPauseMax = msToNs(900);
+};
+
+/** Allocation accounting and GC trigger/pause policy. */
+class Heap
+{
+  public:
+    Heap(const HeapConfig &config, std::uint64_t seed);
+
+    /** Record @p bytes of allocation. */
+    void allocate(std::uint64_t bytes);
+
+    /** True when the young generation is full. */
+    bool needsMinor() const;
+
+    /** True when the old generation is full. */
+    bool needsMajor() const;
+
+    /** Draw the pause length for a collection of @p kind. */
+    DurationNs drawPause(GcKind kind);
+
+    /** Apply the heap effects of a completed collection. */
+    void finishCollection(GcKind kind);
+
+    std::uint64_t youngUsed() const { return young_used_; }
+    std::uint64_t oldUsed() const { return old_used_; }
+    std::uint64_t totalAllocated() const { return total_allocated_; }
+    std::uint64_t minorCount() const { return minor_count_; }
+    std::uint64_t majorCount() const { return major_count_; }
+
+  private:
+    HeapConfig config_;
+    Rng rng_;
+    std::uint64_t young_used_ = 0;
+    std::uint64_t old_used_ = 0;
+    std::uint64_t total_allocated_ = 0;
+    std::uint64_t minor_count_ = 0;
+    std::uint64_t major_count_ = 0;
+};
+
+} // namespace lag::jvm
+
+#endif // LAG_JVM_HEAP_HH

@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Observation interface of the simulated JVM.
+ *
+ * A JvmListener receives the raw events a profiling agent would see:
+ * episode dispatch boundaries, interval (method) boundaries for the
+ * instrumented kinds, GC bounds, and periodic stack samples. The
+ * LiLa agent (src/lila) implements this interface to produce traces;
+ * tests implement it to observe VM behaviour directly.
+ */
+
+#ifndef LAG_JVM_LISTENER_HH
+#define LAG_JVM_LISTENER_HH
+
+#include <vector>
+
+#include "activity.hh"
+#include "heap.hh"
+#include "thread.hh"
+#include "util/types.hh"
+
+namespace lag::jvm
+{
+
+/** One thread's contribution to a stack sample. */
+struct ThreadSnapshot
+{
+    ThreadId thread;
+    SampleState state;
+    std::vector<Frame> stack; ///< innermost frame last
+};
+
+/** Callbacks fired by the VM as simulation progresses. */
+class JvmListener
+{
+  public:
+    virtual ~JvmListener() = default;
+
+    /** A thread entered the Runnable state for the first time. */
+    virtual void onThreadStarted(const VThread &thread) { (void)thread; }
+
+    /** The EDT began dispatching a GUI event (episode start). */
+    virtual void
+    onDispatchBegin(ThreadId thread, TimeNs time)
+    {
+        (void)thread;
+        (void)time;
+    }
+
+    /** The dispatch completed (episode end). */
+    virtual void
+    onDispatchEnd(ThreadId thread, TimeNs time)
+    {
+        (void)thread;
+        (void)time;
+    }
+
+    /** A Listener/Paint/Native/Async interval began. */
+    virtual void
+    onIntervalBegin(ThreadId thread, ActivityKind kind, const Frame &frame,
+                    TimeNs time)
+    {
+        (void)thread;
+        (void)kind;
+        (void)frame;
+        (void)time;
+    }
+
+    /** The matching interval ended. */
+    virtual void
+    onIntervalEnd(ThreadId thread, ActivityKind kind, TimeNs time)
+    {
+        (void)thread;
+        (void)kind;
+        (void)time;
+    }
+
+    /** Stop-the-world collection started (all threads stopped). */
+    virtual void
+    onGcBegin(TimeNs time, GcKind kind)
+    {
+        (void)time;
+        (void)kind;
+    }
+
+    /** The collection finished; threads are about to resume. */
+    virtual void onGcEnd(TimeNs time) { (void)time; }
+
+    /** Periodic stack sample of all live threads. */
+    virtual void
+    onSample(TimeNs time, const std::vector<ThreadSnapshot> &snapshots)
+    {
+        (void)time;
+        (void)snapshots;
+    }
+};
+
+} // namespace lag::jvm
+
+#endif // LAG_JVM_LISTENER_HH

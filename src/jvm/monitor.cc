@@ -1,0 +1,68 @@
+#include "monitor.hh"
+
+#include "util/logging.hh"
+
+namespace lag::jvm
+{
+
+bool
+MonitorTable::tryAcquire(ThreadId thread, int monitor)
+{
+    lag_assert(monitor >= 0, "monitor ids must be non-negative");
+    Monitor &mon = monitors_[monitor];
+    if (!mon.held) {
+        mon.held = true;
+        mon.owner = thread;
+        return true;
+    }
+    lag_assert(mon.owner != thread,
+               "recursive monitor acquisition is not modeled (monitor ",
+               monitor, ")");
+    mon.queue.push_back(thread);
+    ++contentions_;
+    return false;
+}
+
+std::optional<ThreadId>
+MonitorTable::release(ThreadId thread, int monitor)
+{
+    const auto it = monitors_.find(monitor);
+    lag_assert(it != monitors_.end() && it->second.held,
+               "release of unheld monitor ", monitor);
+    Monitor &mon = it->second;
+    lag_assert(mon.owner == thread, "thread ", thread,
+               " releasing monitor ", monitor, " owned by ", mon.owner);
+    if (mon.queue.empty()) {
+        mon.held = false;
+        return std::nullopt;
+    }
+    const ThreadId next = mon.queue.front();
+    mon.queue.pop_front();
+    mon.owner = next; // direct handoff; monitor stays held
+    return next;
+}
+
+bool
+MonitorTable::isHeld(int monitor) const
+{
+    const auto it = monitors_.find(monitor);
+    return it != monitors_.end() && it->second.held;
+}
+
+ThreadId
+MonitorTable::holder(int monitor) const
+{
+    const auto it = monitors_.find(monitor);
+    lag_assert(it != monitors_.end() && it->second.held,
+               "holder() of unheld monitor ", monitor);
+    return it->second.owner;
+}
+
+std::size_t
+MonitorTable::waiters(int monitor) const
+{
+    const auto it = monitors_.find(monitor);
+    return it == monitors_.end() ? 0 : it->second.queue.size();
+}
+
+} // namespace lag::jvm

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Contended monitors (Java intrinsic locks).
+ *
+ * Threads that fail to acquire a held monitor are queued FIFO and
+ * handed the monitor directly when the holder releases it. This is
+ * the mechanism behind the Blocked thread state that the paper's
+ * Figure 8 attributes lag to (e.g. FreeMind's display-configuration
+ * contention).
+ */
+
+#ifndef LAG_JVM_MONITOR_HH
+#define LAG_JVM_MONITOR_HH
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <unordered_map>
+
+#include "util/types.hh"
+
+namespace lag::jvm
+{
+
+/** Table of all monitors in one simulated VM. */
+class MonitorTable
+{
+  public:
+    /**
+     * Attempt to acquire @p monitor for @p thread.
+     * @return true on success; on failure the thread has been queued
+     *         and will be granted the monitor on a later release.
+     */
+    bool tryAcquire(ThreadId thread, int monitor);
+
+    /**
+     * Release @p monitor held by @p thread. If waiters are queued,
+     * ownership passes directly to the first waiter.
+     * @return the thread granted the monitor, if any.
+     */
+    std::optional<ThreadId> release(ThreadId thread, int monitor);
+
+    /** True when the monitor is currently held. */
+    bool isHeld(int monitor) const;
+
+    /** Holder of @p monitor; meaningless unless isHeld(). */
+    ThreadId holder(int monitor) const;
+
+    /** Number of threads queued on @p monitor. */
+    std::size_t waiters(int monitor) const;
+
+    /** Total failed acquisition attempts (contention events). */
+    std::uint64_t contentionCount() const { return contentions_; }
+
+  private:
+    struct Monitor
+    {
+        bool held = false;
+        ThreadId owner = 0;
+        std::deque<ThreadId> queue;
+    };
+
+    std::unordered_map<int, Monitor> monitors_;
+    std::uint64_t contentions_ = 0;
+};
+
+} // namespace lag::jvm
+
+#endif // LAG_JVM_MONITOR_HH

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Thread programs: what a simulated thread does between activities.
+ *
+ * A program is consulted by the VM whenever its thread has no task.
+ * The event-dispatch thread's program pulls events from the GUI
+ * queue; background-thread programs model timers, loaders and
+ * workers (defined by the application models in src/app).
+ */
+
+#ifndef LAG_JVM_PROGRAM_HH
+#define LAG_JVM_PROGRAM_HH
+
+#include <memory>
+
+#include "activity.hh"
+#include "util/types.hh"
+
+namespace lag::jvm
+{
+
+class Jvm;
+class VThread;
+
+/** Directive a program hands back to the VM. */
+struct ProgramStep
+{
+    enum class Kind : std::uint8_t
+    {
+        RunActivity,   ///< execute an activity tree
+        IdleUntilWoken,///< park until someone wakes the thread
+        SleepFor,      ///< sleep, then ask again
+        Exit,          ///< terminate the thread
+    };
+
+    Kind kind = Kind::Exit;
+
+    /** Activity to run (RunActivity). */
+    std::shared_ptr<const ActivityNode> activity;
+
+    /** Treat the activity as an episode dispatch (EDT only). */
+    bool asEpisode = false;
+
+    /** Wrap the activity in an Async interval (background post). */
+    bool asAsync = false;
+
+    /** Sleep duration (SleepFor). */
+    DurationNs sleepNs = 0;
+
+    static ProgramStep
+    runActivity(std::shared_ptr<const ActivityNode> activity,
+                bool as_episode = false, bool as_async = false)
+    {
+        ProgramStep s;
+        s.kind = Kind::RunActivity;
+        s.activity = std::move(activity);
+        s.asEpisode = as_episode;
+        s.asAsync = as_async;
+        return s;
+    }
+
+    static ProgramStep
+    idle()
+    {
+        ProgramStep s;
+        s.kind = Kind::IdleUntilWoken;
+        return s;
+    }
+
+    static ProgramStep
+    sleepFor(DurationNs ns)
+    {
+        ProgramStep s;
+        s.kind = Kind::SleepFor;
+        s.sleepNs = ns;
+        return s;
+    }
+
+    static ProgramStep
+    exitThread()
+    {
+        ProgramStep s;
+        s.kind = Kind::Exit;
+        return s;
+    }
+};
+
+/** Behaviour of a thread between tasks. */
+class ThreadProgram
+{
+  public:
+    virtual ~ThreadProgram() = default;
+
+    /** Decide what the thread does next. Called with the VM's state
+     * at the current simulated time; the program may post GUI events
+     * or inspect the clock through @p vm. */
+    virtual ProgramStep next(Jvm &vm, VThread &thread) = 0;
+};
+
+} // namespace lag::jvm
+
+#endif // LAG_JVM_PROGRAM_HH

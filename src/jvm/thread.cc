@@ -1,0 +1,248 @@
+#include "thread.hh"
+
+#include "util/logging.hh"
+
+namespace lag::jvm
+{
+
+const char *
+threadStateName(ThreadState state)
+{
+    switch (state) {
+      case ThreadState::New:         return "new";
+      case ThreadState::Running:     return "running";
+      case ThreadState::Runnable:    return "runnable";
+      case ThreadState::Blocked:     return "blocked";
+      case ThreadState::Waiting:     return "waiting";
+      case ThreadState::Sleeping:    return "sleeping";
+      case ThreadState::AtSafepoint: return "at-safepoint";
+      case ThreadState::Terminated:  return "terminated";
+    }
+    return "?";
+}
+
+const char *
+sampleStateName(SampleState state)
+{
+    switch (state) {
+      case SampleState::Runnable: return "runnable";
+      case SampleState::Blocked:  return "blocked";
+      case SampleState::Waiting:  return "waiting";
+      case SampleState::Sleeping: return "sleeping";
+    }
+    return "?";
+}
+
+VThread::VThread(ThreadId id, std::string name, bool is_gui,
+                 std::shared_ptr<ThreadProgram> program,
+                 std::vector<Frame> base_stack)
+    : id_(id), name_(std::move(name)), gui_(is_gui),
+      program_(std::move(program)), base_stack_(std::move(base_stack)),
+      stack_(base_stack_)
+{
+    lag_assert(program_ != nullptr, "thread '", name_, "' needs a program");
+}
+
+SampleState
+VThread::sampleState() const
+{
+    switch (state_) {
+      case ThreadState::Running:
+      case ThreadState::Runnable:
+      case ThreadState::AtSafepoint:
+        // A JVMTI sampler reports RUNNABLE whether or not the thread
+        // holds a core; safepoint parking is likewise invisible.
+        return SampleState::Runnable;
+      case ThreadState::Blocked:
+        return SampleState::Blocked;
+      case ThreadState::Waiting:
+        return SampleState::Waiting;
+      case ThreadState::Sleeping:
+        return SampleState::Sleeping;
+      case ThreadState::New:
+      case ThreadState::Terminated:
+        break;
+    }
+    lag_panic("sampling dead thread '", name_, "' in state ",
+              threadStateName(state_));
+}
+
+bool
+VThread::isLive() const
+{
+    return state_ != ThreadState::New && state_ != ThreadState::Terminated;
+}
+
+void
+VThread::beginTask(std::shared_ptr<const ActivityNode> root)
+{
+    lag_assert(exec_.empty(),
+               "beginTask on thread '", name_, "' with a task in flight");
+    lag_assert(root != nullptr, "beginTask with null activity");
+    task_ = std::move(root);
+    pushNode(task_.get());
+}
+
+void
+VThread::pushNode(const ActivityNode *node)
+{
+    ExecFrame frame;
+    frame.node = node;
+    frame.effectiveSelfCost = node->selfCost;
+    if (node->kind != ActivityKind::Plain)
+        frame.effectiveSelfCost += instrumentation_overhead_;
+    frame.chunksLeft = node->children.size() + 1;
+    frame.chunkSize = frame.effectiveSelfCost /
+                      static_cast<DurationNs>(frame.chunksLeft);
+    exec_.push_back(frame);
+}
+
+void
+VThread::popNode(ExecContext &ctx)
+{
+    const ExecFrame top = exec_.back();
+    const ActivityNode *node = top.node;
+    for (const auto &event : node->postAtEnd)
+        ctx.postGuiEvent(event);
+    if (node->kind != ActivityKind::Plain)
+        ctx.intervalEnd(id_, node->kind);
+    if (top.monitorHeld)
+        ctx.releaseMonitor(id_, node->monitorId);
+    lag_assert(!stack_.empty() && stack_.size() > base_stack_.size(),
+               "interpreter stack underflow on thread '", name_, "'");
+    stack_.pop_back();
+    exec_.pop_back();
+    if (exec_.empty())
+        task_.reset();
+}
+
+Need
+VThread::advance(ExecContext &ctx)
+{
+    while (true) {
+        if (exec_.empty())
+            return Need{Need::Kind::TaskDone, 0, -1};
+
+        ExecFrame &top = exec_.back();
+        const ActivityNode *node = top.node;
+
+        if (!top.entered) {
+            top.entered = true;
+            stack_.push_back(node->frame);
+            if (node->kind != ActivityKind::Plain)
+                ctx.intervalBegin(id_, node->kind, node->frame);
+        }
+
+        if (node->monitorId >= 0 && !top.monitorHeld) {
+            if (!top.monitorRequested) {
+                if (ctx.tryAcquireMonitor(id_, node->monitorId)) {
+                    top.monitorHeld = true;
+                } else {
+                    top.monitorRequested = true;
+                    return Need{Need::Kind::BlockedOnMonitor, 0,
+                                node->monitorId};
+                }
+            } else {
+                // Queued on the monitor; grantMonitor() flips
+                // monitorHeld when the holder releases.
+                return Need{Need::Kind::BlockedOnMonitor, 0,
+                            node->monitorId};
+            }
+        }
+
+        if (node->sleepNs > 0 && !top.sleepDone) {
+            top.sleepDone = true;
+            return Need{Need::Kind::Sleep, node->sleepNs, -1};
+        }
+
+        if (node->waitNs > 0 && !top.waitDone) {
+            top.waitDone = true;
+            return Need{Need::Kind::Wait, node->waitNs, -1};
+        }
+
+        if (node->explicitGc && !top.gcDone) {
+            top.gcDone = true;
+            return Need{Need::Kind::TriggerGc, 0, -1};
+        }
+
+        if (top.chunkRemaining > 0)
+            return Need{Need::Kind::Cpu, top.chunkRemaining, -1};
+
+        if (top.chunksLeft == 0 && top.nextChild >= node->children.size()) {
+            popNode(ctx);
+            continue;
+        }
+
+        if (!top.childPhase) {
+            // Start the next self-cost chunk; the final chunk absorbs
+            // the division remainder so chunks sum to selfCost.
+            if (top.chunksLeft > 0) {
+                DurationNs size = top.chunkSize;
+                if (top.chunksLeft == 1) {
+                    const auto others = static_cast<DurationNs>(
+                        node->children.size());
+                    size = top.effectiveSelfCost -
+                           top.chunkSize * others;
+                }
+                --top.chunksLeft;
+                top.childPhase = true;
+                if (size > 0) {
+                    top.chunkRemaining = size;
+                    return Need{Need::Kind::Cpu, size, -1};
+                }
+            } else {
+                top.childPhase = true;
+            }
+            continue;
+        }
+
+        // Child phase: descend into the next child if one remains.
+        top.childPhase = false;
+        if (top.nextChild < node->children.size()) {
+            const ActivityNode *child = &node->children[top.nextChild];
+            ++top.nextChild;
+            pushNode(child);
+        }
+    }
+}
+
+std::uint64_t
+VThread::consumeCpu(DurationNs ran)
+{
+    lag_assert(!exec_.empty(), "consumeCpu with no task on '", name_, "'");
+    ExecFrame &top = exec_.back();
+    lag_assert(ran >= 0 && ran <= top.chunkRemaining,
+               "consumeCpu(", ran, ") exceeds chunk remainder ",
+               top.chunkRemaining, " on '", name_, "'");
+    top.chunkRemaining -= ran;
+    const ActivityNode *node = top.node;
+    if (node->allocBytes == 0 || top.effectiveSelfCost == 0)
+        return 0;
+    // Pro-rata allocation; integer rounding drops at most a few bytes
+    // per chunk, which is noise against megabyte-scale volumes.
+    return node->allocBytes * static_cast<std::uint64_t>(ran) /
+           static_cast<std::uint64_t>(top.effectiveSelfCost);
+}
+
+void
+VThread::grantMonitor(int monitor)
+{
+    lag_assert(!exec_.empty(), "grantMonitor with no task");
+    ExecFrame &top = exec_.back();
+    lag_assert(top.monitorRequested && !top.monitorHeld,
+               "grantMonitor(", monitor, ") without pending request");
+    lag_assert(top.node->monitorId == monitor,
+               "grantMonitor id mismatch: ", monitor, " vs ",
+               top.node->monitorId);
+    top.monitorHeld = true;
+}
+
+void
+VThread::completeTimedOp()
+{
+    // Sleep/wait completion is recorded eagerly in advance(); nothing
+    // further to do. Kept as an explicit VM call site for symmetry
+    // and as a hook for future wait/notify support.
+}
+
+} // namespace lag::jvm

@@ -1,0 +1,245 @@
+/**
+ * @file
+ * Simulated threads and the activity-tree interpreter.
+ *
+ * A VThread executes activity trees via an explicit interpreter
+ * stack so that execution can be suspended at any point: preempted
+ * at a slice boundary, interrupted by a GC safepoint request, parked
+ * on a monitor, or put to sleep. The interpreter surfaces its next
+ * requirement (CPU, sleep, wait, monitor, GC) as a Need; the VM's
+ * scheduler satisfies Needs and feeds consumed CPU time back in.
+ *
+ * The thread's call stack (for the sampler) is maintained as frames
+ * are entered and left, so a sample taken mid-burst observes the
+ * correct stack.
+ */
+
+#ifndef LAG_JVM_THREAD_HH
+#define LAG_JVM_THREAD_HH
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "activity.hh"
+#include "program.hh"
+#include "sim/event_queue.hh"
+#include "util/types.hh"
+
+namespace lag::jvm
+{
+
+/** Scheduler-visible state of a simulated thread. */
+enum class ThreadState : std::uint8_t
+{
+    New,        ///< created, not yet started
+    Running,    ///< executing on a core
+    Runnable,   ///< ready, waiting for a core
+    Blocked,    ///< blocked entering a contended monitor
+    Waiting,    ///< in Object.wait() / LockSupport.park() / idle
+    Sleeping,   ///< in Thread.sleep()
+    AtSafepoint,///< stopped for a garbage collection
+    Terminated, ///< finished
+};
+
+/** Human-readable name of a thread state. */
+const char *threadStateName(ThreadState state);
+
+/**
+ * Thread state as recorded in stack samples. Running and Runnable
+ * collapse to Runnable, matching what a JVMTI-style sampler reports
+ * and what the paper's Figures 7 and 8 are computed from.
+ */
+enum class SampleState : std::uint8_t
+{
+    Runnable = 0,
+    Blocked = 1,
+    Waiting = 2,
+    Sleeping = 3,
+};
+
+/** Human-readable name of a sample state. */
+const char *sampleStateName(SampleState state);
+
+/** What the interpreter needs next in order to make progress. */
+struct Need
+{
+    enum class Kind : std::uint8_t
+    {
+        Cpu,            ///< run for up to `amount` ns
+        Sleep,          ///< Thread.sleep(amount)
+        Wait,           ///< timed Object.wait/park (amount)
+        BlockedOnMonitor,///< monitor acquisition failed; now queued
+        TriggerGc,      ///< thread invoked System.gc()
+        TaskDone,       ///< activity finished; ask the program
+    };
+
+    Kind kind = Kind::TaskDone;
+    DurationNs amount = 0;
+    int monitor = -1;
+};
+
+/**
+ * Services the interpreter needs from the VM while advancing through
+ * zero-time operations (frame pushes/pops fire trace hooks, monitor
+ * handoff, GUI event posting). Implemented by Jvm; split out so the
+ * interpreter is unit-testable without the full VM.
+ */
+class ExecContext
+{
+  public:
+    virtual ~ExecContext() = default;
+
+    /** Current simulated time. */
+    virtual TimeNs execNow() const = 0;
+
+    /**
+     * Try to acquire @p monitor for @p thread. On failure the
+     * context has queued the thread on the monitor and the caller
+     * must surface Need::BlockedOnMonitor.
+     */
+    virtual bool tryAcquireMonitor(ThreadId thread, int monitor) = 0;
+
+    /** Release @p monitor held by @p thread (may wake a waiter). */
+    virtual void releaseMonitor(ThreadId thread, int monitor) = 0;
+
+    /** Post an event to the GUI queue. */
+    virtual void postGuiEvent(const GuiEvent &event) = 0;
+
+    /** A non-Plain activity node was entered. */
+    virtual void intervalBegin(ThreadId thread, ActivityKind kind,
+                               const Frame &frame) = 0;
+
+    /** The matching activity node was left. */
+    virtual void intervalEnd(ThreadId thread, ActivityKind kind) = 0;
+};
+
+/** A simulated Java thread. */
+class VThread
+{
+  public:
+    /**
+     * @param id        unique id within the VM
+     * @param name      thread name (appears in traces)
+     * @param is_gui    true for the event-dispatch thread
+     * @param program   supplies tasks; owned jointly
+     * @param base_stack frames below all activity frames (e.g.
+     *                  java.lang.Thread.run), cosmetic but visible
+     *                  in samples and sketches
+     */
+    VThread(ThreadId id, std::string name, bool is_gui,
+            std::shared_ptr<ThreadProgram> program,
+            std::vector<Frame> base_stack);
+
+    /** Extra CPU charged per instrumented node (profiler
+     * perturbation); set by the VM from its configuration. */
+    void
+    setInstrumentationOverhead(DurationNs overhead)
+    {
+        instrumentation_overhead_ = overhead;
+    }
+
+    ThreadId id() const { return id_; }
+    const std::string &name() const { return name_; }
+    bool isGui() const { return gui_; }
+
+    ThreadState state() const { return state_; }
+    void setState(ThreadState state) { state_ = state; }
+
+    /** State as a sampler would report it. Thread must be live. */
+    SampleState sampleState() const;
+
+    /** True for New/Terminated (never sampled). */
+    bool isLive() const;
+
+    /** Current call stack, innermost frame last. */
+    const std::vector<Frame> &stack() const { return stack_; }
+
+    ThreadProgram &program() { return *program_; }
+
+    /** Install a new task; interpreter restarts at its root. */
+    void beginTask(std::shared_ptr<const ActivityNode> root);
+
+    /** True when no task is installed or the task has completed. */
+    bool taskDone() const { return exec_.empty(); }
+
+    /**
+     * Advance through zero-time operations until the interpreter
+     * hits a time-consuming requirement or finishes the task.
+     * Never consumes simulated time itself.
+     */
+    Need advance(ExecContext &ctx);
+
+    /**
+     * Account @p ran nanoseconds of CPU into the current chunk.
+     * @p ran may be less than the chunk (preemption, safepoint).
+     * @return bytes allocated during the elapsed time.
+     */
+    std::uint64_t consumeCpu(DurationNs ran);
+
+    /** Called by the VM when a blocked monitor acquire is granted. */
+    void grantMonitor(int monitor);
+
+    /** Mark the pending sleep/wait of the current frame finished. */
+    void completeTimedOp();
+
+    /**
+     * Scheduler bookkeeping: these fields are owned by the VM's
+     * scheduling logic; VThread just stores them.
+     * @{
+     */
+    int coreIndex = -1;               ///< core we occupy, -1 if none
+    sim::EventId burstEvent = 0;       ///< pending burst-end event
+    TimeNs burstStart = kNoTime;       ///< when the burst began
+    TimeNs sliceEnd = kNoTime;         ///< when the current slice ends
+    sim::EventId wakeEvent = 0;        ///< pending sleep/wait wakeup
+    bool episodeOpen = false;          ///< dispatch interval in flight
+    bool idleParked = false;           ///< parked waiting for GUI events
+    /** @} */
+
+  private:
+    /** Interpreter frame for one activity node. */
+    struct ExecFrame
+    {
+        const ActivityNode *node;
+        std::size_t nextChild = 0;
+        /** Self cost plus instrumentation overhead. */
+        DurationNs effectiveSelfCost = 0;
+        /** Chunks of self cost still to run (k children => k+1). */
+        std::size_t chunksLeft = 0;
+        DurationNs chunkSize = 0;
+        DurationNs chunkRemaining = 0;
+        bool entered = false;
+        bool monitorHeld = false;
+        bool monitorRequested = false;
+        bool sleepDone = false;
+        bool waitDone = false;
+        bool gcDone = false;
+        bool childPhase = false; ///< run a child next (else a chunk)
+    };
+
+    /** Begin the next chunk or child for the top frame. */
+    Need stepTop(ExecContext &ctx);
+
+    /** Push an interpreter frame for @p node. */
+    void pushNode(const ActivityNode *node);
+
+    /** Finish the top node: hooks, monitor release, posts, pop. */
+    void popNode(ExecContext &ctx);
+
+    ThreadId id_;
+    std::string name_;
+    bool gui_;
+    ThreadState state_ = ThreadState::New;
+    std::shared_ptr<ThreadProgram> program_;
+    std::vector<Frame> base_stack_;
+    std::vector<Frame> stack_;
+    std::vector<ExecFrame> exec_;
+    std::shared_ptr<const ActivityNode> task_;
+    DurationNs instrumentation_overhead_ = 0;
+};
+
+} // namespace lag::jvm
+
+#endif // LAG_JVM_THREAD_HH

@@ -1,0 +1,421 @@
+#include "vm.hh"
+
+#include <algorithm>
+
+#include "util/logging.hh"
+
+namespace lag::jvm
+{
+
+Jvm::Jvm(const JvmConfig &config, JvmListener &listener)
+    : config_(config), listener_(listener),
+      rng_(SplitMix64(config.seed ^ 0x6a766d5f766d00ULL).next()),
+      heap_(config.heap, SplitMix64(config.seed ^ 0x68656170ULL).next())
+{
+    lag_assert(config_.cores >= 1, "need at least one core");
+    lag_assert(config_.timeSlice > 0, "time slice must be positive");
+    lag_assert(config_.samplePeriod > 0, "sample period must be positive");
+    cores_.assign(static_cast<std::size_t>(config_.cores), -1);
+}
+
+ThreadId
+Jvm::createThread(std::string name, bool is_gui,
+                  std::shared_ptr<ThreadProgram> program,
+                  std::vector<Frame> base_stack)
+{
+    lag_assert(!started_, "createThread after start()");
+    if (is_gui) {
+        lag_assert(!has_gui_thread_, "only one GUI thread per VM");
+    }
+    const auto id = static_cast<ThreadId>(threads_.size());
+    if (base_stack.empty())
+        base_stack = {{"java.lang.Thread", "run"}};
+    threads_.push_back(std::make_unique<VThread>(
+        id, std::move(name), is_gui, std::move(program),
+        std::move(base_stack)));
+    threads_.back()->setInstrumentationOverhead(
+        config_.instrumentationOverhead);
+    if (is_gui) {
+        gui_thread_ = id;
+        has_gui_thread_ = true;
+    }
+    return id;
+}
+
+ThreadId
+Jvm::createEventDispatchThread()
+{
+    return createThread(
+        "AWT-EventQueue-0", /*is_gui=*/true,
+        std::make_shared<EdtProgram>(),
+        {{"java.lang.Thread", "run"},
+         {"java.awt.EventDispatchThread", "run"},
+         {"java.awt.EventDispatchThread", "pumpEvents"}});
+}
+
+VThread &
+Jvm::thread(ThreadId id)
+{
+    lag_assert(id < threads_.size(), "unknown thread id ", id);
+    return *threads_[id];
+}
+
+const VThread &
+Jvm::thread(ThreadId id) const
+{
+    lag_assert(id < threads_.size(), "unknown thread id ", id);
+    return *threads_[id];
+}
+
+ThreadId
+Jvm::guiThread() const
+{
+    lag_assert(has_gui_thread_, "no GUI thread was created");
+    return gui_thread_;
+}
+
+void
+Jvm::start()
+{
+    lag_assert(!started_, "start() called twice");
+    lag_assert(!threads_.empty(), "start() with no threads");
+    started_ = true;
+    for (auto &thread : threads_) {
+        thread->setState(ThreadState::Runnable);
+        ready_.push_back(thread->id());
+        listener_.onThreadStarted(*thread);
+    }
+    queue_.scheduleAfter(config_.samplePeriod, [this] { onSampleTick(); });
+    requestSchedulePass();
+}
+
+void
+Jvm::run(TimeNs until)
+{
+    lag_assert(started_, "run() before start()");
+    queue_.runUntil(until);
+}
+
+void
+Jvm::postGuiEvent(const GuiEvent &event)
+{
+    lag_assert(event.handler != nullptr, "GUI event without handler");
+    gui_queue_.push(event);
+    if (!has_gui_thread_)
+        return;
+    VThread &edt = thread(gui_thread_);
+    if (edt.idleParked) {
+        edt.idleParked = false;
+        makeReady(edt);
+    }
+}
+
+bool
+Jvm::tryAcquireMonitor(ThreadId thread_id, int monitor)
+{
+    return monitors_.tryAcquire(thread_id, monitor);
+}
+
+void
+Jvm::releaseMonitor(ThreadId thread_id, int monitor)
+{
+    const auto next = monitors_.release(thread_id, monitor);
+    if (!next)
+        return;
+    VThread &waiter = thread(*next);
+    lag_assert(waiter.state() == ThreadState::Blocked,
+               "monitor granted to thread '", waiter.name(),
+               "' in state ", threadStateName(waiter.state()));
+    waiter.grantMonitor(monitor);
+    makeReady(waiter);
+}
+
+void
+Jvm::intervalBegin(ThreadId thread_id, ActivityKind kind,
+                   const Frame &frame)
+{
+    listener_.onIntervalBegin(thread_id, kind, frame, now());
+}
+
+void
+Jvm::intervalEnd(ThreadId thread_id, ActivityKind kind)
+{
+    listener_.onIntervalEnd(thread_id, kind, now());
+}
+
+void
+Jvm::requestSchedulePass()
+{
+    if (pass_pending_)
+        return;
+    pass_pending_ = true;
+    queue_.scheduleAfter(0, [this] { schedulePass(); },
+                         sim::EventPriority::Low);
+}
+
+void
+Jvm::schedulePass()
+{
+    pass_pending_ = false;
+    if (gc_active_)
+        return;
+    for (int core = 0; core < config_.cores && !ready_.empty(); ++core) {
+        if (cores_[static_cast<std::size_t>(core)] != -1)
+            continue;
+        const ThreadId id = ready_.front();
+        ready_.pop_front();
+        VThread &next = thread(id);
+        lag_assert(next.state() == ThreadState::Runnable,
+                   "ready queue held thread '", next.name(),
+                   "' in state ", threadStateName(next.state()));
+        dispatchTo(next, core);
+    }
+}
+
+void
+Jvm::dispatchTo(VThread &thread, int core)
+{
+    cores_[static_cast<std::size_t>(core)] =
+        static_cast<int>(thread.id());
+    thread.coreIndex = core;
+    thread.setState(ThreadState::Running);
+    thread.sliceEnd = now() + config_.timeSlice;
+    continueThread(thread);
+}
+
+void
+Jvm::freeCore(VThread &thread)
+{
+    if (thread.coreIndex >= 0) {
+        cores_[static_cast<std::size_t>(thread.coreIndex)] = -1;
+        thread.coreIndex = -1;
+        requestSchedulePass();
+    }
+}
+
+void
+Jvm::makeReady(VThread &thread)
+{
+    thread.setState(ThreadState::Runnable);
+    ready_.push_back(thread.id());
+    requestSchedulePass();
+}
+
+void
+Jvm::continueThread(VThread &thread)
+{
+    lag_assert(thread.state() == ThreadState::Running,
+               "continueThread on '", thread.name(), "' in state ",
+               threadStateName(thread.state()));
+    while (true) {
+        const Need need = thread.advance(*this);
+        switch (need.kind) {
+          case Need::Kind::Cpu: {
+            DurationNs avail = thread.sliceEnd - now();
+            if (avail <= 0) {
+                if (ready_.empty()) {
+                    // Nobody waiting; renew the slice in place.
+                    thread.sliceEnd = now() + config_.timeSlice;
+                    avail = config_.timeSlice;
+                } else {
+                    ++stats_.contextSwitches;
+                    freeCore(thread);
+                    makeReady(thread);
+                    return;
+                }
+            }
+            const DurationNs burst = std::min(need.amount, avail);
+            thread.burstStart = now();
+            const ThreadId id = thread.id();
+            thread.burstEvent =
+                queue_.scheduleAfter(burst, [this, id] { onBurstEnd(id); });
+            return;
+          }
+          case Need::Kind::Sleep:
+          case Need::Kind::Wait: {
+            freeCore(thread);
+            thread.setState(need.kind == Need::Kind::Sleep
+                                ? ThreadState::Sleeping
+                                : ThreadState::Waiting);
+            const ThreadId id = thread.id();
+            thread.wakeEvent =
+                queue_.scheduleAfter(need.amount, [this, id] {
+                    onWake(id);
+                });
+            return;
+          }
+          case Need::Kind::BlockedOnMonitor:
+            freeCore(thread);
+            thread.setState(ThreadState::Blocked);
+            return;
+          case Need::Kind::TriggerGc:
+            freeCore(thread);
+            thread.setState(ThreadState::AtSafepoint);
+            requestGc(GcKind::Major);
+            return;
+          case Need::Kind::TaskDone: {
+            if (thread.episodeOpen) {
+                thread.episodeOpen = false;
+                listener_.onDispatchEnd(thread.id(), now());
+            }
+            const ProgramStep step = thread.program().next(*this, thread);
+            switch (step.kind) {
+              case ProgramStep::Kind::RunActivity:
+                if (step.asEpisode) {
+                    ++stats_.dispatches;
+                    thread.episodeOpen = true;
+                    listener_.onDispatchBegin(thread.id(), now());
+                }
+                thread.beginTask(step.activity);
+                continue;
+              case ProgramStep::Kind::IdleUntilWoken:
+                freeCore(thread);
+                thread.idleParked = true;
+                thread.setState(ThreadState::Waiting);
+                return;
+              case ProgramStep::Kind::SleepFor: {
+                freeCore(thread);
+                thread.setState(ThreadState::Sleeping);
+                const ThreadId id = thread.id();
+                thread.wakeEvent =
+                    queue_.scheduleAfter(step.sleepNs, [this, id] {
+                        onWake(id);
+                    });
+                return;
+              }
+              case ProgramStep::Kind::Exit:
+                freeCore(thread);
+                thread.setState(ThreadState::Terminated);
+                return;
+            }
+            lag_panic("unhandled program step");
+          }
+        }
+    }
+}
+
+void
+Jvm::onBurstEnd(ThreadId id)
+{
+    VThread &thread = this->thread(id);
+    thread.burstEvent = 0;
+    const DurationNs ran = now() - thread.burstStart;
+    thread.burstStart = kNoTime;
+    heap_.allocate(thread.consumeCpu(ran));
+    if (!gc_active_ && heap_.needsMinor()) {
+        requestGc(heap_.needsMajor() ? GcKind::Major : GcKind::Minor);
+        // requestGc moved this thread to its safepoint; it resumes
+        // with the rest when the collection ends.
+        return;
+    }
+    continueThread(thread);
+}
+
+void
+Jvm::onWake(ThreadId id)
+{
+    VThread &thread = this->thread(id);
+    thread.wakeEvent = 0;
+    thread.completeTimedOp();
+    makeReady(thread);
+}
+
+void
+Jvm::requestGc(GcKind kind)
+{
+    lag_assert(!gc_active_, "GC requested while one is in progress");
+    gc_active_ = true;
+    gc_kind_ = (kind == GcKind::Minor && heap_.needsMajor())
+                   ? GcKind::Major
+                   : kind;
+    sampler_suspended_ = true;
+    for (auto &thread : threads_) {
+        if (thread->state() == ThreadState::Running)
+            stopAtSafepoint(*thread);
+    }
+    queue_.scheduleAfter(config_.timeToSafepoint,
+                         [this] { beginCollection(); },
+                         sim::EventPriority::High);
+}
+
+void
+Jvm::stopAtSafepoint(VThread &thread)
+{
+    if (thread.burstEvent != 0) {
+        queue_.cancel(thread.burstEvent);
+        thread.burstEvent = 0;
+        const DurationNs ran = now() - thread.burstStart;
+        thread.burstStart = kNoTime;
+        heap_.allocate(thread.consumeCpu(ran));
+    }
+    if (thread.coreIndex >= 0) {
+        cores_[static_cast<std::size_t>(thread.coreIndex)] = -1;
+        thread.coreIndex = -1;
+    }
+    thread.setState(ThreadState::AtSafepoint);
+}
+
+void
+Jvm::beginCollection()
+{
+    listener_.onGcBegin(now(), gc_kind_);
+    const DurationNs pause = heap_.drawPause(gc_kind_);
+    queue_.scheduleAfter(pause, [this] { endCollection(); },
+                         sim::EventPriority::High);
+}
+
+void
+Jvm::endCollection()
+{
+    listener_.onGcEnd(now());
+    heap_.finishCollection(gc_kind_);
+    if (gc_kind_ == GcKind::Minor)
+        ++stats_.minorGcs;
+    else
+        ++stats_.majorGcs;
+    gc_active_ = false;
+
+    for (auto &thread : threads_) {
+        if (thread->state() != ThreadState::AtSafepoint)
+            continue;
+        const ThreadId id = thread->id();
+        const DurationNs jitter =
+            rng_.uniformInt(0, config_.postGcRescheduleJitterMax);
+        queue_.scheduleAfter(jitter, [this, id] {
+            VThread &t = this->thread(id);
+            if (!gc_active_ && t.state() == ThreadState::AtSafepoint)
+                makeReady(t);
+        });
+    }
+
+    const DurationNs resume_delay =
+        rng_.uniformInt(0, config_.samplerResumeDelayMax);
+    queue_.scheduleAfter(resume_delay, [this] {
+        if (!gc_active_)
+            sampler_suspended_ = false;
+    });
+
+    requestSchedulePass();
+}
+
+void
+Jvm::onSampleTick()
+{
+    if (sampler_suspended_) {
+        ++stats_.samplesSuppressed;
+    } else {
+        std::vector<ThreadSnapshot> snapshots;
+        snapshots.reserve(threads_.size());
+        for (const auto &thread : threads_) {
+            if (!thread->isLive())
+                continue;
+            snapshots.push_back(ThreadSnapshot{
+                thread->id(), thread->sampleState(), thread->stack()});
+        }
+        ++stats_.samplesTaken;
+        listener_.onSample(now(), snapshots);
+    }
+    queue_.scheduleAfter(config_.samplePeriod, [this] { onSampleTick(); });
+}
+
+} // namespace lag::jvm

@@ -1,0 +1,244 @@
+/**
+ * @file
+ * The simulated JVM: threads, scheduler, GC orchestration, sampler.
+ *
+ * Jvm ties the pieces together on top of the discrete-event kernel:
+ *
+ *  - a time-sliced scheduler over a fixed number of cores (the
+ *    paper's platform is a 2-core MacBook Pro), with preemption at
+ *    slice boundaries and FIFO ready queueing — this produces the
+ *    runnable-but-not-running states Figure 7 measures;
+ *  - stop-the-world garbage collection with safepoints: running
+ *    threads are interrupted, a time-to-safepoint elapses before the
+ *    GC-begin notification (matching JVMTI's bracket semantics the
+ *    paper discusses in §II.B), and resumed threads contend for
+ *    cores again afterwards with a reschedule jitter — the cause of
+ *    Figure 1's sample gap being longer than the GC interval;
+ *  - a periodic stack sampler that is suspended from the safepoint
+ *    request until after the collection, like any mutator-side
+ *    JVMTI agent.
+ */
+
+#ifndef LAG_JVM_VM_HH
+#define LAG_JVM_VM_HH
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "gui_queue.hh"
+#include "heap.hh"
+#include "listener.hh"
+#include "monitor.hh"
+#include "program.hh"
+#include "sim/event_queue.hh"
+#include "thread.hh"
+#include "util/random.hh"
+#include "util/types.hh"
+
+namespace lag::jvm
+{
+
+/** Static configuration of one simulated VM. */
+struct JvmConfig
+{
+    /** Number of CPU cores (paper platform: Core 2 Duo). */
+    int cores = 2;
+
+    /** Scheduler time slice. */
+    DurationNs timeSlice = msToNs(2);
+
+    /** Time from safepoint request to GC start. */
+    DurationNs timeToSafepoint = usToNs(300);
+
+    /**
+     * Upper bound of the uniform jitter applied to each thread's
+     * re-entry into the ready queue after a collection.
+     */
+    DurationNs postGcRescheduleJitterMax = msToNs(1);
+
+    /**
+     * Extra delay before the stack sampler resumes after a GC (the
+     * sampler itself competes for CPU). Raise this to reproduce the
+     * long sample gap of the paper's Figure 1.
+     */
+    DurationNs samplerResumeDelayMax = msToNs(4);
+
+    /** Stack sampling period. */
+    DurationNs samplePeriod = msToNs(10);
+
+    /**
+     * CPU cost of java.awt.EventQueue.dispatchEvent itself, around
+     * the handler. Episodes are therefore slightly longer than
+     * their handlers, so an episode can clear a trace filter whose
+     * listener does not — the "no internal structure" episodes of
+     * the paper's §IV.A.
+     */
+    DurationNs dispatchOverhead = usToNs(250);
+
+    /**
+     * Profiler perturbation: extra CPU charged to every instrumented
+     * (non-Plain) activity node, modeling the cost of LiLa's
+     * bytecode instrumentation at each listener/paint/native/async
+     * call. The paper lists studying this perturbation as future
+     * work (§V); the bench_ablation_perturbation harness sweeps it.
+     */
+    DurationNs instrumentationOverhead = 0;
+
+    /** Heap sizing and pause model. */
+    HeapConfig heap;
+
+    /** Root of all randomness in this VM. */
+    std::uint64_t seed = 1;
+};
+
+/** Aggregate counters exposed for tests and diagnostics. */
+struct JvmStats
+{
+    std::uint64_t dispatches = 0;      ///< episodes dispatched
+    std::uint64_t contextSwitches = 0; ///< preemptions at slice end
+    std::uint64_t samplesTaken = 0;
+    std::uint64_t samplesSuppressed = 0; ///< ticks during safepoints
+    std::uint64_t minorGcs = 0;
+    std::uint64_t majorGcs = 0;
+};
+
+/**
+ * One simulated JVM instance. Create threads, then start(), then
+ * run() to a horizon; a JvmListener observes everything a profiler
+ * could see.
+ */
+class Jvm : public ExecContext
+{
+  public:
+    Jvm(const JvmConfig &config, JvmListener &listener);
+
+    /** The underlying event kernel (session scripts schedule here). */
+    sim::EventQueue &eventQueue() { return queue_; }
+
+    /** Current simulated time. */
+    TimeNs now() const { return queue_.now(); }
+
+    const JvmConfig &config() const { return config_; }
+    const JvmStats &stats() const { return stats_; }
+    Heap &heap() { return heap_; }
+    MonitorTable &monitors() { return monitors_; }
+    GuiEventQueue &guiQueue() { return gui_queue_; }
+
+    /**
+     * Create a thread. Must be called before start(). Exactly one
+     * thread may be the GUI (event-dispatch) thread.
+     */
+    ThreadId createThread(std::string name, bool is_gui,
+                          std::shared_ptr<ThreadProgram> program,
+                          std::vector<Frame> base_stack = {});
+
+    /** Convenience: create the EDT with its standard base stack. */
+    ThreadId createEventDispatchThread();
+
+    VThread &thread(ThreadId id);
+    const VThread &thread(ThreadId id) const;
+    const std::vector<std::unique_ptr<VThread>> &threads() const
+    {
+        return threads_;
+    }
+
+    /** Id of the event-dispatch thread. */
+    ThreadId guiThread() const;
+
+    /** Start all threads and the sampler. */
+    void start();
+
+    /** Run the simulation until simulated time @p until. */
+    void run(TimeNs until);
+
+    /** True while a safepoint/collection is in progress. */
+    bool gcActive() const { return gc_active_; }
+
+    /**
+     * Post an event to the GUI queue, waking the EDT if it is
+     * parked. Called by session scripts (user input, repaints) and
+     * by the interpreter for background-thread posts.
+     */
+    void postGuiEvent(const GuiEvent &event) override;
+
+    /**
+     * ExecContext interface (used by the interpreter).
+     * @{
+     */
+    TimeNs execNow() const override { return queue_.now(); }
+    bool tryAcquireMonitor(ThreadId thread, int monitor) override;
+    void releaseMonitor(ThreadId thread, int monitor) override;
+    void intervalBegin(ThreadId thread, ActivityKind kind,
+                       const Frame &frame) override;
+    void intervalEnd(ThreadId thread, ActivityKind kind) override;
+    /** @} */
+
+  private:
+    /** Schedule a scheduling pass at the current time (deduped). */
+    void requestSchedulePass();
+
+    /** Fill free cores from the ready queue. */
+    void schedulePass();
+
+    /** Put @p thread on @p core and drive it forward. */
+    void dispatchTo(VThread &thread, int core);
+
+    /** Advance @p thread through needs until it blocks or runs. */
+    void continueThread(VThread &thread);
+
+    /** The pending CPU burst of @p thread finished. */
+    void onBurstEnd(ThreadId id);
+
+    /** A sleep or timed wait of @p thread expired. */
+    void onWake(ThreadId id);
+
+    /** Release @p thread's core (if any) and trigger a pass. */
+    void freeCore(VThread &thread);
+
+    /** Make @p thread ready and trigger a scheduling pass. */
+    void makeReady(VThread &thread);
+
+    /** Begin a stop-the-world collection. */
+    void requestGc(GcKind kind);
+
+    /** Safepoint reached: notify listener, schedule the GC end. */
+    void beginCollection();
+
+    /** Collection finished: resume threads and the sampler. */
+    void endCollection();
+
+    /** Interrupt a running thread for a safepoint. */
+    void stopAtSafepoint(VThread &thread);
+
+    /** Periodic sampler tick. */
+    void onSampleTick();
+
+    JvmConfig config_;
+    JvmListener &listener_;
+    sim::EventQueue queue_;
+    Rng rng_;
+    Heap heap_;
+    MonitorTable monitors_;
+    GuiEventQueue gui_queue_;
+    JvmStats stats_;
+
+    std::vector<std::unique_ptr<VThread>> threads_;
+    ThreadId gui_thread_ = 0;
+    bool has_gui_thread_ = false;
+    bool started_ = false;
+
+    std::vector<int> cores_;      ///< occupant thread id or -1
+    std::deque<ThreadId> ready_;
+    bool pass_pending_ = false;
+
+    bool gc_active_ = false;
+    GcKind gc_kind_ = GcKind::Minor;
+    bool sampler_suspended_ = false;
+};
+
+} // namespace lag::jvm
+
+#endif // LAG_JVM_VM_HH

@@ -1,0 +1,146 @@
+/**
+ * @file
+ * The LiLa profiling agent (stand-in for the paper's tracer).
+ *
+ * LilaAgent listens to a simulated JVM and produces a trace::Trace.
+ * It reproduces the measurement behaviour LagAlyzer depends on:
+ *
+ *  - episodes (dispatches) shorter than the filter threshold (3 ms
+ *    in the paper) are dropped from the trace but counted, feeding
+ *    Table III's "< 3ms" column;
+ *  - intervals shorter than the threshold are pruned from episode
+ *    trees, which is why some perceptible episodes appear to have
+ *    "no internal structure" (paper §IV.C, the unspecified
+ *    trigger class) — except GC intervals, which are always kept;
+ *  - call-stack samples are recorded while an episode is in flight.
+ *
+ * The agent buffers each episode as a tree and flattens surviving
+ * nodes into begin/end records at episode completion, so filtering
+ * never produces unbalanced records.
+ */
+
+#ifndef LAG_LILA_AGENT_HH
+#define LAG_LILA_AGENT_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "jvm/listener.hh"
+#include "trace/trace.hh"
+#include "util/types.hh"
+
+namespace lag::lila
+{
+
+/** Tracer configuration. */
+struct LilaConfig
+{
+    /** Episodes and intervals shorter than this are dropped. */
+    DurationNs filterThreshold = msToNs(3);
+
+    /** Record stack samples only while an episode is in flight. */
+    bool samplesOnlyInEpisodes = true;
+};
+
+/** Profiling agent producing one trace per session. */
+class LilaAgent : public jvm::JvmListener
+{
+  public:
+    explicit LilaAgent(const LilaConfig &config);
+
+    /** Reset and start recording a session. */
+    void beginSession(const std::string &app_name,
+                      std::uint32_t session_index, std::uint64_t seed,
+                      DurationNs sample_period, TimeNs start_time);
+
+    /**
+     * Finish recording: discard in-flight episodes, order the event
+     * stream, fill metadata, and hand over the trace.
+     */
+    trace::Trace finishSession(TimeNs end_time);
+
+    /** Episodes seen so far (including filtered ones). */
+    std::uint64_t episodesSeen() const { return episodes_seen_; }
+
+    /**
+     * JvmListener interface.
+     * @{
+     */
+    void onThreadStarted(const jvm::VThread &thread) override;
+    void onDispatchBegin(ThreadId thread, TimeNs time) override;
+    void onDispatchEnd(ThreadId thread, TimeNs time) override;
+    void onIntervalBegin(ThreadId thread, jvm::ActivityKind kind,
+                         const jvm::Frame &frame, TimeNs time) override;
+    void onIntervalEnd(ThreadId thread, jvm::ActivityKind kind,
+                       TimeNs time) override;
+    void onGcBegin(TimeNs time, jvm::GcKind kind) override;
+    void onGcEnd(TimeNs time) override;
+    void onSample(TimeNs time,
+                  const std::vector<jvm::ThreadSnapshot> &snapshots)
+        override;
+    /** @} */
+
+  private:
+    /** Node of a buffered (not yet filtered) episode tree. */
+    struct PendingNode
+    {
+        bool isGc = false;
+        trace::IntervalKind kind = trace::IntervalKind::Listener;
+        trace::TraceGcKind gcKind = trace::TraceGcKind::Minor;
+        SymbolId classSym = 0;
+        SymbolId methodSym = 0;
+        TimeNs begin = 0;
+        TimeNs end = kNoTime;
+        std::vector<std::size_t> children; ///< arena indices
+    };
+
+    /** One episode being buffered on a dispatch thread. */
+    struct PendingEpisode
+    {
+        bool open = false;
+        ThreadId thread = 0;
+        TimeNs begin = 0;
+        std::vector<PendingNode> arena;
+        std::vector<std::size_t> roots;
+        std::vector<std::size_t> stack; ///< open nodes, arena indices
+    };
+
+    /** True when any dispatch thread has an episode in flight. */
+    bool anyEpisodeOpen() const;
+
+    /** Append a node to the open episode of @p thread. */
+    void pushNode(ThreadId thread, PendingNode node);
+
+    /** Close the innermost open node of @p thread. */
+    void closeNode(ThreadId thread, TimeNs time);
+
+    /** Emit surviving records of @p index into the event stream. */
+    void emitNode(const PendingEpisode &episode, std::size_t index);
+
+    /** Emit only the GC descendants of a filtered subtree. */
+    void emitGcOnly(const PendingEpisode &episode, std::size_t index);
+
+    LilaConfig config_;
+    trace::Trace trace_;
+    bool session_open_ = false;
+    std::uint64_t episodes_seen_ = 0;
+    std::unordered_map<ThreadId, PendingEpisode> pending_;
+    bool gc_open_outside_ = false;
+    trace::TraceGcKind gc_kind_outside_ = trace::TraceGcKind::Minor;
+    TimeNs gc_begin_outside_ = 0;
+};
+
+/** Map a jvm activity kind to its trace interval kind. */
+trace::IntervalKind toIntervalKind(jvm::ActivityKind kind);
+
+/** Map a jvm GC kind to its trace encoding. */
+trace::TraceGcKind toTraceGcKind(jvm::GcKind kind);
+
+/** Map a jvm sample state to its trace encoding. */
+trace::TraceThreadState toTraceThreadState(jvm::SampleState state);
+
+} // namespace lag::lila
+
+#endif // LAG_LILA_AGENT_HH

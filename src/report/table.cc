@@ -1,0 +1,113 @@
+#include "table.hh"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.hh"
+
+namespace lag::report
+{
+
+void
+TextTable::addColumn(std::string header, Align align)
+{
+    lag_assert(rows_.empty(), "columns must be defined before rows");
+    headers_.push_back(std::move(header));
+    aligns_.push_back(align);
+}
+
+void
+TextTable::addRow(std::vector<std::string> cells)
+{
+    lag_assert(cells.size() == headers_.size(), "row has ",
+               cells.size(), " cells, table has ", headers_.size(),
+               " columns");
+    rows_.push_back(Row{false, std::move(cells)});
+}
+
+void
+TextTable::addSeparator()
+{
+    rows_.push_back(Row{true, {}});
+}
+
+std::string
+TextTable::render() const
+{
+    std::vector<std::size_t> widths(headers_.size());
+    for (std::size_t c = 0; c < headers_.size(); ++c)
+        widths[c] = headers_[c].size();
+    for (const auto &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c)
+            widths[c] = std::max(widths[c], row.cells[c].size());
+    }
+
+    const auto emit_cells =
+        [&](std::ostringstream &out,
+            const std::vector<std::string> &cells) {
+            for (std::size_t c = 0; c < cells.size(); ++c) {
+                if (c > 0)
+                    out << "  ";
+                const std::size_t pad = widths[c] - cells[c].size();
+                if (aligns_[c] == Align::Right)
+                    out << std::string(pad, ' ') << cells[c];
+                else
+                    out << cells[c] << std::string(pad, ' ');
+            }
+            out << '\n';
+        };
+
+    std::ostringstream out;
+    emit_cells(out, headers_);
+    std::size_t total = headers_.empty() ? 0 : 2 * (headers_.size() - 1);
+    for (const std::size_t w : widths)
+        total += w;
+    out << std::string(total, '-') << '\n';
+    for (const auto &row : rows_) {
+        if (row.separator)
+            out << std::string(total, '-') << '\n';
+        else
+            emit_cells(out, row.cells);
+    }
+    return out.str();
+}
+
+std::string
+TextTable::renderCsv() const
+{
+    const auto quote = [](const std::string &cell) {
+        if (cell.find_first_of(",\"\n") == std::string::npos)
+            return cell;
+        std::string quoted = "\"";
+        for (char c : cell) {
+            if (c == '"')
+                quoted += '"';
+            quoted += c;
+        }
+        quoted += '"';
+        return quoted;
+    };
+
+    std::ostringstream out;
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+        if (c > 0)
+            out << ',';
+        out << quote(headers_[c]);
+    }
+    out << '\n';
+    for (const auto &row : rows_) {
+        if (row.separator)
+            continue;
+        for (std::size_t c = 0; c < row.cells.size(); ++c) {
+            if (c > 0)
+                out << ',';
+            out << quote(row.cells[c]);
+        }
+        out << '\n';
+    }
+    return out.str();
+}
+
+} // namespace lag::report

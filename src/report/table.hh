@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Aligned text tables and CSV output for the bench harnesses.
+ *
+ * The benches print the paper's tables next to the measured values;
+ * TextTable handles column sizing and alignment, and the same data
+ * can be exported as CSV for downstream plotting.
+ */
+
+#ifndef LAG_REPORT_TABLE_HH
+#define LAG_REPORT_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace lag::report
+{
+
+/** Column alignment. */
+enum class Align
+{
+    Left,
+    Right,
+};
+
+/** A simple text table builder. */
+class TextTable
+{
+  public:
+    /** Define a column; call once per column before adding rows. */
+    void addColumn(std::string header, Align align = Align::Right);
+
+    /** Append a row; must have exactly one cell per column. */
+    void addRow(std::vector<std::string> cells);
+
+    /** Append a horizontal separator line. */
+    void addSeparator();
+
+    /** Render with padded columns and a header rule. */
+    std::string render() const;
+
+    /** Render as CSV (headers first; separators are skipped). */
+    std::string renderCsv() const;
+
+    std::size_t columnCount() const { return headers_.size(); }
+    std::size_t rowCount() const { return rows_.size(); }
+
+  private:
+    struct Row
+    {
+        bool separator = false;
+        std::vector<std::string> cells;
+    };
+
+    std::vector<std::string> headers_;
+    std::vector<Align> aligns_;
+    std::vector<Row> rows_;
+};
+
+} // namespace lag::report
+
+#endif // LAG_REPORT_TABLE_HH

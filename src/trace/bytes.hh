@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Little-endian byte encoding for the binary trace format.
+ *
+ * ByteWriter appends into a growable buffer; ByteReader consumes a
+ * buffer with strict bounds checking, raising TraceError on any
+ * overrun so truncated or corrupted files fail loudly rather than
+ * yielding garbage analyses.
+ */
+
+#ifndef LAG_TRACE_BYTES_HH
+#define LAG_TRACE_BYTES_HH
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "trace.hh"
+
+namespace lag::trace
+{
+
+/** Append-only little-endian encoder. */
+class ByteWriter
+{
+  public:
+    void
+    u8(std::uint8_t v)
+    {
+        buffer_.push_back(static_cast<char>(v));
+    }
+
+    void
+    u32(std::uint32_t v)
+    {
+        appendRaw(&v, sizeof(v));
+    }
+
+    void
+    u64(std::uint64_t v)
+    {
+        appendRaw(&v, sizeof(v));
+    }
+
+    void
+    i64(std::int64_t v)
+    {
+        appendRaw(&v, sizeof(v));
+    }
+
+    /** Length-prefixed UTF-8 string. */
+    void
+    str(std::string_view s)
+    {
+        u32(static_cast<std::uint32_t>(s.size()));
+        buffer_.append(s.data(), s.size());
+    }
+
+    const std::string &buffer() const { return buffer_; }
+    std::string take() { return std::move(buffer_); }
+
+  private:
+    void
+    appendRaw(const void *data, std::size_t size)
+    {
+        // Little-endian hosts only (asserted in writer.cc); a
+        // byte-swapping fallback is not needed on any target this
+        // project supports.
+        buffer_.append(static_cast<const char *>(data), size);
+    }
+
+    std::string buffer_;
+};
+
+/** Bounds-checked little-endian decoder. */
+class ByteReader
+{
+  public:
+    explicit ByteReader(std::string_view data) : data_(data) {}
+
+    std::uint8_t
+    u8()
+    {
+        need(1);
+        return static_cast<std::uint8_t>(data_[pos_++]);
+    }
+
+    std::uint32_t
+    u32()
+    {
+        std::uint32_t v;
+        readRaw(&v, sizeof(v));
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        std::uint64_t v;
+        readRaw(&v, sizeof(v));
+        return v;
+    }
+
+    std::int64_t
+    i64()
+    {
+        std::int64_t v;
+        readRaw(&v, sizeof(v));
+        return v;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint32_t len = u32();
+        need(len);
+        std::string s(data_.substr(pos_, len));
+        pos_ += len;
+        return s;
+    }
+
+    /** Bytes not yet consumed. */
+    std::size_t remaining() const { return data_.size() - pos_; }
+
+    /** Current read offset. */
+    std::size_t position() const { return pos_; }
+
+  private:
+    void
+    need(std::size_t n)
+    {
+        if (remaining() < n) {
+            throw TraceError(
+                "trace file truncated: need " + std::to_string(n) +
+                " bytes at offset " + std::to_string(pos_) + ", have " +
+                std::to_string(remaining()));
+        }
+    }
+
+    void
+    readRaw(void *out, std::size_t size)
+    {
+        need(size);
+        std::memcpy(out, data_.data() + pos_, size);
+        pos_ += size;
+    }
+
+    std::string_view data_;
+    std::size_t pos_ = 0;
+};
+
+} // namespace lag::trace
+
+#endif // LAG_TRACE_BYTES_HH

@@ -1,0 +1,318 @@
+#include "io.hh"
+
+#include <bit>
+#include <fstream>
+#include <sstream>
+
+#include "bytes.hh"
+#include "util/hash.hh"
+#include "util/strings.hh"
+
+static_assert(std::endian::native == std::endian::little,
+              "the trace format assumes a little-endian host");
+
+namespace lag::trace
+{
+
+namespace
+{
+
+constexpr char kMagic[8] = {'L', 'A', 'G', 'T', 'R', 'C', '\0', '\0'};
+
+void
+writeMeta(ByteWriter &w, const TraceMeta &meta)
+{
+    w.str(meta.appName);
+    w.u32(meta.sessionIndex);
+    w.u64(meta.seed);
+    w.i64(meta.startTime);
+    w.i64(meta.endTime);
+    w.i64(meta.samplePeriod);
+    w.i64(meta.filterThreshold);
+    w.u64(meta.filteredShortEpisodes);
+    w.i64(meta.totalInEpisodeTime);
+}
+
+TraceMeta
+readMeta(ByteReader &r)
+{
+    TraceMeta meta;
+    meta.appName = r.str();
+    meta.sessionIndex = r.u32();
+    meta.seed = r.u64();
+    meta.startTime = r.i64();
+    meta.endTime = r.i64();
+    meta.samplePeriod = r.i64();
+    meta.filterThreshold = r.i64();
+    meta.filteredShortEpisodes = r.u64();
+    meta.totalInEpisodeTime = r.i64();
+    return meta;
+}
+
+void
+writeEvent(ByteWriter &w, const TraceEvent &event)
+{
+    w.u8(static_cast<std::uint8_t>(event.type));
+    w.u32(event.thread);
+    w.i64(event.time);
+    w.u8(static_cast<std::uint8_t>(event.kind));
+    w.u32(event.classSym);
+    w.u32(event.methodSym);
+    w.u8(static_cast<std::uint8_t>(event.gcKind));
+}
+
+TraceEvent
+readEvent(ByteReader &r)
+{
+    TraceEvent event;
+    const std::uint8_t type = r.u8();
+    if (type > static_cast<std::uint8_t>(EventType::GcEnd))
+        throw TraceError("unknown event type " + std::to_string(type));
+    event.type = static_cast<EventType>(type);
+    event.thread = r.u32();
+    event.time = r.i64();
+    const std::uint8_t kind = r.u8();
+    if (kind > static_cast<std::uint8_t>(IntervalKind::Async))
+        throw TraceError("unknown interval kind " + std::to_string(kind));
+    event.kind = static_cast<IntervalKind>(kind);
+    event.classSym = r.u32();
+    event.methodSym = r.u32();
+    const std::uint8_t gc = r.u8();
+    if (gc > static_cast<std::uint8_t>(TraceGcKind::Major))
+        throw TraceError("unknown GC kind " + std::to_string(gc));
+    event.gcKind = static_cast<TraceGcKind>(gc);
+    return event;
+}
+
+void
+writeSample(ByteWriter &w, const TraceSample &sample)
+{
+    w.i64(sample.time);
+    w.u32(static_cast<std::uint32_t>(sample.threads.size()));
+    for (const auto &entry : sample.threads) {
+        w.u32(entry.thread);
+        w.u8(static_cast<std::uint8_t>(entry.state));
+        w.u32(static_cast<std::uint32_t>(entry.frames.size()));
+        for (const auto &frame : entry.frames) {
+            w.u32(frame.classSym);
+            w.u32(frame.methodSym);
+        }
+    }
+}
+
+TraceSample
+readSample(ByteReader &r)
+{
+    TraceSample sample;
+    sample.time = r.i64();
+    const std::uint32_t threads = r.u32();
+    sample.threads.reserve(threads);
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        SampleThread entry;
+        entry.thread = r.u32();
+        const std::uint8_t state = r.u8();
+        if (state > static_cast<std::uint8_t>(TraceThreadState::Sleeping))
+            throw TraceError("unknown thread state " +
+                             std::to_string(state));
+        entry.state = static_cast<TraceThreadState>(state);
+        const std::uint32_t frames = r.u32();
+        entry.frames.reserve(frames);
+        for (std::uint32_t f = 0; f < frames; ++f) {
+            SampleFrame frame;
+            frame.classSym = r.u32();
+            frame.methodSym = r.u32();
+            entry.frames.push_back(frame);
+        }
+        sample.threads.push_back(std::move(entry));
+    }
+    return sample;
+}
+
+} // namespace
+
+std::string
+serializeTrace(const Trace &trace)
+{
+    ByteWriter payload;
+    writeMeta(payload, trace.meta);
+
+    payload.u32(static_cast<std::uint32_t>(trace.threads.size()));
+    for (const auto &thread : trace.threads) {
+        payload.u32(thread.id);
+        payload.str(thread.name);
+        payload.u8(thread.isGui ? 1 : 0);
+    }
+
+    payload.u32(static_cast<std::uint32_t>(trace.strings.size()));
+    for (const auto &s : trace.strings.all())
+        payload.str(s);
+
+    payload.u64(trace.events.size());
+    for (const auto &event : trace.events)
+        writeEvent(payload, event);
+
+    payload.u64(trace.samples.size());
+    for (const auto &sample : trace.samples)
+        writeSample(payload, sample);
+
+    const std::string body = payload.take();
+
+    Fnv1aHasher hasher;
+    hasher.addBytes(body.data(), body.size());
+
+    ByteWriter out;
+    for (char c : kMagic)
+        out.u8(static_cast<std::uint8_t>(c));
+    out.u32(kFormatVersion);
+    out.u64(hasher.digest());
+    std::string result = out.take();
+    result += body;
+    return result;
+}
+
+Trace
+deserializeTrace(std::string_view data)
+{
+    ByteReader header(data);
+    for (char expected : kMagic) {
+        if (header.u8() != static_cast<std::uint8_t>(expected))
+            throw TraceError("bad magic: not a LagAlyzer trace file");
+    }
+    const std::uint32_t version = header.u32();
+    if (version != kFormatVersion) {
+        throw TraceError("unsupported trace format version " +
+                         std::to_string(version) + " (expected " +
+                         std::to_string(kFormatVersion) + ")");
+    }
+    const std::uint64_t checksum = header.u64();
+
+    const std::string_view body = data.substr(header.position());
+    Fnv1aHasher hasher;
+    hasher.addBytes(body.data(), body.size());
+    if (hasher.digest() != checksum)
+        throw TraceError("trace payload checksum mismatch");
+
+    ByteReader r(body);
+    Trace trace;
+    trace.meta = readMeta(r);
+
+    const std::uint32_t threads = r.u32();
+    trace.threads.reserve(threads);
+    for (std::uint32_t i = 0; i < threads; ++i) {
+        TraceThread thread;
+        thread.id = r.u32();
+        thread.name = r.str();
+        thread.isGui = r.u8() != 0;
+        trace.threads.push_back(std::move(thread));
+    }
+
+    const std::uint32_t strings = r.u32();
+    std::vector<std::string> list;
+    list.reserve(strings);
+    for (std::uint32_t i = 0; i < strings; ++i)
+        list.push_back(r.str());
+    trace.strings = StringTable::fromList(std::move(list));
+
+    const std::uint64_t events = r.u64();
+    trace.events.reserve(events);
+    for (std::uint64_t i = 0; i < events; ++i)
+        trace.events.push_back(readEvent(r));
+
+    const std::uint64_t samples = r.u64();
+    trace.samples.reserve(samples);
+    for (std::uint64_t i = 0; i < samples; ++i)
+        trace.samples.push_back(readSample(r));
+
+    if (r.remaining() != 0) {
+        throw TraceError("trailing garbage: " +
+                         std::to_string(r.remaining()) +
+                         " bytes after trace payload");
+    }
+    trace.validate();
+    return trace;
+}
+
+void
+writeTraceFile(const Trace &trace, const std::string &path)
+{
+    const std::string data = serializeTrace(trace);
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    if (!out)
+        throw TraceError("cannot open '" + path + "' for writing");
+    out.write(data.data(), static_cast<std::streamsize>(data.size()));
+    if (!out)
+        throw TraceError("write to '" + path + "' failed");
+}
+
+Trace
+readTraceFile(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        throw TraceError("cannot open '" + path + "' for reading");
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in && !in.eof())
+        throw TraceError("read from '" + path + "' failed");
+    return deserializeTrace(buffer.str());
+}
+
+std::string
+toJsonl(const Trace &trace)
+{
+    std::ostringstream out;
+    out << "{\"record\":\"meta\",\"app\":\""
+        << xmlEscape(trace.meta.appName) << "\",\"session\":"
+        << trace.meta.sessionIndex << ",\"seed\":" << trace.meta.seed
+        << ",\"start\":" << trace.meta.startTime << ",\"end\":"
+        << trace.meta.endTime << ",\"filtered\":"
+        << trace.meta.filteredShortEpisodes << "}\n";
+    for (const auto &thread : trace.threads) {
+        out << "{\"record\":\"thread\",\"id\":" << thread.id
+            << ",\"name\":\"" << xmlEscape(thread.name)
+            << "\",\"gui\":" << (thread.isGui ? "true" : "false")
+            << "}\n";
+    }
+    for (const auto &event : trace.events) {
+        out << "{\"record\":\"event\",\"type\":\""
+            << eventTypeName(event.type) << "\",\"t\":" << event.time;
+        if (event.type == EventType::IntervalBegin ||
+            event.type == EventType::IntervalEnd) {
+            out << ",\"kind\":\"" << intervalKindName(event.kind) << '"';
+        }
+        if (event.type == EventType::IntervalBegin) {
+            out << ",\"class\":\""
+                << xmlEscape(trace.strings.lookup(event.classSym))
+                << "\",\"method\":\""
+                << xmlEscape(trace.strings.lookup(event.methodSym))
+                << '"';
+        }
+        if (event.type == EventType::GcBegin) {
+            out << ",\"gc\":\""
+                << (event.gcKind == TraceGcKind::Major ? "major"
+                                                       : "minor")
+                << '"';
+        }
+        if (event.type != EventType::GcBegin &&
+            event.type != EventType::GcEnd) {
+            out << ",\"thread\":" << event.thread;
+        }
+        out << "}\n";
+    }
+    for (const auto &sample : trace.samples) {
+        out << "{\"record\":\"sample\",\"t\":" << sample.time
+            << ",\"threads\":[";
+        for (std::size_t i = 0; i < sample.threads.size(); ++i) {
+            const auto &entry = sample.threads[i];
+            if (i > 0)
+                out << ',';
+            out << "{\"id\":" << entry.thread << ",\"state\":\""
+                << traceThreadStateName(entry.state)
+                << "\",\"depth\":" << entry.frames.size() << '}';
+        }
+        out << "]}\n";
+    }
+    return out.str();
+}
+
+} // namespace lag::trace

@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Binary trace file reader and writer.
+ *
+ * File layout (all integers little-endian):
+ *
+ *   magic   "LAGTRC\0\0" (8 bytes)
+ *   u32     format version (kFormatVersion)
+ *   u64     payload FNV-1a checksum
+ *   payload meta, threads, string table, events, samples
+ *
+ * The checksum covers the payload bytes exactly; readers verify it
+ * before decoding, so bit rot and truncation are detected up front.
+ */
+
+#ifndef LAG_TRACE_IO_HH
+#define LAG_TRACE_IO_HH
+
+#include <string>
+
+#include "trace.hh"
+
+namespace lag::trace
+{
+
+/** Current binary format version. */
+constexpr std::uint32_t kFormatVersion = 2;
+
+/** Serialize @p trace into a byte buffer. */
+std::string serializeTrace(const Trace &trace);
+
+/** Parse a byte buffer produced by serializeTrace. */
+Trace deserializeTrace(std::string_view data);
+
+/** Write @p trace to @p path. Throws TraceError on I/O failure. */
+void writeTraceFile(const Trace &trace, const std::string &path);
+
+/** Read a trace from @p path. Throws TraceError on any failure. */
+Trace readTraceFile(const std::string &path);
+
+/**
+ * Export a human-readable JSON-lines rendering of @p trace (one
+ * record per line: meta, threads, events, samples). For debugging
+ * and interoperability; the binary format is the system of record.
+ */
+std::string toJsonl(const Trace &trace);
+
+} // namespace lag::trace
+
+#endif // LAG_TRACE_IO_HH

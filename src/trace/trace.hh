@@ -1,0 +1,196 @@
+/**
+ * @file
+ * In-memory representation of a LiLa-style latency trace.
+ *
+ * A trace records one interactive session with one application: the
+ * thread roster, a time-ordered stream of boundary events (episode
+ * dispatch begin/end, interval begin/end, GC begin/end), a
+ * time-ordered stream of call-stack samples, and session metadata
+ * including the count of episodes the profiler filtered out for
+ * being shorter than its threshold (paper §IV.A, column "< 3ms").
+ *
+ * All symbols (class and method names) are interned in a per-trace
+ * string table; records carry SymbolIds.
+ */
+
+#ifndef LAG_TRACE_TRACE_HH
+#define LAG_TRACE_TRACE_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/types.hh"
+
+namespace lag::trace
+{
+
+/** Error raised by trace validation and file parsing. */
+class TraceError : public std::runtime_error
+{
+  public:
+    explicit TraceError(const std::string &msg)
+        : std::runtime_error(msg)
+    {}
+};
+
+/** Interned strings; SymbolId 0 is always the empty string. */
+class StringTable
+{
+  public:
+    StringTable();
+
+    /** Intern @p s, returning its stable id. */
+    SymbolId intern(std::string_view s);
+
+    /** Resolve an id. Throws TraceError for out-of-range ids. */
+    const std::string &lookup(SymbolId id) const;
+
+    /** Number of interned strings (including the empty string). */
+    std::size_t size() const { return strings_.size(); }
+
+    /** All strings in id order (serialization support). */
+    const std::vector<std::string> &all() const { return strings_; }
+
+    /** Rebuild from a deserialized list. */
+    static StringTable fromList(std::vector<std::string> strings);
+
+  private:
+    std::vector<std::string> strings_;
+    std::unordered_map<std::string, SymbolId> index_;
+};
+
+/** Trace-level interval kinds (Table I, minus Dispatch and GC which
+ * have dedicated record types). */
+enum class IntervalKind : std::uint8_t
+{
+    Listener = 0,
+    Paint = 1,
+    Native = 2,
+    Async = 3,
+};
+
+/** Human-readable name of an interval kind. */
+const char *intervalKindName(IntervalKind kind);
+
+/** GC kind as recorded in traces. */
+enum class TraceGcKind : std::uint8_t
+{
+    Minor = 0,
+    Major = 1,
+};
+
+/** Types of boundary records in the event stream. */
+enum class EventType : std::uint8_t
+{
+    DispatchBegin = 0,
+    DispatchEnd = 1,
+    IntervalBegin = 2,
+    IntervalEnd = 3,
+    GcBegin = 4,
+    GcEnd = 5,
+};
+
+/** Human-readable name of an event type. */
+const char *eventTypeName(EventType type);
+
+/** One thread known to the trace. */
+struct TraceThread
+{
+    ThreadId id = 0;
+    std::string name;
+    bool isGui = false;
+};
+
+/** One boundary record. Fields beyond (type, thread, time) are only
+ * meaningful for the types that use them. */
+struct TraceEvent
+{
+    EventType type = EventType::DispatchBegin;
+    ThreadId thread = 0;
+    TimeNs time = 0;
+    IntervalKind kind = IntervalKind::Listener; ///< Interval* only
+    SymbolId classSym = 0;                      ///< IntervalBegin only
+    SymbolId methodSym = 0;                     ///< IntervalBegin only
+    TraceGcKind gcKind = TraceGcKind::Minor;    ///< GcBegin only
+};
+
+/** Sampled thread state (mirrors jvm::SampleState numerically). */
+enum class TraceThreadState : std::uint8_t
+{
+    Runnable = 0,
+    Blocked = 1,
+    Waiting = 2,
+    Sleeping = 3,
+};
+
+/** Human-readable name of a sampled thread state. */
+const char *traceThreadStateName(TraceThreadState state);
+
+/** One frame of a sampled stack. */
+struct SampleFrame
+{
+    SymbolId classSym = 0;
+    SymbolId methodSym = 0;
+};
+
+/** One thread's part of a sample. */
+struct SampleThread
+{
+    ThreadId thread = 0;
+    TraceThreadState state = TraceThreadState::Runnable;
+    std::vector<SampleFrame> frames; ///< innermost last
+};
+
+/** One periodic call-stack sample of all live threads. */
+struct TraceSample
+{
+    TimeNs time = 0;
+    std::vector<SampleThread> threads;
+};
+
+/** Session metadata. */
+struct TraceMeta
+{
+    std::string appName;
+    std::uint32_t sessionIndex = 0;
+    std::uint64_t seed = 0;
+    TimeNs startTime = 0;
+    TimeNs endTime = 0;
+    DurationNs samplePeriod = 0;
+    DurationNs filterThreshold = 0; ///< the profiler's 3 ms filter
+    std::uint64_t filteredShortEpisodes = 0;
+
+    /**
+     * Total time spent handling requests, summed over all episodes
+     * including the filtered short ones (which the profiler timed
+     * before dropping). Feeds Table III's "In-Eps" column.
+     */
+    DurationNs totalInEpisodeTime = 0;
+};
+
+/** A complete session trace. */
+struct Trace
+{
+    TraceMeta meta;
+    std::vector<TraceThread> threads;
+    std::vector<TraceEvent> events;   ///< time-ordered
+    std::vector<TraceSample> samples; ///< time-ordered
+    StringTable strings;
+
+    /**
+     * Structural sanity checks: monotone event and sample times,
+     * symbol ids within range, thread ids known, sample states in
+     * range. Throws TraceError on the first violation. (Interval
+     * nesting is validated by the core tree builder, which has the
+     * per-thread context to do it.)
+     */
+    void validate() const;
+};
+
+} // namespace lag::trace
+
+#endif // LAG_TRACE_TRACE_HH

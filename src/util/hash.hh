@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Stable 64-bit hashing for pattern signatures and cache keys.
+ *
+ * std::hash is implementation-defined; pattern keys and trace-cache
+ * keys must be stable across compilers and runs, so FNV-1a is
+ * implemented explicitly.
+ */
+
+#ifndef LAG_UTIL_HASH_HH
+#define LAG_UTIL_HASH_HH
+
+#include <cstdint>
+#include <string_view>
+
+namespace lag
+{
+
+/** Incremental FNV-1a 64-bit hasher. */
+class Fnv1aHasher
+{
+  public:
+    /** Fold raw bytes into the hash state. */
+    void
+    addBytes(const void *data, std::size_t size)
+    {
+        const auto *bytes = static_cast<const unsigned char *>(data);
+        for (std::size_t i = 0; i < size; ++i) {
+            hash_ ^= bytes[i];
+            hash_ *= kPrime;
+        }
+    }
+
+    /** Fold a string (including a terminator byte as separator). */
+    void
+    addString(std::string_view s)
+    {
+        addBytes(s.data(), s.size());
+        const unsigned char sep = 0xff;
+        addBytes(&sep, 1);
+    }
+
+    /** Fold an integral value (little-endian byte order). */
+    template <typename T>
+    void
+    addValue(T value)
+    {
+        addBytes(&value, sizeof(value));
+    }
+
+    /** Current digest. */
+    std::uint64_t digest() const { return hash_; }
+
+  private:
+    static constexpr std::uint64_t kOffset = 0xcbf29ce484222325ULL;
+    static constexpr std::uint64_t kPrime = 0x100000001b3ULL;
+
+    std::uint64_t hash_ = kOffset;
+};
+
+/** One-shot hash of a string. */
+inline std::uint64_t
+fnv1a(std::string_view s)
+{
+    Fnv1aHasher h;
+    h.addBytes(s.data(), s.size());
+    return h.digest();
+}
+
+} // namespace lag
+
+#endif // LAG_UTIL_HASH_HH

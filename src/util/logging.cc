@@ -1,0 +1,69 @@
+#include "logging.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace lag
+{
+
+namespace
+{
+
+LogLevel g_threshold = LogLevel::Info;
+
+const char *
+levelName(LogLevel level)
+{
+    switch (level) {
+      case LogLevel::Debug: return "debug";
+      case LogLevel::Info:  return "info";
+      case LogLevel::Warn:  return "warn";
+      case LogLevel::Error: return "error";
+    }
+    return "?";
+}
+
+} // namespace
+
+void
+setLogThreshold(LogLevel level)
+{
+    g_threshold = level;
+}
+
+LogLevel
+logThreshold()
+{
+    return g_threshold;
+}
+
+namespace detail
+{
+
+void
+emitLog(LogLevel level, const std::string &msg)
+{
+    if (static_cast<int>(level) < static_cast<int>(g_threshold))
+        return;
+    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+}
+
+void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::string full = std::string("panic: ") + msg + " (" + file + ":" +
+                       std::to_string(line) + ")";
+    emitLog(LogLevel::Error, full);
+    throw PanicError(full);
+}
+
+void
+fatalImpl(const std::string &msg)
+{
+    emitLog(LogLevel::Error, "fatal: " + msg);
+    std::exit(1);
+}
+
+} // namespace detail
+
+} // namespace lag

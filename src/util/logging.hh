@@ -1,0 +1,134 @@
+/**
+ * @file
+ * Error reporting and status messages.
+ *
+ * Follows the gem5 convention: @c panic() for internal invariant
+ * violations (a LagAlyzer bug), @c fatal() for user errors that make
+ * continuing impossible (bad trace file, invalid configuration), and
+ * @c warn() / @c inform() for status output that never terminates.
+ */
+
+#ifndef LAG_UTIL_LOGGING_HH
+#define LAG_UTIL_LOGGING_HH
+
+#include <sstream>
+#include <string>
+
+namespace lag
+{
+
+/** Severity attached to a log line. */
+enum class LogLevel
+{
+    Debug,
+    Info,
+    Warn,
+    Error,
+};
+
+/**
+ * Global verbosity control. Messages below the threshold are dropped.
+ * Defaults to LogLevel::Info.
+ */
+void setLogThreshold(LogLevel level);
+
+/** Current verbosity threshold. */
+LogLevel logThreshold();
+
+namespace detail
+{
+
+/** Emit a formatted line to stderr if @p level passes the threshold. */
+void emitLog(LogLevel level, const std::string &msg);
+
+/** Throwing terminator used by panic(); never returns. */
+[[noreturn]] void panicImpl(const char *file, int line,
+                            const std::string &msg);
+
+/** Exit-with-error terminator used by fatal(); never returns. */
+[[noreturn]] void fatalImpl(const std::string &msg);
+
+/** Fold a pack of streamable values into one string. */
+template <typename... Args>
+std::string
+concat(Args &&...args)
+{
+    std::ostringstream os;
+    (os << ... << std::forward<Args>(args));
+    return os.str();
+}
+
+} // namespace detail
+
+/** Report an internal bug and abort. Use for "cannot happen" states. */
+#define lag_panic(...)                                                    \
+    ::lag::detail::panicImpl(__FILE__, __LINE__,                          \
+                             ::lag::detail::concat(__VA_ARGS__))
+
+/**
+ * Abort the condition check if @p cond is false.
+ * Cheap enough to keep enabled in release builds; invariants in this
+ * code base guard analysis correctness, not inner loops.
+ */
+#define lag_assert(cond, ...)                                             \
+    do {                                                                  \
+        if (!(cond)) {                                                    \
+            ::lag::detail::panicImpl(__FILE__, __LINE__,                  \
+                ::lag::detail::concat("assertion '" #cond "' failed: ",   \
+                                      __VA_ARGS__));                      \
+        }                                                                 \
+    } while (0)
+
+/** Report a user-caused error and exit(1). */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args &&...args)
+{
+    detail::fatalImpl(detail::concat(std::forward<Args>(args)...));
+}
+
+/** Non-fatal warning about suspicious but tolerable conditions. */
+template <typename... Args>
+void
+warn(Args &&...args)
+{
+    detail::emitLog(LogLevel::Warn,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Normal operating status message. */
+template <typename... Args>
+void
+inform(Args &&...args)
+{
+    detail::emitLog(LogLevel::Info,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/** Developer-facing debug message. */
+template <typename... Args>
+void
+debugLog(Args &&...args)
+{
+    detail::emitLog(LogLevel::Debug,
+                    detail::concat(std::forward<Args>(args)...));
+}
+
+/**
+ * Exception thrown by panic() so that unit tests can observe invariant
+ * violations without killing the test binary.
+ */
+class PanicError : public std::exception
+{
+  public:
+    explicit PanicError(std::string msg) : message_(std::move(msg)) {}
+
+    const char *what() const noexcept override { return message_.c_str(); }
+
+  private:
+    std::string message_;
+};
+
+} // namespace lag
+
+#endif // LAG_UTIL_LOGGING_HH

@@ -1,0 +1,107 @@
+#include "stats.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "logging.hh"
+
+namespace lag
+{
+
+void
+RunningStats::add(double x)
+{
+    ++count_;
+    sum_ += x;
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+}
+
+void
+RunningStats::merge(const RunningStats &other)
+{
+    if (other.count_ == 0)
+        return;
+    if (count_ == 0) {
+        *this = other;
+        return;
+    }
+    const double na = static_cast<double>(count_);
+    const double nb = static_cast<double>(other.count_);
+    const double delta = other.mean_ - mean_;
+    const double total = na + nb;
+    mean_ += delta * nb / total;
+    m2_ += other.m2_ + delta * delta * na * nb / total;
+    count_ += other.count_;
+    sum_ += other.sum_;
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+}
+
+double
+RunningStats::mean() const
+{
+    return count_ == 0 ? 0.0 : mean_;
+}
+
+double
+RunningStats::variance() const
+{
+    return count_ < 2 ? 0.0 : m2_ / static_cast<double>(count_);
+}
+
+double
+RunningStats::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+double
+quantile(std::vector<double> values, double q)
+{
+    lag_assert(!values.empty(), "quantile of empty vector");
+    lag_assert(q >= 0.0 && q <= 1.0, "quantile q out of range: ", q);
+    std::sort(values.begin(), values.end());
+    const double pos = q * static_cast<double>(values.size() - 1);
+    const auto below = static_cast<std::size_t>(pos);
+    const std::size_t above = std::min(below + 1, values.size() - 1);
+    const double frac = pos - static_cast<double>(below);
+    return values[below] * (1.0 - frac) + values[above] * frac;
+}
+
+Histogram::Histogram(double lo, double hi, std::size_t bins)
+    : lo_(lo), width_((hi - lo) / static_cast<double>(bins)),
+      counts_(bins, 0)
+{
+    lag_assert(bins > 0, "histogram needs at least one bin");
+    lag_assert(hi > lo, "histogram range inverted");
+}
+
+void
+Histogram::add(double x)
+{
+    auto idx = static_cast<std::int64_t>((x - lo_) / width_);
+    idx = std::clamp<std::int64_t>(
+        idx, 0, static_cast<std::int64_t>(counts_.size()) - 1);
+    ++counts_[static_cast<std::size_t>(idx)];
+    ++total_;
+}
+
+std::uint64_t
+Histogram::binCount(std::size_t index) const
+{
+    lag_assert(index < counts_.size(), "histogram bin out of range");
+    return counts_[index];
+}
+
+double
+Histogram::binLow(std::size_t index) const
+{
+    lag_assert(index < counts_.size(), "histogram bin out of range");
+    return lo_ + width_ * static_cast<double>(index);
+}
+
+} // namespace lag

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Descriptive statistics used by the analyses and benches.
+ */
+
+#ifndef LAG_UTIL_STATS_HH
+#define LAG_UTIL_STATS_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace lag
+{
+
+/**
+ * Streaming accumulator for count / min / max / mean / variance.
+ * Uses Welford's algorithm so that variance is numerically stable for
+ * long streams of episode durations.
+ */
+class RunningStats
+{
+  public:
+    /** Add one observation. */
+    void add(double x);
+
+    /** Merge another accumulator into this one. */
+    void merge(const RunningStats &other);
+
+    /** Number of observations. */
+    std::size_t count() const { return count_; }
+
+    /** Sum of observations. */
+    double sum() const { return sum_; }
+
+    /** Smallest observation, or +inf when empty. */
+    double min() const { return min_; }
+
+    /** Largest observation, or -inf when empty. */
+    double max() const { return max_; }
+
+    /** Arithmetic mean, or 0 when empty. */
+    double mean() const;
+
+    /** Population variance, or 0 with fewer than two observations. */
+    double variance() const;
+
+    /** Population standard deviation. */
+    double stddev() const;
+
+  private:
+    std::size_t count_ = 0;
+    double sum_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+    double min_ = std::numeric_limits<double>::infinity();
+    double max_ = -std::numeric_limits<double>::infinity();
+};
+
+/**
+ * Compute the q-quantile (0 <= q <= 1) of @p values with linear
+ * interpolation between order statistics. @p values is copied; the
+ * input is left untouched.
+ */
+double quantile(std::vector<double> values, double q);
+
+/**
+ * Fixed-bin histogram over a closed range; out-of-range observations
+ * are clamped into the edge bins. Used by workload diagnostics.
+ */
+class Histogram
+{
+  public:
+    /** Create @p bins equal-width bins spanning [lo, hi]. */
+    Histogram(double lo, double hi, std::size_t bins);
+
+    /** Record one observation. */
+    void add(double x);
+
+    /** Count in bin @p index. */
+    std::uint64_t binCount(std::size_t index) const;
+
+    /** Lower edge of bin @p index. */
+    double binLow(std::size_t index) const;
+
+    /** Number of bins. */
+    std::size_t bins() const { return counts_.size(); }
+
+    /** Total observations recorded. */
+    std::uint64_t total() const { return total_; }
+
+  private:
+    double lo_;
+    double width_;
+    std::vector<std::uint64_t> counts_;
+    std::uint64_t total_ = 0;
+};
+
+} // namespace lag
+
+#endif // LAG_UTIL_STATS_HH

@@ -1,0 +1,111 @@
+#include "strings.hh"
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+
+namespace lag
+{
+
+bool
+startsWith(std::string_view s, std::string_view prefix)
+{
+    return s.size() >= prefix.size() &&
+           s.substr(0, prefix.size()) == prefix;
+}
+
+bool
+endsWith(std::string_view s, std::string_view suffix)
+{
+    return s.size() >= suffix.size() &&
+           s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::vector<std::string>
+split(std::string_view s, char sep)
+{
+    std::vector<std::string> out;
+    std::size_t begin = 0;
+    while (true) {
+        const std::size_t end = s.find(sep, begin);
+        if (end == std::string_view::npos) {
+            out.emplace_back(s.substr(begin));
+            return out;
+        }
+        out.emplace_back(s.substr(begin, end - begin));
+        begin = end + 1;
+    }
+}
+
+std::string
+join(const std::vector<std::string> &parts, std::string_view sep)
+{
+    std::string out;
+    for (std::size_t i = 0; i < parts.size(); ++i) {
+        if (i > 0)
+            out += sep;
+        out += parts[i];
+    }
+    return out;
+}
+
+std::string
+formatDouble(double value, int decimals)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", decimals, value);
+    return buf;
+}
+
+std::string
+formatDurationNs(std::int64_t ns)
+{
+    const double abs_ns = std::abs(static_cast<double>(ns));
+    if (abs_ns >= 1e9)
+        return formatDouble(static_cast<double>(ns) / 1e9, 2) + " s";
+    if (abs_ns >= 1e6)
+        return formatDouble(static_cast<double>(ns) / 1e6, 1) + " ms";
+    if (abs_ns >= 1e3)
+        return formatDouble(static_cast<double>(ns) / 1e3, 1) + " us";
+    return std::to_string(ns) + " ns";
+}
+
+std::string
+formatPercent(double fraction, int decimals)
+{
+    return formatDouble(fraction * 100.0, decimals) + "%";
+}
+
+std::string
+formatCount(std::uint64_t value)
+{
+    std::string digits = std::to_string(value);
+    std::string out;
+    const std::size_t n = digits.size();
+    for (std::size_t i = 0; i < n; ++i) {
+        if (i > 0 && (n - i) % 3 == 0)
+            out += '\'';
+        out += digits[i];
+    }
+    return out;
+}
+
+std::string
+xmlEscape(std::string_view s)
+{
+    std::string out;
+    out.reserve(s.size());
+    for (char c : s) {
+        switch (c) {
+          case '&':  out += "&amp;"; break;
+          case '<':  out += "&lt;"; break;
+          case '>':  out += "&gt;"; break;
+          case '"':  out += "&quot;"; break;
+          case '\'': out += "&apos;"; break;
+          default:   out += c; break;
+        }
+    }
+    return out;
+}
+
+} // namespace lag

@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Small string helpers shared across modules.
+ */
+
+#ifndef LAG_UTIL_STRINGS_HH
+#define LAG_UTIL_STRINGS_HH
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lag
+{
+
+/** True when @p s begins with @p prefix. */
+bool startsWith(std::string_view s, std::string_view prefix);
+
+/** True when @p s ends with @p suffix. */
+bool endsWith(std::string_view s, std::string_view suffix);
+
+/** Split @p s on @p sep; keeps empty fields. */
+std::vector<std::string> split(std::string_view s, char sep);
+
+/** Join @p parts with @p sep between elements. */
+std::string join(const std::vector<std::string> &parts,
+                 std::string_view sep);
+
+/** Format @p value with @p decimals fraction digits (locale-free). */
+std::string formatDouble(double value, int decimals);
+
+/** Format a nanosecond duration as a human-readable "123.4 ms". */
+std::string formatDurationNs(std::int64_t ns);
+
+/** Render @p fraction (0..1) as a percentage string like "42.0%". */
+std::string formatPercent(double fraction, int decimals = 1);
+
+/** Thousands-separated integer rendering: 1234567 -> "1'234'567". */
+std::string formatCount(std::uint64_t value);
+
+/** Escape &, <, >, and quotes for embedding in XML/SVG text. */
+std::string xmlEscape(std::string_view s);
+
+} // namespace lag
+
+#endif // LAG_UTIL_STRINGS_HH

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Fundamental types shared across the LagAlyzer code base.
+ *
+ * All simulated and traced time is virtual time expressed in
+ * nanoseconds since the start of a session, held in a signed 64-bit
+ * integer. Helper constants and conversion functions keep call sites
+ * readable (e.g. @c msToNs(100) for the perceptibility threshold).
+ */
+
+#ifndef LAG_UTIL_TYPES_HH
+#define LAG_UTIL_TYPES_HH
+
+#include <cstdint>
+
+namespace lag
+{
+
+/** Virtual time in nanoseconds since session start. */
+using TimeNs = std::int64_t;
+
+/** Duration in nanoseconds. Same representation as TimeNs. */
+using DurationNs = std::int64_t;
+
+/** Identifier of a simulated thread within one session. */
+using ThreadId = std::uint32_t;
+
+/** Index into a trace string table. */
+using SymbolId = std::uint32_t;
+
+/** Sentinel for "no time recorded yet". */
+constexpr TimeNs kNoTime = -1;
+
+/** One microsecond in nanoseconds. */
+constexpr DurationNs kMicrosecond = 1'000;
+
+/** One millisecond in nanoseconds. */
+constexpr DurationNs kMillisecond = 1'000'000;
+
+/** One second in nanoseconds. */
+constexpr DurationNs kSecond = 1'000'000'000;
+
+/** Convert whole microseconds to nanoseconds. */
+constexpr DurationNs
+usToNs(std::int64_t us)
+{
+    return us * kMicrosecond;
+}
+
+/** Convert whole milliseconds to nanoseconds. */
+constexpr DurationNs
+msToNs(std::int64_t ms)
+{
+    return ms * kMillisecond;
+}
+
+/** Convert whole seconds to nanoseconds. */
+constexpr DurationNs
+secToNs(std::int64_t sec)
+{
+    return sec * kSecond;
+}
+
+/** Convert nanoseconds to fractional milliseconds. */
+constexpr double
+nsToMs(DurationNs ns)
+{
+    return static_cast<double>(ns) / static_cast<double>(kMillisecond);
+}
+
+/** Convert nanoseconds to fractional seconds. */
+constexpr double
+nsToSec(DurationNs ns)
+{
+    return static_cast<double>(ns) / static_cast<double>(kSecond);
+}
+
+} // namespace lag
+
+#endif // LAG_UTIL_TYPES_HH

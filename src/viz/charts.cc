@@ -1,0 +1,174 @@
+#include "charts.hh"
+
+#include <algorithm>
+
+#include "util/strings.hh"
+
+namespace lag::viz
+{
+
+namespace
+{
+
+constexpr double kLeftMargin = 130.0;
+constexpr double kRightMargin = 30.0;
+constexpr double kTopMargin = 46.0;
+constexpr double kBottomMargin = 56.0;
+constexpr double kRowHeight = 22.0;
+constexpr double kBarHeight = 14.0;
+constexpr double kPlotWidth = 480.0;
+
+} // namespace
+
+StackedBarChart::StackedBarChart(std::string title, std::string x_label,
+                                 double x_max)
+    : title_(std::move(title)), x_label_(std::move(x_label)),
+      x_max_(x_max)
+{
+}
+
+void
+StackedBarChart::addRow(BarRow row)
+{
+    rows_.push_back(std::move(row));
+}
+
+void
+StackedBarChart::addLegend(std::string label, std::string color)
+{
+    legend_.emplace_back(std::move(label), std::move(color));
+}
+
+SvgDocument
+StackedBarChart::render() const
+{
+    const double plot_h =
+        kRowHeight * static_cast<double>(std::max<std::size_t>(
+                         rows_.size(), 1));
+    const double width = kLeftMargin + kPlotWidth + kRightMargin;
+    const double height = kTopMargin + plot_h + kBottomMargin;
+    SvgDocument doc(width, height);
+
+    doc.text(width / 2.0, 20.0, title_, 13.0, "#000000",
+             TextAnchor::Middle);
+
+    // Legend across the top.
+    double lx = kLeftMargin;
+    for (const auto &[label, color] : legend_) {
+        doc.rect(lx, 28.0, 10.0, 10.0, color);
+        doc.text(lx + 14.0, 37.0, label, 10.0);
+        lx += 14.0 + 7.0 * static_cast<double>(label.size()) + 18.0;
+    }
+
+    // Vertical grid lines every 25% of the axis.
+    for (int i = 0; i <= 4; ++i) {
+        const double frac = static_cast<double>(i) / 4.0;
+        const double x = kLeftMargin + frac * kPlotWidth;
+        doc.line(x, kTopMargin, x, kTopMargin + plot_h, "#dddddd");
+        doc.text(x, kTopMargin + plot_h + 16.0,
+                 formatDouble(frac * x_max_, x_max_ < 10 ? 2 : 0), 10.0,
+                 "#444444", TextAnchor::Middle);
+    }
+    doc.text(kLeftMargin + kPlotWidth / 2.0,
+             kTopMargin + plot_h + 34.0, x_label_, 11.0, "#000000",
+             TextAnchor::Middle);
+
+    for (std::size_t r = 0; r < rows_.size(); ++r) {
+        const BarRow &row = rows_[r];
+        const double y = kTopMargin + kRowHeight * static_cast<double>(r) +
+                         (kRowHeight - kBarHeight) / 2.0;
+        doc.text(kLeftMargin - 6.0, y + kBarHeight - 3.0, row.label,
+                 10.0, "#000000", TextAnchor::End);
+        double x = kLeftMargin;
+        for (const auto &segment : row.segments) {
+            const double w =
+                std::max(0.0, segment.value / x_max_) * kPlotWidth;
+            if (w <= 0.0)
+                continue;
+            const double clipped =
+                std::min(w, kLeftMargin + kPlotWidth - x);
+            doc.rect(x, y, clipped, kBarHeight, segment.color, "",
+                     row.label + ": " +
+                         formatDouble(segment.value, 1));
+            x += clipped;
+            if (x >= kLeftMargin + kPlotWidth)
+                break;
+        }
+    }
+
+    // Plot frame.
+    doc.line(kLeftMargin, kTopMargin, kLeftMargin, kTopMargin + plot_h,
+             "#000000");
+    doc.line(kLeftMargin, kTopMargin + plot_h, kLeftMargin + kPlotWidth,
+             kTopMargin + plot_h, "#000000");
+    return doc;
+}
+
+CdfChart::CdfChart(std::string title, std::string x_label,
+                   std::string y_label)
+    : title_(std::move(title)), x_label_(std::move(x_label)),
+      y_label_(std::move(y_label))
+{
+}
+
+void
+CdfChart::addSeries(CdfSeries series)
+{
+    series_.push_back(std::move(series));
+}
+
+SvgDocument
+CdfChart::render() const
+{
+    constexpr double kPlotH = 320.0;
+    constexpr double kLegendW = 130.0;
+    const double width =
+        kLeftMargin + kPlotWidth + kLegendW + kRightMargin;
+    const double height = kTopMargin + kPlotH + kBottomMargin;
+    SvgDocument doc(width, height);
+
+    doc.text((kLeftMargin + kPlotWidth) / 2.0, 20.0, title_, 13.0,
+             "#000000", TextAnchor::Middle);
+
+    // Grid and axis labels every 20%.
+    for (int i = 0; i <= 5; ++i) {
+        const double frac = static_cast<double>(i) / 5.0;
+        const double x = kLeftMargin + frac * kPlotWidth;
+        const double y = kTopMargin + kPlotH - frac * kPlotH;
+        doc.line(x, kTopMargin, x, kTopMargin + kPlotH, "#dddddd");
+        doc.line(kLeftMargin, y, kLeftMargin + kPlotWidth, y, "#dddddd");
+        doc.text(x, kTopMargin + kPlotH + 16.0,
+                 formatDouble(frac * 100.0, 0), 10.0, "#444444",
+                 TextAnchor::Middle);
+        doc.text(kLeftMargin - 8.0, y + 3.0, formatDouble(frac * 100.0, 0),
+                 10.0, "#444444", TextAnchor::End);
+    }
+    doc.text(kLeftMargin + kPlotWidth / 2.0, kTopMargin + kPlotH + 34.0,
+             x_label_, 11.0, "#000000", TextAnchor::Middle);
+    doc.text(18.0, kTopMargin - 10.0, y_label_, 11.0);
+
+    for (std::size_t s = 0; s < series_.size(); ++s) {
+        const CdfSeries &series = series_[s];
+        std::vector<std::pair<double, double>> pixels;
+        pixels.reserve(series.points.size());
+        for (const auto &[px, py] : series.points) {
+            pixels.emplace_back(kLeftMargin + px * kPlotWidth,
+                                kTopMargin + kPlotH - py * kPlotH);
+        }
+        doc.polyline(pixels, series.color);
+        const double ly =
+            kTopMargin + 14.0 * static_cast<double>(s) + 8.0;
+        doc.line(kLeftMargin + kPlotWidth + 12.0, ly,
+                 kLeftMargin + kPlotWidth + 30.0, ly, series.color, 2.0);
+        doc.text(kLeftMargin + kPlotWidth + 34.0, ly + 3.0, series.label,
+                 9.0);
+    }
+
+    doc.line(kLeftMargin, kTopMargin, kLeftMargin, kTopMargin + kPlotH,
+             "#000000");
+    doc.line(kLeftMargin, kTopMargin + kPlotH, kLeftMargin + kPlotWidth,
+             kTopMargin + kPlotH, "#000000");
+    return doc;
+}
+
+} // namespace lag::viz

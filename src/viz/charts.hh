@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Chart builders for the paper's evaluation figures.
+ *
+ * Two chart forms cover all of Figures 3-8:
+ *
+ *  - StackedBarChart: horizontal 100%-stacked (or absolute) bars,
+ *    one row per benchmark — Figures 4, 5, 6, 8, and the simple
+ *    bars of Figure 7;
+ *  - CdfChart: multi-series line chart on percentage axes —
+ *    Figure 3.
+ */
+
+#ifndef LAG_VIZ_CHARTS_HH
+#define LAG_VIZ_CHARTS_HH
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "svg.hh"
+
+namespace lag::viz
+{
+
+/** One segment of a stacked bar. */
+struct BarSegment
+{
+    double value = 0.0;     ///< in axis units (e.g. percent)
+    std::string color;
+};
+
+/** One row (benchmark) of a stacked bar chart. */
+struct BarRow
+{
+    std::string label;
+    std::vector<BarSegment> segments;
+};
+
+/** Horizontal stacked bar chart. */
+class StackedBarChart
+{
+  public:
+    /** @param title    chart caption
+     *  @param x_label  axis caption (e.g. "Episodes [%]")
+     *  @param x_max    axis maximum (e.g. 100 for shares, 60 for
+     *                  the zoomed Figure 8, 2 for Figure 7) */
+    StackedBarChart(std::string title, std::string x_label,
+                    double x_max);
+
+    /** Append a row; rows render top to bottom in call order. */
+    void addRow(BarRow row);
+
+    /** Add a legend entry. */
+    void addLegend(std::string label, std::string color);
+
+    /** Render to SVG. */
+    SvgDocument render() const;
+
+  private:
+    std::string title_;
+    std::string x_label_;
+    double x_max_;
+    std::vector<BarRow> rows_;
+    std::vector<std::pair<std::string, std::string>> legend_;
+};
+
+/** One series of a CDF chart. */
+struct CdfSeries
+{
+    std::string label;
+    std::string color;
+    /** Points in [0,1]x[0,1]; rendered on percent axes. */
+    std::vector<std::pair<double, double>> points;
+};
+
+/** Multi-series line chart on percent axes (Figure 3). */
+class CdfChart
+{
+  public:
+    CdfChart(std::string title, std::string x_label,
+             std::string y_label);
+
+    void addSeries(CdfSeries series);
+
+    SvgDocument render() const;
+
+  private:
+    std::string title_;
+    std::string x_label_;
+    std::string y_label_;
+    std::vector<CdfSeries> series_;
+};
+
+} // namespace lag::viz
+
+#endif // LAG_VIZ_CHARTS_HH

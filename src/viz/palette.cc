@@ -1,0 +1,81 @@
+#include "palette.hh"
+
+#include <array>
+
+namespace lag::viz
+{
+
+std::string_view
+intervalColor(core::IntervalType type)
+{
+    switch (type) {
+      case core::IntervalType::Dispatch: return "#9aa4ad";
+      case core::IntervalType::Listener: return "#4c78a8";
+      case core::IntervalType::Paint:    return "#59a14f";
+      case core::IntervalType::Native:   return "#e8743b";
+      case core::IntervalType::Async:    return "#b07aa1";
+      case core::IntervalType::Gc:       return "#d62728";
+    }
+    return "#000000";
+}
+
+std::string_view
+threadStateColor(trace::TraceThreadState state)
+{
+    switch (state) {
+      case trace::TraceThreadState::Runnable: return "#2ca02c";
+      case trace::TraceThreadState::Blocked:  return "#d62728";
+      case trace::TraceThreadState::Waiting:  return "#ff7f0e";
+      case trace::TraceThreadState::Sleeping: return "#1f77b4";
+    }
+    return "#000000";
+}
+
+std::string_view
+triggerColor(std::size_t index)
+{
+    static constexpr std::array<std::string_view, 4> kColors = {
+        "#4c78a8", // input
+        "#59a14f", // output
+        "#b07aa1", // async
+        "#bab0ac", // unspecified
+    };
+    return kColors[index % kColors.size()];
+}
+
+std::string_view
+occurrenceColor(std::size_t index)
+{
+    static constexpr std::array<std::string_view, 4> kColors = {
+        "#d62728", // always
+        "#ff7f0e", // sometimes
+        "#f2cf5b", // once
+        "#59a14f", // never
+    };
+    return kColors[index % kColors.size()];
+}
+
+namespace
+{
+
+constexpr std::array<std::string_view, 14> kSeries = {
+    "#4c78a8", "#f58518", "#e45756", "#72b7b2", "#54a24b",
+    "#eeca3b", "#b279a2", "#ff9da6", "#9d755d", "#bab0ac",
+    "#1f77b4", "#2ca02c", "#d62728", "#7f7f7f",
+};
+
+} // namespace
+
+std::string_view
+seriesColor(std::size_t index)
+{
+    return kSeries[index % kSeries.size()];
+}
+
+std::size_t
+seriesColorCount()
+{
+    return kSeries.size();
+}
+
+} // namespace lag::viz

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Shared colors for charts and episode sketches.
+ *
+ * Interval types each get a fixed color (the paper: "LagAlyzer
+ * renders each interval type in a different color"), thread states
+ * get the colors used for sample dots, and charts draw from a
+ * categorical series palette.
+ */
+
+#ifndef LAG_VIZ_PALETTE_HH
+#define LAG_VIZ_PALETTE_HH
+
+#include <string_view>
+
+#include "core/interval.hh"
+#include "trace/trace.hh"
+
+namespace lag::viz
+{
+
+/** Fill color of an interval type in sketches and legends. */
+std::string_view intervalColor(core::IntervalType type);
+
+/** Dot color of a sampled thread state. */
+std::string_view threadStateColor(trace::TraceThreadState state);
+
+/** Colors of the trigger categories (Figure 5). */
+std::string_view triggerColor(std::size_t index);
+
+/** Colors of the occurrence classes (Figure 4). */
+std::string_view occurrenceColor(std::size_t index);
+
+/** Categorical series palette (Figure 3's fourteen lines). */
+std::string_view seriesColor(std::size_t index);
+
+/** Number of distinct series colors before they repeat. */
+std::size_t seriesColorCount();
+
+} // namespace lag::viz
+
+#endif // LAG_VIZ_PALETTE_HH

@@ -1,0 +1,253 @@
+#include "sketch.hh"
+
+#include <algorithm>
+#include <functional>
+#include <sstream>
+
+#include "palette.hh"
+#include "util/strings.hh"
+
+namespace lag::viz
+{
+
+namespace
+{
+
+using core::Episode;
+using core::IntervalNode;
+using core::IntervalType;
+using core::Session;
+
+constexpr double kRowH = 22.0;
+constexpr double kRowGap = 2.0;
+constexpr double kMarginLeft = 40.0;
+constexpr double kMarginRight = 24.0;
+constexpr double kSampleRowH = 18.0;
+constexpr double kAxisH = 36.0;
+constexpr double kTitleH = 26.0;
+constexpr double kLegendH = 20.0;
+
+/** Short label "JToolBar.paint" from symbols. */
+std::string
+shortLabel(const Session &session, const IntervalNode &node)
+{
+    if (node.type == IntervalType::Gc) {
+        return node.gcKind == trace::TraceGcKind::Major ? "major GC"
+                                                        : "minor GC";
+    }
+    if (node.type == IntervalType::Dispatch)
+        return "dispatch";
+    const std::string &cls = session.symbol(node.classSym);
+    const std::string &mth = session.symbol(node.methodSym);
+    const auto dot = cls.rfind('.');
+    const std::string simple =
+        dot == std::string::npos ? cls : cls.substr(dot + 1);
+    return simple + "." + mth;
+}
+
+/** Full tooltip text for an interval. */
+std::string
+intervalTooltip(const Session &session, const IntervalNode &node)
+{
+    std::string tip = intervalTypeName(node.type);
+    if (node.type != IntervalType::Dispatch &&
+        node.type != IntervalType::Gc) {
+        tip += " " + session.symbol(node.classSym) + "." +
+               session.symbol(node.methodSym);
+    }
+    tip += " — " + formatDurationNs(node.duration());
+    return tip;
+}
+
+/** Recursive SVG interval painter; depth 0 is the dispatch row. */
+void
+paintInterval(SvgDocument &doc, const Session &session,
+              const IntervalNode &node, std::size_t depth,
+              std::size_t max_depth, double t0, double scale,
+              double tree_top)
+{
+    const double x = kMarginLeft +
+                     static_cast<double>(node.begin - t0) * scale;
+    const double w = std::max(
+        1.0, static_cast<double>(node.duration()) * scale);
+    // Dispatch (depth 0) sits at the bottom of the tree area.
+    const double y = tree_top + static_cast<double>(
+                                    max_depth - 1 - depth) *
+                                    (kRowH + kRowGap);
+    doc.rect(x, y, w, kRowH,
+             std::string(intervalColor(node.type)), "#333333",
+             intervalTooltip(session, node));
+    const std::string label = shortLabel(session, node);
+    if (w > 8.0 * static_cast<double>(label.size())) {
+        doc.text(x + w / 2.0, y + kRowH / 2.0 + 4.0, label, 10.0,
+                 "#ffffff", TextAnchor::Middle);
+    }
+    for (const auto &child : node.children) {
+        paintInterval(doc, session, child, depth + 1, max_depth, t0,
+                      scale, tree_top);
+    }
+}
+
+} // namespace
+
+SvgDocument
+renderEpisodeSketch(const Session &session, const Episode &episode,
+                    const SketchOptions &options)
+{
+    const IntervalNode &root = session.episodeRoot(episode);
+    const std::size_t depth = root.depth();
+    const double tree_h =
+        static_cast<double>(depth) * (kRowH + kRowGap);
+    const double tree_top = kTitleH + kSampleRowH;
+    const double height =
+        tree_top + tree_h + kAxisH + (options.legend ? kLegendH : 0.0);
+    SvgDocument doc(options.width, height);
+
+    const double plot_w =
+        options.width - kMarginLeft - kMarginRight;
+    const auto span = std::max<DurationNs>(1, episode.duration());
+    const double scale = plot_w / static_cast<double>(span);
+
+    std::string title = options.title;
+    if (title.empty()) {
+        title = session.meta().appName + ": episode @ " +
+                formatDouble(nsToSec(episode.begin), 2) + " s, " +
+                formatDurationNs(episode.duration());
+    }
+    doc.text(options.width / 2.0, 17.0, title, 13.0, "#000000",
+             TextAnchor::Middle);
+
+    // Sample dots along the top edge (GUI thread only).
+    const auto &samples = session.samples();
+    for (std::size_t s = episode.firstSample; s < episode.lastSample;
+         ++s) {
+        for (const auto &entry : samples[s].threads) {
+            if (entry.thread != episode.thread)
+                continue;
+            const double x =
+                kMarginLeft +
+                static_cast<double>(samples[s].time - episode.begin) *
+                    scale;
+            std::string tip =
+                std::string(traceThreadStateName(entry.state)) + " @ " +
+                formatDouble(nsToSec(samples[s].time), 3) + " s";
+            for (auto it = entry.frames.rbegin();
+                 it != entry.frames.rend(); ++it) {
+                tip += "\n  at " + session.symbol(it->classSym) + "." +
+                       session.symbol(it->methodSym);
+            }
+            doc.circle(x, kTitleH + kSampleRowH / 2.0, 3.0,
+                       std::string(threadStateColor(entry.state)), tip);
+            break;
+        }
+    }
+
+    paintInterval(doc, session, root, 0, depth, episode.begin, scale,
+                  tree_top);
+
+    // Time axis in session seconds.
+    const double axis_y = tree_top + tree_h + 14.0;
+    doc.line(kMarginLeft, axis_y, kMarginLeft + plot_w, axis_y,
+             "#000000");
+    for (int i = 0; i <= 4; ++i) {
+        const double frac = static_cast<double>(i) / 4.0;
+        const double x = kMarginLeft + frac * plot_w;
+        const TimeNs t = episode.begin +
+                         static_cast<TimeNs>(
+                             frac * static_cast<double>(span));
+        doc.line(x, axis_y, x, axis_y + 4.0, "#000000");
+        doc.text(x, axis_y + 16.0, formatDouble(nsToSec(t), 3) + " s",
+                 9.0, "#444444", TextAnchor::Middle);
+    }
+
+    if (options.legend) {
+        double lx = kMarginLeft;
+        const double ly = axis_y + 26.0;
+        for (const IntervalType type :
+             {IntervalType::Dispatch, IntervalType::Listener,
+              IntervalType::Paint, IntervalType::Native,
+              IntervalType::Async, IntervalType::Gc}) {
+            doc.rect(lx, ly, 10.0, 10.0,
+                     std::string(intervalColor(type)));
+            const std::string name = intervalTypeName(type);
+            doc.text(lx + 13.0, ly + 9.0, name, 9.0);
+            lx += 13.0 + 6.5 * static_cast<double>(name.size()) + 14.0;
+        }
+    }
+    return doc;
+}
+
+std::string
+renderAsciiSketch(const Session &session, const Episode &episode,
+                  std::size_t width)
+{
+    width = std::max<std::size_t>(width, 20);
+    const IntervalNode &root = session.episodeRoot(episode);
+    const std::size_t depth = root.depth();
+    const auto span = std::max<DurationNs>(1, episode.duration());
+
+    const auto column = [&](TimeNs t) {
+        const auto c = static_cast<std::size_t>(
+            static_cast<double>(t - episode.begin) /
+            static_cast<double>(span) *
+            static_cast<double>(width - 1));
+        return std::min(c, width - 1);
+    };
+
+    // rows[0] = sample states; rows[1] = deepest intervals; the
+    // bottom row is the dispatch interval.
+    std::vector<std::string> rows(depth + 1,
+                                  std::string(width, ' '));
+
+    const auto &samples = session.samples();
+    for (std::size_t s = episode.firstSample; s < episode.lastSample;
+         ++s) {
+        for (const auto &entry : samples[s].threads) {
+            if (entry.thread != episode.thread)
+                continue;
+            char c = '?';
+            switch (entry.state) {
+              case trace::TraceThreadState::Runnable: c = 'r'; break;
+              case trace::TraceThreadState::Blocked:  c = 'b'; break;
+              case trace::TraceThreadState::Waiting:  c = 'w'; break;
+              case trace::TraceThreadState::Sleeping: c = 's'; break;
+            }
+            rows[0][column(samples[s].time)] = c;
+            break;
+        }
+    }
+
+    const auto type_char = [](IntervalType type) {
+        switch (type) {
+          case IntervalType::Dispatch: return 'D';
+          case IntervalType::Listener: return 'L';
+          case IntervalType::Paint:    return 'P';
+          case IntervalType::Native:   return 'N';
+          case IntervalType::Async:    return 'A';
+          case IntervalType::Gc:       return 'G';
+        }
+        return '?';
+    };
+
+    const std::function<void(const IntervalNode &, std::size_t)> paint =
+        [&](const IntervalNode &node, std::size_t d) {
+            const std::size_t row = depth - d; // dispatch at bottom
+            const std::size_t from = column(node.begin);
+            const std::size_t to = column(node.end);
+            for (std::size_t c = from; c <= to; ++c)
+                rows[row][c] = type_char(node.type);
+            for (const auto &child : node.children)
+                paint(child, d + 1);
+        };
+    paint(root, 0);
+
+    std::ostringstream out;
+    out << "episode @ " << formatDouble(nsToSec(episode.begin), 2)
+        << " s, duration " << formatDurationNs(episode.duration())
+        << " (samples: r=runnable b=blocked w=waiting s=sleeping)\n";
+    for (const auto &row : rows)
+        out << row << '\n';
+    return out.str();
+}
+
+} // namespace lag::viz

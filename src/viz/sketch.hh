@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Episode sketches (paper §II.B, Figures 1 and 2).
+ *
+ * An episode sketch shows everything known about one episode along a
+ * time axis: (1) the time axis itself, in session time; (2) the tree
+ * of nested intervals, one row per nesting depth with the Dispatch
+ * interval at the bottom, colored by interval type; (3) the call
+ * stack samples of the GUI thread as dots along the top edge,
+ * colored by thread state, with the full stack as hover text.
+ *
+ * Gaps in the dot row during and around a GC interval are real: the
+ * sampler is stopped while the world is stopped (the effect the
+ * paper dissects in §II.B).
+ *
+ * Both an SVG renderer and an ASCII renderer (for terminal use in
+ * the pattern browser example) are provided.
+ */
+
+#ifndef LAG_VIZ_SKETCH_HH
+#define LAG_VIZ_SKETCH_HH
+
+#include <string>
+
+#include "core/session.hh"
+#include "svg.hh"
+
+namespace lag::viz
+{
+
+/** Rendering options for SVG sketches. */
+struct SketchOptions
+{
+    double width = 960.0;
+    bool legend = true;
+    std::string title; ///< defaults to "<app>: episode @ <t>, <dur>"
+};
+
+/** Render an episode sketch as SVG. */
+SvgDocument renderEpisodeSketch(const core::Session &session,
+                                const core::Episode &episode,
+                                const SketchOptions &options = {});
+
+/**
+ * Render an episode sketch as fixed-width text, @p width characters
+ * wide. Row 1 shows sample states (r/b/w/s), the remaining rows the
+ * interval tree from innermost (top) to the dispatch row (bottom),
+ * using D/L/P/N/A/G per interval type.
+ */
+std::string renderAsciiSketch(const core::Session &session,
+                              const core::Episode &episode,
+                              std::size_t width = 100);
+
+} // namespace lag::viz
+
+#endif // LAG_VIZ_SKETCH_HH

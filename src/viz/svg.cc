@@ -1,0 +1,127 @@
+#include "svg.hh"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "util/strings.hh"
+
+namespace lag::viz
+{
+
+namespace
+{
+
+std::string
+num(double v)
+{
+    // Two decimals are below half a pixel everywhere we draw.
+    return formatDouble(v, 2);
+}
+
+} // namespace
+
+SvgDocument::SvgDocument(double width, double height)
+    : width_(width), height_(height)
+{
+}
+
+void
+SvgDocument::rect(double x, double y, double w, double h,
+                  std::string_view fill, std::string_view stroke,
+                  std::string_view tooltip)
+{
+    body_ += "<rect x=\"" + num(x) + "\" y=\"" + num(y) + "\" width=\"" +
+             num(w) + "\" height=\"" + num(h) + "\" fill=\"" +
+             std::string(fill) + "\"";
+    if (!stroke.empty())
+        body_ += " stroke=\"" + std::string(stroke) + "\"";
+    if (tooltip.empty()) {
+        body_ += "/>\n";
+    } else {
+        body_ += "><title>" + xmlEscape(tooltip) + "</title></rect>\n";
+    }
+}
+
+void
+SvgDocument::line(double x1, double y1, double x2, double y2,
+                  std::string_view stroke, double stroke_width)
+{
+    body_ += "<line x1=\"" + num(x1) + "\" y1=\"" + num(y1) +
+             "\" x2=\"" + num(x2) + "\" y2=\"" + num(y2) +
+             "\" stroke=\"" + std::string(stroke) +
+             "\" stroke-width=\"" + num(stroke_width) + "\"/>\n";
+}
+
+void
+SvgDocument::circle(double cx, double cy, double r, std::string_view fill,
+                    std::string_view tooltip)
+{
+    body_ += "<circle cx=\"" + num(cx) + "\" cy=\"" + num(cy) +
+             "\" r=\"" + num(r) + "\" fill=\"" + std::string(fill) +
+             "\"";
+    if (tooltip.empty()) {
+        body_ += "/>\n";
+    } else {
+        body_ += "><title>" + xmlEscape(tooltip) + "</title></circle>\n";
+    }
+}
+
+void
+SvgDocument::text(double x, double y, std::string_view content,
+                  double size, std::string_view fill, TextAnchor anchor)
+{
+    const char *anchor_name = "start";
+    if (anchor == TextAnchor::Middle)
+        anchor_name = "middle";
+    else if (anchor == TextAnchor::End)
+        anchor_name = "end";
+    body_ += "<text x=\"" + num(x) + "\" y=\"" + num(y) +
+             "\" font-size=\"" + num(size) +
+             "\" font-family=\"Helvetica,Arial,sans-serif\" fill=\"" +
+             std::string(fill) + "\" text-anchor=\"" + anchor_name +
+             "\">" + xmlEscape(content) + "</text>\n";
+}
+
+void
+SvgDocument::polyline(const std::vector<std::pair<double, double>> &points,
+                      std::string_view stroke, double stroke_width)
+{
+    body_ += "<polyline fill=\"none\" stroke=\"" + std::string(stroke) +
+             "\" stroke-width=\"" + num(stroke_width) + "\" points=\"";
+    for (const auto &[x, y] : points)
+        body_ += num(x) + "," + num(y) + " ";
+    body_ += "\"/>\n";
+}
+
+void
+SvgDocument::raw(std::string_view fragment)
+{
+    body_ += fragment;
+}
+
+std::string
+SvgDocument::finish() const
+{
+    std::ostringstream out;
+    out << "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\""
+        << num(width_) << "\" height=\"" << num(height_)
+        << "\" viewBox=\"0 0 " << num(width_) << ' ' << num(height_)
+        << "\">\n<rect width=\"100%\" height=\"100%\" fill=\"#ffffff\"/>\n"
+        << body_ << "</svg>\n";
+    return out.str();
+}
+
+void
+SvgDocument::writeFile(const std::string &path) const
+{
+    std::ofstream out(path, std::ios::trunc);
+    if (!out)
+        throw std::runtime_error("cannot open '" + path + "' for writing");
+    out << finish();
+    if (!out)
+        throw std::runtime_error("write to '" + path + "' failed");
+}
+
+} // namespace lag::viz

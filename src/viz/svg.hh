@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Minimal SVG document writer.
+ *
+ * The paper's figures were MATLAB plots and its episode sketches a
+ * Swing GUI; this project renders both as standalone SVG files. The
+ * writer is deliberately small: shapes, text, polylines, groups and
+ * per-element tooltips (SVG <title>, which is how the "hover over a
+ * sample point to see the stack" interaction survives outside a
+ * GUI).
+ */
+
+#ifndef LAG_VIZ_SVG_HH
+#define LAG_VIZ_SVG_HH
+
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace lag::viz
+{
+
+/** Text anchoring for text(). */
+enum class TextAnchor
+{
+    Start,
+    Middle,
+    End,
+};
+
+/** An SVG document under construction. */
+class SvgDocument
+{
+  public:
+    /** Create a document with the given pixel dimensions. */
+    SvgDocument(double width, double height);
+
+    double width() const { return width_; }
+    double height() const { return height_; }
+
+    /** Filled/stroked rectangle; empty style strings are omitted.
+     * @p tooltip becomes a nested <title> (hover text). */
+    void rect(double x, double y, double w, double h,
+              std::string_view fill, std::string_view stroke = "",
+              std::string_view tooltip = "");
+
+    /** Line segment. */
+    void line(double x1, double y1, double x2, double y2,
+              std::string_view stroke, double stroke_width = 1.0);
+
+    /** Circle, optionally with a tooltip. */
+    void circle(double cx, double cy, double r, std::string_view fill,
+                std::string_view tooltip = "");
+
+    /** Text label. @p size in px. */
+    void text(double x, double y, std::string_view content, double size,
+              std::string_view fill = "#000000",
+              TextAnchor anchor = TextAnchor::Start);
+
+    /** Polyline through the given points (x,y pairs). */
+    void polyline(const std::vector<std::pair<double, double>> &points,
+                  std::string_view stroke, double stroke_width = 1.5);
+
+    /** Raw SVG fragment escape hatch. */
+    void raw(std::string_view fragment);
+
+    /** Finish and return the SVG text. */
+    std::string finish() const;
+
+    /** Write the document to @p path. Throws std::runtime_error on
+     * I/O failure. */
+    void writeFile(const std::string &path) const;
+
+  private:
+    double width_;
+    double height_;
+    std::string body_;
+};
+
+} // namespace lag::viz
+
+#endif // LAG_VIZ_SVG_HH

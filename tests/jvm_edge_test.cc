@@ -1,0 +1,221 @@
+/**
+ * @file
+ * Edge-case tests for the simulated JVM: wakeups racing with
+ * collections, back-to-back GCs, instrumentation overhead, slice
+ * renewal, and GUI-queue bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/vm.hh"
+#include "jvm_test_util.hh"
+
+namespace lag::jvm
+{
+namespace
+{
+
+using test::HookRecord;
+using test::RecordingListener;
+using test::ScriptedProgram;
+
+JvmConfig
+quiet()
+{
+    JvmConfig config;
+    config.seed = 77;
+    config.dispatchOverhead = 0;
+    config.heap.youngCapacityBytes = 1ull << 40;
+    return config;
+}
+
+GuiEvent
+burner(DurationNs cost, std::uint64_t alloc = 0)
+{
+    ActivityBuilder handler(ActivityKind::Listener, "app.H", "act");
+    handler.cost(cost);
+    handler.alloc(alloc);
+    GuiEvent event;
+    event.handler = std::move(handler).buildShared();
+    return event;
+}
+
+TEST(JvmEdgeTest, SleeperWakingDuringGcResumesAfterwards)
+{
+    JvmConfig config = quiet();
+    config.heap.youngCapacityBytes = 1 << 20;
+    config.heap.minorPauseMedian = msToNs(50);
+    config.heap.minorPauseMin = msToNs(50);
+    config.heap.minorPauseMax = msToNs(50);
+    RecordingListener listener;
+    Jvm vm(config, listener);
+    vm.createEventDispatchThread();
+    // A sleeper whose wake lands inside the collection.
+    ActivityBuilder napper(ActivityKind::Plain, "bg.Napper", "nap");
+    napper.cost(usToNs(100));
+    napper.sleep(msToNs(20));
+    std::deque<ProgramStep> steps;
+    steps.push_back(
+        ProgramStep::runActivity(std::move(napper).buildShared()));
+    const ThreadId sleeper = vm.createThread(
+        "sleeper", false,
+        std::make_shared<ScriptedProgram>(std::move(steps)));
+    vm.start();
+    // Trigger a GC right away: allocation-heavy episode.
+    vm.eventQueue().scheduleAfter(msToNs(1), [&vm] {
+        vm.postGuiEvent(burner(msToNs(30), 8 << 20));
+    });
+    vm.run(secToNs(2));
+    EXPECT_GE(vm.stats().minorGcs, 1u);
+    EXPECT_EQ(vm.thread(sleeper).state(), ThreadState::Terminated)
+        << "the sleeper must finish its work after the collection";
+}
+
+TEST(JvmEdgeTest, BackToBackCollections)
+{
+    JvmConfig config = quiet();
+    config.heap.youngCapacityBytes = 1 << 20;
+    RecordingListener listener;
+    Jvm vm(config, listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    // 64 MB of allocation through a 1 MB young generation: dozens of
+    // collections in quick succession.
+    vm.eventQueue().scheduleAfter(msToNs(1), [&vm] {
+        vm.postGuiEvent(burner(msToNs(200), 64 << 20));
+    });
+    vm.run(secToNs(10));
+    EXPECT_GE(vm.stats().minorGcs, 30u);
+    EXPECT_EQ(listener.count(HookRecord::Kind::GcBegin),
+              listener.count(HookRecord::Kind::GcEnd));
+    EXPECT_EQ(listener.count(HookRecord::Kind::DispatchEnd), 1u)
+        << "the episode must complete despite the GC storm";
+}
+
+TEST(JvmEdgeTest, PromotionEventuallyForcesMajor)
+{
+    JvmConfig config = quiet();
+    config.heap.youngCapacityBytes = 1 << 20;
+    config.heap.oldCapacityBytes = 512 << 10;
+    config.heap.promoteFraction = 0.25;
+    RecordingListener listener;
+    Jvm vm(config, listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    vm.eventQueue().scheduleAfter(msToNs(1), [&vm] {
+        vm.postGuiEvent(burner(msToNs(400), 32 << 20));
+    });
+    vm.run(secToNs(20));
+    EXPECT_GE(vm.stats().majorGcs, 1u)
+        << "promoted survivors must fill the old generation";
+}
+
+TEST(JvmEdgeTest, InstrumentationOverheadLengthensIntervals)
+{
+    const auto measure = [](DurationNs overhead) {
+        JvmConfig config;
+        config.seed = 5;
+        config.dispatchOverhead = 0;
+        config.heap.youngCapacityBytes = 1ull << 40;
+        config.instrumentationOverhead = overhead;
+        RecordingListener listener;
+        Jvm vm(config, listener);
+        vm.createEventDispatchThread();
+        vm.start();
+        vm.eventQueue().scheduleAfter(msToNs(1), [&vm] {
+            ActivityBuilder handler(ActivityKind::Listener, "app.H",
+                                    "act");
+            handler.cost(msToNs(10));
+            handler.child(ActivityBuilder(ActivityKind::Paint,
+                                          "app.P", "paint")
+                              .cost(msToNs(5)));
+            GuiEvent event;
+            event.handler = std::move(handler).buildShared();
+            vm.postGuiEvent(event);
+        });
+        vm.run(secToNs(1));
+        TimeNs begin = 0;
+        TimeNs end = 0;
+        for (const auto &record : listener.records) {
+            if (record.kind == HookRecord::Kind::DispatchBegin)
+                begin = record.time;
+            if (record.kind == HookRecord::Kind::DispatchEnd)
+                end = record.time;
+        }
+        return end - begin;
+    };
+    const DurationNs plain = measure(0);
+    const DurationNs perturbed = measure(usToNs(500));
+    // Two instrumented nodes (listener + paint) at 500 us each.
+    EXPECT_EQ(perturbed - plain, msToNs(1));
+}
+
+TEST(JvmEdgeTest, SliceRenewalWhenAlone)
+{
+    // A lone thread with work far beyond one slice must finish in
+    // exactly its CPU demand (no self-preemption penalty).
+    JvmConfig config = quiet();
+    config.timeSlice = msToNs(2);
+    RecordingListener listener;
+    Jvm vm(config, listener);
+    ActivityBuilder work(ActivityKind::Plain, "bg.W", "run");
+    work.cost(msToNs(50));
+    std::deque<ProgramStep> steps;
+    steps.push_back(
+        ProgramStep::runActivity(std::move(work).buildShared()));
+    const ThreadId id = vm.createThread(
+        "solo", false,
+        std::make_shared<ScriptedProgram>(std::move(steps)));
+    vm.start();
+    vm.run(msToNs(50));
+    EXPECT_EQ(vm.thread(id).state(), ThreadState::Terminated);
+    EXPECT_EQ(vm.stats().contextSwitches, 0u);
+}
+
+TEST(JvmEdgeTest, GuiQueueBacklogDrains)
+{
+    RecordingListener listener;
+    Jvm vm(quiet(), listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    vm.eventQueue().scheduleAfter(msToNs(1), [&vm] {
+        for (int i = 0; i < 50; ++i)
+            vm.postGuiEvent(burner(msToNs(3)));
+    });
+    vm.run(secToNs(1));
+    EXPECT_EQ(vm.stats().dispatches, 50u);
+    EXPECT_TRUE(vm.guiQueue().empty());
+    EXPECT_EQ(vm.guiQueue().maxDepth(), 50u)
+        << "the backlog high-water mark must be visible";
+    EXPECT_EQ(vm.guiQueue().totalPosted(), 50u);
+}
+
+TEST(JvmEdgeTest, ManyThreadsManyMonitorsNoDeadlock)
+{
+    JvmConfig config = quiet();
+    config.cores = 2;
+    RecordingListener listener;
+    Jvm vm(config, listener);
+    for (int t = 0; t < 6; ++t) {
+        std::deque<ProgramStep> steps;
+        for (int i = 0; i < 10; ++i) {
+            ActivityBuilder work(ActivityKind::Plain, "bg.W", "run");
+            work.cost(msToNs(1));
+            work.monitor(t % 2); // two contended monitors
+            steps.push_back(ProgramStep::runActivity(
+                std::move(work).buildShared()));
+        }
+        vm.createThread("w-" + std::to_string(t), false,
+                        std::make_shared<ScriptedProgram>(
+                            std::move(steps)));
+    }
+    vm.start();
+    vm.run(secToNs(2));
+    for (const auto &thread : vm.threads()) {
+        EXPECT_EQ(thread->state(), ThreadState::Terminated)
+            << thread->name();
+    }
+}
+
+} // namespace
+} // namespace lag::jvm

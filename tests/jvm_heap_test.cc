@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Tests for the generational heap model and GC trigger policy.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/heap.hh"
+
+namespace lag::jvm
+{
+namespace
+{
+
+HeapConfig
+smallConfig()
+{
+    HeapConfig config;
+    config.youngCapacityBytes = 1000;
+    config.promoteFraction = 0.1;
+    config.oldCapacityBytes = 400;
+    config.oldSurvivorFraction = 0.5;
+    return config;
+}
+
+TEST(HeapTest, MinorTriggerAtCapacity)
+{
+    Heap heap(smallConfig(), 1);
+    heap.allocate(999);
+    EXPECT_FALSE(heap.needsMinor());
+    heap.allocate(1);
+    EXPECT_TRUE(heap.needsMinor());
+}
+
+TEST(HeapTest, MinorCollectionPromotes)
+{
+    Heap heap(smallConfig(), 1);
+    heap.allocate(1000);
+    heap.finishCollection(GcKind::Minor);
+    EXPECT_EQ(heap.youngUsed(), 0u);
+    EXPECT_EQ(heap.oldUsed(), 100u);
+    EXPECT_EQ(heap.minorCount(), 1u);
+    EXPECT_EQ(heap.totalAllocated(), 1000u);
+}
+
+TEST(HeapTest, MajorTriggerWhenOldFills)
+{
+    Heap heap(smallConfig(), 1);
+    for (int i = 0; i < 4; ++i) {
+        heap.allocate(1000);
+        heap.finishCollection(GcKind::Minor);
+    }
+    EXPECT_TRUE(heap.needsMajor()); // 4 x 100 promoted = 400 = cap
+}
+
+TEST(HeapTest, MajorCollectionShrinksOld)
+{
+    Heap heap(smallConfig(), 1);
+    for (int i = 0; i < 4; ++i) {
+        heap.allocate(1000);
+        heap.finishCollection(GcKind::Minor);
+    }
+    heap.finishCollection(GcKind::Major);
+    EXPECT_EQ(heap.oldUsed(), 200u);
+    EXPECT_FALSE(heap.needsMajor());
+    EXPECT_EQ(heap.majorCount(), 1u);
+}
+
+TEST(HeapTest, PauseDrawsRespectClamps)
+{
+    HeapConfig config = smallConfig();
+    config.minorPauseMin = msToNs(5);
+    config.minorPauseMax = msToNs(20);
+    config.majorPauseMin = msToNs(100);
+    config.majorPauseMax = msToNs(300);
+    Heap heap(config, 42);
+    for (int i = 0; i < 1000; ++i) {
+        const DurationNs minor = heap.drawPause(GcKind::Minor);
+        ASSERT_GE(minor, msToNs(5));
+        ASSERT_LE(minor, msToNs(20));
+        const DurationNs major = heap.drawPause(GcKind::Major);
+        ASSERT_GE(major, msToNs(100));
+        ASSERT_LE(major, msToNs(300));
+    }
+}
+
+TEST(HeapTest, MajorPausesLongerThanMinor)
+{
+    Heap heap(HeapConfig{}, 7);
+    DurationNs minor_total = 0;
+    DurationNs major_total = 0;
+    for (int i = 0; i < 200; ++i) {
+        minor_total += heap.drawPause(GcKind::Minor);
+        major_total += heap.drawPause(GcKind::Major);
+    }
+    EXPECT_GT(major_total, minor_total * 5);
+}
+
+TEST(HeapTest, DeterministicPausesPerSeed)
+{
+    Heap a(HeapConfig{}, 99);
+    Heap b(HeapConfig{}, 99);
+    for (int i = 0; i < 100; ++i)
+        ASSERT_EQ(a.drawPause(GcKind::Minor), b.drawPause(GcKind::Minor));
+}
+
+TEST(HeapTest, GcKindNames)
+{
+    EXPECT_STREQ(gcKindName(GcKind::Minor), "minor");
+    EXPECT_STREQ(gcKindName(GcKind::Major), "major");
+}
+
+} // namespace
+} // namespace lag::jvm

@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Tests for contended monitors: FIFO queueing and direct handoff.
+ */
+
+#include <gtest/gtest.h>
+
+#include "jvm/monitor.hh"
+#include "util/logging.hh"
+
+namespace lag::jvm
+{
+namespace
+{
+
+TEST(MonitorTest, UncontendedAcquire)
+{
+    MonitorTable table;
+    EXPECT_TRUE(table.tryAcquire(1, 0));
+    EXPECT_TRUE(table.isHeld(0));
+    EXPECT_EQ(table.holder(0), 1u);
+    EXPECT_EQ(table.contentionCount(), 0u);
+}
+
+TEST(MonitorTest, ReleaseWithoutWaitersFrees)
+{
+    MonitorTable table;
+    table.tryAcquire(1, 0);
+    EXPECT_EQ(table.release(1, 0), std::nullopt);
+    EXPECT_FALSE(table.isHeld(0));
+    EXPECT_TRUE(table.tryAcquire(2, 0));
+}
+
+TEST(MonitorTest, ContendedAcquireQueues)
+{
+    MonitorTable table;
+    table.tryAcquire(1, 5);
+    EXPECT_FALSE(table.tryAcquire(2, 5));
+    EXPECT_EQ(table.waiters(5), 1u);
+    EXPECT_EQ(table.contentionCount(), 1u);
+}
+
+TEST(MonitorTest, FifoHandoff)
+{
+    MonitorTable table;
+    table.tryAcquire(1, 0);
+    table.tryAcquire(2, 0);
+    table.tryAcquire(3, 0);
+    auto next = table.release(1, 0);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(*next, 2u);
+    EXPECT_TRUE(table.isHeld(0)) << "handoff keeps the monitor held";
+    EXPECT_EQ(table.holder(0), 2u);
+    next = table.release(2, 0);
+    ASSERT_TRUE(next.has_value());
+    EXPECT_EQ(*next, 3u);
+    EXPECT_EQ(table.release(3, 0), std::nullopt);
+}
+
+TEST(MonitorTest, IndependentMonitors)
+{
+    MonitorTable table;
+    EXPECT_TRUE(table.tryAcquire(1, 0));
+    EXPECT_TRUE(table.tryAcquire(1, 1));
+    EXPECT_FALSE(table.tryAcquire(2, 0));
+    EXPECT_TRUE(table.tryAcquire(3, 2));
+}
+
+TEST(MonitorTest, ReleaseByNonOwnerPanics)
+{
+    MonitorTable table;
+    table.tryAcquire(1, 0);
+    EXPECT_THROW(table.release(2, 0), PanicError);
+}
+
+TEST(MonitorTest, ReleaseUnheldPanics)
+{
+    MonitorTable table;
+    EXPECT_THROW(table.release(1, 9), PanicError);
+}
+
+TEST(MonitorTest, RecursiveAcquirePanics)
+{
+    MonitorTable table;
+    table.tryAcquire(1, 0);
+    EXPECT_THROW(table.tryAcquire(1, 0), PanicError);
+}
+
+TEST(MonitorTest, NegativeIdPanics)
+{
+    MonitorTable table;
+    EXPECT_THROW(table.tryAcquire(1, -1), PanicError);
+}
+
+} // namespace
+} // namespace lag::jvm

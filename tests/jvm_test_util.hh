@@ -1,0 +1,143 @@
+/**
+ * @file
+ * Shared helpers for the simulated-JVM tests: a recording listener
+ * that captures every hook invocation, and a scripted thread
+ * program that replays a fixed list of steps.
+ */
+
+#ifndef LAG_TESTS_JVM_TEST_UTIL_HH
+#define LAG_TESTS_JVM_TEST_UTIL_HH
+
+#include <deque>
+#include <string>
+#include <vector>
+
+#include "jvm/listener.hh"
+#include "jvm/program.hh"
+#include "jvm/vm.hh"
+
+namespace lag::test
+{
+
+/** One recorded hook invocation, flattened for easy assertions. */
+struct HookRecord
+{
+    enum class Kind
+    {
+        DispatchBegin,
+        DispatchEnd,
+        IntervalBegin,
+        IntervalEnd,
+        GcBegin,
+        GcEnd,
+        Sample,
+    };
+
+    Kind kind;
+    ThreadId thread = 0;
+    TimeNs time = 0;
+    jvm::ActivityKind activity = jvm::ActivityKind::Plain;
+    std::string className;
+    std::vector<jvm::ThreadSnapshot> snapshots;
+};
+
+/** Captures the full hook stream of a VM run. */
+class RecordingListener : public jvm::JvmListener
+{
+  public:
+    std::vector<HookRecord> records;
+
+    void
+    onDispatchBegin(ThreadId thread, TimeNs time) override
+    {
+        records.push_back(
+            {HookRecord::Kind::DispatchBegin, thread, time, {}, {}, {}});
+    }
+
+    void
+    onDispatchEnd(ThreadId thread, TimeNs time) override
+    {
+        records.push_back(
+            {HookRecord::Kind::DispatchEnd, thread, time, {}, {}, {}});
+    }
+
+    void
+    onIntervalBegin(ThreadId thread, jvm::ActivityKind kind,
+                    const jvm::Frame &frame, TimeNs time) override
+    {
+        records.push_back({HookRecord::Kind::IntervalBegin, thread, time,
+                           kind, frame.className, {}});
+    }
+
+    void
+    onIntervalEnd(ThreadId thread, jvm::ActivityKind kind,
+                  TimeNs time) override
+    {
+        records.push_back(
+            {HookRecord::Kind::IntervalEnd, thread, time, kind, {}, {}});
+    }
+
+    void
+    onGcBegin(TimeNs time, jvm::GcKind) override
+    {
+        records.push_back(
+            {HookRecord::Kind::GcBegin, 0, time, {}, {}, {}});
+    }
+
+    void
+    onGcEnd(TimeNs time) override
+    {
+        records.push_back({HookRecord::Kind::GcEnd, 0, time, {}, {}, {}});
+    }
+
+    void
+    onSample(TimeNs time,
+             const std::vector<jvm::ThreadSnapshot> &snapshots) override
+    {
+        records.push_back({HookRecord::Kind::Sample, 0, time, {}, {},
+                           snapshots});
+    }
+
+    /** Count records of one kind. */
+    std::size_t
+    count(HookRecord::Kind kind) const
+    {
+        std::size_t n = 0;
+        for (const auto &r : records) {
+            if (r.kind == kind)
+                ++n;
+        }
+        return n;
+    }
+};
+
+/** Replays a fixed list of steps, then idles (or exits). */
+class ScriptedProgram : public jvm::ThreadProgram
+{
+  public:
+    explicit ScriptedProgram(std::deque<jvm::ProgramStep> steps,
+                             bool exit_at_end = true)
+        : steps_(std::move(steps)), exit_at_end_(exit_at_end)
+    {
+    }
+
+    jvm::ProgramStep
+    next(jvm::Jvm &, jvm::VThread &) override
+    {
+        if (steps_.empty()) {
+            return exit_at_end_ ? jvm::ProgramStep::exitThread()
+                                : jvm::ProgramStep::idle();
+        }
+        jvm::ProgramStep step = std::move(steps_.front());
+        steps_.pop_front();
+        return step;
+    }
+
+  private:
+    std::deque<jvm::ProgramStep> steps_;
+    bool exit_at_end_;
+};
+
+} // namespace lag::test
+
+#endif // LAG_TESTS_JVM_TEST_UTIL_HH

@@ -1,0 +1,403 @@
+/**
+ * @file
+ * Unit tests for the activity-tree interpreter (VThread) against a
+ * mock ExecContext — no scheduler, no VM.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "jvm/activity.hh"
+#include "jvm/thread.hh"
+#include "util/logging.hh"
+
+namespace lag::jvm
+{
+namespace
+{
+
+/** Minimal ExecContext recording interval hooks and posts. */
+class MockContext : public ExecContext
+{
+  public:
+    TimeNs now = 0;
+    bool monitor_available = true;
+    std::vector<std::string> log;
+    int posts = 0;
+
+    TimeNs execNow() const override { return now; }
+
+    bool
+    tryAcquireMonitor(ThreadId, int monitor) override
+    {
+        log.push_back("acquire:" + std::to_string(monitor) +
+                      (monitor_available ? ":ok" : ":blocked"));
+        return monitor_available;
+    }
+
+    void
+    releaseMonitor(ThreadId, int monitor) override
+    {
+        log.push_back("release:" + std::to_string(monitor));
+    }
+
+    void postGuiEvent(const GuiEvent &) override { ++posts; }
+
+    void
+    intervalBegin(ThreadId, ActivityKind kind, const Frame &frame)
+        override
+    {
+        log.push_back(std::string("begin:") + activityKindName(kind) +
+                      ":" + frame.className);
+    }
+
+    void
+    intervalEnd(ThreadId, ActivityKind kind) override
+    {
+        log.push_back(std::string("end:") + activityKindName(kind));
+    }
+};
+
+/** A thread with a never-consulted program (tasks installed by the
+ * tests directly). */
+VThread
+makeThread()
+{
+    class NullProgram : public ThreadProgram
+    {
+        ProgramStep
+        next(Jvm &, VThread &) override
+        {
+            return ProgramStep::exitThread();
+        }
+    };
+    return VThread(0, "test", false, std::make_shared<NullProgram>(),
+                   {{"java.lang.Thread", "run"}});
+}
+
+/** Drive the interpreter, satisfying CPU needs instantly. */
+void
+runToCompletion(VThread &thread, MockContext &ctx)
+{
+    for (int guard = 0; guard < 10000; ++guard) {
+        const Need need = thread.advance(ctx);
+        switch (need.kind) {
+          case Need::Kind::Cpu:
+            ctx.now += need.amount;
+            thread.consumeCpu(need.amount);
+            break;
+          case Need::Kind::Sleep:
+          case Need::Kind::Wait:
+            ctx.now += need.amount;
+            thread.completeTimedOp();
+            break;
+          case Need::Kind::TriggerGc:
+            break; // instantaneous in this mock
+          case Need::Kind::BlockedOnMonitor:
+            FAIL() << "unexpected monitor block";
+            return;
+          case Need::Kind::TaskDone:
+            return;
+        }
+    }
+    FAIL() << "interpreter did not terminate";
+}
+
+TEST(VThreadTest, SimpleLeafConsumesExactCost)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder leaf(ActivityKind::Listener, "app.Foo", "run");
+    leaf.cost(1000);
+    thread.beginTask(std::move(leaf).buildShared());
+
+    const Need need = thread.advance(ctx);
+    ASSERT_EQ(need.kind, Need::Kind::Cpu);
+    // One child-less node has one chunk with the entire cost.
+    EXPECT_EQ(need.amount, 1000);
+    thread.consumeCpu(1000);
+    EXPECT_EQ(thread.advance(ctx).kind, Need::Kind::TaskDone);
+    EXPECT_TRUE(thread.taskDone());
+}
+
+TEST(VThreadTest, IntervalHooksFireForNonPlainNodes)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder root(ActivityKind::Listener, "app.Handler", "act");
+    root.cost(100);
+    root.child(ActivityBuilder(ActivityKind::Plain, "app.Work", "w")
+                   .cost(50));
+    root.child(ActivityBuilder(ActivityKind::Paint, "app.View", "paint")
+                   .cost(50));
+    thread.beginTask(std::move(root).buildShared());
+    runToCompletion(thread, ctx);
+
+    // Plain nodes never appear; listener wraps paint.
+    EXPECT_EQ(ctx.log,
+              (std::vector<std::string>{"begin:listener:app.Handler",
+                                        "begin:paint:app.View",
+                                        "end:paint", "end:listener"}));
+}
+
+TEST(VThreadTest, SelfCostInterleavesAroundChildren)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder root(ActivityKind::Plain, "a.A", "m");
+    root.cost(90);
+    root.child(ActivityBuilder(ActivityKind::Plain, "a.B", "m").cost(10));
+    root.child(ActivityBuilder(ActivityKind::Plain, "a.C", "m").cost(10));
+    thread.beginTask(std::move(root).buildShared());
+
+    // Expect chunks 30,10(child),30,10(child),30: total 110.
+    std::vector<DurationNs> chunks;
+    while (true) {
+        const Need need = thread.advance(ctx);
+        if (need.kind == Need::Kind::TaskDone)
+            break;
+        ASSERT_EQ(need.kind, Need::Kind::Cpu);
+        chunks.push_back(need.amount);
+        thread.consumeCpu(need.amount);
+    }
+    EXPECT_EQ(chunks,
+              (std::vector<DurationNs>{30, 10, 30, 10, 30}));
+}
+
+TEST(VThreadTest, ChunkRemainderGoesToFinalChunk)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder root(ActivityKind::Plain, "a.A", "m");
+    root.cost(100);
+    root.child(ActivityBuilder(ActivityKind::Plain, "a.B", "m").cost(1));
+    root.child(ActivityBuilder(ActivityKind::Plain, "a.C", "m").cost(1));
+    thread.beginTask(std::move(root).buildShared());
+    DurationNs total = 0;
+    std::vector<DurationNs> chunks;
+    while (true) {
+        const Need need = thread.advance(ctx);
+        if (need.kind == Need::Kind::TaskDone)
+            break;
+        chunks.push_back(need.amount);
+        total += need.amount;
+        thread.consumeCpu(need.amount);
+    }
+    // 100/3 = 33 with remainder 1 -> final chunk is 34.
+    EXPECT_EQ(total, 102);
+    ASSERT_EQ(chunks.size(), 5u);
+    EXPECT_EQ(chunks.back(), 34);
+}
+
+TEST(VThreadTest, PartialConsumptionResumesChunk)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder leaf(ActivityKind::Plain, "a.A", "m");
+    leaf.cost(1000);
+    thread.beginTask(std::move(leaf).buildShared());
+    Need need = thread.advance(ctx);
+    ASSERT_EQ(need.amount, 1000);
+    thread.consumeCpu(400); // preempted mid-chunk
+    need = thread.advance(ctx);
+    ASSERT_EQ(need.kind, Need::Kind::Cpu);
+    EXPECT_EQ(need.amount, 600);
+}
+
+TEST(VThreadTest, StackTracksEntryAndExit)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder root(ActivityKind::Listener, "a.Outer", "m");
+    root.cost(10);
+    root.child(
+        ActivityBuilder(ActivityKind::Plain, "a.Inner", "m").cost(10));
+    thread.beginTask(std::move(root).buildShared());
+
+    // Base stack only before starting.
+    EXPECT_EQ(thread.stack().size(), 1u);
+    Need need = thread.advance(ctx); // enters Outer, first chunk
+    EXPECT_EQ(thread.stack().back().className, "a.Outer");
+    thread.consumeCpu(need.amount);
+    need = thread.advance(ctx); // into Inner
+    EXPECT_EQ(thread.stack().back().className, "a.Inner");
+    EXPECT_EQ(thread.stack().size(), 3u);
+    thread.consumeCpu(need.amount);
+    runToCompletion(thread, ctx);
+    EXPECT_EQ(thread.stack().size(), 1u) << "stack restored after task";
+}
+
+TEST(VThreadTest, SleepAndWaitSurfaceOnce)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder node(ActivityKind::Plain, "a.A", "m");
+    node.cost(10);
+    node.sleep(500);
+    node.wait(700);
+    thread.beginTask(std::move(node).buildShared());
+
+    Need need = thread.advance(ctx);
+    ASSERT_EQ(need.kind, Need::Kind::Sleep);
+    EXPECT_EQ(need.amount, 500);
+    need = thread.advance(ctx);
+    ASSERT_EQ(need.kind, Need::Kind::Wait);
+    EXPECT_EQ(need.amount, 700);
+    need = thread.advance(ctx);
+    ASSERT_EQ(need.kind, Need::Kind::Cpu) << "sleep/wait happen once";
+}
+
+TEST(VThreadTest, MonitorAcquireAndRelease)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder node(ActivityKind::Plain, "a.A", "m");
+    node.cost(10);
+    node.monitor(3);
+    thread.beginTask(std::move(node).buildShared());
+    runToCompletion(thread, ctx);
+    ASSERT_EQ(ctx.log.size(), 2u);
+    EXPECT_EQ(ctx.log[0], "acquire:3:ok");
+    EXPECT_EQ(ctx.log[1], "release:3");
+}
+
+TEST(VThreadTest, BlockedMonitorThenGranted)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ctx.monitor_available = false;
+    ActivityBuilder node(ActivityKind::Plain, "a.A", "m");
+    node.cost(10);
+    node.monitor(7);
+    thread.beginTask(std::move(node).buildShared());
+
+    Need need = thread.advance(ctx);
+    ASSERT_EQ(need.kind, Need::Kind::BlockedOnMonitor);
+    EXPECT_EQ(need.monitor, 7);
+    // Still blocked until granted; the context is only asked once.
+    need = thread.advance(ctx);
+    ASSERT_EQ(need.kind, Need::Kind::BlockedOnMonitor);
+    thread.grantMonitor(7);
+    need = thread.advance(ctx);
+    ASSERT_EQ(need.kind, Need::Kind::Cpu);
+    thread.consumeCpu(need.amount);
+    EXPECT_EQ(thread.advance(ctx).kind, Need::Kind::TaskDone);
+    // Release must still happen on exit.
+    EXPECT_EQ(ctx.log.back(), "release:7");
+}
+
+TEST(VThreadTest, ExplicitGcSurfaces)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder node(ActivityKind::Plain, "java.lang.System", "gc");
+    node.cost(10);
+    node.systemGc();
+    thread.beginTask(std::move(node).buildShared());
+    EXPECT_EQ(thread.advance(ctx).kind, Need::Kind::TriggerGc);
+    EXPECT_EQ(thread.advance(ctx).kind, Need::Kind::Cpu);
+}
+
+TEST(VThreadTest, PostAtEndFires)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    GuiEvent event;
+    event.handler = ActivityBuilder(ActivityKind::Plain, "x.Y", "m")
+                        .buildShared();
+    ActivityBuilder node(ActivityKind::Plain, "a.A", "m");
+    node.cost(10);
+    node.postAtEnd(event);
+    node.postAtEnd(event);
+    thread.beginTask(std::move(node).buildShared());
+    runToCompletion(thread, ctx);
+    EXPECT_EQ(ctx.posts, 2);
+}
+
+TEST(VThreadTest, AllocationProRata)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder node(ActivityKind::Plain, "a.A", "m");
+    node.cost(1000);
+    node.alloc(4000);
+    thread.beginTask(std::move(node).buildShared());
+    Need need = thread.advance(ctx);
+    EXPECT_EQ(thread.consumeCpu(250), 1000u);
+    EXPECT_EQ(thread.consumeCpu(750), 3000u);
+    (void)need;
+}
+
+TEST(VThreadTest, ZeroCostTreeCompletesWithoutCpu)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder root(ActivityKind::Listener, "a.A", "m");
+    root.child(ActivityBuilder(ActivityKind::Paint, "a.B", "m"));
+    thread.beginTask(std::move(root).buildShared());
+    EXPECT_EQ(thread.advance(ctx).kind, Need::Kind::TaskDone);
+    EXPECT_EQ(ctx.log.size(), 4u); // both begin/end pairs fired
+}
+
+TEST(VThreadTest, ConsumeMoreThanChunkPanics)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder node(ActivityKind::Plain, "a.A", "m");
+    node.cost(100);
+    thread.beginTask(std::move(node).buildShared());
+    thread.advance(ctx);
+    EXPECT_THROW(thread.consumeCpu(101), PanicError);
+}
+
+TEST(VThreadTest, BeginTaskWhileBusyPanics)
+{
+    VThread thread = makeThread();
+    MockContext ctx;
+    ActivityBuilder node(ActivityKind::Plain, "a.A", "m");
+    node.cost(100);
+    thread.beginTask(std::move(node).buildShared());
+    thread.advance(ctx);
+    auto another =
+        ActivityBuilder(ActivityKind::Plain, "a.B", "m").buildShared();
+    EXPECT_THROW(thread.beginTask(another), PanicError);
+}
+
+TEST(VThreadTest, SampleStateMapping)
+{
+    VThread thread = makeThread();
+    thread.setState(ThreadState::Running);
+    EXPECT_EQ(thread.sampleState(), SampleState::Runnable);
+    thread.setState(ThreadState::Runnable);
+    EXPECT_EQ(thread.sampleState(), SampleState::Runnable);
+    thread.setState(ThreadState::AtSafepoint);
+    EXPECT_EQ(thread.sampleState(), SampleState::Runnable);
+    thread.setState(ThreadState::Blocked);
+    EXPECT_EQ(thread.sampleState(), SampleState::Blocked);
+    thread.setState(ThreadState::Waiting);
+    EXPECT_EQ(thread.sampleState(), SampleState::Waiting);
+    thread.setState(ThreadState::Sleeping);
+    EXPECT_EQ(thread.sampleState(), SampleState::Sleeping);
+    thread.setState(ThreadState::Terminated);
+    EXPECT_THROW(thread.sampleState(), PanicError);
+}
+
+TEST(ActivityNodeTest, SubtreeAccessors)
+{
+    ActivityBuilder root(ActivityKind::Listener, "a.A", "m");
+    root.cost(100);
+    root.child(ActivityBuilder(ActivityKind::Paint, "a.B", "m")
+                   .cost(50)
+                   .child(ActivityBuilder(ActivityKind::Native, "a.C",
+                                          "m")
+                              .cost(25)));
+    const ActivityNode tree = std::move(root).build();
+    EXPECT_EQ(tree.subtreeCost(), 175);
+    EXPECT_EQ(tree.subtreeSize(), 3u);
+    EXPECT_EQ(tree.subtreeDepth(), 3u);
+}
+
+} // namespace
+} // namespace lag::jvm

@@ -1,0 +1,464 @@
+/**
+ * @file
+ * Integration tests for the simulated JVM: scheduling, dispatch,
+ * garbage collection, sampling, monitors and thread lifecycle.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+
+#include <algorithm>
+
+#include "jvm/vm.hh"
+#include "jvm_test_util.hh"
+
+namespace lag::jvm
+{
+namespace
+{
+
+using test::HookRecord;
+using test::RecordingListener;
+using test::ScriptedProgram;
+
+JvmConfig
+quietConfig()
+{
+    JvmConfig config;
+    config.seed = 7;
+    config.dispatchOverhead = 0;
+    config.samplePeriod = msToNs(1);
+    return config;
+}
+
+GuiEvent
+listenerEvent(DurationNs cost, std::uint64_t alloc = 0)
+{
+    ActivityBuilder handler(ActivityKind::Listener, "app.Handler",
+                            "actionPerformed");
+    handler.cost(cost);
+    handler.alloc(alloc);
+    GuiEvent event;
+    event.handler = std::move(handler).buildShared();
+    return event;
+}
+
+TEST(JvmTest, DispatchedEventProducesEpisodeHooks)
+{
+    RecordingListener listener;
+    Jvm vm(quietConfig(), listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    vm.eventQueue().scheduleAfter(msToNs(5), [&] {
+        vm.postGuiEvent(listenerEvent(msToNs(10)));
+    });
+    vm.run(msToNs(100));
+
+    EXPECT_EQ(listener.count(HookRecord::Kind::DispatchBegin), 1u);
+    EXPECT_EQ(listener.count(HookRecord::Kind::DispatchEnd), 1u);
+    EXPECT_EQ(vm.stats().dispatches, 1u);
+
+    // Episode spans the handler cost.
+    TimeNs begin = 0;
+    TimeNs end = 0;
+    for (const auto &record : listener.records) {
+        if (record.kind == HookRecord::Kind::DispatchBegin)
+            begin = record.time;
+        if (record.kind == HookRecord::Kind::DispatchEnd)
+            end = record.time;
+    }
+    EXPECT_EQ(end - begin, msToNs(10));
+}
+
+TEST(JvmTest, ListenerIntervalNestedInsideDispatch)
+{
+    RecordingListener listener;
+    Jvm vm(quietConfig(), listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    vm.eventQueue().scheduleAfter(msToNs(1), [&] {
+        vm.postGuiEvent(listenerEvent(msToNs(4)));
+    });
+    vm.run(msToNs(50));
+
+    std::vector<HookRecord::Kind> kinds;
+    for (const auto &record : listener.records) {
+        if (record.kind != HookRecord::Kind::Sample)
+            kinds.push_back(record.kind);
+    }
+    EXPECT_EQ(kinds,
+              (std::vector<HookRecord::Kind>{
+                  HookRecord::Kind::DispatchBegin,
+                  HookRecord::Kind::IntervalBegin,
+                  HookRecord::Kind::IntervalEnd,
+                  HookRecord::Kind::DispatchEnd}));
+}
+
+TEST(JvmTest, BackgroundPostWrappedInAsync)
+{
+    RecordingListener listener;
+    Jvm vm(quietConfig(), listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    vm.eventQueue().scheduleAfter(msToNs(1), [&] {
+        GuiEvent event = listenerEvent(msToNs(4));
+        event.postedByBackground = true;
+        vm.postGuiEvent(event);
+    });
+    vm.run(msToNs(50));
+
+    bool saw_async = false;
+    for (const auto &record : listener.records) {
+        if (record.kind == HookRecord::Kind::IntervalBegin &&
+            record.activity == ActivityKind::Async) {
+            saw_async = true;
+        }
+    }
+    EXPECT_TRUE(saw_async);
+}
+
+TEST(JvmTest, DispatchOverheadLengthensEpisode)
+{
+    JvmConfig config = quietConfig();
+    config.dispatchOverhead = msToNs(1);
+    RecordingListener listener;
+    Jvm vm(config, listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    vm.eventQueue().scheduleAfter(msToNs(1), [&] {
+        vm.postGuiEvent(listenerEvent(msToNs(4)));
+    });
+    vm.run(msToNs(50));
+    TimeNs begin = 0;
+    TimeNs end = 0;
+    for (const auto &record : listener.records) {
+        if (record.kind == HookRecord::Kind::DispatchBegin)
+            begin = record.time;
+        if (record.kind == HookRecord::Kind::DispatchEnd)
+            end = record.time;
+    }
+    EXPECT_EQ(end - begin, msToNs(5));
+}
+
+TEST(JvmTest, QueuedEventsProcessSequentially)
+{
+    RecordingListener listener;
+    Jvm vm(quietConfig(), listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    vm.eventQueue().scheduleAfter(msToNs(1), [&] {
+        for (int i = 0; i < 5; ++i)
+            vm.postGuiEvent(listenerEvent(msToNs(2)));
+    });
+    vm.run(msToNs(100));
+    EXPECT_EQ(vm.stats().dispatches, 5u);
+    // Dispatch records must alternate begin/end (no overlap).
+    int open = 0;
+    for (const auto &record : listener.records) {
+        if (record.kind == HookRecord::Kind::DispatchBegin) {
+            ++open;
+            ASSERT_LE(open, 1);
+        } else if (record.kind == HookRecord::Kind::DispatchEnd) {
+            --open;
+            ASSERT_GE(open, 0);
+        }
+    }
+    EXPECT_EQ(open, 0);
+}
+
+TEST(JvmTest, AllocationTriggersStopTheWorldGc)
+{
+    JvmConfig config = quietConfig();
+    config.heap.youngCapacityBytes = 1 << 20;
+    RecordingListener listener;
+    Jvm vm(config, listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    vm.eventQueue().scheduleAfter(msToNs(1), [&] {
+        vm.postGuiEvent(listenerEvent(msToNs(50), 4 << 20));
+    });
+    vm.run(secToNs(3));
+    EXPECT_GE(vm.stats().minorGcs, 1u);
+    EXPECT_EQ(listener.count(HookRecord::Kind::GcBegin),
+              listener.count(HookRecord::Kind::GcEnd));
+    // The GC must lie inside the episode (the handler was running).
+    TimeNs gc_begin = kNoTime;
+    TimeNs ep_begin = kNoTime;
+    TimeNs ep_end = kNoTime;
+    for (const auto &record : listener.records) {
+        if (record.kind == HookRecord::Kind::GcBegin &&
+            gc_begin == kNoTime) {
+            gc_begin = record.time;
+        }
+        if (record.kind == HookRecord::Kind::DispatchBegin)
+            ep_begin = record.time;
+        if (record.kind == HookRecord::Kind::DispatchEnd)
+            ep_end = record.time;
+    }
+    ASSERT_NE(gc_begin, kNoTime);
+    EXPECT_GT(gc_begin, ep_begin);
+    EXPECT_LT(gc_begin, ep_end);
+    // And the episode is longer than its CPU cost by the pause.
+    EXPECT_GT(ep_end - ep_begin, msToNs(50));
+}
+
+TEST(JvmTest, SamplerSuppressedDuringGc)
+{
+    JvmConfig config = quietConfig();
+    config.heap.youngCapacityBytes = 1 << 20;
+    config.samplePeriod = usToNs(200);
+    RecordingListener listener;
+    Jvm vm(config, listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    vm.eventQueue().scheduleAfter(msToNs(1), [&] {
+        vm.postGuiEvent(listenerEvent(msToNs(80), 8 << 20));
+    });
+    vm.run(secToNs(3));
+    ASSERT_GE(vm.stats().minorGcs, 1u);
+    EXPECT_GT(vm.stats().samplesSuppressed, 0u);
+
+    // No sample may fall strictly inside any GC interval.
+    std::vector<std::pair<TimeNs, TimeNs>> gcs;
+    TimeNs open = kNoTime;
+    for (const auto &record : listener.records) {
+        if (record.kind == HookRecord::Kind::GcBegin)
+            open = record.time;
+        if (record.kind == HookRecord::Kind::GcEnd)
+            gcs.emplace_back(open, record.time);
+    }
+    for (const auto &record : listener.records) {
+        if (record.kind != HookRecord::Kind::Sample)
+            continue;
+        for (const auto &[b, e] : gcs) {
+            ASSERT_FALSE(record.time > b && record.time < e)
+                << "sample taken mid-collection";
+        }
+    }
+}
+
+TEST(JvmTest, ExplicitGcRunsMajorCollection)
+{
+    RecordingListener listener;
+    Jvm vm(quietConfig(), listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    vm.eventQueue().scheduleAfter(msToNs(1), [&] {
+        ActivityBuilder handler(ActivityKind::Listener, "app.H", "act");
+        handler.cost(usToNs(500));
+        handler.child(ActivityBuilder(ActivityKind::Plain,
+                                      "java.lang.System", "gc")
+                          .cost(usToNs(100))
+                          .systemGc());
+        GuiEvent event;
+        event.handler = std::move(handler).buildShared();
+        vm.postGuiEvent(event);
+    });
+    vm.run(secToNs(5));
+    EXPECT_EQ(vm.stats().majorGcs, 1u);
+    EXPECT_EQ(vm.stats().dispatches, 1u);
+    EXPECT_EQ(listener.count(HookRecord::Kind::DispatchEnd), 1u)
+        << "the triggering episode must complete after the GC";
+}
+
+TEST(JvmTest, SingleCorePreemptionSharesCpu)
+{
+    JvmConfig config = quietConfig();
+    config.cores = 1;
+    RecordingListener listener;
+    Jvm vm(config, listener);
+
+    const auto make_burner = [&](const char *name) {
+        ActivityBuilder work(ActivityKind::Plain, "bg.Worker", "run");
+        work.cost(msToNs(50));
+        std::deque<ProgramStep> steps;
+        steps.push_back(ProgramStep::runActivity(
+            std::move(work).buildShared()));
+        return vm.createThread(name, false,
+                               std::make_shared<ScriptedProgram>(
+                                   std::move(steps)));
+    };
+    const ThreadId a = make_burner("burner-a");
+    const ThreadId b = make_burner("burner-b");
+    vm.start();
+    vm.run(msToNs(60));
+    // At 60 ms of single-core time, 100 ms of demand cannot both be
+    // done; preemption must have interleaved them.
+    EXPECT_GT(vm.stats().contextSwitches, 5u);
+    EXPECT_TRUE(vm.thread(a).state() == ThreadState::Terminated ||
+                vm.thread(b).state() == ThreadState::Terminated ||
+                true);
+    vm.run(msToNs(150));
+    EXPECT_EQ(vm.thread(a).state(), ThreadState::Terminated);
+    EXPECT_EQ(vm.thread(b).state(), ThreadState::Terminated);
+}
+
+TEST(JvmTest, TwoCoresRunWithoutPreemption)
+{
+    RecordingListener listener;
+    Jvm vm(quietConfig(), listener);
+    for (const char *name : {"w-0", "w-1"}) {
+        ActivityBuilder work(ActivityKind::Plain, "bg.Worker", "run");
+        work.cost(msToNs(50));
+        std::deque<ProgramStep> steps;
+        steps.push_back(ProgramStep::runActivity(
+            std::move(work).buildShared()));
+        vm.createThread(name, false,
+                        std::make_shared<ScriptedProgram>(
+                            std::move(steps)));
+    }
+    vm.start();
+    vm.run(msToNs(51));
+    EXPECT_EQ(vm.stats().contextSwitches, 0u);
+    EXPECT_EQ(vm.thread(0).state(), ThreadState::Terminated);
+    EXPECT_EQ(vm.thread(1).state(), ThreadState::Terminated);
+}
+
+TEST(JvmTest, MonitorContentionBlocksAndResumes)
+{
+    RecordingListener listener;
+    Jvm vm(quietConfig(), listener);
+
+    const auto guarded = [&](DurationNs cost) {
+        ActivityBuilder work(ActivityKind::Plain, "app.Shared", "use");
+        work.cost(cost);
+        work.monitor(1);
+        std::deque<ProgramStep> steps;
+        steps.push_back(ProgramStep::runActivity(
+            std::move(work).buildShared()));
+        return steps;
+    };
+    const ThreadId holder = vm.createThread(
+        "holder", false,
+        std::make_shared<ScriptedProgram>(guarded(msToNs(30))));
+    // The waiter starts slightly later via an initial sleep.
+    std::deque<ProgramStep> waiter_steps;
+    waiter_steps.push_back(ProgramStep::sleepFor(msToNs(5)));
+    auto inner = guarded(msToNs(10));
+    waiter_steps.push_back(inner.front());
+    const ThreadId waiter = vm.createThread(
+        "waiter", false,
+        std::make_shared<ScriptedProgram>(std::move(waiter_steps)));
+
+    vm.start();
+    vm.run(msToNs(20));
+    EXPECT_EQ(vm.thread(waiter).state(), ThreadState::Blocked);
+    EXPECT_EQ(vm.thread(holder).state(), ThreadState::Running);
+    vm.run(msToNs(100));
+    EXPECT_EQ(vm.thread(holder).state(), ThreadState::Terminated);
+    EXPECT_EQ(vm.thread(waiter).state(), ThreadState::Terminated);
+    EXPECT_GE(vm.monitors().contentionCount(), 1u);
+}
+
+TEST(JvmTest, SleepingThreadSampledAsSleeping)
+{
+    JvmConfig config = quietConfig();
+    config.samplePeriod = msToNs(2);
+    RecordingListener listener;
+    Jvm vm(config, listener);
+    ActivityBuilder napper(ActivityKind::Plain, "app.Napper", "nap");
+    napper.cost(usToNs(100));
+    napper.sleep(msToNs(40));
+    std::deque<ProgramStep> steps;
+    steps.push_back(
+        ProgramStep::runActivity(std::move(napper).buildShared()));
+    const ThreadId id = vm.createThread(
+        "napper", false,
+        std::make_shared<ScriptedProgram>(std::move(steps)));
+    vm.start();
+    vm.run(msToNs(30));
+    EXPECT_EQ(vm.thread(id).state(), ThreadState::Sleeping);
+
+    bool sampled_sleeping = false;
+    for (const auto &record : listener.records) {
+        if (record.kind != HookRecord::Kind::Sample)
+            continue;
+        for (const auto &snap : record.snapshots) {
+            if (snap.thread == id &&
+                snap.state == SampleState::Sleeping) {
+                sampled_sleeping = true;
+                // The stack must still show the napping frame.
+                ASSERT_FALSE(snap.stack.empty());
+                EXPECT_EQ(snap.stack.back().className, "app.Napper");
+            }
+        }
+    }
+    EXPECT_TRUE(sampled_sleeping);
+}
+
+TEST(JvmTest, EdtParksWhenQueueEmptyAndWakes)
+{
+    RecordingListener listener;
+    Jvm vm(quietConfig(), listener);
+    const ThreadId edt = vm.createEventDispatchThread();
+    vm.start();
+    vm.run(msToNs(10));
+    EXPECT_EQ(vm.thread(edt).state(), ThreadState::Waiting);
+    vm.eventQueue().scheduleAfter(0, [&] {
+        vm.postGuiEvent(listenerEvent(msToNs(2)));
+    });
+    vm.run(msToNs(20));
+    EXPECT_EQ(vm.stats().dispatches, 1u);
+    EXPECT_EQ(vm.thread(edt).state(), ThreadState::Waiting);
+}
+
+TEST(JvmTest, DeterministicHookStream)
+{
+    const auto run_once = [] {
+        JvmConfig config;
+        config.seed = 1234;
+        config.heap.youngCapacityBytes = 1 << 20;
+        RecordingListener listener;
+        Jvm vm(config, listener);
+        vm.createEventDispatchThread();
+        vm.start();
+        for (int i = 1; i <= 20; ++i) {
+            vm.eventQueue().schedule(msToNs(i * 3), [&vm] {
+                vm.postGuiEvent(listenerEvent(msToNs(2), 512 << 10));
+            });
+        }
+        vm.run(secToNs(1));
+        std::vector<std::pair<int, TimeNs>> stream;
+        for (const auto &record : listener.records) {
+            stream.emplace_back(static_cast<int>(record.kind),
+                                record.time);
+        }
+        return stream;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(JvmTest, ConfigValidation)
+{
+    RecordingListener listener;
+    JvmConfig bad;
+    bad.cores = 0;
+    EXPECT_THROW(Jvm(bad, listener), PanicError);
+    JvmConfig bad2;
+    bad2.timeSlice = 0;
+    EXPECT_THROW(Jvm(bad2, listener), PanicError);
+}
+
+TEST(JvmTest, OnlyOneGuiThreadAllowed)
+{
+    RecordingListener listener;
+    Jvm vm(quietConfig(), listener);
+    vm.createEventDispatchThread();
+    EXPECT_THROW(vm.createEventDispatchThread(), PanicError);
+}
+
+TEST(JvmTest, CreateThreadAfterStartPanics)
+{
+    RecordingListener listener;
+    Jvm vm(quietConfig(), listener);
+    vm.createEventDispatchThread();
+    vm.start();
+    EXPECT_THROW(vm.createThread("late", false,
+                                 std::make_shared<ScriptedProgram>(
+                                     std::deque<ProgramStep>{})),
+                 PanicError);
+}
+
+} // namespace
+} // namespace lag::jvm

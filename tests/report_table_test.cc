@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the text-table and CSV renderers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "report/table.hh"
+#include "util/logging.hh"
+
+namespace lag::report
+{
+namespace
+{
+
+TEST(TextTableTest, AlignsColumns)
+{
+    TextTable table;
+    table.addColumn("name", Align::Left);
+    table.addColumn("value", Align::Right);
+    table.addRow({"a", "1"});
+    table.addRow({"long-name", "12345"});
+    const std::string out = table.render();
+    EXPECT_NE(out.find("name       value"), std::string::npos);
+    EXPECT_NE(out.find("a              1"), std::string::npos);
+    EXPECT_NE(out.find("long-name  12345"), std::string::npos);
+}
+
+TEST(TextTableTest, SeparatorRendersRule)
+{
+    TextTable table;
+    table.addColumn("x");
+    table.addRow({"1"});
+    table.addSeparator();
+    table.addRow({"2"});
+    const std::string out = table.render();
+    // Header rule + explicit separator.
+    std::size_t rules = 0;
+    std::size_t pos = 0;
+    while ((pos = out.find("-\n", pos)) != std::string::npos) {
+        ++rules;
+        pos += 2;
+    }
+    EXPECT_EQ(rules, 2u);
+}
+
+TEST(TextTableTest, WrongCellCountPanics)
+{
+    TextTable table;
+    table.addColumn("a");
+    table.addColumn("b");
+    EXPECT_THROW(table.addRow({"only-one"}), PanicError);
+}
+
+TEST(TextTableTest, ColumnsAfterRowsPanics)
+{
+    TextTable table;
+    table.addColumn("a");
+    table.addRow({"1"});
+    EXPECT_THROW(table.addColumn("late"), PanicError);
+}
+
+TEST(TextTableTest, CsvEscapesSpecials)
+{
+    TextTable table;
+    table.addColumn("name");
+    table.addColumn("note");
+    table.addRow({"plain", "a,b"});
+    table.addRow({"quoted", "say \"hi\""});
+    table.addSeparator();
+    const std::string csv = table.renderCsv();
+    EXPECT_NE(csv.find("name,note"), std::string::npos);
+    EXPECT_NE(csv.find("plain,\"a,b\""), std::string::npos);
+    EXPECT_NE(csv.find("quoted,\"say \"\"hi\"\"\""), std::string::npos);
+    EXPECT_EQ(csv.find("---"), std::string::npos)
+        << "separators must not leak into CSV";
+}
+
+TEST(TextTableTest, Counts)
+{
+    TextTable table;
+    table.addColumn("a");
+    EXPECT_EQ(table.columnCount(), 1u);
+    table.addRow({"1"});
+    table.addRow({"2"});
+    EXPECT_EQ(table.rowCount(), 2u);
+}
+
+} // namespace
+} // namespace lag::report

@@ -1,0 +1,200 @@
+/**
+ * @file
+ * Tests for the discrete-event kernel: ordering, priorities,
+ * cancellation and determinism.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "sim/event_queue.hh"
+#include "util/logging.hh"
+#include "util/random.hh"
+
+namespace lag::sim
+{
+namespace
+{
+
+TEST(EventQueueTest, FiresInTimeOrder)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(30, [&] { order.push_back(3); });
+    q.schedule(10, [&] { order.push_back(1); });
+    q.schedule(20, [&] { order.push_back(2); });
+    q.runUntil(100);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(q.now(), 100);
+}
+
+TEST(EventQueueTest, SameTimeFifoWithinPriority)
+{
+    EventQueue q;
+    std::vector<int> order;
+    for (int i = 0; i < 5; ++i)
+        q.schedule(10, [&order, i] { order.push_back(i); });
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(EventQueueTest, PriorityBreaksTimeTies)
+{
+    EventQueue q;
+    std::vector<int> order;
+    q.schedule(10, [&] { order.push_back(2); }, EventPriority::Normal);
+    q.schedule(10, [&] { order.push_back(3); }, EventPriority::Low);
+    q.schedule(10, [&] { order.push_back(1); }, EventPriority::High);
+    q.runUntil(10);
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueueTest, RunUntilLeavesLaterEventsPending)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(10, [&] { ++fired; });
+    q.schedule(50, [&] { ++fired; });
+    EXPECT_EQ(q.runUntil(20), 1u);
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 20);
+    EXPECT_EQ(q.pending(), 1u);
+    q.runUntil(50);
+    EXPECT_EQ(fired, 2);
+}
+
+TEST(EventQueueTest, EventAtHorizonFires)
+{
+    EventQueue q;
+    bool fired = false;
+    q.schedule(20, [&] { fired = true; });
+    q.runUntil(20);
+    EXPECT_TRUE(fired);
+}
+
+TEST(EventQueueTest, CancelPreventsFiring)
+{
+    EventQueue q;
+    bool fired = false;
+    const EventId id = q.schedule(10, [&] { fired = true; });
+    EXPECT_TRUE(q.cancel(id));
+    EXPECT_FALSE(q.cancel(id)) << "double cancel must report false";
+    q.runUntil(100);
+    EXPECT_FALSE(fired);
+    EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueueTest, CancelUnknownIdIsNoop)
+{
+    EventQueue q;
+    EXPECT_FALSE(q.cancel(12345));
+}
+
+TEST(EventQueueTest, EventsScheduledDuringRunFire)
+{
+    EventQueue q;
+    std::vector<TimeNs> times;
+    q.schedule(10, [&] {
+        times.push_back(q.now());
+        q.scheduleAfter(5, [&] { times.push_back(q.now()); });
+    });
+    q.runUntil(100);
+    EXPECT_EQ(times, (std::vector<TimeNs>{10, 15}));
+}
+
+TEST(EventQueueTest, ZeroDelaySelfScheduleAdvances)
+{
+    EventQueue q;
+    int count = 0;
+    std::function<void()> tick = [&] {
+        if (++count < 5)
+            q.scheduleAfter(1, tick);
+    };
+    q.schedule(0, tick);
+    q.runUntil(10);
+    EXPECT_EQ(count, 5);
+    EXPECT_EQ(q.servicedCount(), 5u);
+}
+
+TEST(EventQueueTest, StepServicesExactlyOne)
+{
+    EventQueue q;
+    int fired = 0;
+    q.schedule(5, [&] { ++fired; });
+    q.schedule(6, [&] { ++fired; });
+    EXPECT_TRUE(q.step());
+    EXPECT_EQ(fired, 1);
+    EXPECT_EQ(q.now(), 5);
+    EXPECT_TRUE(q.step());
+    EXPECT_FALSE(q.step());
+}
+
+TEST(EventQueueTest, PastSchedulingPanics)
+{
+    EventQueue q;
+    q.schedule(10, [] {});
+    q.runUntil(10);
+    EXPECT_THROW(q.schedule(5, [] {}), PanicError);
+    EXPECT_THROW(q.scheduleAfter(-1, [] {}), PanicError);
+}
+
+TEST(EventQueueTest, NullCallbackPanics)
+{
+    EventQueue q;
+    EXPECT_THROW(q.schedule(1, EventFn{}), PanicError);
+}
+
+TEST(EventQueueTest, TimeNeverMovesBackwards)
+{
+    EventQueue q;
+    q.schedule(50, [] {});
+    q.runUntil(100);
+    EXPECT_EQ(q.now(), 100);
+    q.runUntil(80); // horizon before now: nothing fires, no rewind
+    EXPECT_EQ(q.now(), 100);
+}
+
+/** Property sweep: random schedules fire in nondecreasing time
+ * order and every non-cancelled event fires exactly once. */
+class RandomScheduleTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(RandomScheduleTest, OrderAndCompleteness)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()));
+    EventQueue q;
+    const int n = 500;
+    std::vector<int> fire_count(n, 0);
+    std::vector<EventId> ids;
+    TimeNs last_seen = -1;
+    for (int i = 0; i < n; ++i) {
+        const TimeNs when = rng.uniformInt(0, 10000);
+        ids.push_back(q.schedule(when, [&, i] {
+            ASSERT_GE(q.now(), last_seen);
+            last_seen = q.now();
+            ++fire_count[static_cast<std::size_t>(i)];
+        }));
+    }
+    // Cancel a random third.
+    std::vector<bool> cancelled(n, false);
+    for (int i = 0; i < n; ++i) {
+        if (rng.chance(0.33)) {
+            q.cancel(ids[static_cast<std::size_t>(i)]);
+            cancelled[static_cast<std::size_t>(i)] = true;
+        }
+    }
+    q.runUntil(10000);
+    for (int i = 0; i < n; ++i) {
+        EXPECT_EQ(fire_count[static_cast<std::size_t>(i)],
+                  cancelled[static_cast<std::size_t>(i)] ? 0 : 1);
+    }
+    EXPECT_TRUE(q.empty());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomScheduleTest,
+                         ::testing::Range(1, 9));
+
+} // namespace
+} // namespace lag::sim

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Tests for the stable FNV-1a hashing.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/hash.hh"
+
+namespace lag
+{
+namespace
+{
+
+TEST(HashTest, KnownFnv1aValues)
+{
+    // Published FNV-1a 64-bit test vectors.
+    EXPECT_EQ(fnv1a(""), 0xcbf29ce484222325ULL);
+    EXPECT_EQ(fnv1a("a"), 0xaf63dc4c8601ec8cULL);
+    EXPECT_EQ(fnv1a("foobar"), 0x85944171f73967e8ULL);
+}
+
+TEST(HashTest, IncrementalMatchesOneShot)
+{
+    Fnv1aHasher h;
+    h.addBytes("foo", 3);
+    h.addBytes("bar", 3);
+    EXPECT_EQ(h.digest(), fnv1a("foobar"));
+}
+
+TEST(HashTest, AddStringSeparatesFields)
+{
+    // ("ab", "c") and ("a", "bc") must differ: addString appends a
+    // separator byte.
+    Fnv1aHasher h1;
+    h1.addString("ab");
+    h1.addString("c");
+    Fnv1aHasher h2;
+    h2.addString("a");
+    h2.addString("bc");
+    EXPECT_NE(h1.digest(), h2.digest());
+}
+
+TEST(HashTest, AddValueIsOrderSensitive)
+{
+    Fnv1aHasher h1;
+    h1.addValue<std::uint32_t>(1);
+    h1.addValue<std::uint32_t>(2);
+    Fnv1aHasher h2;
+    h2.addValue<std::uint32_t>(2);
+    h2.addValue<std::uint32_t>(1);
+    EXPECT_NE(h1.digest(), h2.digest());
+}
+
+TEST(HashTest, StableAcrossRuns)
+{
+    // The pattern keys and cache keys depend on this exact value
+    // never changing.
+    EXPECT_EQ(fnv1a("LagAlyzer"), 0x7c79b209367a9126ULL);
+}
+
+} // namespace
+} // namespace lag

@@ -1,0 +1,60 @@
+/**
+ * @file
+ * Tests for error reporting: panic must be observable, assertions
+ * must carry context.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/logging.hh"
+
+namespace lag
+{
+namespace
+{
+
+TEST(LoggingTest, PanicThrowsWithMessage)
+{
+    try {
+        lag_panic("broken: ", 42);
+        FAIL() << "panic did not throw";
+    } catch (const PanicError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("broken: 42"), std::string::npos);
+        EXPECT_NE(what.find("util_logging_test"), std::string::npos)
+            << "panic should carry the source location";
+    }
+}
+
+TEST(LoggingTest, AssertPassesOnTrue)
+{
+    EXPECT_NO_THROW(lag_assert(1 + 1 == 2, "math"));
+}
+
+TEST(LoggingTest, AssertThrowsOnFalseWithCondition)
+{
+    try {
+        lag_assert(1 == 2, "values: ", 1, " vs ", 2);
+        FAIL() << "assert did not throw";
+    } catch (const PanicError &err) {
+        const std::string what = err.what();
+        EXPECT_NE(what.find("1 == 2"), std::string::npos);
+        EXPECT_NE(what.find("values: 1 vs 2"), std::string::npos);
+    }
+}
+
+TEST(LoggingTest, ThresholdControlsEmission)
+{
+    const LogLevel before = logThreshold();
+    setLogThreshold(LogLevel::Error);
+    EXPECT_EQ(logThreshold(), LogLevel::Error);
+    // These must not crash while suppressed.
+    warn("suppressed warning");
+    inform("suppressed info");
+    setLogThreshold(before);
+}
+
+} // namespace
+} // namespace lag

@@ -1,0 +1,137 @@
+/**
+ * @file
+ * Tests for the descriptive-statistics helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/logging.hh"
+#include "util/stats.hh"
+
+namespace lag
+{
+namespace
+{
+
+TEST(RunningStatsTest, EmptyDefaults)
+{
+    RunningStats stats;
+    EXPECT_EQ(stats.count(), 0u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue)
+{
+    RunningStats stats;
+    stats.add(5.0);
+    EXPECT_EQ(stats.count(), 1u);
+    EXPECT_DOUBLE_EQ(stats.mean(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 5.0);
+    EXPECT_DOUBLE_EQ(stats.variance(), 0.0);
+}
+
+TEST(RunningStatsTest, MatchesDirectComputation)
+{
+    const double values[] = {1.0, 2.0, 3.0, 4.0, 10.0};
+    RunningStats stats;
+    for (const double v : values)
+        stats.add(v);
+    EXPECT_DOUBLE_EQ(stats.sum(), 20.0);
+    EXPECT_DOUBLE_EQ(stats.mean(), 4.0);
+    EXPECT_DOUBLE_EQ(stats.min(), 1.0);
+    EXPECT_DOUBLE_EQ(stats.max(), 10.0);
+    // Population variance: mean of squared deviations.
+    const double expected =
+        (9.0 + 4.0 + 1.0 + 0.0 + 36.0) / 5.0;
+    EXPECT_NEAR(stats.variance(), expected, 1e-12);
+}
+
+TEST(RunningStatsTest, MergeEqualsSequential)
+{
+    RunningStats a;
+    RunningStats b;
+    RunningStats all;
+    for (int i = 0; i < 100; ++i) {
+        const double v = static_cast<double>(i * i % 37);
+        if (i % 2 == 0)
+            a.add(v);
+        else
+            b.add(v);
+        all.add(v);
+    }
+    a.merge(b);
+    EXPECT_EQ(a.count(), all.count());
+    EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+    EXPECT_NEAR(a.variance(), all.variance(), 1e-9);
+    EXPECT_DOUBLE_EQ(a.min(), all.min());
+    EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides)
+{
+    RunningStats a;
+    a.add(1.0);
+    a.add(3.0);
+    RunningStats empty;
+    a.merge(empty);
+    EXPECT_EQ(a.count(), 2u);
+    RunningStats target;
+    target.merge(a);
+    EXPECT_EQ(target.count(), 2u);
+    EXPECT_DOUBLE_EQ(target.mean(), 2.0);
+}
+
+TEST(QuantileTest, MedianOfOddCount)
+{
+    EXPECT_DOUBLE_EQ(quantile({3.0, 1.0, 2.0}, 0.5), 2.0);
+}
+
+TEST(QuantileTest, Interpolates)
+{
+    EXPECT_DOUBLE_EQ(quantile({0.0, 10.0}, 0.25), 2.5);
+}
+
+TEST(QuantileTest, Extremes)
+{
+    EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 9.0}, 0.0), 1.0);
+    EXPECT_DOUBLE_EQ(quantile({5.0, 1.0, 9.0}, 1.0), 9.0);
+}
+
+TEST(QuantileTest, RejectsEmptyAndBadQ)
+{
+    EXPECT_THROW(quantile({}, 0.5), PanicError);
+    EXPECT_THROW(quantile({1.0}, 1.5), PanicError);
+}
+
+TEST(HistogramTest, CountsFallIntoBins)
+{
+    Histogram h(0.0, 10.0, 5);
+    h.add(1.0); // bin 0
+    h.add(3.0); // bin 1
+    h.add(9.9); // bin 4
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+    EXPECT_EQ(h.binCount(4), 1u);
+    EXPECT_EQ(h.total(), 3u);
+}
+
+TEST(HistogramTest, ClampsOutOfRange)
+{
+    Histogram h(0.0, 10.0, 2);
+    h.add(-100.0);
+    h.add(100.0);
+    EXPECT_EQ(h.binCount(0), 1u);
+    EXPECT_EQ(h.binCount(1), 1u);
+}
+
+TEST(HistogramTest, BinEdges)
+{
+    Histogram h(10.0, 20.0, 4);
+    EXPECT_DOUBLE_EQ(h.binLow(0), 10.0);
+    EXPECT_DOUBLE_EQ(h.binLow(3), 17.5);
+}
+
+} // namespace
+} // namespace lag

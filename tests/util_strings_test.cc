@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Tests for the string helpers.
+ */
+
+#include <gtest/gtest.h>
+
+#include "util/strings.hh"
+#include "util/types.hh"
+
+namespace lag
+{
+namespace
+{
+
+TEST(StringsTest, StartsWith)
+{
+    EXPECT_TRUE(startsWith("javax.swing.JPanel", "javax."));
+    EXPECT_FALSE(startsWith("org.app.Foo", "javax."));
+    EXPECT_TRUE(startsWith("abc", ""));
+    EXPECT_FALSE(startsWith("ab", "abc"));
+}
+
+TEST(StringsTest, EndsWith)
+{
+    EXPECT_TRUE(endsWith("trace.lag", ".lag"));
+    EXPECT_FALSE(endsWith("trace.lag", ".txt"));
+    EXPECT_FALSE(endsWith("g", ".lag"));
+}
+
+TEST(StringsTest, SplitKeepsEmptyFields)
+{
+    const auto parts = split("a,,b", ',');
+    ASSERT_EQ(parts.size(), 3u);
+    EXPECT_EQ(parts[0], "a");
+    EXPECT_EQ(parts[1], "");
+    EXPECT_EQ(parts[2], "b");
+}
+
+TEST(StringsTest, SplitSingleField)
+{
+    const auto parts = split("abc", ',');
+    ASSERT_EQ(parts.size(), 1u);
+    EXPECT_EQ(parts[0], "abc");
+}
+
+TEST(StringsTest, JoinRoundTrip)
+{
+    EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+    EXPECT_EQ(join({}, ","), "");
+    EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(StringsTest, FormatDouble)
+{
+    EXPECT_EQ(formatDouble(3.14159, 2), "3.14");
+    EXPECT_EQ(formatDouble(2.0, 0), "2");
+    EXPECT_EQ(formatDouble(-1.5, 1), "-1.5");
+}
+
+TEST(StringsTest, FormatDurationPicksUnit)
+{
+    EXPECT_EQ(formatDurationNs(500), "500 ns");
+    EXPECT_EQ(formatDurationNs(1500), "1.5 us");
+    EXPECT_EQ(formatDurationNs(msToNs(100)), "100.0 ms");
+    EXPECT_EQ(formatDurationNs(secToNs(2)), "2.00 s");
+}
+
+TEST(StringsTest, FormatPercent)
+{
+    EXPECT_EQ(formatPercent(0.5), "50.0%");
+    EXPECT_EQ(formatPercent(0.123, 0), "12%");
+}
+
+TEST(StringsTest, FormatCountGroupsThousands)
+{
+    EXPECT_EQ(formatCount(0), "0");
+    EXPECT_EQ(formatCount(999), "999");
+    EXPECT_EQ(formatCount(1000), "1'000");
+    EXPECT_EQ(formatCount(1241198), "1'241'198");
+}
+
+TEST(StringsTest, XmlEscape)
+{
+    EXPECT_EQ(xmlEscape("a<b>&\"c'"), "a&lt;b&gt;&amp;&quot;c&apos;");
+    EXPECT_EQ(xmlEscape("plain"), "plain");
+}
+
+} // namespace
+} // namespace lag

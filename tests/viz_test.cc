@@ -1,0 +1,219 @@
+/**
+ * @file
+ * Tests for the visualization substrate: SVG writer, charts and
+ * episode sketches.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "trace_builder.hh"
+#include "viz/charts.hh"
+#include "viz/palette.hh"
+#include "viz/sketch.hh"
+#include "viz/svg.hh"
+
+namespace lag::viz
+{
+namespace
+{
+
+using trace::IntervalKind;
+using trace::TraceThreadState;
+
+/** Count occurrences of a substring. */
+std::size_t
+countOf(const std::string &haystack, const std::string &needle)
+{
+    std::size_t count = 0;
+    std::size_t pos = 0;
+    while ((pos = haystack.find(needle, pos)) != std::string::npos) {
+        ++count;
+        pos += needle.size();
+    }
+    return count;
+}
+
+TEST(SvgTest, DocumentStructure)
+{
+    SvgDocument doc(200, 100);
+    doc.rect(10, 10, 50, 20, "#ff0000");
+    doc.circle(30, 30, 5, "#00ff00", "hover me");
+    doc.text(5, 95, "label", 12);
+    doc.line(0, 0, 200, 100, "#000000");
+    doc.polyline({{0, 0}, {10, 10}, {20, 5}}, "#0000ff");
+    const std::string svg = doc.finish();
+
+    EXPECT_NE(svg.find("<svg xmlns"), std::string::npos);
+    EXPECT_NE(svg.find("width=\"200.00\""), std::string::npos);
+    EXPECT_NE(svg.find("<rect"), std::string::npos);
+    EXPECT_NE(svg.find("<circle"), std::string::npos);
+    EXPECT_NE(svg.find("<title>hover me</title>"), std::string::npos);
+    EXPECT_NE(svg.find(">label</text>"), std::string::npos);
+    EXPECT_NE(svg.find("<polyline"), std::string::npos);
+    EXPECT_NE(svg.find("</svg>"), std::string::npos);
+}
+
+TEST(SvgTest, EscapesTooltipsAndText)
+{
+    SvgDocument doc(100, 100);
+    doc.rect(0, 0, 10, 10, "#fff", "", "a<b & c");
+    doc.text(0, 0, "x<y", 10);
+    const std::string svg = doc.finish();
+    EXPECT_NE(svg.find("a&lt;b &amp; c"), std::string::npos);
+    EXPECT_NE(svg.find("x&lt;y"), std::string::npos);
+    EXPECT_EQ(svg.find("a<b"), std::string::npos);
+}
+
+TEST(SvgTest, WritesFile)
+{
+    SvgDocument doc(50, 50);
+    doc.rect(0, 0, 10, 10, "#123456");
+    const std::string path = "viz_test_out.svg";
+    doc.writeFile(path);
+    EXPECT_TRUE(std::filesystem::exists(path));
+    EXPECT_GT(std::filesystem::file_size(path), 100u);
+    std::filesystem::remove(path);
+}
+
+TEST(PaletteTest, DistinctIntervalColors)
+{
+    std::set<std::string_view> colors;
+    for (const auto type :
+         {core::IntervalType::Dispatch, core::IntervalType::Listener,
+          core::IntervalType::Paint, core::IntervalType::Native,
+          core::IntervalType::Async, core::IntervalType::Gc}) {
+        colors.insert(intervalColor(type));
+    }
+    EXPECT_EQ(colors.size(), 6u);
+}
+
+TEST(PaletteTest, SeriesColorsCycle)
+{
+    EXPECT_EQ(seriesColor(0), seriesColor(seriesColorCount()));
+    EXPECT_NE(seriesColor(0), seriesColor(1));
+}
+
+TEST(StackedBarChartTest, RendersRowsAndLegend)
+{
+    StackedBarChart chart("My chart", "Episodes [%]", 100.0);
+    chart.addLegend("Input", "#111111");
+    chart.addLegend("Output", "#222222");
+    chart.addRow(BarRow{"AppA",
+                        {{60.0, "#111111"}, {40.0, "#222222"}}});
+    chart.addRow(BarRow{"AppB",
+                        {{10.0, "#111111"}, {90.0, "#222222"}}});
+    const std::string svg = chart.render().finish();
+    EXPECT_NE(svg.find("My chart"), std::string::npos);
+    EXPECT_NE(svg.find("AppA"), std::string::npos);
+    EXPECT_NE(svg.find("AppB"), std::string::npos);
+    EXPECT_NE(svg.find("Input"), std::string::npos);
+    EXPECT_NE(svg.find("Episodes [%]"), std::string::npos);
+    // 2 legend swatches + 4 segments + background at least.
+    EXPECT_GE(countOf(svg, "<rect"), 7u);
+}
+
+TEST(StackedBarChartTest, ZeroAndOverflowSegmentsSafe)
+{
+    StackedBarChart chart("Edge", "x", 100.0);
+    chart.addRow(BarRow{"Row",
+                        {{0.0, "#111111"},
+                         {150.0, "#222222"},
+                         {50.0, "#333333"}}});
+    const std::string svg = chart.render().finish();
+    // The 150% segment is clipped to the plot; the trailing segment
+    // is dropped; nothing crashes.
+    EXPECT_NE(svg.find("Row"), std::string::npos);
+}
+
+TEST(CdfChartTest, RendersSeries)
+{
+    CdfChart chart("CDF", "Patterns [%]", "Episodes [%]");
+    CdfSeries series;
+    series.label = "AppA";
+    series.color = "#ff0000";
+    series.points = {{0.0, 0.0}, {0.2, 0.8}, {1.0, 1.0}};
+    chart.addSeries(series);
+    const std::string svg = chart.render().finish();
+    EXPECT_NE(svg.find("CDF"), std::string::npos);
+    EXPECT_NE(svg.find("AppA"), std::string::npos);
+    EXPECT_GE(countOf(svg, "<polyline"), 1u);
+}
+
+core::Session
+sketchSession()
+{
+    test::TraceBuilder builder;
+    builder.dispatchBegin(0)
+        .intervalBegin(msToNs(1), IntervalKind::Paint,
+                       "javax.swing.JFrame", "paint")
+        .intervalBegin(msToNs(2), IntervalKind::Native,
+                       "sun.java2d.loops.DrawLine", "DrawLine")
+        .gc(msToNs(3), msToNs(40))
+        .intervalEnd(msToNs(45), IntervalKind::Native)
+        .intervalEnd(msToNs(48), IntervalKind::Paint)
+        .dispatchEnd(msToNs(50));
+    builder.sample(msToNs(1) + usToNs(500),
+                   TraceThreadState::Runnable);
+    builder.sample(msToNs(46), TraceThreadState::Runnable);
+    return builder.buildSession(secToNs(1));
+}
+
+TEST(SketchTest, SvgContainsTreeAndSamples)
+{
+    const core::Session session = sketchSession();
+    const SvgDocument doc =
+        renderEpisodeSketch(session, session.episodes()[0]);
+    const std::string svg = doc.finish();
+    EXPECT_NE(svg.find("JFrame.paint"), std::string::npos);
+    EXPECT_NE(svg.find("Native sun.java2d.loops.DrawLine.DrawLine"),
+              std::string::npos);
+    EXPECT_GE(countOf(svg, "<circle"), 2u) << "sample dots missing";
+    // Stack tooltips include the frames.
+    EXPECT_NE(svg.find("at java.lang.Thread.run"), std::string::npos);
+    // Legend names all six types.
+    EXPECT_NE(svg.find(">GC</text>"), std::string::npos);
+}
+
+TEST(SketchTest, AsciiShowsRowsPerDepth)
+{
+    const core::Session session = sketchSession();
+    const std::string ascii =
+        renderAsciiSketch(session, session.episodes()[0], 80);
+    // Sample row + 4 tree rows (D, P, N, G) + header.
+    EXPECT_NE(ascii.find('D'), std::string::npos);
+    EXPECT_NE(ascii.find('P'), std::string::npos);
+    EXPECT_NE(ascii.find('N'), std::string::npos);
+    EXPECT_NE(ascii.find('G'), std::string::npos);
+    EXPECT_NE(ascii.find('r'), std::string::npos);
+    // Every rendered line fits the width.
+    std::size_t pos = 0;
+    std::size_t line = 0;
+    while (pos < ascii.size()) {
+        const std::size_t next = ascii.find('\n', pos);
+        if (line > 0) // header line may be longer
+            EXPECT_LE(next - pos, 80u);
+        pos = next + 1;
+        ++line;
+    }
+    EXPECT_GE(line, 5u);
+}
+
+TEST(SketchTest, CustomOptionsApplied)
+{
+    const core::Session session = sketchSession();
+    SketchOptions options;
+    options.width = 500;
+    options.legend = false;
+    options.title = "Custom title";
+    const SvgDocument doc = renderEpisodeSketch(
+        session, session.episodes()[0], options);
+    EXPECT_EQ(doc.width(), 500);
+    const std::string svg = doc.finish();
+    EXPECT_NE(svg.find("Custom title"), std::string::npos);
+    EXPECT_EQ(svg.find(">GC</text>"), std::string::npos);
+}
+
+} // namespace
+} // namespace lag::viz
