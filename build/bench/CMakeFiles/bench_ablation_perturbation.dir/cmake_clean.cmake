@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_perturbation.dir/bench_ablation_perturbation.cpp.o"
+  "CMakeFiles/bench_ablation_perturbation.dir/bench_ablation_perturbation.cpp.o.d"
+  "bench_ablation_perturbation"
+  "bench_ablation_perturbation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_perturbation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../lib/libbench_common.a"
+  "../lib/libbench_common.pdb"
+  "CMakeFiles/bench_common.dir/study_util.cc.o"
+  "CMakeFiles/bench_common.dir/study_util.cc.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

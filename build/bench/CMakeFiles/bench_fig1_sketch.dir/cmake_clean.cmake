@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_sketch.dir/bench_fig1_sketch.cpp.o"
+  "CMakeFiles/bench_fig1_sketch.dir/bench_fig1_sketch.cpp.o.d"
+  "bench_fig1_sketch"
+  "bench_fig1_sketch.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_sketch.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

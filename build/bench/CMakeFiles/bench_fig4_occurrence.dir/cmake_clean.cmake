@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_occurrence.dir/bench_fig4_occurrence.cpp.o"
+  "CMakeFiles/bench_fig4_occurrence.dir/bench_fig4_occurrence.cpp.o.d"
+  "bench_fig4_occurrence"
+  "bench_fig4_occurrence.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_occurrence.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_triggers.dir/bench_fig5_triggers.cpp.o"
+  "CMakeFiles/bench_fig5_triggers.dir/bench_fig5_triggers.cpp.o.d"
+  "bench_fig5_triggers"
+  "bench_fig5_triggers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_triggers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

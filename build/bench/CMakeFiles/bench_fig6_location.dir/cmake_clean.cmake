@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_location.dir/bench_fig6_location.cpp.o"
+  "CMakeFiles/bench_fig6_location.dir/bench_fig6_location.cpp.o.d"
+  "bench_fig6_location"
+  "bench_fig6_location.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_location.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_concurrency.dir/bench_fig7_concurrency.cpp.o"
+  "CMakeFiles/bench_fig7_concurrency.dir/bench_fig7_concurrency.cpp.o.d"
+  "bench_fig7_concurrency"
+  "bench_fig7_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_threadstates.dir/bench_fig8_threadstates.cpp.o"
+  "CMakeFiles/bench_fig8_threadstates.dir/bench_fig8_threadstates.cpp.o.d"
+  "bench_fig8_threadstates"
+  "bench_fig8_threadstates.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_threadstates.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_perf_pipeline.dir/bench_perf_pipeline.cpp.o"
+  "CMakeFiles/bench_perf_pipeline.dir/bench_perf_pipeline.cpp.o.d"
+  "bench_perf_pipeline"
+  "bench_perf_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_perf_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_types.dir/bench_table1_types.cpp.o"
+  "CMakeFiles/bench_table1_types.dir/bench_table1_types.cpp.o.d"
+  "bench_table1_types"
+  "bench_table1_types.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_types.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

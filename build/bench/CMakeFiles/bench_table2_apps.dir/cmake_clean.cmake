@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_apps.dir/bench_table2_apps.cpp.o"
+  "CMakeFiles/bench_table2_apps.dir/bench_table2_apps.cpp.o.d"
+  "bench_table2_apps"
+  "bench_table2_apps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_apps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

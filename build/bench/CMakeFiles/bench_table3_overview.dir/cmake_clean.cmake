@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_overview.dir/bench_table3_overview.cpp.o"
+  "CMakeFiles/bench_table3_overview.dir/bench_table3_overview.cpp.o.d"
+  "bench_table3_overview"
+  "bench_table3_overview.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_overview.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

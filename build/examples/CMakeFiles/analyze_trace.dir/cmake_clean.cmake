@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analyze_trace.dir/analyze_trace.cpp.o"
+  "CMakeFiles/analyze_trace.dir/analyze_trace.cpp.o.d"
+  "analyze_trace"
+  "analyze_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analyze_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

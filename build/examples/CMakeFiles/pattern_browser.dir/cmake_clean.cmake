@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pattern_browser.dir/pattern_browser.cpp.o"
+  "CMakeFiles/pattern_browser.dir/pattern_browser.cpp.o.d"
+  "pattern_browser"
+  "pattern_browser.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pattern_browser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

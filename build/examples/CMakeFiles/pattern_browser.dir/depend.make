@@ -1,0 +1,2 @@
+# Empty dependencies file for pattern_browser.
+# This may be replaced when dependencies are built.

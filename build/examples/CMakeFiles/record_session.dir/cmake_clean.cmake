@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/record_session.dir/record_session.cpp.o"
+  "CMakeFiles/record_session.dir/record_session.cpp.o.d"
+  "record_session"
+  "record_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/record_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("util")
+subdirs("sim")
+subdirs("jvm")
+subdirs("trace")
+subdirs("lila")
+subdirs("app")
+subdirs("core")
+subdirs("viz")
+subdirs("report")

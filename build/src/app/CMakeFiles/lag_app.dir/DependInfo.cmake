@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/app/background.cc" "src/app/CMakeFiles/lag_app.dir/background.cc.o" "gcc" "src/app/CMakeFiles/lag_app.dir/background.cc.o.d"
+  "/root/repo/src/app/catalog.cc" "src/app/CMakeFiles/lag_app.dir/catalog.cc.o" "gcc" "src/app/CMakeFiles/lag_app.dir/catalog.cc.o.d"
+  "/root/repo/src/app/handlers.cc" "src/app/CMakeFiles/lag_app.dir/handlers.cc.o" "gcc" "src/app/CMakeFiles/lag_app.dir/handlers.cc.o.d"
+  "/root/repo/src/app/params.cc" "src/app/CMakeFiles/lag_app.dir/params.cc.o" "gcc" "src/app/CMakeFiles/lag_app.dir/params.cc.o.d"
+  "/root/repo/src/app/session_runner.cc" "src/app/CMakeFiles/lag_app.dir/session_runner.cc.o" "gcc" "src/app/CMakeFiles/lag_app.dir/session_runner.cc.o.d"
+  "/root/repo/src/app/study.cc" "src/app/CMakeFiles/lag_app.dir/study.cc.o" "gcc" "src/app/CMakeFiles/lag_app.dir/study.cc.o.d"
+  "/root/repo/src/app/user_script.cc" "src/app/CMakeFiles/lag_app.dir/user_script.cc.o" "gcc" "src/app/CMakeFiles/lag_app.dir/user_script.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/lag_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/lila/CMakeFiles/lag_lila.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lag_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

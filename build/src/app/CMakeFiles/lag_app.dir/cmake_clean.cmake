@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_app.dir/background.cc.o"
+  "CMakeFiles/lag_app.dir/background.cc.o.d"
+  "CMakeFiles/lag_app.dir/catalog.cc.o"
+  "CMakeFiles/lag_app.dir/catalog.cc.o.d"
+  "CMakeFiles/lag_app.dir/handlers.cc.o"
+  "CMakeFiles/lag_app.dir/handlers.cc.o.d"
+  "CMakeFiles/lag_app.dir/params.cc.o"
+  "CMakeFiles/lag_app.dir/params.cc.o.d"
+  "CMakeFiles/lag_app.dir/session_runner.cc.o"
+  "CMakeFiles/lag_app.dir/session_runner.cc.o.d"
+  "CMakeFiles/lag_app.dir/study.cc.o"
+  "CMakeFiles/lag_app.dir/study.cc.o.d"
+  "CMakeFiles/lag_app.dir/user_script.cc.o"
+  "CMakeFiles/lag_app.dir/user_script.cc.o.d"
+  "liblag_app.a"
+  "liblag_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/aggregate.cc" "src/core/CMakeFiles/lag_core.dir/aggregate.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/aggregate.cc.o.d"
+  "/root/repo/src/core/blame.cc" "src/core/CMakeFiles/lag_core.dir/blame.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/blame.cc.o.d"
+  "/root/repo/src/core/browser.cc" "src/core/CMakeFiles/lag_core.dir/browser.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/browser.cc.o.d"
+  "/root/repo/src/core/classify.cc" "src/core/CMakeFiles/lag_core.dir/classify.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/classify.cc.o.d"
+  "/root/repo/src/core/concurrency.cc" "src/core/CMakeFiles/lag_core.dir/concurrency.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/concurrency.cc.o.d"
+  "/root/repo/src/core/interval.cc" "src/core/CMakeFiles/lag_core.dir/interval.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/interval.cc.o.d"
+  "/root/repo/src/core/location.cc" "src/core/CMakeFiles/lag_core.dir/location.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/location.cc.o.d"
+  "/root/repo/src/core/overview.cc" "src/core/CMakeFiles/lag_core.dir/overview.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/overview.cc.o.d"
+  "/root/repo/src/core/pattern.cc" "src/core/CMakeFiles/lag_core.dir/pattern.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/pattern.cc.o.d"
+  "/root/repo/src/core/pattern_stats.cc" "src/core/CMakeFiles/lag_core.dir/pattern_stats.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/pattern_stats.cc.o.d"
+  "/root/repo/src/core/session.cc" "src/core/CMakeFiles/lag_core.dir/session.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/session.cc.o.d"
+  "/root/repo/src/core/triggers.cc" "src/core/CMakeFiles/lag_core.dir/triggers.cc.o" "gcc" "src/core/CMakeFiles/lag_core.dir/triggers.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/trace/CMakeFiles/lag_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_core.dir/aggregate.cc.o"
+  "CMakeFiles/lag_core.dir/aggregate.cc.o.d"
+  "CMakeFiles/lag_core.dir/blame.cc.o"
+  "CMakeFiles/lag_core.dir/blame.cc.o.d"
+  "CMakeFiles/lag_core.dir/browser.cc.o"
+  "CMakeFiles/lag_core.dir/browser.cc.o.d"
+  "CMakeFiles/lag_core.dir/classify.cc.o"
+  "CMakeFiles/lag_core.dir/classify.cc.o.d"
+  "CMakeFiles/lag_core.dir/concurrency.cc.o"
+  "CMakeFiles/lag_core.dir/concurrency.cc.o.d"
+  "CMakeFiles/lag_core.dir/interval.cc.o"
+  "CMakeFiles/lag_core.dir/interval.cc.o.d"
+  "CMakeFiles/lag_core.dir/location.cc.o"
+  "CMakeFiles/lag_core.dir/location.cc.o.d"
+  "CMakeFiles/lag_core.dir/overview.cc.o"
+  "CMakeFiles/lag_core.dir/overview.cc.o.d"
+  "CMakeFiles/lag_core.dir/pattern.cc.o"
+  "CMakeFiles/lag_core.dir/pattern.cc.o.d"
+  "CMakeFiles/lag_core.dir/pattern_stats.cc.o"
+  "CMakeFiles/lag_core.dir/pattern_stats.cc.o.d"
+  "CMakeFiles/lag_core.dir/session.cc.o"
+  "CMakeFiles/lag_core.dir/session.cc.o.d"
+  "CMakeFiles/lag_core.dir/triggers.cc.o"
+  "CMakeFiles/lag_core.dir/triggers.cc.o.d"
+  "liblag_core.a"
+  "liblag_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

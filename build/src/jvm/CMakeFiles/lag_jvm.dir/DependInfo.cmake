@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/jvm/activity.cc" "src/jvm/CMakeFiles/lag_jvm.dir/activity.cc.o" "gcc" "src/jvm/CMakeFiles/lag_jvm.dir/activity.cc.o.d"
+  "/root/repo/src/jvm/gui_queue.cc" "src/jvm/CMakeFiles/lag_jvm.dir/gui_queue.cc.o" "gcc" "src/jvm/CMakeFiles/lag_jvm.dir/gui_queue.cc.o.d"
+  "/root/repo/src/jvm/heap.cc" "src/jvm/CMakeFiles/lag_jvm.dir/heap.cc.o" "gcc" "src/jvm/CMakeFiles/lag_jvm.dir/heap.cc.o.d"
+  "/root/repo/src/jvm/monitor.cc" "src/jvm/CMakeFiles/lag_jvm.dir/monitor.cc.o" "gcc" "src/jvm/CMakeFiles/lag_jvm.dir/monitor.cc.o.d"
+  "/root/repo/src/jvm/thread.cc" "src/jvm/CMakeFiles/lag_jvm.dir/thread.cc.o" "gcc" "src/jvm/CMakeFiles/lag_jvm.dir/thread.cc.o.d"
+  "/root/repo/src/jvm/vm.cc" "src/jvm/CMakeFiles/lag_jvm.dir/vm.cc.o" "gcc" "src/jvm/CMakeFiles/lag_jvm.dir/vm.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/lag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_jvm.dir/activity.cc.o"
+  "CMakeFiles/lag_jvm.dir/activity.cc.o.d"
+  "CMakeFiles/lag_jvm.dir/gui_queue.cc.o"
+  "CMakeFiles/lag_jvm.dir/gui_queue.cc.o.d"
+  "CMakeFiles/lag_jvm.dir/heap.cc.o"
+  "CMakeFiles/lag_jvm.dir/heap.cc.o.d"
+  "CMakeFiles/lag_jvm.dir/monitor.cc.o"
+  "CMakeFiles/lag_jvm.dir/monitor.cc.o.d"
+  "CMakeFiles/lag_jvm.dir/thread.cc.o"
+  "CMakeFiles/lag_jvm.dir/thread.cc.o.d"
+  "CMakeFiles/lag_jvm.dir/vm.cc.o"
+  "CMakeFiles/lag_jvm.dir/vm.cc.o.d"
+  "liblag_jvm.a"
+  "liblag_jvm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_jvm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

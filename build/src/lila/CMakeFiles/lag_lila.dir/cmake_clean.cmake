@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_lila.dir/agent.cc.o"
+  "CMakeFiles/lag_lila.dir/agent.cc.o.d"
+  "liblag_lila.a"
+  "liblag_lila.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_lila.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_report.dir/table.cc.o"
+  "CMakeFiles/lag_report.dir/table.cc.o.d"
+  "liblag_report.a"
+  "liblag_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

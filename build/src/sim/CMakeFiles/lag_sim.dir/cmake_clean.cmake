@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_sim.dir/event_queue.cc.o"
+  "CMakeFiles/lag_sim.dir/event_queue.cc.o.d"
+  "liblag_sim.a"
+  "liblag_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_trace.dir/io.cc.o"
+  "CMakeFiles/lag_trace.dir/io.cc.o.d"
+  "CMakeFiles/lag_trace.dir/trace.cc.o"
+  "CMakeFiles/lag_trace.dir/trace.cc.o.d"
+  "liblag_trace.a"
+  "liblag_trace.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_trace.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_util.dir/logging.cc.o"
+  "CMakeFiles/lag_util.dir/logging.cc.o.d"
+  "CMakeFiles/lag_util.dir/random.cc.o"
+  "CMakeFiles/lag_util.dir/random.cc.o.d"
+  "CMakeFiles/lag_util.dir/stats.cc.o"
+  "CMakeFiles/lag_util.dir/stats.cc.o.d"
+  "CMakeFiles/lag_util.dir/strings.cc.o"
+  "CMakeFiles/lag_util.dir/strings.cc.o.d"
+  "liblag_util.a"
+  "liblag_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

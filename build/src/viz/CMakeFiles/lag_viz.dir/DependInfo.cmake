@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/viz/charts.cc" "src/viz/CMakeFiles/lag_viz.dir/charts.cc.o" "gcc" "src/viz/CMakeFiles/lag_viz.dir/charts.cc.o.d"
+  "/root/repo/src/viz/palette.cc" "src/viz/CMakeFiles/lag_viz.dir/palette.cc.o" "gcc" "src/viz/CMakeFiles/lag_viz.dir/palette.cc.o.d"
+  "/root/repo/src/viz/sketch.cc" "src/viz/CMakeFiles/lag_viz.dir/sketch.cc.o" "gcc" "src/viz/CMakeFiles/lag_viz.dir/sketch.cc.o.d"
+  "/root/repo/src/viz/svg.cc" "src/viz/CMakeFiles/lag_viz.dir/svg.cc.o" "gcc" "src/viz/CMakeFiles/lag_viz.dir/svg.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lag_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lag_trace.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_viz.dir/charts.cc.o"
+  "CMakeFiles/lag_viz.dir/charts.cc.o.d"
+  "CMakeFiles/lag_viz.dir/palette.cc.o"
+  "CMakeFiles/lag_viz.dir/palette.cc.o.d"
+  "CMakeFiles/lag_viz.dir/sketch.cc.o"
+  "CMakeFiles/lag_viz.dir/sketch.cc.o.d"
+  "CMakeFiles/lag_viz.dir/svg.cc.o"
+  "CMakeFiles/lag_viz.dir/svg.cc.o.d"
+  "liblag_viz.a"
+  "liblag_viz.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_viz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

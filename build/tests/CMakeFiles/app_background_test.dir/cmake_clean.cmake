@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_background_test.dir/app_background_test.cc.o"
+  "CMakeFiles/app_background_test.dir/app_background_test.cc.o.d"
+  "app_background_test"
+  "app_background_test.pdb"
+  "app_background_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_background_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/app_model_test.dir/app_model_test.cc.o"
+  "CMakeFiles/app_model_test.dir/app_model_test.cc.o.d"
+  "app_model_test"
+  "app_model_test.pdb"
+  "app_model_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/app_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_aggregate_test.dir/core_aggregate_test.cc.o"
+  "CMakeFiles/core_aggregate_test.dir/core_aggregate_test.cc.o.d"
+  "core_aggregate_test"
+  "core_aggregate_test.pdb"
+  "core_aggregate_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_aggregate_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

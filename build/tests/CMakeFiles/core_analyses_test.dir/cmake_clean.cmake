@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_analyses_test.dir/core_analyses_test.cc.o"
+  "CMakeFiles/core_analyses_test.dir/core_analyses_test.cc.o.d"
+  "core_analyses_test"
+  "core_analyses_test.pdb"
+  "core_analyses_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_analyses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_blame_test.dir/core_blame_test.cc.o"
+  "CMakeFiles/core_blame_test.dir/core_blame_test.cc.o.d"
+  "core_blame_test"
+  "core_blame_test.pdb"
+  "core_blame_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_blame_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

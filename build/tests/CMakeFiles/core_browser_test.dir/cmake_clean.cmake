@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_browser_test.dir/core_browser_test.cc.o"
+  "CMakeFiles/core_browser_test.dir/core_browser_test.cc.o.d"
+  "core_browser_test"
+  "core_browser_test.pdb"
+  "core_browser_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_browser_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_pattern_test.dir/core_pattern_test.cc.o"
+  "CMakeFiles/core_pattern_test.dir/core_pattern_test.cc.o.d"
+  "core_pattern_test"
+  "core_pattern_test.pdb"
+  "core_pattern_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_pattern_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

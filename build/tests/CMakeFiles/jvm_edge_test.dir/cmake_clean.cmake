@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvm_edge_test.dir/jvm_edge_test.cc.o"
+  "CMakeFiles/jvm_edge_test.dir/jvm_edge_test.cc.o.d"
+  "jvm_edge_test"
+  "jvm_edge_test.pdb"
+  "jvm_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvm_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

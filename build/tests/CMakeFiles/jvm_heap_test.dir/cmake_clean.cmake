@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvm_heap_test.dir/jvm_heap_test.cc.o"
+  "CMakeFiles/jvm_heap_test.dir/jvm_heap_test.cc.o.d"
+  "jvm_heap_test"
+  "jvm_heap_test.pdb"
+  "jvm_heap_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvm_heap_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvm_monitor_test.dir/jvm_monitor_test.cc.o"
+  "CMakeFiles/jvm_monitor_test.dir/jvm_monitor_test.cc.o.d"
+  "jvm_monitor_test"
+  "jvm_monitor_test.pdb"
+  "jvm_monitor_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvm_monitor_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

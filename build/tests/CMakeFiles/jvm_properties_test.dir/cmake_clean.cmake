@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvm_properties_test.dir/jvm_properties_test.cc.o"
+  "CMakeFiles/jvm_properties_test.dir/jvm_properties_test.cc.o.d"
+  "jvm_properties_test"
+  "jvm_properties_test.pdb"
+  "jvm_properties_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvm_properties_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

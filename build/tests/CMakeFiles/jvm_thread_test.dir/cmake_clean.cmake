@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvm_thread_test.dir/jvm_thread_test.cc.o"
+  "CMakeFiles/jvm_thread_test.dir/jvm_thread_test.cc.o.d"
+  "jvm_thread_test"
+  "jvm_thread_test.pdb"
+  "jvm_thread_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvm_thread_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/jvm_vm_test.dir/jvm_vm_test.cc.o"
+  "CMakeFiles/jvm_vm_test.dir/jvm_vm_test.cc.o.d"
+  "jvm_vm_test"
+  "jvm_vm_test.pdb"
+  "jvm_vm_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/jvm_vm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lila_agent_test.dir/lila_agent_test.cc.o"
+  "CMakeFiles/lila_agent_test.dir/lila_agent_test.cc.o.d"
+  "lila_agent_test"
+  "lila_agent_test.pdb"
+  "lila_agent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lila_agent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/viz_test.dir/viz_test.cc.o"
+  "CMakeFiles/viz_test.dir/viz_test.cc.o.d"
+  "viz_test"
+  "viz_test.pdb"
+  "viz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/viz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/util_random_test[1]_include.cmake")
+include("/root/repo/build/tests/util_stats_test[1]_include.cmake")
+include("/root/repo/build/tests/util_strings_test[1]_include.cmake")
+include("/root/repo/build/tests/util_hash_test[1]_include.cmake")
+include("/root/repo/build/tests/util_logging_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_event_queue_test[1]_include.cmake")
+include("/root/repo/build/tests/jvm_thread_test[1]_include.cmake")
+include("/root/repo/build/tests/jvm_monitor_test[1]_include.cmake")
+include("/root/repo/build/tests/jvm_heap_test[1]_include.cmake")
+include("/root/repo/build/tests/jvm_vm_test[1]_include.cmake")
+include("/root/repo/build/tests/jvm_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/lila_agent_test[1]_include.cmake")
+include("/root/repo/build/tests/trace_io_test[1]_include.cmake")
+include("/root/repo/build/tests/core_session_test[1]_include.cmake")
+include("/root/repo/build/tests/core_pattern_test[1]_include.cmake")
+include("/root/repo/build/tests/core_analyses_test[1]_include.cmake")
+include("/root/repo/build/tests/core_browser_test[1]_include.cmake")
+include("/root/repo/build/tests/app_model_test[1]_include.cmake")
+include("/root/repo/build/tests/viz_test[1]_include.cmake")
+include("/root/repo/build/tests/report_table_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/core_aggregate_test[1]_include.cmake")
+include("/root/repo/build/tests/app_background_test[1]_include.cmake")
+include("/root/repo/build/tests/jvm_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/core_blame_test[1]_include.cmake")
+include("/root/repo/build/tests/core_properties_test[1]_include.cmake")
