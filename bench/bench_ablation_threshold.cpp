@@ -23,12 +23,12 @@
 #include "util/strings.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lag;
     using namespace lag::bench;
 
-    app::Study study(selectStudyConfig());
+    app::Study study(selectStudyConfig(argc, argv));
     study.ensureTraces();
 
     const DurationNs thresholds[] = {msToNs(50), msToNs(100),

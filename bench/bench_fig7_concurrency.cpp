@@ -16,12 +16,12 @@
 #include "viz/charts.hh"
 
 int
-main()
+main(int argc, char **argv)
 {
     using namespace lag;
     using namespace lag::bench;
 
-    app::Study study(selectStudyConfig());
+    app::Study study(selectStudyConfig(argc, argv));
     const std::vector<AppAnalysis> apps = analyzeStudy(study);
 
     report::TextTable table;

@@ -50,9 +50,9 @@ makeChart(const char *title, const char *axis,
 } // namespace
 
 int
-main()
+main(int argc, char **argv)
 {
-    app::Study study(selectStudyConfig());
+    app::Study study(selectStudyConfig(argc, argv));
     const std::vector<AppAnalysis> apps = analyzeStudy(study);
 
     report::TextTable table;

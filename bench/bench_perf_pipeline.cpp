@@ -9,12 +9,25 @@
  * stages of our pipeline (trace decode, session build, pattern
  * mining, the full analysis suite, sketch rendering) and report
  * episodes/second for comparison.
+ *
+ * Before the microbenchmarks, main() times one full quick study
+ * end-to-end twice — once on a single worker, once on the engine's
+ * default (or `--jobs N`) worker count — and prints one JSON line
+ * comparing serial and parallel wall time. Set
+ * LAGALYZER_SKIP_SPEEDUP=1 to skip that (it simulates traces).
  */
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
 #include "app/catalog.hh"
 #include "app/session_runner.hh"
+#include "app/study.hh"
+#include "study_util.hh"
 #include "core/concurrency.hh"
 #include "core/location.hh"
 #include "core/overview.hh"
@@ -174,6 +187,63 @@ BM_SessionSimulation(benchmark::State &state)
 }
 BENCHMARK(BM_SessionSimulation)->Unit(benchmark::kMillisecond);
 
+/** One full study pass (simulate + analyze) on @p jobs workers. */
+double
+timedStudyPass(app::StudyConfig config, std::uint32_t jobs)
+{
+    std::filesystem::remove_all(config.cacheDir);
+    config.jobs = jobs;
+    app::Study study(config);
+    const auto start = std::chrono::steady_clock::now();
+    study.ensureTraces();
+    const auto analyses = bench::analyzeStudy(study);
+    benchmark::DoNotOptimize(analyses.size());
+    const std::chrono::duration<double> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+/**
+ * Serial vs parallel wall time of a full quick study, reported as
+ * one JSON line. The cache directory is private to this comparison
+ * and cleared before each pass so both sides do the same work.
+ */
+void
+reportStudySpeedup(std::uint32_t jobs)
+{
+    app::StudyConfig config = app::StudyConfig::quickStudy(5);
+    config.cacheDir = "lagalyzer-cache-perf-compare";
+    if (jobs == 0)
+        jobs = app::defaultJobs();
+
+    const double serial_s = timedStudyPass(config, 1);
+    const double parallel_s = timedStudyPass(config, jobs);
+    std::filesystem::remove_all(config.cacheDir);
+
+    std::printf("{\"bench\":\"study_speedup\","
+                "\"workload\":\"quickStudy(5)\","
+                "\"serial_s\":%.3f,\"parallel_s\":%.3f,"
+                "\"jobs\":%u,\"speedup\":%.2f}\n",
+                serial_s, parallel_s, jobs,
+                parallel_s > 0.0 ? serial_s / parallel_s : 0.0);
+    std::fflush(stdout);
+}
+
 } // namespace
 
-BENCHMARK_MAIN();
+int
+main(int argc, char **argv)
+{
+    const std::uint32_t jobs = lag::app::parseJobsOption(argc, argv);
+
+    const char *skip = std::getenv("LAGALYZER_SKIP_SPEEDUP");
+    if (skip == nullptr || skip[0] == '\0' || skip[0] == '0')
+        reportStudySpeedup(jobs);
+
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+    return 0;
+}

@@ -3,21 +3,37 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "engine/pool.hh"
+#include "engine/result_cache.hh"
+#include "engine/study_driver.hh"
 #include "util/logging.hh"
 
 namespace lag::bench
 {
 
 app::StudyConfig
-selectStudyConfig()
+selectStudyConfig(int argc, char **argv)
 {
+    app::StudyConfig config;
     const char *quick = std::getenv("LAGALYZER_QUICK");
     if (quick != nullptr && quick[0] != '\0' && quick[0] != '0') {
         inform("bench: LAGALYZER_QUICK set; using the scaled-down "
                "study");
-        return app::StudyConfig::quickStudy();
+        config = app::StudyConfig::quickStudy();
+    } else {
+        config = app::StudyConfig::paperStudy();
     }
-    return app::StudyConfig::paperStudy();
+    const char *jobs_env = std::getenv("LAGALYZER_JOBS");
+    if (jobs_env != nullptr && jobs_env[0] != '\0') {
+        config.jobs = static_cast<std::uint32_t>(
+            std::strtoul(jobs_env, nullptr, 10));
+    }
+    if (argv != nullptr) {
+        const std::uint32_t jobs = app::parseJobsOption(argc, argv);
+        if (jobs != 0)
+            config.jobs = jobs;
+    }
+    return config;
 }
 
 namespace
@@ -56,38 +72,65 @@ resampleCdf(const std::vector<std::pair<double, double>> &points)
     return grid;
 }
 
+/**
+ * Per-session analyses indexed [app][session], computed in parallel
+ * on the engine pool with the on-disk result cache consulted first.
+ * Each task writes only its own grid slot, so the grid's content is
+ * independent of scheduling.
+ */
+std::vector<std::vector<engine::SessionAnalysis>>
+analyzeSessions(app::Study &study)
+{
+    const app::StudyConfig &config = study.config();
+    const DurationNs threshold = config.perceptibleThreshold;
+    study.ensureTraces();
+    const engine::ResultCache cache(config.cacheDir,
+                                    config.fingerprint());
+
+    const std::size_t sessions = config.sessionsPerApp;
+    std::vector<std::vector<engine::SessionAnalysis>> grid(
+        config.apps.size());
+    for (auto &row : grid)
+        row.resize(sessions);
+
+    engine::ThreadPool pool(config.jobs);
+    engine::parallelFor(
+        pool, config.apps.size() * sessions, [&](std::size_t i) {
+            const std::size_t a = i / sessions;
+            const auto s = static_cast<std::uint32_t>(i % sessions);
+            const std::string &name = config.apps[a].name;
+            if (auto cached = cache.load(name, s)) {
+                grid[a][s] = std::move(*cached);
+                return;
+            }
+            const core::Session session = study.loadSession(a, s);
+            grid[a][s] = engine::analyzeSession(session, threshold);
+            cache.store(name, s, grid[a][s]);
+        });
+    return grid;
+}
+
 } // namespace
 
 std::vector<AppAnalysis>
 analyzeStudy(app::Study &study)
 {
-    const DurationNs threshold = study.config().perceptibleThreshold;
-    core::PatternMiner miner(threshold);
+    const auto grid = analyzeSessions(study);
 
+    // Deterministic serial merge in [app][session] order — the
+    // arithmetic (and thus every bit of the output) matches the
+    // historical serial path exactly.
     std::vector<AppAnalysis> results;
     for (std::size_t a = 0; a < study.config().apps.size(); ++a) {
-        app::AppSessions loaded = study.loadApp(a);
         AppAnalysis result;
-        result.name = loaded.params.name;
+        result.name = study.config().apps[a].name;
         result.cdfEpisodesAtPatternPercent.assign(101, 0.0);
 
         std::vector<core::OverviewRow> rows;
-        const auto n = static_cast<double>(loaded.sessions.size());
-        for (const core::Session &session : loaded.sessions) {
-            const core::PatternSet patterns = miner.mine(session);
-            rows.push_back(
-                core::computeOverview(session, patterns, threshold));
-
-            const auto triggers =
-                core::analyzeTriggers(session, threshold);
-            const auto location =
-                core::analyzeLocation(session, threshold);
-            const auto concurrency =
-                core::analyzeConcurrency(session, threshold);
-            const auto states =
-                core::analyzeGuiStates(session, threshold);
-            const auto occurrence = core::occurrenceShares(patterns);
-            const auto cdf = resampleCdf(core::patternCdf(patterns));
+        const auto n = static_cast<double>(grid[a].size());
+        for (const engine::SessionAnalysis &sa : grid[a]) {
+            rows.push_back(sa.overview);
+            const auto cdf = resampleCdf(sa.cdf);
 
             const auto add_shares = [&](core::TriggerShares &dst,
                                         const core::TriggerShares &src) {
@@ -97,9 +140,9 @@ analyzeStudy(app::Study &study)
                 dst.unspecified += src.unspecified / n;
                 dst.episodeCount += src.episodeCount;
             };
-            add_shares(result.triggers.all, triggers.all);
+            add_shares(result.triggers.all, sa.triggers.all);
             add_shares(result.triggers.perceptible,
-                       triggers.perceptible);
+                       sa.triggers.perceptible);
 
             const auto add_location =
                 [&](core::LocationShares &dst,
@@ -111,17 +154,18 @@ analyzeStudy(app::Study &study)
                     dst.sampleCount += src.sampleCount;
                     dst.episodeCount += src.episodeCount;
                 };
-            add_location(result.location.all, location.all);
+            add_location(result.location.all, sa.location.all);
             add_location(result.location.perceptible,
-                         location.perceptible);
+                         sa.location.perceptible);
 
             result.concurrency.meanRunnableAll +=
-                concurrency.meanRunnableAll / n;
+                sa.concurrency.meanRunnableAll / n;
             result.concurrency.meanRunnablePerceptible +=
-                concurrency.meanRunnablePerceptible / n;
-            result.concurrency.samplesAll += concurrency.samplesAll;
+                sa.concurrency.meanRunnablePerceptible / n;
+            result.concurrency.samplesAll +=
+                sa.concurrency.samplesAll;
             result.concurrency.samplesPerceptible +=
-                concurrency.samplesPerceptible;
+                sa.concurrency.samplesPerceptible;
 
             const auto add_states = [&](core::GuiStateShares &dst,
                                         const core::GuiStateShares &src) {
@@ -131,14 +175,17 @@ analyzeStudy(app::Study &study)
                 dst.runnable += src.runnable / n;
                 dst.sampleCount += src.sampleCount;
             };
-            add_states(result.states.all, states.all);
-            add_states(result.states.perceptible, states.perceptible);
+            add_states(result.states.all, sa.states.all);
+            add_states(result.states.perceptible,
+                       sa.states.perceptible);
 
-            result.occurrence.always += occurrence.always / n;
-            result.occurrence.sometimes += occurrence.sometimes / n;
-            result.occurrence.once += occurrence.once / n;
-            result.occurrence.never += occurrence.never / n;
-            result.occurrence.patternCount += occurrence.patternCount;
+            result.occurrence.always += sa.occurrence.always / n;
+            result.occurrence.sometimes +=
+                sa.occurrence.sometimes / n;
+            result.occurrence.once += sa.occurrence.once / n;
+            result.occurrence.never += sa.occurrence.never / n;
+            result.occurrence.patternCount +=
+                sa.occurrence.patternCount;
 
             for (int x = 0; x <= 100; ++x) {
                 result.cdfEpisodesAtPatternPercent

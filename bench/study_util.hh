@@ -8,6 +8,14 @@
  * LAGALYZER_QUICK=1 to run against the scaled-down study instead
  * (useful on slow machines; the shapes survive, absolute counts
  * shrink).
+ *
+ * Simulation, decoding and analysis fan out across the engine's
+ * work-stealing pool; per-session analysis results are cached on
+ * disk (engine::ResultCache), so a harness re-run after a viz-only
+ * change skips re-analysis entirely. Worker count: `--jobs N` on
+ * any harness command line, or LAGALYZER_JOBS=N in the environment
+ * (default: one per hardware thread). Results are byte-identical at
+ * any worker count.
  */
 
 #ifndef LAG_BENCH_STUDY_UTIL_HH
@@ -28,8 +36,13 @@
 namespace lag::bench
 {
 
-/** The study configuration selected by the environment. */
-app::StudyConfig selectStudyConfig();
+/**
+ * The study configuration selected by the environment and, when a
+ * harness passes its command line, by `--jobs N` (which overrides
+ * LAGALYZER_JOBS; the option is stripped from argv).
+ */
+app::StudyConfig selectStudyConfig(int argc = 0,
+                                   char **argv = nullptr);
 
 /** Everything analyses need from one app, session-averaged. */
 struct AppAnalysis

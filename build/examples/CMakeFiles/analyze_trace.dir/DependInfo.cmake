@@ -18,6 +18,7 @@ set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/report/CMakeFiles/lag_report.dir/DependInfo.cmake"
   "/root/repo/build/src/trace/CMakeFiles/lag_trace.dir/DependInfo.cmake"
   "/root/repo/build/src/viz/CMakeFiles/lag_viz.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lag_engine.dir/DependInfo.cmake"
   "/root/repo/build/src/lila/CMakeFiles/lag_lila.dir/DependInfo.cmake"
   "/root/repo/build/src/jvm/CMakeFiles/lag_jvm.dir/DependInfo.cmake"
   "/root/repo/build/src/sim/CMakeFiles/lag_sim.dir/DependInfo.cmake"

@@ -11,5 +11,6 @@ subdirs("trace")
 subdirs("lila")
 subdirs("app")
 subdirs("core")
+subdirs("engine")
 subdirs("viz")
 subdirs("report")

@@ -220,6 +220,9 @@ src/app/CMakeFiles/lag_app.dir/study.cc.o: /root/repo/src/app/study.cc \
  /usr/include/c++/12/bits/uniform_int_dist.h /usr/include/c++/12/queue \
  /usr/include/c++/12/bits/stl_queue.h /usr/include/c++/12/utility \
  /usr/include/c++/12/bits/stl_relops.h /root/repo/src/jvm/monitor.hh \
+ /usr/include/c++/12/algorithm /usr/include/c++/12/bits/ranges_algo.h \
+ /usr/include/c++/12/bits/ranges_util.h \
+ /usr/include/c++/12/pstl/glue_algorithm_defs.h \
  /usr/include/c++/12/filesystem /usr/include/c++/12/bits/fs_fwd.h \
  /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
  /usr/include/c++/12/limits /usr/include/c++/12/ctime \
@@ -239,6 +242,16 @@ src/app/CMakeFiles/lag_app.dir/study.cc.o: /root/repo/src/app/study.cc \
  /usr/include/x86_64-linux-gnu/c++/12/bits/basic_file.h \
  /usr/include/x86_64-linux-gnu/c++/12/bits/c++io.h \
  /usr/include/c++/12/bits/fstream.tcc /root/repo/src/app/catalog.hh \
+ /root/repo/src/engine/pool.hh /usr/include/c++/12/condition_variable \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/stop_token \
+ /usr/include/c++/12/atomic /usr/include/c++/12/bits/std_thread.h \
+ /usr/include/c++/12/semaphore /usr/include/c++/12/bits/semaphore_base.h \
+ /usr/include/c++/12/bits/atomic_timed_wait.h \
+ /usr/include/c++/12/bits/this_thread_sleep.h \
+ /usr/include/x86_64-linux-gnu/sys/time.h /usr/include/semaphore.h \
+ /usr/include/x86_64-linux-gnu/bits/semaphore.h /usr/include/c++/12/mutex \
+ /usr/include/c++/12/thread /root/repo/src/engine/task.hh \
+ /root/repo/src/engine/study_driver.hh /root/repo/src/engine/pool.hh \
  /root/repo/src/trace/io.hh /root/repo/src/trace/trace.hh \
  /root/repo/src/util/hash.hh /root/repo/src/util/logging.hh \
  /root/repo/src/util/strings.hh

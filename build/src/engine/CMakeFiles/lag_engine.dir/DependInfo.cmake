@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/engine/graph.cc" "src/engine/CMakeFiles/lag_engine.dir/graph.cc.o" "gcc" "src/engine/CMakeFiles/lag_engine.dir/graph.cc.o.d"
+  "/root/repo/src/engine/pool.cc" "src/engine/CMakeFiles/lag_engine.dir/pool.cc.o" "gcc" "src/engine/CMakeFiles/lag_engine.dir/pool.cc.o.d"
+  "/root/repo/src/engine/result_cache.cc" "src/engine/CMakeFiles/lag_engine.dir/result_cache.cc.o" "gcc" "src/engine/CMakeFiles/lag_engine.dir/result_cache.cc.o.d"
+  "/root/repo/src/engine/study_driver.cc" "src/engine/CMakeFiles/lag_engine.dir/study_driver.cc.o" "gcc" "src/engine/CMakeFiles/lag_engine.dir/study_driver.cc.o.d"
+  "/root/repo/src/engine/task.cc" "src/engine/CMakeFiles/lag_engine.dir/task.cc.o" "gcc" "src/engine/CMakeFiles/lag_engine.dir/task.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lag_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lag_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

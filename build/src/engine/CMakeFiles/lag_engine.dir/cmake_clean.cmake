@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lag_engine.dir/graph.cc.o"
+  "CMakeFiles/lag_engine.dir/graph.cc.o.d"
+  "CMakeFiles/lag_engine.dir/pool.cc.o"
+  "CMakeFiles/lag_engine.dir/pool.cc.o.d"
+  "CMakeFiles/lag_engine.dir/result_cache.cc.o"
+  "CMakeFiles/lag_engine.dir/result_cache.cc.o.d"
+  "CMakeFiles/lag_engine.dir/study_driver.cc.o"
+  "CMakeFiles/lag_engine.dir/study_driver.cc.o.d"
+  "CMakeFiles/lag_engine.dir/task.cc.o"
+  "CMakeFiles/lag_engine.dir/task.cc.o.d"
+  "liblag_engine.a"
+  "liblag_engine.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lag_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "liblag_engine.a"
+)

@@ -15,6 +15,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
 set(CMAKE_TARGET_LINKED_INFO_FILES
   "/root/repo/build/src/app/CMakeFiles/lag_app.dir/DependInfo.cmake"
   "/root/repo/build/src/core/CMakeFiles/lag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lag_engine.dir/DependInfo.cmake"
   "/root/repo/build/src/lila/CMakeFiles/lag_lila.dir/DependInfo.cmake"
   "/root/repo/build/src/jvm/CMakeFiles/lag_jvm.dir/DependInfo.cmake"
   "/root/repo/build/src/report/CMakeFiles/lag_report.dir/DependInfo.cmake"

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/engine_graph_test.cc" "tests/CMakeFiles/engine_graph_test.dir/engine_graph_test.cc.o" "gcc" "tests/CMakeFiles/engine_graph_test.dir/engine_graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/app/CMakeFiles/lag_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lag_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/engine/CMakeFiles/lag_engine.dir/DependInfo.cmake"
+  "/root/repo/build/src/lila/CMakeFiles/lag_lila.dir/DependInfo.cmake"
+  "/root/repo/build/src/jvm/CMakeFiles/lag_jvm.dir/DependInfo.cmake"
+  "/root/repo/build/src/report/CMakeFiles/lag_report.dir/DependInfo.cmake"
+  "/root/repo/build/src/trace/CMakeFiles/lag_trace.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/lag_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/lag_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/viz/CMakeFiles/lag_viz.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_graph_test.dir/engine_graph_test.cc.o"
+  "CMakeFiles/engine_graph_test.dir/engine_graph_test.cc.o.d"
+  "engine_graph_test"
+  "engine_graph_test.pdb"
+  "engine_graph_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_graph_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_study_test.dir/engine_study_test.cc.o"
+  "CMakeFiles/engine_study_test.dir/engine_study_test.cc.o.d"
+  "engine_study_test"
+  "engine_study_test.pdb"
+  "engine_study_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_study_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

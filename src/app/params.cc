@@ -1,6 +1,11 @@
 #include "params.hh"
 
+#include <cstdlib>
 #include <sstream>
+#include <string_view>
+
+#include "engine/pool.hh"
+#include "util/logging.hh"
 
 namespace lag::app
 {
@@ -73,6 +78,51 @@ AppParams::fingerprint() const
         out << hog.monitorId << '|';
     }
     return out.str();
+}
+
+std::uint32_t
+defaultJobs()
+{
+    return static_cast<std::uint32_t>(
+        engine::ThreadPool::defaultConcurrency());
+}
+
+namespace
+{
+
+/** Parse a decimal worker count; fatal() on junk or non-positive. */
+std::uint32_t
+parseJobsValue(std::string_view value)
+{
+    const std::string text(value);
+    char *end = nullptr;
+    const long parsed = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || parsed <= 0)
+        fatal("--jobs needs a positive integer, got '", text, "'");
+    return static_cast<std::uint32_t>(parsed);
+}
+
+} // namespace
+
+std::uint32_t
+parseJobsOption(int &argc, char **argv)
+{
+    std::uint32_t jobs = 0;
+    int out = 0;
+    for (int in = 0; in < argc; ++in) {
+        const std::string_view arg(argv[in]);
+        if (arg == "--jobs") {
+            if (in + 1 >= argc)
+                fatal("--jobs needs a value");
+            jobs = parseJobsValue(argv[++in]);
+        } else if (arg.rfind("--jobs=", 0) == 0) {
+            jobs = parseJobsValue(arg.substr(7));
+        } else {
+            argv[out++] = argv[in];
+        }
+    }
+    argc = out;
+    return jobs;
 }
 
 } // namespace lag::app

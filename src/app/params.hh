@@ -270,6 +270,19 @@ struct AppParams
     std::string fingerprint() const;
 };
 
+/** Default engine worker count: one per hardware thread. */
+std::uint32_t defaultJobs();
+
+/**
+ * Extract a `--jobs N` (or `--jobs=N`) option from a command line,
+ * compacting argv in place and decrementing @p argc for every
+ * consumed argument. Returns the requested worker count, 0 when the
+ * option is absent (meaning "use defaultJobs()"); fatal() on a
+ * malformed or non-positive value. Harness mains feed the result
+ * into StudyConfig::jobs, which plumbs it to the engine pool.
+ */
+std::uint32_t parseJobsOption(int &argc, char **argv);
+
 } // namespace lag::app
 
 #endif // LAG_APP_PARAMS_HH

@@ -1,10 +1,15 @@
 #include "study.hh"
 
+#include <algorithm>
 #include <filesystem>
 #include <fstream>
+#include <optional>
 #include <sstream>
+#include <utility>
 
 #include "catalog.hh"
+#include "engine/pool.hh"
+#include "engine/study_driver.hh"
 #include "trace/io.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
@@ -100,69 +105,172 @@ Study::cacheValid() const
 void
 Study::writeManifest() const
 {
-    std::ofstream manifest(config_.cacheDir + "/manifest",
-                           std::ios::trunc);
-    manifest << config_.fingerprint() << '\n';
+    const std::string path = config_.cacheDir + "/manifest";
+    const std::string temp = path + ".tmp";
+    {
+        std::ofstream manifest(temp, std::ios::trunc);
+        manifest << config_.fingerprint() << '\n';
+        if (!manifest) {
+            warn("study: cannot write manifest temp file '", temp,
+                 "'");
+            return;
+        }
+    }
+    // Atomic rename: a crash mid-write leaves the old manifest (or
+    // none), never a torn one, so the cache stays self-describing.
+    fs::rename(temp, path);
+}
+
+void
+Study::validateCache()
+{
+    if (validated_)
+        return;
+    fs::create_directories(config_.cacheDir);
+    if (!cacheValid()) {
+        inform("study: configuration changed; clearing trace cache "
+               "in ",
+               config_.cacheDir);
+        for (const auto &entry :
+             fs::directory_iterator(config_.cacheDir)) {
+            if (entry.path().extension() == ".lag")
+                fs::remove(entry.path());
+        }
+        // Stale analysis results are keyed by the old fingerprint
+        // and would only pile up; drop them with the traces.
+        fs::remove_all(config_.cacheDir + "/analysis");
+        writeManifest();
+    }
+    validated_ = true;
+}
+
+void
+Study::simulateMissing(
+    const std::vector<std::vector<std::uint32_t>> &missing)
+{
+    std::vector<std::size_t> items_per_shard;
+    items_per_shard.reserve(missing.size());
+    for (const auto &sessions : missing)
+        items_per_shard.push_back(sessions.size());
+
+    // Stage slots indexed [app][missing item]: each task writes its
+    // own slot, keeping the run independent of scheduling order.
+    std::vector<std::vector<trace::Trace>> pending(missing.size());
+    for (std::size_t a = 0; a < missing.size(); ++a)
+        pending[a].resize(missing[a].size());
+
+    engine::ThreadPool pool(config_.jobs);
+    engine::StudyDriver driver(std::move(items_per_shard));
+    driver.addStage("simulate", [&](std::size_t a, std::size_t i) {
+        const std::uint32_t s = missing[a][i];
+        inform("study: simulating ", config_.apps[a].name,
+               " session ", s + 1, "/", config_.sessionsPerApp,
+               " ...");
+        pending[a][i] =
+            runSession(config_.apps[a], s, config_.sessionOptions)
+                .trace;
+    });
+    driver.addStage("encode", [&](std::size_t a, std::size_t i) {
+        trace::writeTraceFileAtomic(pending[a][i],
+                                    tracePath(a, missing[a][i]));
+        pending[a][i] = trace::Trace{};
+    });
+    driver.run(pool);
 }
 
 std::vector<std::vector<std::string>>
 Study::ensureTraces()
 {
-    if (!validated_) {
-        fs::create_directories(config_.cacheDir);
-        if (!cacheValid()) {
-            inform("study: configuration changed; clearing trace cache "
-                   "in ",
-                   config_.cacheDir);
-            for (const auto &entry :
-                 fs::directory_iterator(config_.cacheDir)) {
-                if (entry.path().extension() == ".lag")
-                    fs::remove(entry.path());
-            }
-            writeManifest();
-        }
-        validated_ = true;
-    }
+    validateCache();
 
     std::vector<std::vector<std::string>> paths(config_.apps.size());
+    std::vector<std::vector<std::uint32_t>> missing(
+        config_.apps.size());
+    std::size_t missing_count = 0;
     for (std::size_t a = 0; a < config_.apps.size(); ++a) {
         for (std::uint32_t s = 0; s < config_.sessionsPerApp; ++s) {
             const std::string path = tracePath(a, s);
             if (!fs::exists(path)) {
-                inform("study: simulating ", config_.apps[a].name,
-                       " session ", s + 1, "/",
-                       config_.sessionsPerApp, " ...");
-                SessionRunResult result = runSession(
-                    config_.apps[a], s, config_.sessionOptions);
-                trace::writeTraceFile(result.trace, path);
+                missing[a].push_back(s);
+                ++missing_count;
             }
             paths[a].push_back(path);
         }
     }
+    if (missing_count > 0)
+        simulateMissing(missing);
     return paths;
+}
+
+core::Session
+Study::loadSession(std::size_t app_index,
+                   std::uint32_t session_index) const
+{
+    lag_assert(app_index < config_.apps.size(), "bad app index");
+    lag_assert(session_index < config_.sessionsPerApp,
+               "bad session index");
+    const std::string path = tracePath(app_index, session_index);
+    if (fs::exists(path)) {
+        try {
+            return core::Session::fromTrace(
+                trace::readTraceFile(path));
+        } catch (const trace::TraceError &e) {
+            warn("study: trace '", path, "' unreadable (", e.what(),
+                 "); re-simulating");
+        }
+    }
+    inform("study: simulating ", config_.apps[app_index].name,
+           " session ", session_index + 1, "/",
+           config_.sessionsPerApp, " ...");
+    SessionRunResult result = runSession(
+        config_.apps[app_index], session_index,
+        config_.sessionOptions);
+    fs::create_directories(config_.cacheDir);
+    trace::writeTraceFileAtomic(result.trace, path);
+    return core::Session::fromTrace(std::move(result.trace));
 }
 
 AppSessions
 Study::loadApp(std::size_t app_index)
 {
     lag_assert(app_index < config_.apps.size(), "bad app index");
-    const auto paths = ensureTraces();
+    ensureTraces();
     AppSessions loaded;
     loaded.params = config_.apps[app_index];
-    for (const auto &path : paths[app_index]) {
-        loaded.sessions.push_back(
-            core::Session::fromTrace(trace::readTraceFile(path)));
-    }
+    loaded.sessions.reserve(config_.sessionsPerApp);
+    for (std::uint32_t s = 0; s < config_.sessionsPerApp; ++s)
+        loaded.sessions.push_back(loadSession(app_index, s));
     return loaded;
 }
 
 std::vector<AppSessions>
 Study::loadAll()
 {
+    ensureTraces();
+
+    const std::size_t sessions = config_.sessionsPerApp;
+    const std::size_t total = config_.apps.size() * sessions;
+    std::vector<std::optional<core::Session>> staging(total);
+
+    engine::ThreadPool pool(config_.jobs);
+    engine::parallelFor(pool, total, [&](std::size_t i) {
+        staging[i] = loadSession(
+            i / sessions, static_cast<std::uint32_t>(i % sessions));
+    });
+
+    // Deterministic merge: results move into [app][session] order
+    // regardless of which worker decoded what.
     std::vector<AppSessions> all;
     all.reserve(config_.apps.size());
-    for (std::size_t a = 0; a < config_.apps.size(); ++a)
-        all.push_back(loadApp(a));
+    for (std::size_t a = 0; a < config_.apps.size(); ++a) {
+        AppSessions loaded;
+        loaded.params = config_.apps[a];
+        loaded.sessions.reserve(sessions);
+        for (std::size_t s = 0; s < sessions; ++s)
+            loaded.sessions.push_back(
+                std::move(*staging[a * sessions + s]));
+        all.push_back(std::move(loaded));
+    }
     return all;
 }
 

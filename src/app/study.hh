@@ -8,6 +8,12 @@
  * the production trace codec); all bench harnesses share the cache.
  * The cache is keyed by a fingerprint of the full configuration —
  * recalibrating any model parameter invalidates it.
+ *
+ * Simulation, encoding and decoding fan out across the engine's
+ * work-stealing pool (src/engine). Parallelism is execution-only:
+ * every session is derived from its (app, session) seed and written
+ * to its own [app][session] slot, so the study's output is
+ * byte-identical to a serial run at any worker count.
  */
 
 #ifndef LAG_APP_STUDY_HH
@@ -36,6 +42,14 @@ struct StudyConfig
 
     /** Trace cache directory. */
     std::string cacheDir = "lagalyzer-cache";
+
+    /**
+     * Engine worker threads for the simulate/encode/decode fan-out;
+     * 0 = one per hardware thread. Execution-only knob: results are
+     * byte-identical at any worker count, so this is deliberately
+     * NOT part of fingerprint().
+     */
+    std::uint32_t jobs = 0;
 
     /** The paper's full study. */
     static StudyConfig paperStudy();
@@ -67,15 +81,30 @@ class Study
 
     /**
      * Make sure every session trace exists in the cache, simulating
-     * the missing ones. Returns the trace file paths indexed
-     * [app][session].
+     * the missing ones. Missing sessions are simulated and encoded
+     * in parallel on the engine pool (config().jobs workers); the
+     * output is byte-identical to the serial path at any worker
+     * count. Returns the trace file paths indexed [app][session].
      */
     std::vector<std::vector<std::string>> ensureTraces();
+
+    /**
+     * Load one session, regenerating it when its trace file is
+     * missing, truncated or corrupted (the codec's checksum and
+     * bounds checks surface those as trace::TraceError). Safe to
+     * call concurrently for distinct (app, session) pairs.
+     */
+    core::Session loadSession(std::size_t app_index,
+                              std::uint32_t session_index) const;
 
     /** Load (and, if needed, first generate) one app's sessions. */
     AppSessions loadApp(std::size_t app_index);
 
-    /** Load every app (memory-heavy; benches prefer per-app). */
+    /**
+     * Load every app (memory-heavy; benches prefer per-app).
+     * Sessions decode in parallel on the engine pool; the result is
+     * merged deterministically by [app][session] index.
+     */
     std::vector<AppSessions> loadAll();
 
   private:
@@ -86,8 +115,15 @@ class Study
     /** True when the cache manifest matches this configuration. */
     bool cacheValid() const;
 
-    /** Write the manifest after (re)generation. */
+    /** Write the manifest (temp file + atomic rename). */
     void writeManifest() const;
+
+    /** One-time manifest check; clears a stale cache. */
+    void validateCache();
+
+    /** Simulate and encode the listed sessions on the engine. */
+    void
+    simulateMissing(const std::vector<std::vector<std::uint32_t>> &missing);
 
     StudyConfig config_;
     bool validated_ = false;

@@ -1,0 +1,134 @@
+#include "graph.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace lag::engine
+{
+
+TaskId
+TaskGraph::add(Task fn, std::vector<TaskId> deps, std::string label)
+{
+    lag_assert(!ran_, "cannot add tasks to a graph that ran");
+    lag_assert(fn != nullptr, "null task added to graph");
+    const auto index = static_cast<std::uint32_t>(nodes_.size());
+    TaskNode node;
+    node.fn = std::move(fn);
+    node.label = std::move(label);
+    for (const TaskId dep : deps) {
+        lag_assert(dep.valid() && dep.value < index,
+                   "graph dependency must name an earlier task");
+        nodes_[dep.value].dependents.push_back(index);
+        ++node.remainingDeps;
+    }
+    nodes_.push_back(std::move(node));
+    return TaskId{index};
+}
+
+TaskState
+TaskGraph::state(TaskId id) const
+{
+    lag_assert(id.valid() && id.value < nodes_.size(),
+               "bad task id");
+    return nodes_[id.value].state;
+}
+
+void
+TaskGraph::run(ThreadPool &pool)
+{
+    lag_assert(!ran_, "TaskGraph::run is one-shot");
+    ran_ = true;
+    if (nodes_.empty())
+        return;
+
+    std::vector<std::uint32_t> ready;
+    {
+        std::lock_guard lock(mutex_);
+        for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+            if (nodes_[i].remainingDeps == 0) {
+                nodes_[i].state = TaskState::Ready;
+                ready.push_back(i);
+            }
+        }
+    }
+    lag_assert(!ready.empty(), "graph has no dependency-free task");
+    for (const std::uint32_t index : ready)
+        submitNode(pool, index);
+
+    std::unique_lock lock(mutex_);
+    doneCv_.wait(lock, [&] { return settled_ == nodes_.size(); });
+    if (firstError_) {
+        std::exception_ptr error = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+void
+TaskGraph::submitNode(ThreadPool &pool, std::uint32_t index)
+{
+    pool.submit([this, &pool, index] {
+        TaskNode &node = nodes_[index];
+        {
+            std::lock_guard lock(mutex_);
+            node.state = TaskState::Running;
+        }
+        bool failed = false;
+        try {
+            node.fn();
+        } catch (...) {
+            failed = true;
+            std::lock_guard lock(mutex_);
+            if (!firstError_)
+                firstError_ = std::current_exception();
+        }
+        onNodeDone(pool, index, failed);
+    });
+}
+
+void
+TaskGraph::onNodeDone(ThreadPool &pool, std::uint32_t index,
+                      bool failed)
+{
+    std::vector<std::uint32_t> ready;
+    {
+        std::lock_guard lock(mutex_);
+        TaskNode &node = nodes_[index];
+        node.state = failed ? TaskState::Failed : TaskState::Done;
+        ++settled_;
+        if (failed) {
+            // Skip every transitive dependent; each settles once.
+            std::vector<std::uint32_t> stack(node.dependents);
+            while (!stack.empty()) {
+                const std::uint32_t d = stack.back();
+                stack.pop_back();
+                TaskNode &dep = nodes_[d];
+                if (dep.state != TaskState::Pending)
+                    continue;
+                dep.state = TaskState::Skipped;
+                ++settled_;
+                stack.insert(stack.end(), dep.dependents.begin(),
+                             dep.dependents.end());
+            }
+        } else {
+            for (const std::uint32_t d : node.dependents) {
+                TaskNode &dep = nodes_[d];
+                if (dep.state != TaskState::Pending)
+                    continue;
+                lag_assert(dep.remainingDeps > 0,
+                           "dependency countdown underflow");
+                if (--dep.remainingDeps == 0) {
+                    dep.state = TaskState::Ready;
+                    ready.push_back(d);
+                }
+            }
+        }
+        if (settled_ == nodes_.size())
+            doneCv_.notify_all();
+    }
+    for (const std::uint32_t d : ready)
+        submitNode(pool, d);
+}
+
+} // namespace lag::engine

@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Dependency-ordered task execution on top of the thread pool.
+ *
+ * A TaskGraph is a DAG of tasks built up front and executed once.
+ * Dependencies must refer to tasks already in the graph, which
+ * makes cycles unrepresentable by construction — no runtime cycle
+ * detection is needed, and a malformed graph fails loudly at add()
+ * time rather than hanging at run() time.
+ *
+ * run() submits every dependency-free task to the pool; as each
+ * task finishes it releases its dependents, so independent chains
+ * pipeline freely across workers while each chain's internal order
+ * is preserved. If a task throws, its transitive dependents are
+ * skipped, the remaining independent work still completes, and the
+ * first exception is rethrown from run().
+ */
+
+#ifndef LAG_ENGINE_GRAPH_HH
+#define LAG_ENGINE_GRAPH_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <exception>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "pool.hh"
+#include "task.hh"
+
+namespace lag::engine
+{
+
+/** A one-shot DAG of tasks. */
+class TaskGraph
+{
+  public:
+    /**
+     * Add a task that runs after every task in @p deps. All
+     * dependencies must already be in the graph (acyclic by
+     * construction).
+     */
+    TaskId add(Task fn, std::vector<TaskId> deps = {},
+               std::string label = {});
+
+    /** Number of tasks in the graph. */
+    std::size_t size() const { return nodes_.size(); }
+
+    /** State of a node (meaningful after run()). */
+    TaskState state(TaskId id) const;
+
+    /**
+     * Execute the graph on @p pool and block until every task has
+     * settled (done, failed, or skipped). Rethrows the first task
+     * exception. One-shot: a graph cannot be run twice.
+     */
+    void run(ThreadPool &pool);
+
+  private:
+    void submitNode(ThreadPool &pool, std::uint32_t index);
+    void onNodeDone(ThreadPool &pool, std::uint32_t index,
+                    bool failed);
+
+    std::vector<TaskNode> nodes_;
+    bool ran_ = false;
+
+    /** Guards node states, remainingDeps, settled_, firstError_. */
+    std::mutex mutex_;
+    std::condition_variable doneCv_;
+    std::size_t settled_ = 0;
+    std::exception_ptr firstError_;
+};
+
+} // namespace lag::engine
+
+#endif // LAG_ENGINE_GRAPH_HH

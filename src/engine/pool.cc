@@ -1,0 +1,183 @@
+#include "pool.hh"
+
+#include <utility>
+
+#include "util/logging.hh"
+
+namespace lag::engine
+{
+
+namespace
+{
+
+/** Which pool (if any) the current thread works for. */
+struct WorkerContext
+{
+    ThreadPool *pool = nullptr;
+    std::size_t index = 0;
+};
+
+thread_local WorkerContext t_worker;
+
+} // namespace
+
+std::size_t
+ThreadPool::defaultConcurrency()
+{
+    const unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : hw;
+}
+
+ThreadPool::ThreadPool(std::size_t workers)
+{
+    const std::size_t count =
+        workers == 0 ? defaultConcurrency() : workers;
+    workers_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        workers_.push_back(std::make_unique<Worker>());
+    threads_.reserve(count);
+    for (std::size_t i = 0; i < count; ++i)
+        threads_.emplace_back([this, i] { workerLoop(i); });
+}
+
+ThreadPool::~ThreadPool()
+{
+    try {
+        waitIdle();
+    } catch (const std::exception &e) {
+        warn("thread pool destroyed with a failed task: ", e.what());
+    }
+    {
+        std::lock_guard lock(injectorMutex_);
+        stop_ = true;
+        ++version_;
+    }
+    wakeCv_.notify_all();
+    for (auto &thread : threads_)
+        thread.join();
+}
+
+void
+ThreadPool::submit(Task task)
+{
+    lag_assert(task != nullptr, "null task submitted to pool");
+    {
+        std::lock_guard lock(idleMutex_);
+        ++pending_;
+    }
+    if (t_worker.pool == this) {
+        Worker &self = *workers_[t_worker.index];
+        {
+            std::lock_guard lock(self.mutex);
+            self.deque.push_back(std::move(task));
+        }
+        std::lock_guard lock(injectorMutex_);
+        ++version_;
+    } else {
+        std::lock_guard lock(injectorMutex_);
+        injector_.push_back(std::move(task));
+        ++version_;
+    }
+    wakeCv_.notify_one();
+}
+
+void
+ThreadPool::waitIdle()
+{
+    lag_assert(t_worker.pool != this,
+               "waitIdle called from a worker of the same pool");
+    std::unique_lock lock(idleMutex_);
+    idleCv_.wait(lock, [&] { return pending_ == 0; });
+    if (firstError_) {
+        std::exception_ptr error = std::exchange(firstError_, nullptr);
+        lock.unlock();
+        std::rethrow_exception(error);
+    }
+}
+
+bool
+ThreadPool::popOwn(std::size_t index, Task &task)
+{
+    Worker &self = *workers_[index];
+    std::lock_guard lock(self.mutex);
+    if (self.deque.empty())
+        return false;
+    task = std::move(self.deque.back());
+    self.deque.pop_back();
+    return true;
+}
+
+bool
+ThreadPool::popInjected(Task &task)
+{
+    std::lock_guard lock(injectorMutex_);
+    if (injector_.empty())
+        return false;
+    task = std::move(injector_.front());
+    injector_.pop_front();
+    return true;
+}
+
+bool
+ThreadPool::steal(std::size_t thief, Task &task)
+{
+    const std::size_t n = workers_.size();
+    for (std::size_t hop = 1; hop < n; ++hop) {
+        Worker &victim = *workers_[(thief + hop) % n];
+        std::lock_guard lock(victim.mutex);
+        if (!victim.deque.empty()) {
+            task = std::move(victim.deque.front());
+            victim.deque.pop_front();
+            return true;
+        }
+    }
+    return false;
+}
+
+void
+ThreadPool::workerLoop(std::size_t index)
+{
+    t_worker = WorkerContext{this, index};
+    for (;;) {
+        std::uint64_t seen;
+        {
+            std::lock_guard lock(injectorMutex_);
+            if (stop_)
+                return;
+            seen = version_;
+        }
+        Task task;
+        if (popOwn(index, task) || popInjected(task) ||
+            steal(index, task)) {
+            runTask(task);
+            continue;
+        }
+        // Sleep only if no submit happened since the scan above;
+        // every submit bumps version_ under injectorMutex_.
+        std::unique_lock lock(injectorMutex_);
+        wakeCv_.wait(lock, [&] { return stop_ || version_ != seen; });
+        if (stop_)
+            return;
+    }
+}
+
+void
+ThreadPool::runTask(Task &task)
+{
+    try {
+        task();
+    } catch (...) {
+        std::lock_guard lock(idleMutex_);
+        if (!firstError_)
+            firstError_ = std::current_exception();
+    }
+    // Destroy captures before accounting so waitIdle() returning
+    // implies all task state is gone.
+    task = nullptr;
+    std::lock_guard lock(idleMutex_);
+    lag_assert(pending_ > 0, "pool task accounting underflow");
+    if (--pending_ == 0)
+        idleCv_.notify_all();
+}
+
+} // namespace lag::engine

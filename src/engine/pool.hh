@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Work-stealing thread pool: the engine's execution substrate.
+ *
+ * Each worker owns a deque of tasks. A worker pushes and pops its
+ * own work from the back (LIFO, cache-warm); an idle worker first
+ * drains the global injector queue (external submissions), then
+ * steals from the front of a victim's deque (FIFO — the oldest,
+ * largest-granularity work migrates, the classic work-stealing
+ * discipline). Tasks may submit further tasks; the task graph
+ * depends on that to release dependents from inside workers.
+ *
+ * Every queue is mutex-guarded. The pool schedules session-sized
+ * tasks (milliseconds to seconds of simulation, decoding or
+ * analysis), so lock-free deques would buy nothing measurable while
+ * costing auditability under ThreadSanitizer; the design optimizes
+ * for provable cleanliness first.
+ *
+ * Exceptions thrown by tasks are captured; the first one is
+ * rethrown from waitIdle(). The destructor drains outstanding work,
+ * then signals shutdown and joins every worker.
+ */
+
+#ifndef LAG_ENGINE_POOL_HH
+#define LAG_ENGINE_POOL_HH
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "task.hh"
+
+namespace lag::engine
+{
+
+/** Fixed-size work-stealing pool. */
+class ThreadPool
+{
+  public:
+    /** @param workers worker-thread count; 0 = one per hardware
+     *        thread (defaultConcurrency()). */
+    explicit ThreadPool(std::size_t workers = 0);
+
+    /** Drains outstanding tasks, then shuts the workers down. */
+    ~ThreadPool();
+
+    ThreadPool(const ThreadPool &) = delete;
+    ThreadPool &operator=(const ThreadPool &) = delete;
+
+    /**
+     * Enqueue @p task. From a worker thread of this pool the task
+     * lands on that worker's own deque; from any other thread it
+     * goes through the global injector queue.
+     */
+    void submit(Task task);
+
+    /**
+     * Block until every submitted task (including tasks submitted
+     * by tasks) has finished, then rethrow the first captured task
+     * exception, if any. Must not be called from a worker of this
+     * pool (it would wait for itself).
+     */
+    void waitIdle();
+
+    /** Number of worker threads. */
+    std::size_t workerCount() const { return workers_.size(); }
+
+    /** One worker per hardware thread (at least 1). */
+    static std::size_t defaultConcurrency();
+
+  private:
+    /** One worker's state; heap-allocated for address stability. */
+    struct Worker
+    {
+        std::mutex mutex;
+        std::deque<Task> deque; ///< guarded by mutex
+    };
+
+    bool popOwn(std::size_t index, Task &task);
+    bool popInjected(Task &task);
+    bool steal(std::size_t thief, Task &task);
+    void workerLoop(std::size_t index);
+    void runTask(Task &task);
+
+    std::vector<std::unique_ptr<Worker>> workers_;
+    std::vector<std::thread> threads_;
+
+    /** Guards injector_, stop_ and version_. */
+    std::mutex injectorMutex_;
+    std::deque<Task> injector_;
+    std::condition_variable wakeCv_;
+    bool stop_ = false;
+
+    /** Bumped on every submit so a worker deciding to sleep can
+     * detect work pushed after its (empty) scan of the queues —
+     * the standard fix for the lost-wakeup race. */
+    std::uint64_t version_ = 0;
+
+    /** Guards pending_ and firstError_. */
+    std::mutex idleMutex_;
+    std::condition_variable idleCv_;
+    std::size_t pending_ = 0;
+    std::exception_ptr firstError_;
+};
+
+} // namespace lag::engine
+
+#endif // LAG_ENGINE_POOL_HH

@@ -1,0 +1,358 @@
+#include "result_cache.hh"
+
+#include <bit>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "core/pattern.hh"
+#include "trace/bytes.hh"
+#include "util/hash.hh"
+#include "util/logging.hh"
+
+namespace lag::engine
+{
+
+namespace fs = std::filesystem;
+
+SessionAnalysis
+analyzeSession(const core::Session &session,
+               DurationNs perceptible_threshold)
+{
+    const core::PatternMiner miner(perceptible_threshold);
+    const core::PatternSet patterns = miner.mine(session);
+
+    SessionAnalysis out;
+    out.overview = core::computeOverview(session, patterns,
+                                         perceptible_threshold);
+    out.triggers =
+        core::analyzeTriggers(session, perceptible_threshold);
+    out.location =
+        core::analyzeLocation(session, perceptible_threshold);
+    out.concurrency =
+        core::analyzeConcurrency(session, perceptible_threshold);
+    out.states =
+        core::analyzeGuiStates(session, perceptible_threshold);
+    out.occurrence = core::occurrenceShares(patterns);
+    out.cdf = core::patternCdf(patterns);
+    out.patternKeys.reserve(patterns.patterns.size());
+    for (const core::Pattern &pattern : patterns.patterns)
+        out.patternKeys.push_back(pattern.key);
+    out.episodeDurations.reserve(session.episodes().size());
+    for (const core::Episode &episode : session.episodes())
+        out.episodeDurations.push_back(episode.duration());
+    return out;
+}
+
+namespace
+{
+
+constexpr char kMagic[8] = {'L', 'A', 'G', 'A', 'R', 'E', 'S', '\0'};
+
+void
+putF64(trace::ByteWriter &w, double v)
+{
+    w.u64(std::bit_cast<std::uint64_t>(v));
+}
+
+double
+getF64(trace::ByteReader &r)
+{
+    return std::bit_cast<double>(r.u64());
+}
+
+void
+writeTriggerShares(trace::ByteWriter &w,
+                   const core::TriggerShares &s)
+{
+    putF64(w, s.input);
+    putF64(w, s.output);
+    putF64(w, s.async);
+    putF64(w, s.unspecified);
+    w.u64(s.episodeCount);
+}
+
+core::TriggerShares
+readTriggerShares(trace::ByteReader &r)
+{
+    core::TriggerShares s;
+    s.input = getF64(r);
+    s.output = getF64(r);
+    s.async = getF64(r);
+    s.unspecified = getF64(r);
+    s.episodeCount = static_cast<std::size_t>(r.u64());
+    return s;
+}
+
+void
+writeLocationShares(trace::ByteWriter &w,
+                    const core::LocationShares &s)
+{
+    putF64(w, s.appFraction);
+    putF64(w, s.libraryFraction);
+    w.u64(s.sampleCount);
+    putF64(w, s.gcFraction);
+    putF64(w, s.nativeFraction);
+    w.u64(s.episodeCount);
+}
+
+core::LocationShares
+readLocationShares(trace::ByteReader &r)
+{
+    core::LocationShares s;
+    s.appFraction = getF64(r);
+    s.libraryFraction = getF64(r);
+    s.sampleCount = static_cast<std::size_t>(r.u64());
+    s.gcFraction = getF64(r);
+    s.nativeFraction = getF64(r);
+    s.episodeCount = static_cast<std::size_t>(r.u64());
+    return s;
+}
+
+void
+writeGuiStateShares(trace::ByteWriter &w,
+                    const core::GuiStateShares &s)
+{
+    putF64(w, s.blocked);
+    putF64(w, s.waiting);
+    putF64(w, s.sleeping);
+    putF64(w, s.runnable);
+    w.u64(s.sampleCount);
+}
+
+core::GuiStateShares
+readGuiStateShares(trace::ByteReader &r)
+{
+    core::GuiStateShares s;
+    s.blocked = getF64(r);
+    s.waiting = getF64(r);
+    s.sleeping = getF64(r);
+    s.runnable = getF64(r);
+    s.sampleCount = static_cast<std::size_t>(r.u64());
+    return s;
+}
+
+std::string
+serializePayload(const SessionAnalysis &a)
+{
+    trace::ByteWriter w;
+
+    putF64(w, a.overview.e2eSeconds);
+    putF64(w, a.overview.inEpsPercent);
+    w.u64(a.overview.shortCount);
+    w.u64(a.overview.tracedCount);
+    w.u64(a.overview.perceptibleCount);
+    putF64(w, a.overview.longPerMin);
+    w.u64(a.overview.distinctPatterns);
+    w.u64(a.overview.coveredEpisodes);
+    putF64(w, a.overview.oneEpPercent);
+    putF64(w, a.overview.meanDescs);
+    putF64(w, a.overview.meanDepth);
+
+    writeTriggerShares(w, a.triggers.all);
+    writeTriggerShares(w, a.triggers.perceptible);
+    writeLocationShares(w, a.location.all);
+    writeLocationShares(w, a.location.perceptible);
+
+    putF64(w, a.concurrency.meanRunnableAll);
+    putF64(w, a.concurrency.meanRunnablePerceptible);
+    w.u64(a.concurrency.samplesAll);
+    w.u64(a.concurrency.samplesPerceptible);
+
+    writeGuiStateShares(w, a.states.all);
+    writeGuiStateShares(w, a.states.perceptible);
+
+    putF64(w, a.occurrence.always);
+    putF64(w, a.occurrence.sometimes);
+    putF64(w, a.occurrence.once);
+    putF64(w, a.occurrence.never);
+    w.u64(a.occurrence.patternCount);
+
+    w.u64(a.cdf.size());
+    for (const auto &[x, y] : a.cdf) {
+        putF64(w, x);
+        putF64(w, y);
+    }
+    w.u64(a.patternKeys.size());
+    for (const std::uint64_t key : a.patternKeys)
+        w.u64(key);
+    w.u64(a.episodeDurations.size());
+    for (const DurationNs duration : a.episodeDurations)
+        w.i64(duration);
+
+    return w.take();
+}
+
+SessionAnalysis
+deserializePayload(trace::ByteReader &r)
+{
+    SessionAnalysis a;
+
+    a.overview.e2eSeconds = getF64(r);
+    a.overview.inEpsPercent = getF64(r);
+    a.overview.shortCount = r.u64();
+    a.overview.tracedCount = static_cast<std::size_t>(r.u64());
+    a.overview.perceptibleCount = static_cast<std::size_t>(r.u64());
+    a.overview.longPerMin = getF64(r);
+    a.overview.distinctPatterns = static_cast<std::size_t>(r.u64());
+    a.overview.coveredEpisodes = static_cast<std::size_t>(r.u64());
+    a.overview.oneEpPercent = getF64(r);
+    a.overview.meanDescs = getF64(r);
+    a.overview.meanDepth = getF64(r);
+
+    a.triggers.all = readTriggerShares(r);
+    a.triggers.perceptible = readTriggerShares(r);
+    a.location.all = readLocationShares(r);
+    a.location.perceptible = readLocationShares(r);
+
+    a.concurrency.meanRunnableAll = getF64(r);
+    a.concurrency.meanRunnablePerceptible = getF64(r);
+    a.concurrency.samplesAll = static_cast<std::size_t>(r.u64());
+    a.concurrency.samplesPerceptible =
+        static_cast<std::size_t>(r.u64());
+
+    a.states.all = readGuiStateShares(r);
+    a.states.perceptible = readGuiStateShares(r);
+
+    a.occurrence.always = getF64(r);
+    a.occurrence.sometimes = getF64(r);
+    a.occurrence.once = getF64(r);
+    a.occurrence.never = getF64(r);
+    a.occurrence.patternCount = static_cast<std::size_t>(r.u64());
+
+    const std::uint64_t cdf_points = r.u64();
+    a.cdf.reserve(cdf_points);
+    for (std::uint64_t i = 0; i < cdf_points; ++i) {
+        const double x = getF64(r);
+        const double y = getF64(r);
+        a.cdf.emplace_back(x, y);
+    }
+    const std::uint64_t keys = r.u64();
+    a.patternKeys.reserve(keys);
+    for (std::uint64_t i = 0; i < keys; ++i)
+        a.patternKeys.push_back(r.u64());
+    const std::uint64_t episodes = r.u64();
+    a.episodeDurations.reserve(episodes);
+    for (std::uint64_t i = 0; i < episodes; ++i)
+        a.episodeDurations.push_back(r.i64());
+
+    return a;
+}
+
+} // namespace
+
+std::string
+serializeSessionAnalysis(const SessionAnalysis &analysis)
+{
+    const std::string payload = serializePayload(analysis);
+    trace::ByteWriter w;
+    for (const char c : kMagic)
+        w.u8(static_cast<std::uint8_t>(c));
+    w.u32(kAnalysisVersion);
+    Fnv1aHasher hasher;
+    hasher.addBytes(payload.data(), payload.size());
+    w.u64(hasher.digest());
+    std::string out = w.take();
+    out.append(payload);
+    return out;
+}
+
+SessionAnalysis
+deserializeSessionAnalysis(std::string_view data)
+{
+    trace::ByteReader r(data);
+    char magic[sizeof(kMagic)];
+    for (char &c : magic)
+        c = static_cast<char>(r.u8());
+    if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+        throw trace::TraceError("bad analysis-cache magic");
+    const std::uint32_t version = r.u32();
+    if (version != kAnalysisVersion) {
+        throw trace::TraceError(
+            "analysis-cache version mismatch: file has " +
+            std::to_string(version) + ", expected " +
+            std::to_string(kAnalysisVersion));
+    }
+    const std::uint64_t checksum = r.u64();
+    Fnv1aHasher hasher;
+    hasher.addBytes(data.data() + r.position(), r.remaining());
+    if (hasher.digest() != checksum)
+        throw trace::TraceError("analysis-cache checksum mismatch");
+    SessionAnalysis analysis = deserializePayload(r);
+    if (r.remaining() != 0) {
+        throw trace::TraceError(
+            "trailing garbage after analysis-cache payload");
+    }
+    return analysis;
+}
+
+ResultCache::ResultCache(std::string cache_dir,
+                         std::string study_fingerprint)
+    : dir_(std::move(cache_dir)),
+      fingerprint_(std::move(study_fingerprint))
+{
+}
+
+std::string
+ResultCache::entryPath(std::string_view app_name,
+                       std::uint32_t session_index) const
+{
+    Fnv1aHasher hasher;
+    hasher.addString(fingerprint_);
+    hasher.addValue(kAnalysisVersion);
+    hasher.addString(app_name);
+    hasher.addValue(session_index);
+    std::ostringstream hex;
+    hex << std::hex << hasher.digest();
+    return dir_ + "/analysis/" + std::string(app_name) + "_s" +
+           std::to_string(session_index) + "_" + hex.str() + ".ares";
+}
+
+std::optional<SessionAnalysis>
+ResultCache::load(std::string_view app_name,
+                  std::uint32_t session_index) const
+{
+    const std::string path = entryPath(app_name, session_index);
+    std::ifstream in(path, std::ios::binary);
+    if (!in)
+        return std::nullopt;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    if (!in && !in.eof())
+        return std::nullopt;
+    try {
+        return deserializeSessionAnalysis(buffer.str());
+    } catch (const trace::TraceError &e) {
+        warn("result cache: discarding invalid entry '", path, "': ",
+             e.what());
+        return std::nullopt;
+    }
+}
+
+void
+ResultCache::store(std::string_view app_name,
+                   std::uint32_t session_index,
+                   const SessionAnalysis &analysis) const
+{
+    fs::create_directories(dir_ + "/analysis");
+    const std::string path = entryPath(app_name, session_index);
+    const std::string temp = path + ".tmp";
+    const std::string data = serializeSessionAnalysis(analysis);
+    {
+        std::ofstream out(temp, std::ios::binary | std::ios::trunc);
+        if (!out) {
+            warn("result cache: cannot write '", temp, "'");
+            return;
+        }
+        out.write(data.data(),
+                  static_cast<std::streamsize>(data.size()));
+        if (!out) {
+            warn("result cache: short write to '", temp, "'");
+            return;
+        }
+    }
+    fs::rename(temp, path);
+}
+
+} // namespace lag::engine

@@ -1,0 +1,114 @@
+/**
+ * @file
+ * Content-addressed cache of per-session analysis artifacts.
+ *
+ * The trace cache (app::Study) already avoids re-simulating
+ * sessions; this cache extends it one level up and avoids
+ * re-*analyzing* them. One SessionAnalysis bundles everything the
+ * study harnesses consume from a session — the episode durations,
+ * the mined pattern keys, the Table III overview row, and the
+ * Figure 3–8 analysis results — so a bench re-run after a viz- or
+ * report-only change skips pattern mining and the analysis suite
+ * entirely.
+ *
+ * Entries are content-addressed: the file name is a hash of the
+ * study fingerprint, the analysis version and the session identity,
+ * so recalibrating any model parameter or changing any analysis
+ * (bump kAnalysisVersion) simply misses the cache and recomputes.
+ * Files carry a magic, a version and a payload checksum and are
+ * written via temp file + atomic rename; a truncated, corrupted or
+ * stale entry reads as a miss, never as a crash or a wrong result.
+ *
+ * Serialization is bit-exact for doubles (IEEE-754 bytes), so a
+ * cached result is byte-identical to a freshly computed one — the
+ * engine's determinism contract extends through the cache.
+ */
+
+#ifndef LAG_ENGINE_RESULT_CACHE_HH
+#define LAG_ENGINE_RESULT_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/concurrency.hh"
+#include "core/location.hh"
+#include "core/overview.hh"
+#include "core/pattern_stats.hh"
+#include "core/session.hh"
+#include "core/triggers.hh"
+#include "util/types.hh"
+
+namespace lag::engine
+{
+
+/** Bumped whenever any analysis result changes meaning or any
+ * serialized field changes, so stale entries miss. */
+constexpr std::uint32_t kAnalysisVersion = 1;
+
+/** Everything the study pipeline derives from one session. */
+struct SessionAnalysis
+{
+    core::OverviewRow overview;
+    core::TriggerAnalysisResult triggers;
+    core::LocationAnalysisResult location;
+    core::ConcurrencyResult concurrency;
+    core::ThreadStateResult states;
+    core::OccurrenceShares occurrence;
+
+    /** Raw pattern CDF points (Figure 3), as from patternCdf(). */
+    std::vector<std::pair<double, double>> cdf;
+
+    /** Mined pattern keys, most populous first. */
+    std::vector<std::uint64_t> patternKeys;
+
+    /** Episode durations in session order (the episode list). */
+    std::vector<DurationNs> episodeDurations;
+};
+
+/** Run the full per-session analysis suite. */
+SessionAnalysis analyzeSession(const core::Session &session,
+                               DurationNs perceptible_threshold);
+
+/** Serialize @p analysis (header + checksummed payload). */
+std::string
+serializeSessionAnalysis(const SessionAnalysis &analysis);
+
+/** Parse serializeSessionAnalysis output; throws trace::TraceError
+ * on any mismatch (magic, version, checksum, truncation). */
+SessionAnalysis deserializeSessionAnalysis(std::string_view data);
+
+/** On-disk cache of SessionAnalysis entries under a study's cache
+ * directory. Safe for concurrent use on distinct sessions. */
+class ResultCache
+{
+  public:
+    /** @param cache_dir the study's trace-cache directory;
+     *  @param study_fingerprint StudyConfig::fingerprint(). */
+    ResultCache(std::string cache_dir, std::string study_fingerprint);
+
+    /** Content address of one session's entry. */
+    std::string entryPath(std::string_view app_name,
+                          std::uint32_t session_index) const;
+
+    /** Load an entry; nullopt on miss or invalid file. */
+    std::optional<SessionAnalysis>
+    load(std::string_view app_name,
+         std::uint32_t session_index) const;
+
+    /** Write an entry (temp file + atomic rename). */
+    void store(std::string_view app_name,
+               std::uint32_t session_index,
+               const SessionAnalysis &analysis) const;
+
+  private:
+    std::string dir_;
+    std::string fingerprint_;
+};
+
+} // namespace lag::engine
+
+#endif // LAG_ENGINE_RESULT_CACHE_HH

@@ -1,0 +1,76 @@
+#include "study_driver.hh"
+
+#include <numeric>
+#include <utility>
+
+#include "graph.hh"
+#include "util/logging.hh"
+
+namespace lag::engine
+{
+
+StudyDriver::StudyDriver(std::size_t shards,
+                         std::size_t items_per_shard)
+    : itemsPerShard_(shards, items_per_shard)
+{
+}
+
+StudyDriver::StudyDriver(std::vector<std::size_t> items_per_shard)
+    : itemsPerShard_(std::move(items_per_shard))
+{
+}
+
+void
+StudyDriver::addStage(std::string name, StageFn fn)
+{
+    lag_assert(fn != nullptr, "null stage added to study driver");
+    stages_.push_back(Stage{std::move(name), std::move(fn)});
+}
+
+std::size_t
+StudyDriver::itemCount() const
+{
+    return std::accumulate(itemsPerShard_.begin(),
+                           itemsPerShard_.end(), std::size_t{0});
+}
+
+void
+StudyDriver::run(ThreadPool &pool)
+{
+    lag_assert(!stages_.empty(), "study driver needs a stage");
+    if (itemCount() == 0)
+        return;
+    TaskGraph graph;
+    for (std::size_t shard = 0; shard < itemsPerShard_.size();
+         ++shard) {
+        for (std::size_t item = 0; item < itemsPerShard_[shard];
+             ++item) {
+            TaskId prev;
+            for (std::size_t k = 0; k < stages_.size(); ++k) {
+                std::vector<TaskId> deps;
+                if (prev.valid())
+                    deps.push_back(prev);
+                prev = graph.add(
+                    [this, k, shard, item] {
+                        stages_[k].fn(shard, item);
+                    },
+                    std::move(deps), stages_[k].name);
+            }
+        }
+    }
+    graph.run(pool);
+}
+
+void
+parallelFor(ThreadPool &pool, std::size_t count,
+            const std::function<void(std::size_t)> &fn)
+{
+    if (count == 0)
+        return;
+    TaskGraph graph;
+    for (std::size_t i = 0; i < count; ++i)
+        graph.add([&fn, i] { fn(i); });
+    graph.run(pool);
+}
+
+} // namespace lag::engine

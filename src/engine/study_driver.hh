@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Sharded multi-stage pipeline driver for study-shaped workloads.
+ *
+ * A study is a grid of independent items (sessions) grouped into
+ * shards (applications), where every item flows through the same
+ * ordered stages — simulate → encode → decode → analyze. The driver
+ * expresses that as a TaskGraph: per-item stage chains are ordered,
+ * different items pipeline freely across the pool, and nothing else
+ * is synchronized.
+ *
+ * Determinism contract: stage functions must write only to
+ * per-(shard, item) slots the caller pre-sized. With that
+ * discipline the output is byte-identical to a serial loop at any
+ * worker count — there is no iteration-order or wall-clock
+ * dependence anywhere in the driver.
+ */
+
+#ifndef LAG_ENGINE_STUDY_DRIVER_HH
+#define LAG_ENGINE_STUDY_DRIVER_HH
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "pool.hh"
+
+namespace lag::engine
+{
+
+/** Runs a grid of items through ordered stages on a pool. */
+class StudyDriver
+{
+  public:
+    /** Stage callback: processes item @p item of shard @p shard. */
+    using StageFn =
+        std::function<void(std::size_t shard, std::size_t item)>;
+
+    /** Uniform grid: @p shards shards of @p items_per_shard items. */
+    StudyDriver(std::size_t shards, std::size_t items_per_shard);
+
+    /** Ragged grid: per-shard item counts (shards may be empty). */
+    explicit StudyDriver(std::vector<std::size_t> items_per_shard);
+
+    /** Append a stage; stages run in addition order per item. */
+    void addStage(std::string name, StageFn fn);
+
+    std::size_t stageCount() const { return stages_.size(); }
+
+    /** Total number of (shard, item) pairs. */
+    std::size_t itemCount() const;
+
+    /**
+     * Execute every stage for every item on @p pool; blocks until
+     * the whole grid settled. Rethrows the first stage exception.
+     * One-shot, like the TaskGraph underneath.
+     */
+    void run(ThreadPool &pool);
+
+  private:
+    struct Stage
+    {
+        std::string name;
+        StageFn fn;
+    };
+
+    std::vector<std::size_t> itemsPerShard_;
+    std::vector<Stage> stages_;
+};
+
+/**
+ * Run @p fn for every index in [0, count) on @p pool; blocks until
+ * done and rethrows the first exception. The caller keeps results
+ * deterministic by writing to index-addressed slots only.
+ */
+void parallelFor(ThreadPool &pool, std::size_t count,
+                 const std::function<void(std::size_t)> &fn);
+
+} // namespace lag::engine
+
+#endif // LAG_ENGINE_STUDY_DRIVER_HH

@@ -1,0 +1,20 @@
+#include "task.hh"
+
+namespace lag::engine
+{
+
+const char *
+taskStateName(TaskState state)
+{
+    switch (state) {
+      case TaskState::Pending: return "pending";
+      case TaskState::Ready:   return "ready";
+      case TaskState::Running: return "running";
+      case TaskState::Done:    return "done";
+      case TaskState::Failed:  return "failed";
+      case TaskState::Skipped: return "skipped";
+    }
+    return "?";
+}
+
+} // namespace lag::engine

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Task primitives shared by the pool and the task graph.
+ *
+ * A Task is any callable unit of work. TaskId names a node inside a
+ * TaskGraph; TaskNode is the graph's bookkeeping record for one
+ * task: its callable, its dependents (edges out), and the countdown
+ * of unmet dependencies that gates its submission to the pool.
+ */
+
+#ifndef LAG_ENGINE_TASK_HH
+#define LAG_ENGINE_TASK_HH
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+namespace lag::engine
+{
+
+/** One unit of work. */
+using Task = std::function<void()>;
+
+/** Handle of a task inside a TaskGraph. */
+struct TaskId
+{
+    static constexpr std::uint32_t kInvalid = 0xffffffffu;
+
+    std::uint32_t value = kInvalid;
+
+    bool valid() const { return value != kInvalid; }
+};
+
+/** Lifecycle of a graph node during one run. */
+enum class TaskState : std::uint8_t
+{
+    Pending, ///< waiting on dependencies
+    Ready,   ///< submitted to the pool
+    Running, ///< executing on a worker
+    Done,    ///< finished successfully
+    Failed,  ///< threw; first exception is propagated
+    Skipped, ///< not run because a dependency failed
+};
+
+/** Human-readable name of a task state. */
+const char *taskStateName(TaskState state);
+
+/** One node of a TaskGraph. */
+struct TaskNode
+{
+    Task fn;
+    std::string label;
+
+    /** Nodes that depend on this one (indices into the graph). */
+    std::vector<std::uint32_t> dependents;
+
+    /** Unmet dependencies; the node is submitted at zero. */
+    std::uint32_t remainingDeps = 0;
+
+    TaskState state = TaskState::Pending;
+};
+
+} // namespace lag::engine
+
+#endif // LAG_ENGINE_TASK_HH

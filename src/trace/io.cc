@@ -1,8 +1,10 @@
 #include "io.hh"
 
 #include <bit>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "bytes.hh"
 #include "util/hash.hh"
@@ -242,6 +244,19 @@ writeTraceFile(const Trace &trace, const std::string &path)
     out.write(data.data(), static_cast<std::streamsize>(data.size()));
     if (!out)
         throw TraceError("write to '" + path + "' failed");
+}
+
+void
+writeTraceFileAtomic(const Trace &trace, const std::string &path)
+{
+    const std::string temp = path + ".tmp";
+    writeTraceFile(trace, temp);
+    std::error_code ec;
+    std::filesystem::rename(temp, path, ec);
+    if (ec) {
+        throw TraceError("cannot rename '" + temp + "' to '" + path +
+                         "': " + ec.message());
+    }
 }
 
 Trace

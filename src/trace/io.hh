@@ -35,6 +35,14 @@ Trace deserializeTrace(std::string_view data);
 /** Write @p trace to @p path. Throws TraceError on I/O failure. */
 void writeTraceFile(const Trace &trace, const std::string &path);
 
+/**
+ * Write @p trace to @p path via a temp file and an atomic rename,
+ * so a crash or kill mid-write can never leave a truncated trace
+ * behind at @p path. Throws TraceError on I/O failure.
+ */
+void writeTraceFileAtomic(const Trace &trace,
+                          const std::string &path);
+
 /** Read a trace from @p path. Throws TraceError on any failure. */
 Trace readTraceFile(const std::string &path);
 

@@ -1,5 +1,6 @@
 #include "logging.hh"
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,7 +10,9 @@ namespace lag
 namespace
 {
 
-LogLevel g_threshold = LogLevel::Info;
+/** Atomic so engine workers can log while another thread adjusts
+ * verbosity; each message is a single locked fprintf. */
+std::atomic<LogLevel> g_threshold{LogLevel::Info};
 
 const char *
 levelName(LogLevel level)
@@ -28,13 +31,13 @@ levelName(LogLevel level)
 void
 setLogThreshold(LogLevel level)
 {
-    g_threshold = level;
+    g_threshold.store(level, std::memory_order_relaxed);
 }
 
 LogLevel
 logThreshold()
 {
-    return g_threshold;
+    return g_threshold.load(std::memory_order_relaxed);
 }
 
 namespace detail
@@ -43,7 +46,7 @@ namespace detail
 void
 emitLog(LogLevel level, const std::string &msg)
 {
-    if (static_cast<int>(level) < static_cast<int>(g_threshold))
+    if (static_cast<int>(level) < static_cast<int>(logThreshold()))
         return;
     std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
 }

@@ -1,0 +1,230 @@
+/**
+ * @file
+ * Tests for the task graph and the sharded study driver: dependency
+ * order, failure cascades, construction-time validation, and the
+ * per-item stage chains the study pipeline relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstddef>
+#include <utility>
+#include <mutex>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "engine/graph.hh"
+#include "engine/pool.hh"
+#include "engine/study_driver.hh"
+#include "util/logging.hh"
+
+namespace lag::engine
+{
+namespace
+{
+
+TEST(EngineGraph, ChainRunsInOrder)
+{
+    ThreadPool pool(4);
+    TaskGraph graph;
+    std::vector<int> order;
+    std::mutex mutex;
+    const auto record = [&](int step) {
+        std::lock_guard lock(mutex);
+        order.push_back(step);
+    };
+
+    const TaskId a = graph.add([&] { record(1); });
+    const TaskId b = graph.add([&] { record(2); }, {a});
+    const TaskId c = graph.add([&] { record(3); }, {b});
+    graph.run(pool);
+
+    EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+    EXPECT_EQ(graph.state(a), TaskState::Done);
+    EXPECT_EQ(graph.state(c), TaskState::Done);
+}
+
+TEST(EngineGraph, DiamondJoinWaitsForBothBranches)
+{
+    ThreadPool pool(4);
+    for (int round = 0; round < 25; ++round) {
+        TaskGraph graph;
+        std::atomic<int> branches{0};
+        std::atomic<int> seenAtJoin{-1};
+
+        const TaskId top = graph.add([] {});
+        const TaskId left = graph.add([&] { ++branches; }, {top});
+        const TaskId right = graph.add([&] { ++branches; }, {top});
+        graph.add([&] { seenAtJoin = branches.load(); },
+                  {left, right});
+        graph.run(pool);
+        EXPECT_EQ(seenAtJoin.load(), 2);
+    }
+}
+
+TEST(EngineGraph, IndependentChainsAllComplete)
+{
+    ThreadPool pool(3);
+    TaskGraph graph;
+    constexpr std::size_t kChains = 40;
+    std::vector<int> progress(kChains, 0);
+    for (std::size_t chain = 0; chain < kChains; ++chain) {
+        TaskId prev{};
+        for (int step = 0; step < 4; ++step) {
+            std::vector<TaskId> deps;
+            if (prev.valid())
+                deps.push_back(prev);
+            prev = graph.add(
+                [&progress, chain, step] {
+                    // In-order execution makes this race-free: only
+                    // one task of a chain runs at a time.
+                    EXPECT_EQ(progress[chain], step);
+                    progress[chain] = step + 1;
+                },
+                deps);
+        }
+    }
+    graph.run(pool);
+    for (const int p : progress)
+        EXPECT_EQ(p, 4);
+}
+
+TEST(EngineGraph, FailureSkipsTransitiveDependents)
+{
+    ThreadPool pool(2);
+    TaskGraph graph;
+    std::atomic<bool> siblingRan{false};
+    std::atomic<bool> dependentRan{false};
+
+    const TaskId bad =
+        graph.add([] { throw std::runtime_error("boom"); });
+    const TaskId child =
+        graph.add([&] { dependentRan = true; }, {bad});
+    const TaskId grandchild =
+        graph.add([&] { dependentRan = true; }, {child});
+    const TaskId sibling = graph.add([&] { siblingRan = true; });
+
+    EXPECT_THROW(graph.run(pool), std::runtime_error);
+    EXPECT_FALSE(dependentRan.load());
+    EXPECT_TRUE(siblingRan.load());
+    EXPECT_EQ(graph.state(bad), TaskState::Failed);
+    EXPECT_EQ(graph.state(child), TaskState::Skipped);
+    EXPECT_EQ(graph.state(grandchild), TaskState::Skipped);
+    EXPECT_EQ(graph.state(sibling), TaskState::Done);
+}
+
+TEST(EngineGraph, AddValidatesDependencies)
+{
+    TaskGraph graph;
+    // A dependency must name a task already in the graph.
+    EXPECT_THROW(graph.add([] {}, {TaskId{0}}), PanicError);
+    EXPECT_THROW(graph.add([] {}, {TaskId{}}), PanicError);
+    EXPECT_THROW(graph.add(nullptr), PanicError);
+}
+
+TEST(EngineGraph, EmptyGraphRuns)
+{
+    ThreadPool pool(1);
+    TaskGraph graph;
+    graph.run(pool); // no-op, must not hang
+    EXPECT_EQ(graph.size(), 0u);
+}
+
+TEST(EngineStudyDriver, StagesRunInOrderPerItem)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kShards = 3;
+    constexpr std::size_t kItems = 5;
+    StudyDriver driver(kShards, kItems);
+    EXPECT_EQ(driver.itemCount(), kShards * kItems);
+
+    int stage_of[kShards][kItems] = {};
+    driver.addStage("first", [&](std::size_t s, std::size_t i) {
+        EXPECT_EQ(stage_of[s][i], 0);
+        stage_of[s][i] = 1;
+    });
+    driver.addStage("second", [&](std::size_t s, std::size_t i) {
+        EXPECT_EQ(stage_of[s][i], 1);
+        stage_of[s][i] = 2;
+    });
+    driver.addStage("third", [&](std::size_t s, std::size_t i) {
+        EXPECT_EQ(stage_of[s][i], 2);
+        stage_of[s][i] = 3;
+    });
+    driver.run(pool);
+
+    for (std::size_t s = 0; s < kShards; ++s)
+        for (std::size_t i = 0; i < kItems; ++i)
+            EXPECT_EQ(stage_of[s][i], 3);
+}
+
+TEST(EngineStudyDriver, RaggedGridCoversEveryItem)
+{
+    ThreadPool pool(2);
+    StudyDriver driver(std::vector<std::size_t>{2, 0, 3});
+    EXPECT_EQ(driver.itemCount(), 5u);
+
+    std::mutex mutex;
+    std::vector<std::pair<std::size_t, std::size_t>> seen;
+    driver.addStage("collect", [&](std::size_t s, std::size_t i) {
+        std::lock_guard lock(mutex);
+        seen.emplace_back(s, i);
+    });
+    driver.run(pool);
+
+    std::sort(seen.begin(), seen.end());
+    const std::vector<std::pair<std::size_t, std::size_t>> expected{
+        {0, 0}, {0, 1}, {2, 0}, {2, 1}, {2, 2}};
+    EXPECT_EQ(seen, expected);
+}
+
+TEST(EngineStudyDriver, StageFailureStopsThatItemOnly)
+{
+    ThreadPool pool(2);
+    StudyDriver driver(1, 4);
+    std::atomic<int> secondStageRuns{0};
+    driver.addStage("first", [](std::size_t, std::size_t item) {
+        if (item == 2)
+            throw std::runtime_error("item 2 is bad");
+    });
+    driver.addStage("second", [&](std::size_t, std::size_t) {
+        ++secondStageRuns;
+    });
+    EXPECT_THROW(driver.run(pool), std::runtime_error);
+    EXPECT_EQ(secondStageRuns.load(), 3)
+        << "only the failed item's later stages are skipped";
+}
+
+TEST(EngineParallelFor, CoversEveryIndexExactlyOnce)
+{
+    ThreadPool pool(4);
+    constexpr std::size_t kCount = 777;
+    std::vector<int> hits(kCount, 0);
+    parallelFor(pool, kCount,
+                [&](std::size_t i) { ++hits[i]; });
+    for (const int h : hits)
+        EXPECT_EQ(h, 1);
+}
+
+TEST(EngineParallelFor, ZeroCountIsANoOp)
+{
+    ThreadPool pool(1);
+    parallelFor(pool, 0, [](std::size_t) { FAIL(); });
+}
+
+TEST(EngineParallelFor, PropagatesException)
+{
+    ThreadPool pool(2);
+    EXPECT_THROW(parallelFor(pool, 10,
+                             [](std::size_t i) {
+                                 if (i == 5)
+                                     throw std::runtime_error("bad");
+                             }),
+                 std::runtime_error);
+}
+
+} // namespace
+} // namespace lag::engine

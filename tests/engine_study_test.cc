@@ -1,0 +1,269 @@
+/**
+ * @file
+ * End-to-end tests of the parallel study pipeline: parallel output
+ * is byte-identical to serial, the result cache round-trips and
+ * rejects damage, truncated traces are regenerated, and manifest
+ * writes never leave a torn file behind.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/study.hh"
+#include "engine/result_cache.hh"
+#include "trace/io.hh"
+
+namespace lag::engine
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+std::string
+readFileBytes(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    EXPECT_TRUE(in) << "cannot open " << path;
+    std::ostringstream buffer;
+    buffer << in.rdbuf();
+    return buffer.str();
+}
+
+/** A tiny quick study (first 3 apps) with a private cache dir. */
+app::StudyConfig
+testStudy(const std::string &cache_dir, std::uint32_t jobs)
+{
+    app::StudyConfig config = app::StudyConfig::quickStudy(5);
+    config.apps.resize(3);
+    config.cacheDir = cache_dir;
+    config.jobs = jobs;
+    return config;
+}
+
+/** Scoped cache directory: clean before and after the test. */
+struct CacheDir
+{
+    std::string path;
+
+    explicit CacheDir(std::string p) : path(std::move(p))
+    {
+        fs::remove_all(path);
+    }
+
+    ~CacheDir() { fs::remove_all(path); }
+};
+
+/** A hand-built analysis with every field populated. */
+SessionAnalysis
+sampleAnalysis()
+{
+    SessionAnalysis a;
+    a.overview.tracedCount = 321;
+    a.overview.perceptibleCount = 17;
+    a.triggers.all.input = 0.25;
+    a.triggers.all.output = 0.5;
+    a.triggers.all.async = 0.125;
+    a.triggers.all.unspecified = 0.125;
+    a.triggers.all.episodeCount = 321;
+    a.triggers.perceptible.input = 0.75;
+    a.triggers.perceptible.episodeCount = 17;
+    a.location.all.appFraction = 0.4;
+    a.location.all.libraryFraction = 0.3;
+    a.location.all.gcFraction = 0.2;
+    a.location.all.nativeFraction = 0.1;
+    a.location.all.sampleCount = 9999;
+    a.concurrency.meanRunnableAll = 1.5;
+    a.concurrency.samplesAll = 4242;
+    a.states.all.blocked = 0.125;
+    a.states.all.runnable = 0.875;
+    a.states.all.sampleCount = 777;
+    a.occurrence.always = 0.3;
+    a.occurrence.sometimes = 0.4;
+    a.occurrence.once = 0.2;
+    a.occurrence.never = 0.1;
+    a.occurrence.patternCount = 55;
+    a.cdf = {{0.0, 0.0}, {0.5, 0.8}, {1.0, 1.0}};
+    a.patternKeys = {0xdeadbeefull, 42ull, 7ull};
+    a.episodeDurations = {msToNs(1), msToNs(250), usToNs(300)};
+    return a;
+}
+
+TEST(EngineStudy, ParallelOutputMatchesSerialByteForByte)
+{
+    const CacheDir serialDir("lagalyzer-cache-test-serial");
+    const CacheDir parallelDir("lagalyzer-cache-test-parallel");
+
+    app::Study serial(testStudy(serialDir.path, 1));
+    app::Study parallel(testStudy(parallelDir.path, 8));
+
+    const auto serialPaths = serial.ensureTraces();
+    const auto parallelPaths = parallel.ensureTraces();
+    ASSERT_EQ(serialPaths.size(), parallelPaths.size());
+
+    const DurationNs threshold =
+        serial.config().perceptibleThreshold;
+    for (std::size_t a = 0; a < serialPaths.size(); ++a) {
+        ASSERT_EQ(serialPaths[a].size(), parallelPaths[a].size());
+        for (std::size_t s = 0; s < serialPaths[a].size(); ++s) {
+            EXPECT_EQ(readFileBytes(serialPaths[a][s]),
+                      readFileBytes(parallelPaths[a][s]))
+                << "trace bytes diverge at app " << a << " session "
+                << s;
+        }
+    }
+
+    // The decoded sessions analyze to bit-identical results too.
+    const auto serialApps = serial.loadAll();
+    const auto parallelApps = parallel.loadAll();
+    ASSERT_EQ(serialApps.size(), parallelApps.size());
+    for (std::size_t a = 0; a < serialApps.size(); ++a) {
+        ASSERT_EQ(serialApps[a].sessions.size(),
+                  parallelApps[a].sessions.size());
+        for (std::size_t s = 0; s < serialApps[a].sessions.size();
+             ++s) {
+            EXPECT_EQ(serializeSessionAnalysis(analyzeSession(
+                          serialApps[a].sessions[s], threshold)),
+                      serializeSessionAnalysis(analyzeSession(
+                          parallelApps[a].sessions[s], threshold)))
+                << "analysis diverges at app " << a << " session "
+                << s;
+        }
+    }
+}
+
+TEST(EngineStudy, SessionAnalysisSerializationRoundTrips)
+{
+    const SessionAnalysis original = sampleAnalysis();
+    const std::string bytes = serializeSessionAnalysis(original);
+    const SessionAnalysis decoded =
+        deserializeSessionAnalysis(bytes);
+    // Bit-exact round trip: re-serialization is byte-identical.
+    EXPECT_EQ(serializeSessionAnalysis(decoded), bytes);
+    EXPECT_EQ(decoded.overview.tracedCount,
+              original.overview.tracedCount);
+    EXPECT_EQ(decoded.cdf, original.cdf);
+    EXPECT_EQ(decoded.patternKeys, original.patternKeys);
+    EXPECT_EQ(decoded.episodeDurations, original.episodeDurations);
+}
+
+TEST(EngineStudy, ResultCacheRoundTrips)
+{
+    const CacheDir dir("lagalyzer-cache-test-rescache");
+    const ResultCache cache(dir.path, "fp-1");
+
+    EXPECT_FALSE(cache.load("App", 0).has_value()) << "cold miss";
+
+    const SessionAnalysis original = sampleAnalysis();
+    cache.store("App", 0, original);
+    const auto loaded = cache.load("App", 0);
+    ASSERT_TRUE(loaded.has_value());
+    EXPECT_EQ(serializeSessionAnalysis(*loaded),
+              serializeSessionAnalysis(original));
+
+    // Other sessions and other fingerprints still miss.
+    EXPECT_FALSE(cache.load("App", 1).has_value());
+    const ResultCache other(dir.path, "fp-2");
+    EXPECT_FALSE(other.load("App", 0).has_value());
+}
+
+TEST(EngineStudy, DamagedCacheEntryReadsAsMiss)
+{
+    const CacheDir dir("lagalyzer-cache-test-damage");
+    const ResultCache cache(dir.path, "fp");
+    cache.store("App", 3, sampleAnalysis());
+    const std::string path = cache.entryPath("App", 3);
+    ASSERT_TRUE(fs::exists(path));
+
+    // Truncation: half the file.
+    const std::string bytes = readFileBytes(path);
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size() / 2));
+    }
+    EXPECT_FALSE(cache.load("App", 3).has_value());
+
+    // Corruption: flip one payload byte (checksum must catch it).
+    {
+        std::string bad = bytes;
+        bad[bad.size() - 1] =
+            static_cast<char>(bad[bad.size() - 1] ^ 0x5a);
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bad.data(),
+                  static_cast<std::streamsize>(bad.size()));
+    }
+    EXPECT_FALSE(cache.load("App", 3).has_value());
+
+    // Intact bytes restored: hit again.
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_TRUE(cache.load("App", 3).has_value());
+}
+
+TEST(EngineStudy, TruncatedTraceIsResimulated)
+{
+    const CacheDir dir("lagalyzer-cache-test-truncated");
+    app::StudyConfig config = testStudy(dir.path, 2);
+    config.apps.resize(1);
+    app::Study study(config);
+
+    const auto paths = study.ensureTraces();
+    const std::string &victim = paths[0][1];
+    const std::string original = readFileBytes(victim);
+
+    // Simulate a crash mid-write of a non-atomic writer.
+    {
+        std::ofstream out(victim,
+                          std::ios::binary | std::ios::trunc);
+        out.write(original.data(),
+                  static_cast<std::streamsize>(original.size() / 3));
+    }
+    EXPECT_THROW(trace::readTraceFile(victim), trace::TraceError);
+
+    // loadSession detects the damage and regenerates the session;
+    // the rewritten file is byte-identical to the original (the
+    // simulation is a pure function of the config and seed).
+    const core::Session session = study.loadSession(0, 1);
+    EXPECT_FALSE(session.episodes().empty());
+    EXPECT_EQ(readFileBytes(victim), original);
+}
+
+TEST(EngineStudy, ManifestRewriteLeavesNoTempFile)
+{
+    const CacheDir dir("lagalyzer-cache-test-manifest");
+    app::StudyConfig config = testStudy(dir.path, 2);
+    config.apps.resize(1);
+
+    app::Study study(config);
+    study.ensureTraces();
+    EXPECT_TRUE(fs::exists(dir.path + "/manifest"));
+    EXPECT_FALSE(fs::exists(dir.path + "/manifest.tmp"));
+
+    // A changed configuration invalidates the cache; the manifest
+    // is rewritten atomically and stale traces are cleared.
+    config.perceptibleThreshold = msToNs(200);
+    app::Study changed(config);
+    const auto paths = changed.ensureTraces();
+    EXPECT_TRUE(fs::exists(dir.path + "/manifest"));
+    EXPECT_FALSE(fs::exists(dir.path + "/manifest.tmp"));
+    EXPECT_TRUE(fs::exists(paths[0][0]));
+
+    std::ifstream manifest(dir.path + "/manifest");
+    std::string stored;
+    std::getline(manifest, stored);
+    EXPECT_EQ(stored, config.fingerprint());
+}
+
+} // namespace
+} // namespace lag::engine
