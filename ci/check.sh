@@ -1,0 +1,50 @@
+#!/usr/bin/env bash
+# CI gate: configure with every static gate on, build, run the lint
+# label, then the full tier-1 suite. Optionally sweep the sanitizer
+# matrix: `ci/check.sh --sanitize TSAN` (or ASAN / UBSAN) builds an
+# instrumented tree in build-<san> and runs the engine label under
+# it. Exits nonzero on the first failure.
+#
+# Usage:
+#   ci/check.sh                  # static analysis + lint + tier-1
+#   ci/check.sh --sanitize ASAN  # add one sanitizer leg
+#   ci/check.sh --jobs 8         # override parallelism
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+jobs="$(nproc 2>/dev/null || echo 2)"
+sanitize=""
+
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --sanitize) sanitize="$2"; shift 2 ;;
+      --jobs) jobs="$2"; shift 2 ;;
+      *) echo "ci/check.sh: unknown argument '$1'" >&2; exit 2 ;;
+    esac
+done
+
+build="$root/build-ci"
+echo "== configure (LAG_STATIC_ANALYSIS=ON LAG_WERROR=ON)"
+cmake -S "$root" -B "$build" \
+    -DLAG_STATIC_ANALYSIS=ON -DLAG_WERROR=ON >/dev/null
+
+echo "== build"
+cmake --build "$build" -j "$jobs"
+
+echo "== lint (ctest -L lint)"
+(cd "$build" && ctest -L lint --output-on-failure)
+
+echo "== tier-1 suite"
+(cd "$build" && ctest --output-on-failure -j "$jobs")
+
+if [ -n "$sanitize" ]; then
+    san_lc="$(echo "$sanitize" | tr '[:upper:]' '[:lower:]')"
+    san_build="$root/build-$san_lc"
+    echo "== sanitizer leg: $sanitize"
+    cmake -S "$root" -B "$san_build" \
+        -DLAG_SANITIZE="$sanitize" -DLAG_WERROR=ON >/dev/null
+    cmake --build "$san_build" -j "$jobs"
+    (cd "$san_build" && ctest -L engine --output-on-failure -j "$jobs")
+fi
+
+echo "== ci/check.sh: all gates passed"

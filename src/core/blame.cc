@@ -58,7 +58,9 @@ blameReport(const Session &session, const BlameOptions &options)
 
     std::vector<BlameEntry> report;
     report.reserve(tallies.size());
-    for (auto &[symbol, tally] : tallies) {
+    // Safe: the report is fully re-sorted below with a total order
+    // (samples desc, then symbol), so hash order cannot leak out.
+    for (auto &[symbol, tally] : tallies) { // lag-lint: allow(unordered-iter)
         BlameEntry entry;
         entry.symbol = symbol;
         entry.samples = tally.samples;
@@ -76,9 +78,13 @@ blameReport(const Session &session, const BlameOptions &options)
                 : std::string_view(entry.symbol).substr(0, dot));
         report.push_back(std::move(entry));
     }
+    // Total order: break sample-count ties by symbol so the report
+    // is byte-identical however the tally map hashed.
     std::stable_sort(report.begin(), report.end(),
                      [](const BlameEntry &a, const BlameEntry &b) {
-                         return a.samples > b.samples;
+                         if (a.samples != b.samples)
+                             return a.samples > b.samples;
+                         return a.symbol < b.symbol;
                      });
     if (options.limit > 0 && report.size() > options.limit)
         report.resize(options.limit);

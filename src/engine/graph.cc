@@ -12,6 +12,7 @@ TaskGraph::add(Task fn, std::vector<TaskId> deps, std::string label)
 {
     lag_assert(!ran_, "cannot add tasks to a graph that ran");
     lag_assert(fn != nullptr, "null task added to graph");
+    MutexLock lock(mutex_);
     const auto index = static_cast<std::uint32_t>(nodes_.size());
     TaskNode node;
     node.fn = std::move(fn);
@@ -26,9 +27,17 @@ TaskGraph::add(Task fn, std::vector<TaskId> deps, std::string label)
     return TaskId{index};
 }
 
+std::size_t
+TaskGraph::size() const
+{
+    MutexLock lock(mutex_);
+    return nodes_.size();
+}
+
 TaskState
 TaskGraph::state(TaskId id) const
 {
+    MutexLock lock(mutex_);
     lag_assert(id.valid() && id.value < nodes_.size(),
                "bad task id");
     return nodes_[id.value].state;
@@ -39,25 +48,28 @@ TaskGraph::run(ThreadPool &pool)
 {
     lag_assert(!ran_, "TaskGraph::run is one-shot");
     ran_ = true;
-    if (nodes_.empty())
-        return;
 
     std::vector<std::uint32_t> ready;
+    std::size_t node_count = 0;
     {
-        std::lock_guard lock(mutex_);
-        for (std::uint32_t i = 0; i < nodes_.size(); ++i) {
+        MutexLock lock(mutex_);
+        node_count = nodes_.size();
+        for (std::uint32_t i = 0; i < node_count; ++i) {
             if (nodes_[i].remainingDeps == 0) {
                 nodes_[i].state = TaskState::Ready;
                 ready.push_back(i);
             }
         }
     }
+    if (node_count == 0)
+        return;
     lag_assert(!ready.empty(), "graph has no dependency-free task");
     for (const std::uint32_t index : ready)
         submitNode(pool, index);
 
-    std::unique_lock lock(mutex_);
-    doneCv_.wait(lock, [&] { return settled_ == nodes_.size(); });
+    MutexLock lock(mutex_);
+    while (settled_ != nodes_.size())
+        doneCv_.wait(lock);
     if (firstError_) {
         std::exception_ptr error = std::exchange(firstError_, nullptr);
         lock.unlock();
@@ -69,17 +81,22 @@ void
 TaskGraph::submitNode(ThreadPool &pool, std::uint32_t index)
 {
     pool.submit([this, &pool, index] {
-        TaskNode &node = nodes_[index];
+        Task *fn = nullptr;
         {
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
+            TaskNode &node = nodes_[index];
             node.state = TaskState::Running;
+            // The callable is stable once the node is Running:
+            // nobody mutates node.fn until the graph is destroyed,
+            // and nodes_ never reallocates after run() started.
+            fn = &node.fn;
         }
         bool failed = false;
         try {
-            node.fn();
+            (*fn)();
         } catch (...) {
             failed = true;
-            std::lock_guard lock(mutex_);
+            MutexLock lock(mutex_);
             if (!firstError_)
                 firstError_ = std::current_exception();
         }
@@ -93,7 +110,7 @@ TaskGraph::onNodeDone(ThreadPool &pool, std::uint32_t index,
 {
     std::vector<std::uint32_t> ready;
     {
-        std::lock_guard lock(mutex_);
+        MutexLock lock(mutex_);
         TaskNode &node = nodes_[index];
         node.state = failed ? TaskState::Failed : TaskState::Done;
         ++settled_;

@@ -14,6 +14,10 @@
  * is preserved. If a task throws, its transitive dependents are
  * skipped, the remaining independent work still completes, and the
  * first exception is rethrown from run().
+ *
+ * All node bookkeeping is guarded by one annotated mutex
+ * (LockRank::TaskGraph, above every pool rank, so releasing
+ * dependents from inside a worker can never invert lock order).
  */
 
 #ifndef LAG_ENGINE_GRAPH_HH
@@ -22,12 +26,13 @@
 #include <condition_variable>
 #include <cstdint>
 #include <exception>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "pool.hh"
 #include "task.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
 
 namespace lag::engine
 {
@@ -45,7 +50,7 @@ class TaskGraph
                std::string label = {});
 
     /** Number of tasks in the graph. */
-    std::size_t size() const { return nodes_.size(); }
+    std::size_t size() const;
 
     /** State of a node (meaningful after run()). */
     TaskState state(TaskId id) const;
@@ -62,14 +67,17 @@ class TaskGraph
     void onNodeDone(ThreadPool &pool, std::uint32_t index,
                     bool failed);
 
-    std::vector<TaskNode> nodes_;
-    bool ran_ = false;
-
-    /** Guards node states, remainingDeps, settled_, firstError_. */
-    std::mutex mutex_;
-    std::condition_variable doneCv_;
-    std::size_t settled_ = 0;
-    std::exception_ptr firstError_;
+    /** Guards every node's mutable fields (state, remainingDeps)
+     * as well as the completion accounting. The graph *structure*
+     * (node count, edges) is fixed before run() and uncontended,
+     * but routing every access through the mutex keeps the
+     * annotation sound and costs nothing off the hot path. */
+    mutable Mutex mutex_{LockRank::TaskGraph, "task-graph"};
+    std::vector<TaskNode> nodes_ LAG_GUARDED_BY(mutex_);
+    bool ran_ = false; ///< touched only by the run() caller
+    std::condition_variable_any doneCv_;
+    std::size_t settled_ LAG_GUARDED_BY(mutex_) = 0;
+    std::exception_ptr firstError_ LAG_GUARDED_BY(mutex_);
 };
 
 } // namespace lag::engine

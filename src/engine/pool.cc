@@ -48,7 +48,7 @@ ThreadPool::~ThreadPool()
         warn("thread pool destroyed with a failed task: ", e.what());
     }
     {
-        std::lock_guard lock(injectorMutex_);
+        MutexLock lock(injectorMutex_);
         stop_ = true;
         ++version_;
     }
@@ -62,19 +62,19 @@ ThreadPool::submit(Task task)
 {
     lag_assert(task != nullptr, "null task submitted to pool");
     {
-        std::lock_guard lock(idleMutex_);
+        MutexLock lock(idleMutex_);
         ++pending_;
     }
     if (t_worker.pool == this) {
         Worker &self = *workers_[t_worker.index];
         {
-            std::lock_guard lock(self.mutex);
+            MutexLock lock(self.mutex);
             self.deque.push_back(std::move(task));
         }
-        std::lock_guard lock(injectorMutex_);
+        MutexLock lock(injectorMutex_);
         ++version_;
     } else {
-        std::lock_guard lock(injectorMutex_);
+        MutexLock lock(injectorMutex_);
         injector_.push_back(std::move(task));
         ++version_;
     }
@@ -86,8 +86,9 @@ ThreadPool::waitIdle()
 {
     lag_assert(t_worker.pool != this,
                "waitIdle called from a worker of the same pool");
-    std::unique_lock lock(idleMutex_);
-    idleCv_.wait(lock, [&] { return pending_ == 0; });
+    MutexLock lock(idleMutex_);
+    while (pending_ != 0)
+        idleCv_.wait(lock);
     if (firstError_) {
         std::exception_ptr error = std::exchange(firstError_, nullptr);
         lock.unlock();
@@ -99,7 +100,7 @@ bool
 ThreadPool::popOwn(std::size_t index, Task &task)
 {
     Worker &self = *workers_[index];
-    std::lock_guard lock(self.mutex);
+    MutexLock lock(self.mutex);
     if (self.deque.empty())
         return false;
     task = std::move(self.deque.back());
@@ -110,7 +111,7 @@ ThreadPool::popOwn(std::size_t index, Task &task)
 bool
 ThreadPool::popInjected(Task &task)
 {
-    std::lock_guard lock(injectorMutex_);
+    MutexLock lock(injectorMutex_);
     if (injector_.empty())
         return false;
     task = std::move(injector_.front());
@@ -124,7 +125,7 @@ ThreadPool::steal(std::size_t thief, Task &task)
     const std::size_t n = workers_.size();
     for (std::size_t hop = 1; hop < n; ++hop) {
         Worker &victim = *workers_[(thief + hop) % n];
-        std::lock_guard lock(victim.mutex);
+        MutexLock lock(victim.mutex);
         if (!victim.deque.empty()) {
             task = std::move(victim.deque.front());
             victim.deque.pop_front();
@@ -141,7 +142,7 @@ ThreadPool::workerLoop(std::size_t index)
     for (;;) {
         std::uint64_t seen;
         {
-            std::lock_guard lock(injectorMutex_);
+            MutexLock lock(injectorMutex_);
             if (stop_)
                 return;
             seen = version_;
@@ -154,8 +155,9 @@ ThreadPool::workerLoop(std::size_t index)
         }
         // Sleep only if no submit happened since the scan above;
         // every submit bumps version_ under injectorMutex_.
-        std::unique_lock lock(injectorMutex_);
-        wakeCv_.wait(lock, [&] { return stop_ || version_ != seen; });
+        MutexLock lock(injectorMutex_);
+        while (!stop_ && version_ == seen)
+            wakeCv_.wait(lock);
         if (stop_)
             return;
     }
@@ -167,14 +169,14 @@ ThreadPool::runTask(Task &task)
     try {
         task();
     } catch (...) {
-        std::lock_guard lock(idleMutex_);
+        MutexLock lock(idleMutex_);
         if (!firstError_)
             firstError_ = std::current_exception();
     }
     // Destroy captures before accounting so waitIdle() returning
     // implies all task state is gone.
     task = nullptr;
-    std::lock_guard lock(idleMutex_);
+    MutexLock lock(idleMutex_);
     lag_assert(pending_ > 0, "pool task accounting underflow");
     if (--pending_ == 0)
         idleCv_.notify_all();

@@ -10,11 +10,16 @@
  * discipline). Tasks may submit further tasks; the task graph
  * depends on that to release dependents from inside workers.
  *
- * Every queue is mutex-guarded. The pool schedules session-sized
+ * Every queue is guarded by an annotated lag::Mutex, so the lock
+ * discipline is machine-checked twice: clang `-Wthread-safety`
+ * verifies at compile time that every guarded member is touched
+ * under its mutex, and the runtime lock-rank checker verifies that
+ * the three pool ranks (idle > worker > injector) are only ever
+ * acquired in descending order. The pool schedules session-sized
  * tasks (milliseconds to seconds of simulation, decoding or
  * analysis), so lock-free deques would buy nothing measurable while
- * costing auditability under ThreadSanitizer; the design optimizes
- * for provable cleanliness first.
+ * costing auditability; the design optimizes for provable
+ * cleanliness first.
  *
  * Exceptions thrown by tasks are captured; the first one is
  * rethrown from waitIdle(). The destructor drains outstanding work,
@@ -30,11 +35,12 @@
 #include <deque>
 #include <exception>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
 
 #include "task.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
 
 namespace lag::engine
 {
@@ -78,8 +84,11 @@ class ThreadPool
     /** One worker's state; heap-allocated for address stability. */
     struct Worker
     {
-        std::mutex mutex;
-        std::deque<Task> deque; ///< guarded by mutex
+        /** All deques share LockRank::PoolWorker, so the rank
+         * checker proves no thread ever holds two of them (the
+         * steal loop locks victims strictly one at a time). */
+        Mutex mutex{LockRank::PoolWorker, "pool-worker-deque"};
+        std::deque<Task> deque LAG_GUARDED_BY(mutex);
     };
 
     bool popOwn(std::size_t index, Task &task);
@@ -91,22 +100,20 @@ class ThreadPool
     std::vector<std::unique_ptr<Worker>> workers_;
     std::vector<std::thread> threads_;
 
-    /** Guards injector_, stop_ and version_. */
-    std::mutex injectorMutex_;
-    std::deque<Task> injector_;
-    std::condition_variable wakeCv_;
-    bool stop_ = false;
+    Mutex injectorMutex_{LockRank::PoolInjector, "pool-injector"};
+    std::deque<Task> injector_ LAG_GUARDED_BY(injectorMutex_);
+    std::condition_variable_any wakeCv_;
+    bool stop_ LAG_GUARDED_BY(injectorMutex_) = false;
 
     /** Bumped on every submit so a worker deciding to sleep can
      * detect work pushed after its (empty) scan of the queues —
      * the standard fix for the lost-wakeup race. */
-    std::uint64_t version_ = 0;
+    std::uint64_t version_ LAG_GUARDED_BY(injectorMutex_) = 0;
 
-    /** Guards pending_ and firstError_. */
-    std::mutex idleMutex_;
-    std::condition_variable idleCv_;
-    std::size_t pending_ = 0;
-    std::exception_ptr firstError_;
+    Mutex idleMutex_{LockRank::PoolIdle, "pool-idle"};
+    std::condition_variable_any idleCv_;
+    std::size_t pending_ LAG_GUARDED_BY(idleMutex_) = 0;
+    std::exception_ptr firstError_ LAG_GUARDED_BY(idleMutex_);
 };
 
 } // namespace lag::engine

@@ -316,18 +316,37 @@ ResultCache::load(std::string_view app_name,
     const std::string path = entryPath(app_name, session_index);
     std::ifstream in(path, std::ios::binary);
     if (!in)
-        return std::nullopt;
+        return miss();
     std::ostringstream buffer;
     buffer << in.rdbuf();
     if (!in && !in.eof())
-        return std::nullopt;
+        return miss();
     try {
-        return deserializeSessionAnalysis(buffer.str());
+        SessionAnalysis analysis =
+            deserializeSessionAnalysis(buffer.str());
+        MutexLock lock(statsMutex_);
+        ++stats_.hits;
+        return analysis;
     } catch (const trace::TraceError &e) {
         warn("result cache: discarding invalid entry '", path, "': ",
              e.what());
-        return std::nullopt;
+        return miss();
     }
+}
+
+std::optional<SessionAnalysis>
+ResultCache::miss() const
+{
+    MutexLock lock(statsMutex_);
+    ++stats_.misses;
+    return std::nullopt;
+}
+
+ResultCacheStats
+ResultCache::stats() const
+{
+    MutexLock lock(statsMutex_);
+    return stats_;
 }
 
 void
@@ -353,6 +372,8 @@ ResultCache::store(std::string_view app_name,
         }
     }
     fs::rename(temp, path);
+    MutexLock lock(statsMutex_);
+    ++stats_.stores;
 }
 
 } // namespace lag::engine

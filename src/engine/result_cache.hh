@@ -40,6 +40,8 @@
 #include "core/pattern_stats.hh"
 #include "core/session.hh"
 #include "core/triggers.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
 #include "util/types.hh"
 
 namespace lag::engine
@@ -81,6 +83,14 @@ serializeSessionAnalysis(const SessionAnalysis &analysis);
  * on any mismatch (magic, version, checksum, truncation). */
 SessionAnalysis deserializeSessionAnalysis(std::string_view data);
 
+/** Hit/miss/store counters for one cache over its lifetime. */
+struct ResultCacheStats
+{
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t stores = 0;
+};
+
 /** On-disk cache of SessionAnalysis entries under a study's cache
  * directory. Safe for concurrent use on distinct sessions. */
 class ResultCache
@@ -104,9 +114,23 @@ class ResultCache
                std::uint32_t session_index,
                const SessionAnalysis &analysis) const;
 
+    /** Snapshot of the hit/miss/store counters. Counters are
+     * bumped from concurrent analysis tasks; the snapshot is only
+     * deterministic once the driving pool is idle. */
+    ResultCacheStats stats() const;
+
   private:
+    /** Count a miss and return nullopt (every load() miss path). */
+    std::optional<SessionAnalysis> miss() const;
+
     std::string dir_;
     std::string fingerprint_;
+
+    /** Guards the counters, not the files: entries are atomic on
+     * disk (temp + rename) and distinct sessions never collide. */
+    mutable Mutex statsMutex_{LockRank::ResultCache,
+                              "result-cache-stats"};
+    mutable ResultCacheStats stats_ LAG_GUARDED_BY(statsMutex_);
 };
 
 } // namespace lag::engine

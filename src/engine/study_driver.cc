@@ -34,6 +34,13 @@ StudyDriver::itemCount() const
                            itemsPerShard_.end(), std::size_t{0});
 }
 
+std::size_t
+StudyDriver::completedUnits() const
+{
+    MutexLock lock(progressMutex_);
+    return completed_;
+}
+
 void
 StudyDriver::run(ThreadPool &pool)
 {
@@ -53,6 +60,8 @@ StudyDriver::run(ThreadPool &pool)
                 prev = graph.add(
                     [this, k, shard, item] {
                         stages_[k].fn(shard, item);
+                        MutexLock lock(progressMutex_);
+                        ++completed_;
                     },
                     std::move(deps), stages_[k].name);
             }

@@ -25,6 +25,8 @@
 #include <vector>
 
 #include "pool.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
 
 namespace lag::engine
 {
@@ -58,6 +60,13 @@ class StudyDriver
      */
     void run(ThreadPool &pool);
 
+    /**
+     * Number of (stage, shard, item) units that have finished so
+     * far; itemCount() * stageCount() when run() returns. Safe to
+     * poll from another thread for progress reporting.
+     */
+    std::size_t completedUnits() const;
+
   private:
     struct Stage
     {
@@ -67,6 +76,11 @@ class StudyDriver
 
     std::vector<std::size_t> itemsPerShard_;
     std::vector<Stage> stages_;
+
+    /** Progress accounting, bumped from pool workers. */
+    mutable Mutex progressMutex_{LockRank::StudyProgress,
+                                 "study-progress"};
+    std::size_t completed_ LAG_GUARDED_BY(progressMutex_) = 0;
 };
 
 /**

@@ -82,7 +82,8 @@ LilaAgent::finishSession(TimeNs end_time)
     // Episodes still in flight are incomplete; LagAlyzer is an
     // offline tool and only sees completed requests.
     std::size_t discarded = 0;
-    for (auto &[tid, episode] : pending_) {
+    // Safe: pure count, independent of iteration order.
+    for (auto &[tid, episode] : pending_) { // lag-lint: allow(unordered-iter)
         if (episode.open)
             ++discarded;
     }
@@ -232,7 +233,10 @@ LilaAgent::onGcBegin(TimeNs time, jvm::GcKind kind)
 {
     // Attach the collection to an open episode when one exists so
     // that episode filtering sees it; otherwise record it directly.
-    for (auto &[tid, episode] : pending_) {
+    // Safe: the simulated VM stops the world for a collection, so
+    // at most one episode can be open when a GC begins — whichever
+    // entry the loop visits first is the only open one.
+    for (auto &[tid, episode] : pending_) { // lag-lint: allow(unordered-iter)
         if (!episode.open)
             continue;
         PendingNode node;
@@ -264,7 +268,8 @@ LilaAgent::onGcEnd(TimeNs time)
         trace_.events.push_back(end);
         return;
     }
-    for (auto &[tid, episode] : pending_) {
+    // Safe: mirrors onGcBegin — at most one open episode exists.
+    for (auto &[tid, episode] : pending_) { // lag-lint: allow(unordered-iter)
         if (!episode.open)
             continue;
         lag_assert(!episode.stack.empty() &&
@@ -304,7 +309,8 @@ LilaAgent::onSample(TimeNs time,
 bool
 LilaAgent::anyEpisodeOpen() const
 {
-    for (const auto &[tid, episode] : pending_) {
+    // Safe: existence check, independent of iteration order.
+    for (const auto &[tid, episode] : pending_) { // lag-lint: allow(unordered-iter)
         if (episode.open)
             return true;
     }

@@ -4,15 +4,26 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "mutex.hh"
+#include "thread_annotations.hh"
+
 namespace lag
 {
 
 namespace
 {
 
-/** Atomic so engine workers can log while another thread adjusts
- * verbosity; each message is a single locked fprintf. */
+/** Atomic so engine workers can cheaply drop filtered messages
+ * without touching the sink mutex. */
 std::atomic<LogLevel> g_threshold{LogLevel::Info};
+
+/** Leaf-rank mutex: any code may log while holding any other lock
+ * (panic paths inside the engine do exactly that). */
+Mutex g_sinkMutex{LockRank::Logging, "log-sink"};
+
+/** Output stream; nullptr means stderr. Guarded so a test
+ * redirecting the sink can never tear a concurrent worker's line. */
+std::FILE *g_sink LAG_GUARDED_BY(g_sinkMutex) = nullptr;
 
 const char *
 levelName(LogLevel level)
@@ -40,6 +51,15 @@ logThreshold()
     return g_threshold.load(std::memory_order_relaxed);
 }
 
+std::FILE *
+setLogSink(std::FILE *sink)
+{
+    MutexLock lock(g_sinkMutex);
+    std::FILE *previous = g_sink;
+    g_sink = sink;
+    return previous;
+}
+
 namespace detail
 {
 
@@ -48,7 +68,9 @@ emitLog(LogLevel level, const std::string &msg)
 {
     if (static_cast<int>(level) < static_cast<int>(logThreshold()))
         return;
-    std::fprintf(stderr, "[%s] %s\n", levelName(level), msg.c_str());
+    MutexLock lock(g_sinkMutex);
+    std::FILE *out = g_sink != nullptr ? g_sink : stderr;
+    std::fprintf(out, "[%s] %s\n", levelName(level), msg.c_str());
 }
 
 void

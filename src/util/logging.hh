@@ -11,6 +11,7 @@
 #ifndef LAG_UTIL_LOGGING_HH
 #define LAG_UTIL_LOGGING_HH
 
+#include <cstdio>
 #include <sstream>
 #include <string>
 
@@ -34,6 +35,14 @@ void setLogThreshold(LogLevel level);
 
 /** Current verbosity threshold. */
 LogLevel logThreshold();
+
+/**
+ * Redirect log output to @p sink (default stderr); pass nullptr to
+ * restore stderr. Returns the previous sink. The sink is guarded by
+ * the logging mutex, so engine workers logging concurrently never
+ * interleave with a redirect.
+ */
+std::FILE *setLogSink(std::FILE *sink);
 
 namespace detail
 {

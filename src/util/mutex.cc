@@ -1,0 +1,138 @@
+#include "mutex.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#if defined(__has_include)
+#if __has_include(<execinfo.h>)
+#include <execinfo.h>
+#define LAG_HAVE_BACKTRACE 1
+#endif
+#endif
+
+namespace lag::detail
+{
+
+namespace
+{
+
+constexpr int kMaxFrames = 32;
+constexpr int kMaxHeld = 32;
+
+/** One acquisition record: which mutex, and from where. */
+struct HeldLock
+{
+    const Mutex *mutex;
+#ifdef LAG_HAVE_BACKTRACE
+    void *frames[kMaxFrames];
+    int frameCount;
+#endif
+};
+
+/** The calling thread's currently-held locks, acquisition order. */
+struct HeldStack
+{
+    HeldLock locks[kMaxHeld];
+    int depth = 0;
+};
+
+thread_local HeldStack t_held;
+
+void
+printStack(const char *banner, void *const *frames, int count)
+{
+    std::fprintf(stderr, "%s\n", banner);
+#ifdef LAG_HAVE_BACKTRACE
+    if (count > 0)
+        backtrace_symbols_fd(frames, count, 2);
+    else
+        std::fprintf(stderr, "  (no frames captured)\n");
+#else
+    (void)frames;
+    (void)count;
+    std::fprintf(stderr, "  (backtrace unavailable on this libc)\n");
+#endif
+}
+
+[[noreturn]] void
+reportViolation(const Mutex &acquiring, const HeldLock &held)
+{
+    // Direct stderr + abort, not lag_panic: a lock-order bug is a
+    // latent deadlock, and a catchable exception could unwind past
+    // the corrupted lock state and hang later instead of here.
+    std::fprintf(stderr,
+                 "lag: lock rank violation: acquiring '%s' (rank %d) "
+                 "while holding '%s' (rank %d); acquisition order "
+                 "must be strictly descending\n",
+                 acquiring.name(), static_cast<int>(acquiring.rank()),
+                 held.mutex->name(),
+                 static_cast<int>(held.mutex->rank()));
+
+#ifdef LAG_HAVE_BACKTRACE
+    void *now[kMaxFrames];
+    const int now_count = backtrace(now, kMaxFrames);
+    printStack("--- stack acquiring the out-of-rank lock:", now,
+               now_count);
+    printStack("--- stack that acquired the held lock:", held.frames,
+               held.frameCount);
+#else
+    printStack("--- stacks unavailable:", nullptr, 0);
+#endif
+    std::abort();
+}
+
+} // namespace
+
+void
+lockRankAcquired(const Mutex &mutex)
+{
+    HeldStack &held = t_held;
+    if (held.depth > 0) {
+        const HeldLock &innermost = held.locks[held.depth - 1];
+        if (static_cast<int>(mutex.rank()) >=
+            static_cast<int>(innermost.mutex->rank()))
+            reportViolation(mutex, innermost);
+    }
+    if (held.depth >= kMaxHeld) {
+        std::fprintf(stderr,
+                     "lag: lock rank checker overflow (%d locks held "
+                     "by one thread)\n",
+                     held.depth);
+        std::abort();
+    }
+    HeldLock &slot = held.locks[held.depth];
+    slot.mutex = &mutex;
+#ifdef LAG_HAVE_BACKTRACE
+    slot.frameCount = backtrace(slot.frames, kMaxFrames);
+#endif
+    ++held.depth;
+}
+
+void
+lockRankReleased(const Mutex &mutex)
+{
+    HeldStack &held = t_held;
+    // Scan from the innermost lock out: releases are almost always
+    // LIFO, but unique-lock style code may interleave.
+    for (int i = held.depth - 1; i >= 0; --i) {
+        if (held.locks[i].mutex != &mutex)
+            continue;
+        for (int j = i; j + 1 < held.depth; ++j)
+            held.locks[j] = held.locks[j + 1];
+        --held.depth;
+        return;
+    }
+    std::fprintf(stderr,
+                 "lag: lock rank checker: released '%s' which this "
+                 "thread does not hold\n",
+                 mutex.name());
+    std::abort();
+}
+
+int
+lockRankHeldDepth()
+{
+    return t_held.depth;
+}
+
+} // namespace lag::detail

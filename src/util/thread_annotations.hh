@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Clang thread-safety-analysis annotation macros.
+ *
+ * Wraps the `-Wthread-safety` attributes so that annotated code
+ * compiles on every toolchain: under clang the macros expand to the
+ * analysis attributes and `-Wthread-safety -Werror` (enabled by the
+ * LAG_STATIC_ANALYSIS CMake option) turns lock-discipline mistakes
+ * into compile errors; under gcc they expand to nothing and the
+ * runtime lock-rank checker in mutex.hh remains the safety net.
+ *
+ * Naming follows the de-facto standard set by abseil / the clang
+ * documentation, prefixed LAG_ to keep the project's namespace:
+ *
+ *   LAG_CAPABILITY(name)      — type is a lockable capability
+ *   LAG_SCOPED_CAPABILITY     — RAII type that acquires/releases
+ *   LAG_GUARDED_BY(mu)        — data member protected by mu
+ *   LAG_PT_GUARDED_BY(mu)     — pointee protected by mu
+ *   LAG_REQUIRES(mu)          — caller must hold mu
+ *   LAG_ACQUIRE(mu)/LAG_RELEASE(mu)
+ *   LAG_TRY_ACQUIRE(ok, mu)   — conditional acquisition
+ *   LAG_EXCLUDES(mu)          — caller must NOT hold mu
+ *   LAG_ASSERT_CAPABILITY(mu) — runtime-checked "is held" assertion
+ *   LAG_RETURN_CAPABILITY(mu) — function returns a reference to mu
+ *   LAG_NO_THREAD_SAFETY_ANALYSIS — opt a function out
+ */
+
+#ifndef LAG_UTIL_THREAD_ANNOTATIONS_HH
+#define LAG_UTIL_THREAD_ANNOTATIONS_HH
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define LAG_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+
+#ifndef LAG_THREAD_ANNOTATION
+#define LAG_THREAD_ANNOTATION(x) // no-op outside clang
+#endif
+
+#define LAG_CAPABILITY(name) LAG_THREAD_ANNOTATION(capability(name))
+
+#define LAG_SCOPED_CAPABILITY LAG_THREAD_ANNOTATION(scoped_lockable)
+
+#define LAG_GUARDED_BY(mu) LAG_THREAD_ANNOTATION(guarded_by(mu))
+
+#define LAG_PT_GUARDED_BY(mu) LAG_THREAD_ANNOTATION(pt_guarded_by(mu))
+
+#define LAG_REQUIRES(...)                                                 \
+    LAG_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+
+#define LAG_ACQUIRE(...)                                                  \
+    LAG_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+
+#define LAG_RELEASE(...)                                                  \
+    LAG_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+
+#define LAG_TRY_ACQUIRE(...)                                              \
+    LAG_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+
+#define LAG_EXCLUDES(...)                                                 \
+    LAG_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+
+#define LAG_ASSERT_CAPABILITY(mu)                                         \
+    LAG_THREAD_ANNOTATION(assert_capability(mu))
+
+#define LAG_RETURN_CAPABILITY(mu)                                         \
+    LAG_THREAD_ANNOTATION(lock_returned(mu))
+
+#define LAG_NO_THREAD_SAFETY_ANALYSIS                                     \
+    LAG_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+#endif // LAG_UTIL_THREAD_ANNOTATIONS_HH

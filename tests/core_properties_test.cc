@@ -139,8 +139,9 @@ TEST_P(AppPipelineProperties, BlameSharesBounded)
         ASSERT_LE(entry.notRunnableSamples, entry.samples);
         total_share += entry.share;
     }
-    if (!report.empty())
+    if (!report.empty()) {
         EXPECT_NEAR(total_share, 1.0, 1e-9);
+    }
 }
 
 TEST_P(AppPipelineProperties, GcCopiesOnEveryThread)
@@ -173,8 +174,8 @@ INSTANTIATE_TEST_SUITE_P(
                       "GanttProject", "JEdit", "JFreeChart",
                       "JHotDraw", "Jmol", "Laoe", "NetBeans",
                       "SwingSet"),
-    [](const ::testing::TestParamInfo<const char *> &info) {
-        return std::string(info.param);
+    [](const ::testing::TestParamInfo<const char *> &param_info) {
+        return std::string(param_info.param);
     });
 
 } // namespace

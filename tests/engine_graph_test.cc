@@ -11,7 +11,6 @@
 #include <atomic>
 #include <cstddef>
 #include <utility>
-#include <mutex>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -20,6 +19,7 @@
 #include "engine/pool.hh"
 #include "engine/study_driver.hh"
 #include "util/logging.hh"
+#include "util/mutex.hh"
 
 namespace lag::engine
 {
@@ -31,9 +31,9 @@ TEST(EngineGraph, ChainRunsInOrder)
     ThreadPool pool(4);
     TaskGraph graph;
     std::vector<int> order;
-    std::mutex mutex;
+    Mutex mutex(LockRank::Client, "test-order");
     const auto record = [&](int step) {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         order.push_back(step);
     };
 
@@ -167,10 +167,10 @@ TEST(EngineStudyDriver, RaggedGridCoversEveryItem)
     StudyDriver driver(std::vector<std::size_t>{2, 0, 3});
     EXPECT_EQ(driver.itemCount(), 5u);
 
-    std::mutex mutex;
+    Mutex mutex(LockRank::Client, "test-seen");
     std::vector<std::pair<std::size_t, std::size_t>> seen;
     driver.addStage("collect", [&](std::size_t s, std::size_t i) {
-        std::lock_guard lock(mutex);
+        MutexLock lock(mutex);
         seen.emplace_back(s, i);
     });
     driver.run(pool);

@@ -164,8 +164,9 @@ TEST_P(VmPropertyTest, SamplesNeverInsideCollections)
             in_gc = true;
         else if (record.kind == HookRecord::Kind::GcEnd)
             in_gc = false;
-        else if (record.kind == HookRecord::Kind::Sample)
+        else if (record.kind == HookRecord::Kind::Sample) {
             ASSERT_FALSE(in_gc) << "sample during a collection";
+        }
     }
 }
 

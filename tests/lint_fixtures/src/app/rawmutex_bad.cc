@@ -1,0 +1,4 @@
+// Fixture: seeded `raw-mutex` violation (line 4).
+#include <mutex>
+
+static std::mutex g_bad;

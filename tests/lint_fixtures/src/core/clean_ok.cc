@@ -1,0 +1,11 @@
+// Fixture: violation-free file; lag_lint must exit 0.
+#include <map>
+#include <string>
+
+static int sum(const std::map<std::string, int> &tallies)
+{
+    int total = 0;
+    for (const auto &entry : tallies)
+        total += entry.second;
+    return total;
+}

@@ -1,0 +1,14 @@
+// Fixture: the same seeded violations, each silenced with a
+// per-line suppression — lag_lint must exit 0 on this file.
+#include <string>
+#include <unordered_map>
+
+static int sum()
+{
+    std::unordered_map<std::string, int> tallies;
+    int total = 0;
+    for (const auto &entry : tallies) // lag-lint: allow(unordered-iter)
+        total += entry.second;
+    total += *(new int(1)); // lag-lint: allow(naked-new)
+    return total;
+}

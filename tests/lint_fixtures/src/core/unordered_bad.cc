@@ -1,0 +1,12 @@
+// Fixture: seeded `unordered-iter` violation (line 9).
+#include <string>
+#include <unordered_map>
+
+static int sum()
+{
+    std::unordered_map<std::string, int> tallies;
+    int total = 0;
+    for (const auto &entry : tallies)
+        total += entry.second;
+    return total;
+}

@@ -1,0 +1,11 @@
+// Fixture: seeded `naked-new` violations (lines 4 and 8). "new" in
+// this comment and in the string below must not fire; the deleted
+// assignment operator must not fire either.
+static int *leak() { return new int(7); }
+
+struct NoCopy
+{
+    void release(int *p) { delete p; }
+    NoCopy &operator=(const NoCopy &) = delete; // fine
+    const char *label = "brand new";
+};

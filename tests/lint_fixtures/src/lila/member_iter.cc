@@ -1,0 +1,12 @@
+// Fixture: … and iterated here, in the paired .cc (line 9). The
+// cross-file lookup must still fire `unordered-iter`.
+#include "member_iter.hh"
+
+int
+Recorder::drain()
+{
+    int total = 0;
+    for (const auto &entry : pending_)
+        total += entry.second;
+    return total;
+}

@@ -1,0 +1,9 @@
+// Fixture: the hash container is declared here, in the header …
+#include <cstdint>
+#include <unordered_map>
+
+struct Recorder
+{
+    int drain();
+    std::unordered_map<std::uint64_t, int> pending_;
+};

@@ -1,0 +1,8 @@
+// Fixture: seeded `wallclock` violation (line 6). The string and
+// comment mentions of system_clock below must NOT fire.
+// std::chrono::system_clock::now() in a comment is fine.
+#include <chrono>
+
+static auto bad() { return std::chrono::system_clock::now(); }
+
+static const char *ok = "system_clock in a string is fine";

@@ -1,0 +1,7 @@
+// Fixture: seeded `float-hash` violation (line 6). Lives at the
+// exact relative path the rule scopes to (src/util/hash.hh under
+// the fixture root).
+struct BadHasher
+{
+    double acc = 0.0;
+};

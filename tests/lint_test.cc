@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Proves every lag-lint rule live: each fixture under
+ * tests/lint_fixtures/ seeds one violation, and the test asserts
+ * the exact diagnostic (rule tag, file, line) plus the exit-status
+ * contract, the per-line suppression syntax, and the cross-file
+ * (paired .hh) declaration lookup.
+ *
+ * The binary path and fixture root come in as compile definitions
+ * from tests/CMakeLists.txt, so the test is independent of the
+ * working directory ctest chooses.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <string>
+
+namespace
+{
+
+struct LintRun
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+/** Run lag_lint rooted at the fixture tree on @p path. */
+LintRun
+runLint(const std::string &args)
+{
+    const std::string command = std::string(LAG_LINT_BIN) + " " +
+                                args + " 2>&1";
+    LintRun run;
+    std::FILE *pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return run;
+    std::array<char, 4096> chunk{};
+    std::size_t got = 0;
+    while ((got = fread(chunk.data(), 1, chunk.size(), pipe)) > 0)
+        run.output.append(chunk.data(), got);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        run.exitCode = WEXITSTATUS(status);
+    return run;
+}
+
+LintRun
+lintFixture(const std::string &rel)
+{
+    return runLint("--root " + std::string(LAG_LINT_FIXTURES) + " " +
+                   rel);
+}
+
+TEST(LagLint, WallclockRuleFires)
+{
+    const LintRun run = lintFixture("src/sim/wallclock_bad.cc");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[wallclock]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/sim/wallclock_bad.cc:6:"),
+              std::string::npos)
+        << run.output;
+    // The comment/string mentions must not produce extra findings.
+    EXPECT_NE(run.output.find("1 finding(s)"), std::string::npos)
+        << run.output;
+}
+
+TEST(LagLint, UnorderedIterRuleFires)
+{
+    const LintRun run = lintFixture("src/core/unordered_bad.cc");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[unordered-iter]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/core/unordered_bad.cc:9:"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagLint, UnorderedIterSeesPairedHeaderDecls)
+{
+    const LintRun run = lintFixture("src/lila/member_iter.cc");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[unordered-iter]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/lila/member_iter.cc:9:"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagLint, RawMutexRuleFires)
+{
+    const LintRun run = lintFixture("src/app/rawmutex_bad.cc");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[raw-mutex]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/app/rawmutex_bad.cc:4:"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagLint, NakedNewRuleFires)
+{
+    const LintRun run = lintFixture("src/engine/nakednew_bad.cc");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[naked-new]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/engine/nakednew_bad.cc:4:"),
+              std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/engine/nakednew_bad.cc:8:"),
+              std::string::npos)
+        << run.output;
+    // `= delete`, comments and strings stay silent: exactly the
+    // two seeded lines.
+    EXPECT_NE(run.output.find("2 finding(s)"), std::string::npos)
+        << run.output;
+}
+
+TEST(LagLint, FloatHashRuleFires)
+{
+    const LintRun run = lintFixture("src/util/hash.hh");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[float-hash]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/util/hash.hh:6:"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagLint, SuppressionSilencesFindings)
+{
+    const LintRun run = lintFixture("src/core/suppressed_ok.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_EQ(run.output.find("finding"), std::string::npos)
+        << run.output;
+}
+
+TEST(LagLint, CleanFileExitsZero)
+{
+    const LintRun run = lintFixture("src/core/clean_ok.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+TEST(LagLint, MissingPathExitsTwo)
+{
+    const LintRun run = lintFixture("src/no/such/file.cc");
+    EXPECT_EQ(run.exitCode, 2);
+}
+
+TEST(LagLint, ListRulesNamesEveryRule)
+{
+    const LintRun run = runLint("--list-rules");
+    EXPECT_EQ(run.exitCode, 0);
+    for (const char *rule :
+         {"wallclock", "unordered-iter", "raw-mutex", "naked-new",
+          "float-hash"}) {
+        EXPECT_NE(run.output.find(rule), std::string::npos)
+            << "missing rule: " << rule;
+    }
+}
+
+TEST(LagLint, RealTreeIsClean)
+{
+    const LintRun run =
+        runLint("--root " + std::string(LAG_SOURCE_DIR) +
+                " src bench tests");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+} // namespace

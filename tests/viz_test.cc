@@ -192,8 +192,9 @@ TEST(SketchTest, AsciiShowsRowsPerDepth)
     std::size_t line = 0;
     while (pos < ascii.size()) {
         const std::size_t next = ascii.find('\n', pos);
-        if (line > 0) // header line may be longer
+        if (line > 0) { // header line may be longer
             EXPECT_LE(next - pos, 80u);
+        }
         pos = next + 1;
         ++line;
     }

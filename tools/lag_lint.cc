@@ -1,0 +1,744 @@
+/**
+ * @file
+ * lag-lint: LagAlyzer's project-invariant linter.
+ *
+ * A deliberately lexer-level tool (no libclang dependency: the
+ * container toolchain is plain gcc) that walks the tree and
+ * enforces the determinism and concurrency invariants the compiler
+ * cannot see. Each rule is a row in kRules; diagnostics are
+ * `file:line: [rule] message` and the exit status is nonzero when
+ * anything fired.
+ *
+ * The scanner blanks comments, string literals and char literals
+ * (preserving columns and line numbers), so rules match only real
+ * code. A violation line can be suppressed — visibly, greppably —
+ * with a trailing `// lag-lint: allow(<rule>)` comment; the
+ * suppression must sit on the exact line the diagnostic names.
+ *
+ * Rules (see DESIGN.md "Static analysis & invariants"):
+ *   wallclock      no wall-clock/OS-entropy source in simulated-
+ *                  time code (src/sim, src/jvm, src/core)
+ *   unordered-iter no range-for over a hash container in code that
+ *                  feeds report/trace/JSON output
+ *   raw-mutex      no raw std:: mutex/lock types outside the
+ *                  annotated lag::Mutex wrapper
+ *   naked-new      no naked new/delete in analysis code
+ *   float-hash     no floating point in pattern-key hashing
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <initializer_list>
+#include <fstream>
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+struct Finding
+{
+    std::string file;
+    std::size_t line; // 1-based
+    std::string rule;
+    std::string message;
+};
+
+/** One file, scanned: raw lines plus comment/string-blanked lines. */
+struct ScannedFile
+{
+    std::string relPath;
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+
+    /** Blanked lines of the paired header (X.hh beside X.cc), so
+     * member declarations are visible when linting the .cc. */
+    std::vector<std::string> headerCode;
+};
+
+bool
+isIdentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+}
+
+/**
+ * Blank comments and literal contents while preserving layout.
+ * Handles //, block comments, "..." with escapes, '...' and basic
+ * raw strings R"delim(...)delim".
+ */
+std::vector<std::string>
+blankNonCode(const std::vector<std::string> &raw)
+{
+    enum class State
+    {
+        Normal,
+        Block,   // /* ... */
+        Str,     // "..."
+        Chr,     // '...'
+        RawStr,  // R"delim( ... )delim"
+    };
+    State state = State::Normal;
+    std::string rawDelim; // for RawStr: ")delim\""
+
+    std::vector<std::string> out;
+    out.reserve(raw.size());
+    for (const std::string &line : raw) {
+        std::string code = line;
+        std::size_t i = 0;
+        const std::size_t n = line.size();
+        while (i < n) {
+            switch (state) {
+              case State::Normal:
+                if (line[i] == '/' && i + 1 < n && line[i + 1] == '/') {
+                    for (std::size_t j = i; j < n; ++j)
+                        code[j] = ' ';
+                    i = n;
+                } else if (line[i] == '/' && i + 1 < n &&
+                           line[i + 1] == '*') {
+                    code[i] = code[i + 1] = ' ';
+                    i += 2;
+                    state = State::Block;
+                } else if (line[i] == '"' && i > 0 && line[i - 1] == 'R' &&
+                           (i == 1 || !isIdentChar(line[i - 2]))) {
+                    // R"delim( — collect the delimiter.
+                    std::size_t j = i + 1;
+                    std::string delim;
+                    while (j < n && line[j] != '(')
+                        delim += line[j++];
+                    rawDelim = ")" + delim + "\"";
+                    for (std::size_t k = i; k < j && k < n; ++k)
+                        code[k] = ' ';
+                    i = j;
+                    state = State::RawStr;
+                } else if (line[i] == '"') {
+                    code[i] = ' ';
+                    ++i;
+                    state = State::Str;
+                } else if (line[i] == '\'' &&
+                           !(i > 0 && isIdentChar(line[i - 1]))) {
+                    // Skip digit separators (1'000'000) via the
+                    // preceding-identifier-char test.
+                    code[i] = ' ';
+                    ++i;
+                    state = State::Chr;
+                } else {
+                    ++i;
+                }
+                break;
+              case State::Block:
+                if (line[i] == '*' && i + 1 < n && line[i + 1] == '/') {
+                    code[i] = code[i + 1] = ' ';
+                    i += 2;
+                    state = State::Normal;
+                } else {
+                    code[i] = ' ';
+                    ++i;
+                }
+                break;
+              case State::Str:
+              case State::Chr: {
+                const char quote = state == State::Str ? '"' : '\'';
+                if (line[i] == '\\' && i + 1 < n) {
+                    code[i] = code[i + 1] = ' ';
+                    i += 2;
+                } else {
+                    const bool end = line[i] == quote;
+                    code[i] = ' ';
+                    ++i;
+                    if (end)
+                        state = State::Normal;
+                }
+                break;
+              }
+              case State::RawStr:
+                if (line.compare(i, rawDelim.size(), rawDelim) == 0) {
+                    for (std::size_t k = 0; k < rawDelim.size(); ++k)
+                        code[i + k] = ' ';
+                    i += rawDelim.size();
+                    state = State::Normal;
+                } else {
+                    code[i] = ' ';
+                    ++i;
+                }
+                break;
+            }
+        }
+        // Unterminated " or ' never spans lines in valid C++.
+        if (state == State::Str || state == State::Chr)
+            state = State::Normal;
+        out.push_back(std::move(code));
+    }
+    return out;
+}
+
+/** Position of token @p word in @p code as a whole word, from
+ * @p from; npos when absent. */
+std::size_t
+findWord(std::string_view code, std::string_view word,
+         std::size_t from = 0)
+{
+    while (true) {
+        const std::size_t pos = code.find(word, from);
+        if (pos == std::string_view::npos)
+            return pos;
+        const bool left_ok = pos == 0 || !isIdentChar(code[pos - 1]);
+        const std::size_t end = pos + word.size();
+        const bool right_ok =
+            end >= code.size() || !isIdentChar(code[end]);
+        if (left_ok && right_ok)
+            return pos;
+        from = pos + 1;
+    }
+}
+
+/** True when the call-shaped token @p name( appears as a free
+ * function (not a member access, not part of an identifier). */
+bool
+hasFreeCall(std::string_view code, std::string_view name)
+{
+    std::size_t from = 0;
+    while (true) {
+        const std::size_t pos = findWord(code, name, from);
+        if (pos == std::string_view::npos)
+            return false;
+        std::size_t j = pos + name.size();
+        while (j < code.size() && code[j] == ' ')
+            ++j;
+        const bool is_call = j < code.size() && code[j] == '(';
+        bool member = false;
+        if (pos > 0) {
+            const char prev = code[pos - 1];
+            if (prev == '.')
+                member = true;
+            if (prev == '>' && pos > 1 && code[pos - 2] == '-')
+                member = true;
+        }
+        if (is_call && !member)
+            return true;
+        from = pos + 1;
+    }
+}
+
+/** Names declared with an unordered_{map,set} type in @p lines. */
+std::vector<std::string>
+unorderedDeclNames(const std::vector<std::string> &lines)
+{
+    std::vector<std::string> names;
+    static const char *kTypes[] = {
+        "unordered_map", "unordered_set", "unordered_multimap",
+        "unordered_multiset",
+    };
+    for (const std::string &code : lines) {
+        for (const char *type : kTypes) {
+            std::size_t pos = findWord(code, type);
+            while (pos != std::string::npos) {
+                std::size_t j = pos + std::strlen(type);
+                if (j < code.size() && code[j] == '<') {
+                    int depth = 0;
+                    while (j < code.size()) {
+                        if (code[j] == '<')
+                            ++depth;
+                        else if (code[j] == '>' && --depth == 0) {
+                            ++j;
+                            break;
+                        }
+                        ++j;
+                    }
+                    while (j < code.size() &&
+                           (code[j] == ' ' || code[j] == '&'))
+                        ++j;
+                    std::string name;
+                    while (j < code.size() && isIdentChar(code[j]))
+                        name += code[j++];
+                    if (!name.empty() && !(name[0] >= '0' &&
+                                           name[0] <= '9'))
+                        names.push_back(std::move(name));
+                }
+                pos = findWord(code, type, pos + 1);
+            }
+        }
+    }
+    return names;
+}
+
+/** Range expression of each range-based for, with its line. */
+struct RangeFor
+{
+    std::size_t line; // 1-based, line of the `for`
+    std::string expr; // trimmed text after the top-level `:`
+};
+
+std::vector<RangeFor>
+rangeFors(const ScannedFile &file)
+{
+    // Join the file so a `for (...)` spanning lines still parses;
+    // remember each character's line.
+    std::string all;
+    std::vector<std::size_t> lineOf;
+    for (std::size_t ln = 0; ln < file.code.size(); ++ln) {
+        for (const char c : file.code[ln]) {
+            all += c;
+            lineOf.push_back(ln + 1);
+        }
+        all += ' ';
+        lineOf.push_back(ln + 1);
+    }
+
+    std::vector<RangeFor> fors;
+    std::size_t pos = findWord(all, "for");
+    while (pos != std::string::npos) {
+        std::size_t j = pos + 3;
+        while (j < all.size() && all[j] == ' ')
+            ++j;
+        if (j >= all.size() || all[j] != '(') {
+            pos = findWord(all, "for", pos + 1);
+            continue;
+        }
+        int depth = 0;
+        std::size_t colon = std::string::npos;
+        std::size_t close = std::string::npos;
+        for (std::size_t k = j; k < all.size(); ++k) {
+            const char c = all[k];
+            if (c == '(') {
+                ++depth;
+            } else if (c == ')') {
+                if (--depth == 0) {
+                    close = k;
+                    break;
+                }
+            } else if (c == ':' && depth == 1) {
+                const bool dbl =
+                    (k + 1 < all.size() && all[k + 1] == ':') ||
+                    (k > 0 && all[k - 1] == ':');
+                if (!dbl)
+                    colon = k;
+            }
+        }
+        if (colon != std::string::npos && close != std::string::npos) {
+            std::string expr =
+                all.substr(colon + 1, close - colon - 1);
+            const auto first = expr.find_first_not_of(' ');
+            const auto last = expr.find_last_not_of(' ');
+            if (first != std::string::npos)
+                expr = expr.substr(first, last - first + 1);
+            else
+                expr.clear();
+            fors.push_back(RangeFor{lineOf[pos], std::move(expr)});
+        }
+        pos = findWord(all, "for", pos + 1);
+    }
+    return fors;
+}
+
+bool
+underAny(std::string_view rel,
+         std::initializer_list<std::string_view> prefixes)
+{
+    for (const std::string_view prefix : prefixes) {
+        if (rel.size() >= prefix.size() &&
+            rel.compare(0, prefix.size(), prefix) == 0)
+            return true;
+    }
+    return false;
+}
+
+using CheckFn = std::function<void(const ScannedFile &,
+                                   std::vector<Finding> &)>;
+
+struct Rule
+{
+    const char *name;
+    const char *summary;
+    CheckFn check;
+};
+
+void
+addFinding(std::vector<Finding> &out, const ScannedFile &file,
+           std::size_t line, const char *rule,
+           std::string message)
+{
+    // Per-line opt-out: `// lag-lint: allow(<rule>)` on the raw
+    // (pre-blanking) text of the flagged line.
+    const std::string &raw = file.raw[line - 1];
+    const std::string tag = std::string("lag-lint: allow(") + rule +
+                            ")";
+    if (raw.find(tag) != std::string::npos)
+        return;
+    out.push_back(Finding{file.relPath, line, rule,
+                          std::move(message)});
+}
+
+// ---------------------------------------------------------------
+// Rule: wallclock
+// ---------------------------------------------------------------
+
+void
+checkWallclock(const ScannedFile &file, std::vector<Finding> &out)
+{
+    if (!underAny(file.relPath,
+                  {"src/sim/", "src/jvm/", "src/core/"}))
+        return;
+    static const char *kTokens[] = {
+        "system_clock", "steady_clock", "high_resolution_clock",
+        "random_device", "gettimeofday", "clock_gettime",
+    };
+    static const char *kCalls[] = {
+        "time", "clock", "rand", "srand", "random",
+    };
+    for (std::size_t ln = 1; ln <= file.code.size(); ++ln) {
+        const std::string &code = file.code[ln - 1];
+        for (const char *token : kTokens) {
+            if (findWord(code, token) != std::string::npos)
+                addFinding(out, file, ln, "wallclock",
+                           std::string("'") + token +
+                               "' in simulated-time code; use the "
+                               "sim::EventQueue clock or lag::Rng");
+        }
+        for (const char *call : kCalls) {
+            if (hasFreeCall(code, call))
+                addFinding(out, file, ln, "wallclock",
+                           std::string("call to '") + call +
+                               "()' in simulated-time code; use "
+                               "the sim::EventQueue clock or "
+                               "lag::Rng");
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule: unordered-iter
+// ---------------------------------------------------------------
+
+void
+checkUnorderedIter(const ScannedFile &file,
+                   std::vector<Finding> &out)
+{
+    if (!underAny(file.relPath,
+                  {"src/core/", "src/trace/", "src/report/",
+                   "src/viz/", "src/lila/", "src/app/",
+                   "src/engine/"}))
+        return;
+    std::vector<std::string> names = unorderedDeclNames(file.code);
+    const std::vector<std::string> header =
+        unorderedDeclNames(file.headerCode);
+    names.insert(names.end(), header.begin(), header.end());
+    if (names.empty())
+        return;
+    for (const RangeFor &rf : rangeFors(file)) {
+        std::string expr = rf.expr;
+        if (expr.compare(0, 6, "this->") == 0)
+            expr = expr.substr(6);
+        bool ident = !expr.empty();
+        for (const char c : expr)
+            ident = ident && isIdentChar(c);
+        if (!ident)
+            continue;
+        for (const std::string &name : names) {
+            if (expr == name)
+                addFinding(out, file, rf.line, "unordered-iter",
+                           "iteration over hash container '" +
+                               name +
+                               "' in an output-feeding path; "
+                               "iteration order is "
+                               "nondeterministic — sort first or "
+                               "iterate an ordered index");
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule: raw-mutex
+// ---------------------------------------------------------------
+
+void
+checkRawMutex(const ScannedFile &file, std::vector<Finding> &out)
+{
+    if (file.relPath == "src/util/mutex.hh" ||
+        file.relPath == "src/util/mutex.cc")
+        return; // the one wrapping site
+    static const char *kTypes[] = {
+        "std::mutex", "std::timed_mutex", "std::recursive_mutex",
+        "std::recursive_timed_mutex", "std::shared_mutex",
+        "std::shared_timed_mutex", "std::lock_guard",
+        "std::unique_lock", "std::scoped_lock",
+    };
+    for (std::size_t ln = 1; ln <= file.code.size(); ++ln) {
+        const std::string &code = file.code[ln - 1];
+        for (const char *type : kTypes) {
+            // The "std::" prefix already guarantees a clean left
+            // boundary; check the right one only.
+            std::size_t pos = code.find(type);
+            while (pos != std::string::npos) {
+                const std::size_t end = pos + std::strlen(type);
+                if (end >= code.size() || !isIdentChar(code[end])) {
+                    addFinding(out, file, ln, "raw-mutex",
+                               std::string("'") + type +
+                                   "' outside the annotated "
+                                   "wrapper; use lag::Mutex / "
+                                   "lag::MutexLock "
+                                   "(util/mutex.hh)");
+                    break;
+                }
+                pos = code.find(type, pos + 1);
+            }
+        }
+        // std::condition_variable is raw-mutex-only; the _any
+        // variant pairs with lag::MutexLock and is allowed.
+        std::size_t pos = code.find("std::condition_variable");
+        while (pos != std::string::npos) {
+            const std::size_t end =
+                pos + std::strlen("std::condition_variable");
+            if (end >= code.size() || !isIdentChar(code[end])) {
+                addFinding(out, file, ln, "raw-mutex",
+                           "'std::condition_variable' cannot wait "
+                           "on lag::Mutex; use "
+                           "std::condition_variable_any with "
+                           "lag::MutexLock");
+                break;
+            }
+            pos = code.find("std::condition_variable", pos + 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule: naked-new
+// ---------------------------------------------------------------
+
+void
+checkNakedNew(const ScannedFile &file, std::vector<Finding> &out)
+{
+    if (!underAny(file.relPath,
+                  {"src/core/", "src/engine/", "src/lila/"}))
+        return;
+    for (std::size_t ln = 1; ln <= file.code.size(); ++ln) {
+        const std::string &code = file.code[ln - 1];
+        if (findWord(code, "new") != std::string::npos)
+            addFinding(out, file, ln, "naked-new",
+                       "naked 'new' in analysis code; use "
+                       "containers or std::make_unique");
+        std::size_t pos = findWord(code, "delete");
+        while (pos != std::string::npos) {
+            // `= delete` (deleted special member) is fine.
+            std::size_t k = pos;
+            while (k > 0 && code[k - 1] == ' ')
+                --k;
+            if (!(k > 0 && code[k - 1] == '=')) {
+                addFinding(out, file, ln, "naked-new",
+                           "naked 'delete' in analysis code; use "
+                           "containers or std::make_unique");
+                break;
+            }
+            pos = findWord(code, "delete", pos + 1);
+        }
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule: float-hash
+// ---------------------------------------------------------------
+
+void
+checkFloatHash(const ScannedFile &file, std::vector<Finding> &out)
+{
+    static const char *kFiles[] = {
+        "src/util/hash.hh", "src/util/hash.cc",
+        "src/core/pattern.hh", "src/core/pattern.cc",
+    };
+    bool in_scope = false;
+    for (const char *f : kFiles)
+        in_scope = in_scope || file.relPath == f;
+    if (!in_scope)
+        return;
+    for (std::size_t ln = 1; ln <= file.code.size(); ++ln) {
+        const std::string &code = file.code[ln - 1];
+        for (const char *fp : {"double", "float"}) {
+            if (findWord(code, fp) != std::string::npos)
+                addFinding(out, file, ln, "float-hash",
+                           std::string("'") + fp +
+                               "' in pattern-key hashing code; "
+                               "keys must accumulate integral "
+                               "state only (FNV-1a over bytes)");
+        }
+    }
+}
+
+const Rule kRules[] = {
+    {"wallclock",
+     "no wall-clock/OS-entropy source in src/sim|jvm|core "
+     "(simulated time only)",
+     checkWallclock},
+    {"unordered-iter",
+     "no range-for over a hash container in output-feeding code "
+     "(sort first)",
+     checkUnorderedIter},
+    {"raw-mutex",
+     "no raw std:: mutex/lock types outside lag::Mutex "
+     "(util/mutex.hh)",
+     checkRawMutex},
+    {"naked-new",
+     "no naked new/delete in analysis code (src/core|engine|lila)",
+     checkNakedNew},
+    {"float-hash",
+     "no floating point in pattern-key hashing "
+     "(util/hash, core/pattern)",
+     checkFloatHash},
+};
+
+bool
+lintableExtension(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".h" || ext == ".hpp";
+}
+
+std::string
+relativeTo(const fs::path &root, const fs::path &path)
+{
+    std::error_code ec;
+    const fs::path rel = fs::relative(path, root, ec);
+    const fs::path &use = ec ? path : rel;
+    return use.generic_string();
+}
+
+bool
+lintFile(const fs::path &root, const fs::path &path,
+         std::vector<Finding> &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "lag-lint: cannot read '%s'\n",
+                     path.string().c_str());
+        return false;
+    }
+    ScannedFile file;
+    file.relPath = relativeTo(root, path);
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        file.raw.push_back(line);
+    }
+    file.code = blankNonCode(file.raw);
+
+    const std::string ext = path.extension().string();
+    if (ext == ".cc" || ext == ".cpp") {
+        for (const char *hext : {".hh", ".h", ".hpp"}) {
+            fs::path header = path;
+            header.replace_extension(hext);
+            std::ifstream hin(header, std::ios::binary);
+            if (!hin)
+                continue;
+            std::vector<std::string> hraw;
+            while (std::getline(hin, line)) {
+                if (!line.empty() && line.back() == '\r')
+                    line.pop_back();
+                hraw.push_back(line);
+            }
+            file.headerCode = blankNonCode(hraw);
+            break;
+        }
+    }
+    for (const Rule &rule : kRules)
+        rule.check(file, out);
+    return true;
+}
+
+bool
+walk(const fs::path &root, const fs::path &path,
+     std::vector<Finding> &out)
+{
+    if (fs::is_directory(path)) {
+        // Deterministic order for stable output.
+        std::vector<fs::path> children;
+        for (const auto &entry : fs::directory_iterator(path))
+            children.push_back(entry.path());
+        std::sort(children.begin(), children.end());
+        bool ok = true;
+        for (const fs::path &child : children) {
+            const std::string name = child.filename().string();
+            // Seeded-violation fixtures and build trees are only
+            // linted when named explicitly on the command line.
+            if (name == "lint_fixtures" ||
+                name.compare(0, 5, "build") == 0)
+                continue;
+            if (fs::is_directory(child) || lintableExtension(child))
+                ok = walk(root, child, out) && ok;
+        }
+        return ok;
+    }
+    return lintFile(root, path, out);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--root") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr,
+                             "lag-lint: --root needs a value\n");
+                return 2;
+            }
+            root = argv[++i];
+        } else if (arg == "--list-rules") {
+            for (const Rule &rule : kRules)
+                std::printf("%-15s %s\n", rule.name, rule.summary);
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: lag_lint [--root DIR] [--list-rules] "
+                "[paths...]\n"
+                "Lints paths (default: src bench tests) relative "
+                "to DIR.\n"
+                "Suppress a line with  // lag-lint: "
+                "allow(<rule>)\n");
+            return 0;
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "bench", "tests"};
+
+    std::vector<Finding> findings;
+    bool io_ok = true;
+    for (const std::string &p : paths) {
+        fs::path full = fs::path(p);
+        if (full.is_relative())
+            full = root / full;
+        if (!fs::exists(full)) {
+            std::fprintf(stderr, "lag-lint: no such path '%s'\n",
+                         full.string().c_str());
+            io_ok = false;
+            continue;
+        }
+        io_ok = walk(root, full, findings) && io_ok;
+    }
+
+    for (const Finding &f : findings)
+        std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
+                    f.rule.c_str(), f.message.c_str());
+    if (!findings.empty()) {
+        std::printf("lag-lint: %zu finding(s)\n", findings.size());
+        return 1;
+    }
+    if (!io_ok)
+        return 2;
+    return 0;
+}

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Run the .clang-tidy baseline over src/ and tools/ using the
+# compile database from an existing build tree. Skips gracefully
+# (exit 0) when clang-tidy is not installed, so ci/check.sh can call
+# it unconditionally.
+#
+# Usage: tools/run_clang_tidy.sh [build-dir]   (default: build)
+set -euo pipefail
+
+root="$(cd "$(dirname "$0")/.." && pwd)"
+build="${1:-$root/build}"
+
+if ! command -v clang-tidy >/dev/null 2>&1; then
+    echo "run_clang_tidy.sh: clang-tidy not found on PATH; skipping" >&2
+    exit 0
+fi
+
+if [ ! -f "$build/compile_commands.json" ]; then
+    echo "run_clang_tidy.sh: $build/compile_commands.json missing;" \
+         "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+    exit 2
+fi
+
+mapfile -t sources < <(find "$root/src" "$root/tools" \
+    -name '*.cc' -o -name '*.cpp' | sort)
+
+echo "clang-tidy: ${#sources[@]} files against $build"
+status=0
+for file in "${sources[@]}"; do
+    clang-tidy -p "$build" --quiet "$file" || status=1
+done
+exit "$status"
