@@ -15,14 +15,27 @@
  * default (or `--jobs N`) worker count — and prints one JSON line
  * comparing serial and parallel wall time. Set
  * LAGALYZER_SKIP_SPEEDUP=1 to skip that (it simulates traces).
+ *
+ * Three more JSON lines quantify the zero-copy decode and arena
+ * session build: `decode_mb_per_s` (mmap vs stream, with per-decode
+ * allocation counts and bytes as the copy proxy), `session_build_ms`
+ * (arena vs heap) and `episode_shard_speedup` (within-session
+ * sharded analysis vs serial). `--smoke` prints only those three
+ * lines with few iterations — that mode backs the `perf` CTest
+ * label.
  */
 
 #include <benchmark/benchmark.h>
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <fstream>
+#include <new>
+#include <string_view>
 
 #include "app/catalog.hh"
 #include "app/session_runner.hh"
@@ -34,8 +47,94 @@
 #include "core/pattern.hh"
 #include "core/pattern_stats.hh"
 #include "core/triggers.hh"
+#include "engine/parallel_analysis.hh"
+#include "engine/pool.hh"
+#include "engine/result_cache.hh"
 #include "trace/io.hh"
 #include "viz/sketch.hh"
+
+namespace
+{
+
+/**
+ * Process-wide allocation counters. The container runs this bench
+ * on a single core, so wall time can't show the zero-copy and arena
+ * wins directly; heap traffic (allocation count and bytes, a proxy
+ * for bytes copied) is the hardware-independent measure the JSON
+ * lines report.
+ * @{
+ */
+std::atomic<std::uint64_t> g_allocCount{0};
+std::atomic<std::uint64_t> g_allocBytes{0};
+
+struct AllocSnapshot
+{
+    std::uint64_t count = 0;
+    std::uint64_t bytes = 0;
+};
+
+AllocSnapshot
+allocNow()
+{
+    return {g_allocCount.load(std::memory_order_relaxed),
+            g_allocBytes.load(std::memory_order_relaxed)};
+}
+
+AllocSnapshot
+allocSince(const AllocSnapshot &start)
+{
+    const AllocSnapshot now = allocNow();
+    return {now.count - start.count, now.bytes - start.bytes};
+}
+/** @} */
+
+} // namespace
+
+// The counting operator new below wraps malloc, so the matching
+// operator delete must call free. GCC's new/delete pairing
+// heuristic cannot see through replaced global operators and would
+// flag every inlined delete site in this TU as a mismatch.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+
+void *
+operator new(std::size_t size)
+{
+    g_allocCount.fetch_add(1, std::memory_order_relaxed);
+    g_allocBytes.fetch_add(size, std::memory_order_relaxed);
+    if (void *ptr = std::malloc(size == 0 ? 1 : size))
+        return ptr;
+    throw std::bad_alloc();
+}
+
+void *
+operator new[](std::size_t size)
+{
+    return operator new(size);
+}
+
+void
+operator delete(void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete(void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
+
+void
+operator delete[](void *ptr, std::size_t) noexcept
+{
+    std::free(ptr);
+}
 
 namespace
 {
@@ -187,6 +286,177 @@ BM_SessionSimulation(benchmark::State &state)
 }
 BENCHMARK(BM_SessionSimulation)->Unit(benchmark::kMillisecond);
 
+/** Wall time of @p fn in milliseconds. */
+template <typename Fn>
+double
+timedMs(const Fn &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+/**
+ * Trace decode throughput, mapped vs stream, as one JSON line.
+ * Heap traffic per decode is the copy proxy: the stream path pays
+ * for the whole file buffer, the mmap path only for the decoded
+ * structures, so `alloc_bytes_speedup` is the zero-copy win
+ * independent of the machine's memory bandwidth.
+ */
+void
+reportDecodeThroughput(const Fixture &f, int iterations)
+{
+    const std::string path = "lagalyzer-perf-decode.trace";
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(f.bytes.data(),
+                  static_cast<std::streamsize>(f.bytes.size()));
+    }
+
+    const double mb =
+        static_cast<double>(f.bytes.size()) / (1024.0 * 1024.0);
+    const auto decodePass = [&](trace::TraceReadMode mode,
+                                double &ms, AllocSnapshot &allocs) {
+        const AllocSnapshot start = allocNow();
+        ms = timedMs([&] {
+            for (int i = 0; i < iterations; ++i) {
+                trace::Trace t = trace::readTraceFile(path, mode);
+                benchmark::DoNotOptimize(t.events.data());
+            }
+        });
+        allocs = allocSince(start);
+        allocs.count /= static_cast<std::uint64_t>(iterations);
+        allocs.bytes /= static_cast<std::uint64_t>(iterations);
+        ms /= iterations;
+    };
+
+    double mapped_ms = 0.0;
+    double stream_ms = 0.0;
+    AllocSnapshot mapped;
+    AllocSnapshot stream;
+    decodePass(trace::TraceReadMode::Mapped, mapped_ms, mapped);
+    decodePass(trace::TraceReadMode::Stream, stream_ms, stream);
+    std::filesystem::remove(path);
+
+    std::printf(
+        "{\"bench\":\"decode_mb_per_s\",\"file_mb\":%.2f,"
+        "\"mapped_mb_per_s\":%.1f,\"stream_mb_per_s\":%.1f,"
+        "\"mapped_allocs\":%llu,\"stream_allocs\":%llu,"
+        "\"mapped_alloc_bytes\":%llu,\"stream_alloc_bytes\":%llu,"
+        "\"alloc_bytes_speedup\":%.2f}\n",
+        mb, mapped_ms > 0.0 ? mb / (mapped_ms / 1000.0) : 0.0,
+        stream_ms > 0.0 ? mb / (stream_ms / 1000.0) : 0.0,
+        static_cast<unsigned long long>(mapped.count),
+        static_cast<unsigned long long>(stream.count),
+        static_cast<unsigned long long>(mapped.bytes),
+        static_cast<unsigned long long>(stream.bytes),
+        mapped.bytes > 0
+            ? static_cast<double>(stream.bytes) /
+                  static_cast<double>(mapped.bytes)
+            : 0.0);
+    std::fflush(stdout);
+}
+
+/**
+ * Session build time and heap traffic, arena vs plain heap, as one
+ * JSON line. `alloc_count_speedup` is the malloc-pressure win of
+ * the arena + exact-reserve build.
+ */
+void
+reportSessionBuild(const Fixture &f, int iterations)
+{
+    const auto buildPass = [&](bool use_arena, double &ms,
+                               AllocSnapshot &allocs) {
+        core::SessionBuildOptions options;
+        options.useArena = use_arena;
+        const AllocSnapshot start = allocNow();
+        ms = timedMs([&] {
+            for (int i = 0; i < iterations; ++i) {
+                trace::Trace t = trace::deserializeTrace(f.bytes);
+                core::Session s =
+                    core::Session::fromTrace(std::move(t), options);
+                benchmark::DoNotOptimize(s.episodes().data());
+            }
+        });
+        allocs = allocSince(start);
+        allocs.count /= static_cast<std::uint64_t>(iterations);
+        allocs.bytes /= static_cast<std::uint64_t>(iterations);
+        ms /= iterations;
+    };
+
+    double arena_ms = 0.0;
+    double heap_ms = 0.0;
+    AllocSnapshot arena;
+    AllocSnapshot heap;
+    buildPass(true, arena_ms, arena);
+    buildPass(false, heap_ms, heap);
+
+    std::printf(
+        "{\"bench\":\"session_build_ms\",\"arena_ms\":%.2f,"
+        "\"heap_ms\":%.2f,\"arena_allocs\":%llu,"
+        "\"heap_allocs\":%llu,\"arena_alloc_bytes\":%llu,"
+        "\"heap_alloc_bytes\":%llu,\"alloc_count_speedup\":%.2f}\n",
+        arena_ms, heap_ms,
+        static_cast<unsigned long long>(arena.count),
+        static_cast<unsigned long long>(heap.count),
+        static_cast<unsigned long long>(arena.bytes),
+        static_cast<unsigned long long>(heap.bytes),
+        arena.count > 0 ? static_cast<double>(heap.count) /
+                              static_cast<double>(arena.count)
+                        : 0.0);
+    std::fflush(stdout);
+}
+
+/**
+ * Within-session sharded analysis vs the serial suite as one JSON
+ * line. On a single-core container the wall-clock ratio hovers
+ * around 1; the line also records the shard count so multi-core
+ * runs can attribute their speedup.
+ */
+void
+reportShardSpeedup(const Fixture &f, std::uint32_t jobs,
+                   int iterations)
+{
+    if (jobs == 0)
+        jobs = app::defaultJobs();
+    const DurationNs threshold = msToNs(100);
+
+    const double serial_ms = timedMs([&] {
+        for (int i = 0; i < iterations; ++i) {
+            const engine::SessionAnalysis analysis =
+                engine::analyzeSession(f.session, threshold);
+            benchmark::DoNotOptimize(analysis.patternKeys.data());
+        }
+    }) / iterations;
+
+    engine::ThreadPool pool(jobs);
+    const std::size_t shards =
+        engine::episodeShards(
+            f.episodes,
+            engine::shardCountFor(pool.workerCount(), f.episodes))
+            .size();
+    const double parallel_ms = timedMs([&] {
+        for (int i = 0; i < iterations; ++i) {
+            const engine::SessionAnalysis analysis =
+                engine::analyzeSessionParallel(f.session, threshold,
+                                               pool);
+            benchmark::DoNotOptimize(analysis.patternKeys.data());
+        }
+    }) / iterations;
+
+    std::printf(
+        "{\"bench\":\"episode_shard_speedup\",\"episodes\":%llu,"
+        "\"serial_ms\":%.2f,\"parallel_ms\":%.2f,\"jobs\":%u,"
+        "\"shards\":%llu,\"speedup\":%.2f}\n",
+        static_cast<unsigned long long>(f.episodes), serial_ms,
+        parallel_ms, jobs,
+        static_cast<unsigned long long>(shards),
+        parallel_ms > 0.0 ? serial_ms / parallel_ms : 0.0);
+    std::fflush(stdout);
+}
+
 /** One full study pass (simulate + analyze) on @p jobs workers. */
 double
 timedStudyPass(app::StudyConfig config, std::uint32_t jobs)
@@ -236,9 +506,36 @@ main(int argc, char **argv)
 {
     const std::uint32_t jobs = lag::app::parseJobsOption(argc, argv);
 
+    bool smoke = false;
+    {
+        int out = 1;
+        for (int in = 1; in < argc; ++in) {
+            if (std::string_view(argv[in]) == "--smoke")
+                smoke = true;
+            else
+                argv[out++] = argv[in];
+        }
+        argc = out;
+    }
+
+    if (smoke) {
+        // CI smoke (`ctest -L perf`): just the pipeline JSON lines,
+        // few iterations, no study simulation, no microbenchmarks.
+        const Fixture &f = Fixture::get();
+        reportDecodeThroughput(f, 3);
+        reportSessionBuild(f, 3);
+        reportShardSpeedup(f, jobs, 3);
+        return 0;
+    }
+
     const char *skip = std::getenv("LAGALYZER_SKIP_SPEEDUP");
     if (skip == nullptr || skip[0] == '\0' || skip[0] == '0')
         reportStudySpeedup(jobs);
+
+    const Fixture &f = Fixture::get();
+    reportDecodeThroughput(f, 10);
+    reportSessionBuild(f, 10);
+    reportShardSpeedup(f, jobs, 10);
 
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

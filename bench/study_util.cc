@@ -28,10 +28,25 @@ selectStudyConfig(int argc, char **argv)
         config.jobs = static_cast<std::uint32_t>(
             std::strtoul(jobs_env, nullptr, 10));
     }
+    const char *bytes_env = std::getenv("LAGALYZER_CACHE_MAX_BYTES");
+    if (bytes_env != nullptr && bytes_env[0] != '\0') {
+        config.cacheMaxBytes = std::strtoull(bytes_env, nullptr, 10);
+    }
+    const char *age_env = std::getenv("LAGALYZER_CACHE_MAX_AGE");
+    if (age_env != nullptr && age_env[0] != '\0') {
+        config.cacheMaxAgeSeconds =
+            std::strtoull(age_env, nullptr, 10);
+    }
     if (argv != nullptr) {
         const std::uint32_t jobs = app::parseJobsOption(argc, argv);
         if (jobs != 0)
             config.jobs = jobs;
+        const app::CacheLimitOptions limits =
+            app::parseCacheLimitOptions(argc, argv);
+        if (limits.maxBytes != 0)
+            config.cacheMaxBytes = limits.maxBytes;
+        if (limits.maxAgeSeconds != 0)
+            config.cacheMaxAgeSeconds = limits.maxAgeSeconds;
     }
     return config;
 }
@@ -107,6 +122,17 @@ analyzeSessions(app::Study &study)
             grid[a][s] = engine::analyzeSession(session, threshold);
             cache.store(name, s, grid[a][s]);
         });
+
+    // Bound the analysis directory after the run: stale-fingerprint
+    // entries always go, then size/age limits when configured.
+    const engine::CacheEvictionPolicy policy{
+        config.cacheMaxBytes, config.cacheMaxAgeSeconds};
+    const engine::CacheEvictionResult evicted = cache.evict(policy);
+    if (evicted.removedFiles > 0) {
+        inform("bench: result cache evicted ", evicted.removedFiles,
+               " entrie(s) (", evicted.removedBytes, " bytes); ",
+               evicted.keptFiles, " kept");
+    }
     return grid;
 }
 

@@ -16,6 +16,13 @@
  * any harness command line, or LAGALYZER_JOBS=N in the environment
  * (default: one per hardware thread). Results are byte-identical at
  * any worker count.
+ *
+ * The analysis cache is garbage-collected after each run:
+ * stale-fingerprint entries are always dropped, and
+ * `--cache-max-bytes N[k|M|G]` / `--cache-max-age SECONDS` (or
+ * LAGALYZER_CACHE_MAX_BYTES / LAGALYZER_CACHE_MAX_AGE, plain
+ * numbers) bound what remains. Limits only affect the disk
+ * footprint, never the computed results.
  */
 
 #ifndef LAG_BENCH_STUDY_UTIL_HH

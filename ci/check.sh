@@ -37,6 +37,9 @@ echo "== lint (ctest -L lint)"
 echo "== tier-1 suite"
 (cd "$build" && ctest --output-on-failure -j "$jobs")
 
+echo "== perf smoke (ctest -L perf)"
+(cd "$build" && ctest -L perf --output-on-failure)
+
 if [ -n "$sanitize" ]; then
     san_lc="$(echo "$sanitize" | tr '[:upper:]' '[:lower:]')"
     san_build="$root/build-$san_lc"

@@ -5,7 +5,11 @@
  * mining, triggers, location, concurrency and GUI-thread states —
  * then render the slowest perceptible episode as an SVG sketch.
  *
- * Usage: ./analyze_trace <trace.lag> [--threshold-ms N]
+ * Usage: ./analyze_trace <trace.lag> [--threshold-ms N] [--jobs N]
+ *
+ * With --jobs > 1 the pattern mining step shards the episode axis
+ * across an engine::ThreadPool; the output is byte-identical to the
+ * serial run (see src/engine/parallel_analysis.hh).
  *
  * (Produce a trace with ./record_session first.)
  */
@@ -15,6 +19,7 @@
 #include <iostream>
 #include <optional>
 
+#include "app/params.hh"
 #include "core/blame.hh"
 #include "core/browser.hh"
 #include "core/concurrency.hh"
@@ -24,6 +29,8 @@
 #include "core/pattern_stats.hh"
 #include "core/session.hh"
 #include "core/triggers.hh"
+#include "engine/parallel_analysis.hh"
+#include "engine/pool.hh"
 #include "report/table.hh"
 #include "trace/io.hh"
 #include "util/strings.hh"
@@ -34,9 +41,10 @@ main(int argc, char **argv)
 {
     using namespace lag;
 
+    const std::uint32_t jobs = app::parseJobsOption(argc, argv);
     if (argc < 2) {
         std::cerr << "usage: analyze_trace <trace.lag> "
-                     "[--threshold-ms N]\n";
+                     "[--threshold-ms N] [--jobs N]\n";
         return 2;
     }
     const std::string path = argv[1];
@@ -59,8 +67,14 @@ main(int argc, char **argv)
     std::cout << "=== " << session.meta().appName << ", session "
               << session.meta().sessionIndex << " ===\n\n";
 
-    const core::PatternMiner miner(threshold);
-    const core::PatternSet patterns = miner.mine(session);
+    core::PatternSet patterns;
+    if (jobs > 1) {
+        engine::ThreadPool pool(jobs);
+        patterns =
+            engine::minePatternsParallel(session, threshold, pool);
+    } else {
+        patterns = core::PatternMiner(threshold).mine(session);
+    }
     const auto overview =
         core::computeOverview(session, patterns, threshold);
 

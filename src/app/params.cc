@@ -125,4 +125,90 @@ parseJobsOption(int &argc, char **argv)
     return jobs;
 }
 
+namespace
+{
+
+/** Parse a byte count with an optional k/M/G (binary) suffix;
+ * fatal() on junk or a negative value. */
+std::uint64_t
+parseByteValue(std::string_view option, std::string_view value)
+{
+    const std::string text(value);
+    char *end = nullptr;
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    std::uint64_t scale = 1;
+    if (end != text.c_str()) {
+        switch (*end) {
+        case 'k':
+        case 'K':
+            scale = 1ull << 10;
+            ++end;
+            break;
+        case 'm':
+        case 'M':
+            scale = 1ull << 20;
+            ++end;
+            break;
+        case 'g':
+        case 'G':
+            scale = 1ull << 30;
+            ++end;
+            break;
+        default:
+            break;
+        }
+    }
+    if (end == text.c_str() || *end != '\0' || parsed < 0) {
+        fatal(option, " needs a byte count (optionally k/M/G), got '",
+              text, "'");
+    }
+    return static_cast<std::uint64_t>(parsed) * scale;
+}
+
+/** Parse a non-negative seconds count; fatal() on junk. */
+std::uint64_t
+parseSecondsValue(std::string_view option, std::string_view value)
+{
+    const std::string text(value);
+    char *end = nullptr;
+    const long long parsed = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || parsed < 0)
+        fatal(option, " needs a seconds count, got '", text, "'");
+    return static_cast<std::uint64_t>(parsed);
+}
+
+} // namespace
+
+CacheLimitOptions
+parseCacheLimitOptions(int &argc, char **argv)
+{
+    CacheLimitOptions limits;
+    int out = 0;
+    for (int in = 0; in < argc; ++in) {
+        const std::string_view arg(argv[in]);
+        const auto next = [&](std::string_view option) {
+            if (in + 1 >= argc)
+                fatal(option, " needs a value");
+            return std::string_view(argv[++in]);
+        };
+        if (arg == "--cache-max-bytes") {
+            limits.maxBytes =
+                parseByteValue(arg, next("--cache-max-bytes"));
+        } else if (arg.rfind("--cache-max-bytes=", 0) == 0) {
+            limits.maxBytes = parseByteValue(
+                "--cache-max-bytes", arg.substr(18));
+        } else if (arg == "--cache-max-age") {
+            limits.maxAgeSeconds =
+                parseSecondsValue(arg, next("--cache-max-age"));
+        } else if (arg.rfind("--cache-max-age=", 0) == 0) {
+            limits.maxAgeSeconds = parseSecondsValue(
+                "--cache-max-age", arg.substr(16));
+        } else {
+            argv[out++] = argv[in];
+        }
+    }
+    argc = out;
+    return limits;
+}
+
 } // namespace lag::app

@@ -283,6 +283,22 @@ std::uint32_t defaultJobs();
  */
 std::uint32_t parseJobsOption(int &argc, char **argv);
 
+/** Analysis-cache limits parsed off a command line; 0 = unlimited. */
+struct CacheLimitOptions
+{
+    std::uint64_t maxBytes = 0;
+    std::uint64_t maxAgeSeconds = 0;
+};
+
+/**
+ * Extract `--cache-max-bytes N[k|M|G]` and `--cache-max-age SECONDS`
+ * (space- or `=`-separated) from a command line, compacting argv in
+ * place like parseJobsOption. Returns the limits, zero-valued where
+ * absent; fatal() on a malformed value. Harness mains feed the
+ * result into StudyConfig::cacheMaxBytes / cacheMaxAgeSeconds.
+ */
+CacheLimitOptions parseCacheLimitOptions(int &argc, char **argv);
+
 } // namespace lag::app
 
 #endif // LAG_APP_PARAMS_HH

@@ -51,6 +51,17 @@ struct StudyConfig
      */
     std::uint32_t jobs = 0;
 
+    /**
+     * Analysis-cache eviction budget: total bytes of .ares entries
+     * to keep and the maximum entry age in seconds; 0 = unlimited.
+     * Like jobs, these only bound the cache on disk — never what a
+     * run computes — so they are NOT part of fingerprint().
+     * @{
+     */
+    std::uint64_t cacheMaxBytes = 0;
+    std::uint64_t cacheMaxAgeSeconds = 0;
+    /** @} */
+
     /** The paper's full study. */
     static StudyConfig paperStudy();
 

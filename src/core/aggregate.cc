@@ -45,7 +45,13 @@ mergePatternSets(const std::vector<PatternSet> &sets)
                    "pattern sets mined with different thresholds");
     }
 
+    std::size_t totalPatterns = 0;
+    for (const auto &set : sets)
+        totalPatterns += set.patterns.size();
+
     std::unordered_map<std::string, std::size_t> index;
+    index.reserve(totalPatterns);
+    result.patterns.reserve(totalPatterns);
     for (std::size_t s = 0; s < sets.size(); ++s) {
         for (const Pattern &pattern : sets[s].patterns) {
             const auto [it, inserted] = index.emplace(
@@ -58,6 +64,10 @@ mergePatternSets(const std::vector<PatternSet> &sets)
                 merged.depth = pattern.depth;
                 merged.minLag = pattern.minLag;
                 merged.maxLag = pattern.maxLag;
+                // Each pattern can occur in at most one set per
+                // session, so sets.size() bounds both lists.
+                merged.sessions.reserve(sets.size());
+                merged.episodeCounts.reserve(sets.size());
                 result.patterns.push_back(std::move(merged));
             }
             MergedPattern &merged = result.patterns[it->second];

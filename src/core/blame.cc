@@ -118,7 +118,7 @@ episodesSampledIn(const Session &session,
             }
         }
         if (hit)
-            hits.push_back(e);
+            hits.push_back(e); // lag-lint: allow(reserve-loop)
     }
     return hits;
 }
@@ -131,7 +131,7 @@ patternsMentioning(const PatternSet &patterns,
     for (std::size_t i = 0; i < patterns.patterns.size(); ++i) {
         if (patterns.patterns[i].signature.find(substring) !=
             std::string::npos) {
-            hits.push_back(i);
+            hits.push_back(i); // lag-lint: allow(reserve-loop)
         }
     }
     return hits;

@@ -35,6 +35,7 @@ void
 PatternBrowserModel::rebuildVisible()
 {
     visible_.clear();
+    visible_.reserve(patterns_.patterns.size());
     for (std::size_t i = 0; i < patterns_.patterns.size(); ++i) {
         if (perceptible_only_ &&
             patterns_.patterns[i].perceptibleCount == 0) {

@@ -3,17 +3,16 @@
 namespace lag::core
 {
 
-ConcurrencyResult
-analyzeConcurrency(const Session &session,
-                   DurationNs perceptible_threshold)
+ConcurrencyCounts
+countConcurrency(const Session &session, std::size_t begin,
+                 std::size_t end, DurationNs perceptible_threshold)
 {
-    std::uint64_t runnable_all = 0;
-    std::uint64_t runnable_perc = 0;
-    std::size_t samples_all = 0;
-    std::size_t samples_perc = 0;
+    ConcurrencyCounts counts;
     const auto &samples = session.samples();
+    const auto &episodes = session.episodes();
 
-    for (const auto &episode : session.episodes()) {
+    for (std::size_t i = begin; i < end; ++i) {
+        const Episode &episode = episodes[i];
         const bool perceptible =
             episode.duration() >= perceptible_threshold;
         for (std::size_t s = episode.firstSample;
@@ -23,40 +22,56 @@ analyzeConcurrency(const Session &session,
                 if (entry.state == trace::TraceThreadState::Runnable)
                     ++runnable;
             }
-            runnable_all += runnable;
-            ++samples_all;
+            counts.runnableAll += runnable;
+            ++counts.samplesAll;
             if (perceptible) {
-                runnable_perc += runnable;
-                ++samples_perc;
+                counts.runnablePerceptible += runnable;
+                ++counts.samplesPerceptible;
             }
         }
     }
+    return counts;
+}
 
+ConcurrencyResult
+finishConcurrency(const ConcurrencyCounts &counts)
+{
     ConcurrencyResult result;
-    result.samplesAll = samples_all;
-    result.samplesPerceptible = samples_perc;
-    if (samples_all > 0) {
-        result.meanRunnableAll = static_cast<double>(runnable_all) /
-                                 static_cast<double>(samples_all);
+    result.samplesAll = counts.samplesAll;
+    result.samplesPerceptible = counts.samplesPerceptible;
+    if (counts.samplesAll > 0) {
+        result.meanRunnableAll =
+            static_cast<double>(counts.runnableAll) /
+            static_cast<double>(counts.samplesAll);
     }
-    if (samples_perc > 0) {
+    if (counts.samplesPerceptible > 0) {
         result.meanRunnablePerceptible =
-            static_cast<double>(runnable_perc) /
-            static_cast<double>(samples_perc);
+            static_cast<double>(counts.runnablePerceptible) /
+            static_cast<double>(counts.samplesPerceptible);
     }
     return result;
 }
 
-ThreadStateResult
-analyzeGuiStates(const Session &session, DurationNs perceptible_threshold)
+ConcurrencyResult
+analyzeConcurrency(const Session &session,
+                   DurationNs perceptible_threshold)
 {
-    // Counters indexed by TraceThreadState.
-    std::size_t all[4] = {0, 0, 0, 0};
-    std::size_t perc[4] = {0, 0, 0, 0};
+    return finishConcurrency(
+        countConcurrency(session, 0, session.episodes().size(),
+                         perceptible_threshold));
+}
+
+GuiStateCounts
+countGuiStates(const Session &session, std::size_t begin,
+               std::size_t end, DurationNs perceptible_threshold)
+{
+    GuiStateCounts counts;
     const ThreadId gui = session.guiThread();
     const auto &samples = session.samples();
+    const auto &episodes = session.episodes();
 
-    for (const auto &episode : session.episodes()) {
+    for (std::size_t i = begin; i < end; ++i) {
+        const Episode &episode = episodes[i];
         const bool perceptible =
             episode.duration() >= perceptible_threshold;
         for (std::size_t s = episode.firstSample;
@@ -66,45 +81,58 @@ analyzeGuiStates(const Session &session, DurationNs perceptible_threshold)
                     continue;
                 const auto idx =
                     static_cast<std::size_t>(entry.state);
-                ++all[idx];
+                ++counts.all[idx];
                 if (perceptible)
-                    ++perc[idx];
+                    ++counts.perceptible[idx];
                 break;
             }
         }
     }
+    return counts;
+}
 
-    const auto to_shares = [](const std::size_t counts[4]) {
+ThreadStateResult
+finishGuiStates(const GuiStateCounts &counts)
+{
+    const auto to_shares = [](const std::array<std::size_t, 4> &bucket) {
         GuiStateShares shares;
         shares.sampleCount =
-            counts[0] + counts[1] + counts[2] + counts[3];
+            bucket[0] + bucket[1] + bucket[2] + bucket[3];
         if (shares.sampleCount == 0)
             return shares;
         const auto total = static_cast<double>(shares.sampleCount);
         using TS = trace::TraceThreadState;
         shares.runnable =
             static_cast<double>(
-                counts[static_cast<std::size_t>(TS::Runnable)]) /
+                bucket[static_cast<std::size_t>(TS::Runnable)]) /
             total;
         shares.blocked =
             static_cast<double>(
-                counts[static_cast<std::size_t>(TS::Blocked)]) /
+                bucket[static_cast<std::size_t>(TS::Blocked)]) /
             total;
         shares.waiting =
             static_cast<double>(
-                counts[static_cast<std::size_t>(TS::Waiting)]) /
+                bucket[static_cast<std::size_t>(TS::Waiting)]) /
             total;
         shares.sleeping =
             static_cast<double>(
-                counts[static_cast<std::size_t>(TS::Sleeping)]) /
+                bucket[static_cast<std::size_t>(TS::Sleeping)]) /
             total;
         return shares;
     };
 
     ThreadStateResult result;
-    result.all = to_shares(all);
-    result.perceptible = to_shares(perc);
+    result.all = to_shares(counts.all);
+    result.perceptible = to_shares(counts.perceptible);
     return result;
+}
+
+ThreadStateResult
+analyzeGuiStates(const Session &session, DurationNs perceptible_threshold)
+{
+    return finishGuiStates(countGuiStates(session, 0,
+                                          session.episodes().size(),
+                                          perceptible_threshold));
 }
 
 } // namespace lag::core

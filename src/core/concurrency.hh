@@ -17,6 +17,8 @@
 #ifndef LAG_CORE_CONCURRENCY_HH
 #define LAG_CORE_CONCURRENCY_HH
 
+#include <array>
+
 #include "session.hh"
 
 namespace lag::core
@@ -30,6 +32,35 @@ struct ConcurrencyResult
     std::size_t samplesAll = 0;
     std::size_t samplesPerceptible = 0;
 };
+
+/**
+ * Integer partial of the concurrency analysis over an episode
+ * range; partials over disjoint ranges merge by addition.
+ */
+struct ConcurrencyCounts
+{
+    std::uint64_t runnableAll = 0;
+    std::uint64_t runnablePerceptible = 0;
+    std::size_t samplesAll = 0;
+    std::size_t samplesPerceptible = 0;
+
+    void
+    merge(const ConcurrencyCounts &other)
+    {
+        runnableAll += other.runnableAll;
+        runnablePerceptible += other.runnablePerceptible;
+        samplesAll += other.samplesAll;
+        samplesPerceptible += other.samplesPerceptible;
+    }
+};
+
+/** Tally runnable-thread counts over episodes [begin, end). */
+ConcurrencyCounts countConcurrency(const Session &session,
+                                   std::size_t begin, std::size_t end,
+                                   DurationNs perceptible_threshold);
+
+/** Turn merged counts into means. */
+ConcurrencyResult finishConcurrency(const ConcurrencyCounts &counts);
 
 /** Run the concurrency analysis on a session. */
 ConcurrencyResult analyzeConcurrency(const Session &session,
@@ -52,6 +83,33 @@ struct ThreadStateResult
     GuiStateShares all;
     GuiStateShares perceptible;
 };
+
+/**
+ * Integer partial of the GUI-thread state analysis over an episode
+ * range; partials over disjoint ranges merge by addition.
+ */
+struct GuiStateCounts
+{
+    std::array<std::size_t, 4> all{};         ///< by TraceThreadState
+    std::array<std::size_t, 4> perceptible{}; ///< by TraceThreadState
+
+    void
+    merge(const GuiStateCounts &other)
+    {
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            all[i] += other.all[i];
+            perceptible[i] += other.perceptible[i];
+        }
+    }
+};
+
+/** Tally GUI-thread states over episodes [begin, end). */
+GuiStateCounts countGuiStates(const Session &session,
+                              std::size_t begin, std::size_t end,
+                              DurationNs perceptible_threshold);
+
+/** Turn merged counts into shares. */
+ThreadStateResult finishGuiStates(const GuiStateCounts &counts);
 
 /** Run the GUI-thread state analysis on a session. */
 ThreadStateResult analyzeGuiStates(const Session &session,

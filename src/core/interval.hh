@@ -16,10 +16,25 @@
 #include <vector>
 
 #include "trace/trace.hh"
+#include "util/arena.hh"
 #include "util/types.hh"
 
 namespace lag::core
 {
+
+struct IntervalNode;
+
+/** Allocator for interval-tree storage; default-constructed = heap. */
+using IntervalAllocator = ArenaAllocator<IntervalNode>;
+
+/**
+ * Vector of interval nodes.  A default-constructed IntervalVec
+ * allocates from the global heap (hand-built trees in tests and
+ * benchmarks need nothing special); Session::fromTrace seeds its
+ * builders with an arena-backed allocator, which propagates through
+ * container moves so the whole tree lands in the session's arena.
+ */
+using IntervalVec = std::vector<IntervalNode, IntervalAllocator>;
 
 /** The six interval types of Table I. */
 enum class IntervalType : std::uint8_t
@@ -52,7 +67,7 @@ struct IntervalNode
     /** Minor/major; meaningful for Gc nodes only. */
     trace::TraceGcKind gcKind = trace::TraceGcKind::Minor;
 
-    std::vector<IntervalNode> children;
+    IntervalVec children;
 
     DurationNs duration() const { return end - begin; }
 

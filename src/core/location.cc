@@ -5,43 +5,26 @@
 namespace lag::core
 {
 
-namespace
+LocationShares
+LocationTally::finish() const
 {
-
-/** Accumulator for one episode set. */
-struct Tally
-{
-    std::size_t appSamples = 0;
-    std::size_t librarySamples = 0;
-    DurationNs gcTime = 0;
-    DurationNs nativeTime = 0;
-    DurationNs episodeTime = 0;
-    std::size_t episodes = 0;
-
-    LocationShares
-    finish() const
-    {
-        LocationShares shares;
-        shares.sampleCount = appSamples + librarySamples;
-        if (shares.sampleCount > 0) {
-            const auto total = static_cast<double>(shares.sampleCount);
-            shares.appFraction =
-                static_cast<double>(appSamples) / total;
-            shares.libraryFraction =
-                static_cast<double>(librarySamples) / total;
-        }
-        shares.episodeCount = episodes;
-        if (episodeTime > 0) {
-            const auto total = static_cast<double>(episodeTime);
-            shares.gcFraction = static_cast<double>(gcTime) / total;
-            shares.nativeFraction =
-                static_cast<double>(nativeTime) / total;
-        }
-        return shares;
+    LocationShares shares;
+    shares.sampleCount = appSamples + librarySamples;
+    if (shares.sampleCount > 0) {
+        const auto total = static_cast<double>(shares.sampleCount);
+        shares.appFraction = static_cast<double>(appSamples) / total;
+        shares.libraryFraction =
+            static_cast<double>(librarySamples) / total;
     }
-};
-
-} // namespace
+    shares.episodeCount = episodes;
+    if (episodeTime > 0) {
+        const auto total = static_cast<double>(episodeTime);
+        shares.gcFraction = static_cast<double>(gcTime) / total;
+        shares.nativeFraction =
+            static_cast<double>(nativeTime) / total;
+    }
+    return shares;
+}
 
 DurationNs
 nativeTimeExcludingGc(const IntervalNode &root)
@@ -59,15 +42,17 @@ nativeTimeExcludingGc(const IntervalNode &root)
     return total;
 }
 
-LocationAnalysisResult
-analyzeLocation(const Session &session, DurationNs perceptible_threshold)
+LocationCounts
+countLocation(const Session &session, std::size_t begin,
+              std::size_t end, DurationNs perceptible_threshold)
 {
-    Tally all;
-    Tally perc;
+    LocationCounts counts;
     const ThreadId gui = session.guiThread();
     const auto &samples = session.samples();
+    const auto &episodes = session.episodes();
 
-    for (const auto &episode : session.episodes()) {
+    for (std::size_t i = begin; i < end; ++i) {
+        const Episode &episode = episodes[i];
         const IntervalNode &root = session.episodeRoot(episode);
         const bool perceptible =
             episode.duration() >= perceptible_threshold;
@@ -92,7 +77,7 @@ analyzeLocation(const Session &session, DurationNs perceptible_threshold)
             }
         }
 
-        const auto apply = [&](Tally &tally) {
+        const auto apply = [&](LocationTally &tally) {
             tally.appSamples += app;
             tally.librarySamples += lib;
             tally.gcTime += gc_time;
@@ -100,15 +85,28 @@ analyzeLocation(const Session &session, DurationNs perceptible_threshold)
             tally.episodeTime += episode.duration();
             ++tally.episodes;
         };
-        apply(all);
+        apply(counts.all);
         if (perceptible)
-            apply(perc);
+            apply(counts.perceptible);
     }
+    return counts;
+}
 
+LocationAnalysisResult
+finishLocation(const LocationCounts &counts)
+{
     LocationAnalysisResult result;
-    result.all = all.finish();
-    result.perceptible = perc.finish();
+    result.all = counts.all.finish();
+    result.perceptible = counts.perceptible.finish();
     return result;
+}
+
+LocationAnalysisResult
+analyzeLocation(const Session &session, DurationNs perceptible_threshold)
+{
+    return finishLocation(countLocation(session, 0,
+                                        session.episodes().size(),
+                                        perceptible_threshold));
 }
 
 } // namespace lag::core

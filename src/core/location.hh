@@ -48,6 +48,56 @@ struct LocationAnalysisResult
  * time nested inside them. */
 DurationNs nativeTimeExcludingGc(const IntervalNode &root);
 
+/** Integer accumulator for one episode set. */
+struct LocationTally
+{
+    std::size_t appSamples = 0;
+    std::size_t librarySamples = 0;
+    DurationNs gcTime = 0;
+    DurationNs nativeTime = 0;
+    DurationNs episodeTime = 0;
+    std::size_t episodes = 0;
+
+    void
+    merge(const LocationTally &other)
+    {
+        appSamples += other.appSamples;
+        librarySamples += other.librarySamples;
+        gcTime += other.gcTime;
+        nativeTime += other.nativeTime;
+        episodeTime += other.episodeTime;
+        episodes += other.episodes;
+    }
+
+    /** Turn the tally into fractional shares. */
+    LocationShares finish() const;
+};
+
+/**
+ * Integer partial of the location analysis over an episode range;
+ * partials over disjoint ranges merge by addition.
+ */
+struct LocationCounts
+{
+    LocationTally all;
+    LocationTally perceptible;
+
+    void
+    merge(const LocationCounts &other)
+    {
+        all.merge(other.all);
+        perceptible.merge(other.perceptible);
+    }
+};
+
+/** Tally location data over episodes [begin, end). */
+LocationCounts countLocation(const Session &session, std::size_t begin,
+                             std::size_t end,
+                             DurationNs perceptible_threshold);
+
+/** Turn merged counts into shares. */
+LocationAnalysisResult finishLocation(const LocationCounts &counts);
+
 /** Run the location analysis on a session. */
 LocationAnalysisResult analyzeLocation(const Session &session,
                                        DurationNs perceptible_threshold);

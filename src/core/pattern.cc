@@ -139,34 +139,49 @@ PatternMiner::PatternMiner(DurationNs perceptible_threshold)
 PatternSet
 PatternMiner::mine(const Session &session) const
 {
-    PatternSet result;
-    result.perceptibleThreshold = threshold_;
+    std::vector<PatternShard> shards;
+    shards.push_back(
+        mineRange(session, 0, session.episodes().size()));
+    return merge(std::move(shards));
+}
+
+PatternShard
+PatternMiner::mineRange(const Session &session, std::size_t begin,
+                        std::size_t end) const
+{
+    const auto &episodes = session.episodes();
+    lag_assert(begin <= end && end <= episodes.size(),
+               "episode range out of bounds");
+
+    PatternShard shard;
+    shard.beginEpisode = begin;
+    shard.endEpisode = end;
 
     std::unordered_map<std::string, std::size_t> index;
-    const auto &episodes = session.episodes();
 
-    for (std::size_t i = 0; i < episodes.size(); ++i) {
+    for (std::size_t i = begin; i < end; ++i) {
         const IntervalNode &root = session.episodeRoot(episodes[i]);
         if (root.children.empty()) {
             // "We exclude episodes that have no internal structure"
             // (paper §IV.A).
-            ++result.structurelessEpisodes;
+            ++shard.structurelessEpisodes;
             continue;
         }
         std::string signature =
             patternSignature(root, session.strings());
 
         const auto [it, inserted] =
-            index.emplace(signature, result.patterns.size());
+            index.emplace(signature, shard.patterns.size());
         if (inserted) {
             Pattern pattern;
             pattern.key = fnv1a(signature);
             pattern.signature = std::move(signature);
             pattern.descendants = nonGcDescendants(root);
             pattern.depth = nonGcDepth(root);
-            result.patterns.push_back(std::move(pattern));
+            // Per-pattern membership is unknowable up front.
+            shard.patterns.push_back(std::move(pattern)); // lag-lint: allow(reserve-loop)
         }
-        Pattern &pattern = result.patterns[it->second];
+        Pattern &pattern = shard.patterns[it->second];
 
         const DurationNs lag = episodes[i].duration();
         const bool perceptible = lag >= threshold_;
@@ -181,8 +196,53 @@ PatternMiner::mine(const Session &session) const
         pattern.totalLag += lag;
         if (perceptible)
             ++pattern.perceptibleCount;
-        pattern.episodes.push_back(i);
-        ++result.coveredEpisodes;
+        pattern.episodes.push_back(i); // lag-lint: allow(reserve-loop)
+        ++shard.coveredEpisodes;
+    }
+    return shard;
+}
+
+PatternSet
+PatternMiner::merge(std::vector<PatternShard> shards) const
+{
+    PatternSet result;
+    result.perceptibleThreshold = threshold_;
+
+    std::size_t patternUpperBound = 0;
+    for (std::size_t k = 0; k < shards.size(); ++k) {
+        if (k > 0) {
+            lag_assert(shards[k].beginEpisode ==
+                           shards[k - 1].endEpisode,
+                       "pattern shards must cover adjacent ranges");
+        }
+        patternUpperBound += shards[k].patterns.size();
+    }
+    result.patterns.reserve(patternUpperBound);
+
+    std::unordered_map<std::string, std::size_t> index;
+    for (auto &shard : shards) {
+        for (auto &incoming : shard.patterns) {
+            const auto [it, inserted] = index.emplace(
+                incoming.signature, result.patterns.size());
+            if (inserted) {
+                result.patterns.push_back(std::move(incoming));
+                continue;
+            }
+            // Later shards cover later episodes, so the existing
+            // entry keeps first-seen fields (signature, key,
+            // descendants, depth, firstPerceptible) and the member
+            // list simply concatenates in ascending order.
+            Pattern &pattern = result.patterns[it->second];
+            pattern.minLag = std::min(pattern.minLag, incoming.minLag);
+            pattern.maxLag = std::max(pattern.maxLag, incoming.maxLag);
+            pattern.totalLag += incoming.totalLag;
+            pattern.perceptibleCount += incoming.perceptibleCount;
+            pattern.episodes.insert(pattern.episodes.end(),
+                                    incoming.episodes.begin(),
+                                    incoming.episodes.end());
+        }
+        result.coveredEpisodes += shard.coveredEpisodes;
+        result.structurelessEpisodes += shard.structurelessEpisodes;
     }
 
     for (auto &pattern : result.patterns) {

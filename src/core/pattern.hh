@@ -109,6 +109,26 @@ struct PatternSet
 };
 
 /**
+ * Partial mining result over a contiguous episode range
+ * [beginEpisode, endEpisode).  Patterns appear in first-seen order
+ * with statistics covering only the range; PatternMiner::merge
+ * reduces adjacent shards into a PatternSet that is byte-identical
+ * to a serial mine over the union — the basis of within-session
+ * parallel mining.
+ */
+struct PatternShard
+{
+    std::size_t beginEpisode = 0;
+    std::size_t endEpisode = 0;
+
+    /** Patterns in first-seen (episode) order within the range. */
+    std::vector<Pattern> patterns;
+
+    std::size_t coveredEpisodes = 0;
+    std::size_t structurelessEpisodes = 0;
+};
+
+/**
  * Compute the canonical structural signature of an interval tree.
  * GC nodes are skipped entirely; timing is not part of the result.
  * Exposed for tests and for cross-session pattern matching.
@@ -126,6 +146,19 @@ class PatternMiner
 
     /** Group the session's episodes into patterns. */
     PatternSet mine(const Session &session) const;
+
+    /** Mine only episodes [begin, end) into an ordered partial. */
+    PatternShard mineRange(const Session &session, std::size_t begin,
+                           std::size_t end) const;
+
+    /**
+     * Reduce shards over adjacent, ascending episode ranges into a
+     * full PatternSet.  The result is independent of how the
+     * episode axis was cut: mine() is merge({mineRange(all)}) by
+     * definition, and any other contiguous partition merges to the
+     * same bytes.
+     */
+    PatternSet merge(std::vector<PatternShard> shards) const;
 
   private:
     DurationNs threshold_;

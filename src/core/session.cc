@@ -17,9 +17,82 @@ using trace::TraceError;
 /** Per-thread state while replaying the event stream. */
 struct TreeBuilder
 {
-    std::vector<IntervalNode> roots;
-    std::vector<IntervalNode> stack; ///< open nodes, innermost last
+    explicit TreeBuilder(const IntervalAllocator &alloc)
+        : roots(alloc), stack(alloc)
+    {
+    }
+
+    IntervalVec roots;
+    IntervalVec stack; ///< open nodes, innermost last
 };
+
+/** Per-thread tallies from the counting pre-pass. */
+struct ThreadCounts
+{
+    std::vector<std::size_t> open; ///< begin-event indices
+    std::size_t roots = 0;
+    std::size_t maxDepth = 0;
+};
+
+/**
+ * Counting pre-pass: replay the event stream once without building
+ * anything, recording each begin event's eventual child count, each
+ * thread's root count and maximum nesting depth, and the number of
+ * collections.  The build pass then reserves every vector exactly,
+ * so arena storage is never abandoned to regrowth.  Malformed
+ * streams are deliberately tolerated here — the build pass raises
+ * the authoritative errors.
+ */
+struct PrePass
+{
+    std::vector<std::uint32_t> childCount; ///< by begin-event index
+    std::unordered_map<ThreadId, ThreadCounts> threads;
+    std::size_t collections = 0;
+};
+
+PrePass
+countEvents(const trace::Trace &trace)
+{
+    PrePass pre;
+    pre.childCount.assign(trace.events.size(), 0);
+    for (const auto &thread : trace.threads)
+        pre.threads.emplace(thread.id, ThreadCounts{});
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+        const auto &event = trace.events[i];
+        switch (event.type) {
+          case EventType::DispatchBegin:
+          case EventType::IntervalBegin: {
+            auto it = pre.threads.find(event.thread);
+            if (it == pre.threads.end())
+                break;
+            // Nesting depth is data-dependent and usually tiny; a
+            // reserve here would just guess.
+            it->second.open.push_back(i); // lag-lint: allow(reserve-loop)
+            it->second.maxDepth = std::max(it->second.maxDepth,
+                                           it->second.open.size());
+            break;
+          }
+          case EventType::DispatchEnd:
+          case EventType::IntervalEnd: {
+            auto it = pre.threads.find(event.thread);
+            if (it == pre.threads.end() || it->second.open.empty())
+                break;
+            it->second.open.pop_back();
+            if (it->second.open.empty())
+                ++it->second.roots;
+            else
+                ++pre.childCount[it->second.open.back()];
+            break;
+          }
+          case EventType::GcBegin:
+            break;
+          case EventType::GcEnd:
+            ++pre.collections;
+            break;
+        }
+    }
+    return pre;
+}
 
 /** Close the innermost open node and attach it to its parent. */
 void
@@ -52,7 +125,7 @@ closeTop(TreeBuilder &builder, TimeNs time, bool expect_dispatch,
  * the trace is inconsistent (the world was not stopped).
  */
 void
-insertGcInto(std::vector<IntervalNode> &siblings, const IntervalNode &gc)
+insertGcInto(IntervalVec &siblings, const IntervalNode &gc)
 {
     // Find a sibling that fully contains the collection.
     for (auto &sibling : siblings) {
@@ -82,29 +155,50 @@ insertGcInto(std::vector<IntervalNode> &siblings, const IntervalNode &gc)
 } // namespace
 
 Session
-Session::fromTrace(trace::Trace trace)
+Session::fromTrace(trace::Trace trace, const SessionBuildOptions &options)
 {
     trace.validate();
 
     Session session;
+    if (options.useArena)
+        session.arena_ = std::make_unique<Arena>();
+    // Null arena degrades to the global heap; either way every node
+    // vector below is seeded with this allocator so tree storage
+    // follows it through container moves.
+    const IntervalAllocator alloc(session.arena_.get());
+
     session.meta_ = std::move(trace.meta);
     session.samples_ = std::move(trace.samples);
     session.strings_ = std::move(trace.strings);
 
+    const PrePass pre = countEvents(trace);
+
     std::unordered_map<ThreadId, TreeBuilder> builders;
-    for (const auto &thread : trace.threads)
-        builders.emplace(thread.id, TreeBuilder{});
+    for (const auto &thread : trace.threads) {
+        const auto it =
+            builders.emplace(thread.id, TreeBuilder(alloc)).first;
+        const ThreadCounts &tallies = pre.threads.at(thread.id);
+        // Root slots plus room for root-level GC copies; the stack
+        // never regrows past the deepest nesting seen.
+        it->second.roots.reserve(tallies.roots + pre.collections);
+        it->second.stack.reserve(tallies.maxDepth);
+    }
+    session.threads_.reserve(trace.threads.size());
 
     std::vector<IntervalNode> collections;
+    collections.reserve(pre.collections);
     bool gc_open = false;
     IntervalNode gc_node;
 
-    for (const auto &event : trace.events) {
+    for (std::size_t i = 0; i < trace.events.size(); ++i) {
+        const auto &event = trace.events[i];
         switch (event.type) {
           case EventType::DispatchBegin: {
             IntervalNode node;
             node.type = IntervalType::Dispatch;
             node.begin = event.time;
+            node.children = IntervalVec(alloc);
+            node.children.reserve(pre.childCount[i]);
             builders.at(event.thread).stack.push_back(std::move(node));
             break;
           }
@@ -118,6 +212,8 @@ Session::fromTrace(trace::Trace trace)
             node.begin = event.time;
             node.classSym = event.classSym;
             node.methodSym = event.methodSym;
+            node.children = IntervalVec(alloc);
+            node.children.reserve(pre.childCount[i]);
             builders.at(event.thread).stack.push_back(std::move(node));
             break;
           }
@@ -170,6 +266,16 @@ Session::fromTrace(trace::Trace trace)
     }
 
     // Collect episodes from dispatch threads, in time order.
+    std::size_t episodeCount = 0;
+    for (const auto &tree : session.threads_) {
+        if (!tree.isGui)
+            continue;
+        for (const auto &root : tree.roots) {
+            if (root.type == IntervalType::Dispatch)
+                ++episodeCount;
+        }
+    }
+    session.episodes_.reserve(episodeCount);
     for (std::size_t t = 0; t < session.threads_.size(); ++t) {
         const ThreadTree &tree = session.threads_[t];
         if (!tree.isGui)
@@ -210,6 +316,26 @@ Session::fromTrace(trace::Trace trace)
     }
 
     return session;
+}
+
+Session::Session(const Session &other)
+    : meta_(other.meta_), threads_(other.threads_),
+      episodes_(other.episodes_), samples_(other.samples_),
+      strings_(other.strings_)
+{
+    // threads_ copied via ArenaAllocator's
+    // select_on_container_copy_construction: heap-backed, so no
+    // arena is needed (or shared) here.
+}
+
+Session &
+Session::operator=(const Session &other)
+{
+    if (this != &other) {
+        Session copy(other);
+        *this = std::move(copy);
+    }
+    return *this;
 }
 
 const ThreadTree &

@@ -15,11 +15,13 @@
 #define LAG_CORE_SESSION_HH
 
 #include <cstddef>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "interval.hh"
 #include "trace/trace.hh"
+#include "util/arena.hh"
 #include "util/types.hh"
 
 namespace lag::core
@@ -31,7 +33,19 @@ struct ThreadTree
     ThreadId id = 0;
     std::string name;
     bool isGui = false;
-    std::vector<IntervalNode> roots; ///< time-ordered
+    IntervalVec roots; ///< time-ordered
+};
+
+/** Knobs for Session::fromTrace. */
+struct SessionBuildOptions
+{
+    /**
+     * Build the interval trees in a session-owned bump arena
+     * (default).  Off, every node vector comes from the global
+     * heap; the resulting session is identical — the switch exists
+     * so benchmarks can compare allocation behaviour.
+     */
+    bool useArena = true;
 };
 
 /**
@@ -58,8 +72,24 @@ class Session
     /**
      * Build a session from a trace. Validates interval nesting and
      * GC containment; throws trace::TraceError on malformed input.
+     *
+     * Interval trees are stored in a session-owned bump arena (see
+     * SessionBuildOptions), with per-node child vectors reserved
+     * exactly from a counting pre-pass over the event stream.
      */
-    static Session fromTrace(trace::Trace trace);
+    static Session fromTrace(trace::Trace trace,
+                             const SessionBuildOptions &options = {});
+
+    /**
+     * Copies are deep and heap-backed: the arena (if any) stays
+     * with the source, and the copied trees allocate from the
+     * global heap, so a copy is always safe to outlive the
+     * original.
+     */
+    Session(const Session &other);
+    Session &operator=(const Session &other);
+    Session(Session &&) noexcept = default;
+    Session &operator=(Session &&) noexcept = default;
 
     const trace::TraceMeta &meta() const { return meta_; }
     const std::vector<ThreadTree> &threads() const { return threads_; }
@@ -94,9 +124,15 @@ class Session
     /** Count of episodes at or above @p threshold. */
     std::size_t perceptibleCount(DurationNs threshold) const;
 
+    /** Arena backing the interval trees; null for heap builds. */
+    const Arena *arena() const { return arena_.get(); }
+
   private:
     Session() = default;
 
+    // The arena must outlive the interval trees that live in it:
+    // declared first so it is destroyed after threads_.
+    std::unique_ptr<Arena> arena_;
     trace::TraceMeta meta_;
     std::vector<ThreadTree> threads_;
     std::vector<Episode> episodes_;

@@ -67,39 +67,53 @@ episodeTrigger(const IntervalNode &root)
     return TriggerKind::Unspecified;
 }
 
-TriggerAnalysisResult
-analyzeTriggers(const Session &session, DurationNs perceptible_threshold)
+TriggerCounts
+countTriggers(const Session &session, std::size_t begin,
+              std::size_t end, DurationNs perceptible_threshold)
 {
-    std::size_t counts_all[4] = {0, 0, 0, 0};
-    std::size_t counts_perc[4] = {0, 0, 0, 0};
-
-    for (const auto &episode : session.episodes()) {
+    TriggerCounts counts;
+    const auto &episodes = session.episodes();
+    for (std::size_t i = begin; i < end; ++i) {
+        const Episode &episode = episodes[i];
         const TriggerKind kind =
             episodeTrigger(session.episodeRoot(episode));
         const auto idx = static_cast<std::size_t>(kind);
-        ++counts_all[idx];
+        ++counts.all[idx];
         if (episode.duration() >= perceptible_threshold)
-            ++counts_perc[idx];
+            ++counts.perceptible[idx];
     }
+    return counts;
+}
 
-    const auto to_shares = [](const std::size_t counts[4]) {
+TriggerAnalysisResult
+finishTriggers(const TriggerCounts &counts)
+{
+    const auto to_shares = [](const std::array<std::size_t, 4> &bucket) {
         TriggerShares shares;
         shares.episodeCount =
-            counts[0] + counts[1] + counts[2] + counts[3];
+            bucket[0] + bucket[1] + bucket[2] + bucket[3];
         if (shares.episodeCount == 0)
             return shares;
         const auto total = static_cast<double>(shares.episodeCount);
-        shares.input = static_cast<double>(counts[0]) / total;
-        shares.output = static_cast<double>(counts[1]) / total;
-        shares.async = static_cast<double>(counts[2]) / total;
-        shares.unspecified = static_cast<double>(counts[3]) / total;
+        shares.input = static_cast<double>(bucket[0]) / total;
+        shares.output = static_cast<double>(bucket[1]) / total;
+        shares.async = static_cast<double>(bucket[2]) / total;
+        shares.unspecified = static_cast<double>(bucket[3]) / total;
         return shares;
     };
 
     TriggerAnalysisResult result;
-    result.all = to_shares(counts_all);
-    result.perceptible = to_shares(counts_perc);
+    result.all = to_shares(counts.all);
+    result.perceptible = to_shares(counts.perceptible);
     return result;
+}
+
+TriggerAnalysisResult
+analyzeTriggers(const Session &session, DurationNs perceptible_threshold)
+{
+    return finishTriggers(countTriggers(session, 0,
+                                        session.episodes().size(),
+                                        perceptible_threshold));
 }
 
 } // namespace lag::core

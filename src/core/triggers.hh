@@ -19,6 +19,7 @@
 #ifndef LAG_CORE_TRIGGERS_HH
 #define LAG_CORE_TRIGGERS_HH
 
+#include <array>
 #include <cstdint>
 
 #include "session.hh"
@@ -58,6 +59,34 @@ struct TriggerAnalysisResult
     TriggerShares all;
     TriggerShares perceptible;
 };
+
+/**
+ * Integer partial of the trigger analysis over an episode range.
+ * Partials over disjoint ranges merge by addition, so any contiguous
+ * sharding finishes to the exact bytes of the serial analysis.
+ */
+struct TriggerCounts
+{
+    std::array<std::size_t, 4> all{};         ///< by TriggerKind
+    std::array<std::size_t, 4> perceptible{}; ///< by TriggerKind
+
+    void
+    merge(const TriggerCounts &other)
+    {
+        for (std::size_t i = 0; i < all.size(); ++i) {
+            all[i] += other.all[i];
+            perceptible[i] += other.perceptible[i];
+        }
+    }
+};
+
+/** Tally triggers over episodes [begin, end). */
+TriggerCounts countTriggers(const Session &session, std::size_t begin,
+                            std::size_t end,
+                            DurationNs perceptible_threshold);
+
+/** Turn merged counts into shares. */
+TriggerAnalysisResult finishTriggers(const TriggerCounts &counts);
 
 /** Run the trigger analysis on a session. */
 TriggerAnalysisResult analyzeTriggers(const Session &session,

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Within-session parallel analysis with deterministic merge.
+ *
+ * The study pipeline already parallelizes ACROSS sessions; this
+ * layer shards the episode axis of ONE session across the pool.
+ * Each shard runs the range-based core analyses (pattern mining,
+ * triggers, location, concurrency, GUI states) over a contiguous
+ * episode range into an index-addressed partial; a serial merge in
+ * shard order then reduces the partials.  Because every partial is
+ * pure integer arithmetic (doubles only appear in the finish step)
+ * and the merge order is fixed by the episode axis — never by
+ * completion order — the output is byte-identical to the serial
+ * analysis at any worker count and any shard count.
+ *
+ * Callers must invoke these from OUTSIDE the pool: they block on
+ * ThreadPool::waitIdle, which must not run on a pool worker.  In
+ * particular, do not call them from inside a parallelFor that
+ * already fans out across sessions on the same pool.
+ */
+
+#ifndef LAG_ENGINE_PARALLEL_ANALYSIS_HH
+#define LAG_ENGINE_PARALLEL_ANALYSIS_HH
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "core/pattern.hh"
+#include "core/session.hh"
+#include "pool.hh"
+#include "result_cache.hh"
+#include "util/types.hh"
+
+namespace lag::engine
+{
+
+/**
+ * Cut [0, episodeCount) into @p shardCount contiguous ascending
+ * ranges of near-equal size (the first remainder shards hold one
+ * extra episode).  With zero episodes or a single shard the result
+ * is one range covering everything.
+ */
+std::vector<std::pair<std::size_t, std::size_t>>
+episodeShards(std::size_t episodeCount, std::size_t shardCount);
+
+/**
+ * Number of shards worth cutting for @p episodeCount episodes on
+ * @p workerCount workers: enough to balance uneven shards, never so
+ * many that per-shard work vanishes into scheduling overhead.
+ */
+std::size_t shardCountFor(std::size_t workerCount,
+                          std::size_t episodeCount);
+
+/**
+ * Pattern mining sharded over @p pool.  Byte-identical to
+ * PatternMiner(threshold).mine(session) at any worker count.
+ */
+core::PatternSet minePatternsParallel(const core::Session &session,
+                                      DurationNs perceptible_threshold,
+                                      ThreadPool &pool);
+
+/**
+ * The full per-session analysis suite sharded over @p pool.
+ * Byte-identical (through serializeSessionAnalysis) to
+ * analyzeSession(session, threshold) at any worker count.
+ */
+SessionAnalysis
+analyzeSessionParallel(const core::Session &session,
+                       DurationNs perceptible_threshold,
+                       ThreadPool &pool);
+
+} // namespace lag::engine
+
+#endif // LAG_ENGINE_PARALLEL_ANALYSIS_HH

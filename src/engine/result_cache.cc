@@ -1,6 +1,8 @@
 #include "result_cache.hh"
 
+#include <algorithm>
 #include <bit>
+#include <chrono>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
@@ -292,6 +294,12 @@ ResultCache::ResultCache(std::string cache_dir,
     : dir_(std::move(cache_dir)),
       fingerprint_(std::move(study_fingerprint))
 {
+    Fnv1aHasher hasher;
+    hasher.addString(fingerprint_);
+    hasher.addValue(kAnalysisVersion);
+    std::ostringstream hex;
+    hex << std::hex << hasher.digest();
+    tag_ = hex.str();
 }
 
 std::string
@@ -306,7 +314,90 @@ ResultCache::entryPath(std::string_view app_name,
     std::ostringstream hex;
     hex << std::hex << hasher.digest();
     return dir_ + "/analysis/" + std::string(app_name) + "_s" +
-           std::to_string(session_index) + "_" + hex.str() + ".ares";
+           std::to_string(session_index) + "_g" + tag_ + "-" +
+           hex.str() + ".ares";
+}
+
+CacheEvictionResult
+ResultCache::evict(const CacheEvictionPolicy &policy) const
+{
+    CacheEvictionResult result;
+    const fs::path root = fs::path(dir_) / "analysis";
+    std::error_code ec;
+    if (!fs::is_directory(root, ec))
+        return result;
+
+    struct Entry
+    {
+        fs::path path;
+        std::uint64_t bytes = 0;
+        fs::file_time_type mtime;
+    };
+
+    const auto remove = [&](const Entry &entry) {
+        std::error_code remove_ec;
+        if (fs::remove(entry.path, remove_ec)) {
+            ++result.removedFiles;
+            result.removedBytes += entry.bytes;
+        } else {
+            warn("result cache: cannot evict '",
+                 entry.path.string(), "'");
+        }
+    };
+
+    const std::string liveMark = "_g" + tag_ + "-";
+    const auto now = fs::file_time_type::clock::now();
+    std::vector<Entry> live;
+    for (const auto &dirent : fs::directory_iterator(root, ec)) {
+        if (!dirent.is_regular_file(ec))
+            continue;
+        Entry entry;
+        entry.path = dirent.path();
+        if (entry.path.extension() != ".ares")
+            continue;
+        entry.bytes = dirent.file_size(ec);
+        entry.mtime = dirent.last_write_time(ec);
+
+        // A name without the current generation mark was written
+        // under another fingerprint or analysis version; its content
+        // address can never be requested again.
+        const std::string name = entry.path.filename().string();
+        if (name.find(liveMark) == std::string::npos) {
+            remove(entry);
+            continue;
+        }
+        if (policy.maxAgeSeconds > 0 &&
+            now - entry.mtime >
+                std::chrono::seconds(policy.maxAgeSeconds)) {
+            remove(entry);
+            continue;
+        }
+        live.push_back(std::move(entry));
+    }
+
+    // Oldest first; names break mtime ties so the pass is
+    // deterministic on coarse filesystem timestamps.
+    std::sort(live.begin(), live.end(),
+              [](const Entry &a, const Entry &b) {
+                  if (a.mtime != b.mtime)
+                      return a.mtime < b.mtime;
+                  return a.path.filename().string() <
+                         b.path.filename().string();
+              });
+    std::uint64_t total = 0;
+    for (const Entry &entry : live)
+        total += entry.bytes;
+    std::size_t first_kept = 0;
+    if (policy.maxBytes > 0) {
+        while (first_kept < live.size() && total > policy.maxBytes) {
+            remove(live[first_kept]);
+            total -= live[first_kept].bytes;
+            ++first_kept;
+        }
+    }
+    result.keptFiles = live.size() - first_kept;
+    result.keptBytes = total;
+    return result;
 }
 
 std::optional<SessionAnalysis>

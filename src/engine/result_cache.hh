@@ -22,6 +22,11 @@
  * Serialization is bit-exact for doubles (IEEE-754 bytes), so a
  * cached result is byte-identical to a freshly computed one — the
  * engine's determinism contract extends through the cache.
+ *
+ * The directory is bounded by evict(): entries from old study
+ * fingerprints are unreachable by construction and are dropped on
+ * sight, and the surviving entries can be limited by total size and
+ * by age (see CacheEvictionPolicy).
  */
 
 #ifndef LAG_ENGINE_RESULT_CACHE_HH
@@ -91,6 +96,22 @@ struct ResultCacheStats
     std::uint64_t stores = 0;
 };
 
+/** Limits applied by ResultCache::evict(); 0 means unlimited. */
+struct CacheEvictionPolicy
+{
+    std::uint64_t maxBytes = 0;      ///< total .ares byte budget
+    std::uint64_t maxAgeSeconds = 0; ///< drop entries older than this
+};
+
+/** What one evict() pass removed and what survived it. */
+struct CacheEvictionResult
+{
+    std::uint64_t removedFiles = 0;
+    std::uint64_t removedBytes = 0;
+    std::uint64_t keptFiles = 0;
+    std::uint64_t keptBytes = 0;
+};
+
 /** On-disk cache of SessionAnalysis entries under a study's cache
  * directory. Safe for concurrent use on distinct sessions. */
 class ResultCache
@@ -119,12 +140,28 @@ class ResultCache
      * deterministic once the driving pool is idle. */
     ResultCacheStats stats() const;
 
+    /**
+     * Garbage-collect the analysis directory. Entries written under
+     * a different study fingerprint (or analysis version) are always
+     * removed — their content address can never hit again. Among the
+     * live entries, anything older than @p policy.maxAgeSeconds goes
+     * next, then the oldest files (by modification time, ties broken
+     * by name) until the directory fits @p policy.maxBytes. Call
+     * from a single thread while no analysis tasks are in flight.
+     */
+    CacheEvictionResult evict(const CacheEvictionPolicy &policy) const;
+
   private:
     /** Count a miss and return nullopt (every load() miss path). */
     std::optional<SessionAnalysis> miss() const;
 
     std::string dir_;
     std::string fingerprint_;
+
+    /** Short hash of (fingerprint, analysis version) embedded in
+     * every entry name so evict() can spot stale generations without
+     * opening the files. */
+    std::string tag_;
 
     /** Guards the counters, not the files: entries are atomic on
      * disk (temp + rename) and distinct sessions never collide. */

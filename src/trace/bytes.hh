@@ -120,6 +120,20 @@ class ByteReader
         return s;
     }
 
+    /**
+     * Borrow @p n raw bytes and advance past them.  The pointer
+     * aliases the underlying buffer (mmap or owned); callers must
+     * finish with it before the buffer goes away.
+     */
+    const char *
+    bytes(std::size_t n)
+    {
+        need(n);
+        const char *ptr = data_.data() + pos_;
+        pos_ += n;
+        return ptr;
+    }
+
     /** Bytes not yet consumed. */
     std::size_t remaining() const { return data_.size() - pos_; }
 

@@ -1,12 +1,14 @@
 #include "io.hh"
 
 #include <bit>
+#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <sstream>
 #include <system_error>
 
 #include "bytes.hh"
+#include "mapped_file.hh"
 #include "util/hash.hh"
 #include "util/strings.hh"
 
@@ -20,6 +22,73 @@ namespace
 {
 
 constexpr char kMagic[8] = {'L', 'A', 'G', 'T', 'R', 'C', '\0', '\0'};
+
+/**
+ * Sectioned count header at the head of the payload: record counts
+ * up front so the decoder pre-sizes every vector exactly, plus
+ * aggregate sample totals so implausible (corrupt) counts are
+ * rejected before any large allocation.
+ */
+struct SectionHeader
+{
+    std::uint32_t threadCount = 0;
+    std::uint32_t stringCount = 0;
+    std::uint64_t eventCount = 0;
+    std::uint64_t sampleCount = 0;
+    std::uint64_t sampleThreadTotal = 0;
+    std::uint64_t frameTotal = 0;
+};
+
+void
+writeSectionHeader(ByteWriter &w, const SectionHeader &header)
+{
+    w.u32(header.threadCount);
+    w.u32(header.stringCount);
+    w.u64(header.eventCount);
+    w.u64(header.sampleCount);
+    w.u64(header.sampleThreadTotal);
+    w.u64(header.frameTotal);
+}
+
+SectionHeader
+readSectionHeader(ByteReader &r)
+{
+    SectionHeader header;
+    header.threadCount = r.u32();
+    header.stringCount = r.u32();
+    header.eventCount = r.u64();
+    header.sampleCount = r.u64();
+    header.sampleThreadTotal = r.u64();
+    header.frameTotal = r.u64();
+    return header;
+}
+
+/**
+ * Reject a section count that could not possibly fit in the bytes
+ * that remain, before reserving storage for it.  @p minBytes is the
+ * smallest legal wire size of one record.
+ */
+void
+checkSectionCount(const char *section, std::uint64_t count,
+                  std::size_t minBytes, std::size_t remaining)
+{
+    if (count > 0 && count > remaining / minBytes) {
+        throw TraceError(
+            "implausible " + std::string(section) + " count " +
+            std::to_string(count) + ": only " +
+            std::to_string(remaining) + " payload bytes remain");
+    }
+}
+
+/** Context prefix for a malformed record: which one, and where. */
+std::string
+recordContext(const char *kind, std::uint64_t index,
+              std::size_t payloadOffset)
+{
+    return std::string(kind) + " " + std::to_string(index) +
+           " at payload offset " + std::to_string(payloadOffset) +
+           ": ";
+}
 
 void
 writeMeta(ByteWriter &w, const TraceMeta &meta)
@@ -63,23 +132,29 @@ writeEvent(ByteWriter &w, const TraceEvent &event)
     w.u8(static_cast<std::uint8_t>(event.gcKind));
 }
 
+/**
+ * Decode one fixed-size event record straight from the buffer: a
+ * single bounds check covers all seven fields, so the hot decode
+ * loop does one range test per event instead of seven.
+ */
 TraceEvent
 readEvent(ByteReader &r)
 {
+    const char *p = r.bytes(kEventWireBytes);
     TraceEvent event;
-    const std::uint8_t type = r.u8();
+    const auto type = static_cast<std::uint8_t>(p[0]);
     if (type > static_cast<std::uint8_t>(EventType::GcEnd))
         throw TraceError("unknown event type " + std::to_string(type));
     event.type = static_cast<EventType>(type);
-    event.thread = r.u32();
-    event.time = r.i64();
-    const std::uint8_t kind = r.u8();
+    std::memcpy(&event.thread, p + 1, sizeof(event.thread));
+    std::memcpy(&event.time, p + 5, sizeof(event.time));
+    const auto kind = static_cast<std::uint8_t>(p[13]);
     if (kind > static_cast<std::uint8_t>(IntervalKind::Async))
         throw TraceError("unknown interval kind " + std::to_string(kind));
     event.kind = static_cast<IntervalKind>(kind);
-    event.classSym = r.u32();
-    event.methodSym = r.u32();
-    const std::uint8_t gc = r.u8();
+    std::memcpy(&event.classSym, p + 14, sizeof(event.classSym));
+    std::memcpy(&event.methodSym, p + 18, sizeof(event.methodSym));
+    const auto gc = static_cast<std::uint8_t>(p[22]);
     if (gc > static_cast<std::uint8_t>(TraceGcKind::Major))
         throw TraceError("unknown GC kind " + std::to_string(gc));
     event.gcKind = static_cast<TraceGcKind>(gc);
@@ -108,6 +183,8 @@ readSample(ByteReader &r)
     TraceSample sample;
     sample.time = r.i64();
     const std::uint32_t threads = r.u32();
+    // Each entry needs at least thread id + state + frame count.
+    checkSectionCount("sample thread", threads, 9, r.remaining());
     sample.threads.reserve(threads);
     for (std::uint32_t i = 0; i < threads; ++i) {
         SampleThread entry;
@@ -118,12 +195,18 @@ readSample(ByteReader &r)
                              std::to_string(state));
         entry.state = static_cast<TraceThreadState>(state);
         const std::uint32_t frames = r.u32();
-        entry.frames.reserve(frames);
-        for (std::uint32_t f = 0; f < frames; ++f) {
-            SampleFrame frame;
-            frame.classSym = r.u32();
-            frame.methodSym = r.u32();
-            entry.frames.push_back(frame);
+        checkSectionCount("sample frame", frames, 8, r.remaining());
+        entry.frames.resize(frames);
+        if (frames > 0) {
+            // Frames are a flat run of {u32 class, u32 method}
+            // pairs: one bounds check, one copy.
+            static_assert(sizeof(SampleFrame) ==
+                              2 * sizeof(std::uint32_t),
+                          "SampleFrame must match its wire layout");
+            const char *raw =
+                r.bytes(static_cast<std::size_t>(frames) * 8);
+            std::memcpy(entry.frames.data(), raw,
+                        static_cast<std::size_t>(frames) * 8);
         }
         sample.threads.push_back(std::move(entry));
     }
@@ -135,25 +218,35 @@ readSample(ByteReader &r)
 std::string
 serializeTrace(const Trace &trace)
 {
+    SectionHeader header;
+    header.threadCount =
+        static_cast<std::uint32_t>(trace.threads.size());
+    header.stringCount =
+        static_cast<std::uint32_t>(trace.strings.size());
+    header.eventCount = trace.events.size();
+    header.sampleCount = trace.samples.size();
+    for (const auto &sample : trace.samples) {
+        header.sampleThreadTotal += sample.threads.size();
+        for (const auto &entry : sample.threads)
+            header.frameTotal += entry.frames.size();
+    }
+
     ByteWriter payload;
+    writeSectionHeader(payload, header);
     writeMeta(payload, trace.meta);
 
-    payload.u32(static_cast<std::uint32_t>(trace.threads.size()));
     for (const auto &thread : trace.threads) {
         payload.u32(thread.id);
         payload.str(thread.name);
         payload.u8(thread.isGui ? 1 : 0);
     }
 
-    payload.u32(static_cast<std::uint32_t>(trace.strings.size()));
     for (const auto &s : trace.strings.all())
         payload.str(s);
 
-    payload.u64(trace.events.size());
     for (const auto &event : trace.events)
         writeEvent(payload, event);
 
-    payload.u64(trace.samples.size());
     for (const auto &sample : trace.samples)
         writeSample(payload, sample);
 
@@ -196,11 +289,20 @@ deserializeTrace(std::string_view data)
 
     ByteReader r(body);
     Trace trace;
+    const SectionHeader counts = readSectionHeader(r);
+    // Minimum wire sizes: thread = id + name length + gui flag,
+    // string = length prefix, sample = time + thread count.
+    checkSectionCount("thread", counts.threadCount, 9, r.remaining());
+    checkSectionCount("string", counts.stringCount, 4, r.remaining());
+    checkSectionCount("event", counts.eventCount, kEventWireBytes,
+                      r.remaining());
+    checkSectionCount("sample", counts.sampleCount, 12,
+                      r.remaining());
+
     trace.meta = readMeta(r);
 
-    const std::uint32_t threads = r.u32();
-    trace.threads.reserve(threads);
-    for (std::uint32_t i = 0; i < threads; ++i) {
+    trace.threads.reserve(counts.threadCount);
+    for (std::uint32_t i = 0; i < counts.threadCount; ++i) {
         TraceThread thread;
         thread.id = r.u32();
         thread.name = r.str();
@@ -208,22 +310,44 @@ deserializeTrace(std::string_view data)
         trace.threads.push_back(std::move(thread));
     }
 
-    const std::uint32_t strings = r.u32();
     std::vector<std::string> list;
-    list.reserve(strings);
-    for (std::uint32_t i = 0; i < strings; ++i)
+    list.reserve(counts.stringCount);
+    for (std::uint32_t i = 0; i < counts.stringCount; ++i)
         list.push_back(r.str());
     trace.strings = StringTable::fromList(std::move(list));
 
-    const std::uint64_t events = r.u64();
-    trace.events.reserve(events);
-    for (std::uint64_t i = 0; i < events; ++i)
-        trace.events.push_back(readEvent(r));
+    trace.events.reserve(counts.eventCount);
+    for (std::uint64_t i = 0; i < counts.eventCount; ++i) {
+        const std::size_t at = r.position();
+        try {
+            trace.events.push_back(readEvent(r));
+        } catch (const TraceError &e) {
+            throw TraceError(recordContext("event", i, at) +
+                             e.what());
+        }
+    }
 
-    const std::uint64_t samples = r.u64();
-    trace.samples.reserve(samples);
-    for (std::uint64_t i = 0; i < samples; ++i)
-        trace.samples.push_back(readSample(r));
+    std::uint64_t sampleThreadTotal = 0;
+    std::uint64_t frameTotal = 0;
+    trace.samples.reserve(counts.sampleCount);
+    for (std::uint64_t i = 0; i < counts.sampleCount; ++i) {
+        const std::size_t at = r.position();
+        try {
+            trace.samples.push_back(readSample(r));
+        } catch (const TraceError &e) {
+            throw TraceError(recordContext("sample", i, at) +
+                             e.what());
+        }
+        const TraceSample &sample = trace.samples.back();
+        sampleThreadTotal += sample.threads.size();
+        for (const auto &entry : sample.threads)
+            frameTotal += entry.frames.size();
+    }
+    if (sampleThreadTotal != counts.sampleThreadTotal ||
+        frameTotal != counts.frameTotal) {
+        throw TraceError(
+            "sample totals disagree with the section header");
+    }
 
     if (r.remaining() != 0) {
         throw TraceError("trailing garbage: " +
@@ -260,8 +384,16 @@ writeTraceFileAtomic(const Trace &trace, const std::string &path)
 }
 
 Trace
-readTraceFile(const std::string &path)
+readTraceFile(const std::string &path, TraceReadMode mode)
 {
+    if (mode == TraceReadMode::Auto) {
+        mode = MappedFile::supported() ? TraceReadMode::Mapped
+                                       : TraceReadMode::Stream;
+    }
+    if (mode == TraceReadMode::Mapped) {
+        const MappedFile file(path);
+        return deserializeTrace(file.view());
+    }
     std::ifstream in(path, std::ios::binary);
     if (!in)
         throw TraceError("cannot open '" + path + "' for reading");

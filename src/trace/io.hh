@@ -7,10 +7,19 @@
  *   magic   "LAGTRC\0\0" (8 bytes)
  *   u32     format version (kFormatVersion)
  *   u64     payload FNV-1a checksum
- *   payload meta, threads, string table, events, samples
+ *   payload section header, meta, threads, string table, events,
+ *           samples
+ *
+ * The payload opens with a sectioned count header (thread, string,
+ * event and sample counts plus aggregate sample totals) so decoders
+ * can pre-size every vector exactly instead of growing through
+ * push_back, and can reject implausible counts before allocating.
  *
  * The checksum covers the payload bytes exactly; readers verify it
  * before decoding, so bit rot and truncation are detected up front.
+ * deserializeTrace borrows its input: handed an mmap-backed view
+ * (see mapped_file.hh) it decodes straight out of the mapping with
+ * no intermediate buffer copy.
  */
 
 #ifndef LAG_TRACE_IO_HH
@@ -23,8 +32,22 @@
 namespace lag::trace
 {
 
-/** Current binary format version. */
-constexpr std::uint32_t kFormatVersion = 2;
+/**
+ * Current binary format version.  Version 3 added the sectioned
+ * count header that enables pre-sized (reserve-exact) decode.
+ */
+constexpr std::uint32_t kFormatVersion = 3;
+
+/** Fixed wire size of one encoded TraceEvent, in bytes. */
+constexpr std::size_t kEventWireBytes = 23;
+
+/** How readTraceFile obtains the file's bytes. */
+enum class TraceReadMode
+{
+    Auto,   ///< mmap when the platform supports it, else stream.
+    Mapped, ///< force the mmap zero-copy path.
+    Stream, ///< force the stream (owned buffer) path.
+};
 
 /** Serialize @p trace into a byte buffer. */
 std::string serializeTrace(const Trace &trace);
@@ -43,8 +66,15 @@ void writeTraceFile(const Trace &trace, const std::string &path);
 void writeTraceFileAtomic(const Trace &trace,
                           const std::string &path);
 
-/** Read a trace from @p path. Throws TraceError on any failure. */
-Trace readTraceFile(const std::string &path);
+/**
+ * Read a trace from @p path. Throws TraceError on any failure.
+ * In Auto (the default) the file is memory-mapped where the platform
+ * allows and decoded zero-copy; Mapped and Stream force one path,
+ * which exists for tests and benchmarks — both decode to identical
+ * traces.
+ */
+Trace readTraceFile(const std::string &path,
+                    TraceReadMode mode = TraceReadMode::Auto);
 
 /**
  * Export a human-readable JSON-lines rendering of @p trace (one

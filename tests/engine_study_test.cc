@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <cstdint>
 #include <filesystem>
 #include <fstream>
@@ -209,6 +210,73 @@ TEST(EngineStudy, DamagedCacheEntryReadsAsMiss)
                   static_cast<std::streamsize>(bytes.size()));
     }
     EXPECT_TRUE(cache.load("App", 3).has_value());
+}
+
+TEST(EngineStudy, EvictDropsStaleFingerprintEntries)
+{
+    const CacheDir dir("lagalyzer-cache-test-evict-stale");
+    const ResultCache oldGen(dir.path, "fp-old");
+    oldGen.store("App", 0, sampleAnalysis());
+    oldGen.store("App", 1, sampleAnalysis());
+    const ResultCache newGen(dir.path, "fp-new");
+    newGen.store("App", 0, sampleAnalysis());
+
+    // A non-entry file in the directory is not the cache's to
+    // delete.
+    {
+        std::ofstream out(dir.path + "/analysis/notes.txt");
+        out << "keep me";
+    }
+
+    // Unlimited policy: only the stale generation goes.
+    const CacheEvictionResult result =
+        newGen.evict(CacheEvictionPolicy{});
+    EXPECT_EQ(result.removedFiles, 2u);
+    EXPECT_EQ(result.keptFiles, 1u);
+    EXPECT_FALSE(fs::exists(oldGen.entryPath("App", 0)));
+    EXPECT_FALSE(fs::exists(oldGen.entryPath("App", 1)));
+    EXPECT_TRUE(fs::exists(newGen.entryPath("App", 0)));
+    EXPECT_TRUE(fs::exists(dir.path + "/analysis/notes.txt"));
+    EXPECT_TRUE(newGen.load("App", 0).has_value());
+}
+
+TEST(EngineStudy, EvictEnforcesByteAndAgeBudgets)
+{
+    const CacheDir dir("lagalyzer-cache-test-evict-budget");
+    const ResultCache cache(dir.path, "fp");
+    for (std::uint32_t s = 0; s < 3; ++s)
+        cache.store("App", s, sampleAnalysis());
+
+    // Backdate the entries so age ordering is unambiguous even on
+    // coarse filesystem timestamps: session 0 oldest.
+    const auto now = fs::file_time_type::clock::now();
+    using std::chrono::hours;
+    fs::last_write_time(cache.entryPath("App", 0), now - hours(3));
+    fs::last_write_time(cache.entryPath("App", 1), now - hours(2));
+    fs::last_write_time(cache.entryPath("App", 2), now - hours(1));
+    const auto entryBytes = static_cast<std::uint64_t>(
+        fs::file_size(cache.entryPath("App", 0)));
+
+    // Byte budget for two entries: the oldest one goes.
+    CacheEvictionPolicy policy;
+    policy.maxBytes = 2 * entryBytes + entryBytes / 2;
+    CacheEvictionResult result = cache.evict(policy);
+    EXPECT_EQ(result.removedFiles, 1u);
+    EXPECT_EQ(result.keptFiles, 2u);
+    EXPECT_EQ(result.keptBytes, 2 * entryBytes);
+    EXPECT_FALSE(fs::exists(cache.entryPath("App", 0)));
+    EXPECT_TRUE(fs::exists(cache.entryPath("App", 1)));
+    EXPECT_TRUE(fs::exists(cache.entryPath("App", 2)));
+
+    // Age limit of 90 minutes: only the freshest entry survives.
+    policy = CacheEvictionPolicy{};
+    policy.maxAgeSeconds = 90 * 60;
+    result = cache.evict(policy);
+    EXPECT_EQ(result.removedFiles, 1u);
+    EXPECT_EQ(result.keptFiles, 1u);
+    EXPECT_FALSE(fs::exists(cache.entryPath("App", 1)));
+    EXPECT_TRUE(fs::exists(cache.entryPath("App", 2)));
+    EXPECT_TRUE(cache.load("App", 2).has_value());
 }
 
 TEST(EngineStudy, TruncatedTraceIsResimulated)

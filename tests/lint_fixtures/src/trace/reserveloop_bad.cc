@@ -1,0 +1,34 @@
+// Fixture: seeded `reserve-loop` violations. The unsized
+// push_back loop (line 10) and emplace_back loop (line 18) must
+// fire; the reserved loop (line 26) and the suppressed loop
+// (line 33) must stay silent.
+#include <vector>
+
+static void grow(std::vector<int> &out, int n)
+{
+    for (int i = 0; i < n; ++i)
+        out.push_back(i);
+}
+
+static void growPairs(int n)
+{
+    std::vector<int> items;
+    while (n > 0) {
+        --n;
+        items.emplace_back(n);
+    }
+}
+
+static void growReserved(std::vector<int> &sized, int n)
+{
+    sized.reserve(static_cast<std::size_t>(n));
+    for (int i = 0; i < n; ++i)
+        sized.push_back(i);
+}
+
+static void growAllowed(std::vector<int> &sink, int n)
+{
+    // Unknown final size: stack-like usage, suppressed.
+    for (int i = 0; i < n; ++i)
+        sink.push_back(i); // lag-lint: allow(reserve-loop)
+}

@@ -129,6 +129,25 @@ TEST(LagLint, FloatHashRuleFires)
         << run.output;
 }
 
+TEST(LagLint, ReserveLoopRuleFires)
+{
+    const LintRun run =
+        lintFixture("src/trace/reserveloop_bad.cc");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[reserve-loop]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/trace/reserveloop_bad.cc:10:"),
+              std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/trace/reserveloop_bad.cc:18:"),
+              std::string::npos)
+        << run.output;
+    // The reserved loop and the suppressed loop must stay silent:
+    // exactly the two seeded lines.
+    EXPECT_NE(run.output.find("2 finding(s)"), std::string::npos)
+        << run.output;
+}
+
 TEST(LagLint, SuppressionSilencesFindings)
 {
     const LintRun run = lintFixture("src/core/suppressed_ok.cc");
@@ -155,7 +174,7 @@ TEST(LagLint, ListRulesNamesEveryRule)
     EXPECT_EQ(run.exitCode, 0);
     for (const char *rule :
          {"wallclock", "unordered-iter", "raw-mutex", "naked-new",
-          "float-hash"}) {
+          "float-hash", "reserve-loop"}) {
         EXPECT_NE(run.output.find(rule), std::string::npos)
             << "missing rule: " << rule;
     }

@@ -1,0 +1,207 @@
+/**
+ * @file
+ * Adversarial decode tests: every truncation, every single-bit
+ * flip, random garbage and forged section counts must surface as a
+ * trace::TraceError — never a crash, a hang or a huge allocation.
+ *
+ * The bit-flip and truncation sweeps rely on the container format:
+ * the whole payload is checksummed and the checksum is verified
+ * before any section is parsed, so damage anywhere in the file is
+ * caught up front. Forged counts additionally exercise the
+ * plausibility guards that run before any count-sized allocation
+ * (a forged count can carry a forged checksum).
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+
+#include "trace/io.hh"
+#include "trace_builder.hh"
+#include "util/hash.hh"
+
+namespace lag::trace
+{
+namespace
+{
+
+/** A small but fully featured trace: several episode shapes, GC,
+ * native work and call-stack samples. */
+Trace
+sampleTrace()
+{
+    test::TraceBuilder builder;
+    const ThreadId worker = builder.addThread("worker");
+    builder.listenerEpisode(msToNs(10), msToNs(60), "app.Editor");
+    builder.dispatchBegin(msToNs(100));
+    builder.intervalBegin(msToNs(101), IntervalKind::Paint,
+                          "app.Canvas", "paint");
+    builder.intervalBegin(msToNs(110), IntervalKind::Native,
+                          "app.Canvas", "blit");
+    builder.gc(msToNs(115), msToNs(125));
+    builder.intervalEnd(msToNs(140), IntervalKind::Native);
+    builder.intervalEnd(msToNs(150), IntervalKind::Paint);
+    builder.dispatchEnd(msToNs(160));
+    builder.sample(msToNs(30), TraceThreadState::Runnable);
+    builder.sample(msToNs(120), TraceThreadState::Blocked);
+    builder.listenerEpisode(msToNs(200), msToNs(420), "app.Search");
+    builder.dispatchBegin(msToNs(500), worker);
+    builder.dispatchEnd(msToNs(510), worker);
+    return builder.build(msToNs(600));
+}
+
+/** File offsets of the outer container (see io.cc). */
+constexpr std::size_t kChecksumOffset = 12;
+constexpr std::size_t kPayloadOffset = 20;
+
+/** Rewrite the container checksum to match the (edited) payload,
+ * so damage behind it reaches the section parsers. */
+void
+resealChecksum(std::string &file)
+{
+    ASSERT_GE(file.size(), kPayloadOffset);
+    Fnv1aHasher hasher;
+    hasher.addBytes(file.data() + kPayloadOffset,
+                    file.size() - kPayloadOffset);
+    const std::uint64_t digest = hasher.digest();
+    std::memcpy(file.data() + kChecksumOffset, &digest,
+                sizeof(digest));
+}
+
+TEST(TraceFuzz, EveryTruncationThrows)
+{
+    const std::string bytes = serializeTrace(sampleTrace());
+    ASSERT_GT(bytes.size(), 100u);
+    for (std::size_t len = 0; len < bytes.size(); ++len) {
+        EXPECT_THROW(deserializeTrace(bytes.substr(0, len)),
+                     TraceError)
+            << "prefix of " << len << " bytes decoded";
+    }
+}
+
+TEST(TraceFuzz, EverySingleBitFlipThrows)
+{
+    const std::string bytes = serializeTrace(sampleTrace());
+    for (std::size_t pos = 0; pos < bytes.size(); ++pos) {
+        for (int bit = 0; bit < 8; ++bit) {
+            std::string bad = bytes;
+            bad[pos] = static_cast<char>(bad[pos] ^ (1 << bit));
+            EXPECT_THROW(deserializeTrace(bad), TraceError)
+                << "flip at byte " << pos << " bit " << bit
+                << " decoded";
+        }
+    }
+}
+
+TEST(TraceFuzz, RandomGarbageThrows)
+{
+    std::mt19937_64 rng(0x1a6a1721);
+    std::uniform_int_distribution<int> byte(0, 255);
+    std::uniform_int_distribution<std::size_t> length(0, 4096);
+    for (int round = 0; round < 200; ++round) {
+        std::string junk(length(rng), '\0');
+        for (char &c : junk)
+            c = static_cast<char>(byte(rng));
+        EXPECT_THROW(deserializeTrace(junk), TraceError)
+            << "garbage round " << round << " decoded";
+    }
+}
+
+TEST(TraceFuzz, ResealedPayloadDamageStillThrows)
+{
+    // Flip payload bytes AND reseal the checksum, so the section
+    // parsers (not the checksum) must reject the damage; any
+    // accidental valid decode of a corrupt record would be caught
+    // by the cross-checks against the section header.
+    const std::string bytes = serializeTrace(sampleTrace());
+    std::mt19937_64 rng(0x5eed);
+    std::uniform_int_distribution<std::size_t> pos(
+        kPayloadOffset, bytes.size() - 1);
+    std::uniform_int_distribution<int> bit(0, 7);
+    int rejected = 0;
+    for (int round = 0; round < 500; ++round) {
+        std::string bad = bytes;
+        const std::size_t at = pos(rng);
+        bad[at] = static_cast<char>(bad[at] ^ (1 << bit(rng)));
+        resealChecksum(bad);
+        try {
+            const Trace decoded = deserializeTrace(bad);
+            // A flip in a value field (a time, a symbol id) can
+            // legitimately decode; it must still be structurally
+            // complete.
+            EXPECT_EQ(decoded.events.size(),
+                      sampleTrace().events.size());
+        } catch (const TraceError &) {
+            ++rejected;
+        }
+    }
+    // The majority of flips hit structure (counts, types, string
+    // lengths) and must have been rejected.
+    EXPECT_GT(rejected, 0);
+}
+
+TEST(TraceFuzz, ForgedCountsAreRejectedBeforeAllocation)
+{
+    const std::string bytes = serializeTrace(sampleTrace());
+
+    // Section-count fields inside the payload's section header.
+    const std::size_t eventCountOffset = kPayloadOffset + 8;
+    const std::size_t sampleCountOffset = kPayloadOffset + 16;
+
+    for (const std::size_t offset :
+         {eventCountOffset, sampleCountOffset}) {
+        std::string bad = bytes;
+        const std::uint64_t huge = 1ull << 60;
+        std::memcpy(bad.data() + offset, &huge, sizeof(huge));
+        resealChecksum(bad);
+        try {
+            deserializeTrace(bad);
+            FAIL() << "forged count at offset " << offset
+                   << " decoded";
+        } catch (const TraceError &e) {
+            EXPECT_NE(std::string(e.what()).find("implausible"),
+                      std::string::npos)
+                << "unexpected error: " << e.what();
+        }
+    }
+}
+
+TEST(TraceFuzz, RecordErrorsCarryOffsetAndIndex)
+{
+    // Build two traces identical up to the event section — same
+    // threads, same interned strings — one without events.  The
+    // shorter file's length is then exactly the event section's
+    // file offset in the longer one.
+    const Trace full = sampleTrace();
+    Trace empty = full;
+    empty.events.clear();
+    empty.samples.clear();
+    const std::string bytes = serializeTrace(full);
+    const std::string prefix = serializeTrace(empty);
+    ASSERT_LT(prefix.size(), bytes.size());
+
+    // Corrupt the kind byte (offset 13 in the 23-byte event wire
+    // record) of event 0 and reseal: the decoder must name the
+    // record and its payload offset.
+    const std::size_t eventOffset = prefix.size();
+    std::string bad = bytes;
+    bad[eventOffset + 13] = '\x7f';
+    resealChecksum(bad);
+    try {
+        deserializeTrace(bad);
+        FAIL() << "corrupt event decoded";
+    } catch (const TraceError &e) {
+        const std::string what = e.what();
+        EXPECT_NE(what.find("event 0"), std::string::npos)
+            << "missing record index: " << what;
+        EXPECT_NE(what.find("payload offset"), std::string::npos)
+            << "missing payload offset: " << what;
+    }
+}
+
+} // namespace
+} // namespace lag::trace

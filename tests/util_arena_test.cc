@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Arena bump allocator: alignment, block growth and reuse, the
+ * allocator adapter's heap fallback, and the copy/move propagation
+ * rules that keep container copies from dangling into an arena.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstring>
+#include <utility>
+#include <vector>
+
+#include "util/arena.hh"
+
+namespace lag
+{
+namespace
+{
+
+TEST(Arena, AllocationsAreAligned)
+{
+    Arena arena;
+    for (const std::size_t align : {1u, 2u, 4u, 8u, 16u}) {
+        for (int i = 0; i < 8; ++i) {
+            void *ptr = arena.allocate(3, align);
+            EXPECT_EQ(reinterpret_cast<std::uintptr_t>(ptr) % align,
+                      0u)
+                << "align " << align << " iteration " << i;
+        }
+    }
+    EXPECT_EQ(arena.allocationCount(), 5u * 8u);
+}
+
+TEST(Arena, BumpsWithinOneBlock)
+{
+    Arena arena(1024);
+    char *a = static_cast<char *>(arena.allocate(16, 1));
+    char *b = static_cast<char *>(arena.allocate(16, 1));
+    // Consecutive small allocations come from the same block,
+    // adjacent in memory: allocation is a pointer increment.
+    EXPECT_EQ(b, a + 16);
+    EXPECT_EQ(arena.blockCount(), 1u);
+    EXPECT_EQ(arena.bytesAllocated(), 32u);
+}
+
+TEST(Arena, GrowsAndServesOversizedRequests)
+{
+    Arena arena(64);
+    arena.allocate(48, 8);
+    EXPECT_EQ(arena.blockCount(), 1u);
+
+    // Too big for the rest of block 0 → a new block, and the
+    // request is served even though it exceeds the block budget.
+    void *big = arena.allocate(100 * 1024, 8);
+    std::memset(big, 0x5a, 100 * 1024);
+    EXPECT_GE(arena.blockCount(), 2u);
+    EXPECT_GE(arena.bytesReserved(), arena.bytesAllocated());
+}
+
+TEST(Arena, ResetDropsEverything)
+{
+    Arena arena;
+    arena.allocate(1000, 8);
+    arena.allocate(1000, 8);
+    EXPECT_GT(arena.bytesReserved(), 0u);
+
+    arena.reset();
+    EXPECT_EQ(arena.blockCount(), 0u);
+    EXPECT_EQ(arena.bytesAllocated(), 0u);
+    EXPECT_EQ(arena.bytesReserved(), 0u);
+    EXPECT_EQ(arena.allocationCount(), 0u);
+
+    // The arena is fully reusable after reset.
+    void *ptr = arena.allocate(64, 8);
+    std::memset(ptr, 0, 64);
+    EXPECT_EQ(arena.allocationCount(), 1u);
+}
+
+TEST(ArenaAllocator, DefaultFallsBackToHeap)
+{
+    // No arena: behaves like std::allocator, including deallocate.
+    std::vector<int, ArenaAllocator<int>> v;
+    for (int i = 0; i < 1000; ++i)
+        v.push_back(i);
+    EXPECT_EQ(v.size(), 1000u);
+    EXPECT_EQ(v.front(), 0);
+    EXPECT_EQ(v.back(), 999);
+}
+
+TEST(ArenaAllocator, VectorStorageComesFromTheArena)
+{
+    Arena arena;
+    std::vector<int, ArenaAllocator<int>> v{ArenaAllocator<int>(
+        &arena)};
+    v.reserve(256);
+    for (int i = 0; i < 256; ++i)
+        v.push_back(i);
+    EXPECT_GE(arena.bytesAllocated(), 256 * sizeof(int));
+    EXPECT_GE(arena.allocationCount(), 1u);
+}
+
+TEST(ArenaAllocator, MovePropagatesTheArena)
+{
+    Arena arena;
+    std::vector<int, ArenaAllocator<int>> src{ArenaAllocator<int>(
+        &arena)};
+    src.assign(64, 7);
+
+    std::vector<int, ArenaAllocator<int>> dst;
+    dst = std::move(src);
+    // The move carried the arena pointer with the storage.
+    EXPECT_EQ(dst.get_allocator().arena(), &arena);
+    EXPECT_EQ(dst.size(), 64u);
+    EXPECT_EQ(dst.front(), 7);
+}
+
+TEST(ArenaAllocator, CopiesNeverInheritTheArena)
+{
+    Arena arena;
+    std::vector<int, ArenaAllocator<int>> src{ArenaAllocator<int>(
+        &arena)};
+    src.assign(64, 7);
+
+    // A copy must be safe to outlive the arena, so it goes to the
+    // heap even though the source is arena-backed.
+    const std::vector<int, ArenaAllocator<int>> copy(src);
+    EXPECT_EQ(copy.get_allocator().arena(), nullptr);
+    EXPECT_EQ(copy, src);
+}
+
+TEST(ArenaAllocator, EqualityFollowsTheArenaPointer)
+{
+    Arena a;
+    Arena b;
+    EXPECT_EQ(ArenaAllocator<int>(&a), ArenaAllocator<int>(&a));
+    EXPECT_NE(ArenaAllocator<int>(&a), ArenaAllocator<int>(&b));
+    EXPECT_NE(ArenaAllocator<int>(&a), ArenaAllocator<int>());
+    EXPECT_EQ(ArenaAllocator<int>(), ArenaAllocator<int>());
+}
+
+} // namespace
+} // namespace lag

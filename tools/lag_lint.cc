@@ -23,6 +23,8 @@
  *   raw-mutex      no raw std:: mutex/lock types outside the
  *                  annotated lag::Mutex wrapper
  *   naked-new      no naked new/delete in analysis code
+ *   reserve-loop   no unsized push_back loops in the decode and
+ *                  session-build hot paths (src/trace, src/core)
  *   float-hash     no floating point in pattern-key hashing
  */
 
@@ -544,6 +546,151 @@ checkNakedNew(const ScannedFile &file, std::vector<Finding> &out)
 }
 
 // ---------------------------------------------------------------
+// Rule: reserve-loop
+// ---------------------------------------------------------------
+
+/**
+ * Joined blanked code of @p lines with a per-character line map
+ * (1-based), as rangeFors builds internally.
+ */
+std::string
+joinCode(const std::vector<std::string> &lines,
+         std::vector<std::size_t> &lineOf)
+{
+    std::string all;
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        for (const char c : lines[ln]) {
+            all += c;
+            lineOf.push_back(ln + 1);
+        }
+        all += ' ';
+        lineOf.push_back(ln + 1);
+    }
+    return all;
+}
+
+/**
+ * Flag .push_back / .emplace_back calls inside a loop body whose
+ * receiver is never sized (no `<receiver>.reserve(` or
+ * `<receiver>.resize(` anywhere in the file or its paired header).
+ * Growth loops without a reserve re-allocate logarithmically many
+ * times and memcpy the whole vector each time — the exact traffic
+ * the decode/session-build hot paths exist to avoid, so the rule
+ * covers src/trace/ and src/core/. Genuinely unsizeable loops
+ * (mining into an unknown number of patterns) carry a visible
+ * `// lag-lint: allow(reserve-loop)`.
+ */
+void
+checkReserveLoop(const ScannedFile &file, std::vector<Finding> &out)
+{
+    if (!underAny(file.relPath, {"src/trace/", "src/core/"}))
+        return;
+
+    std::vector<std::size_t> lineOf;
+    const std::string all = joinCode(file.code, lineOf);
+
+    // Mark every character inside a loop body: `for`/`while`
+    // followed by a parenthesized head, then either a braced block
+    // or a single statement up to `;`.
+    std::vector<char> inLoop(all.size(), 0);
+    for (const char *kw : {"for", "while"}) {
+        std::size_t pos = findWord(all, kw);
+        while (pos != std::string::npos) {
+            std::size_t j = pos + std::strlen(kw);
+            while (j < all.size() && all[j] == ' ')
+                ++j;
+            if (j >= all.size() || all[j] != '(') {
+                pos = findWord(all, kw, pos + 1);
+                continue;
+            }
+            int depth = 0;
+            std::size_t close = std::string::npos;
+            for (std::size_t k = j; k < all.size(); ++k) {
+                if (all[k] == '(') {
+                    ++depth;
+                } else if (all[k] == ')' && --depth == 0) {
+                    close = k;
+                    break;
+                }
+            }
+            if (close == std::string::npos)
+                break;
+            std::size_t k = close + 1;
+            while (k < all.size() && all[k] == ' ')
+                ++k;
+            std::size_t body_end = k;
+            if (k < all.size() && all[k] == '{') {
+                int braces = 0;
+                for (std::size_t b = k; b < all.size(); ++b) {
+                    if (all[b] == '{') {
+                        ++braces;
+                    } else if (all[b] == '}' && --braces == 0) {
+                        body_end = b + 1;
+                        break;
+                    }
+                }
+            } else {
+                while (body_end < all.size() &&
+                       all[body_end] != ';')
+                    ++body_end;
+            }
+            for (std::size_t b = k; b < body_end && b < all.size();
+                 ++b)
+                inLoop[b] = 1;
+            pos = findWord(all, kw, pos + 1);
+        }
+    }
+
+    // The paired header may hold the sizing call (a builder that
+    // reserves in its constructor).
+    std::vector<std::size_t> headerLineOf;
+    const std::string headerAll =
+        joinCode(file.headerCode, headerLineOf);
+
+    for (const char *method : {"push_back", "emplace_back"}) {
+        const std::string needle = std::string(".") + method;
+        std::size_t pos = all.find(needle);
+        for (; pos != std::string::npos;
+             pos = all.find(needle, pos + 1)) {
+            // Must be a call on a plain dotted receiver, in a loop.
+            std::size_t j = pos + needle.size();
+            while (j < all.size() && all[j] == ' ')
+                ++j;
+            if (j >= all.size() || all[j] != '(')
+                continue;
+            if (!inLoop[pos])
+                continue;
+            std::size_t start = pos;
+            while (start > 0 && (isIdentChar(all[start - 1]) ||
+                                 all[start - 1] == '.'))
+                --start;
+            const std::string receiver =
+                all.substr(start, pos - start);
+            // Indexed or computed receivers (grid[a], (*out)) are
+            // someone else's storage; the chain heuristic cannot
+            // name them, so they are out of scope.
+            if (receiver.empty() || receiver.front() == '.' ||
+                receiver.back() == '.')
+                continue;
+            bool sized = false;
+            for (const char *sizer : {".reserve(", ".resize("}) {
+                const std::string call = receiver + sizer;
+                sized = sized ||
+                        all.find(call) != std::string::npos ||
+                        headerAll.find(call) != std::string::npos;
+            }
+            if (!sized)
+                addFinding(out, file, lineOf[pos], "reserve-loop",
+                           "'" + receiver + "." + method +
+                               "' grows inside a loop with no "
+                               "preceding '" + receiver +
+                               ".reserve(...)'; size it up front "
+                               "or annotate why you cannot");
+        }
+    }
+}
+
+// ---------------------------------------------------------------
 // Rule: float-hash
 // ---------------------------------------------------------------
 
@@ -588,6 +735,10 @@ const Rule kRules[] = {
     {"naked-new",
      "no naked new/delete in analysis code (src/core|engine|lila)",
      checkNakedNew},
+    {"reserve-loop",
+     "no unsized push_back/emplace_back loops in decode/build hot "
+     "paths (src/trace|core)",
+     checkReserveLoop},
     {"float-hash",
      "no floating point in pattern-key hashing "
      "(util/hash, core/pattern)",
