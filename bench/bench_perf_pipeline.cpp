@@ -16,13 +16,14 @@
  * comparing serial and parallel wall time. Set
  * LAGALYZER_SKIP_SPEEDUP=1 to skip that (it simulates traces).
  *
- * Three more JSON lines quantify the zero-copy decode and arena
- * session build: `decode_mb_per_s` (mmap vs stream, with per-decode
+ * More JSON lines quantify the zero-copy decode and arena session
+ * build: `decode_mb_per_s` (mmap vs stream, with per-decode
  * allocation counts and bytes as the copy proxy), `session_build_ms`
  * (arena vs heap) and `episode_shard_speedup` (within-session
- * sharded analysis vs serial). `--smoke` prints only those three
- * lines with few iterations — that mode backs the `perf` CTest
- * label.
+ * sharded analysis vs serial), plus `obs_pipeline` (pool steal
+ * ratio, cache hit rate, queue-depth high-water mark from the
+ * always-on metrics registry). `--smoke` prints only those lines
+ * with few iterations — that mode backs the `perf` CTest label.
  */
 
 #include <benchmark/benchmark.h>
@@ -50,6 +51,7 @@
 #include "engine/parallel_analysis.hh"
 #include "engine/pool.hh"
 #include "engine/result_cache.hh"
+#include "obs/metrics.hh"
 #include "trace/io.hh"
 #include "viz/sketch.hh"
 
@@ -499,6 +501,54 @@ reportStudySpeedup(std::uint32_t jobs)
     std::fflush(stdout);
 }
 
+/**
+ * Engine self-observation totals for the whole bench run, as one
+ * JSON line: how well the pool balanced (steal ratio), how much the
+ * result cache saved (hit rate), the deepest queue backlog, and the
+ * decode volume behind the numbers above. Reads the always-on
+ * metrics registry (src/obs), so it reflects every pass that ran
+ * before it.
+ */
+void
+reportObsMetrics()
+{
+    const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+    const std::uint64_t steals =
+        snap.counterValue("pool.steal.success");
+    const std::uint64_t failed_steals =
+        snap.counterValue("pool.steal.fail");
+    const std::uint64_t tasks = snap.counterValue("pool.task.count");
+    const std::uint64_t hits = snap.counterValue("cache.hit");
+    const std::uint64_t misses = snap.counterValue("cache.miss");
+    const double steal_ratio =
+        tasks > 0 ? static_cast<double>(steals) /
+                        static_cast<double>(tasks)
+                  : 0.0;
+    const double hit_rate =
+        hits + misses > 0 ? static_cast<double>(hits) /
+                                static_cast<double>(hits + misses)
+                          : 0.0;
+
+    std::printf(
+        "{\"bench\":\"obs_pipeline\",\"pool_tasks\":%llu,"
+        "\"pool_steals\":%llu,\"pool_failed_steals\":%llu,"
+        "\"pool_steal_ratio\":%.3f,\"queue_depth_max\":%lld,"
+        "\"cache_hits\":%llu,\"cache_misses\":%llu,"
+        "\"cache_hit_rate\":%.3f,\"decode_count\":%llu,"
+        "\"decode_bytes\":%llu}\n",
+        static_cast<unsigned long long>(tasks),
+        static_cast<unsigned long long>(steals),
+        static_cast<unsigned long long>(failed_steals), steal_ratio,
+        static_cast<long long>(snap.gaugeMax("pool.queue.depth")),
+        static_cast<unsigned long long>(hits),
+        static_cast<unsigned long long>(misses), hit_rate,
+        static_cast<unsigned long long>(
+            snap.counterValue("trace.decode.count")),
+        static_cast<unsigned long long>(
+            snap.counterValue("trace.decode.bytes")));
+    std::fflush(stdout);
+}
+
 } // namespace
 
 int
@@ -525,6 +575,7 @@ main(int argc, char **argv)
         reportDecodeThroughput(f, 3);
         reportSessionBuild(f, 3);
         reportShardSpeedup(f, jobs, 3);
+        reportObsMetrics();
         return 0;
     }
 
@@ -536,6 +587,7 @@ main(int argc, char **argv)
     reportDecodeThroughput(f, 10);
     reportSessionBuild(f, 10);
     reportShardSpeedup(f, jobs, 10);
+    reportObsMetrics();
 
     benchmark::Initialize(&argc, argv);
     if (benchmark::ReportUnrecognizedArguments(argc, argv))

@@ -125,14 +125,10 @@ analyzeSessions(app::Study &study)
 
     // Bound the analysis directory after the run: stale-fingerprint
     // entries always go, then size/age limits when configured.
+    // evict() itself informs about what it removed.
     const engine::CacheEvictionPolicy policy{
         config.cacheMaxBytes, config.cacheMaxAgeSeconds};
-    const engine::CacheEvictionResult evicted = cache.evict(policy);
-    if (evicted.removedFiles > 0) {
-        inform("bench: result cache evicted ", evicted.removedFiles,
-               " entrie(s) (", evicted.removedBytes, " bytes); ",
-               evicted.keptFiles, " kept");
-    }
+    cache.evict(policy);
     return grid;
 }
 

@@ -1,6 +1,9 @@
 #!/usr/bin/env bash
 # CI gate: configure with every static gate on, build, run the lint
-# label, then the full tier-1 suite. Optionally sweep the sanitizer
+# label, the full tier-1 suite, the perf and obs labels, then an obs
+# smoke run that records a session, analyzes it with --self-trace /
+# --metrics-out, and strict-validates both files with trace_check.
+# Optionally sweep the sanitizer
 # matrix: `ci/check.sh --sanitize TSAN` (or ASAN / UBSAN) builds an
 # instrumented tree in build-<san> and runs the engine label under
 # it. Exits nonzero on the first failure.
@@ -39,6 +42,21 @@ echo "== tier-1 suite"
 
 echo "== perf smoke (ctest -L perf)"
 (cd "$build" && ctest -L perf --output-on-failure)
+
+echo "== obs suite (ctest -L obs)"
+(cd "$build" && ctest -L obs --output-on-failure)
+
+echo "== obs smoke (--self-trace / --metrics-out validate)"
+smoke="$build/obs-smoke"
+mkdir -p "$smoke"
+"$build/examples/record_session" GanttProject 30 0 \
+    "$smoke/session.lag" >/dev/null
+rm -rf "$smoke/session.lag.cache"
+"$build/examples/analyze_trace" "$smoke/session.lag" --jobs 4 \
+    --self-trace "$smoke/self.json" \
+    --metrics-out "$smoke/metrics.json" >/dev/null
+"$build/tools/trace_check" --chrome "$smoke/self.json"
+"$build/tools/trace_check" "$smoke/metrics.json"
 
 if [ -n "$sanitize" ]; then
     san_lc="$(echo "$sanitize" | tr '[:upper:]' '[:lower:]')"

@@ -6,10 +6,21 @@
  * then render the slowest perceptible episode as an SVG sketch.
  *
  * Usage: ./analyze_trace <trace.lag> [--threshold-ms N] [--jobs N]
+ *                        [--self-trace OUT.json] [--metrics-out OUT]
  *
- * With --jobs > 1 the pattern mining step shards the episode axis
+ * With --jobs > 1 the per-episode analyses shard the episode axis
  * across an engine::ThreadPool; the output is byte-identical to the
  * serial run (see src/engine/parallel_analysis.hh).
+ *
+ * Results are cached in <trace.lag>.cache keyed by the trace
+ * identity and threshold: a re-run of the same analysis renders
+ * from the cache instead of re-mining. The tables always render
+ * from a cache round-trip, so what you see is exactly what a cached
+ * re-run would show.
+ *
+ * --self-trace writes a Chrome trace-event JSON of the run's own
+ * spans (open in ui.perfetto.dev); --metrics-out dumps the engine
+ * counters. See src/obs/.
  *
  * (Produce a trace with ./record_session first.)
  */
@@ -18,33 +29,51 @@
 #include <cstring>
 #include <iostream>
 #include <optional>
+#include <sstream>
 
 #include "app/params.hh"
 #include "core/blame.hh"
 #include "core/browser.hh"
-#include "core/concurrency.hh"
-#include "core/location.hh"
-#include "core/overview.hh"
-#include "core/pattern.hh"
-#include "core/pattern_stats.hh"
 #include "core/session.hh"
-#include "core/triggers.hh"
 #include "engine/parallel_analysis.hh"
 #include "engine/pool.hh"
+#include "engine/result_cache.hh"
+#include "obs/scope.hh"
 #include "report/table.hh"
 #include "trace/io.hh"
 #include "util/strings.hh"
 #include "viz/sketch.hh"
+
+namespace
+{
+
+/** Cache key: everything that determines the analysis result. */
+std::string
+analysisFingerprint(const lag::trace::TraceMeta &meta,
+                    lag::DurationNs threshold)
+{
+    std::ostringstream out;
+    out << meta.appName << ';' << meta.sessionIndex << ';'
+        << meta.seed << ';' << meta.startTime << ';' << meta.endTime
+        << ';' << threshold;
+    return out.str();
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
     using namespace lag;
 
+    const obs::ObsOptions obs_options =
+        app::parseObsOptions(argc, argv);
+    obs::install(obs_options);
     const std::uint32_t jobs = app::parseJobsOption(argc, argv);
     if (argc < 2) {
         std::cerr << "usage: analyze_trace <trace.lag> "
-                     "[--threshold-ms N] [--jobs N]\n";
+                     "[--threshold-ms N] [--jobs N] "
+                     "[--self-trace OUT.json] [--metrics-out OUT]\n";
         return 2;
     }
     const std::string path = argv[1];
@@ -67,16 +96,38 @@ main(int argc, char **argv)
     std::cout << "=== " << session.meta().appName << ", session "
               << session.meta().sessionIndex << " ===\n\n";
 
-    core::PatternSet patterns;
-    if (jobs > 1) {
-        engine::ThreadPool pool(jobs);
-        patterns =
-            engine::minePatternsParallel(session, threshold, pool);
-    } else {
-        patterns = core::PatternMiner(threshold).mine(session);
+    // Analysis goes through the on-disk result cache next to the
+    // trace: a hit skips mining entirely, a miss computes, stores,
+    // and reloads so every run renders a cache round-trip.
+    const engine::ResultCache cache(
+        path + ".cache", analysisFingerprint(session.meta(),
+                                             threshold));
+    const std::string &app_name = session.meta().appName;
+    const std::uint32_t session_index = session.meta().sessionIndex;
+    std::optional<engine::SessionAnalysis> analysis =
+        cache.load(app_name, session_index);
+    if (!analysis) {
+        if (jobs > 1) {
+            engine::ThreadPool pool(jobs);
+            cache.store(app_name, session_index,
+                        engine::analyzeSessionParallel(
+                            session, threshold, pool));
+        } else {
+            cache.store(app_name, session_index,
+                        engine::analyzeSession(session, threshold));
+        }
+        analysis = cache.load(app_name, session_index);
     }
-    const auto overview =
-        core::computeOverview(session, patterns, threshold);
+    if (!analysis) {
+        std::cerr << "analysis cache round-trip failed for '" << path
+                  << "'\n";
+        return 1;
+    }
+    const auto &overview = analysis->overview;
+    const auto &triggers = analysis->triggers;
+    const auto &location = analysis->location;
+    const auto &concurrency = analysis->concurrency;
+    const auto &states = analysis->states;
 
     report::TextTable ov;
     ov.addColumn("metric", report::Align::Left);
@@ -104,12 +155,6 @@ main(int argc, char **argv)
     ov.addRow({"mean tree depth",
                formatDouble(overview.meanDepth, 1)});
     std::cout << "Overview (Table III row):\n" << ov.render() << '\n';
-
-    const auto triggers = core::analyzeTriggers(session, threshold);
-    const auto location = core::analyzeLocation(session, threshold);
-    const auto concurrency =
-        core::analyzeConcurrency(session, threshold);
-    const auto states = core::analyzeGuiStates(session, threshold);
 
     report::TextTable an;
     an.addColumn("analysis", report::Align::Left);
@@ -154,6 +199,8 @@ main(int argc, char **argv)
 
     // Blame report: which code the GUI thread was in during
     // perceptible episodes (the paper's manual drill-down, SIV).
+    // Works on the session itself — sample-level detail is not part
+    // of the cached analysis.
     core::BlameOptions blame_options;
     blame_options.perceptibleThreshold = threshold;
     blame_options.byMethod = true;

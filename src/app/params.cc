@@ -211,4 +211,46 @@ parseCacheLimitOptions(int &argc, char **argv)
     return limits;
 }
 
+obs::ObsOptions
+parseObsOptions(int &argc, char **argv)
+{
+    obs::ObsOptions options;
+    int out = 0;
+    for (int in = 0; in < argc; ++in) {
+        const std::string_view arg(argv[in]);
+        const auto next = [&](std::string_view option) {
+            if (in + 1 >= argc)
+                fatal(option, " needs a file path");
+            return std::string(argv[++in]);
+        };
+        if (arg == "--self-trace") {
+            options.selfTracePath = next("--self-trace");
+        } else if (arg.rfind("--self-trace=", 0) == 0) {
+            options.selfTracePath = std::string(arg.substr(13));
+        } else if (arg == "--metrics-out") {
+            options.metricsPath = next("--metrics-out");
+        } else if (arg.rfind("--metrics-out=", 0) == 0) {
+            options.metricsPath = std::string(arg.substr(14));
+        } else {
+            argv[out++] = argv[in];
+        }
+    }
+    argc = out;
+    if (options.selfTracePath.empty()) {
+        const char *env = std::getenv("LAGALYZER_SELF_TRACE");
+        if (env != nullptr && env[0] != '\0')
+            options.selfTracePath = env;
+    }
+    if (options.metricsPath.empty()) {
+        const char *env = std::getenv("LAGALYZER_METRICS_OUT");
+        if (env != nullptr && env[0] != '\0')
+            options.metricsPath = env;
+    }
+    if (options.selfTracePath.empty() && options.metricsPath.empty())
+        return options;
+    if (options.selfTracePath == options.metricsPath)
+        fatal("--self-trace and --metrics-out must differ");
+    return options;
+}
+
 } // namespace lag::app

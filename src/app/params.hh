@@ -22,6 +22,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/scope.hh"
 #include "util/types.hh"
 
 namespace lag::app
@@ -298,6 +299,17 @@ struct CacheLimitOptions
  * result into StudyConfig::cacheMaxBytes / cacheMaxAgeSeconds.
  */
 CacheLimitOptions parseCacheLimitOptions(int &argc, char **argv);
+
+/**
+ * Extract `--self-trace PATH` and `--metrics-out PATH` (space- or
+ * `=`-separated) from a command line, compacting argv in place like
+ * parseJobsOption. Where a flag is absent, its LAGALYZER_SELF_TRACE /
+ * LAGALYZER_METRICS_OUT environment equivalent fills in, so batch
+ * harnesses can profile without editing every invocation. Returns
+ * the destinations (empty = off); fatal() on a flag without a value.
+ * Callers pass the result to obs::install().
+ */
+obs::ObsOptions parseObsOptions(int &argc, char **argv);
 
 } // namespace lag::app
 

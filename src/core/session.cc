@@ -1,8 +1,11 @@
 #include "session.hh"
 
 #include <algorithm>
+#include <optional>
 #include <unordered_map>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/logging.hh"
 
 namespace lag::core
@@ -157,6 +160,11 @@ insertGcInto(IntervalVec &siblings, const IntervalNode &gc)
 Session
 Session::fromTrace(trace::Trace trace, const SessionBuildOptions &options)
 {
+    LAG_SPAN_ARG("session.build", "events", trace.events.size());
+    static obs::Counter &build_count =
+        obs::metrics().counter("session.build.count");
+    build_count.add();
+
     trace.validate();
 
     Session session;
@@ -171,8 +179,13 @@ Session::fromTrace(trace::Trace trace, const SessionBuildOptions &options)
     session.samples_ = std::move(trace.samples);
     session.strings_ = std::move(trace.strings);
 
+    // Phase spans via optional: the phases share too much local
+    // state for nested scopes.
+    std::optional<obs::Span> phase_span;
+    phase_span.emplace("session.build.prepass");
     const PrePass pre = countEvents(trace);
 
+    phase_span.emplace("session.build.replay");
     std::unordered_map<ThreadId, TreeBuilder> builders;
     for (const auto &thread : trace.threads) {
         const auto it =
@@ -266,6 +279,7 @@ Session::fromTrace(trace::Trace trace, const SessionBuildOptions &options)
     }
 
     // Collect episodes from dispatch threads, in time order.
+    phase_span.emplace("session.build.episodes");
     std::size_t episodeCount = 0;
     for (const auto &tree : session.threads_) {
         if (!tree.isGui)

@@ -5,6 +5,7 @@
 #include "core/overview.hh"
 #include "core/pattern_stats.hh"
 #include "core/triggers.hh"
+#include "obs/span.hh"
 #include "study_driver.hh"
 #include "util/logging.hh"
 
@@ -75,9 +76,11 @@ minePatternsParallel(const core::Session &session,
 
     std::vector<core::PatternShard> shards(ranges.size());
     parallelFor(pool, ranges.size(), [&](std::size_t k) {
+        LAG_SPAN_ARG("mine.shard", "shard", k);
         shards[k] = miner.mineRange(session, ranges[k].first,
                                     ranges[k].second);
     });
+    LAG_SPAN("mine.merge");
     return miner.merge(std::move(shards));
 }
 
@@ -93,6 +96,7 @@ analyzeSessionParallel(const core::Session &session,
 
     std::vector<ShardPartial> partials(ranges.size());
     parallelFor(pool, ranges.size(), [&](std::size_t k) {
+        LAG_SPAN_ARG("analysis.shard", "shard", k);
         const auto [begin, end] = ranges[k];
         ShardPartial &partial = partials[k];
         partial.patterns = miner.mineRange(session, begin, end);
@@ -108,6 +112,7 @@ analyzeSessionParallel(const core::Session &session,
 
     // Serial reduce in shard (= episode) order: completion order of
     // the tasks above can never leak into the result.
+    LAG_SPAN_ARG("analysis.merge", "shards", partials.size());
     std::vector<core::PatternShard> shards;
     shards.reserve(partials.size());
     core::TriggerCounts triggers;

@@ -2,7 +2,10 @@
 
 #include <utility>
 
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/logging.hh"
+#include "util/thread_name.hh"
 
 namespace lag::engine
 {
@@ -18,6 +21,26 @@ struct WorkerContext
 };
 
 thread_local WorkerContext t_worker;
+
+/** Pool instruments; looked up once, then pure atomics. */
+struct PoolMetrics
+{
+    obs::Counter &taskCount =
+        obs::metrics().counter("pool.task.count");
+    obs::Counter &stealSuccess =
+        obs::metrics().counter("pool.steal.success");
+    obs::Counter &stealFail =
+        obs::metrics().counter("pool.steal.fail");
+    obs::Gauge &queueDepth =
+        obs::metrics().gauge("pool.queue.depth");
+};
+
+PoolMetrics &
+poolMetrics()
+{
+    static PoolMetrics metrics;
+    return metrics;
+}
 
 } // namespace
 
@@ -65,19 +88,25 @@ ThreadPool::submit(Task task)
         MutexLock lock(idleMutex_);
         ++pending_;
     }
+    std::size_t depth = 0;
     if (t_worker.pool == this) {
         Worker &self = *workers_[t_worker.index];
         {
             MutexLock lock(self.mutex);
             self.deque.push_back(std::move(task));
+            depth = self.deque.size();
         }
         MutexLock lock(injectorMutex_);
         ++version_;
     } else {
         MutexLock lock(injectorMutex_);
         injector_.push_back(std::move(task));
+        depth = injector_.size();
         ++version_;
     }
+    // Depth of the queue just pushed: a cheap proxy for backlog,
+    // tracked for its high-water mark (pool.queue.depth max).
+    poolMetrics().queueDepth.set(static_cast<std::int64_t>(depth));
     wakeCv_.notify_one();
 }
 
@@ -129,9 +158,14 @@ ThreadPool::steal(std::size_t thief, Task &task)
         if (!victim.deque.empty()) {
             task = std::move(victim.deque.front());
             victim.deque.pop_front();
+            poolMetrics().stealSuccess.add();
             return true;
         }
     }
+    // Count only full scans that came up empty, and only on pools
+    // where stealing is possible at all.
+    if (n > 1)
+        poolMetrics().stealFail.add();
     return false;
 }
 
@@ -139,6 +173,9 @@ void
 ThreadPool::workerLoop(std::size_t index)
 {
     t_worker = WorkerContext{this, index};
+    // Name the thread before its first span or log line so both
+    // carry "pool-worker-N" instead of a bare id.
+    setThreadName("pool-worker-" + std::to_string(index));
     for (;;) {
         std::uint64_t seen;
         {
@@ -155,6 +192,7 @@ ThreadPool::workerLoop(std::size_t index)
         }
         // Sleep only if no submit happened since the scan above;
         // every submit bumps version_ under injectorMutex_.
+        LAG_SPAN("pool.idle");
         MutexLock lock(injectorMutex_);
         while (!stop_ && version_ == seen)
             wakeCv_.wait(lock);
@@ -166,7 +204,9 @@ ThreadPool::workerLoop(std::size_t index)
 void
 ThreadPool::runTask(Task &task)
 {
+    poolMetrics().taskCount.add();
     try {
+        LAG_SPAN("pool.task");
         task();
     } catch (...) {
         MutexLock lock(idleMutex_);

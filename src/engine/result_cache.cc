@@ -9,6 +9,8 @@
 #include <sstream>
 
 #include "core/pattern.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "trace/bytes.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
@@ -17,6 +19,33 @@ namespace lag::engine
 {
 
 namespace fs = std::filesystem;
+
+namespace
+{
+
+/** Cache instruments; looked up once, then pure atomics. */
+struct CacheMetrics
+{
+    obs::Counter &hit = obs::metrics().counter("cache.hit");
+    obs::Counter &missCount = obs::metrics().counter("cache.miss");
+    obs::Counter &storeCount =
+        obs::metrics().counter("cache.store");
+    obs::Counter &evictFiles =
+        obs::metrics().counter("cache.evict.files");
+    obs::Counter &evictBytes =
+        obs::metrics().counter("cache.evict.bytes");
+    obs::Gauge &keptBytes =
+        obs::metrics().gauge("cache.kept.bytes");
+};
+
+CacheMetrics &
+cacheMetrics()
+{
+    static CacheMetrics metrics;
+    return metrics;
+}
+
+} // namespace
 
 SessionAnalysis
 analyzeSession(const core::Session &session,
@@ -321,6 +350,7 @@ ResultCache::entryPath(std::string_view app_name,
 CacheEvictionResult
 ResultCache::evict(const CacheEvictionPolicy &policy) const
 {
+    LAG_SPAN("cache.evict");
     CacheEvictionResult result;
     const fs::path root = fs::path(dir_) / "analysis";
     std::error_code ec;
@@ -397,6 +427,17 @@ ResultCache::evict(const CacheEvictionPolicy &policy) const
     }
     result.keptFiles = live.size() - first_kept;
     result.keptBytes = total;
+    cacheMetrics().keptBytes.set(
+        static_cast<std::int64_t>(result.keptBytes));
+    if (result.removedFiles > 0) {
+        // Eviction throws user state away; say so instead of
+        // silently shrinking the directory.
+        cacheMetrics().evictFiles.add(result.removedFiles);
+        cacheMetrics().evictBytes.add(result.removedBytes);
+        inform("result cache: evicted ", result.removedFiles,
+               " entries (", result.removedBytes, " bytes), kept ",
+               result.keptFiles, " (", result.keptBytes, " bytes)");
+    }
     return result;
 }
 
@@ -404,6 +445,7 @@ std::optional<SessionAnalysis>
 ResultCache::load(std::string_view app_name,
                   std::uint32_t session_index) const
 {
+    LAG_SPAN("cache.load");
     const std::string path = entryPath(app_name, session_index);
     std::ifstream in(path, std::ios::binary);
     if (!in)
@@ -415,6 +457,7 @@ ResultCache::load(std::string_view app_name,
     try {
         SessionAnalysis analysis =
             deserializeSessionAnalysis(buffer.str());
+        cacheMetrics().hit.add();
         MutexLock lock(statsMutex_);
         ++stats_.hits;
         return analysis;
@@ -428,6 +471,7 @@ ResultCache::load(std::string_view app_name,
 std::optional<SessionAnalysis>
 ResultCache::miss() const
 {
+    cacheMetrics().missCount.add();
     MutexLock lock(statsMutex_);
     ++stats_.misses;
     return std::nullopt;
@@ -445,6 +489,7 @@ ResultCache::store(std::string_view app_name,
                    std::uint32_t session_index,
                    const SessionAnalysis &analysis) const
 {
+    LAG_SPAN("cache.store");
     fs::create_directories(dir_ + "/analysis");
     const std::string path = entryPath(app_name, session_index);
     const std::string temp = path + ".tmp";
@@ -463,6 +508,7 @@ ResultCache::store(std::string_view app_name,
         }
     }
     fs::rename(temp, path);
+    cacheMetrics().storeCount.add();
     MutexLock lock(statsMutex_);
     ++stats_.stores;
 }

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "graph.hh"
+#include "obs/span.hh"
 #include "util/logging.hh"
 
 namespace lag::engine
@@ -24,7 +25,12 @@ void
 StudyDriver::addStage(std::string name, StageFn fn)
 {
     lag_assert(fn != nullptr, "null stage added to study driver");
-    stages_.push_back(Stage{std::move(name), std::move(fn)});
+    // Intern here, at setup time: span recording inside the stage
+    // tasks must not take the obs lock or chase a string that moves
+    // when stages_ reallocates.
+    const char *span_name = obs::internedName(name);
+    stages_.push_back(Stage{std::move(name), span_name,
+                            std::move(fn)});
 }
 
 std::size_t
@@ -59,6 +65,8 @@ StudyDriver::run(ThreadPool &pool)
                     deps.push_back(prev);
                 prev = graph.add(
                     [this, k, shard, item] {
+                        LAG_SPAN_ARG(stages_[k].spanName, "item",
+                                     item);
                         stages_[k].fn(shard, item);
                         MutexLock lock(progressMutex_);
                         ++completed_;
@@ -76,10 +84,35 @@ parallelFor(ThreadPool &pool, std::size_t count,
 {
     if (count == 0)
         return;
-    TaskGraph graph;
-    for (std::size_t i = 0; i < count; ++i)
-        graph.add([&fn, i] { fn(i); });
-    graph.run(pool);
+    if (count == 1) {
+        fn(0);
+        return;
+    }
+    // Fork-join split instead of one task per index: a single root
+    // task recursively halves its range, pushing the far half onto
+    // the running worker's own deque and keeping the near half.
+    // That leaves work where idle workers can steal it (one flat
+    // injector queue never produces a steal — the injector is
+    // shared, not owned), so load balance comes from the pool's
+    // steal path and the steal counters reflect reality. Results
+    // stay deterministic: fn still sees every index exactly once
+    // and writes to index-addressed slots per the contract above.
+    std::function<void(std::size_t, std::size_t)> run_range =
+        [&pool, &run_range, &fn](std::size_t begin,
+                                 std::size_t end) {
+            while (end - begin > 1) {
+                const std::size_t mid = begin + (end - begin) / 2;
+                pool.submit([&run_range, mid, end] {
+                    run_range(mid, end);
+                });
+                end = mid;
+            }
+            fn(begin);
+        };
+    // Capture by reference is safe: waitIdle() below outlives every
+    // spawned task.
+    pool.submit([&run_range, count] { run_range(0, count); });
+    pool.waitIdle();
 }
 
 } // namespace lag::engine

@@ -71,6 +71,9 @@ class StudyDriver
     struct Stage
     {
         std::string name;
+        /** Interned copy of name for span recording (static
+         * lifetime, survives stages_ reallocation). */
+        const char *spanName = nullptr;
         StageFn fn;
     };
 

@@ -1,0 +1,134 @@
+#include "chrome_trace.hh"
+
+#include <cstdio>
+
+#include "span.hh"
+#include "util/logging.hh"
+
+namespace lag::obs
+{
+
+namespace
+{
+
+/** Append @p text as a JSON string literal (quotes + escapes). */
+void
+appendJsonString(std::string &out, std::string_view text)
+{
+    out += '"';
+    for (const char ch : text) {
+        switch (ch) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        case '\t':
+            out += "\\t";
+            break;
+        case '\r':
+            out += "\\r";
+            break;
+        default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof(buf), "\\u%04x",
+                              static_cast<unsigned>(
+                                  static_cast<unsigned char>(ch)));
+                out += buf;
+            } else {
+                out += ch;
+            }
+            break;
+        }
+    }
+    out += '"';
+}
+
+/** Append nanoseconds as a decimal microsecond value ("12.345"). */
+void
+appendMicros(std::string &out, std::int64_t ns)
+{
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                  static_cast<long long>(ns / 1000),
+                  static_cast<long long>(ns % 1000));
+    out += buf;
+}
+
+} // namespace
+
+std::string
+chromeTraceJson()
+{
+    const auto buffers = spanBuffers();
+
+    std::string out;
+    out += "{\"traceEvents\":[";
+    bool first = true;
+
+    // Thread-name metadata first: one ph:"M" event per buffer makes
+    // Perfetto label each track with the lag thread name.
+    for (const auto &buffer : buffers) {
+        out += first ? "\n" : ",\n";
+        first = false;
+        out += "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,"
+               "\"tid\":";
+        out += std::to_string(buffer->tid());
+        out += ",\"args\":{\"name\":";
+        appendJsonString(out, buffer->threadName());
+        out += "}}";
+    }
+
+    for (const auto &buffer : buffers) {
+        const std::size_t n = buffer->published();
+        for (std::size_t i = 0; i < n; ++i) {
+            const SpanEvent &event = buffer->at(i);
+            out += first ? "\n" : ",\n";
+            first = false;
+            out += "{\"name\":";
+            appendJsonString(out, event.name);
+            out += ",\"cat\":\"lag\",\"ph\":\"X\",\"ts\":";
+            appendMicros(out, event.startNs);
+            out += ",\"dur\":";
+            appendMicros(out, event.durNs);
+            out += ",\"pid\":1,\"tid\":";
+            out += std::to_string(buffer->tid());
+            if (event.argKey != nullptr) {
+                out += ",\"args\":{";
+                appendJsonString(out, event.argKey);
+                out += ':';
+                out += std::to_string(event.argValue);
+                out += '}';
+            }
+            out += '}';
+        }
+    }
+
+    out += "\n]}\n";
+    return out;
+}
+
+bool
+writeChromeTrace(const std::string &path)
+{
+    const std::string json = chromeTraceJson();
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+        warn("cannot write self-trace file '", path, "'");
+        return false;
+    }
+    const std::size_t written =
+        std::fwrite(json.data(), 1, json.size(), file);
+    const bool closed = std::fclose(file) == 0;
+    const bool ok = written == json.size() && closed;
+    if (!ok)
+        warn("short write to self-trace file '", path, "'");
+    return ok;
+}
+
+} // namespace lag::obs

@@ -1,0 +1,36 @@
+/**
+ * @file
+ * Chrome trace-event export of recorded spans.
+ *
+ * Serializes every published SpanEvent into the trace-event JSON
+ * format understood by Perfetto (ui.perfetto.dev) and legacy
+ * chrome://tracing: an object with a "traceEvents" array of complete
+ * events (ph "X", microsecond ts/dur) plus thread-name metadata
+ * events (ph "M") so the timeline shows "main", "pool-worker-0", …
+ * instead of bare tids.
+ *
+ * Export is a drain, not a stop: it walks [0, published()) of each
+ * buffer with acquire loads and can run while threads still record.
+ * The at-exit flush in obs/scope.cc is the normal call site.
+ */
+
+#ifndef LAG_OBS_CHROME_TRACE_HH
+#define LAG_OBS_CHROME_TRACE_HH
+
+#include <string>
+
+namespace lag::obs
+{
+
+/** Render all published spans as a Chrome trace-event JSON string. */
+std::string chromeTraceJson();
+
+/**
+ * Write chromeTraceJson() to @p path. Returns false (after a warn)
+ * when the file cannot be written; never throws.
+ */
+bool writeChromeTrace(const std::string &path);
+
+} // namespace lag::obs
+
+#endif // LAG_OBS_CHROME_TRACE_HH

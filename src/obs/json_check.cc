@@ -1,0 +1,313 @@
+#include "json_check.hh"
+
+#include <cctype>
+
+namespace lag::obs
+{
+
+namespace
+{
+
+/** Recursive-descent walker over one JSON value. */
+class Checker
+{
+  public:
+    explicit Checker(std::string_view text) : text_(text) {}
+
+    JsonCheckResult
+    run()
+    {
+        skipWs();
+        if (!value())
+            return fail();
+        skipWs();
+        if (pos_ != text_.size())
+            return error("trailing characters after JSON value");
+        JsonCheckResult result;
+        result.ok = true;
+        return result;
+    }
+
+    /** As run(), but also requires the Chrome-trace shape. */
+    JsonCheckResult
+    runChromeTrace()
+    {
+        sawTraceEventsArray_ = false;
+        JsonCheckResult result = run();
+        if (!result.ok)
+            return result;
+        if (!topLevelObject_)
+            return error("chrome trace must be a JSON object");
+        if (!sawTraceEventsArray_)
+            return error(
+                "chrome trace lacks a \"traceEvents\" array");
+        return result;
+    }
+
+  private:
+    std::string_view text_;
+    std::size_t pos_ = 0;
+    int depth_ = 0;
+    bool topLevelObject_ = false;
+    bool sawTraceEventsArray_ = false;
+    std::string error_;
+    std::size_t errorPos_ = 0;
+
+    JsonCheckResult
+    fail()
+    {
+        JsonCheckResult result;
+        result.ok = false;
+        result.errorOffset = errorPos_;
+        result.message =
+            error_.empty() ? "malformed JSON" : error_;
+        return result;
+    }
+
+    JsonCheckResult
+    error(std::string msg)
+    {
+        error_ = std::move(msg);
+        errorPos_ = pos_;
+        return fail();
+    }
+
+    bool
+    setError(const char *msg)
+    {
+        if (error_.empty()) {
+            error_ = msg;
+            errorPos_ = pos_;
+        }
+        return false;
+    }
+
+    bool
+    eof() const
+    {
+        return pos_ >= text_.size();
+    }
+
+    char
+    peek() const
+    {
+        return text_[pos_];
+    }
+
+    void
+    skipWs()
+    {
+        while (!eof() && (peek() == ' ' || peek() == '\t' ||
+                          peek() == '\n' || peek() == '\r'))
+            ++pos_;
+    }
+
+    bool
+    consume(char ch)
+    {
+        if (eof() || peek() != ch)
+            return false;
+        ++pos_;
+        return true;
+    }
+
+    bool
+    value()
+    {
+        if (eof())
+            return setError("unexpected end of input");
+        switch (peek()) {
+        case '{':
+            if (depth_ == 0)
+                topLevelObject_ = true;
+            return object();
+        case '[':
+            return array();
+        case '"':
+            return string(nullptr);
+        case 't':
+            return literal("true");
+        case 'f':
+            return literal("false");
+        case 'n':
+            return literal("null");
+        default:
+            return number();
+        }
+    }
+
+    bool
+    literal(std::string_view word)
+    {
+        if (text_.substr(pos_, word.size()) != word)
+            return setError("invalid literal");
+        pos_ += word.size();
+        return true;
+    }
+
+    bool
+    object()
+    {
+        ++pos_; // '{'
+        ++depth_;
+        skipWs();
+        if (consume('}')) {
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (eof() || peek() != '"')
+                return setError("expected object key string");
+            std::string key;
+            if (!string(&key))
+                return false;
+            skipWs();
+            if (!consume(':'))
+                return setError("expected ':' after object key");
+            skipWs();
+            const bool topLevelKey = depth_ == 1;
+            const std::size_t valueStart = pos_;
+            if (!value())
+                return false;
+            if (topLevelKey && key == "traceEvents" &&
+                text_[valueStart] == '[')
+                sawTraceEventsArray_ = true;
+            skipWs();
+            if (consume('}'))
+                break;
+            if (!consume(','))
+                return setError("expected ',' or '}' in object");
+        }
+        --depth_;
+        return true;
+    }
+
+    bool
+    array()
+    {
+        ++pos_; // '['
+        ++depth_;
+        skipWs();
+        if (consume(']')) {
+            --depth_;
+            return true;
+        }
+        while (true) {
+            skipWs();
+            if (!value())
+                return false;
+            skipWs();
+            if (consume(']'))
+                break;
+            if (!consume(','))
+                return setError("expected ',' or ']' in array");
+        }
+        --depth_;
+        return true;
+    }
+
+    bool
+    string(std::string *out)
+    {
+        ++pos_; // opening '"'
+        while (true) {
+            if (eof())
+                return setError("unterminated string");
+            const char ch = text_[pos_];
+            if (static_cast<unsigned char>(ch) < 0x20)
+                return setError(
+                    "unescaped control character in string");
+            ++pos_;
+            if (ch == '"')
+                return true;
+            if (ch == '\\') {
+                if (eof())
+                    return setError("unterminated escape");
+                const char esc = text_[pos_++];
+                switch (esc) {
+                case '"':
+                case '\\':
+                case '/':
+                case 'b':
+                case 'f':
+                case 'n':
+                case 'r':
+                case 't':
+                    if (out != nullptr)
+                        out->push_back(esc);
+                    break;
+                case 'u':
+                    for (int i = 0; i < 4; ++i) {
+                        if (eof() ||
+                            std::isxdigit(static_cast<unsigned char>(
+                                peek())) == 0)
+                            return setError(
+                                "invalid \\u escape");
+                        ++pos_;
+                    }
+                    break;
+                default:
+                    return setError("invalid escape character");
+                }
+            } else if (out != nullptr) {
+                out->push_back(ch);
+            }
+        }
+    }
+
+    bool
+    number()
+    {
+        const std::size_t start = pos_;
+        consume('-');
+        if (eof() ||
+            std::isdigit(static_cast<unsigned char>(peek())) == 0)
+            return setError("invalid number");
+        if (peek() == '0') {
+            ++pos_;
+        } else {
+            while (!eof() && std::isdigit(static_cast<unsigned char>(
+                                 peek())) != 0)
+                ++pos_;
+        }
+        if (consume('.')) {
+            if (eof() ||
+                std::isdigit(static_cast<unsigned char>(peek())) ==
+                    0)
+                return setError("digit required after '.'");
+            while (!eof() && std::isdigit(static_cast<unsigned char>(
+                                 peek())) != 0)
+                ++pos_;
+        }
+        if (!eof() && (peek() == 'e' || peek() == 'E')) {
+            ++pos_;
+            if (!consume('+'))
+                consume('-');
+            if (eof() ||
+                std::isdigit(static_cast<unsigned char>(peek())) ==
+                    0)
+                return setError("digit required in exponent");
+            while (!eof() && std::isdigit(static_cast<unsigned char>(
+                                 peek())) != 0)
+                ++pos_;
+        }
+        return pos_ > start;
+    }
+};
+
+} // namespace
+
+JsonCheckResult
+checkJson(std::string_view text)
+{
+    return Checker(text).run();
+}
+
+JsonCheckResult
+checkChromeTrace(std::string_view text)
+{
+    return Checker(text).runChromeTrace();
+}
+
+} // namespace lag::obs

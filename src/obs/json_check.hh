@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Minimal strict JSON validator for self-trace / metrics output.
+ *
+ * This is a checker, not a parser: it verifies that a byte string is
+ * one syntactically well-formed JSON value (RFC 8259 grammar —
+ * objects, arrays, strings with escapes, numbers, true/false/null,
+ * no trailing garbage) without building a document tree. The golden
+ * tests and the ci `trace_check` tool run it over the files
+ * `--self-trace` and `--metrics-out` produce, so an exporter bug
+ * that emits a bare comma or an unescaped quote fails fast instead
+ * of surfacing as a Perfetto import error later.
+ *
+ * checkChromeTrace() adds the one structural requirement Perfetto
+ * has: a top-level object containing a "traceEvents" key whose value
+ * is an array.
+ */
+
+#ifndef LAG_OBS_JSON_CHECK_HH
+#define LAG_OBS_JSON_CHECK_HH
+
+#include <string>
+#include <string_view>
+
+namespace lag::obs
+{
+
+/** Outcome of a validation run. */
+struct JsonCheckResult
+{
+    bool ok = false;
+    std::size_t errorOffset = 0; ///< byte offset of first error
+    std::string message;         ///< empty when ok
+};
+
+/** Validate that @p text is exactly one well-formed JSON value. */
+JsonCheckResult checkJson(std::string_view text);
+
+/**
+ * checkJson() plus the Chrome-trace shape requirement: top-level
+ * object with a "traceEvents" member holding an array.
+ */
+JsonCheckResult checkChromeTrace(std::string_view text);
+
+} // namespace lag::obs
+
+#endif // LAG_OBS_JSON_CHECK_HH

@@ -1,0 +1,276 @@
+#include "metrics.hh"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+
+#include "util/logging.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
+
+namespace lag::obs
+{
+
+Histogram::Histogram(std::vector<std::int64_t> bounds)
+    : bounds_(std::move(bounds)), counts_(bounds_.size() + 1)
+{
+    lag_assert(!bounds_.empty(), "histogram needs at least one bucket");
+    lag_assert(std::is_sorted(bounds_.begin(), bounds_.end()),
+               "histogram bounds must be ascending");
+}
+
+void
+Histogram::record(std::int64_t value)
+{
+    // First bucket with value <= bound; past the last bound the
+    // search lands on the implicit overflow slot.
+    const std::size_t i = static_cast<std::size_t>(
+        std::lower_bound(bounds_.begin(), bounds_.end(), value) -
+        bounds_.begin());
+    counts_[i].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+std::uint64_t
+MetricsSnapshot::counterValue(std::string_view name) const
+{
+    for (const CounterValue &c : counters) {
+        if (c.name == name)
+            return c.value;
+    }
+    return 0;
+}
+
+std::int64_t
+MetricsSnapshot::gaugeMax(std::string_view name) const
+{
+    for (const GaugeValue &g : gauges) {
+        if (g.name == name)
+            return g.max;
+    }
+    return 0;
+}
+
+namespace
+{
+
+Mutex &
+metricsMutex()
+{
+    static Mutex mutex{LockRank::Obs, "obs-metrics-registry"};
+    return mutex;
+}
+
+/** Instrument tables. std::map nodes are address-stable, so the
+ * references counter()/gauge()/histogram() hand out survive later
+ * insertions; leaked so atexit dumps never race destruction. */
+struct Tables
+{
+    std::map<std::string, Counter, std::less<>> counters;
+    std::map<std::string, Gauge, std::less<>> gauges;
+    std::map<std::string, Histogram, std::less<>> histograms;
+};
+
+Tables &
+tables() LAG_REQUIRES(metricsMutex())
+{
+    static auto *t = new Tables();
+    return *t;
+}
+
+void
+appendJsonKey(std::string &out, const std::string &name)
+{
+    // Metric names are dotted ASCII identifiers by convention; no
+    // escaping beyond quoting is needed.
+    out += '"';
+    out += name;
+    out += '"';
+}
+
+} // namespace
+
+Counter &
+MetricsRegistry::counter(std::string_view name)
+{
+    MutexLock lock(metricsMutex());
+    auto it = tables().counters.find(name);
+    if (it == tables().counters.end()) {
+        it = tables()
+                 .counters
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(name),
+                          std::forward_as_tuple())
+                 .first;
+    }
+    return it->second;
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view name)
+{
+    MutexLock lock(metricsMutex());
+    auto it = tables().gauges.find(name);
+    if (it == tables().gauges.end()) {
+        it = tables()
+                 .gauges
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(name),
+                          std::forward_as_tuple())
+                 .first;
+    }
+    return it->second;
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view name,
+                           std::vector<std::int64_t> bounds)
+{
+    MutexLock lock(metricsMutex());
+    auto it = tables().histograms.find(name);
+    if (it == tables().histograms.end()) {
+        it = tables()
+                 .histograms
+                 .emplace(std::piecewise_construct,
+                          std::forward_as_tuple(name),
+                          std::forward_as_tuple(std::move(bounds)))
+                 .first;
+    } else {
+        lag_assert(it->second.bounds() == bounds,
+                   "histogram '", it->first,
+                   "' re-registered with different bounds");
+    }
+    return it->second;
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    MetricsSnapshot snap;
+    MutexLock lock(metricsMutex());
+    // std::map iteration is already name-sorted.
+    for (const auto &[name, c] : tables().counters)
+        snap.counters.push_back({name, c.value()});
+    for (const auto &[name, g] : tables().gauges)
+        snap.gauges.push_back({name, g.value(), g.max()});
+    for (const auto &[name, h] : tables().histograms) {
+        MetricsSnapshot::HistogramValue hv;
+        hv.name = name;
+        hv.bounds = h.bounds();
+        hv.counts.reserve(hv.bounds.size() + 1);
+        for (std::size_t i = 0; i <= hv.bounds.size(); ++i)
+            hv.counts.push_back(h.bucketCount(i));
+        hv.count = h.count();
+        hv.sum = h.sum();
+        snap.histograms.push_back(std::move(hv));
+    }
+    return snap;
+}
+
+std::string
+MetricsRegistry::dumpText() const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::ostringstream os;
+    for (const auto &c : snap.counters)
+        os << c.name << " counter " << c.value << '\n';
+    for (const auto &g : snap.gauges)
+        os << g.name << " gauge " << g.value << " max " << g.max
+           << '\n';
+    for (const auto &h : snap.histograms) {
+        os << h.name << " histogram count " << h.count << " sum "
+           << h.sum;
+        for (std::size_t i = 0; i < h.bounds.size(); ++i)
+            os << " le" << h.bounds[i] << '=' << h.counts[i];
+        os << " overflow=" << h.counts.back() << '\n';
+    }
+    return os.str();
+}
+
+std::string
+MetricsRegistry::dumpJson() const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::string out;
+    out += "{\n  \"counters\": {";
+    bool first = true;
+    for (const auto &c : snap.counters) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonKey(out, c.name);
+        out += ": ";
+        out += std::to_string(c.value);
+    }
+    out += "\n  },\n  \"gauges\": {";
+    first = true;
+    for (const auto &g : snap.gauges) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonKey(out, g.name);
+        out += ": {\"value\": ";
+        out += std::to_string(g.value);
+        out += ", \"max\": ";
+        out += std::to_string(g.max);
+        out += '}';
+    }
+    out += "\n  },\n  \"histograms\": {";
+    first = true;
+    for (const auto &h : snap.histograms) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendJsonKey(out, h.name);
+        out += ": {\"bounds\": [";
+        for (std::size_t i = 0; i < h.bounds.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += std::to_string(h.bounds[i]);
+        }
+        out += "], \"counts\": [";
+        for (std::size_t i = 0; i < h.counts.size(); ++i) {
+            if (i > 0)
+                out += ", ";
+            out += std::to_string(h.counts[i]);
+        }
+        out += "], \"count\": ";
+        out += std::to_string(h.count);
+        out += ", \"sum\": ";
+        out += std::to_string(h.sum);
+        out += '}';
+    }
+    out += "\n  }\n}\n";
+    return out;
+}
+
+std::string
+MetricsRegistry::summaryLine() const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::ostringstream os;
+    os << "metrics:";
+    bool any = false;
+    for (const auto &c : snap.counters) {
+        if (c.value == 0)
+            continue;
+        os << ' ' << c.name << '=' << c.value;
+        any = true;
+    }
+    for (const auto &g : snap.gauges) {
+        if (g.max == 0)
+            continue;
+        os << ' ' << g.name << ".max=" << g.max;
+        any = true;
+    }
+    if (!any)
+        os << " (all zero)";
+    return os.str();
+}
+
+MetricsRegistry &
+metrics()
+{
+    static auto *registry = new MetricsRegistry();
+    return *registry;
+}
+
+} // namespace lag::obs

@@ -1,0 +1,101 @@
+#include "scope.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "chrome_trace.hh"
+#include "metrics.hh"
+#include "span.hh"
+#include "util/logging.hh"
+
+namespace lag::obs
+{
+
+namespace
+{
+
+/** Installed destinations; leaked so the atexit flush can read them
+ * after main()'s locals are gone. */
+ObsOptions *g_options = nullptr;
+bool g_atexitRegistered = false;
+bool g_flushed = false;
+
+bool
+endsWith(const std::string &text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.compare(text.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+bool
+writeFile(const std::string &path, const std::string &contents)
+{
+    std::FILE *file = std::fopen(path.c_str(), "wb");
+    if (file == nullptr) {
+        warn("cannot write metrics file '", path, "'");
+        return false;
+    }
+    const std::size_t written =
+        std::fwrite(contents.data(), 1, contents.size(), file);
+    const bool closed = std::fclose(file) == 0;
+    if (written != contents.size() || !closed) {
+        warn("short write to metrics file '", path, "'");
+        return false;
+    }
+    return true;
+}
+
+} // namespace
+
+void
+install(const ObsOptions &options)
+{
+    if (!options.any())
+        return;
+    if (g_options == nullptr)
+        g_options = new ObsOptions();
+    *g_options = options;
+    g_flushed = false;
+    if (!options.selfTracePath.empty())
+        setSpansEnabled(true);
+    if (!g_atexitRegistered) {
+        g_atexitRegistered = true;
+        std::atexit(flush);
+    }
+}
+
+void
+flush()
+{
+    if (g_options == nullptr || g_flushed)
+        return;
+    g_flushed = true;
+
+    if (!g_options->selfTracePath.empty()) {
+        // Stop recording first so the drain below sees a quiesced
+        // count from this thread; workers may still append, and the
+        // acquire walk only reads fully published entries anyway.
+        setSpansEnabled(false);
+        if (writeChromeTrace(g_options->selfTracePath)) {
+            inform("self-trace: wrote ", publishedSpanCount(),
+                   " spans to '", g_options->selfTracePath, "' (",
+                   droppedSpanCount(), " dropped)");
+        }
+    }
+
+    if (!g_options->metricsPath.empty()) {
+        const std::string dump =
+            endsWith(g_options->metricsPath, ".json")
+                ? metrics().dumpJson()
+                : metrics().dumpText();
+        if (writeFile(g_options->metricsPath, dump)) {
+            inform("metrics: wrote '", g_options->metricsPath,
+                   "'");
+        }
+    }
+
+    inform(metrics().summaryLine());
+}
+
+} // namespace lag::obs

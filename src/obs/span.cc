@@ -1,0 +1,132 @@
+#include "span.hh"
+
+#include <deque>
+
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
+
+namespace lag::obs
+{
+
+namespace
+{
+
+/** Spans one thread can hold before dropping (≈2.5 MB of slots).
+ * Session-sized work records tens of spans per task; 64k covers
+ * hours of study pipeline before a single drop. */
+constexpr std::size_t kSpanCapacity = std::size_t{1} << 16;
+
+Mutex &
+registryMutex()
+{
+    static Mutex mutex{LockRank::Obs, "obs-span-registry"};
+    return mutex;
+}
+
+/** Registered buffers; shared_ptrs keep them alive past thread
+ * exit so an at-exit export still sees worker spans. Leaked on
+ * purpose: atexit exporters must never race static destruction. */
+std::vector<std::shared_ptr<SpanBuffer>> &
+registry() LAG_REQUIRES(registryMutex())
+{
+    static auto *buffers =
+        new std::vector<std::shared_ptr<SpanBuffer>>();
+    return *buffers;
+}
+
+/** Interned dynamic names; deque keeps addresses stable. */
+std::deque<std::string> &
+internTable() LAG_REQUIRES(registryMutex())
+{
+    static auto *table = new std::deque<std::string>();
+    return *table;
+}
+
+} // namespace
+
+SpanBuffer::SpanBuffer(std::uint32_t tid, std::string threadName,
+                       std::size_t capacity)
+    : slots_(capacity), tid_(tid), threadName_(std::move(threadName))
+{
+}
+
+void
+SpanBuffer::append(const SpanEvent &event)
+{
+    const std::size_t i = size_.load(std::memory_order_relaxed);
+    if (i >= slots_.size()) {
+        dropped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+    }
+    slots_[i] = event;
+    // Release pairs with published()'s acquire: a drainer that
+    // observes count i+1 also observes the slot write above.
+    size_.store(i + 1, std::memory_order_release);
+}
+
+namespace detail
+{
+
+std::atomic<bool> g_spansEnabled{false};
+
+SpanBuffer &
+threadBuffer()
+{
+    thread_local std::shared_ptr<SpanBuffer> t_buffer;
+    if (!t_buffer) {
+        t_buffer = std::make_shared<SpanBuffer>(
+            currentThreadId(), currentThreadName(), kSpanCapacity);
+        MutexLock lock(registryMutex());
+        registry().push_back(t_buffer);
+    }
+    return *t_buffer;
+}
+
+} // namespace detail
+
+void
+setSpansEnabled(bool enabled)
+{
+    detail::g_spansEnabled.store(enabled,
+                                 std::memory_order_relaxed);
+}
+
+const char *
+internedName(std::string_view name)
+{
+    MutexLock lock(registryMutex());
+    std::deque<std::string> &table = internTable();
+    for (const std::string &entry : table) {
+        if (entry == name)
+            return entry.c_str();
+    }
+    table.emplace_back(name);
+    return table.back().c_str();
+}
+
+std::vector<std::shared_ptr<SpanBuffer>>
+spanBuffers()
+{
+    MutexLock lock(registryMutex());
+    return registry();
+}
+
+std::size_t
+publishedSpanCount()
+{
+    std::size_t total = 0;
+    for (const auto &buffer : spanBuffers())
+        total += buffer->published();
+    return total;
+}
+
+std::uint64_t
+droppedSpanCount()
+{
+    std::uint64_t total = 0;
+    for (const auto &buffer : spanBuffers())
+        total += buffer->dropped();
+    return total;
+}
+
+} // namespace lag::obs

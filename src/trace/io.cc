@@ -9,8 +9,11 @@
 
 #include "bytes.hh"
 #include "mapped_file.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
 #include "util/hash.hh"
 #include "util/strings.hh"
+#include "util/thread_name.hh"
 
 static_assert(std::endian::native == std::endian::little,
               "the trace format assumes a little-endian host");
@@ -268,6 +271,9 @@ serializeTrace(const Trace &trace)
 Trace
 deserializeTrace(std::string_view data)
 {
+    LAG_SPAN_ARG("trace.decode", "bytes", data.size());
+    const std::int64_t decode_start = processElapsedNs();
+
     ByteReader header(data);
     for (char expected : kMagic) {
         if (header.u8() != static_cast<std::uint8_t>(expected))
@@ -301,47 +307,63 @@ deserializeTrace(std::string_view data)
 
     trace.meta = readMeta(r);
 
-    trace.threads.reserve(counts.threadCount);
-    for (std::uint32_t i = 0; i < counts.threadCount; ++i) {
-        TraceThread thread;
-        thread.id = r.u32();
-        thread.name = r.str();
-        thread.isGui = r.u8() != 0;
-        trace.threads.push_back(std::move(thread));
+    {
+        LAG_SPAN_ARG("trace.decode.threads", "count",
+                     counts.threadCount);
+        trace.threads.reserve(counts.threadCount);
+        for (std::uint32_t i = 0; i < counts.threadCount; ++i) {
+            TraceThread thread;
+            thread.id = r.u32();
+            thread.name = r.str();
+            thread.isGui = r.u8() != 0;
+            trace.threads.push_back(std::move(thread));
+        }
     }
 
-    std::vector<std::string> list;
-    list.reserve(counts.stringCount);
-    for (std::uint32_t i = 0; i < counts.stringCount; ++i)
-        list.push_back(r.str());
-    trace.strings = StringTable::fromList(std::move(list));
+    {
+        LAG_SPAN_ARG("trace.decode.strings", "count",
+                     counts.stringCount);
+        std::vector<std::string> list;
+        list.reserve(counts.stringCount);
+        for (std::uint32_t i = 0; i < counts.stringCount; ++i)
+            list.push_back(r.str());
+        trace.strings = StringTable::fromList(std::move(list));
+    }
 
-    trace.events.reserve(counts.eventCount);
-    for (std::uint64_t i = 0; i < counts.eventCount; ++i) {
-        const std::size_t at = r.position();
-        try {
-            trace.events.push_back(readEvent(r));
-        } catch (const TraceError &e) {
-            throw TraceError(recordContext("event", i, at) +
-                             e.what());
+    {
+        LAG_SPAN_ARG("trace.decode.events", "count",
+                     counts.eventCount);
+        trace.events.reserve(counts.eventCount);
+        for (std::uint64_t i = 0; i < counts.eventCount; ++i) {
+            const std::size_t at = r.position();
+            try {
+                trace.events.push_back(readEvent(r));
+            } catch (const TraceError &e) {
+                throw TraceError(recordContext("event", i, at) +
+                                 e.what());
+            }
         }
     }
 
     std::uint64_t sampleThreadTotal = 0;
     std::uint64_t frameTotal = 0;
-    trace.samples.reserve(counts.sampleCount);
-    for (std::uint64_t i = 0; i < counts.sampleCount; ++i) {
-        const std::size_t at = r.position();
-        try {
-            trace.samples.push_back(readSample(r));
-        } catch (const TraceError &e) {
-            throw TraceError(recordContext("sample", i, at) +
-                             e.what());
+    {
+        LAG_SPAN_ARG("trace.decode.samples", "count",
+                     counts.sampleCount);
+        trace.samples.reserve(counts.sampleCount);
+        for (std::uint64_t i = 0; i < counts.sampleCount; ++i) {
+            const std::size_t at = r.position();
+            try {
+                trace.samples.push_back(readSample(r));
+            } catch (const TraceError &e) {
+                throw TraceError(recordContext("sample", i, at) +
+                                 e.what());
+            }
+            const TraceSample &sample = trace.samples.back();
+            sampleThreadTotal += sample.threads.size();
+            for (const auto &entry : sample.threads)
+                frameTotal += entry.frames.size();
         }
-        const TraceSample &sample = trace.samples.back();
-        sampleThreadTotal += sample.threads.size();
-        for (const auto &entry : sample.threads)
-            frameTotal += entry.frames.size();
     }
     if (sampleThreadTotal != counts.sampleThreadTotal ||
         frameTotal != counts.frameTotal) {
@@ -355,6 +377,20 @@ deserializeTrace(std::string_view data)
                          " bytes after trace payload");
     }
     trace.validate();
+
+    // Decode metrics: byte/decode totals plus a latency histogram
+    // per whole trace (not per record — the grain must stay coarse
+    // enough that metrics never show up in a decode profile).
+    static obs::Counter &decode_bytes =
+        obs::metrics().counter("trace.decode.bytes");
+    static obs::Counter &decode_count =
+        obs::metrics().counter("trace.decode.count");
+    static obs::Histogram &decode_ms = obs::metrics().histogram(
+        "trace.decode.ms", {1, 5, 10, 50, 100, 500, 1000});
+    decode_bytes.add(data.size());
+    decode_count.add();
+    decode_ms.record((processElapsedNs() - decode_start) /
+                     1'000'000);
     return trace;
 }
 

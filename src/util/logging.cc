@@ -6,6 +6,7 @@
 
 #include "mutex.hh"
 #include "thread_annotations.hh"
+#include "thread_name.hh"
 
 namespace lag
 {
@@ -68,9 +69,23 @@ emitLog(LogLevel level, const std::string &msg)
 {
     if (static_cast<int>(level) < static_cast<int>(logThreshold()))
         return;
+    // Format the whole line outside the sink lock, then emit it
+    // with ONE stdio call: engine workers logging under --jobs can
+    // then never interleave fragments, even if a future sink is
+    // only line-buffered.
+    const double elapsed_ms =
+        static_cast<double>(processElapsedNs()) / 1e6;
+    char prefix[96];
+    std::snprintf(prefix, sizeof(prefix), "[%s %s +%.1fms] ",
+                  levelName(level), currentThreadName().c_str(),
+                  elapsed_ms);
+    std::string line(prefix);
+    line += msg;
+    line += '\n';
     MutexLock lock(g_sinkMutex);
     std::FILE *out = g_sink != nullptr ? g_sink : stderr;
-    std::fprintf(out, "[%s] %s\n", levelName(level), msg.c_str());
+    std::fwrite(line.data(), 1, line.size(), out);
+    std::fflush(out);
 }
 
 void

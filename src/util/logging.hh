@@ -6,6 +6,15 @@
  * violations (a LagAlyzer bug), @c fatal() for user errors that make
  * continuing impossible (bad trace file, invalid configuration), and
  * @c warn() / @c inform() for status output that never terminates.
+ *
+ * Every line is formatted as
+ * `[<level> <thread-name> +<elapsed-ms>ms] <message>` — the elapsed
+ * clock and thread names are the same ones the observability layer
+ * stamps into `--self-trace` spans (util/thread_name.hh), so a log
+ * line can be located on the Chrome-trace timeline directly. Lines
+ * are rendered away from the sink lock and written with a single
+ * stdio call so concurrent engine workers never interleave
+ * fragments.
  */
 
 #ifndef LAG_UTIL_LOGGING_HH

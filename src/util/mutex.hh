@@ -74,6 +74,15 @@ enum class LockRank : int
     /** ThreadPool injector queue + shutdown flag (engine/pool). */
     PoolInjector = 110,
 
+    /**
+     * Observability bookkeeping (src/obs): span-buffer registry,
+     * metric registry, name-intern table. Below every engine rank
+     * because instrumented code may register a metric or a span
+     * buffer while holding pool locks; span *recording* itself is
+     * lock-free and takes no rank at all.
+     */
+    Obs = 50,
+
     /** Log sink; leaf rank so any code may log while holding any
      * other lock (panic paths do). */
     Logging = 10,

@@ -1,0 +1,66 @@
+#include "thread_name.hh"
+
+#include <atomic>
+#include <chrono>
+
+namespace lag
+{
+
+namespace
+{
+
+std::atomic<std::uint32_t> g_nextThreadId{0};
+
+/** Per-thread identity, materialized on first access. */
+struct ThreadIdentity
+{
+    ThreadIdentity()
+        : id(g_nextThreadId.fetch_add(1, std::memory_order_relaxed)),
+          name(id == 0 ? "main" : "thread-" + std::to_string(id))
+    {
+    }
+
+    std::uint32_t id;
+    std::string name;
+};
+
+ThreadIdentity &
+identity()
+{
+    thread_local ThreadIdentity t_identity;
+    return t_identity;
+}
+
+} // namespace
+
+std::uint32_t
+currentThreadId()
+{
+    return identity().id;
+}
+
+const std::string &
+currentThreadName()
+{
+    return identity().name;
+}
+
+void
+setThreadName(std::string name)
+{
+    identity().name = std::move(name);
+}
+
+std::int64_t
+processElapsedNs()
+{
+    using Clock = std::chrono::steady_clock;
+    // Magic-static epoch: the first caller (usually static init of
+    // the first log line) pins t=0 for logs and spans alike.
+    static const Clock::time_point epoch = Clock::now();
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               Clock::now() - epoch)
+        .count();
+}
+
+} // namespace lag

@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Process-wide thread identity: a small sequential id and a
+ * human-readable name per thread.
+ *
+ * The log sink prefixes every line with the calling thread's name,
+ * and the observability layer (src/obs) stamps span buffers with it,
+ * so the two views of one run — the interleaved log and the Chrome
+ * trace — agree on who did what. Ids are assigned on first use in
+ * start order; the process's first asking thread is id 0 and is
+ * named "main" unless renamed.
+ *
+ * The name is thread-local: reading your own name is free and
+ * race-free. Code that needs another thread's name (the span
+ * drainer) must capture it on that thread — see
+ * obs::SpanBuffer, which snapshots the name when the owning thread
+ * records its first span. Rename a worker (setThreadName) before it
+ * records anything.
+ */
+
+#ifndef LAG_UTIL_THREAD_NAME_HH
+#define LAG_UTIL_THREAD_NAME_HH
+
+#include <cstdint>
+#include <string>
+
+namespace lag
+{
+
+/** This thread's small sequential id (0 = first asker). */
+std::uint32_t currentThreadId();
+
+/** This thread's name; defaults to "main" (id 0) or "thread-N". */
+const std::string &currentThreadName();
+
+/** Rename the calling thread (log prefix + future span buffers). */
+void setThreadName(std::string name);
+
+/**
+ * Monotonic nanoseconds since the process epoch (captured the first
+ * time any caller asks). The one wall-clock read shared by log
+ * timestamps and span timestamps, so both timelines line up.
+ */
+std::int64_t processElapsedNs();
+
+} // namespace lag
+
+#endif // LAG_UTIL_THREAD_NAME_HH

@@ -1,0 +1,12 @@
+// Fixture: seeded `obs-clock` violation (line 8). The clock name in
+// this comment and in the string below must not fire.
+#include <chrono>
+
+static long
+sinceBoot()
+{
+    const auto t = std::chrono::steady_clock::now();
+    return t.time_since_epoch().count();
+}
+
+static const char *kLabel = "a steady_clock in a string stays quiet";

@@ -148,6 +148,21 @@ TEST(LagLint, ReserveLoopRuleFires)
         << run.output;
 }
 
+TEST(LagLint, ObsClockRuleFires)
+{
+    const LintRun run = lintFixture("src/engine/obsclock_bad.cc");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[obs-clock]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/engine/obsclock_bad.cc:8:"),
+              std::string::npos)
+        << run.output;
+    // The comment and string mentions must stay silent: exactly the
+    // one seeded line.
+    EXPECT_NE(run.output.find("1 finding(s)"), std::string::npos)
+        << run.output;
+}
+
 TEST(LagLint, SuppressionSilencesFindings)
 {
     const LintRun run = lintFixture("src/core/suppressed_ok.cc");
@@ -174,7 +189,7 @@ TEST(LagLint, ListRulesNamesEveryRule)
     EXPECT_EQ(run.exitCode, 0);
     for (const char *rule :
          {"wallclock", "unordered-iter", "raw-mutex", "naked-new",
-          "float-hash", "reserve-loop"}) {
+          "float-hash", "reserve-loop", "obs-clock"}) {
         EXPECT_NE(run.output.find(rule), std::string::npos)
             << "missing rule: " << rule;
     }

@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Span recorder tests: the disabled path records nothing, the
+ * enabled path publishes name/arg/duration, concurrent recording
+ * and draining is race-free (this file carries the `engine` label
+ * so the TSan leg covers it), buffer overflow counts drops instead
+ * of blocking, and the Chrome-trace export of real recorded spans
+ * passes the strict JSON + trace-shape checker.
+ *
+ * Span buffers are process-global and append-only, so tests count
+ * only their own uniquely-named spans and never assume the buffers
+ * start empty.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "obs/chrome_trace.hh"
+#include "obs/json_check.hh"
+#include "obs/span.hh"
+
+namespace
+{
+
+using namespace lag;
+
+/** Published spans named @p name, across every thread's buffer. */
+std::size_t
+countSpans(std::string_view name)
+{
+    std::size_t count = 0;
+    for (const auto &buffer : obs::spanBuffers()) {
+        const std::size_t published = buffer->published();
+        for (std::size_t i = 0; i < published; ++i) {
+            if (buffer->at(i).name == name)
+                ++count;
+        }
+    }
+    return count;
+}
+
+/** First published span named @p name, or nullptr. */
+const obs::SpanEvent *
+findSpan(std::string_view name)
+{
+    for (const auto &buffer : obs::spanBuffers()) {
+        const std::size_t published = buffer->published();
+        for (std::size_t i = 0; i < published; ++i) {
+            if (buffer->at(i).name == name)
+                return &buffer->at(i);
+        }
+    }
+    return nullptr;
+}
+
+/** RAII guard so a failing test cannot leak spans-enabled state. */
+struct SpansOn
+{
+    SpansOn() { obs::setSpansEnabled(true); }
+    ~SpansOn() { obs::setSpansEnabled(false); }
+};
+
+TEST(ObsSpan, DisabledRecordsNothing)
+{
+    obs::setSpansEnabled(false);
+    {
+        LAG_SPAN("test.span.disabled");
+    }
+    EXPECT_EQ(countSpans("test.span.disabled"), 0u);
+}
+
+TEST(ObsSpan, EnabledPublishesNameArgAndDuration)
+{
+    const SpansOn on;
+    {
+        LAG_SPAN_ARG("test.span.basic", "bytes", 42);
+    }
+    const obs::SpanEvent *event = findSpan("test.span.basic");
+    ASSERT_NE(event, nullptr);
+    EXPECT_STREQ(event->argKey, "bytes");
+    EXPECT_EQ(event->argValue, 42u);
+    EXPECT_GE(event->durNs, 0);
+    EXPECT_GE(event->startNs, 0);
+}
+
+TEST(ObsSpan, InternedNamePinsDynamicStrings)
+{
+    const std::string dynamic = "test.span.interned";
+    const char *first = obs::internedName(dynamic);
+    const char *second = obs::internedName(dynamic);
+    EXPECT_EQ(first, second) << "same name must intern to one pointer";
+    EXPECT_EQ(std::string_view(first), dynamic);
+}
+
+TEST(ObsSpan, ConcurrentRecordAndDrain)
+{
+    constexpr int kWriters = 4;
+    constexpr int kSpansPerWriter = 1000;
+    const SpansOn on;
+
+    std::atomic<bool> stop{false};
+    // Drainer: continuously walk published entries while writers
+    // record — the acquire/release pair must make this race-free
+    // (the TSan engine leg proves it).
+    std::thread drainer([&stop] {
+        std::size_t seen = 0;
+        while (!stop.load(std::memory_order_relaxed)) {
+            for (const auto &buffer : obs::spanBuffers()) {
+                const std::size_t published = buffer->published();
+                for (std::size_t i = 0; i < published; ++i) {
+                    const obs::SpanEvent &event = buffer->at(i);
+                    if (event.name != nullptr && event.durNs >= 0)
+                        ++seen;
+                }
+            }
+        }
+        EXPECT_GT(seen, 0u);
+    });
+
+    std::vector<std::thread> writers;
+    writers.reserve(kWriters);
+    for (int w = 0; w < kWriters; ++w) {
+        writers.emplace_back([] {
+            for (int i = 0; i < kSpansPerWriter; ++i) {
+                LAG_SPAN_ARG("test.span.concurrent", "i", i);
+            }
+        });
+    }
+    for (std::thread &writer : writers)
+        writer.join();
+    stop.store(true, std::memory_order_relaxed);
+    drainer.join();
+
+    // Each writer thread owns a fresh, far-from-full buffer: no
+    // drops, so every span must be visible after the joins.
+    EXPECT_EQ(countSpans("test.span.concurrent"),
+              static_cast<std::size_t>(kWriters) * kSpansPerWriter);
+}
+
+TEST(ObsSpan, ChromeTraceExportIsValid)
+{
+    const SpansOn on;
+    // A name that needs JSON escaping, pinned via the intern table.
+    const char *awkward =
+        obs::internedName("test.span \"quoted\\path\"");
+    {
+        obs::Span span(awkward, "items", 3);
+    }
+    {
+        LAG_SPAN("test.span.golden");
+    }
+    const std::string json = obs::chromeTraceJson();
+    const auto result = obs::checkChromeTrace(json);
+    EXPECT_TRUE(result.ok)
+        << "at byte " << result.errorOffset << ": " << result.message;
+    EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+    EXPECT_NE(json.find("test.span.golden"), std::string::npos);
+    // The quote and backslash must arrive escaped.
+    EXPECT_NE(json.find("test.span \\\"quoted\\\\path\\\""),
+              std::string::npos)
+        << json;
+    // Thread-name metadata rides along for the timeline labels.
+    EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+}
+
+TEST(ObsSpan, FullBufferCountsDropsWithoutBlocking)
+{
+    const SpansOn on;
+    const std::uint64_t dropped_before = obs::droppedSpanCount();
+    // A fresh thread gets a fresh fixed-capacity buffer; overrun it.
+    std::thread flooder([] {
+        for (int i = 0; i < (1 << 16) + 64; ++i) {
+            LAG_SPAN("test.span.flood");
+        }
+    });
+    flooder.join();
+    EXPECT_GT(obs::droppedSpanCount(), dropped_before);
+    // The flood published up to capacity and dropped the rest.
+    EXPECT_GE(countSpans("test.span.flood"), 1u);
+}
+
+} // namespace

@@ -26,6 +26,9 @@
  *   reserve-loop   no unsized push_back loops in the decode and
  *                  session-build hot paths (src/trace, src/core)
  *   float-hash     no floating point in pattern-key hashing
+ *   obs-clock      no raw std::chrono clock in the span-
+ *                  instrumented engine/decode paths (src/engine,
+ *                  src/trace); timings go through the obs epoch
  */
 
 #include <algorithm>
@@ -719,6 +722,40 @@ checkFloatHash(const ScannedFile &file, std::vector<Finding> &out)
     }
 }
 
+// ---------------------------------------------------------------
+// Rule: obs-clock
+// ---------------------------------------------------------------
+
+/**
+ * The engine and decode paths are span-instrumented: every timing
+ * they take must come from lag::processElapsedNs()
+ * (util/thread_name.hh) or a LAG_SPAN, never a raw std::chrono
+ * clock. Two epochs in one self-trace shift spans against each
+ * other and make the Perfetto timeline lie. src/obs itself owns
+ * the epoch and sits outside the scope.
+ */
+void
+checkObsClock(const ScannedFile &file, std::vector<Finding> &out)
+{
+    if (!underAny(file.relPath, {"src/engine/", "src/trace/"}))
+        return;
+    static const char *kClocks[] = {
+        "steady_clock", "system_clock", "high_resolution_clock",
+    };
+    for (std::size_t ln = 1; ln <= file.code.size(); ++ln) {
+        const std::string &code = file.code[ln - 1];
+        for (const char *clock : kClocks) {
+            if (findWord(code, clock) != std::string::npos)
+                addFinding(out, file, ln, "obs-clock",
+                           std::string("'") + clock +
+                               "' in span-instrumented code; use "
+                               "lag::processElapsedNs() or a "
+                               "LAG_SPAN so timings share the obs "
+                               "epoch");
+        }
+    }
+}
+
 const Rule kRules[] = {
     {"wallclock",
      "no wall-clock/OS-entropy source in src/sim|jvm|core "
@@ -743,6 +780,10 @@ const Rule kRules[] = {
      "no floating point in pattern-key hashing "
      "(util/hash, core/pattern)",
      checkFloatHash},
+    {"obs-clock",
+     "no raw std::chrono clock in src/engine|trace; share the obs "
+     "epoch (processElapsedNs / LAG_SPAN)",
+     checkObsClock},
 };
 
 bool

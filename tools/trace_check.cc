@@ -1,0 +1,84 @@
+/**
+ * @file
+ * trace_check: strict validation of the files the self-profiling
+ * exporters write (`--self-trace`, `--metrics-out`).
+ *
+ * Usage: trace_check [--chrome] file...
+ *
+ * Every file must be exactly one well-formed JSON value (RFC 8259,
+ * via obs::checkJson); with `--chrome` it must additionally have
+ * the Chrome trace-event shape Perfetto requires — a top-level
+ * object with a "traceEvents" array (obs::checkChromeTrace). The
+ * point is to fail the CI gate at the byte that is wrong instead of
+ * surfacing an exporter bug later as an opaque Perfetto import
+ * error.
+ *
+ * Exit: 0 every file valid, 1 a file failed validation, 2 usage or
+ * I/O error. ci/check.sh runs it over a smoke analyze_trace run.
+ */
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/json_check.hh"
+
+int
+main(int argc, char **argv)
+{
+    bool chrome = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--chrome") {
+            chrome = true;
+        } else if (arg == "--help" || arg == "-h") {
+            std::printf(
+                "usage: trace_check [--chrome] file...\n"
+                "Validates that each file is well-formed JSON; "
+                "--chrome also\nrequires the Chrome trace-event "
+                "shape (top-level \"traceEvents\"\narray) that "
+                "--self-trace output promises.\n");
+            return 0;
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.empty()) {
+        std::fprintf(stderr, "trace_check: no files given\n");
+        return 2;
+    }
+
+    int worst = 0;
+    for (const std::string &path : paths) {
+        std::ifstream in(path, std::ios::binary);
+        if (!in) {
+            std::fprintf(stderr, "trace_check: cannot read '%s'\n",
+                         path.c_str());
+            worst = 2;
+            continue;
+        }
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        const std::string text = buffer.str();
+        const lag::obs::JsonCheckResult result =
+            chrome ? lag::obs::checkChromeTrace(text)
+                   : lag::obs::checkJson(text);
+        if (result.ok) {
+            std::printf("trace_check: %s: ok (%zu bytes%s)\n",
+                        path.c_str(), text.size(),
+                        chrome ? ", chrome-trace shape" : "");
+        } else {
+            std::fprintf(
+                stderr, "trace_check: %s: invalid at byte %zu: %s\n",
+                path.c_str(), result.errorOffset,
+                result.message.c_str());
+            if (worst < 1)
+                worst = 1;
+        }
+    }
+    return worst;
+}
