@@ -502,6 +502,88 @@ reportStudySpeedup(std::uint32_t jobs)
 }
 
 /**
+ * Incremental aggregation vs full recompute on a warm analysis
+ * cache, as one JSON line. A cold pass populates a private trace +
+ * analysis cache; a recompute pass (`--no-incremental` semantics)
+ * decodes and re-analyzes every session; a warm incremental pass
+ * must answer purely from `.ares` entries. The trace decoder's byte
+ * counter is sampled around the warm pass and reported — under
+ * `--incremental-smoke` a nonzero delta fails the run, proving the
+ * decoder never touched a trace on the warm path. Returns false on
+ * that violation.
+ */
+bool
+reportIncrementalSpeedup(std::uint32_t jobs, bool enforce)
+{
+    app::StudyConfig config = app::StudyConfig::quickStudy(5);
+    config.cacheDir = "lagalyzer-cache-perf-incremental";
+    config.jobs = jobs;
+    config.incremental = true;
+    std::filesystem::remove_all(config.cacheDir);
+
+    // Cold: simulate + analyze, populating both caches.
+    const double cold_s = timedMs([&] {
+        app::Study study(config);
+        const auto analyses = bench::analyzeStudy(study);
+        benchmark::DoNotOptimize(analyses.size());
+    }) / 1000.0;
+
+    // Recompute: warm trace cache, but every session decoded and
+    // re-analyzed — what every run paid before the incremental path.
+    app::StudyConfig full = config;
+    full.incremental = false;
+    const double recompute_s = timedMs([&] {
+        app::Study study(full);
+        const auto analyses = bench::analyzeStudy(study);
+        benchmark::DoNotOptimize(analyses.size());
+    }) / 1000.0;
+
+    // Warm incremental: .ares entries only; the decoder must idle.
+    const obs::MetricsSnapshot before = obs::metrics().snapshot();
+    const std::uint64_t decode_before =
+        before.counterValue("trace.decode.bytes");
+    const double warm_s = timedMs([&] {
+        app::Study study(config);
+        const auto analyses = bench::analyzeStudy(study);
+        benchmark::DoNotOptimize(analyses.size());
+    }) / 1000.0;
+    const obs::MetricsSnapshot after = obs::metrics().snapshot();
+    const std::uint64_t decoded_bytes =
+        after.counterValue("trace.decode.bytes") - decode_before;
+    const std::uint64_t from_cache =
+        after.counterValue("cache.aggregate.cached") -
+        before.counterValue("cache.aggregate.cached");
+    const std::uint64_t recomputed =
+        after.counterValue("cache.aggregate.recomputed") -
+        before.counterValue("cache.aggregate.recomputed");
+    std::filesystem::remove_all(config.cacheDir);
+
+    std::printf(
+        "{\"bench\":\"incremental_speedup\","
+        "\"workload\":\"quickStudy(5)\",\"cold_s\":%.3f,"
+        "\"recompute_s\":%.3f,\"warm_s\":%.3f,"
+        "\"warm_decode_bytes\":%llu,\"warm_from_cache\":%llu,"
+        "\"warm_recomputed\":%llu,\"speedup\":%.2f}\n",
+        cold_s, recompute_s, warm_s,
+        static_cast<unsigned long long>(decoded_bytes),
+        static_cast<unsigned long long>(from_cache),
+        static_cast<unsigned long long>(recomputed),
+        warm_s > 0.0 ? recompute_s / warm_s : 0.0);
+    std::fflush(stdout);
+
+    if (enforce && (decoded_bytes != 0 || recomputed != 0)) {
+        std::fprintf(stderr,
+                     "incremental smoke FAILED: warm pass decoded "
+                     "%llu trace byte(s) and recomputed %llu "
+                     "session(s); expected a pure cache aggregation\n",
+                     static_cast<unsigned long long>(decoded_bytes),
+                     static_cast<unsigned long long>(recomputed));
+        return false;
+    }
+    return true;
+}
+
+/**
  * Engine self-observation totals for the whole bench run, as one
  * JSON line: how well the pool balanced (steal ratio), how much the
  * result cache saved (hit rate), the deepest queue backlog, and the
@@ -557,15 +639,25 @@ main(int argc, char **argv)
     const std::uint32_t jobs = lag::app::parseJobsOption(argc, argv);
 
     bool smoke = false;
+    bool incremental_smoke = false;
     {
         int out = 1;
         for (int in = 1; in < argc; ++in) {
             if (std::string_view(argv[in]) == "--smoke")
                 smoke = true;
+            else if (std::string_view(argv[in]) ==
+                     "--incremental-smoke")
+                incremental_smoke = true;
             else
                 argv[out++] = argv[in];
         }
         argc = out;
+    }
+
+    if (incremental_smoke) {
+        // CI gate: the warm pass of a twice-run study must never
+        // touch the trace decoder. Exits nonzero when it does.
+        return reportIncrementalSpeedup(jobs, true) ? 0 : 1;
     }
 
     if (smoke) {
@@ -580,8 +672,10 @@ main(int argc, char **argv)
     }
 
     const char *skip = std::getenv("LAGALYZER_SKIP_SPEEDUP");
-    if (skip == nullptr || skip[0] == '\0' || skip[0] == '0')
+    if (skip == nullptr || skip[0] == '\0' || skip[0] == '0') {
         reportStudySpeedup(jobs);
+        reportIncrementalSpeedup(jobs, false);
+    }
 
     const Fixture &f = Fixture::get();
     reportDecodeThroughput(f, 10);

@@ -3,6 +3,7 @@
 #include <cstdlib>
 #include <filesystem>
 
+#include "engine/incremental.hh"
 #include "engine/pool.hh"
 #include "engine/result_cache.hh"
 #include "engine/study_driver.hh"
@@ -47,6 +48,11 @@ selectStudyConfig(int argc, char **argv)
             config.cacheMaxBytes = limits.maxBytes;
         if (limits.maxAgeSeconds != 0)
             config.cacheMaxAgeSeconds = limits.maxAgeSeconds;
+        config.incremental = !app::parseNoIncrementalOption(argc, argv);
+    } else {
+        int argc0 = 0;
+        config.incremental =
+            !app::parseNoIncrementalOption(argc0, nullptr);
     }
     return config;
 }
@@ -88,40 +94,42 @@ resampleCdf(const std::vector<std::pair<double, double>> &points)
 }
 
 /**
- * Per-session analyses indexed [app][session], computed in parallel
- * on the engine pool with the on-disk result cache consulted first.
- * Each task writes only its own grid slot, so the grid's content is
- * independent of scheduling.
+ * Per-session analyses indexed [app][session], answered through
+ * engine::aggregateFromCache: cached `.ares` entries where possible,
+ * decode + analyze (and store back) only on a miss. On the default
+ * incremental path only the manifest is validated up front, so a
+ * warm analysis cache never opens a trace; `--no-incremental`
+ * recomputes every session from its trace instead.
  */
 std::vector<std::vector<engine::SessionAnalysis>>
 analyzeSessions(app::Study &study)
 {
     const app::StudyConfig &config = study.config();
-    const DurationNs threshold = config.perceptibleThreshold;
-    study.ensureTraces();
+    engine::AggregateOptions options;
+    options.incremental = config.incremental;
+    if (options.incremental)
+        study.validate();
+    else
+        study.ensureTraces();
     const engine::ResultCache cache(config.cacheDir,
                                     config.fingerprint());
 
-    const std::size_t sessions = config.sessionsPerApp;
-    std::vector<std::vector<engine::SessionAnalysis>> grid(
-        config.apps.size());
-    for (auto &row : grid)
-        row.resize(sessions);
+    std::vector<std::string> names;
+    names.reserve(config.apps.size());
+    for (const auto &app : config.apps)
+        names.push_back(app.name);
 
     engine::ThreadPool pool(config.jobs);
-    engine::parallelFor(
-        pool, config.apps.size() * sessions, [&](std::size_t i) {
-            const std::size_t a = i / sessions;
-            const auto s = static_cast<std::uint32_t>(i % sessions);
-            const std::string &name = config.apps[a].name;
-            if (auto cached = cache.load(name, s)) {
-                grid[a][s] = std::move(*cached);
-                return;
-            }
-            const core::Session session = study.loadSession(a, s);
-            grid[a][s] = engine::analyzeSession(session, threshold);
-            cache.store(name, s, grid[a][s]);
-        });
+    engine::StudyAggregate aggregate = engine::aggregateFromCache(
+        cache, names, config.sessionsPerApp,
+        config.perceptibleThreshold, pool,
+        [&study](std::size_t a, std::uint32_t s) {
+            return study.loadSession(a, s);
+        },
+        options);
+    inform("bench: ", aggregate.sessionsFromCache,
+           " session(s) from the analysis cache, ",
+           aggregate.sessionsRecomputed, " recomputed");
 
     // Bound the analysis directory after the run: stale-fingerprint
     // entries always go, then size/age limits when configured.
@@ -129,7 +137,7 @@ analyzeSessions(app::Study &study)
     const engine::CacheEvictionPolicy policy{
         config.cacheMaxBytes, config.cacheMaxAgeSeconds};
     cache.evict(policy);
-    return grid;
+    return std::move(aggregate.grid);
 }
 
 } // namespace

@@ -1,8 +1,11 @@
 #!/usr/bin/env bash
 # CI gate: configure with every static gate on, build, run the lint
-# label, the full tier-1 suite, the perf and obs labels, then an obs
-# smoke run that records a session, analyzes it with --self-trace /
-# --metrics-out, and strict-validates both files with trace_check.
+# label, the full tier-1 suite, the perf and obs labels, an
+# incremental smoke (a study run twice: the second, warm-cache pass
+# must aggregate purely from .ares entries with zero trace-decode
+# bytes), then an obs smoke run that records a session, analyzes it
+# with --self-trace / --metrics-out, and strict-validates both files
+# with trace_check.
 # Optionally sweep the sanitizer
 # matrix: `ci/check.sh --sanitize TSAN` (or ASAN / UBSAN) builds an
 # instrumented tree in build-<san> and runs the engine label under
@@ -42,6 +45,9 @@ echo "== tier-1 suite"
 
 echo "== perf smoke (ctest -L perf)"
 (cd "$build" && ctest -L perf --output-on-failure)
+
+echo "== incremental smoke (warm cache must not touch the decoder)"
+(cd "$build" && bench/bench_perf_pipeline --incremental-smoke --jobs 4)
 
 echo "== obs suite (ctest -L obs)"
 (cd "$build" && ctest -L obs --output-on-failure)

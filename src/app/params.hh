@@ -301,6 +301,17 @@ struct CacheLimitOptions
 CacheLimitOptions parseCacheLimitOptions(int &argc, char **argv);
 
 /**
+ * Extract a `--no-incremental` flag from a command line, compacting
+ * argv in place like parseJobsOption. Returns true when the flag
+ * (or a nonzero LAGALYZER_NO_INCREMENTAL environment variable) asks
+ * for the escape hatch: recompute every session instead of
+ * answering aggregates from cached `.ares` analysis entries.
+ * Execution-only, like `--jobs`: results are byte-identical either
+ * way. Harness mains feed `!result` into StudyConfig::incremental.
+ */
+bool parseNoIncrementalOption(int &argc, char **argv);
+
+/**
  * Extract `--self-trace PATH` and `--metrics-out PATH` (space- or
  * `=`-separated) from a command line, compacting argv in place like
  * parseJobsOption. Where a flag is absent, its LAGALYZER_SELF_TRACE /

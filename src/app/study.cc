@@ -122,6 +122,12 @@ Study::writeManifest() const
 }
 
 void
+Study::validate()
+{
+    validateCache();
+}
+
+void
 Study::validateCache()
 {
     if (validated_)

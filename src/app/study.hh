@@ -62,6 +62,15 @@ struct StudyConfig
     std::uint64_t cacheMaxAgeSeconds = 0;
     /** @} */
 
+    /**
+     * Answer cross-session aggregates from cached `.ares` analysis
+     * entries where possible (engine::aggregateFromCache), decoding
+     * only the sessions that miss. `--no-incremental` turns this
+     * off. Execution-only: results are byte-identical either way,
+     * so the flag is NOT part of fingerprint().
+     */
+    bool incremental = true;
+
     /** The paper's full study. */
     static StudyConfig paperStudy();
 
@@ -98,6 +107,17 @@ class Study
      * count. Returns the trace file paths indexed [app][session].
      */
     std::vector<std::vector<std::string>> ensureTraces();
+
+    /**
+     * Validate the cache directory against this configuration
+     * without touching any trace: a stale cache (manifest mismatch)
+     * is cleared — traces and analysis entries both — and the
+     * manifest rewritten. The incremental aggregation path calls
+     * this instead of ensureTraces() so a warm analysis cache does
+     * zero trace work; loadSession() regenerates any individual
+     * trace a cache miss actually needs.
+     */
+    void validate();
 
     /**
      * Load one session, regenerating it when its trace file is

@@ -33,10 +33,11 @@ MergedPatternSet::recurringAlwaysCount() const
 }
 
 MergedPatternSet
-mergePatternSets(const std::vector<PatternSet> &sets)
+mergeAnalyses(const std::vector<PatternSetSummary> &sets)
 {
-    lag_assert(!sets.empty(), "merging zero pattern sets");
     MergedPatternSet result;
+    if (sets.empty())
+        return result;
     result.sessionCount = sets.size();
     result.perceptibleThreshold = sets.front().perceptibleThreshold;
     for (const auto &set : sets) {
@@ -53,7 +54,7 @@ mergePatternSets(const std::vector<PatternSet> &sets)
     index.reserve(totalPatterns);
     result.patterns.reserve(totalPatterns);
     for (std::size_t s = 0; s < sets.size(); ++s) {
-        for (const Pattern &pattern : sets[s].patterns) {
+        for (const PatternSummary &pattern : sets[s].patterns) {
             const auto [it, inserted] = index.emplace(
                 pattern.signature, result.patterns.size());
             if (inserted) {
@@ -72,8 +73,8 @@ mergePatternSets(const std::vector<PatternSet> &sets)
             }
             MergedPattern &merged = result.patterns[it->second];
             merged.sessions.push_back(s);
-            merged.episodeCounts.push_back(pattern.episodes.size());
-            merged.totalEpisodes += pattern.episodes.size();
+            merged.episodeCounts.push_back(pattern.episodeCount);
+            merged.totalEpisodes += pattern.episodeCount;
             merged.totalPerceptible += pattern.perceptibleCount;
             merged.totalLag += pattern.totalLag;
             merged.minLag = std::min(merged.minLag, pattern.minLag);
@@ -98,6 +99,21 @@ mergePatternSets(const std::vector<PatternSet> &sets)
                          return a.totalEpisodes > b.totalEpisodes;
                      });
     return result;
+}
+
+MergedPatternSet
+mergePatternSets(const std::vector<PatternSet> &sets)
+{
+    // One merge algorithm for both inputs: project each set onto its
+    // summary and run the summary merge. summarizePatterns preserves
+    // the in-set order and every field the merge reads, so this is
+    // byte-identical to merging the full sets directly — the
+    // equivalence the incremental cache path relies on.
+    std::vector<PatternSetSummary> summaries;
+    summaries.reserve(sets.size());
+    for (const PatternSet &set : sets)
+        summaries.push_back(summarizePatterns(set));
+    return mergeAnalyses(summaries);
 }
 
 MergedPatternSet

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "pattern.hh"
+#include "pattern_stats.hh"
 #include "session.hh"
 
 namespace lag::core
@@ -89,10 +90,24 @@ struct MergedPatternSet
 
 /**
  * Merge per-session pattern sets by signature. All sets must have
- * been mined with the same perceptibility threshold.
+ * been mined with the same perceptibility threshold. Zero sets
+ * merge to an empty result (sessionCount 0) — an application with
+ * no sessions is a degenerate study input, not a crash.
  */
 MergedPatternSet
 mergePatternSets(const std::vector<PatternSet> &sets);
+
+/**
+ * Merge per-session pattern *summaries* (pattern_stats.hh) by
+ * signature — the incremental-aggregation twin of
+ * mergePatternSets(). Given summarizePatterns() of the same sets, in
+ * the same order, the result is byte-identical to
+ * mergePatternSets(); cached summaries (engine::SessionAnalysis)
+ * therefore rebuild a MergedPatternSet without touching any trace.
+ * Zero summaries merge to an empty result, like mergePatternSets().
+ */
+MergedPatternSet
+mergeAnalyses(const std::vector<PatternSetSummary> &sets);
 
 /** Convenience: mine each session and merge. */
 MergedPatternSet

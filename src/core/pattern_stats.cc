@@ -3,6 +3,28 @@
 namespace lag::core
 {
 
+PatternSetSummary
+summarizePatterns(const PatternSet &patterns)
+{
+    PatternSetSummary summary;
+    summary.perceptibleThreshold = patterns.perceptibleThreshold;
+    summary.patterns.reserve(patterns.patterns.size());
+    for (const Pattern &pattern : patterns.patterns) {
+        PatternSummary s;
+        s.signature = pattern.signature;
+        s.key = pattern.key;
+        s.episodeCount = pattern.episodes.size();
+        s.perceptibleCount = pattern.perceptibleCount;
+        s.minLag = pattern.minLag;
+        s.maxLag = pattern.maxLag;
+        s.totalLag = pattern.totalLag;
+        s.descendants = pattern.descendants;
+        s.depth = pattern.depth;
+        summary.patterns.push_back(std::move(s));
+    }
+    return summary;
+}
+
 std::vector<std::pair<double, double>>
 patternCdf(const PatternSet &patterns)
 {

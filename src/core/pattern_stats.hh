@@ -1,11 +1,15 @@
 /**
  * @file
- * Pattern-level statistics for Figures 3 and 4.
+ * Pattern-level statistics for Figures 3 and 4, plus the compact
+ * per-pattern summaries the incremental cross-session aggregation
+ * path persists in the analysis-result cache.
  */
 
 #ifndef LAG_CORE_PATTERN_STATS_HH
 #define LAG_CORE_PATTERN_STATS_HH
 
+#include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
@@ -13,6 +17,37 @@
 
 namespace lag::core
 {
+
+/**
+ * Everything cross-session merging (aggregate.hh) consumes from one
+ * mined pattern — the pattern minus its episode index list. Small
+ * enough to cache per session, sufficient to rebuild a
+ * MergedPatternSet without re-mining.
+ */
+struct PatternSummary
+{
+    std::string signature;
+    std::uint64_t key = 0;
+    std::size_t episodeCount = 0;
+    std::size_t perceptibleCount = 0;
+    DurationNs minLag = 0;
+    DurationNs maxLag = 0;
+    DurationNs totalLag = 0;
+    std::size_t descendants = 0;
+    std::size_t depth = 0;
+};
+
+/** One session's pattern set, summarized for aggregation. Summaries
+ * keep the set's order (most populous first), which the merge
+ * depends on for byte-identical output. */
+struct PatternSetSummary
+{
+    std::vector<PatternSummary> patterns;
+    DurationNs perceptibleThreshold = 0;
+};
+
+/** Project a mined pattern set onto its aggregation summary. */
+PatternSetSummary summarizePatterns(const PatternSet &patterns);
 
 /**
  * Figure 3: cumulative distribution of episodes into patterns.

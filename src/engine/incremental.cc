@@ -1,0 +1,99 @@
+#include "incremental.hh"
+
+#include <atomic>
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "study_driver.hh"
+#include "util/logging.hh"
+
+namespace lag::engine
+{
+
+namespace
+{
+
+/** Aggregation instruments; looked up once, then pure atomics. */
+struct AggregateMetrics
+{
+    obs::Counter &cached =
+        obs::metrics().counter("cache.aggregate.cached");
+    obs::Counter &recomputed =
+        obs::metrics().counter("cache.aggregate.recomputed");
+};
+
+AggregateMetrics &
+aggregateMetrics()
+{
+    static AggregateMetrics metrics;
+    return metrics;
+}
+
+} // namespace
+
+StudyAggregate
+aggregateFromCache(const ResultCache &cache,
+                   const std::vector<std::string> &app_names,
+                   std::uint32_t sessions_per_app,
+                   DurationNs perceptible_threshold, ThreadPool &pool,
+                   const SessionLoader &load_session,
+                   const AggregateOptions &options)
+{
+    LAG_SPAN_ARG("cache.aggregate", "sessions",
+                 app_names.size() * sessions_per_app);
+    lag_assert(load_session != nullptr,
+               "aggregateFromCache needs a session loader");
+
+    StudyAggregate out;
+    out.grid.resize(app_names.size());
+    for (auto &row : out.grid)
+        row.resize(sessions_per_app);
+
+    // Counted from pool workers; only read after the driver
+    // settled, so relaxed ordering suffices.
+    std::atomic<std::size_t> from_cache{0};
+    std::atomic<std::size_t> recomputed{0};
+
+    StudyDriver driver(app_names.size(), sessions_per_app);
+    driver.addStage("aggregate", [&](std::size_t a, std::size_t i) {
+        const auto s = static_cast<std::uint32_t>(i);
+        if (options.incremental) {
+            if (auto hit = cache.load(app_names[a], s)) {
+                out.grid[a][i] = std::move(*hit);
+                from_cache.fetch_add(1, std::memory_order_relaxed);
+                return;
+            }
+        }
+        const core::Session session = load_session(a, s);
+        out.grid[a][i] =
+            analyzeSession(session, perceptible_threshold);
+        if (options.incremental)
+            cache.store(app_names[a], s, out.grid[a][i]);
+        recomputed.fetch_add(1, std::memory_order_relaxed);
+    });
+    driver.run(pool);
+
+    out.sessionsFromCache =
+        from_cache.load(std::memory_order_relaxed);
+    out.sessionsRecomputed =
+        recomputed.load(std::memory_order_relaxed);
+    aggregateMetrics().cached.add(out.sessionsFromCache);
+    aggregateMetrics().recomputed.add(out.sessionsRecomputed);
+
+    // Serial merge in [app][session] order: scheduling can never
+    // leak into the result, and the summaries are exactly what
+    // mergePatternSets would have seen — byte-identical output.
+    LAG_SPAN_ARG("cache.aggregate.merge", "apps", app_names.size());
+    out.merged.reserve(app_names.size());
+    for (std::size_t a = 0; a < app_names.size(); ++a) {
+        std::vector<core::PatternSetSummary> summaries;
+        summaries.reserve(sessions_per_app);
+        for (const SessionAnalysis &analysis : out.grid[a])
+            summaries.push_back(analysis.patternSummary);
+        out.merged.push_back(core::mergeAnalyses(summaries));
+    }
+    return out;
+}
+
+} // namespace lag::engine

@@ -1,0 +1,102 @@
+/**
+ * @file
+ * Incremental cross-session aggregation from the result cache.
+ *
+ * The paper's core claim is that LagAlyzer "integrates multiple
+ * traces in its analysis" (§VI); at study scale that means
+ * answering cross-session aggregates — the per-app MergedPatternSet
+ * and the Table III / Figure 3–8 rollup inputs — over dozens of
+ * sessions. The decode-and-mine path pays a full trace decode plus
+ * pattern mining per session per run. This layer answers the same
+ * queries from cached `.ares` entries instead: a v2 SessionAnalysis
+ * carries per-pattern summaries (core::PatternSetSummary), so a
+ * warm cache rebuilds every aggregate without the trace decoder
+ * running at all — provable via the `trace.decode.bytes` counter.
+ *
+ * Determinism contract: every per-session task writes only its own
+ * [app][session] grid slot, cache entries are byte-identical to
+ * fresh computations (result_cache.hh), and the merges run serially
+ * in [app][session] order — so the output is byte-identical to the
+ * decode-and-mine path at any worker count, on any mix of cache
+ * hits and misses.
+ */
+
+#ifndef LAG_ENGINE_INCREMENTAL_HH
+#define LAG_ENGINE_INCREMENTAL_HH
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/aggregate.hh"
+#include "core/session.hh"
+#include "pool.hh"
+#include "result_cache.hh"
+#include "util/types.hh"
+
+namespace lag::engine
+{
+
+/**
+ * Produces one session on a cache miss (decode its trace, or
+ * re-simulate when the trace itself is gone). Called from pool
+ * workers; must be safe for concurrent distinct (app, session)
+ * pairs — app::Study::loadSession satisfies this.
+ */
+using SessionLoader = std::function<core::Session(
+    std::size_t app_index, std::uint32_t session_index)>;
+
+/** Knobs of aggregateFromCache(). */
+struct AggregateOptions
+{
+    /**
+     * When false (`--no-incremental`), the cache is neither read
+     * nor written: every session is loaded and re-analyzed — the
+     * escape hatch for distrusting the cache, and the reference
+     * side of the equivalence tests.
+     */
+    bool incremental = true;
+};
+
+/** Everything the study harnesses aggregate across sessions. */
+struct StudyAggregate
+{
+    /** Per-session analyses indexed [app][session]; byte-identical
+     * (via serializeSessionAnalysis) to analyzing each decoded
+     * session directly. */
+    std::vector<std::vector<SessionAnalysis>> grid;
+
+    /** Per-app cross-session pattern merges; byte-identical to
+     * core::minePatternsAcrossSessions over each app's sessions. */
+    std::vector<core::MergedPatternSet> merged;
+
+    /** Sessions answered from `.ares` entries alone. */
+    std::size_t sessionsFromCache = 0;
+
+    /** Sessions that fell back to load + analyze (+ store). */
+    std::size_t sessionsRecomputed = 0;
+};
+
+/**
+ * Rebuild every cross-session aggregate for a
+ * @p app_names.size() x @p sessions_per_app study grid from
+ * @p cache, falling back per session to @p load_session + analyze
+ * on a miss (storing the result back for the next run). Per-session
+ * cache loads and recomputations fan out over @p pool via the study
+ * driver; the merge is serial and index-ordered. Instrumented with
+ * the `cache.aggregate` span and the
+ * `cache.aggregate.cached` / `cache.aggregate.recomputed` counters.
+ */
+StudyAggregate
+aggregateFromCache(const ResultCache &cache,
+                   const std::vector<std::string> &app_names,
+                   std::uint32_t sessions_per_app,
+                   DurationNs perceptible_threshold, ThreadPool &pool,
+                   const SessionLoader &load_session,
+                   const AggregateOptions &options = {});
+
+} // namespace lag::engine
+
+#endif // LAG_ENGINE_INCREMENTAL_HH

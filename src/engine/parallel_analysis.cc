@@ -143,6 +143,7 @@ analyzeSessionParallel(const core::Session &session,
     out.episodeDurations.reserve(session.episodes().size());
     for (const core::Episode &episode : session.episodes())
         out.episodeDurations.push_back(episode.duration());
+    out.patternSummary = core::summarizePatterns(patterns);
     return out;
 }
 

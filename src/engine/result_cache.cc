@@ -73,6 +73,7 @@ analyzeSession(const core::Session &session,
     out.episodeDurations.reserve(session.episodes().size());
     for (const core::Episode &episode : session.episodes())
         out.episodeDurations.push_back(episode.duration());
+    out.patternSummary = core::summarizePatterns(patterns);
     return out;
 }
 
@@ -212,6 +213,20 @@ serializePayload(const SessionAnalysis &a)
     for (const DurationNs duration : a.episodeDurations)
         w.i64(duration);
 
+    w.i64(a.patternSummary.perceptibleThreshold);
+    w.u64(a.patternSummary.patterns.size());
+    for (const core::PatternSummary &s : a.patternSummary.patterns) {
+        w.str(s.signature);
+        w.u64(s.key);
+        w.u64(s.episodeCount);
+        w.u64(s.perceptibleCount);
+        w.i64(s.minLag);
+        w.i64(s.maxLag);
+        w.i64(s.totalLag);
+        w.u64(s.descendants);
+        w.u64(s.depth);
+    }
+
     return w.take();
 }
 
@@ -267,6 +282,23 @@ deserializePayload(trace::ByteReader &r)
     a.episodeDurations.reserve(episodes);
     for (std::uint64_t i = 0; i < episodes; ++i)
         a.episodeDurations.push_back(r.i64());
+
+    a.patternSummary.perceptibleThreshold = r.i64();
+    const std::uint64_t summaries = r.u64();
+    a.patternSummary.patterns.reserve(summaries);
+    for (std::uint64_t i = 0; i < summaries; ++i) {
+        core::PatternSummary s;
+        s.signature = r.str();
+        s.key = r.u64();
+        s.episodeCount = static_cast<std::size_t>(r.u64());
+        s.perceptibleCount = static_cast<std::size_t>(r.u64());
+        s.minLag = r.i64();
+        s.maxLag = r.i64();
+        s.totalLag = r.i64();
+        s.descendants = static_cast<std::size_t>(r.u64());
+        s.depth = static_cast<std::size_t>(r.u64());
+        a.patternSummary.patterns.push_back(std::move(s));
+    }
 
     return a;
 }
@@ -331,6 +363,38 @@ ResultCache::ResultCache(std::string cache_dir,
     tag_ = hex.str();
 }
 
+namespace
+{
+
+/**
+ * App names come from study configs and, via the examples, from
+ * arbitrary file paths — a '/', '..' or other hostile character
+ * must not escape the analysis/ directory or splice into the
+ * generation mark. Uniqueness is the content hash's job, so the
+ * readable prefix can be lossy: anything outside a conservative
+ * charset becomes '_', and long names are clipped.
+ */
+std::string
+sanitizeAppName(std::string_view app_name)
+{
+    constexpr std::size_t kMaxPrefix = 48;
+    std::string safe;
+    safe.reserve(std::min(app_name.size(), kMaxPrefix));
+    for (const char c : app_name) {
+        if (safe.size() == kMaxPrefix)
+            break;
+        const bool ok = (c >= 'a' && c <= 'z') ||
+                        (c >= 'A' && c <= 'Z') ||
+                        (c >= '0' && c <= '9') || c == '-';
+        safe.push_back(ok ? c : '_');
+    }
+    if (safe.empty())
+        safe = "app";
+    return safe;
+}
+
+} // namespace
+
 std::string
 ResultCache::entryPath(std::string_view app_name,
                        std::uint32_t session_index) const
@@ -342,13 +406,23 @@ ResultCache::entryPath(std::string_view app_name,
     hasher.addValue(session_index);
     std::ostringstream hex;
     hex << std::hex << hasher.digest();
-    return dir_ + "/analysis/" + std::string(app_name) + "_s" +
+    return dir_ + "/analysis/" + sanitizeAppName(app_name) + "_s" +
            std::to_string(session_index) + "_g" + tag_ + "-" +
            hex.str() + ".ares";
 }
 
 CacheEvictionResult
 ResultCache::evict(const CacheEvictionPolicy &policy) const
+{
+    return evict(policy, [](const fs::path &path) {
+        std::error_code remove_ec;
+        return fs::remove(path, remove_ec);
+    });
+}
+
+CacheEvictionResult
+ResultCache::evict(const CacheEvictionPolicy &policy,
+                   const RemoveFileFn &remove_file) const
 {
     LAG_SPAN("cache.evict");
     CacheEvictionResult result;
@@ -364,38 +438,65 @@ ResultCache::evict(const CacheEvictionPolicy &policy) const
         fs::file_time_type mtime;
     };
 
+    // Books an entry as removed or kept depending on what actually
+    // happened on disk — a failed unlink leaves the bytes in the
+    // directory, so they must stay in keptFiles/keptBytes and the
+    // kept-bytes gauge, not vanish from the accounting.
     const auto remove = [&](const Entry &entry) {
-        std::error_code remove_ec;
-        if (fs::remove(entry.path, remove_ec)) {
+        if (remove_file(entry.path)) {
             ++result.removedFiles;
             result.removedBytes += entry.bytes;
-        } else {
-            warn("result cache: cannot evict '",
-                 entry.path.string(), "'");
+            return true;
         }
+        warn("result cache: cannot evict '", entry.path.string(),
+             "'; keeping it on the books");
+        ++result.keptFiles;
+        result.keptBytes += entry.bytes;
+        return false;
     };
 
     const std::string liveMark = "_g" + tag_ + "-";
     const auto now = fs::file_time_type::clock::now();
     std::vector<Entry> live;
     for (const auto &dirent : fs::directory_iterator(root, ec)) {
-        if (!dirent.is_regular_file(ec))
-            continue;
         Entry entry;
         entry.path = dirent.path();
         if (entry.path.extension() != ".ares")
             continue;
-        entry.bytes = dirent.file_size(ec);
-        entry.mtime = dirent.last_write_time(ec);
+
+        std::error_code type_ec;
+        std::error_code size_ec;
+        std::error_code time_ec;
+        const bool regular = dirent.is_regular_file(type_ec);
+        entry.bytes = dirent.file_size(size_ec);
+        if (size_ec)
+            entry.bytes = 0;
+        entry.mtime = dirent.last_write_time(time_ec);
 
         // A name without the current generation mark was written
         // under another fingerprint or analysis version; its content
-        // address can never be requested again.
+        // address can never be requested again. Name-only decision —
+        // it must not depend on stat health.
         const std::string name = entry.path.filename().string();
         if (name.find(liveMark) == std::string::npos) {
-            remove(entry);
+            if (regular)
+                remove(entry);
             continue;
         }
+
+        // A live-named entry we cannot stat must be kept, not
+        // treated as size 0 / epoch mtime — a default-initialized
+        // mtime looks maximally old and would be evicted first
+        // under any age or byte budget.
+        if (type_ec || (regular && (size_ec || time_ec))) {
+            warn("result cache: cannot stat '", entry.path.string(),
+                 "'; keeping it");
+            ++result.keptFiles;
+            result.keptBytes += entry.bytes;
+            continue;
+        }
+        if (!regular)
+            continue;
         if (policy.maxAgeSeconds > 0 &&
             now - entry.mtime >
                 std::chrono::seconds(policy.maxAgeSeconds)) {
@@ -417,16 +518,21 @@ ResultCache::evict(const CacheEvictionPolicy &policy) const
     std::uint64_t total = 0;
     for (const Entry &entry : live)
         total += entry.bytes;
-    std::size_t first_kept = 0;
+    std::size_t next = 0;
     if (policy.maxBytes > 0) {
-        while (first_kept < live.size() && total > policy.maxBytes) {
-            remove(live[first_kept]);
-            total -= live[first_kept].bytes;
-            ++first_kept;
+        while (next < live.size() && total > policy.maxBytes) {
+            // Only debit what really left the disk; a failed
+            // removal was booked as kept above and its bytes still
+            // count against the budget.
+            if (remove(live[next]))
+                total -= live[next].bytes;
+            ++next;
         }
     }
-    result.keptFiles = live.size() - first_kept;
-    result.keptBytes = total;
+    for (std::size_t i = next; i < live.size(); ++i) {
+        ++result.keptFiles;
+        result.keptBytes += live[i].bytes;
+    }
     cacheMetrics().keptBytes.set(
         static_cast<std::int64_t>(result.keptBytes));
     if (result.removedFiles > 0) {

@@ -33,6 +33,8 @@
 #define LAG_ENGINE_RESULT_CACHE_HH
 
 #include <cstdint>
+#include <filesystem>
+#include <functional>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -53,8 +55,10 @@ namespace lag::engine
 {
 
 /** Bumped whenever any analysis result changes meaning or any
- * serialized field changes, so stale entries miss. */
-constexpr std::uint32_t kAnalysisVersion = 1;
+ * serialized field changes, so stale entries miss.
+ * v2: per-pattern aggregation summaries (patternSummary) joined the
+ * payload, enabling cross-session merges straight from the cache. */
+constexpr std::uint32_t kAnalysisVersion = 2;
 
 /** Everything the study pipeline derives from one session. */
 struct SessionAnalysis
@@ -74,6 +78,11 @@ struct SessionAnalysis
 
     /** Episode durations in session order (the episode list). */
     std::vector<DurationNs> episodeDurations;
+
+    /** Per-pattern aggregation summaries, in set (most populous
+     * first) order — everything core::mergeAnalyses needs to rebuild
+     * a MergedPatternSet without re-mining (new in v2). */
+    core::PatternSetSummary patternSummary;
 };
 
 /** Run the full per-session analysis suite. */
@@ -146,10 +155,22 @@ class ResultCache
      * removed — their content address can never hit again. Among the
      * live entries, anything older than @p policy.maxAgeSeconds goes
      * next, then the oldest files (by modification time, ties broken
-     * by name) until the directory fits @p policy.maxBytes. Call
-     * from a single thread while no analysis tasks are in flight.
+     * by name) until the directory fits @p policy.maxBytes. Entries
+     * that cannot be stat'ed or removed are kept and warned about —
+     * never booked as gone while still on disk. Call from a single
+     * thread while no analysis tasks are in flight.
      */
     CacheEvictionResult evict(const CacheEvictionPolicy &policy) const;
+
+    /** Removal hook for evict(): returns true when the file is
+     * actually gone. Injectable so tests can exercise the
+     * removal-failure accounting without a read-only filesystem. */
+    using RemoveFileFn =
+        std::function<bool(const std::filesystem::path &)>;
+
+    /** evict() with an injected removal primitive (tests). */
+    CacheEvictionResult evict(const CacheEvictionPolicy &policy,
+                              const RemoveFileFn &remove_file) const;
 
   private:
     /** Count a miss and return nullopt (every load() miss path). */

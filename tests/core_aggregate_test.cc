@@ -92,7 +92,58 @@ TEST(AggregateTest, MismatchedThresholdsPanic)
     PatternSet a = PatternMiner(msToNs(100)).mine(s);
     PatternSet b = PatternMiner(msToNs(50)).mine(s);
     EXPECT_THROW(mergePatternSets({a, b}), PanicError);
-    EXPECT_THROW(mergePatternSets({}), PanicError);
+}
+
+TEST(AggregateTest, EmptyInputMergesToEmptySet)
+{
+    // Zero sessions is a valid (if degenerate) study — e.g. an
+    // aggregation over an empty app list — not a programming error.
+    const MergedPatternSet merged = mergePatternSets({});
+    EXPECT_TRUE(merged.patterns.empty());
+    EXPECT_EQ(merged.sessionCount, 0u);
+    EXPECT_EQ(merged.recurringCount(), 0u);
+
+    const MergedPatternSet from_summaries = mergeAnalyses({});
+    EXPECT_TRUE(from_summaries.patterns.empty());
+    EXPECT_EQ(from_summaries.sessionCount, 0u);
+}
+
+TEST(AggregateTest, MergeAnalysesMatchesMergePatternSets)
+{
+    // The summary-based merge must reproduce the full-set merge
+    // exactly — it is the foundation of the incremental path.
+    const Session s0 = sessionWith({{"app.A", msToNs(200)},
+                                    {"app.A", msToNs(20)},
+                                    {"app.B", msToNs(10)}});
+    const Session s1 =
+        sessionWith({{"app.A", msToNs(30)}, {"app.C", msToNs(150)}});
+    std::vector<PatternSet> sets;
+    sets.push_back(PatternMiner(msToNs(100)).mine(s0));
+    sets.push_back(PatternMiner(msToNs(100)).mine(s1));
+
+    std::vector<PatternSetSummary> summaries;
+    for (const PatternSet &set : sets)
+        summaries.push_back(summarizePatterns(set));
+
+    const MergedPatternSet full = mergePatternSets(sets);
+    const MergedPatternSet incremental = mergeAnalyses(summaries);
+
+    ASSERT_EQ(incremental.patterns.size(), full.patterns.size());
+    EXPECT_EQ(incremental.sessionCount, full.sessionCount);
+    for (std::size_t i = 0; i < full.patterns.size(); ++i) {
+        const MergedPattern &a = full.patterns[i];
+        const MergedPattern &b = incremental.patterns[i];
+        EXPECT_EQ(a.signature, b.signature);
+        EXPECT_EQ(a.key, b.key);
+        EXPECT_EQ(a.sessions, b.sessions);
+        EXPECT_EQ(a.episodeCounts, b.episodeCounts);
+        EXPECT_EQ(a.totalEpisodes, b.totalEpisodes);
+        EXPECT_EQ(a.totalPerceptible, b.totalPerceptible);
+        EXPECT_EQ(a.minLag, b.minLag);
+        EXPECT_EQ(a.maxLag, b.maxLag);
+        EXPECT_EQ(a.totalLag, b.totalLag);
+        EXPECT_EQ(a.occurrence, b.occurrence);
+    }
 }
 
 TEST(AggregateTest, RealSessionsSharePatterns)

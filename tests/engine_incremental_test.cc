@@ -1,0 +1,349 @@
+/**
+ * @file
+ * Tests for incremental cross-session aggregation from the result
+ * cache: aggregateFromCache must be byte-identical to the direct
+ * decode-and-mine path at any worker count on any mix of cache hits
+ * and misses, a fully warm cache must never touch the trace decoder,
+ * old-version entries must read as misses, hostile app names must
+ * stay inside the analysis directory, and eviction must keep honest
+ * books when removal or stat fails.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "app/study.hh"
+#include "core/aggregate.hh"
+#include "engine/incremental.hh"
+#include "engine/pool.hh"
+#include "engine/result_cache.hh"
+#include "obs/metrics.hh"
+
+namespace lag::engine
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Scoped cache directory: clean before and after the test. */
+struct CacheDir
+{
+    std::string path;
+
+    explicit CacheDir(std::string p) : path(std::move(p))
+    {
+        fs::remove_all(path);
+    }
+
+    ~CacheDir() { fs::remove_all(path); }
+};
+
+/** A tiny quick study (first 2 apps) with a private cache dir. */
+app::StudyConfig
+tinyStudy(const std::string &cache_dir)
+{
+    app::StudyConfig config = app::StudyConfig::quickStudy(5);
+    config.apps.resize(2);
+    config.cacheDir = cache_dir;
+    return config;
+}
+
+/** A hand-built analysis with a populated pattern summary. */
+SessionAnalysis
+sampleAnalysis()
+{
+    SessionAnalysis a;
+    a.overview.tracedCount = 11;
+    a.cdf = {{0.0, 0.0}, {1.0, 1.0}};
+    a.patternKeys = {7ull};
+    a.episodeDurations = {msToNs(3)};
+    a.patternSummary.perceptibleThreshold = msToNs(100);
+    core::PatternSummary p;
+    p.signature = "L app.A.run";
+    p.key = 7;
+    p.episodeCount = 1;
+    p.minLag = msToNs(3);
+    p.maxLag = msToNs(3);
+    p.totalLag = msToNs(3);
+    a.patternSummary.patterns.push_back(std::move(p));
+    return a;
+}
+
+/** Canonical dump of a merged set for equality comparison (every
+ * field is integral or a string, so text equality is bit equality). */
+std::string
+dumpMerged(const core::MergedPatternSet &set)
+{
+    std::ostringstream out;
+    out << set.sessionCount << '|' << set.perceptibleThreshold
+        << '\n';
+    for (const core::MergedPattern &p : set.patterns) {
+        out << p.signature << '|' << p.key << '|';
+        for (const std::size_t s : p.sessions)
+            out << s << ',';
+        out << '|';
+        for (const std::size_t c : p.episodeCounts)
+            out << c << ',';
+        out << '|' << p.totalEpisodes << '|' << p.totalPerceptible
+            << '|' << p.minLag << '|' << p.maxLag << '|' << p.totalLag
+            << '|' << static_cast<int>(p.occurrence) << '|'
+            << p.descendants << '|' << p.depth << '\n';
+    }
+    return out.str();
+}
+
+TEST(EngineIncremental, MatchesDirectAnalysisAcrossCacheStates)
+{
+    const CacheDir dir("lagalyzer-cache-test-incr-equiv");
+    app::Study study(tinyStudy(dir.path));
+    const app::StudyConfig &config = study.config();
+    const DurationNs threshold = config.perceptibleThreshold;
+    study.ensureTraces();
+
+    std::vector<std::string> names;
+    for (const auto &app : config.apps)
+        names.push_back(app.name);
+    const std::size_t total = names.size() * config.sessionsPerApp;
+
+    // Reference: decode every session and run the direct path.
+    std::vector<std::vector<std::string>> reference_grid(
+        names.size());
+    std::vector<std::string> reference_merged;
+    for (std::size_t a = 0; a < names.size(); ++a) {
+        std::vector<core::Session> sessions;
+        for (std::uint32_t s = 0; s < config.sessionsPerApp; ++s)
+            sessions.push_back(study.loadSession(a, s));
+        for (const core::Session &session : sessions) {
+            reference_grid[a].push_back(serializeSessionAnalysis(
+                analyzeSession(session, threshold)));
+        }
+        reference_merged.push_back(dumpMerged(
+            core::minePatternsAcrossSessions(sessions, threshold)));
+    }
+
+    const ResultCache cache(config.cacheDir, config.fingerprint());
+    const SessionLoader loader =
+        [&study](std::size_t a, std::uint32_t s) {
+            return study.loadSession(a, s);
+        };
+
+    const auto check = [&](std::uint32_t jobs,
+                           const AggregateOptions &options,
+                           std::size_t expect_cached,
+                           std::size_t expect_recomputed,
+                           const char *label) {
+        ThreadPool pool(jobs);
+        const StudyAggregate aggregate =
+            aggregateFromCache(cache, names, config.sessionsPerApp,
+                               threshold, pool, loader, options);
+        EXPECT_EQ(aggregate.sessionsFromCache, expect_cached)
+            << label;
+        EXPECT_EQ(aggregate.sessionsRecomputed, expect_recomputed)
+            << label;
+        ASSERT_EQ(aggregate.grid.size(), names.size()) << label;
+        ASSERT_EQ(aggregate.merged.size(), names.size()) << label;
+        for (std::size_t a = 0; a < names.size(); ++a) {
+            ASSERT_EQ(aggregate.grid[a].size(),
+                      config.sessionsPerApp)
+                << label;
+            for (std::size_t s = 0; s < aggregate.grid[a].size();
+                 ++s) {
+                EXPECT_EQ(
+                    serializeSessionAnalysis(aggregate.grid[a][s]),
+                    reference_grid[a][s])
+                    << label << ": app " << a << " session " << s;
+            }
+            EXPECT_EQ(dumpMerged(aggregate.merged[a]),
+                      reference_merged[a])
+                << label << ": app " << a;
+        }
+    };
+
+    // Cold cache, serial: every session recomputed (and stored).
+    check(1, AggregateOptions{}, 0, total, "cold/serial");
+    // Warm cache, parallel: every session answered from disk.
+    check(8, AggregateOptions{}, total, 0, "warm/parallel");
+    // Partially evicted: exactly the missing entry is recomputed.
+    ASSERT_TRUE(fs::remove(cache.entryPath(names[1], 2)));
+    check(8, AggregateOptions{}, total - 1, 1, "partial/parallel");
+    // The escape hatch recomputes everything, same bytes.
+    AggregateOptions off;
+    off.incremental = false;
+    check(4, off, 0, total, "no-incremental");
+}
+
+TEST(EngineIncremental, WarmCacheNeverTouchesTheDecoder)
+{
+    const CacheDir dir("lagalyzer-cache-test-incr-decoder");
+    app::StudyConfig config = tinyStudy(dir.path);
+    config.apps.resize(1);
+    app::Study study(config);
+    study.ensureTraces();
+
+    std::vector<std::string> names{config.apps[0].name};
+    const ResultCache cache(config.cacheDir, config.fingerprint());
+    const SessionLoader loader =
+        [&study](std::size_t a, std::uint32_t s) {
+            return study.loadSession(a, s);
+        };
+
+    ThreadPool pool(4);
+    // Cold pass populates every entry.
+    aggregateFromCache(cache, names, config.sessionsPerApp,
+                       config.perceptibleThreshold, pool, loader);
+
+    const obs::MetricsSnapshot before = obs::metrics().snapshot();
+    const StudyAggregate warm = aggregateFromCache(
+        cache, names, config.sessionsPerApp,
+        config.perceptibleThreshold, pool, loader);
+    const obs::MetricsSnapshot after = obs::metrics().snapshot();
+
+    EXPECT_EQ(warm.sessionsFromCache, config.sessionsPerApp);
+    EXPECT_EQ(warm.sessionsRecomputed, 0u);
+    EXPECT_EQ(after.counterValue("trace.decode.bytes"),
+              before.counterValue("trace.decode.bytes"))
+        << "warm aggregation must not decode any trace";
+    EXPECT_EQ(after.counterValue("trace.decode.count"),
+              before.counterValue("trace.decode.count"));
+}
+
+TEST(EngineIncremental, OldVersionEntryReadsAsMiss)
+{
+    const CacheDir dir("lagalyzer-cache-test-incr-version");
+    const ResultCache cache(dir.path, "fp");
+    cache.store("App", 0, sampleAnalysis());
+    const std::string path = cache.entryPath("App", 0);
+    ASSERT_TRUE(cache.load("App", 0).has_value());
+
+    // Rewrite the version field (little-endian u32 after the 8-byte
+    // magic) to v1. The checksum only covers the payload, so the
+    // file is otherwise intact — the version check alone must turn
+    // it into a miss, not an error.
+    std::string bytes;
+    {
+        std::ifstream in(path, std::ios::binary);
+        std::ostringstream buffer;
+        buffer << in.rdbuf();
+        bytes = buffer.str();
+    }
+    ASSERT_GT(bytes.size(), 12u);
+    bytes[8] = 1;
+    bytes[9] = 0;
+    bytes[10] = 0;
+    bytes[11] = 0;
+    {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    EXPECT_FALSE(cache.load("App", 0).has_value());
+}
+
+TEST(EngineIncremental, HostileAppNamesStayInTheAnalysisDir)
+{
+    const CacheDir dir("lagalyzer-cache-test-incr-hostile");
+    const ResultCache cache(dir.path, "fp");
+
+    const std::string hostile = "../../etc/pwn";
+    const std::string path = cache.entryPath(hostile, 0);
+    const std::string filename = fs::path(path).filename().string();
+    // The whole name (not just a suffix) must live under analysis/:
+    // no separators or dot-dot segments survive sanitization.
+    EXPECT_EQ(fs::path(path).parent_path(),
+              fs::path(dir.path) / "analysis");
+    EXPECT_EQ(filename.find('/'), std::string::npos);
+    EXPECT_EQ(filename.find(".."), std::string::npos);
+
+    // Hostile names still round-trip...
+    cache.store(hostile, 0, sampleAnalysis());
+    EXPECT_TRUE(fs::exists(path));
+    EXPECT_TRUE(cache.load(hostile, 0).has_value());
+
+    // ...and two names with the same sanitized prefix cannot
+    // collide: the raw name feeds the content hash.
+    EXPECT_NE(cache.entryPath("a/b", 0), cache.entryPath("a.b", 0));
+    cache.store("a/b", 0, sampleAnalysis());
+    cache.store("a.b", 0, sampleAnalysis());
+    EXPECT_TRUE(cache.load("a/b", 0).has_value());
+    EXPECT_TRUE(cache.load("a.b", 0).has_value());
+
+    // An empty name degrades to a readable placeholder.
+    const std::string empty_name =
+        fs::path(cache.entryPath("", 3)).filename().string();
+    EXPECT_EQ(empty_name.rfind("app_s3_g", 0), 0u) << empty_name;
+}
+
+TEST(EngineIncremental, EvictBooksFailedRemovalsAsKept)
+{
+    const CacheDir dir("lagalyzer-cache-test-incr-rmfail");
+    const ResultCache cache(dir.path, "fp");
+    for (std::uint32_t s = 0; s < 3; ++s)
+        cache.store("App", s, sampleAnalysis());
+    // A stale-generation entry that also refuses to go.
+    const ResultCache stale(dir.path, "fp-old");
+    stale.store("App", 0, sampleAnalysis());
+
+    const auto entry_bytes = static_cast<std::uint64_t>(
+        fs::file_size(cache.entryPath("App", 0)));
+
+    // Budget for one entry, but every unlink fails: nothing may be
+    // booked as removed and every byte must stay on the books.
+    CacheEvictionPolicy policy;
+    policy.maxBytes = entry_bytes;
+    const CacheEvictionResult result = cache.evict(
+        policy, [](const fs::path &) { return false; });
+
+    EXPECT_EQ(result.removedFiles, 0u);
+    EXPECT_EQ(result.removedBytes, 0u);
+    EXPECT_EQ(result.keptFiles, 4u);
+    EXPECT_EQ(result.keptBytes, 4 * entry_bytes);
+    for (std::uint32_t s = 0; s < 3; ++s)
+        EXPECT_TRUE(fs::exists(cache.entryPath("App", s)));
+    EXPECT_TRUE(fs::exists(stale.entryPath("App", 0)));
+
+    // A working remover under the same budget leaves one entry.
+    const CacheEvictionResult cleaned = cache.evict(policy);
+    EXPECT_EQ(cleaned.removedFiles, 3u);
+    EXPECT_EQ(cleaned.keptFiles, 1u);
+    EXPECT_EQ(cleaned.keptBytes, entry_bytes);
+}
+
+TEST(EngineIncremental, EvictKeepsEntriesItCannotStat)
+{
+    const CacheDir dir("lagalyzer-cache-test-incr-statfail");
+    const ResultCache cache(dir.path, "fp");
+    cache.store("App", 0, sampleAnalysis());
+
+    // A self-referential symlink with a live-generation name: every
+    // stat on it fails with ELOOP. Before the fix a failed stat left
+    // an epoch mtime, which any age budget read as "ancient" and
+    // evicted; the entry must instead be kept and warned about.
+    const std::string loop_name =
+        fs::path(cache.entryPath("Loop", 7)).filename().string();
+    const fs::path loop =
+        fs::path(dir.path) / "analysis" / loop_name;
+    fs::create_symlink(loop_name, loop);
+    ASSERT_TRUE(fs::is_symlink(fs::symlink_status(loop)));
+
+    CacheEvictionPolicy policy;
+    policy.maxAgeSeconds = 3600;
+    const CacheEvictionResult result = cache.evict(policy);
+
+    EXPECT_EQ(result.removedFiles, 0u);
+    EXPECT_EQ(result.keptFiles, 2u);
+    EXPECT_TRUE(fs::is_symlink(fs::symlink_status(loop)))
+        << "unstattable entry must survive eviction";
+    EXPECT_TRUE(fs::exists(cache.entryPath("App", 0)));
+    EXPECT_TRUE(cache.load("App", 0).has_value());
+}
+
+} // namespace
+} // namespace lag::engine
