@@ -28,6 +28,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -35,8 +36,11 @@
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <iterator>
 #include <new>
+#include <string>
 #include <string_view>
+#include <vector>
 
 #include "app/catalog.hh"
 #include "app/session_runner.hh"
@@ -52,6 +56,10 @@
 #include "engine/pool.hh"
 #include "engine/result_cache.hh"
 #include "obs/metrics.hh"
+#include "serve/client.hh"
+#include "serve/router.hh"
+#include "serve/server.hh"
+#include "serve/store.hh"
 #include "trace/io.hh"
 #include "viz/sketch.hh"
 
@@ -584,6 +592,75 @@ reportIncrementalSpeedup(std::uint32_t jobs, bool enforce)
 }
 
 /**
+ * End-to-end lagd query latency as one JSON line. Boots an
+ * in-process HotStore + HttpServer over a tiny private study on an
+ * ephemeral port, then measures @p requests client-side round trips
+ * (TCP connect + request + response) cycling through the endpoint
+ * mix a dashboard would hit. p50/p99 are over individual requests.
+ */
+void
+reportQueryLatency(std::uint32_t jobs, int requests)
+{
+    app::StudyConfig config = app::StudyConfig::quickStudy(3);
+    config.cacheDir = "lagalyzer-cache-perf-serve";
+    config.jobs = jobs;
+    config.apps.resize(3);
+    config.sessionsPerApp = 2;
+    std::filesystem::remove_all(config.cacheDir);
+
+    engine::ThreadPool pool(config.jobs);
+    serve::HotStore store(config, pool);
+    store.load();
+    serve::Router router;
+    store.installRoutes(router);
+    serve::HttpServer server(serve::ServerConfig{}, // port 0
+                             std::move(router), pool);
+    server.start();
+
+    serve::ClientOptions client;
+    client.port = server.port();
+    const std::string &app_name = config.apps[0].name;
+    const std::string targets[] = {
+        "/healthz",
+        "/v1/apps",
+        "/v1/patterns?app=" + app_name +
+            "&sort=total_lag&limit=10",
+        "/v1/cdf?app=" + app_name,
+        "/v1/figures/table3",
+    };
+
+    std::vector<double> latencies_us;
+    latencies_us.reserve(static_cast<std::size_t>(requests));
+    bool all_ok = true;
+    for (int i = 0; i < requests; ++i) {
+        const std::string &target =
+            targets[static_cast<std::size_t>(i) % std::size(targets)];
+        const auto start = std::chrono::steady_clock::now();
+        const serve::ClientResult result =
+            serve::httpRequest(client, "GET", target);
+        const std::chrono::duration<double, std::micro> elapsed =
+            std::chrono::steady_clock::now() - start;
+        latencies_us.push_back(elapsed.count());
+        all_ok = all_ok && result.ok && result.status == 200;
+    }
+    server.stop();
+    std::filesystem::remove_all(config.cacheDir);
+
+    std::sort(latencies_us.begin(), latencies_us.end());
+    const auto percentile = [&](double p) {
+        const auto rank = static_cast<std::size_t>(
+            p * static_cast<double>(latencies_us.size() - 1));
+        return latencies_us[rank];
+    };
+    std::printf("{\"bench\":\"query_latency\",\"requests\":%d,"
+                "\"all_ok\":%s,\"query_p50_us\":%.1f,"
+                "\"query_p99_us\":%.1f}\n",
+                requests, all_ok ? "true" : "false",
+                percentile(0.50), percentile(0.99));
+    std::fflush(stdout);
+}
+
+/**
  * Engine self-observation totals for the whole bench run, as one
  * JSON line: how well the pool balanced (steal ratio), how much the
  * result cache saved (hit rate), the deepest queue backlog, and the
@@ -667,6 +744,7 @@ main(int argc, char **argv)
         reportDecodeThroughput(f, 3);
         reportSessionBuild(f, 3);
         reportShardSpeedup(f, jobs, 3);
+        reportQueryLatency(jobs, 40);
         reportObsMetrics();
         return 0;
     }
@@ -681,6 +759,7 @@ main(int argc, char **argv)
     reportDecodeThroughput(f, 10);
     reportSessionBuild(f, 10);
     reportShardSpeedup(f, jobs, 10);
+    reportQueryLatency(jobs, 200);
     reportObsMetrics();
 
     benchmark::Initialize(&argc, argv);

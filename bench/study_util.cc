@@ -60,39 +60,6 @@ selectStudyConfig(int argc, char **argv)
 namespace
 {
 
-/** Linear resample of a CDF onto the 0..100 pattern-percent grid. */
-std::vector<double>
-resampleCdf(const std::vector<std::pair<double, double>> &points)
-{
-    std::vector<double> grid(101, 0.0);
-    if (points.size() < 2) {
-        // Degenerate set: everything covered immediately.
-        for (int x = 1; x <= 100; ++x)
-            grid[static_cast<std::size_t>(x)] = 1.0;
-        return grid;
-    }
-    std::size_t seg = 0;
-    for (int x = 0; x <= 100; ++x) {
-        const double fx = static_cast<double>(x) / 100.0;
-        while (seg + 1 < points.size() - 1 &&
-               points[seg + 1].first < fx) {
-            ++seg;
-        }
-        const auto &[x0, y0] = points[seg];
-        const auto &[x1, y1] = points[seg + 1];
-        double y;
-        if (fx <= x0) {
-            y = y0;
-        } else if (fx >= x1) {
-            y = y1;
-        } else {
-            y = y0 + (y1 - y0) * (fx - x0) / (x1 - x0);
-        }
-        grid[static_cast<std::size_t>(x)] = y;
-    }
-    return grid;
-}
-
 /**
  * Per-session analyses indexed [app][session], answered through
  * engine::aggregateFromCache: cached `.ares` entries where possible,
@@ -147,84 +114,15 @@ analyzeStudy(app::Study &study)
 {
     const auto grid = analyzeSessions(study);
 
-    // Deterministic serial merge in [app][session] order — the
-    // arithmetic (and thus every bit of the output) matches the
-    // historical serial path exactly.
+    // Session-averaging now lives in engine::averageSessionAnalyses
+    // — the same code lagd's hot store runs — in [app][session]
+    // order, so every bit of the output matches the historical
+    // serial path exactly.
     std::vector<AppAnalysis> results;
+    results.reserve(study.config().apps.size());
     for (std::size_t a = 0; a < study.config().apps.size(); ++a) {
-        AppAnalysis result;
-        result.name = study.config().apps[a].name;
-        result.cdfEpisodesAtPatternPercent.assign(101, 0.0);
-
-        std::vector<core::OverviewRow> rows;
-        const auto n = static_cast<double>(grid[a].size());
-        for (const engine::SessionAnalysis &sa : grid[a]) {
-            rows.push_back(sa.overview);
-            const auto cdf = resampleCdf(sa.cdf);
-
-            const auto add_shares = [&](core::TriggerShares &dst,
-                                        const core::TriggerShares &src) {
-                dst.input += src.input / n;
-                dst.output += src.output / n;
-                dst.async += src.async / n;
-                dst.unspecified += src.unspecified / n;
-                dst.episodeCount += src.episodeCount;
-            };
-            add_shares(result.triggers.all, sa.triggers.all);
-            add_shares(result.triggers.perceptible,
-                       sa.triggers.perceptible);
-
-            const auto add_location =
-                [&](core::LocationShares &dst,
-                    const core::LocationShares &src) {
-                    dst.appFraction += src.appFraction / n;
-                    dst.libraryFraction += src.libraryFraction / n;
-                    dst.gcFraction += src.gcFraction / n;
-                    dst.nativeFraction += src.nativeFraction / n;
-                    dst.sampleCount += src.sampleCount;
-                    dst.episodeCount += src.episodeCount;
-                };
-            add_location(result.location.all, sa.location.all);
-            add_location(result.location.perceptible,
-                         sa.location.perceptible);
-
-            result.concurrency.meanRunnableAll +=
-                sa.concurrency.meanRunnableAll / n;
-            result.concurrency.meanRunnablePerceptible +=
-                sa.concurrency.meanRunnablePerceptible / n;
-            result.concurrency.samplesAll +=
-                sa.concurrency.samplesAll;
-            result.concurrency.samplesPerceptible +=
-                sa.concurrency.samplesPerceptible;
-
-            const auto add_states = [&](core::GuiStateShares &dst,
-                                        const core::GuiStateShares &src) {
-                dst.blocked += src.blocked / n;
-                dst.waiting += src.waiting / n;
-                dst.sleeping += src.sleeping / n;
-                dst.runnable += src.runnable / n;
-                dst.sampleCount += src.sampleCount;
-            };
-            add_states(result.states.all, sa.states.all);
-            add_states(result.states.perceptible,
-                       sa.states.perceptible);
-
-            result.occurrence.always += sa.occurrence.always / n;
-            result.occurrence.sometimes +=
-                sa.occurrence.sometimes / n;
-            result.occurrence.once += sa.occurrence.once / n;
-            result.occurrence.never += sa.occurrence.never / n;
-            result.occurrence.patternCount +=
-                sa.occurrence.patternCount;
-
-            for (int x = 0; x <= 100; ++x) {
-                result.cdfEpisodesAtPatternPercent
-                    [static_cast<std::size_t>(x)] +=
-                    cdf[static_cast<std::size_t>(x)] / n;
-            }
-        }
-        result.overview = core::meanOverview(rows);
-        results.push_back(std::move(result));
+        results.push_back(engine::averageSessionAnalyses(
+            study.config().apps[a].name, grid[a]));
     }
     return results;
 }

@@ -36,12 +36,7 @@
 #include <vector>
 
 #include "app/study.hh"
-#include "core/concurrency.hh"
-#include "core/location.hh"
-#include "core/overview.hh"
-#include "core/pattern.hh"
-#include "core/pattern_stats.hh"
-#include "core/triggers.hh"
+#include "core/figure_json.hh"
 
 namespace lag::bench
 {
@@ -54,19 +49,14 @@ namespace lag::bench
 app::StudyConfig selectStudyConfig(int argc = 0,
                                    char **argv = nullptr);
 
-/** Everything analyses need from one app, session-averaged. */
-struct AppAnalysis
-{
-    std::string name;
-    core::OverviewRow overview;
-    core::TriggerAnalysisResult triggers;
-    core::LocationAnalysisResult location;
-    core::ConcurrencyResult concurrency;
-    core::ThreadStateResult states;
-    core::OccurrenceShares occurrence;
-    /** Session-averaged pattern CDF (resampled to percent grid). */
-    std::vector<double> cdfEpisodesAtPatternPercent; ///< index 0..100
-};
+/**
+ * Everything analyses need from one app, session-averaged. Now the
+ * shared core figure-input struct: the bench harnesses and lagd's
+ * hot store consume the identical type, averaged by the identical
+ * code (engine::averageSessionAnalyses), so their figure bytes
+ * cannot drift apart.
+ */
+using AppAnalysis = core::AppFigureData;
 
 /**
  * Run the full analysis pipeline for every app in the study,

@@ -49,6 +49,60 @@ echo "== perf smoke (ctest -L perf)"
 echo "== incremental smoke (warm cache must not touch the decoder)"
 (cd "$build" && bench/bench_perf_pipeline --incremental-smoke --jobs 4)
 
+echo "== serve suite (ctest -L serve)"
+(cd "$build" && ctest -L serve --output-on-failure)
+
+echo "== serve smoke (lagd up, query, refresh, drain)"
+serve_dir="$build/serve-smoke"
+rm -rf "$serve_dir"
+mkdir -p "$serve_dir"
+"$build/src/serve/lagd" --quick 2 --port 0 --jobs 4 \
+    --cache-dir "$serve_dir/cache" \
+    --port-file "$serve_dir/port" >"$serve_dir/lagd.out" 2>&1 &
+lagd_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$serve_dir/port" ] && break
+    kill -0 "$lagd_pid" 2>/dev/null || {
+        echo "lagd died during startup" >&2
+        cat "$serve_dir/lagd.out" >&2
+        exit 1
+    }
+    sleep 0.2
+done
+[ -s "$serve_dir/port" ] || {
+    echo "lagd never wrote its port file" >&2
+    exit 1
+}
+port="$(cat "$serve_dir/port")"
+lq="$build/tools/lag_query"
+"$lq" --port "$port" /healthz >/dev/null
+"$lq" --port "$port" "/v1/apps" > "$serve_dir/apps.json"
+"$lq" --port "$port" \
+    "/v1/patterns?app=GanttProject&sort=total_lag&limit=5" \
+    > "$serve_dir/patterns.json"
+"$lq" --port "$port" "/v1/figures/table3" > "$serve_dir/table3.json"
+"$lq" --port "$port" --post /v1/refresh > "$serve_dir/refresh.json"
+for f in apps patterns table3 refresh; do
+    "$build/tools/trace_check" "$serve_dir/$f.json"
+done
+# Unknown app must fail the query tool (exit 1 on a non-2xx).
+if "$lq" --port "$port" "/v1/patterns?app=no-such-app" \
+    >/dev/null 2>&1; then
+    echo "lag_query should have failed on a 404" >&2
+    exit 1
+fi
+kill -TERM "$lagd_pid"
+wait "$lagd_pid" || {
+    echo "lagd did not exit cleanly on SIGTERM" >&2
+    cat "$serve_dir/lagd.out" >&2
+    exit 1
+}
+grep -q "shut down cleanly" "$serve_dir/lagd.out" || {
+    echo "lagd missing clean-shutdown line" >&2
+    cat "$serve_dir/lagd.out" >&2
+    exit 1
+}
+
 echo "== obs suite (ctest -L obs)"
 (cd "$build" && ctest -L obs --output-on-failure)
 

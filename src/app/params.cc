@@ -231,6 +231,76 @@ parseNoIncrementalOption(int &argc, char **argv)
     return no_incremental;
 }
 
+namespace
+{
+
+/** Parse a TCP port (0..65535); fatal() on junk. */
+std::uint16_t
+parsePortValue(std::string_view value)
+{
+    const std::string text(value);
+    char *end = nullptr;
+    const long parsed = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || parsed < 0 ||
+        parsed > 65535)
+        fatal("--port needs a port number (0..65535), got '", text,
+              "'");
+    return static_cast<std::uint16_t>(parsed);
+}
+
+/** Parse a positive connection cap; fatal() on junk. */
+std::size_t
+parseConnectionsValue(std::string_view value)
+{
+    const std::string text(value);
+    char *end = nullptr;
+    const long parsed = std::strtol(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0' || parsed <= 0)
+        fatal("--max-connections needs a positive integer, got '",
+              text, "'");
+    return static_cast<std::size_t>(parsed);
+}
+
+} // namespace
+
+ServeOptions
+parseServeOptions(int &argc, char **argv)
+{
+    ServeOptions options;
+    bool port_set = false;
+    int out = 0;
+    for (int in = 0; in < argc; ++in) {
+        const std::string_view arg(argv[in]);
+        const auto next = [&](std::string_view option) {
+            if (in + 1 >= argc)
+                fatal(option, " needs a value");
+            return std::string_view(argv[++in]);
+        };
+        if (arg == "--port") {
+            options.port = parsePortValue(next("--port"));
+            port_set = true;
+        } else if (arg.rfind("--port=", 0) == 0) {
+            options.port = parsePortValue(arg.substr(7));
+            port_set = true;
+        } else if (arg == "--max-connections") {
+            options.maxConnections =
+                parseConnectionsValue(next("--max-connections"));
+        } else if (arg.rfind("--max-connections=", 0) == 0) {
+            options.maxConnections =
+                parseConnectionsValue(arg.substr(18));
+        } else {
+            argv[out++] = argv[in];
+        }
+    }
+    argc = out;
+    if (!port_set) {
+        const char *env = std::getenv("LAGALYZER_SERVE_PORT");
+        if (env != nullptr && env[0] != '\0')
+            options.port = parsePortValue(env);
+    }
+    return options;
+}
+
 obs::ObsOptions
 parseObsOptions(int &argc, char **argv)
 {

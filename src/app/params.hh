@@ -311,6 +311,25 @@ CacheLimitOptions parseCacheLimitOptions(int &argc, char **argv);
  */
 bool parseNoIncrementalOption(int &argc, char **argv);
 
+/** lagd listener options parsed off a command line. */
+struct ServeOptions
+{
+    /** TCP port; 0 = ephemeral (lagd prints the bound port). */
+    std::uint16_t port = 8437;
+
+    /** In-flight connection cap (admission gate). */
+    std::size_t maxConnections = 64;
+};
+
+/**
+ * Extract `--port N` and `--max-connections N` (space- or
+ * `=`-separated) from a command line, compacting argv in place like
+ * parseJobsOption. Where `--port` is absent, the LAGALYZER_SERVE_PORT
+ * environment variable fills in; the default is 8437. Port 0 asks
+ * for an ephemeral port. fatal() on malformed values.
+ */
+ServeOptions parseServeOptions(int &argc, char **argv);
+
 /**
  * Extract `--self-trace PATH` and `--metrics-out PATH` (space- or
  * `=`-separated) from a command line, compacting argv in place like

@@ -49,6 +49,38 @@ patternCdf(const PatternSet &patterns)
     return points;
 }
 
+std::vector<double>
+resampleCdf(const std::vector<std::pair<double, double>> &points)
+{
+    std::vector<double> grid(101, 0.0);
+    if (points.size() < 2) {
+        // Degenerate set: everything covered immediately.
+        for (int x = 1; x <= 100; ++x)
+            grid[static_cast<std::size_t>(x)] = 1.0;
+        return grid;
+    }
+    std::size_t seg = 0;
+    for (int x = 0; x <= 100; ++x) {
+        const double fx = static_cast<double>(x) / 100.0;
+        while (seg + 1 < points.size() - 1 &&
+               points[seg + 1].first < fx) {
+            ++seg;
+        }
+        const auto &[x0, y0] = points[seg];
+        const auto &[x1, y1] = points[seg + 1];
+        double y;
+        if (fx <= x0) {
+            y = y0;
+        } else if (fx >= x1) {
+            y = y1;
+        } else {
+            y = y0 + (y1 - y0) * (fx - x0) / (x1 - x0);
+        }
+        grid[static_cast<std::size_t>(x)] = y;
+    }
+    return grid;
+}
+
 OccurrenceShares
 occurrenceShares(const PatternSet &patterns)
 {

@@ -59,6 +59,15 @@ PatternSetSummary summarizePatterns(const PatternSet &patterns);
 std::vector<std::pair<double, double>>
 patternCdf(const PatternSet &patterns);
 
+/**
+ * Linear resample of a patternCdf() curve onto the 0..100
+ * pattern-percent grid (101 points) — the form Figure 3 plots,
+ * session averages accumulate, and `/v1/cdf` serves. A degenerate
+ * curve (fewer than two points) covers everything from 1%.
+ */
+std::vector<double>
+resampleCdf(const std::vector<std::pair<double, double>> &points);
+
 /** Figure 4: shares of patterns per occurrence class; the four
  * fractions sum to 1 when patterns exist. */
 struct OccurrenceShares

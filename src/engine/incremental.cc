@@ -96,4 +96,125 @@ aggregateFromCache(const ResultCache &cache,
     return out;
 }
 
+AppAggregate
+aggregateAppFromCache(const ResultCache &cache,
+                      const std::string &app_name,
+                      std::size_t app_index,
+                      std::uint32_t sessions_per_app,
+                      DurationNs perceptible_threshold,
+                      const SessionLoader &load_session,
+                      const AggregateOptions &options)
+{
+    LAG_SPAN_ARG("cache.aggregate.app", "sessions",
+                 sessions_per_app);
+    lag_assert(load_session != nullptr,
+               "aggregateAppFromCache needs a session loader");
+
+    AppAggregate out;
+    out.sessions.reserve(sessions_per_app);
+    for (std::uint32_t s = 0; s < sessions_per_app; ++s) {
+        if (options.incremental) {
+            if (auto hit = cache.load(app_name, s)) {
+                out.sessions.push_back(std::move(*hit));
+                ++out.sessionsFromCache;
+                continue;
+            }
+        }
+        const core::Session session = load_session(app_index, s);
+        out.sessions.push_back(
+            analyzeSession(session, perceptible_threshold));
+        if (options.incremental)
+            cache.store(app_name, s, out.sessions.back());
+        ++out.sessionsRecomputed;
+    }
+    aggregateMetrics().cached.add(out.sessionsFromCache);
+    aggregateMetrics().recomputed.add(out.sessionsRecomputed);
+
+    std::vector<core::PatternSetSummary> summaries;
+    summaries.reserve(out.sessions.size());
+    for (const SessionAnalysis &analysis : out.sessions)
+        summaries.push_back(analysis.patternSummary);
+    out.merged = core::mergeAnalyses(summaries);
+    return out;
+}
+
+core::AppFigureData
+averageSessionAnalyses(std::string name,
+                       const std::vector<SessionAnalysis> &sessions)
+{
+    core::AppFigureData result;
+    result.name = std::move(name);
+    result.cdfEpisodesAtPatternPercent.assign(101, 0.0);
+
+    // The accumulation order and the per-session /n division are
+    // the historical bench::analyzeStudy arithmetic, kept verbatim:
+    // figure bytes must not move under this refactor.
+    std::vector<core::OverviewRow> rows;
+    const auto n = static_cast<double>(sessions.size());
+    for (const SessionAnalysis &sa : sessions) {
+        rows.push_back(sa.overview);
+        const auto cdf = core::resampleCdf(sa.cdf);
+
+        const auto add_shares = [&](core::TriggerShares &dst,
+                                    const core::TriggerShares &src) {
+            dst.input += src.input / n;
+            dst.output += src.output / n;
+            dst.async += src.async / n;
+            dst.unspecified += src.unspecified / n;
+            dst.episodeCount += src.episodeCount;
+        };
+        add_shares(result.triggers.all, sa.triggers.all);
+        add_shares(result.triggers.perceptible,
+                   sa.triggers.perceptible);
+
+        const auto add_location = [&](core::LocationShares &dst,
+                                      const core::LocationShares &src) {
+            dst.appFraction += src.appFraction / n;
+            dst.libraryFraction += src.libraryFraction / n;
+            dst.gcFraction += src.gcFraction / n;
+            dst.nativeFraction += src.nativeFraction / n;
+            dst.sampleCount += src.sampleCount;
+            dst.episodeCount += src.episodeCount;
+        };
+        add_location(result.location.all, sa.location.all);
+        add_location(result.location.perceptible,
+                     sa.location.perceptible);
+
+        result.concurrency.meanRunnableAll +=
+            sa.concurrency.meanRunnableAll / n;
+        result.concurrency.meanRunnablePerceptible +=
+            sa.concurrency.meanRunnablePerceptible / n;
+        result.concurrency.samplesAll += sa.concurrency.samplesAll;
+        result.concurrency.samplesPerceptible +=
+            sa.concurrency.samplesPerceptible;
+
+        const auto add_states = [&](core::GuiStateShares &dst,
+                                    const core::GuiStateShares &src) {
+            dst.blocked += src.blocked / n;
+            dst.waiting += src.waiting / n;
+            dst.sleeping += src.sleeping / n;
+            dst.runnable += src.runnable / n;
+            dst.sampleCount += src.sampleCount;
+        };
+        add_states(result.states.all, sa.states.all);
+        add_states(result.states.perceptible,
+                   sa.states.perceptible);
+
+        result.occurrence.always += sa.occurrence.always / n;
+        result.occurrence.sometimes += sa.occurrence.sometimes / n;
+        result.occurrence.once += sa.occurrence.once / n;
+        result.occurrence.never += sa.occurrence.never / n;
+        result.occurrence.patternCount +=
+            sa.occurrence.patternCount;
+
+        for (int x = 0; x <= 100; ++x) {
+            result.cdfEpisodesAtPatternPercent
+                [static_cast<std::size_t>(x)] +=
+                cdf[static_cast<std::size_t>(x)] / n;
+        }
+    }
+    result.overview = core::meanOverview(rows);
+    return result;
+}
+
 } // namespace lag::engine

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/aggregate.hh"
+#include "core/figure_json.hh"
 #include "core/session.hh"
 #include "pool.hh"
 #include "result_cache.hh"
@@ -96,6 +97,48 @@ aggregateFromCache(const ResultCache &cache,
                    DurationNs perceptible_threshold, ThreadPool &pool,
                    const SessionLoader &load_session,
                    const AggregateOptions &options = {});
+
+/** One app rebuilt from the cache: its per-session analyses and
+ * their cross-session merge. */
+struct AppAggregate
+{
+    std::vector<SessionAnalysis> sessions;
+    core::MergedPatternSet merged;
+    std::size_t sessionsFromCache = 0;
+    std::size_t sessionsRecomputed = 0;
+};
+
+/**
+ * The per-app entry point behind aggregateFromCache(): rebuild one
+ * app's sessions (cache hit, or load + analyze + store back) and
+ * merge them. Deliberately serial — the serve layer calls this from
+ * a pool worker during `/v1/refresh`, where fanning sub-tasks onto
+ * the same pool and waiting would deadlock. The engine's
+ * determinism contract makes the result byte-identical to the
+ * corresponding slice of a full aggregateFromCache() at any worker
+ * count. Bumps the same `cache.aggregate.cached` / `.recomputed`
+ * counters.
+ */
+AppAggregate
+aggregateAppFromCache(const ResultCache &cache,
+                      const std::string &app_name,
+                      std::size_t app_index,
+                      std::uint32_t sessions_per_app,
+                      DurationNs perceptible_threshold,
+                      const SessionLoader &load_session,
+                      const AggregateOptions &options = {});
+
+/**
+ * Session-average one app's analyses into the figure inputs
+ * (core::AppFigureData): trigger/location/state shares and the CDF
+ * grid average over sessions (counts accumulate), exactly the
+ * arithmetic the bench harnesses' analyzeStudy() has always used —
+ * bench and serve now share this one implementation, so figure
+ * bytes agree between the batch and the server by construction.
+ */
+core::AppFigureData
+averageSessionAnalyses(std::string name,
+                       const std::vector<SessionAnalysis> &sessions);
 
 } // namespace lag::engine
 

@@ -590,6 +590,42 @@ ResultCache::stats() const
     return stats_;
 }
 
+std::uint64_t
+ResultCache::entryDigest(std::string_view app_name,
+                         std::uint32_t session_index) const
+{
+    const std::string path = entryPath(app_name, session_index);
+    Fnv1aHasher hasher;
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        // Absent and unreadable fold the same marker: both mean
+        // "this entry contributes nothing", and both must differ
+        // from every present-content digest.
+        hasher.addString("absent");
+        return hasher.digest();
+    }
+    char buffer[1 << 16];
+    while (in.read(buffer, sizeof(buffer)) || in.gcount() > 0) {
+        hasher.addBytes(buffer,
+                        static_cast<std::size_t>(in.gcount()));
+    }
+    return hasher.digest();
+}
+
+std::uint64_t
+ResultCache::appDigest(std::string_view app_name,
+                       std::uint32_t sessions_per_app) const
+{
+    LAG_SPAN("cache.app_digest");
+    Fnv1aHasher hasher;
+    hasher.addString(app_name);
+    for (std::uint32_t s = 0; s < sessions_per_app; ++s) {
+        hasher.addValue(s);
+        hasher.addValue(entryDigest(app_name, s));
+    }
+    return hasher.digest();
+}
+
 void
 ResultCache::store(std::string_view app_name,
                    std::uint32_t session_index,

@@ -150,6 +150,27 @@ class ResultCache
     ResultCacheStats stats() const;
 
     /**
+     * Content digest (FNV-1a) of one entry's on-disk bytes; a
+     * missing or unreadable entry folds a distinct absent marker,
+     * so present-vs-absent always changes the digest. Pure read:
+     * no hit/miss counters move, no payload is validated — this is
+     * the invalidation primitive, not a load.
+     */
+    std::uint64_t entryDigest(std::string_view app_name,
+                              std::uint32_t session_index) const;
+
+    /**
+     * Combined content digest over one app's entries
+     * 0..@p sessions_per_app-1, in index order. The serve layer
+     * stamps its per-app hot state with this: any byte of any
+     * contributing `.ares` entry changing (or an entry appearing /
+     * disappearing) changes the app digest, and only apps whose
+     * digest moved are re-merged on refresh.
+     */
+    std::uint64_t appDigest(std::string_view app_name,
+                            std::uint32_t sessions_per_app) const;
+
+    /**
      * Garbage-collect the analysis directory. Entries written under
      * a different study fingerprint (or analysis version) are always
      * removed — their content address can never hit again. Among the

@@ -7,6 +7,7 @@
 #include "metrics.hh"
 #include "span.hh"
 #include "util/logging.hh"
+#include "util/shutdown.hh"
 
 namespace lag::obs
 {
@@ -62,6 +63,13 @@ install(const ObsOptions &options)
     if (!g_atexitRegistered) {
         g_atexitRegistered = true;
         std::atexit(flush);
+        // A ^C must not leave a half-written self-trace or metrics
+        // file: arm the shared signal machinery (batch default:
+        // flush, then exit 128+signo). Daemons that armed Graceful
+        // mode first keep control — the first installer wins — and
+        // run the same flush via runShutdownCallbacks().
+        installShutdownHandler(ShutdownMode::FlushAndExit);
+        onShutdown(flush);
     }
 }
 

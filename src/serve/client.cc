@@ -1,0 +1,194 @@
+#include "client.hh"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <charconv>
+#include <chrono>
+#include <cstring>
+#include <string>
+
+namespace lag::serve
+{
+
+namespace
+{
+
+using Clock = std::chrono::steady_clock;
+
+/** Owns a socket fd for the duration of one call. */
+struct FdGuard
+{
+    int fd = -1;
+    ~FdGuard()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+int
+remainingMs(Clock::time_point deadline)
+{
+    const auto left =
+        std::chrono::duration_cast<std::chrono::milliseconds>(
+            deadline - Clock::now())
+            .count();
+    return left > 0 ? static_cast<int>(left) : 0;
+}
+
+bool
+waitFd(int fd, short events, Clock::time_point deadline)
+{
+    while (true) {
+        pollfd entry{};
+        entry.fd = fd;
+        entry.events = events;
+        const int left = remainingMs(deadline);
+        if (left <= 0)
+            return false;
+        const int ready = ::poll(&entry, 1, left);
+        if (ready > 0)
+            return true;
+        if (ready == 0)
+            return false;
+        if (errno != EINTR)
+            return false;
+    }
+}
+
+ClientResult
+fail(std::string message)
+{
+    ClientResult result;
+    result.error = std::move(message);
+    return result;
+}
+
+} // namespace
+
+ClientResult
+httpRequest(const ClientOptions &options, std::string_view method,
+            std::string_view target, std::string_view body)
+{
+    const auto deadline =
+        Clock::now() + std::chrono::milliseconds(options.timeoutMs);
+
+    FdGuard sock;
+    sock.fd = ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK, 0);
+    if (sock.fd < 0)
+        return fail("socket: " + std::string(std::strerror(errno)));
+
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(options.port);
+    if (::inet_pton(AF_INET, options.host.c_str(),
+                    &addr.sin_addr) != 1)
+        return fail("bad host address: " + options.host);
+
+    if (::connect(sock.fd,
+                  reinterpret_cast<const sockaddr *>(&addr),
+                  sizeof(addr)) < 0) {
+        if (errno != EINPROGRESS)
+            return fail("connect: " +
+                        std::string(std::strerror(errno)));
+        if (!waitFd(sock.fd, POLLOUT, deadline))
+            return fail("connect timeout");
+        int soerr = 0;
+        socklen_t len = sizeof(soerr);
+        if (::getsockopt(sock.fd, SOL_SOCKET, SO_ERROR, &soerr,
+                         &len) < 0 ||
+            soerr != 0)
+            return fail("connect: " +
+                        std::string(std::strerror(
+                            soerr != 0 ? soerr : errno)));
+    }
+
+    std::string request;
+    request.reserve(128 + body.size());
+    request += method;
+    request += ' ';
+    request += target;
+    request += " HTTP/1.1\r\nHost: ";
+    request += options.host;
+    request += "\r\nConnection: close\r\n";
+    if (!body.empty()) {
+        request += "Content-Length: ";
+        request += std::to_string(body.size());
+        request += "\r\n";
+    }
+    request += "\r\n";
+    request += body;
+
+    std::size_t sent = 0;
+    while (sent < request.size()) {
+        const ssize_t n =
+            ::send(sock.fd, request.data() + sent,
+                   request.size() - sent, MSG_NOSIGNAL);
+        if (n > 0) {
+            sent += static_cast<std::size_t>(n);
+            continue;
+        }
+        if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+            if (!waitFd(sock.fd, POLLOUT, deadline))
+                return fail("send timeout");
+            continue;
+        }
+        if (n < 0 && errno == EINTR)
+            continue;
+        return fail("send: " + std::string(std::strerror(errno)));
+    }
+
+    std::string response;
+    char buffer[4096];
+    while (true) {
+        const ssize_t n =
+            ::recv(sock.fd, buffer, sizeof(buffer), 0);
+        if (n > 0) {
+            response.append(buffer,
+                            static_cast<std::size_t>(n));
+            continue;
+        }
+        if (n == 0)
+            break; // server closed — message complete
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+            if (!waitFd(sock.fd, POLLIN, deadline))
+                return fail("receive timeout");
+            continue;
+        }
+        if (errno == EINTR)
+            continue;
+        return fail("recv: " + std::string(std::strerror(errno)));
+    }
+
+    // Parse "HTTP/1.x NNN ..." + headers; the body is everything
+    // after the blank line (the server always closes, so EOF
+    // delimits it — Content-Length is advisory here).
+    const std::size_t line_end = response.find("\r\n");
+    if (line_end == std::string::npos ||
+        response.compare(0, 5, "HTTP/") != 0)
+        return fail("malformed response");
+    const std::size_t sp = response.find(' ');
+    if (sp == std::string::npos || sp + 4 > line_end)
+        return fail("malformed status line");
+    int status = 0;
+    const auto parsed = std::from_chars(
+        response.data() + sp + 1, response.data() + sp + 4, status);
+    if (parsed.ec != std::errc{})
+        return fail("malformed status code");
+    const std::size_t header_end = response.find("\r\n\r\n");
+    if (header_end == std::string::npos)
+        return fail("truncated response headers");
+
+    ClientResult result;
+    result.ok = true;
+    result.status = status;
+    result.body = response.substr(header_end + 4);
+    return result;
+}
+
+} // namespace lag::serve

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Blocking HTTP/1.1 client for lagd's dialect.
+ *
+ * Just enough client to talk to HttpServer without curl: connect,
+ * send one request, read to EOF (the server always closes), parse
+ * the status line and body. Shared by the `lag_query` CLI, the CI
+ * smoke, and the serve tests — so the tests exercise the same
+ * client bytes the tooling ships.
+ */
+
+#ifndef LAG_SERVE_CLIENT_HH
+#define LAG_SERVE_CLIENT_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace lag::serve
+{
+
+/** One client call's knobs. */
+struct ClientOptions
+{
+    std::string host = "127.0.0.1";
+    std::uint16_t port = 0;
+    /** Whole-call deadline: connect + send + receive. */
+    int timeoutMs = 5000;
+};
+
+/** Outcome of httpRequest(). */
+struct ClientResult
+{
+    /** False on any transport failure (connect, timeout, short
+     * write, unparseable response); @p error says which. */
+    bool ok = false;
+    int status = 0;
+    std::string body;
+    std::string error;
+};
+
+/**
+ * Send @p method @p target (e.g. "GET" "/healthz") with optional
+ * @p body and return the parsed response. Never throws; transport
+ * trouble comes back as ok=false.
+ */
+ClientResult httpRequest(const ClientOptions &options,
+                         std::string_view method,
+                         std::string_view target,
+                         std::string_view body = {});
+
+} // namespace lag::serve
+
+#endif // LAG_SERVE_CLIENT_HH

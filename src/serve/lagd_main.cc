@@ -1,0 +1,155 @@
+/**
+ * @file
+ * lagd — the LagAlyzer query daemon.
+ *
+ * Loads the study's cross-session aggregates hot from the result
+ * cache (engine::aggregateFromCache) and answers HTTP queries over
+ * them: per-app pattern rankings, CDFs, episode drill-downs and the
+ * paper's figure/table data, plus health and metrics endpoints.
+ *
+ * Usage: ./lagd [--quick [SECONDS]] [--port N] [--max-connections N]
+ *               [--cache-dir PATH] [--port-file PATH] [--jobs N]
+ *               [--no-incremental] [--self-trace OUT] [--metrics-out OUT]
+ *
+ *  --quick       serve StudyConfig::quickStudy (default 10 s
+ *                sessions) instead of the full paper study;
+ *  --port        listen port (default 8437, or LAGALYZER_SERVE_PORT;
+ *                0 = ephemeral, see the printed line / --port-file);
+ *  --port-file   write the bound port to PATH (atomic rename) once
+ *                listening — how scripts find an ephemeral port.
+ *
+ * SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
+ * requests, flush the obs exporters, exit 0.
+ */
+
+#include <poll.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "app/params.hh"
+#include "app/study.hh"
+#include "engine/pool.hh"
+#include "obs/scope.hh"
+#include "serve/router.hh"
+#include "serve/server.hh"
+#include "serve/store.hh"
+#include "util/logging.hh"
+#include "util/shutdown.hh"
+
+namespace
+{
+
+/** Write @p port to @p path via temp file + atomic rename, so a
+ * poller never reads a half-written file. */
+void
+writePortFile(const std::string &path, std::uint16_t port)
+{
+    const std::string tmp = path + ".tmp";
+    std::FILE *file = std::fopen(tmp.c_str(), "w");
+    if (file == nullptr)
+        lag::fatal("lagd: cannot write port file '", tmp,
+                   "': ", std::strerror(errno));
+    std::fprintf(file, "%u\n", static_cast<unsigned>(port));
+    std::fclose(file);
+    if (std::rename(tmp.c_str(), path.c_str()) != 0)
+        lag::fatal("lagd: cannot rename port file to '", path,
+                   "': ", std::strerror(errno));
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    using namespace lag;
+
+    // Graceful first: the daemon owns its shutdown; obs::install's
+    // FlushAndExit request below then stays a no-op.
+    installShutdownHandler(ShutdownMode::Graceful);
+    obs::install(app::parseObsOptions(argc, argv));
+
+    const app::ServeOptions serve_options =
+        app::parseServeOptions(argc, argv);
+    const std::uint32_t jobs = app::parseJobsOption(argc, argv);
+    const bool no_incremental =
+        app::parseNoIncrementalOption(argc, argv);
+
+    bool quick = false;
+    int quick_seconds = 10;
+    std::string cache_dir;
+    std::string port_file;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg == "--quick") {
+            quick = true;
+            if (i + 1 < argc && argv[i + 1][0] != '-')
+                quick_seconds = std::atoi(argv[++i]);
+            if (quick_seconds <= 0)
+                fatal("--quick needs a positive session length");
+        } else if (arg == "--cache-dir") {
+            if (i + 1 >= argc)
+                fatal("--cache-dir needs a path");
+            cache_dir = argv[++i];
+        } else if (arg.rfind("--cache-dir=", 0) == 0) {
+            cache_dir = std::string(arg.substr(12));
+        } else if (arg == "--port-file") {
+            if (i + 1 >= argc)
+                fatal("--port-file needs a path");
+            port_file = argv[++i];
+        } else if (arg.rfind("--port-file=", 0) == 0) {
+            port_file = std::string(arg.substr(12));
+        } else {
+            fatal("lagd: unknown argument '", arg, "'");
+        }
+    }
+
+    app::StudyConfig config =
+        quick ? app::StudyConfig::quickStudy(quick_seconds)
+              : app::StudyConfig::paperStudy();
+    if (!cache_dir.empty())
+        config.cacheDir = cache_dir;
+    config.jobs = jobs;
+    config.incremental = !no_incremental;
+
+    engine::ThreadPool pool(config.jobs);
+    serve::HotStore store(config, pool);
+    inform("lagd: loading ", store.appCount(),
+           " apps from the result cache");
+    store.load();
+
+    serve::Router router;
+    store.installRoutes(router);
+
+    serve::ServerConfig server_config;
+    server_config.port = serve_options.port;
+    server_config.maxConnections = serve_options.maxConnections;
+    serve::HttpServer server(server_config, std::move(router),
+                             pool);
+    server.start();
+
+    std::cout << "lagd: listening on 127.0.0.1:" << server.port()
+              << std::endl;
+    if (!port_file.empty())
+        writePortFile(port_file, server.port());
+
+    // Park until SIGINT/SIGTERM; the self-pipe makes the wait
+    // interruptible without sig-handler heroics.
+    while (!shutdownRequested()) {
+        pollfd entry{};
+        entry.fd = shutdownPollFd();
+        entry.events = POLLIN;
+        if (::poll(&entry, 1, -1) < 0 && errno != EINTR)
+            break;
+    }
+
+    inform("lagd: signal ", shutdownSignal(),
+           " received, draining");
+    server.stop();
+    runShutdownCallbacks();
+    std::cout << "lagd: shut down cleanly" << std::endl;
+    return 0;
+}

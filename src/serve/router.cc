@@ -1,0 +1,60 @@
+#include "router.hh"
+
+namespace lag::serve
+{
+
+namespace
+{
+
+bool
+matches(std::string_view path, std::string_view route_path,
+        bool is_prefix)
+{
+    if (is_prefix)
+        return path.size() >= route_path.size() &&
+               path.substr(0, route_path.size()) == route_path;
+    return path == route_path;
+}
+
+} // namespace
+
+void
+Router::addExact(std::string method, std::string path,
+                 Handler handler)
+{
+    routes_.push_back(Route{std::move(method), std::move(path),
+                            false, std::move(handler)});
+}
+
+void
+Router::addPrefix(std::string method, std::string prefix,
+                  Handler handler)
+{
+    routes_.push_back(Route{std::move(method), std::move(prefix),
+                            true, std::move(handler)});
+}
+
+bool
+Router::pathKnown(std::string_view path) const
+{
+    for (const Route &route : routes_) {
+        if (matches(path, route.path, route.isPrefix))
+            return true;
+    }
+    return false;
+}
+
+HttpResponse
+Router::dispatch(const HttpRequest &request) const
+{
+    for (const Route &route : routes_) {
+        if (route.method == request.method &&
+            matches(request.path, route.path, route.isPrefix))
+            return route.handler(request);
+    }
+    if (pathKnown(request.path))
+        return errorResponse(405, "method not allowed");
+    return errorResponse(404, "not found");
+}
+
+} // namespace lag::serve

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Method+path dispatch for lagd's handful of endpoints.
+ *
+ * Exact-path routes plus prefix routes (for `/v1/figures/<id>`).
+ * The router owns the 404/405 distinction: an unknown path is 404,
+ * a known path with the wrong method is 405 — both as strict-JSON
+ * error bodies, so every byte the server emits stays
+ * machine-checkable.
+ */
+
+#ifndef LAG_SERVE_ROUTER_HH
+#define LAG_SERVE_ROUTER_HH
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "http.hh"
+
+namespace lag::serve
+{
+
+/** A request handler: consumes the parsed request, returns the
+ * response. Runs on a pool worker; must be thread-safe. */
+using Handler = std::function<HttpResponse(const HttpRequest &)>;
+
+class Router
+{
+  public:
+    /** Route @p method + exactly @p path to @p handler. */
+    void addExact(std::string method, std::string path,
+                  Handler handler);
+
+    /** Route @p method + any path starting with @p prefix to
+     * @p handler (the handler inspects request.path itself). */
+    void addPrefix(std::string method, std::string prefix,
+                   Handler handler);
+
+    /** Dispatch @p request: matched handler's response, else a
+     * 404 or 405 JSON error. */
+    HttpResponse dispatch(const HttpRequest &request) const;
+
+  private:
+    struct Route
+    {
+        std::string method;
+        std::string path; ///< exact path or prefix
+        bool isPrefix = false;
+        Handler handler;
+    };
+
+    bool pathKnown(std::string_view path) const;
+
+    std::vector<Route> routes_;
+};
+
+} // namespace lag::serve
+
+#endif // LAG_SERVE_ROUTER_HH

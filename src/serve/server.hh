@@ -1,0 +1,120 @@
+/**
+ * @file
+ * The lagd HTTP server: accept thread + engine-pool request tasks.
+ *
+ * One dedicated thread accepts connections (poll()ing the listen
+ * socket alongside a wake pipe so stop() interrupts it instantly);
+ * each accepted connection becomes one task on the existing
+ * engine::ThreadPool — the server adds exactly one thread to the
+ * process no matter the load, and request handling inherits the
+ * pool's instrumentation.
+ *
+ * Robustness posture (all tested):
+ *  - admission gate: beyond maxConnections in-flight connections,
+ *    new arrivals get an immediate 503 and `serve.rejected`++ —
+ *    the pool's queue can never grow without bound;
+ *  - per-connection deadlines: reads and writes each poll() under
+ *    a budget; an idle or byte-dribbling client gets 408 (read) or
+ *    a close (write) instead of a parked worker;
+ *  - bounded parsing: http.hh's limits cap header and body bytes
+ *    before they are buffered (400/413);
+ *  - graceful drain: stop() stops accepting, then waits for every
+ *    in-flight connection to finish — no request is abandoned
+ *    mid-response on SIGTERM.
+ */
+
+#ifndef LAG_SERVE_SERVER_HH
+#define LAG_SERVE_SERVER_HH
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <string>
+#include <thread>
+
+#include "engine/pool.hh"
+#include "http.hh"
+#include "router.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
+
+namespace lag::serve
+{
+
+/** Listener + robustness knobs. */
+struct ServerConfig
+{
+    std::string bindAddress = "127.0.0.1";
+
+    /** TCP port; 0 = ephemeral (read the result from port()). */
+    std::uint16_t port = 0;
+
+    /** In-flight connection cap; arrivals beyond it get 503. */
+    std::size_t maxConnections = 64;
+
+    int readTimeoutMs = 5000;  ///< whole-request read budget
+    int writeTimeoutMs = 5000; ///< whole-response write budget
+
+    ParseLimits limits;
+};
+
+/** HTTP/1.1 server dispatching to a Router on an engine pool. */
+class HttpServer
+{
+  public:
+    /** @param router dispatch table (owned); @param pool runs the
+     * per-connection tasks (not owned; must outlive the server). */
+    HttpServer(ServerConfig config, Router router,
+               engine::ThreadPool &pool);
+
+    /** stop()s if still running. */
+    ~HttpServer();
+
+    HttpServer(const HttpServer &) = delete;
+    HttpServer &operator=(const HttpServer &) = delete;
+
+    /** Bind + listen + start the accept thread. fatal() on a bind
+     * failure (a daemon that cannot listen has nothing to do). */
+    void start();
+
+    /** The bound port (resolves config.port == 0). */
+    std::uint16_t port() const { return port_; }
+
+    /** Graceful drain: stop accepting, wake the accept thread,
+     * join it, then wait for in-flight connections to finish.
+     * Idempotent. */
+    void stop();
+
+  private:
+    void acceptLoop();
+    void handleConnection(int fd);
+
+    /** Read one request within the read deadline; returns the
+     * response to send when the request could not be served (400/
+     * 408/413), or nullopt-like status via @p ok. */
+    bool readRequest(int fd, HttpRequest &request,
+                     HttpResponse &error_response);
+
+    void writeResponse(int fd, const HttpResponse &response);
+
+    ServerConfig config_;
+    Router router_;
+    engine::ThreadPool &pool_;
+
+    int listenFd_ = -1;
+    int wakeRead_ = -1;
+    int wakeWrite_ = -1;
+    std::uint16_t port_ = 0;
+    std::thread acceptThread_;
+    std::atomic<bool> running_{false};
+    std::atomic<bool> stopping_{false};
+
+    /** In-flight connection count + drain signalling. */
+    Mutex activeMutex_{LockRank::Serve, "serve-active-connections"};
+    std::size_t active_ LAG_GUARDED_BY(activeMutex_) = 0;
+    std::condition_variable_any drainCv_;
+};
+
+} // namespace lag::serve
+
+#endif // LAG_SERVE_SERVER_HH

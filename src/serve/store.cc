@@ -1,0 +1,345 @@
+#include "store.hh"
+
+#include <charconv>
+#include <utility>
+
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "util/logging.hh"
+
+namespace lag::serve
+{
+
+namespace
+{
+
+obs::Counter &
+refreshRecomputedCounter()
+{
+    static obs::Counter &counter =
+        obs::metrics().counter("serve.refresh.recomputed");
+    return counter;
+}
+
+} // namespace
+
+std::string
+appsJson(const std::vector<std::string> &names,
+         std::uint32_t sessions_per_app,
+         const std::vector<core::MergedPatternSet> &merged)
+{
+    lag_assert(names.size() == merged.size(),
+               "appsJson: names/merged size mismatch");
+    std::string out = "{\"sessions_per_app\":";
+    out += std::to_string(sessions_per_app);
+    out += ",\"apps\":[";
+    for (std::size_t a = 0; a < names.size(); ++a) {
+        if (a > 0)
+            out += ',';
+        out += "{\"name\":\"";
+        out += core::jsonEscape(names[a]);
+        out += "\",\"patterns\":";
+        out += std::to_string(merged[a].patterns.size());
+        out += ",\"recurring\":";
+        out += std::to_string(merged[a].recurringCount());
+        out += "}";
+    }
+    out += "]}";
+    return out;
+}
+
+std::string
+refreshJson(const RefreshResult &result)
+{
+    std::string out = "{\"recomputed\":[";
+    for (std::size_t i = 0; i < result.recomputedApps.size(); ++i) {
+        if (i > 0)
+            out += ',';
+        out += '"';
+        out += core::jsonEscape(result.recomputedApps[i]);
+        out += '"';
+    }
+    out += "],\"unchanged\":";
+    out += std::to_string(result.unchanged);
+    out += "}";
+    return out;
+}
+
+HotStore::HotStore(app::StudyConfig config, engine::ThreadPool &pool)
+    : study_(std::move(config)),
+      cache_(study_.config().cacheDir,
+             study_.config().fingerprint()),
+      pool_(pool)
+{
+    appNames_.reserve(study_.config().apps.size());
+    for (const app::AppParams &params : study_.config().apps)
+        appNames_.push_back(params.name);
+}
+
+HotStore::AppState
+HotStore::buildState(std::size_t app_index,
+                     engine::AppAggregate aggregate)
+{
+    AppState state;
+    state.merged = std::move(aggregate.merged);
+    state.figures = engine::averageSessionAnalyses(
+        appNames_[app_index], aggregate.sessions);
+    // Digest AFTER aggregation: misses just wrote fresh entries,
+    // and the stamp must describe the bytes this state was built
+    // from, or the next refresh would re-do clean apps.
+    state.digest = cache_.appDigest(
+        appNames_[app_index], study_.config().sessionsPerApp);
+    return state;
+}
+
+void
+HotStore::load()
+{
+    LAG_SPAN_ARG("serve.store.load", "apps", appNames_.size());
+    study_.validate();
+
+    const engine::AggregateOptions options{
+        study_.config().incremental};
+    const engine::StudyAggregate aggregate =
+        engine::aggregateFromCache(
+            cache_, appNames_, study_.config().sessionsPerApp,
+            study_.config().perceptibleThreshold, pool_,
+            [this](std::size_t a, std::uint32_t s) {
+                return study_.loadSession(a, s);
+            },
+            options);
+
+    MutexLock lock(mutex_);
+    apps_.clear();
+    apps_.reserve(appNames_.size());
+    for (std::size_t a = 0; a < appNames_.size(); ++a) {
+        AppState state;
+        state.merged = aggregate.merged[a];
+        state.figures = engine::averageSessionAnalyses(
+            appNames_[a], aggregate.grid[a]);
+        state.digest = cache_.appDigest(
+            appNames_[a], study_.config().sessionsPerApp);
+        apps_.push_back(std::move(state));
+    }
+    loaded_ = true;
+}
+
+RefreshResult
+HotStore::refresh()
+{
+    LAG_SPAN_ARG("serve.store.refresh", "apps", appNames_.size());
+    RefreshResult result;
+
+    MutexLock lock(mutex_);
+    lag_assert(loaded_, "refresh() before load()");
+    for (std::size_t a = 0; a < appNames_.size(); ++a) {
+        const std::uint64_t digest = cache_.appDigest(
+            appNames_[a], study_.config().sessionsPerApp);
+        if (digest == apps_[a].digest) {
+            ++result.unchanged;
+            continue;
+        }
+        engine::AppAggregate aggregate =
+            engine::aggregateAppFromCache(
+                cache_, appNames_[a], a,
+                study_.config().sessionsPerApp,
+                study_.config().perceptibleThreshold,
+                [this](std::size_t app, std::uint32_t s) {
+                    return study_.loadSession(app, s);
+                },
+                engine::AggregateOptions{
+                    study_.config().incremental});
+        apps_[a] = buildState(a, std::move(aggregate));
+        refreshRecomputedCounter().add(1);
+        result.recomputedApps.push_back(appNames_[a]);
+    }
+    return result;
+}
+
+std::size_t
+HotStore::appCount() const
+{
+    return appNames_.size();
+}
+
+std::ptrdiff_t
+HotStore::appIndex(const HttpRequest &request) const
+{
+    const std::string *app = request.queryParam("app");
+    if (app == nullptr)
+        return -1;
+    for (std::size_t a = 0; a < appNames_.size(); ++a) {
+        if (appNames_[a] == *app)
+            return static_cast<std::ptrdiff_t>(a);
+    }
+    return -1;
+}
+
+HttpResponse
+HotStore::handleApps(const HttpRequest &)
+{
+    MutexLock lock(mutex_);
+    if (!loaded_)
+        return errorResponse(503, "store not loaded");
+    std::vector<core::MergedPatternSet> merged;
+    merged.reserve(apps_.size());
+    for (const AppState &state : apps_)
+        merged.push_back(state.merged);
+    HttpResponse response;
+    response.body = appsJson(
+        appNames_, study_.config().sessionsPerApp, merged);
+    return response;
+}
+
+HttpResponse
+HotStore::handlePatterns(const HttpRequest &request)
+{
+    std::string sort = "episodes";
+    if (const std::string *s = request.queryParam("sort"))
+        sort = *s;
+    std::size_t limit = 0;
+    if (const std::string *l = request.queryParam("limit")) {
+        const auto *first = l->data();
+        const auto *last = first + l->size();
+        const auto parsed = std::from_chars(first, last, limit);
+        if (parsed.ec != std::errc{} || parsed.ptr != last)
+            return errorResponse(400, "malformed limit");
+    }
+
+    MutexLock lock(mutex_);
+    if (!loaded_)
+        return errorResponse(503, "store not loaded");
+    const std::ptrdiff_t a = appIndex(request);
+    if (a < 0)
+        return errorResponse(404, "unknown app");
+    HttpResponse response;
+    response.body = core::patternsJson(
+        appNames_[static_cast<std::size_t>(a)],
+        apps_[static_cast<std::size_t>(a)].merged, sort, limit);
+    if (response.body.empty())
+        return errorResponse(400, "unknown sort key");
+    return response;
+}
+
+HttpResponse
+HotStore::handleCdf(const HttpRequest &request)
+{
+    MutexLock lock(mutex_);
+    if (!loaded_)
+        return errorResponse(503, "store not loaded");
+    const std::ptrdiff_t a = appIndex(request);
+    if (a < 0)
+        return errorResponse(404, "unknown app");
+    HttpResponse response;
+    response.body = core::cdfJson(
+        appNames_[static_cast<std::size_t>(a)],
+        apps_[static_cast<std::size_t>(a)]
+            .figures.cdfEpisodesAtPatternPercent);
+    return response;
+}
+
+HttpResponse
+HotStore::handleEpisodes(const HttpRequest &request)
+{
+    const std::string *pattern = request.queryParam("pattern");
+    if (pattern == nullptr)
+        return errorResponse(400, "missing pattern parameter");
+    std::uint64_t key = 0;
+    if (!core::parsePatternKeyHex(*pattern, key))
+        return errorResponse(400, "malformed pattern key");
+
+    MutexLock lock(mutex_);
+    if (!loaded_)
+        return errorResponse(503, "store not loaded");
+    const std::ptrdiff_t a = appIndex(request);
+    if (a < 0)
+        return errorResponse(404, "unknown app");
+    const AppState &state = apps_[static_cast<std::size_t>(a)];
+    for (const core::MergedPattern &p : state.merged.patterns) {
+        if (p.key == key) {
+            HttpResponse response;
+            response.body = core::episodesJson(
+                appNames_[static_cast<std::size_t>(a)], p,
+                state.merged.sessionCount);
+            return response;
+        }
+    }
+    return errorResponse(404, "unknown pattern");
+}
+
+HttpResponse
+HotStore::handleFigure(const HttpRequest &request)
+{
+    constexpr std::string_view prefix = "/v1/figures/";
+    const std::string_view id =
+        std::string_view(request.path).substr(prefix.size());
+
+    MutexLock lock(mutex_);
+    if (!loaded_)
+        return errorResponse(503, "store not loaded");
+    std::vector<core::AppFigureData> figures;
+    figures.reserve(apps_.size());
+    for (const AppState &state : apps_)
+        figures.push_back(state.figures);
+    HttpResponse response;
+    response.body = core::figureJson(id, figures);
+    if (response.body.empty())
+        return errorResponse(404, "unknown figure id");
+    return response;
+}
+
+HttpResponse
+HotStore::handleHealth(const HttpRequest &)
+{
+    MutexLock lock(mutex_);
+    HttpResponse response;
+    response.body = "{\"status\":\"";
+    response.body += loaded_ ? "ok" : "loading";
+    response.body += "\",\"apps\":";
+    response.body += std::to_string(appNames_.size());
+    response.body += "}";
+    return response;
+}
+
+HttpResponse
+HotStore::handleMetrics(const HttpRequest &)
+{
+    HttpResponse response;
+    response.body = obs::metrics().dumpJson();
+    return response;
+}
+
+HttpResponse
+HotStore::handleRefresh(const HttpRequest &)
+{
+    HttpResponse response;
+    response.body = refreshJson(refresh());
+    return response;
+}
+
+void
+HotStore::installRoutes(Router &router)
+{
+    const auto bind = [this](HttpResponse (HotStore::*method)(
+                          const HttpRequest &)) {
+        return [this, method](const HttpRequest &request) {
+            return (this->*method)(request);
+        };
+    };
+    router.addExact("GET", "/healthz",
+                    bind(&HotStore::handleHealth));
+    router.addExact("GET", "/metricsz",
+                    bind(&HotStore::handleMetrics));
+    router.addExact("GET", "/v1/apps", bind(&HotStore::handleApps));
+    router.addExact("GET", "/v1/patterns",
+                    bind(&HotStore::handlePatterns));
+    router.addExact("GET", "/v1/cdf", bind(&HotStore::handleCdf));
+    router.addExact("GET", "/v1/episodes",
+                    bind(&HotStore::handleEpisodes));
+    router.addPrefix("GET", "/v1/figures/",
+                     bind(&HotStore::handleFigure));
+    router.addExact("POST", "/v1/refresh",
+                    bind(&HotStore::handleRefresh));
+}
+
+} // namespace lag::serve

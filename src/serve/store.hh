@@ -1,0 +1,141 @@
+/**
+ * @file
+ * lagd's hot state: every app's merged pattern set and figure
+ * inputs, loaded once from the result cache and invalidated per
+ * app by content fingerprint.
+ *
+ * load() runs the full engine::aggregateFromCache fan-out and
+ * stamps each app with ResultCache::appDigest — the FNV-1a digest
+ * of its contributing `.ares` bytes. refresh() re-reads only the
+ * digests (cheap: file bytes, no decode) and re-aggregates only
+ * the apps whose digest moved, so a `POST /v1/refresh` after one
+ * app's entries changed touches exactly that app — provable via
+ * the `serve.refresh.recomputed` counter and the engine's
+ * `cache.aggregate.*` counters.
+ *
+ * Every response body comes out of the shared core/figure_json
+ * emitters, the same functions the batch reference path uses — the
+ * "server output is byte-identical to batch output" criterion is
+ * structural, not maintained.
+ *
+ * Locking: one Mutex at LockRank::Serve guards the app states.
+ * refresh() holds it across the re-aggregation (which acquires
+ * engine ranks beneath it — the reason Serve sits above every
+ * other rank); readers therefore always see a complete generation,
+ * never a half-refreshed one.
+ */
+
+#ifndef LAG_SERVE_STORE_HH
+#define LAG_SERVE_STORE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "app/study.hh"
+#include "core/figure_json.hh"
+#include "engine/incremental.hh"
+#include "engine/pool.hh"
+#include "engine/result_cache.hh"
+#include "http.hh"
+#include "router.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
+
+namespace lag::serve
+{
+
+/**
+ * `/v1/apps` body for the given study shape. Free function so the
+ * equivalence tests can derive the reference bytes from a batch
+ * aggregate with the exact same code.
+ */
+std::string appsJson(const std::vector<std::string> &names,
+                     std::uint32_t sessions_per_app,
+                     const std::vector<core::MergedPatternSet> &merged);
+
+/** What one refresh() pass did. */
+struct RefreshResult
+{
+    /** Apps whose digest moved and were re-aggregated. */
+    std::vector<std::string> recomputedApps;
+
+    /** Apps whose digest was unchanged (left untouched). */
+    std::size_t unchanged = 0;
+};
+
+/** `POST /v1/refresh` body for @p result. */
+std::string refreshJson(const RefreshResult &result);
+
+/** In-memory query state over one study's result cache. */
+class HotStore
+{
+  public:
+    /** @param config the study to serve; @param pool the engine
+     * pool used by the initial full load (refresh is serial). */
+    HotStore(app::StudyConfig config, engine::ThreadPool &pool);
+
+    /**
+     * Full load: validate the study cache, aggregate every app from
+     * the result cache on the pool (simulating/analyzing misses),
+     * session-average the figure inputs, stamp digests. Call once
+     * before serving.
+     */
+    void load();
+
+    /**
+     * Re-check every app's digest; re-aggregate the changed ones
+     * serially (safe from a pool worker — see
+     * engine::aggregateAppFromCache). Bumps
+     * `serve.refresh.recomputed` once per recomputed app.
+     */
+    RefreshResult refresh();
+
+    /** Register every endpoint on @p router:
+     * GET /healthz, /metricsz, /v1/apps, /v1/patterns, /v1/cdf,
+     * /v1/episodes, /v1/figures/<id>; POST /v1/refresh. */
+    void installRoutes(Router &router);
+
+    /** App count (for startup logging). */
+    std::size_t appCount() const;
+
+  private:
+    /** One app's generation: digest + everything queries read. */
+    struct AppState
+    {
+        std::uint64_t digest = 0;
+        core::MergedPatternSet merged;
+        core::AppFigureData figures;
+    };
+
+    /** Rebuild one app's state from its aggregate. */
+    AppState buildState(std::size_t app_index,
+                        engine::AppAggregate aggregate);
+
+    /** Resolve ?app= to an index; -1 when absent/unknown. */
+    std::ptrdiff_t
+    appIndex(const HttpRequest &request) const
+        LAG_REQUIRES(mutex_);
+
+    HttpResponse handleApps(const HttpRequest &request);
+    HttpResponse handlePatterns(const HttpRequest &request);
+    HttpResponse handleCdf(const HttpRequest &request);
+    HttpResponse handleEpisodes(const HttpRequest &request);
+    HttpResponse handleFigure(const HttpRequest &request);
+    HttpResponse handleHealth(const HttpRequest &request);
+    HttpResponse handleMetrics(const HttpRequest &request);
+    HttpResponse handleRefresh(const HttpRequest &request);
+
+    app::Study study_;
+    engine::ResultCache cache_;
+    engine::ThreadPool &pool_;
+    std::vector<std::string> appNames_;
+
+    mutable Mutex mutex_{LockRank::Serve, "serve-hot-store"};
+    std::vector<AppState> apps_ LAG_GUARDED_BY(mutex_);
+    bool loaded_ LAG_GUARDED_BY(mutex_) = false;
+};
+
+} // namespace lag::serve
+
+#endif // LAG_SERVE_STORE_HH

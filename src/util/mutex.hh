@@ -49,6 +49,11 @@ namespace lag
  */
 enum class LockRank : int
 {
+    /** Serve-layer hot state (serve::HotStore, HttpServer
+     * bookkeeping): held while whole engine aggregations run
+     * underneath, so it sits above every other rank. */
+    Serve = 1100,
+
     /** Ad-hoc client/test state built on top of the engine. */
     Client = 1000,
 

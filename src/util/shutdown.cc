@@ -1,0 +1,128 @@
+#include "shutdown.hh"
+
+#include <atomic>
+#include <csignal>
+#include <cstdlib>
+#include <thread>
+#include <unistd.h>
+#include <utility>
+#include <vector>
+
+#include "logging.hh"
+#include "mutex.hh"
+
+namespace lag
+{
+
+namespace
+{
+
+/** Self-pipe: [0] is polled, [1] is written from the handler. */
+int g_pipe[2] = {-1, -1};
+
+std::atomic<int> g_signal{0};
+std::atomic<bool> g_installed{false};
+std::atomic<bool> g_callbacksRan{false};
+
+Mutex &
+callbackMutex()
+{
+    static Mutex mutex(LockRank::Client, "shutdown-callbacks");
+    return mutex;
+}
+
+std::vector<std::function<void()>> &
+callbacks()
+{
+    static std::vector<std::function<void()>> list;
+    return list;
+}
+
+extern "C" void
+handleShutdownSignal(int sig)
+{
+    // Async-signal-safe on purpose: store + one write(), nothing
+    // else. Everything heavier runs on ordinary threads.
+    int expected = 0;
+    g_signal.compare_exchange_strong(expected, sig);
+    const char byte = 1;
+    [[maybe_unused]] const ssize_t n = write(g_pipe[1], &byte, 1);
+}
+
+} // namespace
+
+void
+installShutdownHandler(ShutdownMode mode)
+{
+    bool expected = false;
+    if (!g_installed.compare_exchange_strong(expected, true))
+        return; // first caller fixed the mode
+
+    if (pipe(g_pipe) != 0) {
+        warn("shutdown: cannot create self-pipe; ^C will not flush");
+        g_pipe[0] = g_pipe[1] = -1;
+        return;
+    }
+
+    struct sigaction action = {};
+    action.sa_handler = handleShutdownSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0; // interrupt blocking syscalls on purpose
+    sigaction(SIGINT, &action, nullptr);
+    sigaction(SIGTERM, &action, nullptr);
+
+    if (mode == ShutdownMode::FlushAndExit) {
+        std::thread([] {
+            char byte = 0;
+            while (read(g_pipe[0], &byte, 1) < 0) {
+                // EINTR: another signal landed while we waited.
+            }
+            runShutdownCallbacks();
+            std::_Exit(128 + g_signal.load());
+        }).detach();
+    }
+}
+
+bool
+shutdownRequested()
+{
+    return g_signal.load() != 0;
+}
+
+int
+shutdownPollFd()
+{
+    return g_pipe[0];
+}
+
+int
+shutdownSignal()
+{
+    return g_signal.load();
+}
+
+void
+onShutdown(std::function<void()> fn)
+{
+    MutexLock lock(callbackMutex());
+    callbacks().push_back(std::move(fn));
+}
+
+void
+runShutdownCallbacks()
+{
+    bool expected = false;
+    if (!g_callbacksRan.compare_exchange_strong(expected, true))
+        return;
+    // Copy out so callbacks (which may log or register more state)
+    // never run under the list lock.
+    std::vector<std::function<void()>> list;
+    {
+        MutexLock lock(callbackMutex());
+        list = callbacks();
+    }
+    for (const auto &fn : list)
+        fn();
+}
+
+} // namespace lag

@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Unified SIGINT/SIGTERM handling for daemons and batch harnesses.
+ *
+ * Two kinds of process share this machinery. A *batch* harness
+ * (bench, example) wants its exporters flushed before dying on ^C
+ * instead of leaving a half-written `--metrics-out` file: it (or
+ * obs::install on its behalf) arms FlushAndExit mode, and a watcher
+ * thread runs the registered callbacks on the first signal and
+ * exits with the conventional 128+signo status. A *daemon* (`lagd`)
+ * wants to keep control: it arms Graceful mode, polls
+ * shutdownPollFd() / shutdownRequested() from its own loop, drains
+ * in-flight work, and runs the callbacks itself on the way out.
+ *
+ * The first installShutdownHandler() call fixes the mode for the
+ * process; later calls (e.g. obs::install defaulting to
+ * FlushAndExit after a daemon already chose Graceful) are no-ops,
+ * so a daemon simply arms Graceful before installing exporters.
+ *
+ * The handler itself only stores the signal number and writes one
+ * byte to a self-pipe — strictly async-signal-safe; everything else
+ * happens on ordinary threads.
+ */
+
+#ifndef LAG_UTIL_SHUTDOWN_HH
+#define LAG_UTIL_SHUTDOWN_HH
+
+#include <functional>
+
+namespace lag
+{
+
+/** What happens after a shutdown signal arrives. */
+enum class ShutdownMode
+{
+    /** Main polls shutdownRequested()/shutdownPollFd() and drains
+     * on its own; callbacks run when it calls
+     * runShutdownCallbacks(). */
+    Graceful,
+
+    /** A watcher thread runs the callbacks on the first signal and
+     * then _Exits with 128+signo — the batch-harness default. */
+    FlushAndExit,
+};
+
+/**
+ * Arm SIGINT/SIGTERM capture (idempotent; the first call fixes
+ * @p mode). Safe to call from any thread before signals are
+ * expected.
+ */
+void installShutdownHandler(ShutdownMode mode);
+
+/** True once a SIGINT or SIGTERM was caught. */
+bool shutdownRequested();
+
+/**
+ * A file descriptor that becomes readable on the first caught
+ * signal — poll it alongside listen sockets to wake an accept or
+ * event loop. -1 until installShutdownHandler() ran.
+ */
+int shutdownPollFd();
+
+/** The caught signal number, 0 while none arrived. */
+int shutdownSignal();
+
+/**
+ * Register @p fn to run at shutdown (exporter flushes, cache
+ * syncs). In FlushAndExit mode the watcher runs the callbacks; in
+ * Graceful mode the owner calls runShutdownCallbacks() itself.
+ * Callbacks run in registration order, outside any lock.
+ */
+void onShutdown(std::function<void()> fn);
+
+/** Run the registered callbacks once (idempotent). */
+void runShutdownCallbacks();
+
+} // namespace lag
+
+#endif // LAG_UTIL_SHUTDOWN_HH

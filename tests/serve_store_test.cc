@@ -1,0 +1,381 @@
+/**
+ * @file
+ * serve store tests: every /v1 response a live lagd-shaped server
+ * returns must be byte-identical to the batch reference — a cold
+ * full `aggregateFromCache(incremental=false)` fed through the same
+ * core/figure_json emitters — and `POST /v1/refresh` must recompute
+ * exactly the apps whose `.ares` bytes changed, provable through
+ * `serve.refresh.recomputed` and the engine's `cache.aggregate.*`
+ * counters. Everything the server says must be strict JSON.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <filesystem>
+#include <string>
+#include <string_view>
+#include <tuple>
+#include <utility>
+#include <vector>
+
+#include "app/study.hh"
+#include "core/figure_json.hh"
+#include "engine/incremental.hh"
+#include "engine/pool.hh"
+#include "engine/result_cache.hh"
+#include "obs/json_check.hh"
+#include "obs/metrics.hh"
+#include "serve/client.hh"
+#include "serve/router.hh"
+#include "serve/server.hh"
+#include "serve/store.hh"
+
+namespace lag::serve
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Scoped cache directory: clean before and after the test. */
+struct CacheDir
+{
+    std::string path;
+
+    explicit CacheDir(std::string p) : path(std::move(p))
+    {
+        fs::remove_all(path);
+    }
+
+    ~CacheDir() { fs::remove_all(path); }
+};
+
+/** A tiny quick study (first 2 apps, 2 sessions each) with a
+ * private cache dir — small enough that the full load and the cold
+ * reference both run in seconds. */
+app::StudyConfig
+tinyStudy(const std::string &cache_dir)
+{
+    app::StudyConfig config = app::StudyConfig::quickStudy(5);
+    config.apps.resize(2);
+    config.sessionsPerApp = 2;
+    config.cacheDir = cache_dir;
+    return config;
+}
+
+/** Percent-encode anything a query value cannot carry raw. */
+std::string
+urlEncode(const std::string &text)
+{
+    static const char hex[] = "0123456789ABCDEF";
+    std::string out;
+    for (const char c : text) {
+        const bool plain = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9') || c == '-' ||
+                           c == '_' || c == '.' || c == '~';
+        if (plain) {
+            out.push_back(c);
+        } else {
+            out.push_back('%');
+            out.push_back(hex[(static_cast<unsigned char>(c) >> 4)]);
+            out.push_back(hex[(static_cast<unsigned char>(c) & 0xf)]);
+        }
+    }
+    return out;
+}
+
+/** The batch side of the equivalence: a cold, non-incremental full
+ * aggregation (never touches the `.ares` cache) pushed through the
+ * same emitters the server uses. */
+struct Reference
+{
+    std::vector<std::string> names;
+    std::vector<core::MergedPatternSet> merged;
+    std::vector<core::AppFigureData> figures;
+
+    Reference(const app::StudyConfig &config,
+              engine::ThreadPool &pool)
+    {
+        app::Study study(config);
+        study.validate();
+        for (const app::AppParams &params : config.apps)
+            names.push_back(params.name);
+        const engine::ResultCache cache(config.cacheDir,
+                                        config.fingerprint());
+        engine::AggregateOptions options;
+        options.incremental = false;
+        const engine::StudyAggregate aggregate =
+            engine::aggregateFromCache(
+                cache, names, config.sessionsPerApp,
+                config.perceptibleThreshold, pool,
+                [&study](std::size_t a, std::uint32_t s) {
+                    return study.loadSession(a, s);
+                },
+                options);
+        merged = aggregate.merged;
+        for (std::size_t a = 0; a < names.size(); ++a)
+            figures.push_back(engine::averageSessionAnalyses(
+                names[a], aggregate.grid[a]));
+    }
+};
+
+/** A live server over a freshly loaded HotStore. */
+struct LiveServer
+{
+    engine::ThreadPool pool{2};
+    HotStore store;
+    HttpServer server;
+
+    explicit LiveServer(const app::StudyConfig &config)
+        : store(config, pool),
+          server(ServerConfig{}, routedStore(), pool)
+    {
+        server.start();
+    }
+
+    ~LiveServer() { server.stop(); }
+
+    Router
+    routedStore()
+    {
+        store.load();
+        Router router;
+        store.installRoutes(router);
+        return router;
+    }
+
+    /** GET @p target; asserts transport success and strict JSON. */
+    ClientResult
+    get(const std::string &target)
+    {
+        ClientOptions options;
+        options.port = server.port();
+        const ClientResult result =
+            httpRequest(options, "GET", target);
+        EXPECT_TRUE(result.ok) << target << ": " << result.error;
+        EXPECT_TRUE(obs::checkJson(result.body).ok)
+            << target << ": " << result.body;
+        return result;
+    }
+
+    ClientResult
+    post(const std::string &target)
+    {
+        ClientOptions options;
+        options.port = server.port();
+        const ClientResult result =
+            httpRequest(options, "POST", target);
+        EXPECT_TRUE(result.ok) << target << ": " << result.error;
+        EXPECT_TRUE(obs::checkJson(result.body).ok)
+            << target << ": " << result.body;
+        return result;
+    }
+};
+
+TEST(ServeStore, ResponsesByteIdenticalToBatchReference)
+{
+    const CacheDir cache_dir("lagalyzer-cache-serve-equiv-test");
+    const app::StudyConfig config = tinyStudy(cache_dir.path);
+
+    LiveServer live(config);
+    const Reference reference(config, live.pool);
+
+    // /v1/apps
+    {
+        const ClientResult result = live.get("/v1/apps");
+        EXPECT_EQ(result.status, 200);
+        EXPECT_EQ(result.body,
+                  appsJson(reference.names, config.sessionsPerApp,
+                           reference.merged));
+    }
+
+    for (std::size_t a = 0; a < reference.names.size(); ++a) {
+        const std::string app = urlEncode(reference.names[a]);
+
+        // /v1/patterns: every sort key, unlimited and limited.
+        for (const std::string_view sort : core::kPatternSortKeys) {
+            for (const std::size_t limit : {std::size_t{0},
+                                            std::size_t{3}}) {
+                std::string target = "/v1/patterns?app=" + app +
+                                     "&sort=" + std::string(sort);
+                if (limit != 0)
+                    target += "&limit=" + std::to_string(limit);
+                const ClientResult result = live.get(target);
+                EXPECT_EQ(result.status, 200) << target;
+                EXPECT_EQ(result.body,
+                          core::patternsJson(reference.names[a],
+                                             reference.merged[a],
+                                             sort, limit))
+                    << target;
+            }
+        }
+
+        // Default sort is "episodes", default limit is "all".
+        {
+            const ClientResult result =
+                live.get("/v1/patterns?app=" + app);
+            EXPECT_EQ(result.body,
+                      core::patternsJson(reference.names[a],
+                                         reference.merged[a],
+                                         "episodes", 0));
+        }
+
+        // /v1/cdf
+        {
+            const ClientResult result =
+                live.get("/v1/cdf?app=" + app);
+            EXPECT_EQ(result.status, 200);
+            EXPECT_EQ(result.body,
+                      core::cdfJson(
+                          reference.names[a],
+                          reference.figures[a]
+                              .cdfEpisodesAtPatternPercent));
+        }
+
+        // /v1/episodes for every merged pattern of this app.
+        for (const core::MergedPattern &pattern :
+             reference.merged[a].patterns) {
+            const std::string target =
+                "/v1/episodes?app=" + app + "&pattern=" +
+                core::patternKeyHex(pattern.key);
+            const ClientResult result = live.get(target);
+            EXPECT_EQ(result.status, 200) << target;
+            EXPECT_EQ(result.body,
+                      core::episodesJson(
+                          reference.names[a], pattern,
+                          reference.merged[a].sessionCount))
+                << target;
+        }
+    }
+
+    // /v1/figures/<id> for every figure and table.
+    for (const std::string &id : core::figureIds()) {
+        const ClientResult result = live.get("/v1/figures/" + id);
+        EXPECT_EQ(result.status, 200) << id;
+        EXPECT_EQ(result.body,
+                  core::figureJson(id, reference.figures))
+            << id;
+    }
+
+    // Health and metrics are strict JSON too (checked in get()).
+    EXPECT_EQ(live.get("/healthz").status, 200);
+    EXPECT_EQ(live.get("/metricsz").status, 200);
+
+    // Error paths the querier hits in practice.
+    EXPECT_EQ(live.get("/v1/patterns?app=no-such-app").status, 404);
+    EXPECT_EQ(live.get("/v1/patterns?app=" +
+                       urlEncode(reference.names[0]) +
+                       "&sort=bogus")
+                  .status,
+              400);
+    EXPECT_EQ(live.get("/v1/patterns?app=" +
+                       urlEncode(reference.names[0]) +
+                       "&limit=three")
+                  .status,
+              400);
+    EXPECT_EQ(live.get("/v1/cdf").status, 404);
+    EXPECT_EQ(live.get("/v1/episodes?app=" +
+                       urlEncode(reference.names[0]))
+                  .status,
+              400);
+    EXPECT_EQ(live.get("/v1/episodes?app=" +
+                       urlEncode(reference.names[0]) +
+                       "&pattern=zzzz")
+                  .status,
+              400);
+    EXPECT_EQ(live.get("/v1/episodes?app=" +
+                       urlEncode(reference.names[0]) +
+                       "&pattern=ffffffffffffffff")
+                  .status,
+              404);
+    EXPECT_EQ(live.get("/v1/figures/fig99").status, 404);
+}
+
+TEST(ServeStore, RefreshRecomputesExactlyTheDirtiedApp)
+{
+    const CacheDir cache_dir("lagalyzer-cache-serve-refresh-test");
+    const app::StudyConfig config = tinyStudy(cache_dir.path);
+
+    LiveServer live(config);
+    const engine::ResultCache cache(config.cacheDir,
+                                    config.fingerprint());
+
+    const auto counters = [] {
+        const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+        return std::make_tuple(
+            snap.counterValue("serve.refresh.recomputed"),
+            snap.counterValue("cache.aggregate.recomputed"),
+            snap.counterValue("cache.aggregate.cached"));
+    };
+
+    // A no-op refresh: nothing changed, nothing recomputed.
+    const auto before_noop = counters();
+    {
+        const ClientResult result = live.post("/v1/refresh");
+        EXPECT_EQ(result.status, 200);
+        EXPECT_EQ(result.body, "{\"recomputed\":[],\"unchanged\":" +
+                                   std::to_string(
+                                       config.apps.size()) +
+                                   "}");
+    }
+    const auto after_noop = counters();
+    EXPECT_EQ(std::get<0>(after_noop), std::get<0>(before_noop));
+    EXPECT_EQ(std::get<1>(after_noop), std::get<1>(before_noop));
+    EXPECT_EQ(std::get<2>(after_noop), std::get<2>(before_noop));
+
+    // Dirty exactly app 0: delete its cache entries. The digest
+    // treats present-vs-absent as a change, so refresh must
+    // re-aggregate app 0 (recomputing every session) and must not
+    // touch app 1 at all.
+    const std::string &dirty = config.apps[0].name;
+    for (std::uint32_t s = 0; s < config.sessionsPerApp; ++s)
+        ASSERT_TRUE(fs::remove(cache.entryPath(dirty, s)))
+            << cache.entryPath(dirty, s);
+
+    const auto before = counters();
+    {
+        const ClientResult result = live.post("/v1/refresh");
+        EXPECT_EQ(result.status, 200);
+        EXPECT_EQ(result.body,
+                  "{\"recomputed\":[\"" + core::jsonEscape(dirty) +
+                      "\"],\"unchanged\":" +
+                      std::to_string(config.apps.size() - 1) + "}");
+    }
+    const auto after = counters();
+    // One app recomputed...
+    EXPECT_EQ(std::get<0>(after), std::get<0>(before) + 1);
+    // ...all of its sessions from scratch...
+    EXPECT_EQ(std::get<1>(after),
+              std::get<1>(before) + config.sessionsPerApp);
+    // ...and zero sessions of any other app even re-read.
+    EXPECT_EQ(std::get<2>(after), std::get<2>(before));
+
+    // Post-refresh responses are byte-identical to a cold full
+    // batch aggregation — the invalidation lost nothing.
+    const Reference reference(config, live.pool);
+    for (std::size_t a = 0; a < reference.names.size(); ++a) {
+        const ClientResult result = live.get(
+            "/v1/patterns?app=" + urlEncode(reference.names[a]) +
+            "&sort=total_lag");
+        EXPECT_EQ(result.status, 200);
+        EXPECT_EQ(result.body,
+                  core::patternsJson(reference.names[a],
+                                     reference.merged[a],
+                                     "total_lag", 0));
+    }
+    const ClientResult apps = live.get("/v1/apps");
+    EXPECT_EQ(apps.body,
+              appsJson(reference.names, config.sessionsPerApp,
+                       reference.merged));
+
+    // And a second refresh right after is a no-op again.
+    const ClientResult again = live.post("/v1/refresh");
+    EXPECT_EQ(again.body, "{\"recomputed\":[],\"unchanged\":" +
+                              std::to_string(config.apps.size()) +
+                              "}");
+}
+
+} // namespace
+} // namespace lag::serve

@@ -1,0 +1,94 @@
+/**
+ * @file
+ * lag_query — command-line client for lagd.
+ *
+ * Sends one HTTP request to a running lagd and prints the response
+ * body to stdout. No curl in the container, and none needed: it
+ * speaks exactly lagd's HTTP/1.1 dialect via serve::httpRequest —
+ * the same client code the serve tests and the CI smoke exercise.
+ *
+ * Usage: ./lag_query [--host H] [--port N] [--timeout-ms N]
+ *                    [--post] PATH
+ *
+ *   PATH          request target, e.g. /healthz or
+ *                 "/v1/patterns?app=GanttProject&sort=total_lag"
+ *   --post        send POST instead of GET (for /v1/refresh)
+ *   --port        default 8437 or LAGALYZER_SERVE_PORT
+ *
+ * Exit status: 0 on a 2xx response, 1 on any other HTTP status,
+ * 2 on usage or transport errors — so shell scripts can gate on
+ * "query succeeded" without parsing anything.
+ */
+
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+
+#include "serve/client.hh"
+
+namespace
+{
+
+int
+usage()
+{
+    std::cerr << "usage: lag_query [--host H] [--port N] "
+                 "[--timeout-ms N] [--post] PATH\n";
+    return 2;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    lag::serve::ClientOptions options;
+    options.port = 8437;
+    if (const char *env = std::getenv("LAGALYZER_SERVE_PORT");
+        env != nullptr && env[0] != '\0')
+        options.port = static_cast<std::uint16_t>(std::atoi(env));
+
+    std::string method = "GET";
+    std::string target;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg(argv[i]);
+        if (arg == "--host") {
+            if (i + 1 >= argc)
+                return usage();
+            options.host = argv[++i];
+        } else if (arg == "--port") {
+            if (i + 1 >= argc)
+                return usage();
+            options.port =
+                static_cast<std::uint16_t>(std::atoi(argv[++i]));
+        } else if (arg == "--timeout-ms") {
+            if (i + 1 >= argc)
+                return usage();
+            options.timeoutMs = std::atoi(argv[++i]);
+        } else if (arg == "--post") {
+            method = "POST";
+        } else if (!arg.empty() && arg[0] == '/') {
+            if (!target.empty())
+                return usage();
+            target = std::string(arg);
+        } else {
+            return usage();
+        }
+    }
+    if (target.empty())
+        return usage();
+
+    const lag::serve::ClientResult result =
+        lag::serve::httpRequest(options, method, target);
+    if (!result.ok) {
+        std::cerr << "lag_query: " << result.error << '\n';
+        return 2;
+    }
+    std::cout << result.body << '\n';
+    if (result.status < 200 || result.status >= 300) {
+        std::cerr << "lag_query: HTTP " << result.status << '\n';
+        return 1;
+    }
+    return 0;
+}
