@@ -40,6 +40,13 @@ cmake --build "$build" -j "$jobs"
 echo "== lint (ctest -L lint)"
 (cd "$build" && ctest -L lint --output-on-failure)
 
+echo "== lag_check (layering + lock discipline)"
+"$build/tools/lag_check" --root "$root" --summary \
+    --json "$build/lag_check_report.json" src tools
+
+echo "== clang-tidy (new findings vs ci/clang_tidy_baseline)"
+"$root/tools/run_clang_tidy.sh" "$build"
+
 echo "== tier-1 suite"
 (cd "$build" && ctest --output-on-failure -j "$jobs")
 

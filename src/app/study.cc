@@ -13,7 +13,6 @@
 #include "trace/io.hh"
 #include "util/hash.hh"
 #include "util/logging.hh"
-#include "util/strings.hh"
 
 namespace lag::app
 {

@@ -67,6 +67,8 @@ class TaskGraph
     void onNodeDone(ThreadPool &pool, std::uint32_t index,
                     bool failed);
 
+    bool ran_ = false; ///< touched only by the run() caller
+
     /** Guards every node's mutable fields (state, remainingDeps)
      * as well as the completion accounting. The graph *structure*
      * (node count, edges) is fixed before run() and uncontended,
@@ -74,7 +76,6 @@ class TaskGraph
      * annotation sound and costs nothing off the hot path. */
     mutable Mutex mutex_{LockRank::TaskGraph, "task-graph"};
     std::vector<TaskNode> nodes_ LAG_GUARDED_BY(mutex_);
-    bool ran_ = false; ///< touched only by the run() caller
     std::condition_variable_any doneCv_;
     std::size_t settled_ LAG_GUARDED_BY(mutex_) = 0;
     std::exception_ptr firstError_ LAG_GUARDED_BY(mutex_);

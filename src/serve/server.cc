@@ -212,6 +212,20 @@ HttpServer::acceptLoop()
             serveMetrics().rejected.add(1);
             writeResponse(conn,
                           errorResponse(503, "server busy"));
+            // The client is usually still sending its request;
+            // close() with unread bytes in the receive buffer
+            // turns into a RST that can discard the in-flight
+            // 503. Half-close our side and drain (briefly,
+            // bounded) until the client sees the response and
+            // closes.
+            ::shutdown(conn, SHUT_WR);
+            char sink[256];
+            pollfd drainFd{conn, POLLIN, 0};
+            for (int spin = 0; spin < 32; ++spin) {
+                if (::poll(&drainFd, 1, 50) <= 0 ||
+                    ::read(conn, sink, sizeof sink) <= 0)
+                    break;
+            }
             ::close(conn);
             continue;
         }

@@ -1,0 +1,5 @@
+int
+stub()
+{
+    return 0;
+}

@@ -1,0 +1,32 @@
+// Fixture: everything in order — ranks descend, blocking happens
+// outside the lock, includes are used — plus one seeded inversion
+// silenced by the shared suppression syntax. lag_check must exit 0.
+#include "util/mutex.hh"
+
+namespace lag
+{
+
+Mutex lowMutex{LockRank::Low, "low"};
+Mutex highMutex{LockRank::High, "high"};
+
+long write(int fd, const void *buf, unsigned long n);
+
+void
+descend(int fd)
+{
+    {
+        MutexLock high(highMutex);
+        MutexLock low(lowMutex);
+    }
+    const char byte = 'x';
+    write(fd, &byte, 1);
+}
+
+void
+suppressed()
+{
+    MutexLock low(lowMutex);
+    MutexLock high(highMutex); // lag-lint: allow(rank-inversion)
+}
+
+} // namespace lag

@@ -1,0 +1,23 @@
+// Fixture: value_ trails the mutex with no LAG_GUARDED_BY — a
+// [guarded-by-gap]. The annotated and pre-mutex members stay
+// silent.
+#include "util/mutex.hh"
+
+#define LAG_GUARDED_BY(x)
+
+namespace lag
+{
+
+class State
+{
+  public:
+    int value() const;
+
+  private:
+    int config_ = 0; // before the mutex: not in scope
+    Mutex mutex_{LockRank::Low, "state"};
+    int annotated_ LAG_GUARDED_BY(mutex_) = 0;
+    int value_ = 0;
+};
+
+} // namespace lag

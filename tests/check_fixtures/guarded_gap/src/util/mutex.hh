@@ -1,0 +1,25 @@
+// Fixture stand-in for the project mutex wrapper: just enough
+// surface (the LockRank enum and the Mutex/MutexLock shapes) for
+// lag_check's rank-table recovery to work on a standalone tree.
+namespace lag
+{
+
+enum class LockRank
+{
+    Low = 10,
+    High = 100,
+};
+
+class Mutex
+{
+  public:
+    Mutex(LockRank rank, const char *name);
+};
+
+class MutexLock
+{
+  public:
+    explicit MutexLock(Mutex &m);
+};
+
+} // namespace lag

@@ -1,0 +1,8 @@
+// Fixture: a.hh and b.hh include each other — lag_check must
+// report exactly one [layer-cycle] naming both files.
+#include "util/b.hh"
+
+struct A
+{
+    B *peer;
+};

@@ -1,0 +1,6 @@
+#include "util/a.hh"
+
+struct B
+{
+    A *peer;
+};

@@ -1,0 +1,8 @@
+// Fixture: the util layer reaching *up* into engine — the layer
+// DAG says engine -> util, so this include is a [layer-violation].
+#include "engine/top.hh"
+
+struct Base
+{
+    Top top;
+};

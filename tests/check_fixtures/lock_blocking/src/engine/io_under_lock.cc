@@ -1,0 +1,19 @@
+// Fixture: a blocking syscall inside a critical section — write()
+// while Low is held must be a [lock-across-blocking] finding.
+#include "util/mutex.hh"
+
+namespace lag
+{
+
+Mutex lowMutex{LockRank::Low, "low"};
+
+long write(int fd, const void *buf, unsigned long n);
+
+void
+flush(int fd, const char *buf)
+{
+    MutexLock low(lowMutex);
+    write(fd, buf, 1);
+}
+
+} // namespace lag

@@ -1,0 +1,18 @@
+// Fixture: a direct rank inversion — High acquired while Low is
+// held, in one function body.
+#include "util/mutex.hh"
+
+namespace lag
+{
+
+Mutex lowMutex{LockRank::Low, "low"};
+Mutex highMutex{LockRank::High, "high"};
+
+void
+work()
+{
+    MutexLock low(lowMutex);
+    MutexLock high(highMutex);
+}
+
+} // namespace lag

@@ -1,0 +1,25 @@
+// Fixture: a transitive rank inversion — the inversion is only
+// visible through the call graph: work() holds Low and calls
+// touchHigh(), which acquires High.
+#include "util/mutex.hh"
+
+namespace lag
+{
+
+Mutex lowMutex{LockRank::Low, "low"};
+Mutex highMutex{LockRank::High, "high"};
+
+void
+touchHigh()
+{
+    MutexLock guard(highMutex);
+}
+
+void
+work()
+{
+    MutexLock low(lowMutex);
+    touchHigh();
+}
+
+} // namespace lag

@@ -1,0 +1,5 @@
+int
+orphan()
+{
+    return 1;
+}

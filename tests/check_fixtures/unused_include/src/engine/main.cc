@@ -1,0 +1,9 @@
+// Fixture: helpers.hh is included but Helper is never referenced —
+// an [unused-include].
+#include "util/helpers.hh"
+
+int
+compute()
+{
+    return 3;
+}

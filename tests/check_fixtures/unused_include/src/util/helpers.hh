@@ -1,0 +1,4 @@
+struct Helper
+{
+    int scale;
+};

@@ -1,0 +1,243 @@
+/**
+ * @file
+ * Proves every lag-check rule live: each tree under
+ * tests/check_fixtures/ seeds exactly one diagnostic (or none, for
+ * the clean/suppression tree), and the test asserts the rule tag,
+ * file, line, finding count and the exit-status contract — plus the
+ * JSON report, the config-error path, and the real-tree self-check
+ * (the actual repository must be clean under its own
+ * ci/layers.conf).
+ *
+ * Binary and fixture paths arrive as compile definitions from
+ * tests/CMakeLists.txt, mirroring lint_test.cc.
+ */
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace
+{
+
+struct CheckRun
+{
+    int exitCode = -1;
+    std::string output;
+};
+
+CheckRun
+runCheck(const std::string &args)
+{
+    const std::string command = std::string(LAG_CHECK_BIN) + " " +
+                                args + " 2>&1";
+    CheckRun run;
+    std::FILE *pipe = popen(command.c_str(), "r");
+    if (pipe == nullptr)
+        return run;
+    std::array<char, 4096> chunk{};
+    std::size_t got = 0;
+    while ((got = fread(chunk.data(), 1, chunk.size(), pipe)) > 0)
+        run.output.append(chunk.data(), got);
+    const int status = pclose(pipe);
+    if (WIFEXITED(status))
+        run.exitCode = WEXITSTATUS(status);
+    return run;
+}
+
+/** Run lag_check rooted at fixture tree @p name over src/. */
+CheckRun
+checkFixture(const std::string &name,
+             const std::string &extraArgs = "")
+{
+    return runCheck("--root " + std::string(LAG_CHECK_FIXTURES) +
+                    "/" + name + " " + extraArgs + " src");
+}
+
+void
+expectSingleFinding(const CheckRun &run, const char *rule,
+                    const char *location)
+{
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_NE(run.output.find(std::string("[") + rule + "]"),
+              std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find(location), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("1 finding(s)"), std::string::npos)
+        << run.output;
+}
+
+TEST(LagCheck, LayerCycleFires)
+{
+    const CheckRun run = checkFixture("layer_cycle");
+    expectSingleFinding(run, "layer-cycle", "src/util/a.hh:3:");
+    // The cycle names every member once.
+    EXPECT_NE(run.output.find(
+                  "cycle among: src/util/a.hh, src/util/b.hh"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagCheck, LayerViolationFires)
+{
+    const CheckRun run = checkFixture("layer_inversion");
+    expectSingleFinding(run, "layer-violation",
+                        "src/util/base.hh:3:");
+    EXPECT_NE(run.output.find(
+                  "'util' may not depend on layer 'engine'"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagCheck, LayerUnmappedFires)
+{
+    const CheckRun run = checkFixture("unmapped");
+    expectSingleFinding(run, "layer-unmapped",
+                        "src/engine/orphan.cc:1:");
+}
+
+TEST(LagCheck, UnusedIncludeFires)
+{
+    const CheckRun run = checkFixture("unused_include");
+    expectSingleFinding(run, "unused-include",
+                        "src/engine/main.cc:3:");
+}
+
+TEST(LagCheck, RankInversionDirectFires)
+{
+    const CheckRun run = checkFixture("rank_inversion");
+    expectSingleFinding(run, "rank-inversion",
+                        "src/engine/work.cc:15:");
+    EXPECT_NE(run.output.find("LockRank::High = 100"),
+              std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("LockRank::Low = 10"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagCheck, RankInversionThroughCallGraphFires)
+{
+    const CheckRun run = checkFixture("rank_inversion_call");
+    expectSingleFinding(run, "rank-inversion",
+                        "src/engine/caller.cc:22:");
+    // The witness names the callee and the acquisition site.
+    EXPECT_NE(run.output.find("call to 'touchHigh'"),
+              std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("at src/engine/caller.cc:15"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagCheck, LockAcrossBlockingFires)
+{
+    const CheckRun run = checkFixture("lock_blocking");
+    expectSingleFinding(run, "lock-across-blocking",
+                        "src/engine/io_under_lock.cc:16:");
+    EXPECT_NE(run.output.find("'write()' may block"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagCheck, GuardedByGapFires)
+{
+    const CheckRun run = checkFixture("guarded_gap");
+    expectSingleFinding(run, "guarded-by-gap",
+                        "src/engine/state.hh:20:");
+    // Only value_: the annotated member and the pre-mutex member
+    // stay silent.
+    EXPECT_NE(run.output.find("member 'value_'"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagCheck, CleanTreeWithSuppressionExitsZero)
+{
+    // The clean tree contains a seeded inversion silenced with
+    // `// lag-lint: allow(rank-inversion)` — the shared
+    // suppression syntax must work for lag_check too.
+    const CheckRun run = checkFixture("clean");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+    EXPECT_EQ(run.output.find("finding"), std::string::npos)
+        << run.output;
+}
+
+TEST(LagCheck, ConfigCycleExitsTwo)
+{
+    const CheckRun run = checkFixture("bad_conf");
+    EXPECT_EQ(run.exitCode, 2) << run.output;
+    EXPECT_NE(run.output.find("layer dependency cycle"),
+              std::string::npos)
+        << run.output;
+}
+
+TEST(LagCheck, MissingConfExitsTwo)
+{
+    const CheckRun run = checkFixture(
+        "clean", "--layers /no/such/layers.conf");
+    EXPECT_EQ(run.exitCode, 2) << run.output;
+}
+
+TEST(LagCheck, JsonReportAndSummary)
+{
+    const std::string json =
+        ::testing::TempDir() + "lag_check_report.json";
+    const CheckRun run = checkFixture(
+        "rank_inversion", "--summary --json " + json);
+    EXPECT_EQ(run.exitCode, 1) << run.output;
+    EXPECT_NE(
+        run.output.find(
+            "{\"tool\": \"lag-check\", \"findings\": 1, "
+            "\"rank-inversion\": 1}"),
+        std::string::npos)
+        << run.output;
+
+    std::ifstream in(json);
+    ASSERT_TRUE(in.good());
+    std::stringstream content;
+    content << in.rdbuf();
+    const std::string report = content.str();
+    EXPECT_NE(report.find("\"tool\": \"lag-check\""),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("\"rule\": \"rank-inversion\""),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("\"file\": \"src/engine/work.cc\""),
+              std::string::npos)
+        << report;
+    EXPECT_NE(report.find("\"line\": 15"), std::string::npos)
+        << report;
+    EXPECT_NE(report.find("\"total\": 1"), std::string::npos)
+        << report;
+    std::remove(json.c_str());
+}
+
+TEST(LagCheck, ListRulesNamesEveryRule)
+{
+    const CheckRun run = runCheck("--list-rules");
+    EXPECT_EQ(run.exitCode, 0);
+    for (const char *rule :
+         {"layer-cycle", "layer-violation", "layer-unmapped",
+          "include-unresolved", "unused-include", "rank-inversion",
+          "lock-across-blocking", "guarded-by-gap"}) {
+        EXPECT_NE(run.output.find(rule), std::string::npos)
+            << "missing rule: " << rule;
+    }
+}
+
+TEST(LagCheck, RealTreeIsClean)
+{
+    // The repository itself, under its own ci/layers.conf: the
+    // acceptance bar for every heuristic in the tool.
+    const CheckRun run = runCheck(
+        "--root " + std::string(LAG_SOURCE_DIR) + " src tools");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
+} // namespace

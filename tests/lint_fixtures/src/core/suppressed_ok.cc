@@ -1,5 +1,7 @@
 // Fixture: the same seeded violations, each silenced with a
-// per-line suppression — lag_lint must exit 0 on this file.
+// per-line suppression — lag_lint must exit 0 on this file. Covers
+// all three forms: single rule, comma-separated list, and the
+// allow-next line form.
 #include <string>
 #include <unordered_map>
 
@@ -9,6 +11,9 @@ static int sum()
     int total = 0;
     for (const auto &entry : tallies) // lag-lint: allow(unordered-iter)
         total += entry.second;
-    total += *(new int(1)); // lag-lint: allow(naked-new)
+    // lag-lint: allow-next(unordered-iter)
+    for (const auto &entry : tallies)
+        total -= entry.second;
+    total += *(new int(1)); // lag-lint: allow(naked-new, unordered-iter)
     return total;
 }

@@ -1,0 +1,13 @@
+// Fixture: an allow() naming a *different* rule must not silence
+// the finding — suppression lists match by rule, not by presence.
+#include <string>
+#include <unordered_map>
+
+static int sum()
+{
+    std::unordered_map<std::string, int> tallies;
+    int total = 0;
+    for (const auto &entry : tallies) // lag-lint: allow(naked-new)
+        total += entry.second;
+    return total;
+}

@@ -165,9 +165,22 @@ TEST(LagLint, ObsClockRuleFires)
 
 TEST(LagLint, SuppressionSilencesFindings)
 {
+    // Covers all three suppression forms: allow(rule),
+    // allow(rule-a, rule-b) and allow-next(rule).
     const LintRun run = lintFixture("src/core/suppressed_ok.cc");
     EXPECT_EQ(run.exitCode, 0) << run.output;
     EXPECT_EQ(run.output.find("finding"), std::string::npos)
+        << run.output;
+}
+
+TEST(LagLint, SuppressionForOtherRuleDoesNotSilence)
+{
+    const LintRun run =
+        lintFixture("src/core/suppressed_wrong_rule.cc");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[unordered-iter]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("1 finding(s)"), std::string::npos)
         << run.output;
 }
 

@@ -1,0 +1,244 @@
+#include "functions.hh"
+
+#include <initializer_list>
+
+namespace lag::analysis
+{
+
+namespace
+{
+
+bool
+isKeyword(const std::string &word)
+{
+    static const char *kKeywords[] = {
+        "if", "for", "while", "switch", "catch", "return", "do",
+        "else", "sizeof", "alignof", "decltype", "new", "delete",
+        "throw", "case", "goto", "static_assert", "assert",
+        "defined", "alignas", "co_await", "co_return", "co_yield",
+    };
+    for (const char *kw : kKeywords)
+        if (word == kw)
+            return true;
+    return false;
+}
+
+bool
+isTrailerWord(const std::string &word)
+{
+    static const char *kTrailers[] = {
+        "const", "noexcept", "override", "final", "volatile",
+        "mutable", "try",
+    };
+    for (const char *kw : kTrailers)
+        if (word == kw)
+            return true;
+    return false;
+}
+
+std::size_t
+skipSpaces(const std::string &text, std::size_t pos)
+{
+    while (pos < text.size() && text[pos] == ' ')
+        ++pos;
+    return pos;
+}
+
+/** Last non-space position before @p pos, or npos. */
+std::size_t
+prevNonSpace(const std::string &text, std::size_t pos)
+{
+    while (pos > 0) {
+        --pos;
+        if (text[pos] != ' ')
+            return pos;
+    }
+    return std::string::npos;
+}
+
+/**
+ * From just after the parameter list's ')', find the body '{' of a
+ * definition, skipping cv/ref qualifiers, annotation macro calls
+ * (IDENT(...)), a trailing return type and a constructor
+ * initializer list. Returns npos when the construct is a
+ * declaration or not a function at all.
+ */
+std::size_t
+findBodyBrace(const std::string &text, std::size_t pos)
+{
+    const std::size_t n = text.size();
+    bool in_init_list = false;
+    bool in_trailing_return = false;
+    while (pos < n) {
+        pos = skipSpaces(text, pos);
+        if (pos >= n)
+            return std::string::npos;
+        const char c = text[pos];
+        if (c == ';' || c == ',' || c == '=')
+            return std::string::npos; // declaration / `= delete`
+        if (c == '{') {
+            if (!in_init_list)
+                return pos;
+            // Inside an init list a '{' directly after a member
+            // name is that member's brace-init; the body brace
+            // follows ')', '}' or a trailer word instead.
+            const std::size_t prev = prevNonSpace(text, pos);
+            if (prev != std::string::npos &&
+                isIdentChar(text[prev])) {
+                const std::size_t close =
+                    matchForward(text, pos, '{', '}');
+                if (close == std::string::npos)
+                    return std::string::npos;
+                pos = close + 1;
+                continue;
+            }
+            return pos;
+        }
+        if (c == '(') {
+            const std::size_t close =
+                matchForward(text, pos, '(', ')');
+            if (close == std::string::npos)
+                return std::string::npos;
+            pos = close + 1;
+            continue;
+        }
+        if (c == ':') {
+            if (pos + 1 < n && text[pos + 1] == ':') {
+                pos += 2; // qualified name in init list / return
+                continue;
+            }
+            in_init_list = true;
+            ++pos;
+            continue;
+        }
+        if (c == '-' && pos + 1 < n && text[pos + 1] == '>') {
+            in_trailing_return = true;
+            pos += 2;
+            continue;
+        }
+        if (isIdentChar(c)) {
+            std::size_t end = pos;
+            while (end < n && isIdentChar(text[end]))
+                ++end;
+            const std::string word = text.substr(pos, end - pos);
+            pos = end;
+            if (in_init_list || in_trailing_return ||
+                isTrailerWord(word) ||
+                word.compare(0, 4, "LAG_") == 0)
+                continue;
+            return std::string::npos; // e.g. `int a(1), b;`
+        }
+        if (in_trailing_return &&
+            (c == '<' || c == '>' || c == '&' || c == '*')) {
+            ++pos;
+            continue;
+        }
+        if (c == '&') { // ref-qualified member function
+            ++pos;
+            continue;
+        }
+        return std::string::npos;
+    }
+    return std::string::npos;
+}
+
+} // namespace
+
+std::size_t
+matchForward(const std::string &text, std::size_t openPos,
+             char open, char close)
+{
+    int depth = 0;
+    for (std::size_t i = openPos; i < text.size(); ++i) {
+        if (text[i] == open) {
+            ++depth;
+        } else if (text[i] == close) {
+            if (--depth == 0)
+                return i;
+        }
+    }
+    return std::string::npos;
+}
+
+std::vector<FunctionDef>
+extractFunctions(const JoinedCode &joined)
+{
+    const std::string &text = joined.text;
+    const std::size_t n = text.size();
+    std::vector<FunctionDef> out;
+
+    std::size_t i = 0;
+    while (i < n) {
+        if (!isIdentChar(text[i])) {
+            ++i;
+            continue;
+        }
+        const std::size_t nameBegin = i;
+        while (i < n && isIdentChar(text[i]))
+            ++i;
+        const std::string name =
+            text.substr(nameBegin, i - nameBegin);
+        const std::size_t paren = skipSpaces(text, i);
+        if (paren >= n || text[paren] != '(')
+            continue;
+        if (isKeyword(name) || (name[0] >= '0' && name[0] <= '9'))
+            continue;
+        const std::size_t paramsClose =
+            matchForward(text, paren, '(', ')');
+        if (paramsClose == std::string::npos)
+            continue;
+        const std::size_t bodyOpen =
+            findBodyBrace(text, paramsClose + 1);
+        if (bodyOpen == std::string::npos)
+            continue;
+        const std::size_t bodyClose =
+            matchForward(text, bodyOpen, '{', '}');
+        if (bodyClose == std::string::npos)
+            continue;
+
+        FunctionDef def;
+        def.name = name;
+        def.qualified = name;
+        // Walk back over `Qualifier::` prefixes for the display
+        // name (resolution uses the unqualified name).
+        std::size_t back = nameBegin;
+        while (back >= 2 && text[back - 1] == ':' &&
+               text[back - 2] == ':') {
+            std::size_t q = back - 2;
+            while (q > 0 && isIdentChar(text[q - 1]))
+                --q;
+            if (q == back - 2)
+                break;
+            def.qualified =
+                text.substr(q, back - 2 - q) + "::" + def.qualified;
+            back = q;
+        }
+        def.line = joined.lineOf[nameBegin];
+        def.bodyBegin = bodyOpen;
+        def.bodyEnd = bodyClose;
+        out.push_back(std::move(def));
+        // Continue scanning *inside* the body too: misparsed outer
+        // constructs must not hide real definitions.
+        i = bodyOpen + 1;
+    }
+    return out;
+}
+
+std::size_t
+scopeEnd(const std::string &text, std::size_t pos,
+         std::size_t bodyEnd)
+{
+    int depth = 0;
+    for (std::size_t i = pos; i < bodyEnd && i < text.size(); ++i) {
+        if (text[i] == '{') {
+            ++depth;
+        } else if (text[i] == '}') {
+            if (depth == 0)
+                return i;
+            --depth;
+        }
+    }
+    return bodyEnd;
+}
+
+} // namespace lag::analysis

@@ -1,0 +1,66 @@
+/**
+ * @file
+ * Approximate function-definition extraction over the blanked,
+ * joined token stream — the front end lag_check's lock-discipline
+ * and call-graph analyses are built on.
+ *
+ * This is a heuristic, not a parser: a definition is an identifier
+ * followed by a balanced parameter list whose trailer (cv
+ * qualifiers, annotation macros, a constructor init list, a
+ * trailing return type) ends in a brace-balanced body. That shape
+ * matches the project style everywhere it matters; constructs the
+ * heuristic cannot name (lambdas, macro bodies) attribute their
+ * contents to the enclosing definition, which over-approximates
+ * reachability — the safe direction for a checker that reports
+ * *possible* lock-order inversions.
+ */
+
+#ifndef LAG_TOOLS_ANALYSIS_FUNCTIONS_HH
+#define LAG_TOOLS_ANALYSIS_FUNCTIONS_HH
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "source.hh"
+
+namespace lag::analysis
+{
+
+/** One function definition found in a joined token stream. */
+struct FunctionDef
+{
+    /** Unqualified name (last component). */
+    std::string name;
+
+    /** Name with any A::B:: qualification as written. */
+    std::string qualified;
+
+    std::size_t line = 0;      ///< 1-based line of the name
+    std::size_t bodyBegin = 0; ///< position of the body '{'
+    std::size_t bodyEnd = 0;   ///< position of the matching '}'
+};
+
+/** Position of the `close` matching the `open` at @p openPos
+ * (counting nesting of that pair only); npos when unbalanced. */
+std::size_t matchForward(const std::string &text,
+                         std::size_t openPos, char open,
+                         char close);
+
+/** Every function definition in @p joined, in order of
+ * appearance. Nested definitions (a lambda inside a body) are not
+ * separated out; their tokens belong to the enclosing definition. */
+std::vector<FunctionDef> extractFunctions(const JoinedCode &joined);
+
+/**
+ * End of the innermost brace scope containing @p pos inside the
+ * body [bodyBegin, bodyEnd]: the position of the first unmatched
+ * '}' at or after @p pos, or @p bodyEnd when the position sits
+ * directly in the outermost body scope.
+ */
+std::size_t scopeEnd(const std::string &text, std::size_t pos,
+                     std::size_t bodyEnd);
+
+} // namespace lag::analysis
+
+#endif // LAG_TOOLS_ANALYSIS_FUNCTIONS_HH

@@ -1,0 +1,68 @@
+#include "includes.hh"
+
+#include "walker.hh"
+
+namespace lag::analysis
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+/** The path between quotes of an `#include "..."` line, or "". */
+std::string
+quotedInclude(const std::string &raw)
+{
+    std::size_t i = 0;
+    while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t'))
+        ++i;
+    if (i >= raw.size() || raw[i] != '#')
+        return "";
+    ++i;
+    while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t'))
+        ++i;
+    if (raw.compare(i, 7, "include") != 0)
+        return "";
+    i += 7;
+    while (i < raw.size() && (raw[i] == ' ' || raw[i] == '\t'))
+        ++i;
+    if (i >= raw.size() || raw[i] != '"')
+        return "";
+    const std::size_t close = raw.find('"', i + 1);
+    if (close == std::string::npos)
+        return "";
+    return raw.substr(i + 1, close - i - 1);
+}
+
+} // namespace
+
+std::vector<IncludeDirective>
+projectIncludes(const fs::path &root, const SourceFile &file)
+{
+    std::vector<IncludeDirective> out;
+    const fs::path dir = (root / file.relPath).parent_path();
+    for (std::size_t ln = 1; ln <= file.raw.size(); ++ln) {
+        const std::string spelling = quotedInclude(file.raw[ln - 1]);
+        if (spelling.empty())
+            continue;
+        IncludeDirective directive;
+        directive.line = ln;
+        directive.spelling = spelling;
+        std::error_code ec;
+        // Same-directory first (how the compiler resolves quoted
+        // includes), then the src/ include root the build exports.
+        if (fs::exists(dir / spelling, ec)) {
+            directive.resolved = relativeTo(
+                root, fs::weakly_canonical(dir / spelling, ec));
+        } else if (fs::exists(root / "src" / spelling, ec)) {
+            directive.resolved = relativeTo(
+                root,
+                fs::weakly_canonical(root / "src" / spelling, ec));
+        }
+        out.push_back(std::move(directive));
+    }
+    return out;
+}
+
+} // namespace lag::analysis

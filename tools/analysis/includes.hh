@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Project include-graph extraction for lag_check.
+ *
+ * Quoted includes are read from the *raw* lines (blanking erases
+ * the path literal) and resolved the way the build does: first
+ * against the including file's own directory, then against the
+ * `src/` include root. Angle-bracket includes are system headers
+ * and out of scope. Unresolvable quoted includes are surfaced to
+ * the caller instead of silently dropped — a typo'd include should
+ * fail the architecture check, not vanish from the graph.
+ */
+
+#ifndef LAG_TOOLS_ANALYSIS_INCLUDES_HH
+#define LAG_TOOLS_ANALYSIS_INCLUDES_HH
+
+#include <cstddef>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "source.hh"
+
+namespace lag::analysis
+{
+
+/** One `#include "..."` directive. */
+struct IncludeDirective
+{
+    std::size_t line = 0;  ///< 1-based line of the directive
+    std::string spelling;  ///< the path as written
+
+    /** Root-relative path of the included file; empty when the
+     * include did not resolve inside the project. */
+    std::string resolved;
+};
+
+/** Quoted includes of @p file (raw text), resolved against the
+ * file's directory and then @p root / "src". */
+std::vector<IncludeDirective>
+projectIncludes(const std::filesystem::path &root,
+                const SourceFile &file);
+
+} // namespace lag::analysis
+
+#endif // LAG_TOOLS_ANALYSIS_INCLUDES_HH

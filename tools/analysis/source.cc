@@ -1,0 +1,182 @@
+#include "source.hh"
+
+namespace lag::analysis
+{
+
+bool
+isIdentChar(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           (c >= '0' && c <= '9') || c == '_';
+}
+
+std::vector<std::string>
+blankNonCode(const std::vector<std::string> &raw)
+{
+    enum class State
+    {
+        Normal,
+        Block,   // /* ... */
+        Str,     // "..."
+        Chr,     // '...'
+        RawStr,  // R"delim( ... )delim"
+    };
+    State state = State::Normal;
+    std::string rawDelim; // for RawStr: ")delim\""
+
+    std::vector<std::string> out;
+    out.reserve(raw.size());
+    for (const std::string &line : raw) {
+        std::string code = line;
+        std::size_t i = 0;
+        const std::size_t n = line.size();
+        while (i < n) {
+            switch (state) {
+              case State::Normal:
+                if (line[i] == '/' && i + 1 < n && line[i + 1] == '/') {
+                    for (std::size_t j = i; j < n; ++j)
+                        code[j] = ' ';
+                    i = n;
+                } else if (line[i] == '/' && i + 1 < n &&
+                           line[i + 1] == '*') {
+                    code[i] = code[i + 1] = ' ';
+                    i += 2;
+                    state = State::Block;
+                } else if (line[i] == '"' && i > 0 && line[i - 1] == 'R' &&
+                           (i == 1 || !isIdentChar(line[i - 2]))) {
+                    // R"delim( — collect the delimiter.
+                    std::size_t j = i + 1;
+                    std::string delim;
+                    while (j < n && line[j] != '(')
+                        delim += line[j++];
+                    rawDelim = ")" + delim + "\"";
+                    for (std::size_t k = i; k < j && k < n; ++k)
+                        code[k] = ' ';
+                    i = j;
+                    state = State::RawStr;
+                } else if (line[i] == '"') {
+                    code[i] = ' ';
+                    ++i;
+                    state = State::Str;
+                } else if (line[i] == '\'' &&
+                           !(i > 0 && isIdentChar(line[i - 1]))) {
+                    // Skip digit separators (1'000'000) via the
+                    // preceding-identifier-char test.
+                    code[i] = ' ';
+                    ++i;
+                    state = State::Chr;
+                } else {
+                    ++i;
+                }
+                break;
+              case State::Block:
+                if (line[i] == '*' && i + 1 < n && line[i + 1] == '/') {
+                    code[i] = code[i + 1] = ' ';
+                    i += 2;
+                    state = State::Normal;
+                } else {
+                    code[i] = ' ';
+                    ++i;
+                }
+                break;
+              case State::Str:
+              case State::Chr: {
+                const char quote = state == State::Str ? '"' : '\'';
+                if (line[i] == '\\' && i + 1 < n) {
+                    code[i] = code[i + 1] = ' ';
+                    i += 2;
+                } else {
+                    const bool end = line[i] == quote;
+                    code[i] = ' ';
+                    ++i;
+                    if (end)
+                        state = State::Normal;
+                }
+                break;
+              }
+              case State::RawStr:
+                if (line.compare(i, rawDelim.size(), rawDelim) == 0) {
+                    for (std::size_t k = 0; k < rawDelim.size(); ++k)
+                        code[i + k] = ' ';
+                    i += rawDelim.size();
+                    state = State::Normal;
+                } else {
+                    code[i] = ' ';
+                    ++i;
+                }
+                break;
+            }
+        }
+        // Unterminated " or ' never spans lines in valid C++.
+        if (state == State::Str || state == State::Chr)
+            state = State::Normal;
+        out.push_back(std::move(code));
+    }
+    return out;
+}
+
+std::size_t
+findWord(std::string_view code, std::string_view word,
+         std::size_t from)
+{
+    while (true) {
+        const std::size_t pos = code.find(word, from);
+        if (pos == std::string_view::npos)
+            return pos;
+        const bool left_ok = pos == 0 || !isIdentChar(code[pos - 1]);
+        const std::size_t end = pos + word.size();
+        const bool right_ok =
+            end >= code.size() || !isIdentChar(code[end]);
+        if (left_ok && right_ok)
+            return pos;
+        from = pos + 1;
+    }
+}
+
+bool
+hasFreeCall(std::string_view code, std::string_view name)
+{
+    std::size_t from = 0;
+    while (true) {
+        const std::size_t pos = findWord(code, name, from);
+        if (pos == std::string_view::npos)
+            return false;
+        std::size_t j = pos + name.size();
+        while (j < code.size() && code[j] == ' ')
+            ++j;
+        const bool is_call = j < code.size() && code[j] == '(';
+        bool member = false;
+        if (pos > 0) {
+            const char prev = code[pos - 1];
+            if (prev == '.')
+                member = true;
+            if (prev == '>' && pos > 1 && code[pos - 2] == '-')
+                member = true;
+        }
+        if (is_call && !member)
+            return true;
+        from = pos + 1;
+    }
+}
+
+JoinedCode
+joinCode(const std::vector<std::string> &lines)
+{
+    JoinedCode joined;
+    std::size_t total = 0;
+    for (const std::string &line : lines)
+        total += line.size() + 1;
+    joined.text.reserve(total);
+    joined.lineOf.reserve(total);
+    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
+        for (const char c : lines[ln]) {
+            joined.text += c;
+            joined.lineOf.push_back(ln + 1);
+        }
+        joined.text += ' ';
+        joined.lineOf.push_back(ln + 1);
+    }
+    return joined;
+}
+
+} // namespace lag::analysis

@@ -1,0 +1,75 @@
+/**
+ * @file
+ * Shared lexing front end for the project's static-analysis tools
+ * (lag_lint, lag_check).
+ *
+ * Deliberately lexer-level and dependency-free: the container
+ * toolchain is plain gcc, so there is no libclang to lean on. A
+ * SourceFile holds the raw lines plus a "blanked" view in which
+ * comments and the contents of string/char literals are replaced by
+ * spaces (layout-preserving, so columns and line numbers survive).
+ * Every rule in both tools matches against the blanked view and so
+ * never fires on prose.
+ */
+
+#ifndef LAG_TOOLS_ANALYSIS_SOURCE_HH
+#define LAG_TOOLS_ANALYSIS_SOURCE_HH
+
+#include <cstddef>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lag::analysis
+{
+
+/** One file, scanned: raw lines plus comment/string-blanked lines. */
+struct SourceFile
+{
+    /** Path relative to the analysis root, '/'-separated. */
+    std::string relPath;
+
+    std::vector<std::string> raw;
+    std::vector<std::string> code;
+
+    /** Blanked lines of the paired header (X.hh beside X.cc), so
+     * member declarations are visible when analyzing the .cc. */
+    std::vector<std::string> headerCode;
+};
+
+/** True for the characters C++ identifiers are made of. */
+bool isIdentChar(char c);
+
+/**
+ * Blank comments and literal contents while preserving layout.
+ * Handles //, block comments, "..." with escapes, '...' and basic
+ * raw strings R"delim(...)delim". Block comments may span lines.
+ */
+std::vector<std::string>
+blankNonCode(const std::vector<std::string> &raw);
+
+/** Position of token @p word in @p code as a whole word, from
+ * @p from; npos when absent. */
+std::size_t findWord(std::string_view code, std::string_view word,
+                     std::size_t from = 0);
+
+/** True when the call-shaped token @p name( appears as a free
+ * function (not a member access, not part of an identifier). */
+bool hasFreeCall(std::string_view code, std::string_view name);
+
+/**
+ * The blanked lines joined into one string (newlines replaced by a
+ * single space) with a per-character 1-based line map, so matchers
+ * can follow constructs that span lines.
+ */
+struct JoinedCode
+{
+    std::string text;
+    std::vector<std::size_t> lineOf;
+};
+
+JoinedCode joinCode(const std::vector<std::string> &lines);
+
+} // namespace lag::analysis
+
+#endif // LAG_TOOLS_ANALYSIS_SOURCE_HH

@@ -1,0 +1,138 @@
+#include "walker.hh"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+
+namespace lag::analysis
+{
+
+namespace fs = std::filesystem;
+
+namespace
+{
+
+std::vector<std::string>
+readLines(std::ifstream &in)
+{
+    std::vector<std::string> lines;
+    std::string line;
+    while (std::getline(in, line)) {
+        if (!line.empty() && line.back() == '\r')
+            line.pop_back();
+        lines.push_back(line);
+    }
+    return lines;
+}
+
+bool
+walk(const char *tool, const fs::path &root, const fs::path &path,
+     std::vector<SourceFile> &out)
+{
+    if (fs::is_directory(path)) {
+        // Deterministic order for stable output.
+        std::vector<fs::path> children;
+        for (const auto &entry : fs::directory_iterator(path))
+            children.push_back(entry.path());
+        std::sort(children.begin(), children.end());
+        bool ok = true;
+        for (const fs::path &child : children) {
+            const std::string name = child.filename().string();
+            // Seeded-violation fixtures and build trees are only
+            // analyzed when named explicitly on the command line.
+            if (name == "lint_fixtures" || name == "check_fixtures" ||
+                name.compare(0, 5, "build") == 0)
+                continue;
+            if (fs::is_directory(child) || lintableExtension(child))
+                ok = walk(tool, root, child, out) && ok;
+        }
+        return ok;
+    }
+    SourceFile file;
+    if (!loadSourceFile(tool, root, path, file))
+        return false;
+    out.push_back(std::move(file));
+    return true;
+}
+
+} // namespace
+
+bool
+lintableExtension(const fs::path &path)
+{
+    const std::string ext = path.extension().string();
+    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
+           ext == ".h" || ext == ".hpp";
+}
+
+std::string
+relativeTo(const fs::path &root, const fs::path &path)
+{
+    std::error_code ec;
+    const fs::path rel = fs::relative(path, root, ec);
+    const fs::path &use = ec ? path : rel;
+    return use.generic_string();
+}
+
+bool
+loadSourceFile(const char *tool, const fs::path &root,
+               const fs::path &path, SourceFile &out)
+{
+    std::ifstream in(path, std::ios::binary);
+    if (!in) {
+        std::fprintf(stderr, "%s: cannot read '%s'\n", tool,
+                     path.string().c_str());
+        return false;
+    }
+    out.relPath = relativeTo(root, path);
+    out.raw = readLines(in);
+    out.code = blankNonCode(out.raw);
+    out.headerCode.clear();
+
+    const std::string ext = path.extension().string();
+    if (ext == ".cc" || ext == ".cpp") {
+        for (const char *hext : {".hh", ".h", ".hpp"}) {
+            fs::path header = path;
+            header.replace_extension(hext);
+            std::ifstream hin(header, std::ios::binary);
+            if (!hin)
+                continue;
+            out.headerCode = blankNonCode(readLines(hin));
+            break;
+        }
+    }
+    return true;
+}
+
+bool
+collectFiles(const char *tool, const fs::path &root,
+             const std::vector<std::string> &paths,
+             std::vector<SourceFile> &out)
+{
+    bool ok = true;
+    for (const std::string &p : paths) {
+        fs::path full = fs::path(p);
+        if (full.is_relative())
+            full = root / full;
+        if (!fs::exists(full)) {
+            std::fprintf(stderr, "%s: no such path '%s'\n", tool,
+                         full.string().c_str());
+            ok = false;
+            continue;
+        }
+        ok = walk(tool, root, full, out) && ok;
+    }
+    std::sort(out.begin(), out.end(),
+              [](const SourceFile &a, const SourceFile &b) {
+                  return a.relPath < b.relPath;
+              });
+    out.erase(std::unique(out.begin(), out.end(),
+                          [](const SourceFile &a,
+                             const SourceFile &b) {
+                              return a.relPath == b.relPath;
+                          }),
+              out.end());
+    return ok;
+}
+
+} // namespace lag::analysis

@@ -1,0 +1,58 @@
+/**
+ * @file
+ * File-set walker shared by the static-analysis tools: resolves the
+ * command-line paths against an analysis root, walks directories in
+ * deterministic (sorted) order, filters to C++ extensions, and
+ * loads each file as a blanked SourceFile (pairing X.cc with its
+ * X.hh so declaration-aware rules see both).
+ *
+ * Seeded-violation fixture trees (any directory named
+ * "lint_fixtures" or "check_fixtures") and build trees (any
+ * directory starting with "build") are skipped unless named
+ * explicitly on the command line, so a whole-tree run stays clean.
+ */
+
+#ifndef LAG_TOOLS_ANALYSIS_WALKER_HH
+#define LAG_TOOLS_ANALYSIS_WALKER_HH
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "source.hh"
+
+namespace lag::analysis
+{
+
+/** True for extensions the tools consider C++ source. */
+bool lintableExtension(const std::filesystem::path &path);
+
+/** @p path relative to @p root, '/'-separated ('path' itself when
+ * no relative form exists). */
+std::string relativeTo(const std::filesystem::path &root,
+                       const std::filesystem::path &path);
+
+/**
+ * Load @p path as a SourceFile (raw + blanked + paired header).
+ * Returns false and prints to stderr (prefixed with @p tool) when
+ * the file cannot be read.
+ */
+bool loadSourceFile(const char *tool,
+                    const std::filesystem::path &root,
+                    const std::filesystem::path &path,
+                    SourceFile &out);
+
+/**
+ * Collect every lintable file under @p paths (files or directories,
+ * relative paths resolved against @p root) into @p out, sorted and
+ * deduplicated by relative path. Returns false when any path is
+ * missing or unreadable; the readable remainder is still loaded.
+ */
+bool collectFiles(const char *tool,
+                  const std::filesystem::path &root,
+                  const std::vector<std::string> &paths,
+                  std::vector<SourceFile> &out);
+
+} // namespace lag::analysis
+
+#endif // LAG_TOOLS_ANALYSIS_WALKER_HH

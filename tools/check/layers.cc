@@ -1,0 +1,552 @@
+#include "layers.hh"
+
+#include <algorithm>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+
+#include "../analysis/functions.hh"
+#include "../analysis/includes.hh"
+
+namespace lag::check
+{
+
+namespace fs = std::filesystem;
+using analysis::Diagnostics;
+using analysis::findWord;
+using analysis::isIdentChar;
+using analysis::JoinedCode;
+using analysis::joinCode;
+using analysis::SourceFile;
+
+// ---------------------------------------------------------------
+// Layer configuration
+// ---------------------------------------------------------------
+
+std::size_t
+LayerConfig::layerOf(const std::string &relPath) const
+{
+    std::size_t best = static_cast<std::size_t>(-1);
+    std::size_t bestLen = 0;
+    for (std::size_t i = 0; i < layers.size(); ++i) {
+        for (const std::string &dir : layers[i].dirs) {
+            if (relPath.size() > dir.size() + 1 &&
+                relPath.compare(0, dir.size(), dir) == 0 &&
+                relPath[dir.size()] == '/' &&
+                dir.size() > bestLen) {
+                best = i;
+                bestLen = dir.size();
+            }
+        }
+    }
+    return best;
+}
+
+namespace
+{
+
+/** Depth-first closure; returns false on a dependency cycle. */
+bool
+closeOver(std::vector<Layer> &layers,
+          const std::map<std::string, std::size_t> &index,
+          std::size_t at, std::vector<int> &state,
+          std::vector<std::string> &errors)
+{
+    state[at] = 1; // visiting
+    std::set<std::size_t> allowed{at};
+    for (const std::string &dep : layers[at].deps) {
+        const auto it = index.find(dep);
+        if (it == index.end())
+            continue; // reported by the parser already
+        const std::size_t to = it->second;
+        if (state[to] == 1) {
+            errors.push_back("layer dependency cycle through '" +
+                             layers[at].name + "' -> '" + dep +
+                             "'");
+            return false;
+        }
+        if (state[to] == 0 &&
+            !closeOver(layers, index, to, state, errors))
+            return false;
+        allowed.insert(layers[to].allowed.begin(),
+                       layers[to].allowed.end());
+    }
+    layers[at].allowed.assign(allowed.begin(), allowed.end());
+    state[at] = 2;
+    return true;
+}
+
+} // namespace
+
+LayerConfig
+parseLayers(const fs::path &confPath)
+{
+    LayerConfig config;
+    config.path = confPath.generic_string();
+    std::ifstream in(confPath);
+    if (!in) {
+        config.errors.push_back("cannot read layer config '" +
+                                config.path + "'");
+        return config;
+    }
+
+    std::map<std::string, std::size_t> index;
+    std::string line;
+    std::size_t lineNo = 0;
+    while (std::getline(in, line)) {
+        ++lineNo;
+        const std::size_t hash = line.find('#');
+        if (hash != std::string::npos)
+            line.resize(hash);
+        std::istringstream tokens(line);
+        std::string word;
+        if (!(tokens >> word))
+            continue;
+        if (word != "layer") {
+            config.errors.push_back(
+                config.path + ":" + std::to_string(lineNo) +
+                ": expected 'layer', got '" + word + "'");
+            continue;
+        }
+        Layer layer;
+        layer.line = lineNo;
+        if (!(tokens >> layer.name)) {
+            config.errors.push_back(
+                config.path + ":" + std::to_string(lineNo) +
+                ": layer needs a name");
+            continue;
+        }
+        bool deps = false;
+        while (tokens >> word) {
+            if (word == "->") {
+                deps = true;
+                continue;
+            }
+            // Normalize away a trailing '/' so conf authors can
+            // write either form.
+            if (!deps && !word.empty() && word.back() == '/')
+                word.pop_back();
+            (deps ? layer.deps : layer.dirs)
+                .push_back(std::move(word));
+        }
+        if (layer.dirs.empty()) {
+            config.errors.push_back(
+                config.path + ":" + std::to_string(lineNo) +
+                ": layer '" + layer.name +
+                "' needs at least one directory");
+            continue;
+        }
+        if (index.count(layer.name) != 0) {
+            config.errors.push_back(
+                config.path + ":" + std::to_string(lineNo) +
+                ": duplicate layer '" + layer.name + "'");
+            continue;
+        }
+        index[layer.name] = config.layers.size();
+        config.layers.push_back(std::move(layer));
+    }
+
+    for (const Layer &layer : config.layers)
+        for (const std::string &dep : layer.deps)
+            if (index.count(dep) == 0)
+                config.errors.push_back(
+                    config.path + ":" +
+                    std::to_string(layer.line) + ": layer '" +
+                    layer.name + "' depends on unknown layer '" +
+                    dep + "'");
+
+    std::vector<int> state(config.layers.size(), 0);
+    for (std::size_t i = 0; i < config.layers.size(); ++i)
+        if (state[i] == 0 &&
+            !closeOver(config.layers, index, i, state,
+                       config.errors))
+            break;
+    return config;
+}
+
+// ---------------------------------------------------------------
+// Provided-name extraction (unused-include)
+// ---------------------------------------------------------------
+
+namespace
+{
+
+bool
+isCppKeyword(const std::string &word)
+{
+    static const std::set<std::string> kKeywords{
+        "alignas", "alignof", "auto", "bool", "break", "case",
+        "catch", "char", "class", "const", "constexpr", "continue",
+        "decltype", "default", "delete", "do", "double", "else",
+        "enum", "explicit", "extern", "false", "float", "for",
+        "friend", "goto", "if", "inline", "int", "long", "mutable",
+        "namespace", "new", "noexcept", "nullptr", "operator",
+        "private", "protected", "public", "return", "short",
+        "signed", "sizeof", "static", "struct", "switch",
+        "template", "this", "throw", "true", "try", "typedef",
+        "typename", "union", "unsigned", "using", "virtual",
+        "void", "volatile", "while", "override", "final",
+    };
+    return kKeywords.count(word) != 0;
+}
+
+/**
+ * Names a header *provides*: type names after class/struct/enum/
+ * union, #define names, using declarations/aliases, plus — to keep
+ * the check conservative — every identifier followed by '(' (a
+ * callable), '=' (something assignable/initialized) or ';'/','
+ * (declared entities). An include counts as used if the includer
+ * references any one of these as a whole word, so only headers
+ * with genuinely untouched vocabularies are reported.
+ */
+std::set<std::string>
+providedNames(const std::vector<std::string> &codeLines)
+{
+    std::set<std::string> names;
+    const JoinedCode joined = joinCode(codeLines);
+    const std::string &text = joined.text;
+    const std::size_t n = text.size();
+
+    auto addIfName = [&names](const std::string &word) {
+        if (word.size() >= 2 && !isCppKeyword(word) &&
+            !(word[0] >= '0' && word[0] <= '9'))
+            names.insert(word);
+    };
+
+    // Type definitions: last identifier (skipping attribute-macro
+    // parens) before the '{', ':', ';' or '<' that follows the
+    // keyword.
+    for (const char *kw : {"class", "struct", "enum", "union"}) {
+        std::size_t pos = findWord(text, kw);
+        while (pos != std::string::npos) {
+            std::size_t i = pos + std::strlen(kw);
+            std::string last;
+            while (i < n) {
+                if (text[i] == ' ') {
+                    ++i;
+                } else if (isIdentChar(text[i])) {
+                    std::size_t end = i;
+                    while (end < n && isIdentChar(text[end]))
+                        ++end;
+                    const std::string word =
+                        text.substr(i, end - i);
+                    i = end;
+                    if (word == "class" || word == "struct")
+                        continue; // enum class / struct
+                    // An attribute macro call: skip its parens.
+                    const std::size_t paren =
+                        i < n && text[i] == '(' ? i
+                                                : std::string::npos;
+                    if (paren != std::string::npos) {
+                        const std::size_t close =
+                            analysis::matchForward(text, paren, '(',
+                                                   ')');
+                        if (close == std::string::npos)
+                            break;
+                        i = close + 1;
+                        continue;
+                    }
+                    last = word;
+                } else {
+                    break;
+                }
+            }
+            addIfName(last);
+            pos = findWord(text, kw, pos + 1);
+        }
+    }
+
+    // #define names.
+    for (const std::string &code : codeLines) {
+        std::size_t i = 0;
+        while (i < code.size() &&
+               (code[i] == ' ' || code[i] == '\t'))
+            ++i;
+        if (i >= code.size() || code[i] != '#')
+            continue;
+        ++i;
+        while (i < code.size() &&
+               (code[i] == ' ' || code[i] == '\t'))
+            ++i;
+        if (code.compare(i, 6, "define") != 0)
+            continue;
+        i += 6;
+        while (i < code.size() && code[i] == ' ')
+            ++i;
+        std::string word;
+        while (i < code.size() && isIdentChar(code[i]))
+            word += code[i++];
+        addIfName(word);
+    }
+
+    // using X = ...; / using a::b::X;
+    std::size_t pos = findWord(text, "using");
+    while (pos != std::string::npos) {
+        std::size_t i = pos + 5;
+        std::string last;
+        while (i < n && text[i] != ';' && text[i] != '=') {
+            if (isIdentChar(text[i])) {
+                std::size_t end = i;
+                while (end < n && isIdentChar(text[end]))
+                    ++end;
+                last = text.substr(i, end - i);
+                i = end;
+            } else {
+                ++i;
+            }
+        }
+        if (last != "namespace")
+            addIfName(last);
+        pos = findWord(text, "using", pos + 1);
+    }
+
+    // Identifiers followed by '(' , '=' (not ==), ';' or ','.
+    std::size_t i = 0;
+    while (i < n) {
+        if (!isIdentChar(text[i])) {
+            ++i;
+            continue;
+        }
+        const std::size_t begin = i;
+        while (i < n && isIdentChar(text[i]))
+            ++i;
+        const std::size_t next = [&] {
+            std::size_t j = i;
+            while (j < n && text[j] == ' ')
+                ++j;
+            return j;
+        }();
+        if (next >= n)
+            break;
+        const char c = text[next];
+        bool provides = c == '(' || c == ';' || c == ',';
+        if (c == '=' && next + 1 < n && text[next + 1] != '=')
+            provides = true;
+        if (provides)
+            addIfName(text.substr(begin, i - begin));
+    }
+    return names;
+}
+
+} // namespace
+
+// ---------------------------------------------------------------
+// The analyses
+// ---------------------------------------------------------------
+
+namespace
+{
+
+/** Tarjan strongly-connected components over the include graph. */
+struct Tarjan
+{
+    const std::vector<std::vector<std::size_t>> &adj;
+    std::vector<int> index, low, onStack;
+    std::vector<std::size_t> stack;
+    std::vector<std::vector<std::size_t>> components;
+    int counter = 0;
+
+    explicit Tarjan(const std::vector<std::vector<std::size_t>> &a)
+        : adj(a), index(a.size(), -1), low(a.size(), 0),
+          onStack(a.size(), 0)
+    {
+        for (std::size_t v = 0; v < a.size(); ++v)
+            if (index[v] < 0)
+                visit(v);
+    }
+
+    void visit(std::size_t v)
+    {
+        index[v] = low[v] = counter++;
+        stack.push_back(v);
+        onStack[v] = 1;
+        for (const std::size_t w : adj[v]) {
+            if (index[w] < 0) {
+                visit(w);
+                low[v] = std::min(low[v], low[w]);
+            } else if (onStack[w]) {
+                low[v] = std::min(low[v], index[w]);
+            }
+        }
+        if (low[v] == index[v]) {
+            std::vector<std::size_t> component;
+            while (true) {
+                const std::size_t w = stack.back();
+                stack.pop_back();
+                onStack[w] = 0;
+                component.push_back(w);
+                if (w == v)
+                    break;
+            }
+            components.push_back(std::move(component));
+        }
+    }
+};
+
+/** True when @p file is the implementation of @p header (x.cc
+ * beside x.hh): the interface include is never "unused". */
+bool
+isPairedHeader(const std::string &file, const std::string &header)
+{
+    const auto stem = [](const std::string &path) {
+        const std::size_t dot = path.rfind('.');
+        return dot == std::string::npos ? path
+                                        : path.substr(0, dot);
+    };
+    return stem(file) == stem(header);
+}
+
+} // namespace
+
+void
+checkIncludes(const fs::path &root, const LayerConfig &config,
+              const std::vector<SourceFile> &files,
+              Diagnostics &diagnostics)
+{
+    std::map<std::string, std::size_t> fileIndex;
+    for (std::size_t i = 0; i < files.size(); ++i)
+        fileIndex[files[i].relPath] = i;
+
+    // Resolve every directive once; remember the per-file edges.
+    std::vector<std::vector<analysis::IncludeDirective>> directives(
+        files.size());
+    std::vector<std::vector<std::size_t>> adj(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        directives[i] = analysis::projectIncludes(root, files[i]);
+        for (const analysis::IncludeDirective &inc :
+             directives[i]) {
+            if (inc.resolved.empty()) {
+                diagnostics.add(files[i], inc.line,
+                                "include-unresolved",
+                                "'" + inc.spelling +
+                                    "' does not resolve inside "
+                                    "the project (typo, or a "
+                                    "missing file)");
+                continue;
+            }
+            const auto it = fileIndex.find(inc.resolved);
+            if (it != fileIndex.end())
+                adj[i].push_back(it->second);
+        }
+    }
+
+    // layer-unmapped + layer-violation.
+    std::vector<std::size_t> layerOf(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        layerOf[i] = config.layerOf(files[i].relPath);
+        if (layerOf[i] == static_cast<std::size_t>(-1))
+            diagnostics.add(files[i], 1, "layer-unmapped",
+                            "no layer in " + config.path +
+                                " covers this file; add its "
+                                "directory to a layer");
+    }
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const std::size_t from = layerOf[i];
+        if (from == static_cast<std::size_t>(-1))
+            continue;
+        for (const analysis::IncludeDirective &inc :
+             directives[i]) {
+            if (inc.resolved.empty())
+                continue;
+            const auto it = fileIndex.find(inc.resolved);
+            if (it == fileIndex.end())
+                continue;
+            const std::size_t to = layerOf[it->second];
+            if (to == static_cast<std::size_t>(-1))
+                continue;
+            const std::vector<std::size_t> &allowed =
+                config.layers[from].allowed;
+            if (!std::binary_search(allowed.begin(), allowed.end(),
+                                    to))
+                diagnostics.add(
+                    files[i], inc.line, "layer-violation",
+                    "include of '" + inc.spelling +
+                        "' crosses the layer DAG: layer '" +
+                        config.layers[from].name +
+                        "' may not depend on layer '" +
+                        config.layers[to].name + "' (" +
+                        config.path + ")");
+        }
+    }
+
+    // layer-cycle: one finding per strongly-connected component.
+    const Tarjan tarjan(adj);
+    for (const std::vector<std::size_t> &component :
+         tarjan.components) {
+        bool cyclic = component.size() > 1;
+        if (component.size() == 1) {
+            const std::size_t v = component.front();
+            for (const std::size_t w : adj[v])
+                cyclic = cyclic || w == v; // self-include
+        }
+        if (!cyclic)
+            continue;
+        std::vector<std::string> members;
+        members.reserve(component.size());
+        for (const std::size_t v : component)
+            members.push_back(files[v].relPath);
+        std::sort(members.begin(), members.end());
+        const std::size_t anchor = fileIndex.at(members.front());
+        // Report at the anchor's first include into the cycle.
+        std::size_t line = 1;
+        for (const analysis::IncludeDirective &inc :
+             directives[anchor]) {
+            if (std::find(members.begin(), members.end(),
+                          inc.resolved) != members.end()) {
+                line = inc.line;
+                break;
+            }
+        }
+        std::string list;
+        for (const std::string &member : members) {
+            if (!list.empty())
+                list += ", ";
+            list += member;
+        }
+        diagnostics.add(files[anchor], line, "layer-cycle",
+                        "include cycle among: " + list);
+    }
+
+    // unused-include.
+    std::map<std::string, std::set<std::string>> provided;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        if (directives[i].empty())
+            continue;
+        const JoinedCode user = joinCode(files[i].code);
+        for (const analysis::IncludeDirective &inc :
+             directives[i]) {
+            if (inc.resolved.empty() ||
+                fileIndex.count(inc.resolved) == 0 ||
+                isPairedHeader(files[i].relPath, inc.resolved))
+                continue;
+            const std::size_t target = fileIndex.at(inc.resolved);
+            auto it = provided.find(inc.resolved);
+            if (it == provided.end())
+                it = provided
+                         .emplace(inc.resolved,
+                                  providedNames(
+                                      files[target].code))
+                         .first;
+            bool used = it->second.empty(); // nothing to provide
+            for (const std::string &name : it->second) {
+                if (findWord(user.text, name) !=
+                    std::string::npos) {
+                    used = true;
+                    break;
+                }
+            }
+            if (!used)
+                diagnostics.add(
+                    files[i], inc.line, "unused-include",
+                    "'" + inc.spelling +
+                        "' is included but none of its declared "
+                        "names are referenced here; drop the "
+                        "include (or include what you actually "
+                        "use)");
+        }
+    }
+}
+
+} // namespace lag::check

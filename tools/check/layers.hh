@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Include-graph layering for lag_check: the declared layer DAG
+ * (ci/layers.conf), layer assignment, include-cycle detection,
+ * layer-violation reporting and the conservative unused-include
+ * analysis.
+ *
+ * Rules emitted here:
+ *   layer-cycle        a cycle in the file-level include graph
+ *   layer-violation    an include edge the declared DAG forbids
+ *   layer-unmapped     a file no layer in the conf covers
+ *   include-unresolved a quoted include that resolves nowhere in
+ *                      the project
+ *   unused-include     an included project header none of whose
+ *                      provided names the includer references
+ */
+
+#ifndef LAG_TOOLS_CHECK_LAYERS_HH
+#define LAG_TOOLS_CHECK_LAYERS_HH
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "../analysis/diagnostics.hh"
+#include "../analysis/source.hh"
+
+namespace lag::check
+{
+
+/** One `layer` line of the conf. */
+struct Layer
+{
+    std::string name;
+    std::vector<std::string> dirs; ///< root-relative prefixes
+    std::vector<std::string> deps; ///< declared (direct) deps
+    std::size_t line = 0;          ///< conf line, for errors
+
+    /** Reflexive transitive closure of deps, as layer indices. */
+    std::vector<std::size_t> allowed;
+};
+
+struct LayerConfig
+{
+    std::string path; ///< the conf file, for messages
+    std::vector<Layer> layers;
+
+    /** Parse problems (unknown dep, duplicate layer, dependency
+     * cycle); non-empty means the config is unusable. */
+    std::vector<std::string> errors;
+
+    /** Index of the layer covering @p relPath (longest matching
+     * dir prefix), or npos. */
+    std::size_t layerOf(const std::string &relPath) const;
+};
+
+/**
+ * Parse @p confPath:
+ *
+ *   # comment
+ *   layer <name> <dir> [<dir>...] [-> <dep> [<dep>...]]
+ *
+ * A layer may include files from itself and, transitively, from
+ * every layer it declares after `->`. The dep graph must be a DAG.
+ */
+LayerConfig parseLayers(const std::filesystem::path &confPath);
+
+/**
+ * Run every include analysis over @p files, reporting into
+ * @p diagnostics. @p root anchors include resolution.
+ */
+void checkIncludes(const std::filesystem::path &root,
+                   const LayerConfig &config,
+                   const std::vector<analysis::SourceFile> &files,
+                   analysis::Diagnostics &diagnostics);
+
+} // namespace lag::check
+
+#endif // LAG_TOOLS_CHECK_LAYERS_HH

@@ -1,0 +1,773 @@
+#include "locks.hh"
+
+#include <algorithm>
+#include <climits>
+#include <cstring>
+#include <functional>
+#include <map>
+#include <set>
+#include <string>
+
+#include "../analysis/functions.hh"
+
+namespace lag::check
+{
+
+using analysis::Diagnostics;
+using analysis::findWord;
+using analysis::FunctionDef;
+using analysis::isIdentChar;
+using analysis::JoinedCode;
+using analysis::joinCode;
+using analysis::matchForward;
+using analysis::SourceFile;
+
+namespace
+{
+
+// ---------------------------------------------------------------
+// Small token helpers
+// ---------------------------------------------------------------
+
+std::size_t
+skipSpaces(const std::string &text, std::size_t pos)
+{
+    while (pos < text.size() && text[pos] == ' ')
+        ++pos;
+    return pos;
+}
+
+std::string
+wordAt(const std::string &text, std::size_t pos, std::size_t *end)
+{
+    std::size_t e = pos;
+    while (e < text.size() && isIdentChar(text[e]))
+        ++e;
+    if (end != nullptr)
+        *end = e;
+    return text.substr(pos, e - pos);
+}
+
+/** Last identifier in @p expr (after any `.`/`->`/`::` chain). */
+std::string
+trailingIdent(const std::string &expr)
+{
+    std::size_t end = expr.size();
+    while (end > 0 && !isIdentChar(expr[end - 1]))
+        --end;
+    std::size_t begin = end;
+    while (begin > 0 && isIdentChar(expr[begin - 1]))
+        --begin;
+    return expr.substr(begin, end - begin);
+}
+
+// ---------------------------------------------------------------
+// Rank table
+// ---------------------------------------------------------------
+
+/** Parse every `enum [class] LockRank { Name = N, ... }`. */
+void
+parseRankEnum(const std::string &text,
+              std::map<std::string, int> &ranks)
+{
+    std::size_t pos = findWord(text, "enum");
+    for (; pos != std::string::npos;
+         pos = findWord(text, "enum", pos + 1)) {
+        std::size_t i = skipSpaces(text, pos + 4);
+        std::size_t end = 0;
+        std::string word = wordAt(text, i, &end);
+        if (word == "class" || word == "struct") {
+            i = skipSpaces(text, end);
+            word = wordAt(text, i, &end);
+        }
+        if (word != "LockRank")
+            continue;
+        const std::size_t open = text.find('{', end);
+        if (open == std::string::npos)
+            continue;
+        const std::size_t close =
+            matchForward(text, open, '{', '}');
+        if (close == std::string::npos)
+            continue;
+        int next = 0;
+        std::size_t j = open + 1;
+        while (j < close) {
+            j = skipSpaces(text, j);
+            if (j >= close || !isIdentChar(text[j])) {
+                ++j;
+                continue;
+            }
+            std::size_t wend = 0;
+            const std::string name = wordAt(text, j, &wend);
+            j = skipSpaces(text, wend);
+            int value = next;
+            if (j < close && text[j] == '=') {
+                j = skipSpaces(text, j + 1);
+                bool negative = false;
+                if (j < close && text[j] == '-') {
+                    negative = true;
+                    ++j;
+                }
+                long parsed = 0;
+                bool any = false;
+                while (j < close && ((text[j] >= '0' &&
+                                      text[j] <= '9') ||
+                                     text[j] == '\'')) {
+                    if (text[j] != '\'') {
+                        parsed = parsed * 10 + (text[j] - '0');
+                        any = true;
+                    }
+                    ++j;
+                }
+                if (any)
+                    value = static_cast<int>(negative ? -parsed
+                                                      : parsed);
+            }
+            ranks.emplace(name, value); // first definition wins
+            next = value + 1;
+            while (j < close && text[j] != ',')
+                ++j;
+            ++j;
+        }
+    }
+}
+
+/** One `Mutex <name>{LockRank::R, ...}` (or `(...)`) site. */
+struct MutexDecl
+{
+    std::size_t pos = 0; ///< position of the variable name
+    std::string name;
+    std::string rankName; ///< "R" of LockRank::R
+};
+
+std::vector<MutexDecl>
+scanMutexDecls(const std::string &text)
+{
+    std::vector<MutexDecl> out;
+    std::size_t pos = findWord(text, "Mutex");
+    for (; pos != std::string::npos;
+         pos = findWord(text, "Mutex", pos + 1)) {
+        std::size_t i = skipSpaces(text, pos + 5);
+        if (i >= text.size() || !isIdentChar(text[i]))
+            continue;
+        std::size_t nameEnd = 0;
+        const std::string name = wordAt(text, i, &nameEnd);
+        std::size_t open = skipSpaces(text, nameEnd);
+        if (open >= text.size() ||
+            (text[open] != '{' && text[open] != '('))
+            continue;
+        std::size_t j = skipSpaces(text, open + 1);
+        std::size_t wend = 0;
+        if (wordAt(text, j, &wend) != "LockRank")
+            continue;
+        j = skipSpaces(text, wend);
+        if (j + 1 >= text.size() || text[j] != ':' ||
+            text[j + 1] != ':')
+            continue;
+        j = skipSpaces(text, j + 2);
+        MutexDecl decl;
+        decl.pos = i;
+        decl.name = name;
+        decl.rankName = wordAt(text, j, nullptr);
+        if (!decl.rankName.empty())
+            out.push_back(std::move(decl));
+    }
+    return out;
+}
+
+// ---------------------------------------------------------------
+// Per-function facts
+// ---------------------------------------------------------------
+
+struct Acquisition
+{
+    std::size_t pos = 0;  ///< position of the MutexLock token
+    std::size_t line = 0;
+    std::size_t end = 0;  ///< end of the held region
+    std::string mutexName;
+    std::string rankName;
+    int rank = 0;
+};
+
+struct CallSite
+{
+    std::size_t pos = 0;
+    std::size_t line = 0;
+    std::string name;
+};
+
+struct BlockingSite
+{
+    std::size_t pos = 0;
+    std::size_t line = 0;
+    std::string name;
+};
+
+struct FnFacts
+{
+    std::size_t fileIndex = 0;
+    FunctionDef def;
+    std::vector<Acquisition> acquisitions;
+    std::vector<CallSite> calls;
+    std::vector<BlockingSite> blocking;
+
+    // Transitive acquisition reach (computed over the call graph).
+    int transRank = INT_MIN;
+    std::string transMutex;
+    std::string transRankName;
+    std::string transWhere; ///< "file:line" of the acquisition
+    int dfsState = 0;       ///< 0 new / 1 visiting / 2 done
+};
+
+bool
+isCallKeyword(const std::string &word)
+{
+    static const char *kKeywords[] = {
+        "if", "for", "while", "switch", "catch", "return",
+        "sizeof", "alignof", "decltype", "new", "delete", "throw",
+        "static_assert", "assert", "defined", "do", "else",
+    };
+    for (const char *kw : kKeywords)
+        if (word == kw)
+            return true;
+    return false;
+}
+
+const char *kBlockingCalls[] = {
+    "poll",     "ppoll",    "select",   "epoll_wait", "accept",
+    "accept4",  "recv",     "recvfrom", "recvmsg",    "send",
+    "sendto",   "sendmsg",  "connect",  "read",       "write",
+    "pread",    "pwrite",   "readv",    "writev",     "usleep",
+    "nanosleep", "sleep",   "sleep_for", "sleep_until", "fsync",
+    "fdatasync",
+};
+
+} // namespace
+
+void
+checkLocks(const std::vector<SourceFile> &files,
+           Diagnostics &diagnostics)
+{
+    // Joined views, reused by every pass.
+    std::vector<JoinedCode> joined;
+    std::vector<JoinedCode> joinedHeader;
+    joined.reserve(files.size());
+    joinedHeader.reserve(files.size());
+    for (const SourceFile &file : files) {
+        joined.push_back(joinCode(file.code));
+        joinedHeader.push_back(joinCode(file.headerCode));
+    }
+
+    // 1. The rank table.
+    std::map<std::string, int> ranks;
+    for (const JoinedCode &j : joined)
+        parseRankEnum(j.text, ranks);
+    if (ranks.empty())
+        return; // nothing ranked: lock analysis has no model
+
+    // 2. Mutex declarations: per-file (file + paired header) and a
+    //    global name → rank map for unique names.
+    std::vector<std::map<std::string, std::string>> fileMutexes(
+        files.size());
+    std::map<std::string, std::set<std::string>> globalMutexes;
+    std::vector<std::vector<MutexDecl>> ownDecls(files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        ownDecls[i] = scanMutexDecls(joined[i].text);
+        std::vector<MutexDecl> headerDecls =
+            scanMutexDecls(joinedHeader[i].text);
+        for (const MutexDecl &decl : headerDecls)
+            fileMutexes[i][decl.name] = decl.rankName;
+        for (const MutexDecl &decl : ownDecls[i]) {
+            fileMutexes[i][decl.name] = decl.rankName;
+            globalMutexes[decl.name].insert(decl.rankName);
+        }
+    }
+
+    // 3. Functions per file; register rank-accessor functions
+    //    (a function whose body declares a `static Mutex` is the
+    //    idiom for function-local registries).
+    std::vector<std::vector<FunctionDef>> functions(files.size());
+    std::vector<std::map<std::string, std::string>> fileAccessors(
+        files.size());
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        functions[i] = extractFunctions(joined[i]);
+        for (const MutexDecl &decl : ownDecls[i]) {
+            const FunctionDef *innermost = nullptr;
+            for (const FunctionDef &def : functions[i]) {
+                if (decl.pos > def.bodyBegin &&
+                    decl.pos < def.bodyEnd &&
+                    (innermost == nullptr ||
+                     def.bodyBegin > innermost->bodyBegin))
+                    innermost = &def;
+            }
+            if (innermost != nullptr)
+                fileAccessors[i][innermost->name] = decl.rankName;
+        }
+    }
+
+    const auto rankValue = [&ranks](const std::string &name) {
+        const auto it = ranks.find(name);
+        return it == ranks.end() ? INT_MIN : it->second;
+    };
+
+    // 4. Per-function facts.
+    std::vector<FnFacts> facts;
+    std::map<std::string, std::vector<std::size_t>> byName;
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const std::string &text = joined[i].text;
+        for (const FunctionDef &def : functions[i]) {
+            FnFacts fn;
+            fn.fileIndex = i;
+            fn.def = def;
+            const std::size_t begin = def.bodyBegin + 1;
+            const std::size_t end = def.bodyEnd;
+
+            // Acquisitions.
+            std::size_t pos = findWord(text, "MutexLock", begin);
+            for (; pos != std::string::npos && pos < end;
+                 pos = findWord(text, "MutexLock", pos + 1)) {
+                if (pos > 0 && text[pos - 1] == '~')
+                    continue;
+                std::size_t i2 = skipSpaces(text, pos + 9);
+                if (i2 >= end || !isIdentChar(text[i2]))
+                    continue;
+                std::size_t varEnd = 0;
+                const std::string var = wordAt(text, i2, &varEnd);
+                std::size_t open = skipSpaces(text, varEnd);
+                if (open >= end ||
+                    (text[open] != '(' && text[open] != '{'))
+                    continue;
+                const char openCh = text[open];
+                const std::size_t close = matchForward(
+                    text, open, openCh, openCh == '(' ? ')' : '}');
+                if (close == std::string::npos || close > end)
+                    continue;
+                std::string expr =
+                    text.substr(open + 1, close - open - 1);
+                while (!expr.empty() && expr.back() == ' ')
+                    expr.pop_back();
+                std::string rankName;
+                if (expr.size() >= 2 &&
+                    expr.compare(expr.size() - 2, 2, "()") == 0) {
+                    const std::string accessor = trailingIdent(
+                        expr.substr(0, expr.size() - 2));
+                    const auto it =
+                        fileAccessors[i].find(accessor);
+                    if (it != fileAccessors[i].end())
+                        rankName = it->second;
+                } else {
+                    const std::string name = trailingIdent(expr);
+                    const auto it = fileMutexes[i].find(name);
+                    if (it != fileMutexes[i].end()) {
+                        rankName = it->second;
+                    } else {
+                        const auto git = globalMutexes.find(name);
+                        if (git != globalMutexes.end() &&
+                            git->second.size() == 1)
+                            rankName = *git->second.begin();
+                    }
+                }
+                if (rankName.empty() ||
+                    rankValue(rankName) == INT_MIN)
+                    continue; // unresolvable: out of model
+                Acquisition acq;
+                acq.pos = pos;
+                acq.line = joined[i].lineOf[pos];
+                acq.mutexName = trailingIdent(
+                    expr.size() >= 2 &&
+                            expr.compare(expr.size() - 2, 2,
+                                         "()") == 0
+                        ? expr.substr(0, expr.size() - 2)
+                        : expr);
+                acq.rankName = rankName;
+                acq.rank = rankValue(rankName);
+                acq.end = analysis::scopeEnd(text, close, end);
+                // An explicit early unlock ends the held region.
+                const std::size_t unlockPos = text.find(
+                    var + ".unlock", close);
+                if (unlockPos != std::string::npos &&
+                    unlockPos < acq.end)
+                    acq.end = unlockPos;
+                fn.acquisitions.push_back(std::move(acq));
+            }
+
+            // Calls (for the approximate call graph).
+            std::size_t c = begin;
+            while (c < end) {
+                if (!isIdentChar(text[c])) {
+                    ++c;
+                    continue;
+                }
+                std::size_t wend = 0;
+                const std::string word = wordAt(text, c, &wend);
+                const std::size_t next = skipSpaces(text, wend);
+                // Calls through an explicit receiver (`x.f()`,
+                // `p->f()`) stay out of the graph: the name-based
+                // resolver cannot see the receiver's type, and
+                // `nodes_.size()` must not bind to SomeClass::size.
+                // Implicit member calls and free calls — the paths
+                // a same-object re-lock actually takes — remain.
+                const bool receivered =
+                    c > begin &&
+                    (text[c - 1] == '.' ||
+                     (text[c - 1] == '>' && c > begin + 1 &&
+                      text[c - 2] == '-'));
+                if (next < end && text[next] == '(' &&
+                    !receivered && !isCallKeyword(word) &&
+                    !(word[0] >= '0' && word[0] <= '9')) {
+                    CallSite call;
+                    call.pos = c;
+                    call.line = joined[i].lineOf[c];
+                    call.name = word;
+                    fn.calls.push_back(std::move(call));
+                }
+                c = wend;
+            }
+
+            // Blocking calls (free-call shape only).
+            for (const char *blocker : kBlockingCalls) {
+                std::size_t b = findWord(text, blocker, begin);
+                for (; b != std::string::npos && b < end;
+                     b = findWord(text, blocker, b + 1)) {
+                    const std::size_t next = skipSpaces(
+                        text, b + std::strlen(blocker));
+                    if (next >= end || text[next] != '(')
+                        continue;
+                    if (b > 0 &&
+                        (text[b - 1] == '.' ||
+                         (text[b - 1] == '>' && b > 1 &&
+                          text[b - 2] == '-')))
+                        continue; // member call on some object
+                    BlockingSite site;
+                    site.pos = b;
+                    site.line = joined[i].lineOf[b];
+                    site.name = blocker;
+                    fn.blocking.push_back(site);
+                }
+            }
+
+            byName[fn.def.name].push_back(facts.size());
+            facts.push_back(std::move(fn));
+        }
+    }
+
+    // 5. Resolve call edges: unique name project-wide, or unique
+    //    within the calling file (the safe subset of a name-based
+    //    call graph).
+    const auto resolveCallee =
+        [&byName, &facts](const FnFacts &from,
+                          const std::string &name)
+        -> const FnFacts * {
+        const auto it = byName.find(name);
+        if (it == byName.end())
+            return nullptr;
+        if (it->second.size() == 1)
+            return &facts[it->second.front()];
+        const FnFacts *sameFile = nullptr;
+        for (const std::size_t idx : it->second) {
+            if (facts[idx].fileIndex == from.fileIndex) {
+                if (sameFile != nullptr)
+                    return nullptr; // ambiguous in-file too
+                sameFile = &facts[idx];
+            }
+        }
+        return sameFile;
+    };
+
+    // 6. Transitive acquisition reach, DFS with memoization.
+    //    (Plain recursion; the call graph is project-sized.)
+    const std::function<void(FnFacts &)> computeTrans =
+        [&](FnFacts &fn) {
+            if (fn.dfsState != 0)
+                return;
+            fn.dfsState = 1;
+            for (const Acquisition &acq : fn.acquisitions) {
+                if (acq.rank > fn.transRank) {
+                    fn.transRank = acq.rank;
+                    fn.transMutex = acq.mutexName;
+                    fn.transRankName = acq.rankName;
+                    fn.transWhere =
+                        files[fn.fileIndex].relPath + ":" +
+                        std::to_string(acq.line);
+                }
+            }
+            for (const CallSite &call : fn.calls) {
+                const FnFacts *callee =
+                    resolveCallee(fn, call.name);
+                if (callee == nullptr || callee == &fn)
+                    continue;
+                FnFacts &target =
+                    facts[static_cast<std::size_t>(callee -
+                                                   facts.data())];
+                if (target.dfsState == 1)
+                    continue; // recursion cycle: no new info
+                computeTrans(target);
+                if (target.transRank > fn.transRank) {
+                    fn.transRank = target.transRank;
+                    fn.transMutex = target.transMutex;
+                    fn.transRankName = target.transRankName;
+                    fn.transWhere = target.transWhere;
+                }
+            }
+            fn.dfsState = 2;
+        };
+    for (FnFacts &fn : facts)
+        computeTrans(fn);
+
+    // 7. Report. Held-minimum at a position = the lowest rank among
+    //    acquisitions whose region covers it (a new acquisition
+    //    must be strictly below *every* held rank, i.e. the min).
+    for (const FnFacts &fn : facts) {
+        const SourceFile &file = files[fn.fileIndex];
+        const auto heldAt =
+            [&fn](std::size_t pos,
+                  const Acquisition *exclude) -> const Acquisition * {
+            const Acquisition *min = nullptr;
+            for (const Acquisition &acq : fn.acquisitions) {
+                if (&acq == exclude)
+                    continue;
+                if (acq.pos < pos && pos < acq.end &&
+                    (min == nullptr || acq.rank < min->rank))
+                    min = &acq;
+            }
+            return min;
+        };
+
+        for (const Acquisition &acq : fn.acquisitions) {
+            const Acquisition *held = heldAt(acq.pos, &acq);
+            if (held != nullptr && acq.rank >= held->rank)
+                diagnostics.add(
+                    file, acq.line, "rank-inversion",
+                    "acquiring '" + acq.mutexName +
+                        "' (LockRank::" + acq.rankName + " = " +
+                        std::to_string(acq.rank) +
+                        ") while holding '" + held->mutexName +
+                        "' (LockRank::" + held->rankName + " = " +
+                        std::to_string(held->rank) +
+                        "); ranks must strictly descend");
+        }
+
+        for (const BlockingSite &site : fn.blocking) {
+            const Acquisition *held = heldAt(site.pos, nullptr);
+            if (held != nullptr)
+                diagnostics.add(
+                    file, site.line, "lock-across-blocking",
+                    "'" + site.name +
+                        "()' may block while holding '" +
+                        held->mutexName + "' (LockRank::" +
+                        held->rankName +
+                        "); move the blocking call outside the "
+                        "critical section");
+        }
+
+        for (const CallSite &call : fn.calls) {
+            const Acquisition *held = heldAt(call.pos, nullptr);
+            if (held == nullptr)
+                continue;
+            const FnFacts *callee = resolveCallee(fn, call.name);
+            if (callee == nullptr || callee == &fn ||
+                callee->transRank == INT_MIN)
+                continue;
+            if (callee->transRank >= held->rank)
+                diagnostics.add(
+                    file, call.line, "rank-inversion",
+                    "call to '" + callee->def.qualified +
+                        "' can reach an acquisition of '" +
+                        callee->transMutex + "' (LockRank::" +
+                        callee->transRankName + " = " +
+                        std::to_string(callee->transRank) +
+                        ", at " + callee->transWhere +
+                        ") while holding '" + held->mutexName +
+                        "' (LockRank::" + held->rankName + " = " +
+                        std::to_string(held->rank) +
+                        "); ranks must strictly descend");
+        }
+    }
+
+    // 8. guarded-by-gap: members declared after a Mutex member
+    //    without a LAG_GUARDED_BY annotation. The project idiom is
+    //    "a mutex, then the members it guards"; anything trailing
+    //    a mutex unannotated is either a missed annotation or a
+    //    member that belongs above the mutex.
+    for (std::size_t i = 0; i < files.size(); ++i) {
+        const std::string &text = joined[i].text;
+        std::set<std::size_t> flaggedLines;
+        for (const char *kw : {"class", "struct"}) {
+            std::size_t pos = findWord(text, kw);
+            for (; pos != std::string::npos;
+                 pos = findWord(text, kw, pos + 1)) {
+                // `enum class` / `enum struct` are not classes.
+                std::size_t back = pos;
+                while (back > 0 && text[back - 1] == ' ')
+                    --back;
+                if (back >= 4 &&
+                    text.compare(back - 4, 4, "enum") == 0)
+                    continue;
+                // Find the class body, unless this is a forward
+                // declaration or a template parameter.
+                std::size_t j = pos + std::strlen(kw);
+                std::size_t open = std::string::npos;
+                while (j < text.size()) {
+                    if (text[j] == '{') {
+                        open = j;
+                        break;
+                    }
+                    if (text[j] == ';' || text[j] == '(' ||
+                        text[j] == '>' || text[j] == ',')
+                        break;
+                    ++j;
+                }
+                if (open == std::string::npos)
+                    continue;
+                const std::size_t close =
+                    matchForward(text, open, '{', '}');
+                if (close == std::string::npos)
+                    continue;
+
+                for (const MutexDecl &decl : [&] {
+                         std::vector<MutexDecl> in;
+                         for (const MutexDecl &d :
+                              scanMutexDecls(text.substr(
+                                  open, close - open))) {
+                             // Only mutexes directly in THIS class
+                             // body; a nested class's mutex guards
+                             // the nested class's members (and that
+                             // body gets its own scan).
+                             int depth = 0;
+                             for (std::size_t k = open;
+                                  k < d.pos + open; ++k) {
+                                 if (text[k] == '{')
+                                     ++depth;
+                                 else if (text[k] == '}')
+                                     --depth;
+                             }
+                             if (depth == 1)
+                                 in.push_back(MutexDecl{
+                                     d.pos + open, d.name,
+                                     d.rankName});
+                         }
+                         return in;
+                     }()) {
+                    // Step past the declaration's ';'.
+                    std::size_t s = decl.pos;
+                    int depth = 0;
+                    while (s < close) {
+                        if (text[s] == '{' || text[s] == '(')
+                            ++depth;
+                        else if (text[s] == '}' || text[s] == ')')
+                            --depth;
+                        else if (text[s] == ';' && depth == 0) {
+                            ++s;
+                            break;
+                        }
+                        ++s;
+                    }
+                    // Statements until the end of the class body.
+                    while (s < close) {
+                        std::size_t stmtEnd = s;
+                        int d2 = 0;
+                        bool braced = false;
+                        while (stmtEnd < close) {
+                            const char ch = text[stmtEnd];
+                            if (ch == '(')
+                                ++d2;
+                            else if (ch == ')')
+                                --d2;
+                            else if (ch == '{' && d2 == 0) {
+                                // Inline body: skip it and end the
+                                // statement there (no ';' after a
+                                // member-function definition).
+                                const std::size_t bclose =
+                                    matchForward(text, stmtEnd,
+                                                 '{', '}');
+                                if (bclose == std::string::npos ||
+                                    bclose > close) {
+                                    stmtEnd = close;
+                                } else {
+                                    stmtEnd = bclose;
+                                    braced = true;
+                                }
+                                break;
+                            } else if (ch == ';' && d2 == 0) {
+                                break;
+                            }
+                            ++stmtEnd;
+                        }
+                        std::string stmt =
+                            text.substr(s, stmtEnd - s);
+                        const std::size_t stmtPos = s;
+                        s = stmtEnd + 1;
+
+                        // Access specifiers are separators, not
+                        // statement content.
+                        for (const char *spec :
+                             {"public", "private", "protected"}) {
+                            const std::size_t sp =
+                                findWord(stmt, spec);
+                            if (sp != std::string::npos) {
+                                std::size_t colon =
+                                    stmt.find(':', sp);
+                                if (colon != std::string::npos)
+                                    stmt = stmt.substr(0, sp) +
+                                           stmt.substr(colon + 1);
+                            }
+                        }
+                        bool skip = braced;
+                        skip = skip ||
+                               stmt.find_first_not_of(' ') ==
+                                   std::string::npos;
+                        skip = skip ||
+                               stmt.find("LAG_GUARDED_BY") !=
+                                   std::string::npos;
+                        for (const char *word :
+                             {"Mutex", "condition_variable",
+                              "condition_variable_any", "atomic",
+                              "thread", "using", "typedef",
+                              "friend", "static", "constexpr",
+                              "enum", "class", "struct", "union",
+                              "operator", "template", "const"})
+                            skip = skip ||
+                                   findWord(stmt, word) !=
+                                       std::string::npos;
+                        skip = skip ||
+                               stmt.find('(') !=
+                                   std::string::npos ||
+                               stmt.find('&') !=
+                                   std::string::npos;
+                        if (skip)
+                            continue;
+
+                        // Member name: last identifier before '='
+                        // / '{' / end.
+                        std::size_t cut = stmt.size();
+                        const std::size_t eq = stmt.find('=');
+                        const std::size_t brace = stmt.find('{');
+                        cut = std::min(cut, eq);
+                        cut = std::min(cut, brace);
+                        const std::string member =
+                            trailingIdent(stmt.substr(0, cut));
+                        if (member.empty())
+                            continue;
+                        const std::size_t namePos =
+                            stmtPos +
+                            stmt.substr(0, cut).rfind(member);
+                        const std::size_t line =
+                            joined[i].lineOf[namePos];
+                        if (!flaggedLines.insert(line).second)
+                            continue;
+                        diagnostics.add(
+                            files[i], line, "guarded-by-gap",
+                            "member '" + member +
+                                "' follows mutex '" + decl.name +
+                                "' without LAG_GUARDED_BY; "
+                                "annotate it, or declare it above "
+                                "the mutex if it is not shared "
+                                "state");
+                    }
+                }
+            }
+        }
+    }
+}
+
+} // namespace lag::check

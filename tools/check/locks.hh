@@ -1,0 +1,46 @@
+/**
+ * @file
+ * Static lock-order verification for lag_check.
+ *
+ * Recovers the project's rank table (the LockRank enum plus every
+ * `Mutex name{LockRank::X, ...}` construction), scans function
+ * bodies for MutexLock acquisitions with brace-scoped held
+ * regions, builds an approximate name-based intra-project call
+ * graph, and reports:
+ *
+ *   rank-inversion        acquiring a rank >= one already held —
+ *                         directly, or transitively through a
+ *                         statically reachable callee
+ *   lock-across-blocking  a blocking call (poll/accept/read/write/
+ *                         sleep_for family) inside a held region
+ *   guarded-by-gap        a data member declared after a Mutex
+ *                         member without a LAG_GUARDED_BY
+ *                         annotation (the project convention is
+ *                         that guarded members follow their mutex)
+ *
+ * The runtime lock-rank checker (util/mutex.hh) only sees
+ * interleavings a test happens to execute; this pass covers every
+ * statically reachable acquisition path, at the cost of
+ * approximation: unresolvable mutex expressions and ambiguous
+ * callee names are skipped, so a clean report means "no inversion
+ * the name-based analysis can reach", not a proof.
+ */
+
+#ifndef LAG_TOOLS_CHECK_LOCKS_HH
+#define LAG_TOOLS_CHECK_LOCKS_HH
+
+#include <vector>
+
+#include "../analysis/diagnostics.hh"
+#include "../analysis/source.hh"
+
+namespace lag::check
+{
+
+/** Run the lock-discipline analyses over @p files. */
+void checkLocks(const std::vector<analysis::SourceFile> &files,
+                analysis::Diagnostics &diagnostics);
+
+} // namespace lag::check
+
+#endif // LAG_TOOLS_CHECK_LOCKS_HH

@@ -1,0 +1,171 @@
+/**
+ * @file
+ * lag-check: LagAlyzer's whole-project architecture checker.
+ *
+ * Where lag_lint enforces per-line invariants, lag_check looks at
+ * relationships *between* files: the project include graph against
+ * the declared layer DAG (ci/layers.conf), and the static lock
+ * discipline recovered from the LockRank table. Both analyses run
+ * over the same lexer-level front end (tools/analysis/), so a
+ * single pass of comment/string blanking serves both tools.
+ *
+ * Rule families (see DESIGN.md "Static analysis & invariants"):
+ *
+ *   layering  layer-cycle, layer-violation, layer-unmapped,
+ *             include-unresolved, unused-include  (tools/check/layers)
+ *   locking   rank-inversion, lock-across-blocking,
+ *             guarded-by-gap                      (tools/check/locks)
+ *
+ * Output: human text on stdout (`file:line: [rule] message`), an
+ * optional strict-JSON report (--json FILE) and an optional one-line
+ * JSON summary (--summary) for the CI log. Exit status: 0 clean,
+ * 1 findings, 2 I/O or configuration error. The suppression syntax
+ * is shared with lag_lint: `// lag-lint: allow(<rule>[, ...])` on
+ * the flagged line or `allow-next` on the line above.
+ */
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "analysis/walker.hh"
+#include "check/layers.hh"
+#include "check/locks.hh"
+
+namespace
+{
+
+namespace fs = std::filesystem;
+
+constexpr const char *kTool = "lag-check";
+
+struct RuleDoc
+{
+    const char *name;
+    const char *summary;
+};
+
+const RuleDoc kRules[] = {
+    {"layer-cycle",
+     "a cycle in the file-level include graph"},
+    {"layer-violation",
+     "an include edge the declared layer DAG (ci/layers.conf) "
+     "forbids"},
+    {"layer-unmapped",
+     "a file no layer in the conf covers"},
+    {"include-unresolved",
+     "a quoted include that resolves nowhere in the project"},
+    {"unused-include",
+     "an included project header none of whose declared names the "
+     "includer references"},
+    {"rank-inversion",
+     "acquiring a LockRank >= one already held, directly or through "
+     "a statically reachable callee"},
+    {"lock-across-blocking",
+     "a blocking call (poll/accept/read/write/sleep_for family) "
+     "while a lag::Mutex is held"},
+    {"guarded-by-gap",
+     "a data member declared after a Mutex member without "
+     "LAG_GUARDED_BY"},
+};
+
+void
+printHelp()
+{
+    std::printf(
+        "usage: lag_check [--root DIR] [--layers FILE] "
+        "[--json FILE] [--summary] [--list-rules] [paths...]\n"
+        "Checks paths (default: src tools) relative to DIR against\n"
+        "the layer DAG in FILE (default: ci/layers.conf under DIR)\n"
+        "and the static lock-rank discipline.\n"
+        "  --json FILE   also write a strict-JSON report to FILE\n"
+        "  --summary     print a one-line JSON summary to stdout\n"
+        "Suppress a line with  // lag-lint: allow(<rule>[, ...])\n"
+        "or the line below with  // lag-lint: allow-next(...)\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    fs::path root = fs::current_path();
+    fs::path layersConf;
+    std::string jsonPath;
+    bool summary = false;
+    std::vector<std::string> paths;
+    for (int i = 1; i < argc; ++i) {
+        const std::string_view arg = argv[i];
+        if (arg == "--root" || arg == "--layers" ||
+            arg == "--json") {
+            if (i + 1 >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             kTool, argv[i]);
+                return 2;
+            }
+            if (arg == "--root")
+                root = argv[++i];
+            else if (arg == "--layers")
+                layersConf = argv[++i];
+            else
+                jsonPath = argv[++i];
+        } else if (arg == "--summary") {
+            summary = true;
+        } else if (arg == "--list-rules") {
+            for (const RuleDoc &rule : kRules)
+                std::printf("%-20s %s\n", rule.name, rule.summary);
+            return 0;
+        } else if (arg == "--help" || arg == "-h") {
+            printHelp();
+            return 0;
+        } else {
+            paths.emplace_back(arg);
+        }
+    }
+    if (paths.empty())
+        paths = {"src", "tools"};
+    if (layersConf.empty())
+        layersConf = root / "ci" / "layers.conf";
+    else if (layersConf.is_relative())
+        layersConf = root / layersConf;
+
+    const lag::check::LayerConfig config =
+        lag::check::parseLayers(layersConf);
+    if (!config.errors.empty()) {
+        for (const std::string &error : config.errors)
+            std::fprintf(stderr, "%s: %s\n", kTool, error.c_str());
+        return 2;
+    }
+
+    std::vector<lag::analysis::SourceFile> files;
+    const bool io_ok =
+        lag::analysis::collectFiles(kTool, root, paths, files);
+
+    lag::analysis::Diagnostics diagnostics;
+    lag::check::checkIncludes(root, config, files, diagnostics);
+    lag::check::checkLocks(files, diagnostics);
+
+    diagnostics.printText(kTool);
+    if (!jsonPath.empty()) {
+        std::ofstream out(jsonPath);
+        if (!out) {
+            std::fprintf(stderr, "%s: cannot write '%s'\n", kTool,
+                         jsonPath.c_str());
+            return 2;
+        }
+        out << diagnostics.json(kTool) << '\n';
+    }
+    if (summary)
+        std::printf("%s\n",
+                    diagnostics.summaryLine(kTool).c_str());
+
+    if (!diagnostics.empty())
+        return 1;
+    if (!io_ok)
+        return 2;
+    return 0;
+}

@@ -9,11 +9,14 @@
  * `file:line: [rule] message` and the exit status is nonzero when
  * anything fired.
  *
- * The scanner blanks comments, string literals and char literals
- * (preserving columns and line numbers), so rules match only real
- * code. A violation line can be suppressed — visibly, greppably —
- * with a trailing `// lag-lint: allow(<rule>)` comment; the
- * suppression must sit on the exact line the diagnostic names.
+ * The scanning front end (comment/string blanking, word matching,
+ * the file walker and the suppression syntax) lives in
+ * tools/analysis/ and is shared with lag_check, the whole-project
+ * architecture and lock-discipline analyzer; lag_lint keeps the
+ * per-line rules. A violation line can be suppressed — visibly,
+ * greppably — with `// lag-lint: allow(<rule>[, <rule>...])` on the
+ * flagged line, or `// lag-lint: allow-next(<rule>[, ...])` on the
+ * line directly above it.
  *
  * Rules (see DESIGN.md "Static analysis & invariants"):
  *   wallclock      no wall-clock/OS-entropy source in simulated-
@@ -31,207 +34,29 @@
  *                  src/trace); timings go through the obs epoch
  */
 
-#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <filesystem>
 #include <initializer_list>
-#include <fstream>
-#include <functional>
-#include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "analysis/diagnostics.hh"
+#include "analysis/source.hh"
+#include "analysis/walker.hh"
 
 namespace
 {
 
 namespace fs = std::filesystem;
 
-struct Finding
-{
-    std::string file;
-    std::size_t line; // 1-based
-    std::string rule;
-    std::string message;
-};
-
-/** One file, scanned: raw lines plus comment/string-blanked lines. */
-struct ScannedFile
-{
-    std::string relPath;
-    std::vector<std::string> raw;
-    std::vector<std::string> code;
-
-    /** Blanked lines of the paired header (X.hh beside X.cc), so
-     * member declarations are visible when linting the .cc. */
-    std::vector<std::string> headerCode;
-};
-
-bool
-isIdentChar(char c)
-{
-    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
-           (c >= '0' && c <= '9') || c == '_';
-}
-
-/**
- * Blank comments and literal contents while preserving layout.
- * Handles //, block comments, "..." with escapes, '...' and basic
- * raw strings R"delim(...)delim".
- */
-std::vector<std::string>
-blankNonCode(const std::vector<std::string> &raw)
-{
-    enum class State
-    {
-        Normal,
-        Block,   // /* ... */
-        Str,     // "..."
-        Chr,     // '...'
-        RawStr,  // R"delim( ... )delim"
-    };
-    State state = State::Normal;
-    std::string rawDelim; // for RawStr: ")delim\""
-
-    std::vector<std::string> out;
-    out.reserve(raw.size());
-    for (const std::string &line : raw) {
-        std::string code = line;
-        std::size_t i = 0;
-        const std::size_t n = line.size();
-        while (i < n) {
-            switch (state) {
-              case State::Normal:
-                if (line[i] == '/' && i + 1 < n && line[i + 1] == '/') {
-                    for (std::size_t j = i; j < n; ++j)
-                        code[j] = ' ';
-                    i = n;
-                } else if (line[i] == '/' && i + 1 < n &&
-                           line[i + 1] == '*') {
-                    code[i] = code[i + 1] = ' ';
-                    i += 2;
-                    state = State::Block;
-                } else if (line[i] == '"' && i > 0 && line[i - 1] == 'R' &&
-                           (i == 1 || !isIdentChar(line[i - 2]))) {
-                    // R"delim( — collect the delimiter.
-                    std::size_t j = i + 1;
-                    std::string delim;
-                    while (j < n && line[j] != '(')
-                        delim += line[j++];
-                    rawDelim = ")" + delim + "\"";
-                    for (std::size_t k = i; k < j && k < n; ++k)
-                        code[k] = ' ';
-                    i = j;
-                    state = State::RawStr;
-                } else if (line[i] == '"') {
-                    code[i] = ' ';
-                    ++i;
-                    state = State::Str;
-                } else if (line[i] == '\'' &&
-                           !(i > 0 && isIdentChar(line[i - 1]))) {
-                    // Skip digit separators (1'000'000) via the
-                    // preceding-identifier-char test.
-                    code[i] = ' ';
-                    ++i;
-                    state = State::Chr;
-                } else {
-                    ++i;
-                }
-                break;
-              case State::Block:
-                if (line[i] == '*' && i + 1 < n && line[i + 1] == '/') {
-                    code[i] = code[i + 1] = ' ';
-                    i += 2;
-                    state = State::Normal;
-                } else {
-                    code[i] = ' ';
-                    ++i;
-                }
-                break;
-              case State::Str:
-              case State::Chr: {
-                const char quote = state == State::Str ? '"' : '\'';
-                if (line[i] == '\\' && i + 1 < n) {
-                    code[i] = code[i + 1] = ' ';
-                    i += 2;
-                } else {
-                    const bool end = line[i] == quote;
-                    code[i] = ' ';
-                    ++i;
-                    if (end)
-                        state = State::Normal;
-                }
-                break;
-              }
-              case State::RawStr:
-                if (line.compare(i, rawDelim.size(), rawDelim) == 0) {
-                    for (std::size_t k = 0; k < rawDelim.size(); ++k)
-                        code[i + k] = ' ';
-                    i += rawDelim.size();
-                    state = State::Normal;
-                } else {
-                    code[i] = ' ';
-                    ++i;
-                }
-                break;
-            }
-        }
-        // Unterminated " or ' never spans lines in valid C++.
-        if (state == State::Str || state == State::Chr)
-            state = State::Normal;
-        out.push_back(std::move(code));
-    }
-    return out;
-}
-
-/** Position of token @p word in @p code as a whole word, from
- * @p from; npos when absent. */
-std::size_t
-findWord(std::string_view code, std::string_view word,
-         std::size_t from = 0)
-{
-    while (true) {
-        const std::size_t pos = code.find(word, from);
-        if (pos == std::string_view::npos)
-            return pos;
-        const bool left_ok = pos == 0 || !isIdentChar(code[pos - 1]);
-        const std::size_t end = pos + word.size();
-        const bool right_ok =
-            end >= code.size() || !isIdentChar(code[end]);
-        if (left_ok && right_ok)
-            return pos;
-        from = pos + 1;
-    }
-}
-
-/** True when the call-shaped token @p name( appears as a free
- * function (not a member access, not part of an identifier). */
-bool
-hasFreeCall(std::string_view code, std::string_view name)
-{
-    std::size_t from = 0;
-    while (true) {
-        const std::size_t pos = findWord(code, name, from);
-        if (pos == std::string_view::npos)
-            return false;
-        std::size_t j = pos + name.size();
-        while (j < code.size() && code[j] == ' ')
-            ++j;
-        const bool is_call = j < code.size() && code[j] == '(';
-        bool member = false;
-        if (pos > 0) {
-            const char prev = code[pos - 1];
-            if (prev == '.')
-                member = true;
-            if (prev == '>' && pos > 1 && code[pos - 2] == '-')
-                member = true;
-        }
-        if (is_call && !member)
-            return true;
-        from = pos + 1;
-    }
-}
+using lag::analysis::Diagnostics;
+using lag::analysis::findWord;
+using lag::analysis::hasFreeCall;
+using lag::analysis::isIdentChar;
+using lag::analysis::joinCode;
+using lag::analysis::SourceFile;
 
 /** Names declared with an unordered_{map,set} type in @p lines. */
 std::vector<std::string>
@@ -283,20 +108,11 @@ struct RangeFor
 };
 
 std::vector<RangeFor>
-rangeFors(const ScannedFile &file)
+rangeFors(const SourceFile &file)
 {
-    // Join the file so a `for (...)` spanning lines still parses;
-    // remember each character's line.
-    std::string all;
-    std::vector<std::size_t> lineOf;
-    for (std::size_t ln = 0; ln < file.code.size(); ++ln) {
-        for (const char c : file.code[ln]) {
-            all += c;
-            lineOf.push_back(ln + 1);
-        }
-        all += ' ';
-        lineOf.push_back(ln + 1);
-    }
+    // Join the file so a `for (...)` spanning lines still parses.
+    const lag::analysis::JoinedCode joined = joinCode(file.code);
+    const std::string &all = joined.text;
 
     std::vector<RangeFor> fors;
     std::size_t pos = findWord(all, "for");
@@ -337,7 +153,8 @@ rangeFors(const ScannedFile &file)
                 expr = expr.substr(first, last - first + 1);
             else
                 expr.clear();
-            fors.push_back(RangeFor{lineOf[pos], std::move(expr)});
+            fors.push_back(RangeFor{joined.lineOf[pos],
+                                    std::move(expr)});
         }
         pos = findWord(all, "for", pos + 1);
     }
@@ -356,8 +173,7 @@ underAny(std::string_view rel,
     return false;
 }
 
-using CheckFn = std::function<void(const ScannedFile &,
-                                   std::vector<Finding> &)>;
+using CheckFn = void (*)(const SourceFile &, Diagnostics &);
 
 struct Rule
 {
@@ -366,28 +182,12 @@ struct Rule
     CheckFn check;
 };
 
-void
-addFinding(std::vector<Finding> &out, const ScannedFile &file,
-           std::size_t line, const char *rule,
-           std::string message)
-{
-    // Per-line opt-out: `// lag-lint: allow(<rule>)` on the raw
-    // (pre-blanking) text of the flagged line.
-    const std::string &raw = file.raw[line - 1];
-    const std::string tag = std::string("lag-lint: allow(") + rule +
-                            ")";
-    if (raw.find(tag) != std::string::npos)
-        return;
-    out.push_back(Finding{file.relPath, line, rule,
-                          std::move(message)});
-}
-
 // ---------------------------------------------------------------
 // Rule: wallclock
 // ---------------------------------------------------------------
 
 void
-checkWallclock(const ScannedFile &file, std::vector<Finding> &out)
+checkWallclock(const SourceFile &file, Diagnostics &out)
 {
     if (!underAny(file.relPath,
                   {"src/sim/", "src/jvm/", "src/core/"}))
@@ -403,18 +203,18 @@ checkWallclock(const ScannedFile &file, std::vector<Finding> &out)
         const std::string &code = file.code[ln - 1];
         for (const char *token : kTokens) {
             if (findWord(code, token) != std::string::npos)
-                addFinding(out, file, ln, "wallclock",
-                           std::string("'") + token +
-                               "' in simulated-time code; use the "
-                               "sim::EventQueue clock or lag::Rng");
+                out.add(file, ln, "wallclock",
+                        std::string("'") + token +
+                            "' in simulated-time code; use the "
+                            "sim::EventQueue clock or lag::Rng");
         }
         for (const char *call : kCalls) {
             if (hasFreeCall(code, call))
-                addFinding(out, file, ln, "wallclock",
-                           std::string("call to '") + call +
-                               "()' in simulated-time code; use "
-                               "the sim::EventQueue clock or "
-                               "lag::Rng");
+                out.add(file, ln, "wallclock",
+                        std::string("call to '") + call +
+                            "()' in simulated-time code; use "
+                            "the sim::EventQueue clock or "
+                            "lag::Rng");
         }
     }
 }
@@ -424,8 +224,7 @@ checkWallclock(const ScannedFile &file, std::vector<Finding> &out)
 // ---------------------------------------------------------------
 
 void
-checkUnorderedIter(const ScannedFile &file,
-                   std::vector<Finding> &out)
+checkUnorderedIter(const SourceFile &file, Diagnostics &out)
 {
     if (!underAny(file.relPath,
                   {"src/core/", "src/trace/", "src/report/",
@@ -449,13 +248,12 @@ checkUnorderedIter(const ScannedFile &file,
             continue;
         for (const std::string &name : names) {
             if (expr == name)
-                addFinding(out, file, rf.line, "unordered-iter",
-                           "iteration over hash container '" +
-                               name +
-                               "' in an output-feeding path; "
-                               "iteration order is "
-                               "nondeterministic — sort first or "
-                               "iterate an ordered index");
+                out.add(file, rf.line, "unordered-iter",
+                        "iteration over hash container '" + name +
+                            "' in an output-feeding path; "
+                            "iteration order is "
+                            "nondeterministic — sort first or "
+                            "iterate an ordered index");
         }
     }
 }
@@ -465,7 +263,7 @@ checkUnorderedIter(const ScannedFile &file,
 // ---------------------------------------------------------------
 
 void
-checkRawMutex(const ScannedFile &file, std::vector<Finding> &out)
+checkRawMutex(const SourceFile &file, Diagnostics &out)
 {
     if (file.relPath == "src/util/mutex.hh" ||
         file.relPath == "src/util/mutex.cc")
@@ -485,12 +283,12 @@ checkRawMutex(const ScannedFile &file, std::vector<Finding> &out)
             while (pos != std::string::npos) {
                 const std::size_t end = pos + std::strlen(type);
                 if (end >= code.size() || !isIdentChar(code[end])) {
-                    addFinding(out, file, ln, "raw-mutex",
-                               std::string("'") + type +
-                                   "' outside the annotated "
-                                   "wrapper; use lag::Mutex / "
-                                   "lag::MutexLock "
-                                   "(util/mutex.hh)");
+                    out.add(file, ln, "raw-mutex",
+                            std::string("'") + type +
+                                "' outside the annotated "
+                                "wrapper; use lag::Mutex / "
+                                "lag::MutexLock "
+                                "(util/mutex.hh)");
                     break;
                 }
                 pos = code.find(type, pos + 1);
@@ -503,11 +301,11 @@ checkRawMutex(const ScannedFile &file, std::vector<Finding> &out)
             const std::size_t end =
                 pos + std::strlen("std::condition_variable");
             if (end >= code.size() || !isIdentChar(code[end])) {
-                addFinding(out, file, ln, "raw-mutex",
-                           "'std::condition_variable' cannot wait "
-                           "on lag::Mutex; use "
-                           "std::condition_variable_any with "
-                           "lag::MutexLock");
+                out.add(file, ln, "raw-mutex",
+                        "'std::condition_variable' cannot wait "
+                        "on lag::Mutex; use "
+                        "std::condition_variable_any with "
+                        "lag::MutexLock");
                 break;
             }
             pos = code.find("std::condition_variable", pos + 1);
@@ -520,7 +318,7 @@ checkRawMutex(const ScannedFile &file, std::vector<Finding> &out)
 // ---------------------------------------------------------------
 
 void
-checkNakedNew(const ScannedFile &file, std::vector<Finding> &out)
+checkNakedNew(const SourceFile &file, Diagnostics &out)
 {
     if (!underAny(file.relPath,
                   {"src/core/", "src/engine/", "src/lila/"}))
@@ -528,9 +326,9 @@ checkNakedNew(const ScannedFile &file, std::vector<Finding> &out)
     for (std::size_t ln = 1; ln <= file.code.size(); ++ln) {
         const std::string &code = file.code[ln - 1];
         if (findWord(code, "new") != std::string::npos)
-            addFinding(out, file, ln, "naked-new",
-                       "naked 'new' in analysis code; use "
-                       "containers or std::make_unique");
+            out.add(file, ln, "naked-new",
+                    "naked 'new' in analysis code; use "
+                    "containers or std::make_unique");
         std::size_t pos = findWord(code, "delete");
         while (pos != std::string::npos) {
             // `= delete` (deleted special member) is fine.
@@ -538,9 +336,9 @@ checkNakedNew(const ScannedFile &file, std::vector<Finding> &out)
             while (k > 0 && code[k - 1] == ' ')
                 --k;
             if (!(k > 0 && code[k - 1] == '=')) {
-                addFinding(out, file, ln, "naked-new",
-                           "naked 'delete' in analysis code; use "
-                           "containers or std::make_unique");
+                out.add(file, ln, "naked-new",
+                        "naked 'delete' in analysis code; use "
+                        "containers or std::make_unique");
                 break;
             }
             pos = findWord(code, "delete", pos + 1);
@@ -551,26 +349,6 @@ checkNakedNew(const ScannedFile &file, std::vector<Finding> &out)
 // ---------------------------------------------------------------
 // Rule: reserve-loop
 // ---------------------------------------------------------------
-
-/**
- * Joined blanked code of @p lines with a per-character line map
- * (1-based), as rangeFors builds internally.
- */
-std::string
-joinCode(const std::vector<std::string> &lines,
-         std::vector<std::size_t> &lineOf)
-{
-    std::string all;
-    for (std::size_t ln = 0; ln < lines.size(); ++ln) {
-        for (const char c : lines[ln]) {
-            all += c;
-            lineOf.push_back(ln + 1);
-        }
-        all += ' ';
-        lineOf.push_back(ln + 1);
-    }
-    return all;
-}
 
 /**
  * Flag .push_back / .emplace_back calls inside a loop body whose
@@ -584,13 +362,13 @@ joinCode(const std::vector<std::string> &lines,
  * `// lag-lint: allow(reserve-loop)`.
  */
 void
-checkReserveLoop(const ScannedFile &file, std::vector<Finding> &out)
+checkReserveLoop(const SourceFile &file, Diagnostics &out)
 {
     if (!underAny(file.relPath, {"src/trace/", "src/core/"}))
         return;
 
-    std::vector<std::size_t> lineOf;
-    const std::string all = joinCode(file.code, lineOf);
+    const lag::analysis::JoinedCode joined = joinCode(file.code);
+    const std::string &all = joined.text;
 
     // Mark every character inside a loop body: `for`/`while`
     // followed by a parenthesized head, then either a braced block
@@ -646,9 +424,9 @@ checkReserveLoop(const ScannedFile &file, std::vector<Finding> &out)
 
     // The paired header may hold the sizing call (a builder that
     // reserves in its constructor).
-    std::vector<std::size_t> headerLineOf;
-    const std::string headerAll =
-        joinCode(file.headerCode, headerLineOf);
+    const lag::analysis::JoinedCode headerJoined =
+        joinCode(file.headerCode);
+    const std::string &headerAll = headerJoined.text;
 
     for (const char *method : {"push_back", "emplace_back"}) {
         const std::string needle = std::string(".") + method;
@@ -683,12 +461,12 @@ checkReserveLoop(const ScannedFile &file, std::vector<Finding> &out)
                         headerAll.find(call) != std::string::npos;
             }
             if (!sized)
-                addFinding(out, file, lineOf[pos], "reserve-loop",
-                           "'" + receiver + "." + method +
-                               "' grows inside a loop with no "
-                               "preceding '" + receiver +
-                               ".reserve(...)'; size it up front "
-                               "or annotate why you cannot");
+                out.add(file, joined.lineOf[pos], "reserve-loop",
+                        "'" + receiver + "." + method +
+                            "' grows inside a loop with no "
+                            "preceding '" + receiver +
+                            ".reserve(...)'; size it up front "
+                            "or annotate why you cannot");
         }
     }
 }
@@ -698,7 +476,7 @@ checkReserveLoop(const ScannedFile &file, std::vector<Finding> &out)
 // ---------------------------------------------------------------
 
 void
-checkFloatHash(const ScannedFile &file, std::vector<Finding> &out)
+checkFloatHash(const SourceFile &file, Diagnostics &out)
 {
     static const char *kFiles[] = {
         "src/util/hash.hh", "src/util/hash.cc",
@@ -713,11 +491,11 @@ checkFloatHash(const ScannedFile &file, std::vector<Finding> &out)
         const std::string &code = file.code[ln - 1];
         for (const char *fp : {"double", "float"}) {
             if (findWord(code, fp) != std::string::npos)
-                addFinding(out, file, ln, "float-hash",
-                           std::string("'") + fp +
-                               "' in pattern-key hashing code; "
-                               "keys must accumulate integral "
-                               "state only (FNV-1a over bytes)");
+                out.add(file, ln, "float-hash",
+                        std::string("'") + fp +
+                            "' in pattern-key hashing code; "
+                            "keys must accumulate integral "
+                            "state only (FNV-1a over bytes)");
         }
     }
 }
@@ -735,7 +513,7 @@ checkFloatHash(const ScannedFile &file, std::vector<Finding> &out)
  * the epoch and sits outside the scope.
  */
 void
-checkObsClock(const ScannedFile &file, std::vector<Finding> &out)
+checkObsClock(const SourceFile &file, Diagnostics &out)
 {
     if (!underAny(file.relPath, {"src/engine/", "src/trace/"}))
         return;
@@ -746,12 +524,12 @@ checkObsClock(const ScannedFile &file, std::vector<Finding> &out)
         const std::string &code = file.code[ln - 1];
         for (const char *clock : kClocks) {
             if (findWord(code, clock) != std::string::npos)
-                addFinding(out, file, ln, "obs-clock",
-                           std::string("'") + clock +
-                               "' in span-instrumented code; use "
-                               "lag::processElapsedNs() or a "
-                               "LAG_SPAN so timings share the obs "
-                               "epoch");
+                out.add(file, ln, "obs-clock",
+                        std::string("'") + clock +
+                            "' in span-instrumented code; use "
+                            "lag::processElapsedNs() or a "
+                            "LAG_SPAN so timings share the obs "
+                            "epoch");
         }
     }
 }
@@ -786,92 +564,6 @@ const Rule kRules[] = {
      checkObsClock},
 };
 
-bool
-lintableExtension(const fs::path &path)
-{
-    const std::string ext = path.extension().string();
-    return ext == ".cc" || ext == ".hh" || ext == ".cpp" ||
-           ext == ".h" || ext == ".hpp";
-}
-
-std::string
-relativeTo(const fs::path &root, const fs::path &path)
-{
-    std::error_code ec;
-    const fs::path rel = fs::relative(path, root, ec);
-    const fs::path &use = ec ? path : rel;
-    return use.generic_string();
-}
-
-bool
-lintFile(const fs::path &root, const fs::path &path,
-         std::vector<Finding> &out)
-{
-    std::ifstream in(path, std::ios::binary);
-    if (!in) {
-        std::fprintf(stderr, "lag-lint: cannot read '%s'\n",
-                     path.string().c_str());
-        return false;
-    }
-    ScannedFile file;
-    file.relPath = relativeTo(root, path);
-    std::string line;
-    while (std::getline(in, line)) {
-        if (!line.empty() && line.back() == '\r')
-            line.pop_back();
-        file.raw.push_back(line);
-    }
-    file.code = blankNonCode(file.raw);
-
-    const std::string ext = path.extension().string();
-    if (ext == ".cc" || ext == ".cpp") {
-        for (const char *hext : {".hh", ".h", ".hpp"}) {
-            fs::path header = path;
-            header.replace_extension(hext);
-            std::ifstream hin(header, std::ios::binary);
-            if (!hin)
-                continue;
-            std::vector<std::string> hraw;
-            while (std::getline(hin, line)) {
-                if (!line.empty() && line.back() == '\r')
-                    line.pop_back();
-                hraw.push_back(line);
-            }
-            file.headerCode = blankNonCode(hraw);
-            break;
-        }
-    }
-    for (const Rule &rule : kRules)
-        rule.check(file, out);
-    return true;
-}
-
-bool
-walk(const fs::path &root, const fs::path &path,
-     std::vector<Finding> &out)
-{
-    if (fs::is_directory(path)) {
-        // Deterministic order for stable output.
-        std::vector<fs::path> children;
-        for (const auto &entry : fs::directory_iterator(path))
-            children.push_back(entry.path());
-        std::sort(children.begin(), children.end());
-        bool ok = true;
-        for (const fs::path &child : children) {
-            const std::string name = child.filename().string();
-            // Seeded-violation fixtures and build trees are only
-            // linted when named explicitly on the command line.
-            if (name == "lint_fixtures" ||
-                name.compare(0, 5, "build") == 0)
-                continue;
-            if (fs::is_directory(child) || lintableExtension(child))
-                ok = walk(root, child, out) && ok;
-        }
-        return ok;
-    }
-    return lintFile(root, path, out);
-}
-
 } // namespace
 
 int
@@ -899,7 +591,9 @@ main(int argc, char **argv)
                 "Lints paths (default: src bench tests) relative "
                 "to DIR.\n"
                 "Suppress a line with  // lag-lint: "
-                "allow(<rule>)\n");
+                "allow(<rule>[, <rule>...])\n"
+                "or the line below with  // lag-lint: "
+                "allow-next(<rule>[, <rule>...])\n");
             return 0;
         } else {
             paths.emplace_back(arg);
@@ -908,28 +602,18 @@ main(int argc, char **argv)
     if (paths.empty())
         paths = {"src", "bench", "tests"};
 
-    std::vector<Finding> findings;
-    bool io_ok = true;
-    for (const std::string &p : paths) {
-        fs::path full = fs::path(p);
-        if (full.is_relative())
-            full = root / full;
-        if (!fs::exists(full)) {
-            std::fprintf(stderr, "lag-lint: no such path '%s'\n",
-                         full.string().c_str());
-            io_ok = false;
-            continue;
-        }
-        io_ok = walk(root, full, findings) && io_ok;
-    }
+    std::vector<SourceFile> files;
+    const bool io_ok =
+        lag::analysis::collectFiles("lag-lint", root, paths, files);
 
-    for (const Finding &f : findings)
-        std::printf("%s:%zu: [%s] %s\n", f.file.c_str(), f.line,
-                    f.rule.c_str(), f.message.c_str());
-    if (!findings.empty()) {
-        std::printf("lag-lint: %zu finding(s)\n", findings.size());
+    Diagnostics diagnostics;
+    for (const SourceFile &file : files)
+        for (const Rule &rule : kRules)
+            rule.check(file, diagnostics);
+
+    diagnostics.printText("lag-lint");
+    if (!diagnostics.empty())
         return 1;
-    }
     if (!io_ok)
         return 2;
     return 0;

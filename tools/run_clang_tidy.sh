@@ -1,14 +1,36 @@
 #!/usr/bin/env bash
-# Run the .clang-tidy baseline over src/ and tools/ using the
-# compile database from an existing build tree. Skips gracefully
-# (exit 0) when clang-tidy is not installed, so ci/check.sh can call
-# it unconditionally.
+# Run the .clang-tidy checks over src/ and tools/ and gate on the
+# committed baseline: any finding not in ci/clang_tidy_baseline is
+# NEW and fails the script, so regressions surface in CI while the
+# (frozen) pre-existing findings do not block unrelated work.
 #
-# Usage: tools/run_clang_tidy.sh [build-dir]   (default: build)
+# Usage:
+#   tools/run_clang_tidy.sh [build-dir]            gate (default: build)
+#   tools/run_clang_tidy.sh [build-dir] --refresh-baseline
+#       rewrite ci/clang_tidy_baseline from the current tree — run
+#       after deliberately fixing or accepting findings, and commit
+#       the result.
+#
+# Findings are normalized to "<repo-relative-file>:<check>" lines
+# (no line numbers: those churn on every unrelated edit) and the
+# baseline is kept sorted and unique, so the diff of a refresh is
+# reviewable.
+#
+# Skips gracefully (exit 0) when clang-tidy is not installed, so
+# ci/check.sh can call it unconditionally; exits 2 when the compile
+# database is missing.
 set -euo pipefail
 
 root="$(cd "$(dirname "$0")/.." && pwd)"
-build="${1:-$root/build}"
+build="$root/build"
+refresh=0
+for arg in "$@"; do
+    case "$arg" in
+      --refresh-baseline) refresh=1 ;;
+      *) build="$arg" ;;
+    esac
+done
+baseline="$root/ci/clang_tidy_baseline"
 
 if ! command -v clang-tidy >/dev/null 2>&1; then
     echo "run_clang_tidy.sh: clang-tidy not found on PATH; skipping" >&2
@@ -22,11 +44,32 @@ if [ ! -f "$build/compile_commands.json" ]; then
 fi
 
 mapfile -t sources < <(find "$root/src" "$root/tools" \
-    -name '*.cc' -o -name '*.cpp' | sort)
+    \( -name '*.cc' -o -name '*.cpp' \) | sort)
 
 echo "clang-tidy: ${#sources[@]} files against $build"
-status=0
+current="$(mktemp)"
+trap 'rm -f "$current"' EXIT
 for file in "${sources[@]}"; do
-    clang-tidy -p "$build" --quiet "$file" || status=1
-done
-exit "$status"
+    clang-tidy -p "$build" --quiet "$file" 2>/dev/null || true
+done | sed -n 's/^\([^ :][^:]*\):[0-9][0-9]*:[0-9][0-9]*: warning: .*\[\(.*\)\]$/\1:\2/p' \
+     | sed "s|^$root/||" | sort -u > "$current"
+
+if [ "$refresh" -eq 1 ]; then
+    cp "$current" "$baseline"
+    echo "run_clang_tidy.sh: baseline refreshed" \
+         "($(wc -l < "$baseline") entries) — commit $baseline"
+    exit 0
+fi
+
+known="/dev/null"
+[ -f "$baseline" ] && known="$baseline"
+new_findings="$(comm -23 "$current" <(sort -u "$known"))"
+if [ -n "$new_findings" ]; then
+    echo "run_clang_tidy.sh: NEW findings vs $baseline:" >&2
+    echo "$new_findings" >&2
+    echo "Fix them, or (deliberately) accept with" \
+         "tools/run_clang_tidy.sh --refresh-baseline" >&2
+    exit 1
+fi
+echo "run_clang_tidy.sh: clean vs baseline"
+exit 0
