@@ -1,0 +1,389 @@
+/**
+ * @file
+ * Analysis hot-path microbenchmarks: flat layout vs node trees.
+ *
+ * Each run prints one JSON line per kernel comparing the node-tree
+ * implementation against its flat-slice twin on the same cached
+ * 60 s GanttProject session:
+ *
+ *  - `flat_build`            cost of flattenSession itself
+ *  - `sig_mpatterns_per_s`   signature hashing (patternSignature +
+ *                            fnv1a vs one-pass flatSignatureHash),
+ *                            millions of signatures per second
+ *  - `walk_mnodes_per_s`     structural walks (descendantCount,
+ *                            depth, GC typeTime), millions of
+ *                            logical nodes walked per second
+ *  - `classify_mepisodes_per_s`  trigger classification
+ *                            (episodeTrigger vs flatEpisodeTrigger,
+ *                            SIMD under LAG_SIMD), millions of
+ *                            episodes per second
+ *  - `merge_mepisodes_per_s` the serial shard-merge tail of the
+ *                            parallel miner (PatternMiner::merge
+ *                            over 8 flat-mined shards)
+ *
+ * Before timing anything, every kernel's node and flat results are
+ * compared on every episode; any mismatch prints to stderr and the
+ * process exits nonzero, so `ctest -L perf` doubles as an
+ * equivalence smoke. `--smoke` runs few iterations (CI); the full
+ * run uses enough repetitions for stable rates. Record full-run
+ * lines in EXPERIMENTS.md when the hot path changes.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "app/catalog.hh"
+#include "app/session_runner.hh"
+#include "core/flat_simd.hh"
+#include "core/flat_tree.hh"
+#include "core/location.hh"
+#include "core/pattern.hh"
+#include "core/triggers.hh"
+#include "trace/io.hh"
+#include "util/hash.hh"
+
+namespace
+{
+
+using namespace lag;
+
+/** One cached 60 s GanttProject session and its flat layout. */
+struct Fixture
+{
+    core::Session session;
+    core::FlatSession flat;
+    std::size_t episodes;
+    std::uint64_t nodes;
+
+    Fixture()
+        : session([] {
+              app::AppParams params =
+                  app::catalogApp("GanttProject");
+              params.sessionLength = secToNs(60);
+              return core::Session::fromTrace(
+                  app::runSession(params, 0).trace);
+          }()),
+          flat(core::flattenSession(session)),
+          episodes(session.episodes().size()), nodes(0)
+    {
+        for (const core::FlatTree &tree : flat.trees())
+            nodes += tree.size();
+    }
+
+    static const Fixture &
+    get()
+    {
+        static const Fixture fixture;
+        return fixture;
+    }
+};
+
+/** Wall time of @p fn in milliseconds. */
+template <typename Fn>
+double
+timedMs(const Fn &fn)
+{
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double, std::milli> elapsed =
+        std::chrono::steady_clock::now() - start;
+    return elapsed.count();
+}
+
+/**
+ * Node-vs-flat equivalence over every episode: signature hash and
+ * string, structural walks, native/GC times and trigger class must
+ * agree exactly. Returns false (after printing the first mismatch)
+ * when they do not.
+ */
+bool
+verifyEquivalence(const Fixture &f)
+{
+    const auto &episodes = f.session.episodes();
+    const auto &strings = f.session.strings();
+    const auto &trees = f.flat.trees();
+    core::FlatSigStack scratch;
+    std::string flatSig;
+    for (std::size_t i = 0; i < f.episodes; ++i) {
+        const core::IntervalNode &root =
+            f.session.episodeRoot(episodes[i]);
+        const core::FlatTree &tree = trees[f.flat.episodeTree(i)];
+        const std::uint32_t node = f.flat.episodeNode(i);
+
+        const std::string nodeSig =
+            core::patternSignature(root, strings);
+        flatSig.clear();
+        core::flatSignatureString(tree, node, strings, flatSig,
+                                  scratch);
+        const std::uint64_t flatHash =
+            core::flatSignatureHash(tree, node, strings, scratch);
+        if (flatSig != nodeSig || flatHash != fnv1a(nodeSig)) {
+            std::fprintf(stderr,
+                         "episode %zu: signature mismatch "
+                         "(node \"%s\", flat \"%s\")\n",
+                         i, nodeSig.c_str(), flatSig.c_str());
+            return false;
+        }
+        if (core::flatDescendantCount(tree, node) !=
+                root.descendantCount() ||
+            core::flatDepth(tree, node) != root.depth() ||
+            core::flatTypeTime(tree, node, core::IntervalType::Gc) !=
+                root.typeTime(core::IntervalType::Gc) ||
+            core::flatNativeTimeExcludingGc(tree, node) !=
+                core::nativeTimeExcludingGc(root)) {
+            std::fprintf(stderr,
+                         "episode %zu: walk mismatch\n", i);
+            return false;
+        }
+        if (core::flatEpisodeTrigger(tree, node) !=
+            core::episodeTrigger(root)) {
+            std::fprintf(stderr,
+                         "episode %zu: trigger mismatch\n", i);
+            return false;
+        }
+    }
+    return true;
+}
+
+void
+reportFlatBuild(const Fixture &f, int reps)
+{
+    const double ms = timedMs([&] {
+        for (int r = 0; r < reps; ++r) {
+            const core::FlatSession flat =
+                core::flattenSession(f.session);
+            benchmark::DoNotOptimize(flat.trees().data());
+        }
+    }) / reps;
+    std::printf(
+        "{\"bench\":\"flat_build\",\"trees\":%llu,\"nodes\":%llu,"
+        "\"build_ms\":%.3f,\"mnodes_per_s\":%.1f}\n",
+        static_cast<unsigned long long>(f.flat.trees().size()),
+        static_cast<unsigned long long>(f.nodes), ms,
+        ms > 0.0 ? static_cast<double>(f.nodes) / (ms * 1e3) : 0.0);
+    std::fflush(stdout);
+}
+
+void
+reportSignatureHashing(const Fixture &f, int reps)
+{
+    const auto &episodes = f.session.episodes();
+    const auto &strings = f.session.strings();
+    const auto &trees = f.flat.trees();
+
+    std::uint64_t nodeSum = 0;
+    const double node_ms = timedMs([&] {
+        for (int r = 0; r < reps; ++r) {
+            for (std::size_t i = 0; i < f.episodes; ++i) {
+                const std::string sig = core::patternSignature(
+                    f.session.episodeRoot(episodes[i]), strings);
+                nodeSum += fnv1a(sig);
+            }
+        }
+    }) / reps;
+    benchmark::DoNotOptimize(nodeSum);
+
+    std::uint64_t flatSum = 0;
+    core::FlatSigStack scratch;
+    const double flat_ms = timedMs([&] {
+        for (int r = 0; r < reps; ++r) {
+            for (std::size_t i = 0; i < f.episodes; ++i) {
+                flatSum += core::flatSignatureHash(
+                    trees[f.flat.episodeTree(i)],
+                    f.flat.episodeNode(i), strings, scratch);
+            }
+        }
+    }) / reps;
+    benchmark::DoNotOptimize(flatSum);
+
+    const double m = static_cast<double>(f.episodes) / 1e6;
+    std::printf(
+        "{\"bench\":\"sig_mpatterns_per_s\",\"episodes\":%llu,"
+        "\"reps\":%d,\"node\":%.3f,\"flat\":%.3f,"
+        "\"speedup\":%.2f}\n",
+        static_cast<unsigned long long>(f.episodes), reps,
+        node_ms > 0.0 ? m / (node_ms / 1e3) : 0.0,
+        flat_ms > 0.0 ? m / (flat_ms / 1e3) : 0.0,
+        flat_ms > 0.0 ? node_ms / flat_ms : 0.0);
+    std::fflush(stdout);
+}
+
+void
+reportStructuralWalks(const Fixture &f, int reps)
+{
+    const auto &episodes = f.session.episodes();
+    const auto &trees = f.flat.trees();
+
+    // Logical work per pass: every episode node visited once per
+    // walk kind (count, depth, GC time). The flat side answers two
+    // of the three in O(1); the rate measures work accomplished,
+    // not instructions retired — that asymmetry is the point.
+    std::uint64_t episodeNodes = 0;
+    for (std::size_t i = 0; i < f.episodes; ++i) {
+        episodeNodes += core::flatDescendantCount(
+                            trees[f.flat.episodeTree(i)],
+                            f.flat.episodeNode(i)) +
+                        1;
+    }
+
+    std::uint64_t nodeSum = 0;
+    const double node_ms = timedMs([&] {
+        for (int r = 0; r < reps; ++r) {
+            for (std::size_t i = 0; i < f.episodes; ++i) {
+                const core::IntervalNode &root =
+                    f.session.episodeRoot(episodes[i]);
+                nodeSum += root.descendantCount() + root.depth() +
+                           static_cast<std::uint64_t>(
+                               root.typeTime(core::IntervalType::Gc));
+            }
+        }
+    }) / reps;
+    benchmark::DoNotOptimize(nodeSum);
+
+    std::uint64_t flatSum = 0;
+    const double flat_ms = timedMs([&] {
+        for (int r = 0; r < reps; ++r) {
+            for (std::size_t i = 0; i < f.episodes; ++i) {
+                const core::FlatTree &tree =
+                    trees[f.flat.episodeTree(i)];
+                const std::uint32_t node = f.flat.episodeNode(i);
+                flatSum += core::flatDescendantCount(tree, node) +
+                           core::flatDepth(tree, node) +
+                           static_cast<std::uint64_t>(
+                               core::flatTypeTime(
+                                   tree, node,
+                                   core::IntervalType::Gc));
+            }
+        }
+    }) / reps;
+    benchmark::DoNotOptimize(flatSum);
+
+    const double m = 3.0 * static_cast<double>(episodeNodes) / 1e6;
+    std::printf(
+        "{\"bench\":\"walk_mnodes_per_s\",\"logical_mnodes\":%.3f,"
+        "\"reps\":%d,\"node\":%.1f,\"flat\":%.1f,"
+        "\"speedup\":%.2f}\n",
+        m, reps, node_ms > 0.0 ? m / (node_ms / 1e3) : 0.0,
+        flat_ms > 0.0 ? m / (flat_ms / 1e3) : 0.0,
+        flat_ms > 0.0 ? node_ms / flat_ms : 0.0);
+    std::fflush(stdout);
+}
+
+void
+reportClassification(const Fixture &f, int reps)
+{
+    const auto &episodes = f.session.episodes();
+    const auto &trees = f.flat.trees();
+
+    std::uint64_t nodeSum = 0;
+    const double node_ms = timedMs([&] {
+        for (int r = 0; r < reps; ++r) {
+            for (std::size_t i = 0; i < f.episodes; ++i) {
+                nodeSum += static_cast<std::uint64_t>(
+                    core::episodeTrigger(
+                        f.session.episodeRoot(episodes[i])));
+            }
+        }
+    }) / reps;
+    benchmark::DoNotOptimize(nodeSum);
+
+    std::uint64_t flatSum = 0;
+    const double flat_ms = timedMs([&] {
+        for (int r = 0; r < reps; ++r) {
+            for (std::size_t i = 0; i < f.episodes; ++i) {
+                flatSum += static_cast<std::uint64_t>(
+                    core::flatEpisodeTrigger(
+                        trees[f.flat.episodeTree(i)],
+                        f.flat.episodeNode(i)));
+            }
+        }
+    }) / reps;
+    benchmark::DoNotOptimize(flatSum);
+
+#if defined(LAG_SIMD) && \
+    (defined(LAG_HAS_SSE2) || defined(LAG_HAS_NEON))
+    const bool simd = true;
+#else
+    const bool simd = false;
+#endif
+    const double m = static_cast<double>(f.episodes) / 1e6;
+    std::printf(
+        "{\"bench\":\"classify_mepisodes_per_s\",\"episodes\":%llu,"
+        "\"reps\":%d,\"simd\":%s,\"node\":%.3f,\"flat\":%.3f,"
+        "\"speedup\":%.2f}\n",
+        static_cast<unsigned long long>(f.episodes), reps,
+        simd ? "true" : "false",
+        node_ms > 0.0 ? m / (node_ms / 1e3) : 0.0,
+        flat_ms > 0.0 ? m / (flat_ms / 1e3) : 0.0,
+        flat_ms > 0.0 ? node_ms / flat_ms : 0.0);
+    std::fflush(stdout);
+}
+
+void
+reportSummaryMerge(const Fixture &f, int reps)
+{
+    // The merge step of the sharded miner: mine 8 shards once (off
+    // the clock, on the flat path), then time reducing copies of
+    // them — the serial tail every parallel mine pays.
+    constexpr std::size_t kShards = 8;
+    const core::PatternMiner miner(msToNs(100));
+    std::vector<core::PatternShard> shards;
+    shards.reserve(kShards);
+    for (std::size_t s = 0; s < kShards; ++s) {
+        const std::size_t begin = f.episodes * s / kShards;
+        const std::size_t end = f.episodes * (s + 1) / kShards;
+        shards.push_back(
+            miner.mineRange(f.session, f.flat, begin, end));
+    }
+
+    std::size_t patternSum = 0;
+    const double merge_ms = timedMs([&] {
+        for (int r = 0; r < reps; ++r) {
+            patternSum +=
+                miner.merge(shards).patterns.size();
+        }
+    }) / reps;
+    benchmark::DoNotOptimize(patternSum);
+
+    const double m = static_cast<double>(f.episodes) / 1e6;
+    std::printf(
+        "{\"bench\":\"merge_mepisodes_per_s\",\"shards\":%llu,"
+        "\"episodes\":%llu,\"reps\":%d,\"patterns\":%llu,"
+        "\"merged\":%.3f}\n",
+        static_cast<unsigned long long>(kShards),
+        static_cast<unsigned long long>(f.episodes), reps,
+        static_cast<unsigned long long>(patternSum / reps),
+        merge_ms > 0.0 ? m / (merge_ms / 1e3) : 0.0);
+    std::fflush(stdout);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    for (int in = 1; in < argc; ++in) {
+        if (std::string_view(argv[in]) == "--smoke")
+            smoke = true;
+    }
+
+    const Fixture &f = Fixture::get();
+    if (!verifyEquivalence(f))
+        return 1;
+
+    const int reps = smoke ? 3 : 100;
+    reportFlatBuild(f, smoke ? 3 : 20);
+    reportSignatureHashing(f, reps);
+    reportStructuralWalks(f, reps);
+    reportClassification(f, reps);
+    reportSummaryMerge(f, smoke ? 3 : 50);
+    return 0;
+}

@@ -53,6 +53,9 @@ echo "== tier-1 suite"
 echo "== perf smoke (ctest -L perf)"
 (cd "$build" && ctest -L perf --output-on-failure)
 
+echo "== micro smoke (node-vs-flat hot-path equivalence + rates)"
+(cd "$build" && bench/bench_micro --smoke)
+
 echo "== incremental smoke (warm cache must not touch the decoder)"
 (cd "$build" && bench/bench_perf_pipeline --incremental-smoke --jobs 4)
 

@@ -1,0 +1,150 @@
+/**
+ * @file
+ * SIMD kernel over the flat type array: first-marker search.
+ *
+ * Episode classification (triggers.hh) reduces, on the flat layout,
+ * to "find the first byte in [from, to) of the preorder type array
+ * that is Listener, Paint or Async".  That is a pure byte scan over
+ * a contiguous slice — the one analysis inner loop worth an
+ * explicit vector path.
+ *
+ * Three functions, one contract:
+ *
+ *  - findFirstMarkerScalar: the reference loop, always compiled,
+ *    autovectorizable, and the differential baseline;
+ *  - findFirstMarkerSimd: SSE2 or NEON 16-byte blocks (compiled
+ *    whenever the ISA is available, regardless of LAG_SIMD, so the
+ *    differential test always exercises it);
+ *  - findFirstMarker: what the analyses call — dispatches to the
+ *    vector path only when the build opted in via -DLAG_SIMD (the
+ *    LAG_SIMD CMake option), scalar otherwise.
+ *
+ * Both paths return the same index for the same input by
+ * construction (tests/core_flat_tree_test.cc proves it on random
+ * arrays), so the byte-identical analysis contract cannot depend on
+ * the dispatch decision.
+ */
+
+#ifndef LAG_CORE_FLAT_SIMD_HH
+#define LAG_CORE_FLAT_SIMD_HH
+
+#include <bit>
+#include <cstdint>
+
+#include "interval.hh"
+
+#if defined(__SSE2__) || defined(__x86_64__)
+#define LAG_HAS_SSE2 1
+#include <emmintrin.h>
+#elif defined(__ARM_NEON) || defined(__ARM_NEON__)
+#define LAG_HAS_NEON 1
+#include <arm_neon.h>
+#endif
+
+namespace lag::core
+{
+
+/** The three trigger-marker interval types as raw bytes. @{ */
+inline constexpr std::uint8_t kMarkerListener =
+    static_cast<std::uint8_t>(IntervalType::Listener);
+inline constexpr std::uint8_t kMarkerPaint =
+    static_cast<std::uint8_t>(IntervalType::Paint);
+inline constexpr std::uint8_t kMarkerAsync =
+    static_cast<std::uint8_t>(IntervalType::Async);
+/** @} */
+
+/**
+ * Index of the first byte in [from, to) of @p types equal to
+ * Listener, Paint or Async; @p to when there is none.  Reference
+ * scalar loop — simple enough for the compiler to autovectorize.
+ */
+inline std::uint32_t
+findFirstMarkerScalar(const std::uint8_t *types, std::uint32_t from,
+                      std::uint32_t to)
+{
+    for (std::uint32_t j = from; j < to; ++j) {
+        const std::uint8_t t = types[j];
+        if (t == kMarkerListener || t == kMarkerPaint ||
+            t == kMarkerAsync)
+            return j;
+    }
+    return to;
+}
+
+#if defined(LAG_HAS_SSE2)
+
+/** SSE2 16-byte-block variant; same contract as the scalar loop. */
+inline std::uint32_t
+findFirstMarkerSimd(const std::uint8_t *types, std::uint32_t from,
+                    std::uint32_t to)
+{
+    std::uint32_t j = from;
+    const __m128i listener =
+        _mm_set1_epi8(static_cast<char>(kMarkerListener));
+    const __m128i paint =
+        _mm_set1_epi8(static_cast<char>(kMarkerPaint));
+    const __m128i async =
+        _mm_set1_epi8(static_cast<char>(kMarkerAsync));
+    for (; j + 16 <= to; j += 16) {
+        const __m128i block = _mm_loadu_si128(
+            reinterpret_cast<const __m128i *>(types + j));
+        const __m128i hit = _mm_or_si128(
+            _mm_or_si128(_mm_cmpeq_epi8(block, listener),
+                         _mm_cmpeq_epi8(block, paint)),
+            _mm_cmpeq_epi8(block, async));
+        const auto mask =
+            static_cast<unsigned>(_mm_movemask_epi8(hit));
+        if (mask != 0)
+            return j + static_cast<std::uint32_t>(
+                           std::countr_zero(mask));
+    }
+    return findFirstMarkerScalar(types, j, to);
+}
+
+#elif defined(LAG_HAS_NEON)
+
+/** NEON 16-byte-block variant; same contract as the scalar loop. */
+inline std::uint32_t
+findFirstMarkerSimd(const std::uint8_t *types, std::uint32_t from,
+                    std::uint32_t to)
+{
+    std::uint32_t j = from;
+    const uint8x16_t listener = vdupq_n_u8(kMarkerListener);
+    const uint8x16_t paint = vdupq_n_u8(kMarkerPaint);
+    const uint8x16_t async = vdupq_n_u8(kMarkerAsync);
+    for (; j + 16 <= to; j += 16) {
+        const uint8x16_t block = vld1q_u8(types + j);
+        const uint8x16_t hit =
+            vorrq_u8(vorrq_u8(vceqq_u8(block, listener),
+                              vceqq_u8(block, paint)),
+                     vceqq_u8(block, async));
+        if (vmaxvq_u8(hit) != 0) {
+            // A hit somewhere in this block; locate it scalar.
+            return findFirstMarkerScalar(types, j, j + 16);
+        }
+    }
+    return findFirstMarkerScalar(types, j, to);
+}
+
+#endif
+
+/**
+ * The dispatch the analyses call.  Explicit SIMD only when the
+ * build enabled it (-DLAG_SIMD) and the ISA exists; the scalar
+ * fallback is otherwise identical by contract.
+ */
+inline std::uint32_t
+findFirstMarker(const std::uint8_t *types, std::uint32_t from,
+                std::uint32_t to)
+{
+#if defined(LAG_SIMD) && \
+    (defined(LAG_HAS_SSE2) || defined(LAG_HAS_NEON))
+    return findFirstMarkerSimd(types, from, to);
+#else
+    return findFirstMarkerScalar(types, from, to);
+#endif
+}
+
+} // namespace lag::core
+
+#endif // LAG_CORE_FLAT_SIMD_HH

@@ -36,6 +36,22 @@ using IntervalAllocator = ArenaAllocator<IntervalNode>;
  */
 using IntervalVec = std::vector<IntervalNode, IntervalAllocator>;
 
+/**
+ * Hard bound on interval-tree nesting depth.  The node-tree walks
+ * (descendantCount, depth, typeTime, signature emission) recurse on
+ * the C stack, so a hostile trace nesting millions of intervals
+ * would otherwise overflow it — UB instead of an error.
+ * Session::fromTrace rejects deeper traces up front with a
+ * TraceError, and the walks themselves throw TraceError past this
+ * bound as a second line of defense for hand-built trees.  The flat
+ * walks (flat_tree.hh) are iterative and take any depth.
+ */
+inline constexpr std::size_t kMaxIntervalDepth = 1000;
+
+/** Fail a node-tree walk that nests past kMaxIntervalDepth: throws
+ * trace::TraceError, which beats silently running off the C stack. */
+[[noreturn]] void throwIntervalTooDeep();
+
 /** The six interval types of Table I. */
 enum class IntervalType : std::uint8_t
 {

@@ -26,9 +26,16 @@ LocationTally::finish() const
     return shares;
 }
 
-DurationNs
-nativeTimeExcludingGc(const IntervalNode &root)
+namespace
 {
+
+/** Guarded recursion body of nativeTimeExcludingGc. */
+DurationNs
+nativeTimeExcludingGcGuarded(const IntervalNode &root,
+                             std::size_t nesting)
+{
+    if (nesting >= kMaxIntervalDepth)
+        throwIntervalTooDeep();
     DurationNs total = 0;
     for (const auto &child : root.children) {
         if (child.type == IntervalType::Native) {
@@ -36,7 +43,81 @@ nativeTimeExcludingGc(const IntervalNode &root)
             // collections that ran inside it.
             total += child.duration() - child.typeTime(IntervalType::Gc);
         } else if (child.type != IntervalType::Gc) {
-            total += nativeTimeExcludingGc(child);
+            total += nativeTimeExcludingGcGuarded(child, nesting + 1);
+        }
+    }
+    return total;
+}
+
+/** Sample-based app/library split for one episode: classify the
+ * innermost GUI-thread frame of each sample (paper §IV.D). */
+void
+countGuiSamples(const Session &session, const Episode &episode,
+                std::size_t &app, std::size_t &lib)
+{
+    const ThreadId gui = session.guiThread();
+    const auto &samples = session.samples();
+    for (std::size_t s = episode.firstSample; s < episode.lastSample;
+         ++s) {
+        for (const auto &entry : samples[s].threads) {
+            if (entry.thread != gui || entry.frames.empty())
+                continue;
+            const auto &cls =
+                session.symbol(entry.frames.back().classSym);
+            if (isRuntimeLibraryClass(cls))
+                ++lib;
+            else
+                ++app;
+            break;
+        }
+    }
+}
+
+/** Fold one episode's measurements into both tallies. */
+void
+applyEpisode(LocationCounts &counts, const Episode &episode,
+             bool perceptible, std::size_t app, std::size_t lib,
+             DurationNs gc_time, DurationNs native_time)
+{
+    const auto apply = [&](LocationTally &tally) {
+        tally.appSamples += app;
+        tally.librarySamples += lib;
+        tally.gcTime += gc_time;
+        tally.nativeTime += native_time;
+        tally.episodeTime += episode.duration();
+        ++tally.episodes;
+    };
+    apply(counts.all);
+    if (perceptible)
+        apply(counts.perceptible);
+}
+
+} // namespace
+
+DurationNs
+nativeTimeExcludingGc(const IntervalNode &root)
+{
+    return nativeTimeExcludingGcGuarded(root, 0);
+}
+
+DurationNs
+flatNativeTimeExcludingGc(const FlatTree &tree, std::uint32_t root)
+{
+    DurationNs total = 0;
+    const std::uint32_t sliceEnd = tree.subtreeEnd[root];
+    std::uint32_t j = root + 1;
+    while (j < sliceEnd) {
+        const IntervalType t = tree.typeOf(j);
+        if (t == IntervalType::Native) {
+            // The whole native interval counts once; subtract any
+            // collections that ran inside it, then skip its subtree.
+            total += tree.duration(j) -
+                     flatTypeTime(tree, j, IntervalType::Gc);
+            j = tree.subtreeEnd[j];
+        } else if (t == IntervalType::Gc) {
+            j = tree.subtreeEnd[j];
+        } else {
+            ++j;
         }
     }
     return total;
@@ -47,8 +128,6 @@ countLocation(const Session &session, std::size_t begin,
               std::size_t end, DurationNs perceptible_threshold)
 {
     LocationCounts counts;
-    const ThreadId gui = session.guiThread();
-    const auto &samples = session.samples();
     const auto &episodes = session.episodes();
 
     for (std::size_t i = begin; i < end; ++i) {
@@ -62,32 +141,39 @@ countLocation(const Session &session, std::size_t begin,
 
         std::size_t app = 0;
         std::size_t lib = 0;
-        for (std::size_t s = episode.firstSample;
-             s < episode.lastSample; ++s) {
-            for (const auto &entry : samples[s].threads) {
-                if (entry.thread != gui || entry.frames.empty())
-                    continue;
-                const auto &cls = session.symbol(
-                    entry.frames.back().classSym);
-                if (isRuntimeLibraryClass(cls))
-                    ++lib;
-                else
-                    ++app;
-                break;
-            }
-        }
+        countGuiSamples(session, episode, app, lib);
+        applyEpisode(counts, episode, perceptible, app, lib, gc_time,
+                     native_time);
+    }
+    return counts;
+}
 
-        const auto apply = [&](LocationTally &tally) {
-            tally.appSamples += app;
-            tally.librarySamples += lib;
-            tally.gcTime += gc_time;
-            tally.nativeTime += native_time;
-            tally.episodeTime += episode.duration();
-            ++tally.episodes;
-        };
-        apply(counts.all);
-        if (perceptible)
-            apply(counts.perceptible);
+LocationCounts
+countLocation(const Session &session, const FlatSession &flat,
+              std::size_t begin, std::size_t end,
+              DurationNs perceptible_threshold)
+{
+    LocationCounts counts;
+    const auto &episodes = session.episodes();
+    const auto &trees = flat.trees();
+
+    for (std::size_t i = begin; i < end; ++i) {
+        const Episode &episode = episodes[i];
+        const FlatTree &tree = trees[flat.episodeTree(i)];
+        const std::uint32_t node = flat.episodeNode(i);
+        const bool perceptible =
+            episode.duration() >= perceptible_threshold;
+
+        const DurationNs gc_time =
+            flatTypeTime(tree, node, IntervalType::Gc);
+        const DurationNs native_time =
+            flatNativeTimeExcludingGc(tree, node);
+
+        std::size_t app = 0;
+        std::size_t lib = 0;
+        countGuiSamples(session, episode, app, lib);
+        applyEpisode(counts, episode, perceptible, app, lib, gc_time,
+                     native_time);
     }
     return counts;
 }

@@ -17,6 +17,7 @@
 #ifndef LAG_CORE_LOCATION_HH
 #define LAG_CORE_LOCATION_HH
 
+#include "flat_tree.hh"
 #include "session.hh"
 
 namespace lag::core
@@ -47,6 +48,11 @@ struct LocationAnalysisResult
 /** Time spent in Native intervals below @p root, excluding any GC
  * time nested inside them. */
 DurationNs nativeTimeExcludingGc(const IntervalNode &root);
+
+/** Flat-layout twin of nativeTimeExcludingGc: one skip-scan over
+ * the root's preorder slice, no recursion. */
+DurationNs flatNativeTimeExcludingGc(const FlatTree &tree,
+                                     std::uint32_t root);
 
 /** Integer accumulator for one episode set. */
 struct LocationTally
@@ -92,6 +98,15 @@ struct LocationCounts
 
 /** Tally location data over episodes [begin, end). */
 LocationCounts countLocation(const Session &session, std::size_t begin,
+                             std::size_t end,
+                             DurationNs perceptible_threshold);
+
+/** Flat-tree overload of countLocation; byte-identical counts.  The
+ * sample-based app/library split is unchanged (it never walks the
+ * trees); the GC and native interval times come from flat scans.
+ * @p flat must be flattenSession(session). */
+LocationCounts countLocation(const Session &session,
+                             const FlatSession &flat, std::size_t begin,
                              std::size_t end,
                              DurationNs perceptible_threshold);
 

@@ -12,11 +12,16 @@ namespace lag::core
 namespace
 {
 
-/** Append the signature of @p node (and descendants) to @p out. */
+/** Append the signature of @p node (and descendants) to @p out.
+ * Guarded against runaway nesting; the flat emission path
+ * (flat_tree.hh) is iterative and needs no guard. */
 void
 appendSignature(const IntervalNode &node,
-                const trace::StringTable &strings, std::string &out)
+                const trace::StringTable &strings, std::string &out,
+                std::size_t nesting)
 {
+    if (nesting >= kMaxIntervalDepth)
+        throwIntervalTooDeep();
     switch (node.type) {
       case IntervalType::Dispatch: out += 'D'; break;
       case IntervalType::Listener: out += 'L'; break;
@@ -41,7 +46,7 @@ appendSignature(const IntervalNode &node,
             out += '(';
             any_child = true;
         }
-        appendSignature(child, strings, out);
+        appendSignature(child, strings, out, nesting + 1);
     }
     if (any_child)
         out += ')';
@@ -49,26 +54,30 @@ appendSignature(const IntervalNode &node,
 
 /** Non-GC descendant count. */
 std::size_t
-nonGcDescendants(const IntervalNode &node)
+nonGcDescendants(const IntervalNode &node, std::size_t nesting)
 {
+    if (nesting >= kMaxIntervalDepth)
+        throwIntervalTooDeep();
     std::size_t count = 0;
     for (const auto &child : node.children) {
         if (child.type == IntervalType::Gc)
             continue;
-        count += 1 + nonGcDescendants(child);
+        count += 1 + nonGcDescendants(child, nesting + 1);
     }
     return count;
 }
 
 /** Depth of the tree ignoring GC nodes; a leaf counts 1. */
 std::size_t
-nonGcDepth(const IntervalNode &node)
+nonGcDepth(const IntervalNode &node, std::size_t nesting)
 {
+    if (nesting >= kMaxIntervalDepth)
+        throwIntervalTooDeep();
     std::size_t deepest = 0;
     for (const auto &child : node.children) {
         if (child.type == IntervalType::Gc)
             continue;
-        deepest = std::max(deepest, nonGcDepth(child));
+        deepest = std::max(deepest, nonGcDepth(child, nesting + 1));
     }
     return deepest + 1;
 }
@@ -104,7 +113,7 @@ patternSignature(const IntervalNode &root,
                  const trace::StringTable &strings)
 {
     std::string out;
-    appendSignature(root, strings, out);
+    appendSignature(root, strings, out, 0);
     return out;
 }
 
@@ -176,12 +185,125 @@ PatternMiner::mineRange(const Session &session, std::size_t begin,
             Pattern pattern;
             pattern.key = fnv1a(signature);
             pattern.signature = std::move(signature);
-            pattern.descendants = nonGcDescendants(root);
-            pattern.depth = nonGcDepth(root);
+            pattern.descendants = nonGcDescendants(root, 0);
+            pattern.depth = nonGcDepth(root, 0);
             // Per-pattern membership is unknowable up front.
             shard.patterns.push_back(std::move(pattern)); // lag-lint: allow(reserve-loop)
         }
         Pattern &pattern = shard.patterns[it->second];
+
+        const DurationNs lag = episodes[i].duration();
+        const bool perceptible = lag >= threshold_;
+        if (pattern.episodes.empty()) {
+            pattern.minLag = lag;
+            pattern.maxLag = lag;
+            pattern.firstPerceptible = perceptible;
+        } else {
+            pattern.minLag = std::min(pattern.minLag, lag);
+            pattern.maxLag = std::max(pattern.maxLag, lag);
+        }
+        pattern.totalLag += lag;
+        if (perceptible)
+            ++pattern.perceptibleCount;
+        pattern.episodes.push_back(i); // lag-lint: allow(reserve-loop)
+        ++shard.coveredEpisodes;
+    }
+    return shard;
+}
+
+PatternSet
+PatternMiner::mine(const Session &session,
+                   const FlatSession &flat) const
+{
+    std::vector<PatternShard> shards;
+    shards.push_back(
+        mineRange(session, flat, 0, session.episodes().size()));
+    return merge(std::move(shards));
+}
+
+PatternShard
+PatternMiner::mineRange(const Session &session,
+                        const FlatSession &flat, std::size_t begin,
+                        std::size_t end) const
+{
+    const auto &episodes = session.episodes();
+    lag_assert(begin <= end && end <= episodes.size(),
+               "episode range out of bounds");
+
+    PatternShard shard;
+    shard.beginEpisode = begin;
+    shard.endEpisode = end;
+
+    // Signature hash -> indices into shard.patterns.  A bucket holds
+    // more than one entry only when distinct signatures collide on
+    // the 64-bit FNV key, which the string fallback below resolves.
+    std::unordered_multimap<std::uint64_t, std::size_t> index;
+
+    // Flat location of each pattern's first episode, parallel to
+    // shard.patterns: repeat episodes compare against it at the
+    // symbol-id level instead of re-materializing the signature.
+    struct FlatRef
+    {
+        std::uint32_t tree = 0;
+        std::uint32_t node = 0;
+    };
+    std::vector<FlatRef> firstRef;
+
+    FlatSigStack sigStack;
+    std::string scratchSig;
+
+    const auto &trees = flat.trees();
+    for (std::size_t i = begin; i < end; ++i) {
+        const std::uint32_t treeIdx = flat.episodeTree(i);
+        const std::uint32_t node = flat.episodeNode(i);
+        const FlatTree &tree = trees[treeIdx];
+        if (flatDescendantCount(tree, node) == 0) {
+            // "We exclude episodes that have no internal structure"
+            // (paper §IV.A).
+            ++shard.structurelessEpisodes;
+            continue;
+        }
+        const std::uint64_t hash = flatSignatureHash(
+            tree, node, session.strings(), sigStack);
+
+        std::size_t match = shard.patterns.size();
+        const auto [lo, hi] = index.equal_range(hash);
+        for (auto it = lo; it != hi; ++it) {
+            const FlatRef &ref = firstRef[it->second];
+            if (flatStructureEquals(trees[ref.tree], ref.node, tree,
+                                    node)) {
+                match = it->second;
+                break;
+            }
+            // Id-level mismatch under an equal hash: distinct symbol
+            // ids can still join to the same signature bytes (the
+            // "[A.B]" text is the canonical form, not the id tuple),
+            // and distinct signatures can collide on 64 bits.  The
+            // signature string is the arbiter either way, exactly as
+            // in the node-tree path.
+            scratchSig.clear();
+            flatSignatureString(tree, node, session.strings(),
+                                scratchSig, sigStack);
+            if (scratchSig == shard.patterns[it->second].signature) {
+                match = it->second;
+                break;
+            }
+        }
+        if (match == shard.patterns.size()) {
+            Pattern pattern;
+            pattern.key = hash;
+            scratchSig.clear();
+            flatSignatureString(tree, node, session.strings(),
+                                scratchSig, sigStack);
+            pattern.signature = scratchSig;
+            pattern.descendants = flatNonGcDescendants(tree, node);
+            pattern.depth = flatNonGcDepth(tree, node);
+            index.emplace(hash, match);
+            // Per-pattern membership is unknowable up front.
+            firstRef.push_back({treeIdx, node}); // lag-lint: allow(reserve-loop)
+            shard.patterns.push_back(std::move(pattern)); // lag-lint: allow(reserve-loop)
+        }
+        Pattern &pattern = shard.patterns[match];
 
         const DurationNs lag = episodes[i].duration();
         const bool perceptible = lag >= threshold_;

@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "flat_tree.hh"
 #include "session.hh"
 #include "util/types.hh"
 
@@ -149,6 +150,23 @@ class PatternMiner
 
     /** Mine only episodes [begin, end) into an ordered partial. */
     PatternShard mineRange(const Session &session, std::size_t begin,
+                           std::size_t end) const;
+
+    /**
+     * Flat-tree mining: byte-identical to the node-tree overloads
+     * (same patterns, order, statistics and signature strings), but
+     * hashing each episode's signature in one pass over its flat
+     * slice — no intermediate string, no recursion — and comparing
+     * repeat episodes against their pattern at the symbol-id level.
+     * A signature string is materialized only for first-seen
+     * patterns.  @p flat must be flattenSession(session).
+     */
+    PatternSet mine(const Session &session,
+                    const FlatSession &flat) const;
+
+    /** Flat-tree overload of mineRange; same contract as mine. */
+    PatternShard mineRange(const Session &session,
+                           const FlatSession &flat, std::size_t begin,
                            std::size_t end) const;
 
     /**

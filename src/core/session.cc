@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <string>
 #include <unordered_map>
 
 #include "obs/metrics.hh"
@@ -191,6 +192,16 @@ Session::fromTrace(trace::Trace trace, const SessionBuildOptions &options)
         const auto it =
             builders.emplace(thread.id, TreeBuilder(alloc)).first;
         const ThreadCounts &tallies = pre.threads.at(thread.id);
+        if (tallies.maxDepth >= kMaxIntervalDepth) {
+            // Reject up front: the node-tree walks recurse on the C
+            // stack and would hit their own depth guard anyway
+            // (kMaxIntervalDepth leaves headroom for the GC leaf
+            // copies inserted below the deepest frame).
+            throw TraceError(
+                "trace nests intervals deeper than the supported "
+                "maximum (" +
+                std::to_string(kMaxIntervalDepth) + ")");
+        }
         // Root slots plus room for root-level GC copies; the stack
         // never regrows past the deepest nesting seen.
         it->second.roots.reserve(tallies.roots + pre.collections);

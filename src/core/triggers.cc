@@ -1,5 +1,7 @@
 #include "triggers.hh"
 
+#include "flat_simd.hh"
+
 namespace lag::core
 {
 
@@ -11,8 +13,10 @@ namespace
  * @p node. Returns nullptr when the subtree has none.
  */
 const IntervalNode *
-firstMarker(const IntervalNode &node)
+firstMarker(const IntervalNode &node, std::size_t nesting = 0)
 {
+    if (nesting >= kMaxIntervalDepth)
+        throwIntervalTooDeep();
     for (const auto &child : node.children) {
         if (child.type == IntervalType::Listener ||
             child.type == IntervalType::Paint ||
@@ -21,7 +25,8 @@ firstMarker(const IntervalNode &node)
         }
         // Descend through Native and GC-free structure; GC children
         // have no descendants relevant here.
-        if (const IntervalNode *found = firstMarker(child))
+        if (const IntervalNode *found =
+                firstMarker(child, nesting + 1))
             return found;
     }
     return nullptr;
@@ -67,6 +72,41 @@ episodeTrigger(const IntervalNode &root)
     return TriggerKind::Unspecified;
 }
 
+TriggerKind
+flatEpisodeTrigger(const FlatTree &tree, std::uint32_t root)
+{
+    // The preorder slice of the root's descendants is exactly the
+    // order the node-tree recursion visits, and GC nodes can never
+    // match (their type byte is not a marker), so a flat byte scan
+    // is the same search.
+    const std::uint8_t *types = tree.type.data();
+    const std::uint32_t sliceEnd = tree.subtreeEnd[root];
+    const std::uint32_t m = findFirstMarker(types, root + 1, sliceEnd);
+    if (m == sliceEnd)
+        return TriggerKind::Unspecified;
+    switch (tree.typeOf(m)) {
+      case IntervalType::Listener:
+        return TriggerKind::Input;
+      case IntervalType::Paint:
+        return TriggerKind::Output;
+      case IntervalType::Async: {
+        // Repaint-manager special case (paper §IV.C footnote): an
+        // async interval that contains a paint as its first nested
+        // marker is really an output episode.
+        const std::uint32_t innerEnd = tree.subtreeEnd[m];
+        const std::uint32_t inner =
+            findFirstMarker(types, m + 1, innerEnd);
+        if (inner != innerEnd &&
+            tree.typeOf(inner) == IntervalType::Paint)
+            return TriggerKind::Output;
+        return TriggerKind::Async;
+      }
+      default:
+        break;
+    }
+    return TriggerKind::Unspecified;
+}
+
 TriggerCounts
 countTriggers(const Session &session, std::size_t begin,
               std::size_t end, DurationNs perceptible_threshold)
@@ -80,6 +120,25 @@ countTriggers(const Session &session, std::size_t begin,
         const auto idx = static_cast<std::size_t>(kind);
         ++counts.all[idx];
         if (episode.duration() >= perceptible_threshold)
+            ++counts.perceptible[idx];
+    }
+    return counts;
+}
+
+TriggerCounts
+countTriggers(const Session &session, const FlatSession &flat,
+              std::size_t begin, std::size_t end,
+              DurationNs perceptible_threshold)
+{
+    TriggerCounts counts;
+    const auto &episodes = session.episodes();
+    const auto &trees = flat.trees();
+    for (std::size_t i = begin; i < end; ++i) {
+        const TriggerKind kind = flatEpisodeTrigger(
+            trees[flat.episodeTree(i)], flat.episodeNode(i));
+        const auto idx = static_cast<std::size_t>(kind);
+        ++counts.all[idx];
+        if (episodes[i].duration() >= perceptible_threshold)
             ++counts.perceptible[idx];
     }
     return counts;

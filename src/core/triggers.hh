@@ -22,6 +22,7 @@
 #include <array>
 #include <cstdint>
 
+#include "flat_tree.hh"
 #include "session.hh"
 
 namespace lag::core
@@ -41,6 +42,15 @@ const char *triggerKindName(TriggerKind kind);
 
 /** Classify one episode by its interval tree. */
 TriggerKind episodeTrigger(const IntervalNode &root);
+
+/**
+ * Classify one episode on the flat layout; identical to
+ * episodeTrigger on the corresponding node tree.  The preorder
+ * marker search becomes a byte scan of the type array over the
+ * root's slice (SIMD-accelerated under LAG_SIMD, see flat_simd.hh).
+ */
+TriggerKind flatEpisodeTrigger(const FlatTree &tree,
+                               std::uint32_t root);
 
 /** Trigger shares over a set of episodes (fractions sum to 1). */
 struct TriggerShares
@@ -82,6 +92,13 @@ struct TriggerCounts
 
 /** Tally triggers over episodes [begin, end). */
 TriggerCounts countTriggers(const Session &session, std::size_t begin,
+                            std::size_t end,
+                            DurationNs perceptible_threshold);
+
+/** Flat-tree overload of countTriggers; byte-identical counts.
+ * @p flat must be flattenSession(session). */
+TriggerCounts countTriggers(const Session &session,
+                            const FlatSession &flat, std::size_t begin,
                             std::size_t end,
                             DurationNs perceptible_threshold);
 

@@ -47,20 +47,22 @@ cacheMetrics()
 
 } // namespace
 
-SessionAnalysis
-analyzeSession(const core::Session &session,
-               DurationNs perceptible_threshold)
+namespace
 {
-    const core::PatternMiner miner(perceptible_threshold);
-    const core::PatternSet patterns = miner.mine(session);
 
+/** Everything downstream of the PatternSet is layout-agnostic. */
+SessionAnalysis
+finishAnalysis(const core::Session &session,
+               const core::PatternSet &patterns,
+               DurationNs perceptible_threshold,
+               const core::TriggerAnalysisResult &triggers,
+               const core::LocationAnalysisResult &location)
+{
     SessionAnalysis out;
     out.overview = core::computeOverview(session, patterns,
                                          perceptible_threshold);
-    out.triggers =
-        core::analyzeTriggers(session, perceptible_threshold);
-    out.location =
-        core::analyzeLocation(session, perceptible_threshold);
+    out.triggers = triggers;
+    out.location = location;
     out.concurrency =
         core::analyzeConcurrency(session, perceptible_threshold);
     out.states =
@@ -75,6 +77,36 @@ analyzeSession(const core::Session &session,
         out.episodeDurations.push_back(episode.duration());
     out.patternSummary = core::summarizePatterns(patterns);
     return out;
+}
+
+} // namespace
+
+SessionAnalysis
+analyzeSession(const core::Session &session,
+               DurationNs perceptible_threshold)
+{
+    const core::PatternMiner miner(perceptible_threshold);
+    const core::FlatSession flat = core::flattenSession(session);
+    const core::PatternSet patterns = miner.mine(session, flat);
+    const std::size_t n = session.episodes().size();
+    return finishAnalysis(
+        session, patterns, perceptible_threshold,
+        core::finishTriggers(core::countTriggers(
+            session, flat, 0, n, perceptible_threshold)),
+        core::finishLocation(core::countLocation(
+            session, flat, 0, n, perceptible_threshold)));
+}
+
+SessionAnalysis
+analyzeSessionNode(const core::Session &session,
+                   DurationNs perceptible_threshold)
+{
+    const core::PatternMiner miner(perceptible_threshold);
+    const core::PatternSet patterns = miner.mine(session);
+    return finishAnalysis(
+        session, patterns, perceptible_threshold,
+        core::analyzeTriggers(session, perceptible_threshold),
+        core::analyzeLocation(session, perceptible_threshold));
 }
 
 namespace

@@ -10,7 +10,9 @@
 #ifndef LAG_UTIL_HASH_HH
 #define LAG_UTIL_HASH_HH
 
+#include <bit>
 #include <cstdint>
+#include <cstring>
 #include <string_view>
 
 namespace lag
@@ -20,13 +22,42 @@ namespace lag
 class Fnv1aHasher
 {
   public:
-    /** Fold raw bytes into the hash state. */
+    /**
+     * Fold raw bytes into the hash state.
+     *
+     * FNV-1a is serial per byte (the multiply does not distribute
+     * over the xor), so the digest cannot be block-parallelized —
+     * but the *loads* can: on little-endian targets the main loop
+     * reads one 64-bit word per iteration and folds its eight bytes
+     * from a register, replacing eight 1-byte loads with one load
+     * plus shifts. Bit-identical to the byte loop on every input;
+     * tests/util_hash_test.cc proves it for all lengths 0–64 and
+     * all chunkings.
+     */
     void
     addBytes(const void *data, std::size_t size)
     {
         const auto *bytes = static_cast<const unsigned char *>(data);
-        for (std::size_t i = 0; i < size; ++i) {
-            hash_ ^= bytes[i];
+        std::size_t i = 0;
+        if constexpr (std::endian::native == std::endian::little) {
+            std::uint64_t h = hash_;
+            for (; i + 8 <= size; i += 8) {
+                std::uint64_t word;
+                std::memcpy(&word, bytes + i, 8);
+                h = (h ^ (word & 0xff)) * kPrime;
+                h = (h ^ ((word >> 8) & 0xff)) * kPrime;
+                h = (h ^ ((word >> 16) & 0xff)) * kPrime;
+                h = (h ^ ((word >> 24) & 0xff)) * kPrime;
+                h = (h ^ ((word >> 32) & 0xff)) * kPrime;
+                h = (h ^ ((word >> 40) & 0xff)) * kPrime;
+                h = (h ^ ((word >> 48) & 0xff)) * kPrime;
+                h = (h ^ (word >> 56)) * kPrime;
+            }
+            hash_ = h;
+        }
+        // Tail (and the whole input on big-endian targets).
+        for (; i < size; ++i) {
+            hash_ ^= bytes[i]; // lag-lint: allow(byte-hash-loop)
             hash_ *= kPrime;
         }
     }

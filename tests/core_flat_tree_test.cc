@@ -1,0 +1,334 @@
+/**
+ * @file
+ * Tests for the flat (structure-of-arrays) interval trees: preorder
+ * layout invariants, walk/signature equivalence against the node
+ * tree, depth-guard behaviour on hostile nesting, structural
+ * equality, and the SIMD/scalar marker-scan contract.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/flat_simd.hh"
+#include "core/flat_tree.hh"
+#include "core/location.hh"
+#include "core/pattern.hh"
+#include "core/triggers.hh"
+#include "trace_builder.hh"
+#include "util/hash.hh"
+
+namespace lag::core
+{
+namespace
+{
+
+using trace::IntervalKind;
+
+/** A session exercising every interval type, nesting and GC. */
+Session
+richSession()
+{
+    test::TraceBuilder builder;
+    builder.dispatchBegin(0)
+        .intervalBegin(1000, IntervalKind::Listener, "app.A", "act")
+        .intervalBegin(2000, IntervalKind::Native, "app.N", "jni")
+        .gc(3000, 4000)
+        .intervalEnd(msToNs(6), IntervalKind::Native)
+        .intervalEnd(msToNs(8), IntervalKind::Listener)
+        .intervalBegin(msToNs(9), IntervalKind::Paint, "app.P", "p")
+        .intervalEnd(msToNs(12), IntervalKind::Paint)
+        .dispatchEnd(msToNs(14));
+    builder.dispatchBegin(msToNs(20))
+        .intervalBegin(msToNs(21), IntervalKind::Async, "app.Q", "r")
+        .intervalBegin(msToNs(22), IntervalKind::Paint, "app.P", "p")
+        .intervalEnd(msToNs(23), IntervalKind::Paint)
+        .intervalEnd(msToNs(24), IntervalKind::Async)
+        .dispatchEnd(msToNs(25));
+    builder.dispatchBegin(msToNs(30)).dispatchEnd(msToNs(31));
+    return builder.buildSession(secToNs(1));
+}
+
+/** Preorder walk of a node tree collecting (type, begin, end). */
+void
+preorder(const IntervalNode &node,
+         std::vector<const IntervalNode *> &out)
+{
+    out.push_back(&node);
+    for (const auto &child : node.children)
+        preorder(child, out);
+}
+
+TEST(FlatTreeTest, PreorderLayoutMatchesNodeTree)
+{
+    const Session session = richSession();
+    const FlatSession flat = flattenSession(session);
+    ASSERT_EQ(flat.trees().size(), session.threads().size());
+
+    for (std::size_t t = 0; t < flat.trees().size(); ++t) {
+        const FlatTree &tree = flat.trees()[t];
+        std::vector<const IntervalNode *> nodes;
+        for (const IntervalNode &root :
+             session.threads()[t].roots)
+            preorder(root, nodes);
+        ASSERT_EQ(tree.size(), nodes.size());
+        for (std::size_t i = 0; i < nodes.size(); ++i) {
+            EXPECT_EQ(tree.typeOf(i), nodes[i]->type) << i;
+            EXPECT_EQ(tree.begin[i], nodes[i]->begin) << i;
+            EXPECT_EQ(tree.end[i], nodes[i]->end) << i;
+            EXPECT_EQ(tree.classSym[i], nodes[i]->classSym) << i;
+            EXPECT_EQ(tree.methodSym[i], nodes[i]->methodSym) << i;
+            // Subtree slice = this node plus all descendants.
+            EXPECT_EQ(tree.subtreeSize(static_cast<std::uint32_t>(i)),
+                      nodes[i]->descendantCount() + 1)
+                << i;
+        }
+    }
+}
+
+TEST(FlatTreeTest, EpisodeRefsPointAtEpisodeRoots)
+{
+    const Session session = richSession();
+    const FlatSession flat = flattenSession(session);
+    ASSERT_EQ(session.episodes().size(), 3u);
+    for (std::size_t i = 0; i < session.episodes().size(); ++i) {
+        const IntervalNode &root =
+            session.episodeRoot(session.episodes()[i]);
+        const FlatTree &tree = flat.trees()[flat.episodeTree(i)];
+        const std::uint32_t node = flat.episodeNode(i);
+        EXPECT_EQ(tree.begin[node], root.begin);
+        EXPECT_EQ(tree.end[node], root.end);
+        EXPECT_EQ(tree.typeOf(node), IntervalType::Dispatch);
+    }
+}
+
+TEST(FlatTreeTest, WalksMatchNodeWalks)
+{
+    const Session session = richSession();
+    const FlatSession flat = flattenSession(session);
+    for (std::size_t i = 0; i < session.episodes().size(); ++i) {
+        const IntervalNode &root =
+            session.episodeRoot(session.episodes()[i]);
+        const FlatTree &tree = flat.trees()[flat.episodeTree(i)];
+        const std::uint32_t node = flat.episodeNode(i);
+        EXPECT_EQ(flatDescendantCount(tree, node),
+                  root.descendantCount());
+        EXPECT_EQ(flatDepth(tree, node), root.depth());
+        for (const IntervalType type :
+             {IntervalType::Listener, IntervalType::Paint,
+              IntervalType::Native, IntervalType::Async,
+              IntervalType::Gc}) {
+            EXPECT_EQ(flatTypeTime(tree, node, type),
+                      root.typeTime(type))
+                << "type " << static_cast<int>(type);
+        }
+        EXPECT_EQ(flatNativeTimeExcludingGc(tree, node),
+                  nativeTimeExcludingGc(root));
+        EXPECT_EQ(flatEpisodeTrigger(tree, node),
+                  episodeTrigger(root));
+    }
+}
+
+TEST(FlatTreeTest, SignaturesMatchNodeSignatures)
+{
+    const Session session = richSession();
+    const FlatSession flat = flattenSession(session);
+    FlatSigStack scratch;
+    for (std::size_t i = 0; i < session.episodes().size(); ++i) {
+        const IntervalNode &root =
+            session.episodeRoot(session.episodes()[i]);
+        const FlatTree &tree = flat.trees()[flat.episodeTree(i)];
+        const std::uint32_t node = flat.episodeNode(i);
+        const std::string nodeSig =
+            patternSignature(root, session.strings());
+        EXPECT_EQ(flatSignatureString(tree, node, session.strings()),
+                  nodeSig);
+        EXPECT_EQ(flatSignatureHash(tree, node, session.strings(),
+                                    scratch),
+                  fnv1a(nodeSig));
+    }
+}
+
+TEST(FlatTreeTest, FlatMiningIsByteIdenticalToNodeMining)
+{
+    test::TraceBuilder builder;
+    // Three episodes of one pattern, two of another, one empty.
+    for (int k = 0; k < 3; ++k) {
+        const TimeNs base = msToNs(100 * k);
+        builder.listenerEpisode(base, base + msToNs(50), "app.A");
+    }
+    for (int k = 0; k < 2; ++k) {
+        const TimeNs base = msToNs(400 + 200 * k);
+        builder.listenerEpisode(base, base + msToNs(150), "app.B");
+    }
+    builder.dispatchBegin(msToNs(800)).dispatchEnd(msToNs(801));
+    const Session session = builder.buildSession(secToNs(1));
+    const FlatSession flat = flattenSession(session);
+
+    const PatternMiner miner(msToNs(100));
+    const PatternSet nodeSet = miner.mine(session);
+    const PatternSet flatSet = miner.mine(session, flat);
+
+    EXPECT_EQ(flatSet.coveredEpisodes, nodeSet.coveredEpisodes);
+    EXPECT_EQ(flatSet.structurelessEpisodes,
+              nodeSet.structurelessEpisodes);
+    ASSERT_EQ(flatSet.patterns.size(), nodeSet.patterns.size());
+    for (std::size_t p = 0; p < nodeSet.patterns.size(); ++p) {
+        const Pattern &a = nodeSet.patterns[p];
+        const Pattern &b = flatSet.patterns[p];
+        EXPECT_EQ(b.signature, a.signature);
+        EXPECT_EQ(b.key, a.key);
+        EXPECT_EQ(b.episodes, a.episodes);
+        EXPECT_EQ(b.minLag, a.minLag);
+        EXPECT_EQ(b.maxLag, a.maxLag);
+        EXPECT_EQ(b.totalLag, a.totalLag);
+        EXPECT_EQ(b.perceptibleCount, a.perceptibleCount);
+        EXPECT_EQ(b.firstPerceptible, a.firstPerceptible);
+        EXPECT_EQ(b.descendants, a.descendants);
+        EXPECT_EQ(b.depth, a.depth);
+        EXPECT_EQ(b.occurrence, a.occurrence);
+    }
+}
+
+/** Hand-built (heap) nesting chain of @p depth Native nodes (Native
+ * is no trigger marker, so every walk must reach the bottom). */
+IntervalVec
+deepForest(std::size_t depth)
+{
+    IntervalNode current;
+    current.type = IntervalType::Native;
+    current.begin = 0;
+    current.end = 10;
+    for (std::size_t d = 1; d < depth; ++d) {
+        IntervalNode parent;
+        parent.type = IntervalType::Native;
+        parent.begin = 0;
+        parent.end = 10;
+        parent.children.push_back(std::move(current));
+        current = std::move(parent);
+    }
+    IntervalVec roots;
+    roots.push_back(std::move(current));
+    return roots;
+}
+
+TEST(FlatTreeTest, DeepTreesAreIterativeOnFlatAndGuardedOnNodes)
+{
+    const std::size_t depth = 2 * kMaxIntervalDepth;
+    const IntervalVec roots = deepForest(depth);
+    const IntervalNode &root = roots.front();
+
+    // Node-tree walks must refuse (TraceError), not smash the stack.
+    EXPECT_THROW(root.descendantCount(), trace::TraceError);
+    EXPECT_THROW(root.depth(), trace::TraceError);
+    EXPECT_THROW(root.typeTime(IntervalType::Gc), trace::TraceError);
+    trace::StringTable strings;
+    EXPECT_THROW(patternSignature(root, strings), trace::TraceError);
+    EXPECT_THROW(episodeTrigger(root), trace::TraceError);
+
+    // Flat walks are iterative by construction: any depth works.
+    const FlatTree tree = flattenForest(roots);
+    ASSERT_EQ(tree.size(), depth);
+    EXPECT_EQ(flatDescendantCount(tree, 0), depth - 1);
+    EXPECT_EQ(flatDepth(tree, 0), depth);
+    EXPECT_EQ(flatTypeTime(tree, 0, IntervalType::Gc), 0);
+    const std::string sig = flatSignatureString(tree, 0, strings);
+    EXPECT_EQ(sig.size(), depth + 2 * (depth - 1));
+}
+
+TEST(FlatTreeTest, StructureEqualsIsGcBlindAndSymbolSensitive)
+{
+    // Symbol ids only compare within one session, so all three
+    // episode shapes live in the same trace: plain, plain + GC,
+    // different class.
+    test::TraceBuilder builder;
+    builder.dispatchBegin(0)
+        .intervalBegin(1000, IntervalKind::Listener, "app.A", "act")
+        .intervalEnd(msToNs(5), IntervalKind::Listener)
+        .dispatchEnd(msToNs(6));
+    builder.dispatchBegin(msToNs(10))
+        .intervalBegin(msToNs(11), IntervalKind::Listener, "app.A",
+                       "act")
+        .gc(msToNs(12), msToNs(13))
+        .intervalEnd(msToNs(15), IntervalKind::Listener)
+        .dispatchEnd(msToNs(16));
+    builder.dispatchBegin(msToNs(20))
+        .intervalBegin(msToNs(21), IntervalKind::Listener, "app.B",
+                       "act")
+        .intervalEnd(msToNs(25), IntervalKind::Listener)
+        .dispatchEnd(msToNs(26));
+    const Session session = builder.buildSession(secToNs(1));
+    const FlatSession flat = flattenSession(session);
+
+    const auto treeOf = [&flat](std::size_t e) -> const FlatTree & {
+        return flat.trees()[flat.episodeTree(e)];
+    };
+    // Same symbols, GC ignored: equal.
+    EXPECT_TRUE(flatStructureEquals(treeOf(0), flat.episodeNode(0),
+                                    treeOf(1), flat.episodeNode(1)));
+    // Different class symbol: not equal.
+    EXPECT_FALSE(flatStructureEquals(treeOf(0), flat.episodeNode(0),
+                                     treeOf(2), flat.episodeNode(2)));
+    // Reflexive.
+    EXPECT_TRUE(flatStructureEquals(treeOf(2), flat.episodeNode(2),
+                                    treeOf(2), flat.episodeNode(2)));
+}
+
+TEST(FlatSimdTest, ScalarFindsFirstMarker)
+{
+    const std::uint8_t types[] = {0, 0, 3, 5, 1, 2, 4, 0};
+    EXPECT_EQ(findFirstMarkerScalar(types, 0, 8), 4u);
+    EXPECT_EQ(findFirstMarkerScalar(types, 5, 8), 5u);
+    EXPECT_EQ(findFirstMarkerScalar(types, 0, 4), 4u); // none: to
+    EXPECT_EQ(findFirstMarkerScalar(types, 7, 8), 8u);
+    EXPECT_EQ(findFirstMarkerScalar(types, 3, 3), 3u); // empty
+}
+
+TEST(FlatSimdTest, SimdMatchesScalarOnRandomArrays)
+{
+    // Deterministic LCG; no OS entropy in tests either.
+    std::uint32_t state = 0x9e3779b9u;
+    const auto next = [&state] {
+        state = state * 1664525u + 1013904223u;
+        return state >> 24;
+    };
+    for (int round = 0; round < 200; ++round) {
+        std::vector<std::uint8_t> types(
+            static_cast<std::size_t>(next() % 120));
+        for (auto &t : types)
+            t = static_cast<std::uint8_t>(next() % 6);
+        const auto n = static_cast<std::uint32_t>(types.size());
+        for (std::uint32_t from = 0; from <= n;
+             from += 1 + from / 3) {
+            const std::uint32_t expected =
+                findFirstMarkerScalar(types.data(), from, n);
+            EXPECT_EQ(findFirstMarker(types.data(), from, n),
+                      expected);
+#if defined(LAG_HAS_SSE2) || defined(LAG_HAS_NEON)
+            EXPECT_EQ(findFirstMarkerSimd(types.data(), from, n),
+                      expected);
+#endif
+        }
+    }
+}
+
+TEST(FlatTreeTest, GcPrefixSumsAnswerSubtreeQueries)
+{
+    const Session session = richSession();
+    const FlatSession flat = flattenSession(session);
+    const FlatTree &tree = flat.trees()[flat.episodeTree(0)];
+    const std::uint32_t node = flat.episodeNode(0);
+    ASSERT_TRUE(tree.gcLeavesOnly);
+    // Episode 0 contains exactly one GC of 1000 ns (inside the
+    // native call).
+    EXPECT_EQ(tree.gcCountIn(node), 1u);
+    EXPECT_EQ(tree.gcTimeIn(node), 1000);
+    // Episode 2 (structureless) contains none.
+    const FlatTree &tree2 = flat.trees()[flat.episodeTree(2)];
+    EXPECT_EQ(tree2.gcCountIn(flat.episodeNode(2)), 0u);
+}
+
+} // namespace
+} // namespace lag::core

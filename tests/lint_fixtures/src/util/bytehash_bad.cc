@@ -1,0 +1,36 @@
+// Fixture: byte-at-a-time FNV folding in an analysis hot path.
+
+#include <cstddef>
+#include <cstdint>
+
+std::uint64_t
+digest(const unsigned char *bytes, std::size_t size)
+{
+    std::uint64_t hash = 14695981039346656037ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i];
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+tail(const unsigned char *bytes, std::size_t size, std::uint64_t hash)
+{
+    // A genuine tail loop carries the visible suppression.
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i]; // lag-lint: allow(byte-hash-loop)
+        hash *= 1099511628211ULL;
+    }
+    return hash;
+}
+
+std::uint64_t
+wordFold(std::uint64_t word, std::uint64_t hash)
+{
+    // Word folds use plain assignment; `hash ^= x` in a comment or
+    // outside a loop must stay silent too.
+    hash = (hash ^ (word & 0xff)) * 1099511628211ULL;
+    hash ^= word >> 56;
+    return hash;
+}

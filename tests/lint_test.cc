@@ -148,6 +148,21 @@ TEST(LagLint, ReserveLoopRuleFires)
         << run.output;
 }
 
+TEST(LagLint, ByteHashLoopRuleFires)
+{
+    const LintRun run = lintFixture("src/util/bytehash_bad.cc");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[byte-hash-loop]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/util/bytehash_bad.cc:11:"),
+              std::string::npos)
+        << run.output;
+    // The suppressed tail loop and the plain-assignment word folds
+    // must stay silent: exactly the one seeded line.
+    EXPECT_NE(run.output.find("1 finding(s)"), std::string::npos)
+        << run.output;
+}
+
 TEST(LagLint, ObsClockRuleFires)
 {
     const LintRun run = lintFixture("src/engine/obsclock_bad.cc");
@@ -202,7 +217,8 @@ TEST(LagLint, ListRulesNamesEveryRule)
     EXPECT_EQ(run.exitCode, 0);
     for (const char *rule :
          {"wallclock", "unordered-iter", "raw-mutex", "naked-new",
-          "float-hash", "reserve-loop", "obs-clock"}) {
+          "float-hash", "reserve-loop", "obs-clock",
+          "byte-hash-loop"}) {
         EXPECT_NE(run.output.find(rule), std::string::npos)
             << "missing rule: " << rule;
     }

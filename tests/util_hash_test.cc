@@ -5,12 +5,28 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
+#include <string>
+
 #include "util/hash.hh"
 
 namespace lag
 {
 namespace
 {
+
+/** The textbook byte-at-a-time FNV-1a loop, as the reference for
+ * the word-at-a-time addBytes fast path. */
+std::uint64_t
+naiveFnv1a(const unsigned char *bytes, std::size_t size)
+{
+    std::uint64_t hash = 0xcbf29ce484222325ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        hash ^= bytes[i]; // lag-lint: allow(byte-hash-loop)
+        hash *= 0x100000001b3ULL;
+    }
+    return hash;
+}
 
 TEST(HashTest, KnownFnv1aValues)
 {
@@ -50,6 +66,40 @@ TEST(HashTest, AddValueIsOrderSensitive)
     h2.addValue<std::uint32_t>(2);
     h2.addValue<std::uint32_t>(1);
     EXPECT_NE(h1.digest(), h2.digest());
+}
+
+TEST(HashTest, WordFoldMatchesByteLoopAllLengths)
+{
+    // The word-at-a-time fast path must be bit-identical to the
+    // byte loop for every length 0–64 (covers the empty input, the
+    // pure tail, exact multiples of 8 and every straddle).
+    unsigned char bytes[64];
+    for (std::size_t i = 0; i < sizeof(bytes); ++i)
+        bytes[i] = static_cast<unsigned char>(i * 37 + 11);
+    for (std::size_t len = 0; len <= sizeof(bytes); ++len) {
+        Fnv1aHasher h;
+        h.addBytes(bytes, len);
+        EXPECT_EQ(h.digest(), naiveFnv1a(bytes, len))
+            << "length " << len;
+    }
+}
+
+TEST(HashTest, WordFoldMatchesByteLoopAcrossChunkings)
+{
+    // Splitting the input at any point (so words straddle addBytes
+    // calls) must not change the digest.
+    const std::string input =
+        "D[app.Main.run](L[x.Y.on](P[a.B.paint])N[j.K.native])";
+    const auto *bytes =
+        reinterpret_cast<const unsigned char *>(input.data());
+    const std::uint64_t expected = naiveFnv1a(bytes, input.size());
+    EXPECT_EQ(fnv1a(input), expected);
+    for (std::size_t cut = 0; cut <= input.size(); ++cut) {
+        Fnv1aHasher h;
+        h.addBytes(input.data(), cut);
+        h.addBytes(input.data() + cut, input.size() - cut);
+        EXPECT_EQ(h.digest(), expected) << "cut " << cut;
+    }
 }
 
 TEST(HashTest, StableAcrossRuns)

@@ -28,6 +28,9 @@
  *   naked-new      no naked new/delete in analysis code
  *   reserve-loop   no unsized push_back loops in the decode and
  *                  session-build hot paths (src/trace, src/core)
+ *   byte-hash-loop no byte-at-a-time hash folding (same variable
+ *                  `^=`-ed and `*=`-ed in one loop) in src/core,
+ *                  src/util; fold words as in util/hash.hh
  *   float-hash     no floating point in pattern-key hashing
  *   obs-clock      no raw std::chrono clock in the span-
  *                  instrumented engine/decode paths (src/engine,
@@ -361,18 +364,14 @@ checkNakedNew(const SourceFile &file, Diagnostics &out)
  * (mining into an unknown number of patterns) carry a visible
  * `// lag-lint: allow(reserve-loop)`.
  */
-void
-checkReserveLoop(const SourceFile &file, Diagnostics &out)
+/**
+ * Mark every character of @p all inside a loop body: `for`/`while`
+ * followed by a parenthesized head, then either a braced block or a
+ * single statement up to `;`.
+ */
+std::vector<char>
+loopBodyMask(const std::string &all)
 {
-    if (!underAny(file.relPath, {"src/trace/", "src/core/"}))
-        return;
-
-    const lag::analysis::JoinedCode joined = joinCode(file.code);
-    const std::string &all = joined.text;
-
-    // Mark every character inside a loop body: `for`/`while`
-    // followed by a parenthesized head, then either a braced block
-    // or a single statement up to `;`.
     std::vector<char> inLoop(all.size(), 0);
     for (const char *kw : {"for", "while"}) {
         std::size_t pos = findWord(all, kw);
@@ -421,6 +420,18 @@ checkReserveLoop(const SourceFile &file, Diagnostics &out)
             pos = findWord(all, kw, pos + 1);
         }
     }
+    return inLoop;
+}
+
+void
+checkReserveLoop(const SourceFile &file, Diagnostics &out)
+{
+    if (!underAny(file.relPath, {"src/trace/", "src/core/"}))
+        return;
+
+    const lag::analysis::JoinedCode joined = joinCode(file.code);
+    const std::string &all = joined.text;
+    const std::vector<char> inLoop = loopBodyMask(all);
 
     // The paired header may hold the sizing call (a builder that
     // reserves in its constructor).
@@ -468,6 +479,73 @@ checkReserveLoop(const SourceFile &file, Diagnostics &out)
                             ".reserve(...)'; size it up front "
                             "or annotate why you cannot");
         }
+    }
+}
+
+// ---------------------------------------------------------------
+// Rule: byte-hash-loop
+// ---------------------------------------------------------------
+
+/**
+ * Flag the byte-at-a-time FNV folding idiom — the same variable
+ * updated with both `^=` and `*=` inside one loop — in the analysis
+ * hot paths (src/core, src/util). Folding a signature one byte per
+ * iteration costs one load per byte; the word-at-a-time form in
+ * util/hash.hh (one 8-byte load, eight register folds, bit-identical
+ * digest) is the sanctioned shape. A genuinely byte-wise tail loop
+ * carries a visible `// lag-lint: allow(byte-hash-loop)`.
+ */
+void
+checkByteHashLoop(const SourceFile &file, Diagnostics &out)
+{
+    if (!underAny(file.relPath, {"src/core/", "src/util/"}))
+        return;
+
+    const lag::analysis::JoinedCode joined = joinCode(file.code);
+    const std::string &all = joined.text;
+    const std::vector<char> inLoop = loopBodyMask(all);
+
+    std::size_t pos = all.find("^=");
+    for (; pos != std::string::npos; pos = all.find("^=", pos + 1)) {
+        if (!inLoop[pos])
+            continue;
+        // Plain dotted/member receiver to the left of the `^=`.
+        std::size_t end = pos;
+        while (end > 0 && all[end - 1] == ' ')
+            --end;
+        std::size_t start = end;
+        while (start > 0 && (isIdentChar(all[start - 1]) ||
+                             all[start - 1] == '.'))
+            --start;
+        const std::string receiver = all.substr(start, end - start);
+        if (receiver.empty() || receiver.front() == '.' ||
+            receiver.back() == '.')
+            continue;
+        // The same receiver must also be multiplied in a loop for
+        // this to look like an FNV fold.
+        bool multiplied = false;
+        std::size_t mul = all.find("*=");
+        for (; mul != std::string::npos && !multiplied;
+             mul = all.find("*=", mul + 1)) {
+            if (!inLoop[mul])
+                continue;
+            std::size_t mend = mul;
+            while (mend > 0 && all[mend - 1] == ' ')
+                --mend;
+            multiplied = mend >= receiver.size() &&
+                         all.compare(mend - receiver.size(),
+                                     receiver.size(),
+                                     receiver) == 0 &&
+                         (mend == receiver.size() ||
+                          !isIdentChar(
+                              all[mend - receiver.size() - 1]));
+        }
+        if (multiplied)
+            out.add(file, joined.lineOf[pos], "byte-hash-loop",
+                    "byte-at-a-time hash fold ('" + receiver +
+                        "' gets '^=' and '*=' in a loop); fold "
+                        "words as in util/hash.hh or annotate a "
+                        "genuine tail loop");
     }
 }
 
@@ -554,6 +632,10 @@ const Rule kRules[] = {
      "no unsized push_back/emplace_back loops in decode/build hot "
      "paths (src/trace|core)",
      checkReserveLoop},
+    {"byte-hash-loop",
+     "no byte-at-a-time hash folding in src/core|util; fold words "
+     "(util/hash.hh)",
+     checkByteHashLoop},
     {"float-hash",
      "no floating point in pattern-key hashing "
      "(util/hash, core/pattern)",
