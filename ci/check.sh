@@ -5,7 +5,13 @@
 # must aggregate purely from .ares entries with zero trace-decode
 # bytes), then an obs smoke run that records a session, analyzes it
 # with --self-trace / --metrics-out, and strict-validates both files
-# with trace_check.
+# with trace_check. The bench smokes are collected into a
+# schema-checked bench/BENCH_smoke.json artifact; the serve smoke
+# additionally scrapes /metricsz?format=prom through
+# `trace_check --prom`, correlates a query's X-Lag-Trace-Id with
+# /debugz/requests, and a crash-dump smoke SIGABRTs a second lagd to
+# prove the fatal-signal path leaves a valid .flightrec naming the
+# smoke query's trace id.
 # Optionally sweep the sanitizer
 # matrix: `ci/check.sh --sanitize TSAN` (or ASAN / UBSAN) builds an
 # instrumented tree in build-<san> and runs the engine label under
@@ -54,7 +60,18 @@ echo "== perf smoke (ctest -L perf)"
 (cd "$build" && ctest -L perf --output-on-failure)
 
 echo "== micro smoke (node-vs-flat hot-path equivalence + rates)"
-(cd "$build" && bench/bench_micro --smoke)
+bench_art="$build/bench/BENCH_smoke.json"
+mkdir -p "$build/bench"
+(cd "$build" && bench/bench_micro --smoke) | tee "$bench_art.micro"
+
+echo "== pipeline smoke (stage throughput JSON lines)"
+(cd "$build" && bench/bench_perf_pipeline --smoke --jobs 4) \
+    | tee "$bench_art.pipeline"
+
+echo "== bench artifact (BENCH_smoke.json, schema-checked)"
+grep -h '^{' "$bench_art.micro" "$bench_art.pipeline" > "$bench_art"
+rm -f "$bench_art.micro" "$bench_art.pipeline"
+"$build/tools/trace_check" --jsonl "$bench_art"
 
 echo "== incremental smoke (warm cache must not touch the decoder)"
 (cd "$build" && bench/bench_perf_pipeline --incremental-smoke --jobs 4)
@@ -87,14 +104,54 @@ port="$(cat "$serve_dir/port")"
 lq="$build/tools/lag_query"
 "$lq" --port "$port" /healthz >/dev/null
 "$lq" --port "$port" "/v1/apps" > "$serve_dir/apps.json"
-"$lq" --port "$port" \
+"$lq" --port "$port" --print-trace-id \
     "/v1/patterns?app=GanttProject&sort=total_lag&limit=5" \
-    > "$serve_dir/patterns.json"
+    > "$serve_dir/patterns.json" 2> "$serve_dir/patterns.trace"
 "$lq" --port "$port" "/v1/figures/table3" > "$serve_dir/table3.json"
 "$lq" --port "$port" --post /v1/refresh > "$serve_dir/refresh.json"
 for f in apps patterns table3 refresh; do
     "$build/tools/trace_check" "$serve_dir/$f.json"
 done
+
+echo "== prometheus scrape (/metricsz?format=prom through trace_check)"
+"$lq" --port "$port" "/metricsz?format=prom" \
+    | "$build/tools/trace_check" --prom -
+
+echo "== request tracing (/debugz/requests shows the smoke queries)"
+trace_id="$(sed -n 's/^trace-id: //p' "$serve_dir/patterns.trace")"
+[ -n "$trace_id" ] && [ "$trace_id" != "none" ] || {
+    echo "lag_query --print-trace-id produced no trace id" >&2
+    cat "$serve_dir/patterns.trace" >&2
+    exit 1
+}
+# The summary is recorded just after the response goes out, so
+# allow a few retries before calling it missing.
+debug_ok=0
+for _ in $(seq 1 50); do
+    "$lq" --port "$port" /debugz/requests \
+        > "$serve_dir/requests.json" 2>/dev/null || true
+    if grep -q "$trace_id" "$serve_dir/requests.json" &&
+        grep -q "/v1/patterns" "$serve_dir/requests.json"; then
+        debug_ok=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$debug_ok" = 1 ] || {
+    echo "/debugz/requests never showed trace $trace_id" >&2
+    cat "$serve_dir/requests.json" >&2
+    exit 1
+}
+"$build/tools/trace_check" "$serve_dir/requests.json"
+"$lq" --port "$port" "/debugz/requests?trace=$trace_id" \
+    > "$serve_dir/request_tree.json"
+grep -q '"spans"' "$serve_dir/request_tree.json" || {
+    echo "/debugz/requests?trace= missing the span tree" >&2
+    exit 1
+}
+"$lq" --port "$port" /debugz/flightrecorder \
+    > "$serve_dir/flightrec.json"
+"$build/tools/trace_check" --flightrec "$serve_dir/flightrec.json"
 # Unknown app must fail the query tool (exit 1 on a non-2xx).
 if "$lq" --port "$port" "/v1/patterns?app=no-such-app" \
     >/dev/null 2>&1; then
@@ -110,6 +167,61 @@ wait "$lagd_pid" || {
 grep -q "shut down cleanly" "$serve_dir/lagd.out" || {
     echo "lagd missing clean-shutdown line" >&2
     cat "$serve_dir/lagd.out" >&2
+    exit 1
+}
+
+echo "== crash-dump smoke (SIGABRT must leave a valid .flightrec)"
+crash_dir="$build/crash-smoke"
+rm -rf "$crash_dir"
+mkdir -p "$crash_dir"
+# Reuse the warm cache from the serve smoke so startup is instant.
+"$build/src/serve/lagd" --quick 2 --port 0 --jobs 4 \
+    --cache-dir "$serve_dir/cache" \
+    --flightrec-path "$crash_dir/crash.flightrec" \
+    --port-file "$crash_dir/port" >"$crash_dir/lagd.out" 2>&1 &
+crash_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$crash_dir/port" ] && break
+    kill -0 "$crash_pid" 2>/dev/null || {
+        echo "lagd died during crash-smoke startup" >&2
+        cat "$crash_dir/lagd.out" >&2
+        exit 1
+    }
+    sleep 0.2
+done
+crash_port="$(cat "$crash_dir/port")"
+"$lq" --port "$crash_port" --print-trace-id "/v1/apps" \
+    > /dev/null 2> "$crash_dir/apps.trace"
+crash_trace="$(sed -n 's/^trace-id: //p' "$crash_dir/apps.trace")"
+# Let the request summary land in the ring before the abort.
+crash_seen=0
+for _ in $(seq 1 50); do
+    if "$lq" --port "$crash_port" /debugz/requests 2>/dev/null \
+        | grep -q "$crash_trace"; then
+        crash_seen=1
+        break
+    fi
+    sleep 0.1
+done
+[ "$crash_seen" = 1 ] || {
+    echo "crash-smoke query never appeared in /debugz/requests" >&2
+    exit 1
+}
+kill -ABRT "$crash_pid"
+rc=0
+wait "$crash_pid" || rc=$?
+[ "$rc" = 134 ] || {
+    echo "lagd should have died on SIGABRT (got rc=$rc)" >&2
+    exit 1
+}
+[ -s "$crash_dir/crash.flightrec" ] || {
+    echo "SIGABRT left no flight-recorder dump" >&2
+    cat "$crash_dir/lagd.out" >&2
+    exit 1
+}
+"$build/tools/trace_check" --flightrec "$crash_dir/crash.flightrec"
+grep -q "$crash_trace" "$crash_dir/crash.flightrec" || {
+    echo "crash dump missing the smoke query's trace id" >&2
     exit 1
 }
 

@@ -321,6 +321,10 @@ parseObsOptions(int &argc, char **argv)
             options.metricsPath = next("--metrics-out");
         } else if (arg.rfind("--metrics-out=", 0) == 0) {
             options.metricsPath = std::string(arg.substr(14));
+        } else if (arg == "--flightrec-path") {
+            options.flightrecPath = next("--flightrec-path");
+        } else if (arg.rfind("--flightrec-path=", 0) == 0) {
+            options.flightrecPath = std::string(arg.substr(17));
         } else {
             argv[out++] = argv[in];
         }
@@ -335,6 +339,11 @@ parseObsOptions(int &argc, char **argv)
         const char *env = std::getenv("LAGALYZER_METRICS_OUT");
         if (env != nullptr && env[0] != '\0')
             options.metricsPath = env;
+    }
+    if (options.flightrecPath.empty()) {
+        const char *env = std::getenv("LAGALYZER_FLIGHTREC");
+        if (env != nullptr && env[0] != '\0')
+            options.flightrecPath = env;
     }
     if (options.selfTracePath.empty() && options.metricsPath.empty())
         return options;

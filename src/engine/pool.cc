@@ -4,6 +4,7 @@
 
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/trace_context.hh"
 #include "util/logging.hh"
 #include "util/thread_name.hh"
 
@@ -84,6 +85,17 @@ void
 ThreadPool::submit(Task task)
 {
     lag_assert(task != nullptr, "null task submitted to pool");
+    // Carry the submitter's request context into whichever worker
+    // runs the task. This is the single propagation point: TaskGraph
+    // dependents and parallelFor splits are submitted from inside
+    // already-scoped worker tasks, so they inherit transitively.
+    const obs::TraceContext ctx = obs::currentTraceContext();
+    if (ctx.active()) {
+        task = [ctx, inner = std::move(task)] {
+            obs::TraceContextScope scope(ctx);
+            inner();
+        };
+    }
     {
         MutexLock lock(idleMutex_);
         ++pending_;
@@ -134,6 +146,10 @@ ThreadPool::popOwn(std::size_t index, Task &task)
         return false;
     task = std::move(self.deque.back());
     self.deque.pop_back();
+    // Keep the backlog gauge falling as queues drain, so a stale
+    // positive depth can't read as a stall (see obs::Watchdog).
+    poolMetrics().queueDepth.set(
+        static_cast<std::int64_t>(self.deque.size()));
     return true;
 }
 
@@ -145,6 +161,8 @@ ThreadPool::popInjected(Task &task)
         return false;
     task = std::move(injector_.front());
     injector_.pop_front();
+    poolMetrics().queueDepth.set(
+        static_cast<std::int64_t>(injector_.size()));
     return true;
 }
 
@@ -158,6 +176,8 @@ ThreadPool::steal(std::size_t thief, Task &task)
         if (!victim.deque.empty()) {
             task = std::move(victim.deque.front());
             victim.deque.pop_front();
+            poolMetrics().queueDepth.set(
+                static_cast<std::int64_t>(victim.deque.size()));
             poolMetrics().stealSuccess.add();
             return true;
         }

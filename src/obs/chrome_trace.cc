@@ -3,6 +3,7 @@
 #include <cstdio>
 
 #include "span.hh"
+#include "trace_context.hh"
 #include "util/logging.hh"
 
 namespace lag::obs
@@ -98,11 +99,23 @@ chromeTraceJson()
             appendMicros(out, event.durNs);
             out += ",\"pid\":1,\"tid\":";
             out += std::to_string(buffer->tid());
-            if (event.argKey != nullptr) {
+            const bool hasTrace =
+                (event.traceHi | event.traceLo) != 0;
+            if (event.argKey != nullptr || hasTrace) {
                 out += ",\"args\":{";
-                appendJsonString(out, event.argKey);
-                out += ':';
-                out += std::to_string(event.argValue);
+                if (event.argKey != nullptr) {
+                    appendJsonString(out, event.argKey);
+                    out += ':';
+                    out += std::to_string(event.argValue);
+                }
+                if (hasTrace) {
+                    if (event.argKey != nullptr)
+                        out += ',';
+                    out += "\"trace\":\"";
+                    out += traceIdHex(TraceContext{event.traceHi,
+                                                   event.traceLo});
+                    out += '"';
+                }
                 out += '}';
             }
             out += '}';

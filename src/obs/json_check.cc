@@ -32,7 +32,6 @@ class Checker
     JsonCheckResult
     runChromeTrace()
     {
-        sawTraceEventsArray_ = false;
         JsonCheckResult result = run();
         if (!result.ok)
             return result;
@@ -44,12 +43,41 @@ class Checker
         return result;
     }
 
+    /** As run(), but also requires the flight-recorder shape. */
+    JsonCheckResult
+    runFlightrec()
+    {
+        JsonCheckResult result = run();
+        if (!result.ok)
+            return result;
+        if (!topLevelObject_)
+            return error(
+                "flightrec dump must be a JSON object");
+        if (!sawFlightrecKey_)
+            return error(
+                "flightrec dump lacks a \"flightrec\" member");
+        if (!sawRequestsArray_)
+            return error(
+                "flightrec dump lacks a \"requests\" array");
+        if (!sawEventsArray_)
+            return error(
+                "flightrec dump lacks an \"events\" array");
+        if (!sawSpansArray_)
+            return error(
+                "flightrec dump lacks a \"spans\" array");
+        return result;
+    }
+
   private:
     std::string_view text_;
     std::size_t pos_ = 0;
     int depth_ = 0;
     bool topLevelObject_ = false;
     bool sawTraceEventsArray_ = false;
+    bool sawFlightrecKey_ = false;
+    bool sawRequestsArray_ = false;
+    bool sawEventsArray_ = false;
+    bool sawSpansArray_ = false;
     std::string error_;
     std::size_t errorPos_ = 0;
 
@@ -170,9 +198,19 @@ class Checker
             const std::size_t valueStart = pos_;
             if (!value())
                 return false;
-            if (topLevelKey && key == "traceEvents" &&
-                text_[valueStart] == '[')
-                sawTraceEventsArray_ = true;
+            if (topLevelKey) {
+                const bool isArray = text_[valueStart] == '[';
+                if (key == "traceEvents" && isArray)
+                    sawTraceEventsArray_ = true;
+                else if (key == "flightrec")
+                    sawFlightrecKey_ = true;
+                else if (key == "requests" && isArray)
+                    sawRequestsArray_ = true;
+                else if (key == "events" && isArray)
+                    sawEventsArray_ = true;
+                else if (key == "spans" && isArray)
+                    sawSpansArray_ = true;
+            }
             skipWs();
             if (consume('}'))
                 break;
@@ -308,6 +346,12 @@ JsonCheckResult
 checkChromeTrace(std::string_view text)
 {
     return Checker(text).runChromeTrace();
+}
+
+JsonCheckResult
+checkFlightrec(std::string_view text)
+{
+    return Checker(text).runFlightrec();
 }
 
 } // namespace lag::obs

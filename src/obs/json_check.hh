@@ -42,6 +42,14 @@ JsonCheckResult checkJson(std::string_view text);
  */
 JsonCheckResult checkChromeTrace(std::string_view text);
 
+/**
+ * checkJson() plus the flight-recorder dump shape: a top-level
+ * object with a "flightrec" member and "requests"/"events"/"spans"
+ * array members (the shape FlightRecorder::liveJson and the crash
+ * dump both emit).
+ */
+JsonCheckResult checkFlightrec(std::string_view text);
+
 } // namespace lag::obs
 
 #endif // LAG_OBS_JSON_CHECK_HH

@@ -82,11 +82,99 @@ tables() LAG_REQUIRES(metricsMutex())
 void
 appendJsonKey(std::string &out, const std::string &name)
 {
-    // Metric names are dotted ASCII identifiers by convention; no
-    // escaping beyond quoting is needed.
+    // Plain names are dotted ASCII, but labeled instruments render
+    // as `base{key="value"}` — the quotes (and anything a label
+    // value carries) need real escaping.
     out += '"';
-    out += name;
+    for (const char c : name) {
+        switch (c) {
+        case '"':
+            out += "\\\"";
+            break;
+        case '\\':
+            out += "\\\\";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            if (static_cast<unsigned char>(c) < 0x20) {
+                static const char *digits = "0123456789abcdef";
+                out += "\\u00";
+                out += digits[(c >> 4) & 0xF];
+                out += digits[c & 0xF];
+            } else {
+                out += c;
+            }
+        }
+    }
     out += '"';
+}
+
+/** `base{key="v"}` → {base, `key="v"`}; plain name → {name, ""}. */
+struct ParsedName
+{
+    std::string_view base;
+    std::string_view labels; ///< without the braces
+};
+
+ParsedName
+parseRendered(const std::string &name)
+{
+    const std::size_t brace = name.find('{');
+    if (brace == std::string::npos || name.back() != '}')
+        return {name, {}};
+    return {std::string_view(name).substr(0, brace),
+            std::string_view(name).substr(brace + 1,
+                                          name.size() - brace - 2)};
+}
+
+/** Prometheus family name: `lag_` + base with non-alnum → '_'. */
+std::string
+promName(std::string_view base)
+{
+    std::string out = "lag_";
+    for (const char c : base) {
+        const bool alnum = (c >= 'a' && c <= 'z') ||
+                           (c >= 'A' && c <= 'Z') ||
+                           (c >= '0' && c <= '9');
+        out += alnum ? c : '_';
+    }
+    return out;
+}
+
+void
+appendPromHeader(std::string &out, const std::string &family,
+                 std::string_view base, const char *type)
+{
+    out += "# HELP ";
+    out += family;
+    out += ' ';
+    out += base; // dotted registry name doubles as the help text
+    out += "\n# TYPE ";
+    out += family;
+    out += ' ';
+    out += type;
+    out += '\n';
+}
+
+void
+appendPromSample(std::string &out, const std::string &family,
+                 std::string_view labels, std::string_view extra,
+                 const std::string &value)
+{
+    out += family;
+    if (!labels.empty() || !extra.empty()) {
+        out += '{';
+        out += labels;
+        if (!labels.empty() && !extra.empty())
+            out += ',';
+        out += extra;
+        out += '}';
+    }
+    out += ' ';
+    out += value;
+    out += '\n';
 }
 
 } // namespace
@@ -142,6 +230,69 @@ MetricsRegistry::histogram(std::string_view name,
                    "' re-registered with different bounds");
     }
     return it->second;
+}
+
+Counter &
+MetricsRegistry::counter(std::string_view base,
+                         std::string_view key,
+                         std::string_view value)
+{
+    return counter(labeledMetricName(base, key, value));
+}
+
+Gauge &
+MetricsRegistry::gauge(std::string_view base, std::string_view key,
+                       std::string_view value)
+{
+    return gauge(labeledMetricName(base, key, value));
+}
+
+Histogram &
+MetricsRegistry::histogram(std::string_view base,
+                           std::vector<std::int64_t> bounds,
+                           std::string_view key,
+                           std::string_view value)
+{
+    return histogram(labeledMetricName(base, key, value),
+                     std::move(bounds));
+}
+
+std::string
+promLabelEscape(std::string_view value)
+{
+    std::string out;
+    out.reserve(value.size());
+    for (const char c : value) {
+        switch (c) {
+        case '\\':
+            out += "\\\\";
+            break;
+        case '"':
+            out += "\\\"";
+            break;
+        case '\n':
+            out += "\\n";
+            break;
+        default:
+            out += c;
+        }
+    }
+    return out;
+}
+
+std::string
+labeledMetricName(std::string_view base, std::string_view key,
+                  std::string_view value)
+{
+    std::string out;
+    out.reserve(base.size() + key.size() + value.size() + 5);
+    out += base;
+    out += '{';
+    out += key;
+    out += "=\"";
+    out += promLabelEscape(value);
+    out += "\"}";
+    return out;
 }
 
 MetricsSnapshot
@@ -239,6 +390,90 @@ MetricsRegistry::dumpJson() const
         out += '}';
     }
     out += "\n  }\n}\n";
+    return out;
+}
+
+std::string
+MetricsRegistry::dumpProm() const
+{
+    const MetricsSnapshot snap = snapshot();
+    std::string out;
+
+    // Group instruments by base so each prom family gets exactly
+    // one HELP/TYPE header even when labeled variants exist. A
+    // sorted walk is not enough: '{' sorts above alphanumerics, so
+    // `a.b{…}` rows can interleave with an unrelated `a.bz` name.
+    std::map<std::string,
+             std::vector<const MetricsSnapshot::CounterValue *>>
+        counter_groups;
+    for (const auto &c : snap.counters)
+        counter_groups[std::string(parseRendered(c.name).base)]
+            .push_back(&c);
+    for (const auto &[base, group] : counter_groups) {
+        const std::string family = promName(base) + "_total";
+        appendPromHeader(out, family, base, "counter");
+        for (const auto *c : group) {
+            appendPromSample(out, family,
+                             parseRendered(c->name).labels, {},
+                             std::to_string(c->value));
+        }
+    }
+
+    std::map<std::string,
+             std::vector<const MetricsSnapshot::GaugeValue *>>
+        gauge_groups;
+    for (const auto &g : snap.gauges)
+        gauge_groups[std::string(parseRendered(g.name).base)]
+            .push_back(&g);
+    for (const auto &[base, group] : gauge_groups) {
+        const std::string family = promName(base);
+        appendPromHeader(out, family, base, "gauge");
+        for (const auto *g : group) {
+            appendPromSample(out, family,
+                             parseRendered(g->name).labels, {},
+                             std::to_string(g->value));
+        }
+        const std::string max_family = family + "_max";
+        appendPromHeader(out, max_family, base, "gauge");
+        for (const auto *g : group) {
+            appendPromSample(out, max_family,
+                             parseRendered(g->name).labels, {},
+                             std::to_string(g->max));
+        }
+    }
+
+    std::map<std::string,
+             std::vector<const MetricsSnapshot::HistogramValue *>>
+        histogram_groups;
+    for (const auto &h : snap.histograms)
+        histogram_groups[std::string(parseRendered(h.name).base)]
+            .push_back(&h);
+    for (const auto &[base, group] : histogram_groups) {
+        const std::string family = promName(base);
+        appendPromHeader(out, family, base, "histogram");
+        for (const auto *h : group) {
+            const std::string_view labels =
+                parseRendered(h->name).labels;
+            std::uint64_t cumulative = 0;
+            for (std::size_t i = 0; i < h->bounds.size(); ++i) {
+                cumulative += h->counts[i];
+                appendPromSample(
+                    out, family + "_bucket", labels,
+                    "le=\"" + std::to_string(h->bounds[i]) + "\"",
+                    std::to_string(cumulative));
+            }
+            // +Inf folds in the overflow bucket and must equal
+            // _count — scrapers reject a histogram where it
+            // doesn't.
+            appendPromSample(out, family + "_bucket", labels,
+                             "le=\"+Inf\"",
+                             std::to_string(h->count));
+            appendPromSample(out, family + "_sum", labels, {},
+                             std::to_string(h->sum));
+            appendPromSample(out, family + "_count", labels, {},
+                             std::to_string(h->count));
+        }
+    }
     return out;
 }
 

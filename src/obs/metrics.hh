@@ -176,6 +176,21 @@ class MetricsRegistry
     Histogram &histogram(std::string_view name,
                          std::vector<std::int64_t> bounds);
 
+    /**
+     * Labeled find-or-create: registered under the rendered name
+     * `base{key="value"}` (value prom-escaped), which dumpProm()
+     * parses back into a labeled sample. Keeping label cardinality
+     * bounded (route names, not raw targets) is the caller's job.
+     */
+    Counter &counter(std::string_view base, std::string_view key,
+                     std::string_view value);
+    Gauge &gauge(std::string_view base, std::string_view key,
+                 std::string_view value);
+    Histogram &histogram(std::string_view base,
+                         std::vector<std::int64_t> bounds,
+                         std::string_view key,
+                         std::string_view value);
+
     MetricsSnapshot snapshot() const;
 
     /** `name kind value` lines, sorted; for --metrics-out *.txt. */
@@ -184,10 +199,30 @@ class MetricsRegistry
     /** One JSON object {"counters":…,"gauges":…,"histograms":…}. */
     std::string dumpJson() const;
 
+    /**
+     * Prometheus text exposition (format 0.0.4): `# HELP`/`# TYPE`
+     * per family, counters as `lag_<name>_total`, gauges as
+     * `lag_<name>` plus `lag_<name>_max`, histograms as cumulative
+     * `_bucket{le=…}`/`_sum`/`_count` series. Dotted names map to
+     * underscores under a `lag_` prefix; label values escape
+     * `\\`, `"` and newline per the spec.
+     */
+    std::string dumpProm() const;
+
     /** One log-friendly line of every nonzero counter/gauge-max,
      * emitted at exit by obs::flush(). */
     std::string summaryLine() const;
 };
+
+/** Escape a label value for the Prometheus text format
+ * (`\\` → `\\\\`, `"` → `\"`, newline → `\n`). */
+std::string promLabelEscape(std::string_view value);
+
+/** The rendered registry key for a labeled instrument:
+ * `base{key="escaped-value"}`. */
+std::string labeledMetricName(std::string_view base,
+                              std::string_view key,
+                              std::string_view value);
 
 /** The process-wide registry (intentionally leaked singleton). */
 MetricsRegistry &metrics();

@@ -1,0 +1,398 @@
+#include "prom_check.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <vector>
+
+namespace lag::obs
+{
+
+namespace
+{
+
+bool
+isNameStart(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           c == '_' || c == ':';
+}
+
+bool
+isNameChar(char c)
+{
+    return isNameStart(c) || (c >= '0' && c <= '9');
+}
+
+bool
+isLabelStart(char c)
+{
+    return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+           c == '_';
+}
+
+bool
+isLabelChar(char c)
+{
+    return isLabelStart(c) || (c >= '0' && c <= '9');
+}
+
+bool
+endsWith(std::string_view text, std::string_view suffix)
+{
+    return text.size() >= suffix.size() &&
+           text.substr(text.size() - suffix.size()) == suffix;
+}
+
+/** One `_bucket` sample in appearance order. */
+struct BucketSample
+{
+    double le = 0;
+    double count = 0;
+};
+
+struct BucketSeries
+{
+    std::vector<BucketSample> buckets;
+    bool hasInf = false;
+    double infCount = 0;
+};
+
+class PromChecker
+{
+  public:
+    explicit PromChecker(std::string_view text) : text_(text) {}
+
+    PromCheckResult
+    run()
+    {
+        std::size_t pos = 0;
+        while (pos < text_.size()) {
+            std::size_t eol = text_.find('\n', pos);
+            if (eol == std::string_view::npos)
+                eol = text_.size();
+            ++lineNo_;
+            if (!checkLine(text_.substr(pos, eol - pos)))
+                return fail();
+            pos = eol + 1;
+        }
+        if (!checkHistograms())
+            return fail();
+        PromCheckResult result;
+        result.ok = true;
+        return result;
+    }
+
+  private:
+    std::string_view text_;
+    std::size_t lineNo_ = 0;
+    std::string error_;
+    std::size_t errorLine_ = 0;
+
+    std::map<std::string, std::string> familyType_;
+    std::set<std::string> sampledFamilies_;
+    /** family → label-set-minus-le → cumulative series. */
+    std::map<std::string, std::map<std::string, BucketSeries>>
+        histBuckets_;
+    std::map<std::string, std::map<std::string, double>>
+        histCounts_;
+
+    PromCheckResult
+    fail() const
+    {
+        PromCheckResult result;
+        result.ok = false;
+        result.line = errorLine_;
+        result.message = error_;
+        return result;
+    }
+
+    bool
+    setError(std::string message)
+    {
+        if (error_.empty()) {
+            error_ = std::move(message);
+            errorLine_ = lineNo_;
+        }
+        return false;
+    }
+
+    bool
+    checkLine(std::string_view line)
+    {
+        if (line.empty())
+            return true;
+        if (line.front() == '#')
+            return checkComment(line);
+        return checkSample(line);
+    }
+
+    bool
+    checkComment(std::string_view line)
+    {
+        // "# HELP name text" / "# TYPE name type"; any other
+        // #-line is a free-form comment.
+        if (line.rfind("# HELP ", 0) != 0 &&
+            line.rfind("# TYPE ", 0) != 0)
+            return true;
+        const bool isType = line.rfind("# TYPE ", 0) == 0;
+        std::size_t pos = 7;
+        const std::size_t nameStart = pos;
+        if (pos >= line.size() || !isNameStart(line[pos]))
+            return setError("invalid metric name in comment");
+        while (pos < line.size() && isNameChar(line[pos]))
+            ++pos;
+        const std::string name(
+            line.substr(nameStart, pos - nameStart));
+        if (!isType)
+            return true; // HELP text is free-form
+        if (pos >= line.size() || line[pos] != ' ')
+            return setError("missing type after TYPE name");
+        const std::string_view type = line.substr(pos + 1);
+        if (type != "counter" && type != "gauge" &&
+            type != "histogram" && type != "summary" &&
+            type != "untyped")
+            return setError("unknown metric type '" +
+                            std::string(type) + "'");
+        if (familyType_.count(name) != 0)
+            return setError("duplicate TYPE for family '" + name +
+                            "'");
+        if (sampledFamilies_.count(name) != 0)
+            return setError("TYPE for '" + name +
+                            "' appears after its samples");
+        familyType_[name] = std::string(type);
+        return true;
+    }
+
+    bool
+    checkSample(std::string_view line)
+    {
+        std::size_t pos = 0;
+        if (!isNameStart(line[pos]))
+            return setError("invalid sample name");
+        const std::size_t nameStart = pos;
+        while (pos < line.size() && isNameChar(line[pos]))
+            ++pos;
+        const std::string name(
+            line.substr(nameStart, pos - nameStart));
+
+        std::vector<std::pair<std::string, std::string>> labels;
+        if (pos < line.size() && line[pos] == '{') {
+            ++pos;
+            while (true) {
+                if (pos >= line.size())
+                    return setError("unterminated label block");
+                if (line[pos] == '}') {
+                    ++pos;
+                    break;
+                }
+                if (!isLabelStart(line[pos]))
+                    return setError("invalid label name");
+                const std::size_t labelStart = pos;
+                while (pos < line.size() && isLabelChar(line[pos]))
+                    ++pos;
+                const std::string labelName(
+                    line.substr(labelStart, pos - labelStart));
+                if (pos >= line.size() || line[pos] != '=')
+                    return setError(
+                        "expected '=' after label name");
+                ++pos;
+                if (pos >= line.size() || line[pos] != '"')
+                    return setError("label value must be quoted");
+                ++pos;
+                std::string value;
+                while (true) {
+                    if (pos >= line.size())
+                        return setError(
+                            "unterminated label value");
+                    const char c = line[pos++];
+                    if (c == '"')
+                        break;
+                    if (c == '\\') {
+                        if (pos >= line.size())
+                            return setError(
+                                "unterminated escape");
+                        const char esc = line[pos++];
+                        if (esc == '\\')
+                            value += '\\';
+                        else if (esc == '"')
+                            value += '"';
+                        else if (esc == 'n')
+                            value += '\n';
+                        else
+                            return setError(
+                                "invalid label escape");
+                    } else {
+                        value += c;
+                    }
+                }
+                labels.emplace_back(labelName, value);
+                if (pos < line.size() && line[pos] == ',')
+                    ++pos; // trailing comma before '}' is legal
+            }
+        }
+
+        if (pos >= line.size() || line[pos] != ' ')
+            return setError("expected ' ' before sample value");
+        while (pos < line.size() && line[pos] == ' ')
+            ++pos;
+        const std::size_t valueStart = pos;
+        while (pos < line.size() && line[pos] != ' ')
+            ++pos;
+        double value = 0;
+        if (!parseValue(line.substr(valueStart, pos - valueStart),
+                        value))
+            return setError("invalid sample value");
+        // Optional integer timestamp (milliseconds).
+        while (pos < line.size() && line[pos] == ' ')
+            ++pos;
+        if (pos < line.size()) {
+            std::size_t tsStart = pos;
+            if (line[pos] == '-')
+                ++pos;
+            while (pos < line.size() &&
+                   line[pos] >= '0' && line[pos] <= '9')
+                ++pos;
+            if (pos != line.size() || pos == tsStart)
+                return setError("trailing garbage after value");
+        }
+
+        return recordSample(name, labels, value);
+    }
+
+    static bool
+    parseValue(std::string_view token, double &out)
+    {
+        if (token.empty())
+            return false;
+        if (token == "+Inf" || token == "Inf") {
+            out = HUGE_VAL;
+            return true;
+        }
+        if (token == "-Inf") {
+            out = -HUGE_VAL;
+            return true;
+        }
+        if (token == "NaN") {
+            out = NAN;
+            return true;
+        }
+        const std::string copy(token);
+        char *end = nullptr;
+        out = std::strtod(copy.c_str(), &end);
+        return end != nullptr && *end == '\0';
+    }
+
+    bool
+    recordSample(
+        const std::string &name,
+        const std::vector<std::pair<std::string, std::string>>
+            &labels,
+        double value)
+    {
+        // Histogram series samples belong to the stripped family.
+        std::string family = name;
+        std::string_view suffix;
+        for (const char *s : {"_bucket", "_sum", "_count"}) {
+            if (endsWith(name, s)) {
+                const std::string stripped = name.substr(
+                    0, name.size() - std::string_view(s).size());
+                auto it = familyType_.find(stripped);
+                if (it != familyType_.end() &&
+                    (it->second == "histogram" ||
+                     it->second == "summary")) {
+                    family = stripped;
+                    suffix = s;
+                }
+                break;
+            }
+        }
+        sampledFamilies_.insert(family);
+
+        if (family == name)
+            return true; // nothing more to check for scalars
+
+        std::string le;
+        std::vector<std::pair<std::string, std::string>> rest;
+        for (const auto &[k, v] : labels) {
+            if (k == "le")
+                le = v;
+            else
+                rest.emplace_back(k, v);
+        }
+        std::sort(rest.begin(), rest.end());
+        std::string key;
+        for (const auto &[k, v] : rest) {
+            key += k;
+            key += '=';
+            key += v;
+            key += '\x1f';
+        }
+
+        if (suffix == "_bucket") {
+            if (le.empty())
+                return setError("_bucket sample lacks an le label");
+            double leValue = 0;
+            if (!parseValue(le, leValue))
+                return setError("invalid le value '" + le + "'");
+            BucketSeries &series = histBuckets_[family][key];
+            if (std::isinf(leValue) && leValue > 0) {
+                series.hasInf = true;
+                series.infCount = value;
+            }
+            series.buckets.push_back({leValue, value});
+        } else if (suffix == "_count") {
+            histCounts_[family][key] = value;
+        }
+        return true;
+    }
+
+    /** Cumulative-series semantics, after all lines are read. */
+    bool
+    checkHistograms()
+    {
+        for (const auto &[family, byLabels] : histBuckets_) {
+            for (const auto &[key, series] : byLabels) {
+                double lastLe = -HUGE_VAL;
+                double lastCount = -1;
+                for (const BucketSample &b : series.buckets) {
+                    if (b.le < lastLe)
+                        return setError(
+                            "histogram '" + family +
+                            "' buckets not in ascending le order");
+                    if (b.count < lastCount)
+                        return setError(
+                            "histogram '" + family +
+                            "' bucket counts not cumulative");
+                    lastLe = b.le;
+                    lastCount = b.count;
+                }
+                if (!series.hasInf)
+                    return setError("histogram '" + family +
+                                    "' lacks an le=\"+Inf\" bucket");
+                const auto countsIt = histCounts_.find(family);
+                if (countsIt == histCounts_.end() ||
+                    countsIt->second.count(key) == 0)
+                    return setError("histogram '" + family +
+                                    "' lacks a _count sample");
+                if (countsIt->second.at(key) != series.infCount)
+                    return setError(
+                        "histogram '" + family +
+                        "' +Inf bucket does not equal _count");
+            }
+        }
+        return true;
+    }
+};
+
+} // namespace
+
+PromCheckResult
+checkProm(std::string_view text)
+{
+    return PromChecker(text).run();
+}
+
+} // namespace lag::obs

@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Strict validator for Prometheus text exposition (format 0.0.4).
+ *
+ * The counterpart of json_check for `/metricsz?format=prom`: a
+ * checker, not a parser. It verifies line grammar — `# HELP` /
+ * `# TYPE` comments, sample lines `name{labels} value [timestamp]`
+ * with legal metric/label names, escaped label values and float
+ * values (including +Inf/-Inf/NaN) — plus the semantic rules a
+ * scraper actually enforces:
+ *
+ *  - TYPE appears at most once per family, and before any of that
+ *    family's samples,
+ *  - histogram `_bucket` series are cumulative: per label set, the
+ *    counts are nondecreasing in ascending `le` order, an
+ *    `le="+Inf"` bucket exists, and it equals the `_count` sample.
+ *
+ * trace_check --prom runs this over a live scrape in ci/check.sh,
+ * and the property tests run it over dumpProm() round-trips.
+ */
+
+#ifndef LAG_OBS_PROM_CHECK_HH
+#define LAG_OBS_PROM_CHECK_HH
+
+#include <string>
+#include <string_view>
+
+namespace lag::obs
+{
+
+/** Outcome of a validation run. */
+struct PromCheckResult
+{
+    bool ok = false;
+    std::size_t line = 0; ///< 1-based line of first error
+    std::string message;  ///< empty when ok
+};
+
+/** Validate @p text as one Prometheus text exposition payload. */
+PromCheckResult checkProm(std::string_view text);
+
+} // namespace lag::obs
+
+#endif // LAG_OBS_PROM_CHECK_HH

@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "chrome_trace.hh"
+#include "flightrec.hh"
 #include "metrics.hh"
 #include "span.hh"
 #include "util/logging.hh"
@@ -60,6 +61,17 @@ install(const ObsOptions &options)
     g_flushed = false;
     if (!options.selfTracePath.empty())
         setSpansEnabled(true);
+    if (!options.flightrecPath.empty()) {
+        // Arm the flight recorder (first configure wins) and route
+        // fatal signals through its dump. The rings are fed from
+        // span recording, so spans must be on for the black box to
+        // contain anything.
+        FlightRecorderOptions recorder_options;
+        recorder_options.dumpPath = options.flightrecPath;
+        FlightRecorder::instance().configure(recorder_options);
+        setSpansEnabled(true);
+        installFatalSignalDumper(flightrecFatalDump);
+    }
     if (!g_atexitRegistered) {
         g_atexitRegistered = true;
         std::atexit(flush);

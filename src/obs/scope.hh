@@ -33,11 +33,13 @@ struct ObsOptions
 {
     std::string selfTracePath; ///< Chrome trace-event JSON
     std::string metricsPath;   ///< metrics dump (json/text)
+    std::string flightrecPath; ///< fatal-signal .flightrec dump
 
     bool
     any() const
     {
-        return !selfTracePath.empty() || !metricsPath.empty();
+        return !selfTracePath.empty() || !metricsPath.empty() ||
+               !flightrecPath.empty();
     }
 };
 

@@ -2,6 +2,7 @@
 
 #include <deque>
 
+#include "flightrec.hh"
 #include "util/mutex.hh"
 #include "util/thread_annotations.hh"
 
@@ -53,6 +54,11 @@ SpanBuffer::SpanBuffer(std::uint32_t tid, std::string threadName,
 void
 SpanBuffer::append(const SpanEvent &event)
 {
+    // Feed the flight recorder before the capacity check: its ring
+    // keeps rolling even after this thread's buffer saturates, so a
+    // crash dump always shows the most recent work.
+    if (FlightRecorder *rec = armedFlightRecorder())
+        rec->recordSpan(event, tid_);
     const std::size_t i = size_.load(std::memory_order_relaxed);
     if (i >= slots_.size()) {
         dropped_.fetch_add(1, std::memory_order_relaxed);

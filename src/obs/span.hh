@@ -42,6 +42,7 @@
 #include <string_view>
 #include <vector>
 
+#include "trace_context.hh"
 #include "util/thread_name.hh"
 
 namespace lag::obs
@@ -55,6 +56,11 @@ struct SpanEvent
     std::uint64_t argValue = 0;   ///< arg payload (bytes, index, …)
     std::int64_t startNs = 0;     ///< processElapsedNs() at open
     std::int64_t durNs = 0;       ///< close - open
+
+    /** Originating request (currentTraceContext() at close); both
+     * zero when the span ran outside any request context. */
+    std::uint64_t traceHi = 0;
+    std::uint64_t traceLo = 0;
 };
 
 /**
@@ -181,6 +187,9 @@ class Span
         event.argValue = argValue_;
         event.startNs = startNs_;
         event.durNs = processElapsedNs() - startNs_;
+        const TraceContext ctx = currentTraceContext();
+        event.traceHi = ctx.hi;
+        event.traceLo = ctx.lo;
         detail::threadBuffer().append(event);
     }
 

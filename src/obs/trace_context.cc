@@ -1,0 +1,107 @@
+#include "trace_context.hh"
+
+#include <atomic>
+
+#include "util/thread_name.hh"
+
+namespace lag::obs
+{
+
+namespace
+{
+
+thread_local TraceContext t_current;
+
+/** splitmix64: cheap, well-mixed, no OS entropy on the mint path. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+}
+
+int
+hexValue(char c)
+{
+    if (c >= '0' && c <= '9')
+        return c - '0';
+    if (c >= 'a' && c <= 'f')
+        return c - 'a' + 10;
+    if (c >= 'A' && c <= 'F')
+        return c - 'A' + 10;
+    return -1;
+}
+
+} // namespace
+
+TraceContext
+currentTraceContext()
+{
+    return t_current;
+}
+
+TraceContext
+mintTraceContext()
+{
+    static std::atomic<std::uint64_t> counter{1};
+    const std::uint64_t n =
+        counter.fetch_add(1, std::memory_order_relaxed);
+    TraceContext ctx;
+    ctx.hi = mix64(n);
+    ctx.lo = mix64(n ^ static_cast<std::uint64_t>(
+                           processElapsedNs()));
+    // {0,0} is reserved for "no context"; a zero draw is
+    // astronomically unlikely but costs one branch to exclude.
+    if (!ctx.active())
+        ctx.lo = 1;
+    return ctx;
+}
+
+std::string
+traceIdHex(const TraceContext &ctx)
+{
+    static const char *digits = "0123456789abcdef";
+    std::string out(32, '0');
+    for (int i = 0; i < 16; ++i) {
+        out[15 - i] =
+            digits[(ctx.hi >> (4 * i)) & 0xF];
+        out[31 - i] =
+            digits[(ctx.lo >> (4 * i)) & 0xF];
+    }
+    return out;
+}
+
+bool
+parseTraceIdHex(std::string_view hex, TraceContext &out)
+{
+    if (hex.size() != 32)
+        return false;
+    TraceContext parsed;
+    for (int i = 0; i < 16; ++i) {
+        const int hi = hexValue(hex[i]);
+        const int lo = hexValue(hex[16 + i]);
+        if (hi < 0 || lo < 0)
+            return false;
+        parsed.hi = (parsed.hi << 4) |
+                    static_cast<std::uint64_t>(hi);
+        parsed.lo = (parsed.lo << 4) |
+                    static_cast<std::uint64_t>(lo);
+    }
+    out = parsed;
+    return true;
+}
+
+TraceContextScope::TraceContextScope(const TraceContext &ctx)
+    : previous_(t_current)
+{
+    t_current = ctx;
+}
+
+TraceContextScope::~TraceContextScope()
+{
+    t_current = previous_;
+}
+
+} // namespace lag::obs

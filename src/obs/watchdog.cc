@@ -1,0 +1,146 @@
+#include "watchdog.hh"
+
+#include <dirent.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+
+#include "flightrec.hh"
+#include "metrics.hh"
+#include "util/logging.hh"
+#include "util/thread_name.hh"
+
+namespace lag::obs
+{
+
+namespace
+{
+
+/** Resident set in bytes from /proc/self/statm; 0 if unreadable
+ * (non-Linux), which simply leaves the gauge at zero. */
+std::int64_t
+readRssBytes()
+{
+    std::FILE *file = std::fopen("/proc/self/statm", "re");
+    if (file == nullptr)
+        return 0;
+    long long vmPages = 0;
+    long long rssPages = 0;
+    const int got =
+        std::fscanf(file, "%lld %lld", &vmPages, &rssPages);
+    std::fclose(file);
+    if (got != 2)
+        return 0;
+    return static_cast<std::int64_t>(rssPages) *
+           static_cast<std::int64_t>(sysconf(_SC_PAGESIZE));
+}
+
+std::int64_t
+countOpenFds()
+{
+    DIR *dir = opendir("/proc/self/fd");
+    if (dir == nullptr)
+        return 0;
+    std::int64_t count = 0;
+    while (readdir(dir) != nullptr)
+        ++count;
+    closedir(dir);
+    // ".", "..", and the directory's own fd don't count.
+    return count > 3 ? count - 3 : 0;
+}
+
+} // namespace
+
+Watchdog::Watchdog(WatchdogOptions options) : options_(options) {}
+
+Watchdog::~Watchdog()
+{
+    stop();
+}
+
+void
+Watchdog::start()
+{
+    if (running_)
+        return;
+    stop_.store(false, std::memory_order_relaxed);
+    thread_ = std::thread([this] { threadMain(); });
+    running_ = true;
+}
+
+void
+Watchdog::stop()
+{
+    if (!running_)
+        return;
+    stop_.store(true, std::memory_order_relaxed);
+    thread_.join();
+    running_ = false;
+}
+
+void
+Watchdog::threadMain()
+{
+    setThreadName("lag-watchdog");
+    // Sleep in short slices so stop() never waits a full period;
+    // no mutex or condvar keeps the watchdog out of every lock
+    // order (it must still sample when the rest of the process is
+    // wedged on one).
+    const auto slice = std::chrono::milliseconds(20);
+    while (!stop_.load(std::memory_order_relaxed)) {
+        sampleOnce();
+        int sleptMs = 0;
+        while (sleptMs < options_.periodMs &&
+               !stop_.load(std::memory_order_relaxed)) {
+            std::this_thread::sleep_for(slice);
+            sleptMs += 20;
+        }
+    }
+}
+
+bool
+Watchdog::sampleOnce()
+{
+    MetricsRegistry &reg = metrics();
+    reg.gauge("process.rss_bytes").set(readRssBytes());
+    reg.gauge("process.open_fds").set(countOpenFds());
+    reg.gauge("process.uptime_ms")
+        .set(processElapsedNs() / 1000000);
+
+    // Stall rule: queued work with no task completion between two
+    // samples means the workers are not draining. One quiet sample
+    // can be a long-running task; stallSamples in a row is a wedge.
+    const MetricsSnapshot snap = reg.snapshot();
+    std::int64_t queueDepth = 0;
+    for (const auto &g : snap.gauges) {
+        if (g.name == "pool.queue.depth") {
+            queueDepth = g.value;
+            break;
+        }
+    }
+    const std::uint64_t taskCount =
+        snap.counterValue("pool.task.count");
+
+    bool tripped = false;
+    if (havePrevSample_ && queueDepth > 0 &&
+        taskCount == lastTaskCount_) {
+        ++stallStreak_;
+        if (stallStreak_ == options_.stallSamples) {
+            warn("watchdog: pool stalled — ", queueDepth,
+                 " queued task(s), no completions for ",
+                 stallStreak_, " samples");
+            reg.counter("watchdog.pool.stalled").add();
+            if (FlightRecorder *rec = armedFlightRecorder())
+                rec->recordEvent("watchdog-pool-stalled");
+            tripped = true;
+        }
+    } else {
+        stallStreak_ = 0;
+    }
+    lastTaskCount_ = taskCount;
+    havePrevSample_ = true;
+    return tripped;
+}
+
+} // namespace lag::obs

@@ -1,0 +1,80 @@
+/**
+ * @file
+ * Process watchdog: a sampling thread feeding process-level gauges.
+ *
+ * Counters and histograms record what the code does; nobody records
+ * what the *process* looks like while doing it. The watchdog fills
+ * that gap for lagd: every period it samples
+ *
+ *  - `process.rss_bytes`   resident set size (/proc/self/statm),
+ *  - `process.open_fds`    open descriptor count (/proc/self/fd),
+ *  - `process.uptime_ms`   processElapsedNs() in milliseconds,
+ *
+ * so a Prometheus scrape of /metricsz?format=prom shows memory and
+ * fd leaks without any external exporter. It also watches the
+ * engine pool: when `pool.queue.depth` stays positive while
+ * `pool.task.count` makes no progress for `stallSamples`
+ * consecutive samples, it logs a warning, bumps
+ * `watchdog.pool.stalled`, and drops a flight-recorder event — the
+ * signature of a deadlocked or wedged worker set.
+ *
+ * The thread holds no lock while sampling (the metrics registry
+ * takes its own LockRank::Obs lock internally); stop() joins it.
+ * sampleOnce() is public so tests can drive the logic without
+ * timing dependence.
+ */
+
+#ifndef LAG_OBS_WATCHDOG_HH
+#define LAG_OBS_WATCHDOG_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+namespace lag::obs
+{
+
+struct WatchdogOptions
+{
+    int periodMs = 1000;
+    /** Consecutive no-progress samples (with queued work) before a
+     * stall is reported. */
+    int stallSamples = 5;
+};
+
+class Watchdog
+{
+  public:
+    explicit Watchdog(WatchdogOptions options = {});
+    ~Watchdog();
+
+    Watchdog(const Watchdog &) = delete;
+    Watchdog &operator=(const Watchdog &) = delete;
+
+    /** Launch the sampling thread (no-op when already running). */
+    void start();
+
+    /** Stop and join the sampling thread (idempotent). */
+    void stop();
+
+    /** Take one sample now; called by the thread every period and
+     * by tests directly. Returns true when this sample tripped the
+     * stall detector. */
+    bool sampleOnce();
+
+  private:
+    void threadMain();
+
+    WatchdogOptions options_;
+    std::atomic<bool> stop_{false};
+    std::thread thread_;
+    bool running_ = false;
+
+    std::uint64_t lastTaskCount_ = 0;
+    bool havePrevSample_ = false;
+    int stallStreak_ = 0;
+};
+
+} // namespace lag::obs
+
+#endif // LAG_OBS_WATCHDOG_HH

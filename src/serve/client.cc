@@ -69,7 +69,60 @@ fail(std::string message)
     return result;
 }
 
+char
+lowerAscii(char c)
+{
+    return (c >= 'A' && c <= 'Z')
+               ? static_cast<char>(c - 'A' + 'a')
+               : c;
+}
+
+/** Parse "Name: value" lines in [begin, end) of @p response into
+ * @p out, names lower-cased, values trimmed of surrounding
+ * whitespace. Lines without a colon are skipped. */
+void
+parseHeaderLines(
+    const std::string &response, std::size_t begin,
+    std::size_t end,
+    std::vector<std::pair<std::string, std::string>> &out)
+{
+    std::size_t at = begin;
+    while (at < end) {
+        std::size_t line_end = response.find("\r\n", at);
+        if (line_end == std::string::npos || line_end > end)
+            line_end = end;
+        const std::size_t colon = response.find(':', at);
+        if (colon != std::string::npos && colon < line_end) {
+            std::string name =
+                response.substr(at, colon - at);
+            for (char &c : name)
+                c = lowerAscii(c);
+            std::size_t vb = colon + 1;
+            std::size_t ve = line_end;
+            while (vb < ve && (response[vb] == ' ' ||
+                               response[vb] == '\t'))
+                ++vb;
+            while (ve > vb && (response[ve - 1] == ' ' ||
+                               response[ve - 1] == '\t'))
+                --ve;
+            out.emplace_back(std::move(name),
+                             response.substr(vb, ve - vb));
+        }
+        at = line_end + 2;
+    }
+}
+
 } // namespace
+
+std::string_view
+ClientResult::header(std::string_view name) const
+{
+    for (const auto &[key, value] : headers) {
+        if (key == name)
+            return value;
+    }
+    return {};
+}
 
 ClientResult
 httpRequest(const ClientOptions &options, std::string_view method,
@@ -187,6 +240,8 @@ httpRequest(const ClientOptions &options, std::string_view method,
     ClientResult result;
     result.ok = true;
     result.status = status;
+    parseHeaderLines(response, line_end + 2, header_end,
+                     result.headers);
     result.body = response.substr(header_end + 4);
     return result;
 }

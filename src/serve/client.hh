@@ -15,6 +15,8 @@
 #include <cstdint>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 namespace lag::serve
 {
@@ -37,6 +39,12 @@ struct ClientResult
     int status = 0;
     std::string body;
     std::string error;
+
+    /** Response headers in wire order, names lower-cased. */
+    std::vector<std::pair<std::string, std::string>> headers;
+
+    /** First value of header @p name (lower-case), "" absent. */
+    std::string_view header(std::string_view name) const;
 };
 
 /**

@@ -287,6 +287,12 @@ serializeResponse(const HttpResponse &response)
     out += "Content-Length: ";
     out += std::to_string(response.body.size());
     out += kCrlf;
+    for (const auto &[name, value] : response.headers) {
+        out += name;
+        out += ": ";
+        out += value;
+        out += kCrlf;
+    }
     out += "Connection: close";
     out += kCrlf;
     out += kCrlf;

@@ -85,6 +85,10 @@ struct HttpResponse
     int status = 200;
     std::string contentType = "application/json";
     std::string body;
+
+    /** Extra response headers (e.g. X-Lag-Trace-Id), emitted in
+     * order after the built-in ones. */
+    std::vector<std::pair<std::string, std::string>> headers;
 };
 
 /** Reason phrase for the status codes this server emits. */

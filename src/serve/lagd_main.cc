@@ -10,13 +10,23 @@
  * Usage: ./lagd [--quick [SECONDS]] [--port N] [--max-connections N]
  *               [--cache-dir PATH] [--port-file PATH] [--jobs N]
  *               [--no-incremental] [--self-trace OUT] [--metrics-out OUT]
+ *               [--flightrec-path OUT] [--slow-request-ms N]
+ *               [--watchdog-ms N]
  *
  *  --quick       serve StudyConfig::quickStudy (default 10 s
  *                sessions) instead of the full paper study;
  *  --port        listen port (default 8437, or LAGALYZER_SERVE_PORT;
  *                0 = ephemeral, see the printed line / --port-file);
  *  --port-file   write the bound port to PATH (atomic rename) once
- *                listening — how scripts find an ephemeral port.
+ *                listening — how scripts find an ephemeral port;
+ *  --flightrec-path  where fatal signals dump the flight-recorder
+ *                rings (default lagd.flightrec; also
+ *                LAGALYZER_FLIGHTREC);
+ *  --slow-request-ms requests slower than N ms get their span tree
+ *                logged and flagged at /debugz/requests (0 = off);
+ *  --watchdog-ms process watchdog sample period (RSS/fds/uptime
+ *                gauges + stalled-pool detection; 0 = off,
+ *                default 1000).
  *
  * SIGINT/SIGTERM drain gracefully: stop accepting, finish in-flight
  * requests, flush the obs exporters, exit 0.
@@ -33,7 +43,10 @@
 #include "app/params.hh"
 #include "app/study.hh"
 #include "engine/pool.hh"
+#include "obs/flightrec.hh"
 #include "obs/scope.hh"
+#include "obs/span.hh"
+#include "obs/watchdog.hh"
 #include "serve/router.hh"
 #include "serve/server.hh"
 #include "serve/store.hh"
@@ -80,6 +93,8 @@ main(int argc, char **argv)
 
     bool quick = false;
     int quick_seconds = 10;
+    int slow_request_ms = 0;
+    int watchdog_ms = 1000;
     std::string cache_dir;
     std::string port_file;
     for (int i = 1; i < argc; ++i) {
@@ -102,9 +117,44 @@ main(int argc, char **argv)
             port_file = argv[++i];
         } else if (arg.rfind("--port-file=", 0) == 0) {
             port_file = std::string(arg.substr(12));
+        } else if (arg == "--slow-request-ms") {
+            if (i + 1 >= argc)
+                fatal("--slow-request-ms needs a value");
+            slow_request_ms = std::atoi(argv[++i]);
+            if (slow_request_ms < 0)
+                fatal("--slow-request-ms must be >= 0");
+        } else if (arg.rfind("--slow-request-ms=", 0) == 0) {
+            slow_request_ms =
+                std::atoi(std::string(arg.substr(18)).c_str());
+            if (slow_request_ms < 0)
+                fatal("--slow-request-ms must be >= 0");
+        } else if (arg == "--watchdog-ms") {
+            if (i + 1 >= argc)
+                fatal("--watchdog-ms needs a value");
+            watchdog_ms = std::atoi(argv[++i]);
+            if (watchdog_ms < 0)
+                fatal("--watchdog-ms must be >= 0");
+        } else if (arg.rfind("--watchdog-ms=", 0) == 0) {
+            watchdog_ms =
+                std::atoi(std::string(arg.substr(14)).c_str());
+            if (watchdog_ms < 0)
+                fatal("--watchdog-ms must be >= 0");
         } else {
             fatal("lagd: unknown argument '", arg, "'");
         }
+    }
+
+    // The daemon always flies with the recorder armed: if
+    // --flightrec-path already configured it (obs::install above),
+    // this first-call-wins configure is a no-op; otherwise it arms
+    // the rings with the default dump path. Spans must be on for
+    // the rings (and /debugz span trees) to see anything.
+    {
+        obs::FlightRecorderOptions frec;
+        frec.dumpPath = "lagd.flightrec";
+        obs::FlightRecorder::instance().configure(frec);
+        installFatalSignalDumper(obs::flightrecFatalDump);
+        obs::setSpansEnabled(true);
     }
 
     app::StudyConfig config =
@@ -127,9 +177,16 @@ main(int argc, char **argv)
     serve::ServerConfig server_config;
     server_config.port = serve_options.port;
     server_config.maxConnections = serve_options.maxConnections;
+    server_config.slowRequestMs = slow_request_ms;
     serve::HttpServer server(server_config, std::move(router),
                              pool);
     server.start();
+
+    obs::WatchdogOptions watchdog_options;
+    watchdog_options.periodMs = watchdog_ms;
+    obs::Watchdog watchdog(watchdog_options);
+    if (watchdog_ms > 0)
+        watchdog.start();
 
     std::cout << "lagd: listening on 127.0.0.1:" << server.port()
               << std::endl;

@@ -44,6 +44,16 @@ Router::pathKnown(std::string_view path) const
     return false;
 }
 
+std::string_view
+Router::routeLabel(const HttpRequest &request) const
+{
+    for (const Route &route : routes_) {
+        if (matches(request.path, route.path, route.isPrefix))
+            return route.path;
+    }
+    return "other";
+}
+
 HttpResponse
 Router::dispatch(const HttpRequest &request) const
 {

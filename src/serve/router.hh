@@ -42,6 +42,14 @@ class Router
      * 404 or 405 JSON error. */
     HttpResponse dispatch(const HttpRequest &request) const;
 
+    /**
+     * A bounded-cardinality label for per-route metrics: the
+     * registered path (or prefix) the request matches, "other" for
+     * unknown paths. Never the raw target — label cardinality must
+     * not grow with attacker-chosen input.
+     */
+    std::string_view routeLabel(const HttpRequest &request) const;
+
   private:
     struct Route
     {

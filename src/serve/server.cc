@@ -11,6 +11,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "obs/flightrec.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
 #include "util/logging.hh"
@@ -24,6 +25,15 @@ namespace
 
 using Clock = std::chrono::steady_clock;
 
+/** Latency bucket bounds (µs), shared by the aggregate histogram
+ * and the per-route ones — re-registration checks bounds match. */
+std::vector<std::int64_t>
+latencyBoundsUs()
+{
+    return {100,   250,   500,    1000,   2500,  5000,
+            10000, 25000, 50000, 100000, 250000, 1000000};
+}
+
 /** Server instruments; looked up once. */
 struct ServeMetrics
 {
@@ -34,9 +44,7 @@ struct ServeMetrics
     obs::Counter &timeouts =
         obs::metrics().counter("serve.timeouts");
     obs::Histogram &latencyUs = obs::metrics().histogram(
-        "serve.request.latency_us",
-        {100, 250, 500, 1000, 2500, 5000, 10000, 25000, 50000,
-         100000, 250000, 1000000});
+        "serve.request.latency_us", latencyBoundsUs());
 };
 
 ServeMetrics &
@@ -230,15 +238,21 @@ HttpServer::acceptLoop()
             continue;
         }
 
-        pool_.submit([this, conn] {
-            handleConnection(conn);
-            bool drained = false;
-            {
-                MutexLock lock(activeMutex_);
-                --active_;
-                drained = active_ == 0;
-            }
-            if (drained)
+        // The request's trace identity is minted here, at accept
+        // time, and installed on the worker that serves it; every
+        // pool hop the handler causes re-installs it via
+        // ThreadPool::submit's capture.
+        const obs::TraceContext ctx = obs::mintTraceContext();
+        pool_.submit([this, conn, ctx] {
+            obs::TraceContextScope scope(ctx);
+            handleConnection(conn, ctx);
+            // Notify while still holding the lock: stop() may
+            // return (and the server be destroyed) the moment it
+            // can observe active_ == 0, so an unlocked notify
+            // would race the condition variable's destruction.
+            MutexLock lock(activeMutex_);
+            --active_;
+            if (active_ == 0)
                 drainCv_.notify_all();
         });
     }
@@ -325,30 +339,79 @@ HttpServer::writeResponse(int fd, const HttpResponse &response)
 }
 
 void
-HttpServer::handleConnection(int fd)
+HttpServer::handleConnection(int fd, const obs::TraceContext &ctx)
 {
-    LAG_SPAN("serve.request");
     const std::int64_t start_ns = processElapsedNs();
 
     HttpRequest request;
     HttpResponse response;
-    if (readRequest(fd, request, response)) {
-        try {
-            response = router_.dispatch(request);
-        } catch (const std::exception &error) {
-            warn("serve: handler failed for ", request.method,
-                 " ", request.target, ": ", error.what());
-            response =
-                errorResponse(500, "internal server error");
+    bool have_request = false;
+    {
+        // Scoped so the span closes (and lands in the buffers)
+        // before the slow-request path renders the span tree.
+        LAG_SPAN("serve.request");
+        have_request = readRequest(fd, request, response);
+        if (have_request) {
+            try {
+                response = router_.dispatch(request);
+            } catch (const std::exception &error) {
+                warn("serve: handler failed for ", request.method,
+                     " ", request.target, ": ", error.what());
+                response =
+                    errorResponse(500, "internal server error");
+            }
+        }
+        if (response.status != 0) {
+            // Echo the trace id so clients (and the CI smoke) can
+            // correlate a response with /debugz/requests and the
+            // Chrome-trace export.
+            response.headers.emplace_back("X-Lag-Trace-Id",
+                                          obs::traceIdHex(ctx));
+            writeResponse(fd, response);
+        }
+        ::close(fd);
+    }
+
+    const std::int64_t dur_us =
+        (processElapsedNs() - start_ns) / 1000;
+    serveMetrics().requests.add(1);
+    serveMetrics().latencyUs.record(dur_us);
+    if (have_request) {
+        obs::metrics()
+            .histogram("serve.route.latency_us", latencyBoundsUs(),
+                       "route", router_.routeLabel(request))
+            .record(dur_us);
+    }
+
+    const bool slow =
+        config_.slowRequestMs > 0 &&
+        dur_us >= static_cast<std::int64_t>(config_.slowRequestMs) *
+                      1000;
+    if (obs::FlightRecorder *rec = obs::armedFlightRecorder()) {
+        obs::RequestSummary summary;
+        summary.method = have_request ? request.method : "?";
+        summary.target = have_request ? request.target : "?";
+        summary.trace = ctx;
+        summary.startNs = start_ns;
+        summary.durUs = dur_us;
+        summary.status = response.status;
+        summary.slow = slow;
+        rec->recordRequest(summary);
+        if (slow) {
+            rec->recordEvent(
+                "slow-request",
+                have_request
+                    ? obs::internedName(router_.routeLabel(request))
+                    : "?");
         }
     }
-    if (response.status != 0)
-        writeResponse(fd, response);
-    ::close(fd);
-
-    serveMetrics().requests.add(1);
-    serveMetrics().latencyUs.record(
-        (processElapsedNs() - start_ns) / 1000);
+    if (slow) {
+        warn("serve: slow request ",
+             have_request ? request.method : "?", " ",
+             have_request ? request.target : "?", " took ",
+             dur_us / 1000, " ms (trace ", obs::traceIdHex(ctx),
+             ")\n", obs::spanTreeText(ctx));
+    }
 }
 
 } // namespace lag::serve

@@ -34,6 +34,7 @@
 
 #include "engine/pool.hh"
 #include "http.hh"
+#include "obs/trace_context.hh"
 #include "router.hh"
 #include "util/mutex.hh"
 #include "util/thread_annotations.hh"
@@ -54,6 +55,10 @@ struct ServerConfig
 
     int readTimeoutMs = 5000;  ///< whole-request read budget
     int writeTimeoutMs = 5000; ///< whole-response write budget
+
+    /** Requests slower than this get their span tree logged and
+     * are flagged in the flight recorder; 0 disables. */
+    int slowRequestMs = 0;
 
     ParseLimits limits;
 };
@@ -87,7 +92,10 @@ class HttpServer
 
   private:
     void acceptLoop();
-    void handleConnection(int fd);
+
+    /** @param ctx the request's trace identity, minted at accept
+     * time; installed as the worker's context by the caller. */
+    void handleConnection(int fd, const obs::TraceContext &ctx);
 
     /** Read one request within the read deadline; returns the
      * response to send when the request could not be served (400/

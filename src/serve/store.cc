@@ -3,8 +3,10 @@
 #include <charconv>
 #include <utility>
 
+#include "obs/flightrec.hh"
 #include "obs/metrics.hh"
 #include "obs/span.hh"
+#include "obs/trace_context.hh"
 #include "util/logging.hh"
 
 namespace lag::serve
@@ -302,10 +304,51 @@ HotStore::handleHealth(const HttpRequest &)
 }
 
 HttpResponse
-HotStore::handleMetrics(const HttpRequest &)
+HotStore::handleMetrics(const HttpRequest &request)
 {
     HttpResponse response;
-    response.body = obs::metrics().dumpJson();
+    // Prometheus exposition on request — ?format=prom wins, and a
+    // text/plain Accept (what prometheus scrapers send) selects it
+    // too. Default stays the bespoke JSON dump.
+    const std::string *format = request.queryParam("format");
+    const bool wantProm =
+        (format != nullptr && *format == "prom") ||
+        (format == nullptr &&
+         request.header("accept").find("text/plain") !=
+             std::string_view::npos);
+    if (wantProm) {
+        response.contentType =
+            "text/plain; version=0.0.4; charset=utf-8";
+        response.body = obs::metrics().dumpProm();
+    } else {
+        response.body = obs::metrics().dumpJson();
+    }
+    return response;
+}
+
+HttpResponse
+HotStore::handleDebugRequests(const HttpRequest &request)
+{
+    HttpResponse response;
+    const std::string *trace = request.queryParam("trace");
+    if (trace != nullptr) {
+        obs::TraceContext ctx;
+        if (!obs::parseTraceIdHex(*trace, ctx))
+            return errorResponse(400, "malformed trace id");
+        response.body =
+            obs::FlightRecorder::instance().requestsJson(&ctx);
+    } else {
+        response.body =
+            obs::FlightRecorder::instance().requestsJson(nullptr);
+    }
+    return response;
+}
+
+HttpResponse
+HotStore::handleDebugFlightrec(const HttpRequest &)
+{
+    HttpResponse response;
+    response.body = obs::FlightRecorder::instance().liveJson();
     return response;
 }
 
@@ -330,6 +373,10 @@ HotStore::installRoutes(Router &router)
                     bind(&HotStore::handleHealth));
     router.addExact("GET", "/metricsz",
                     bind(&HotStore::handleMetrics));
+    router.addExact("GET", "/debugz/requests",
+                    bind(&HotStore::handleDebugRequests));
+    router.addExact("GET", "/debugz/flightrecorder",
+                    bind(&HotStore::handleDebugFlightrec));
     router.addExact("GET", "/v1/apps", bind(&HotStore::handleApps));
     router.addExact("GET", "/v1/patterns",
                     bind(&HotStore::handlePatterns));

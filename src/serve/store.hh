@@ -92,7 +92,9 @@ class HotStore
     RefreshResult refresh();
 
     /** Register every endpoint on @p router:
-     * GET /healthz, /metricsz, /v1/apps, /v1/patterns, /v1/cdf,
+     * GET /healthz, /metricsz (JSON, or Prometheus text via
+     * ?format=prom / Accept: text/plain), /debugz/requests,
+     * /debugz/flightrecorder, /v1/apps, /v1/patterns, /v1/cdf,
      * /v1/episodes, /v1/figures/<id>; POST /v1/refresh. */
     void installRoutes(Router &router);
 
@@ -125,6 +127,8 @@ class HotStore
     HttpResponse handleHealth(const HttpRequest &request);
     HttpResponse handleMetrics(const HttpRequest &request);
     HttpResponse handleRefresh(const HttpRequest &request);
+    HttpResponse handleDebugRequests(const HttpRequest &request);
+    HttpResponse handleDebugFlightrec(const HttpRequest &request);
 
     app::Study study_;
     engine::ResultCache cache_;

@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "shutdown.hh"
+
 #if defined(__has_include)
 #if __has_include(<execinfo.h>)
 #include <execinfo.h>
@@ -78,6 +80,10 @@ reportViolation(const Mutex &acquiring, const HeldLock &held)
 #else
     printStack("--- stacks unavailable:", nullptr, 0);
 #endif
+    // Mutex names are static strings, so the crash dump the abort
+    // triggers (see installFatalSignalDumper) can name the pair.
+    noteFatal("lock-rank-violation", acquiring.name(),
+              held.mutex->name());
     std::abort();
 }
 

@@ -24,6 +24,13 @@ std::atomic<int> g_signal{0};
 std::atomic<bool> g_installed{false};
 std::atomic<bool> g_callbacksRan{false};
 
+std::atomic<void (*)(int)> g_fatalDumper{nullptr};
+std::atomic<bool> g_fatalInstalled{false};
+
+std::atomic<const char *> g_fatalWhat{nullptr};
+std::atomic<const char *> g_fatalDetailA{nullptr};
+std::atomic<const char *> g_fatalDetailB{nullptr};
+
 Mutex &
 callbackMutex()
 {
@@ -47,6 +54,20 @@ handleShutdownSignal(int sig)
     g_signal.compare_exchange_strong(expected, sig);
     const char byte = 1;
     [[maybe_unused]] const ssize_t n = write(g_pipe[1], &byte, 1);
+}
+
+extern "C" void
+handleFatalSignal(int sig)
+{
+    // Run the dumper (async-signal-safe by contract), then fall
+    // back to the default disposition so the process still dies
+    // with the original signal — wait status and core behavior
+    // stay exactly as without the dumper.
+    if (void (*fn)(int) =
+            g_fatalDumper.load(std::memory_order_acquire))
+        fn(sig);
+    signal(sig, SIG_DFL);
+    raise(sig);
 }
 
 } // namespace
@@ -81,6 +102,45 @@ installShutdownHandler(ShutdownMode mode)
             std::_Exit(128 + g_signal.load());
         }).detach();
     }
+}
+
+void
+installFatalSignalDumper(void (*fn)(int sig))
+{
+    g_fatalDumper.store(fn, std::memory_order_release);
+    bool expected = false;
+    if (!g_fatalInstalled.compare_exchange_strong(expected, true))
+        return;
+    struct sigaction action = {};
+    action.sa_handler = handleFatalSignal;
+    sigemptyset(&action.sa_mask);
+    action.sa_flags = 0;
+    sigaction(SIGABRT, &action, nullptr);
+    sigaction(SIGSEGV, &action, nullptr);
+    sigaction(SIGBUS, &action, nullptr);
+    sigaction(SIGFPE, &action, nullptr);
+    sigaction(SIGILL, &action, nullptr);
+}
+
+void
+noteFatal(const char *what, const char *detailA,
+          const char *detailB)
+{
+    g_fatalDetailA.store(detailA, std::memory_order_relaxed);
+    g_fatalDetailB.store(detailB, std::memory_order_relaxed);
+    // `what` last, with release: a handler that sees it non-null
+    // also sees the details.
+    g_fatalWhat.store(what, std::memory_order_release);
+}
+
+FatalNote
+fatalNote()
+{
+    FatalNote note;
+    note.what = g_fatalWhat.load(std::memory_order_acquire);
+    note.detailA = g_fatalDetailA.load(std::memory_order_relaxed);
+    note.detailB = g_fatalDetailB.load(std::memory_order_relaxed);
+    return note;
 }
 
 bool

@@ -74,6 +74,38 @@ void onShutdown(std::function<void()> fn);
 /** Run the registered callbacks once (idempotent). */
 void runShutdownCallbacks();
 
+/**
+ * Route fatal signals (SIGABRT/SIGSEGV/SIGBUS/SIGFPE/SIGILL)
+ * through @p fn before the default disposition re-raises and kills
+ * the process. @p fn runs inside the signal handler and must be
+ * async-signal-safe — the flight recorder's crash dump is the
+ * intended customer. One dumper per process; later calls replace
+ * the function but never re-register the handlers.
+ */
+void installFatalSignalDumper(void (*fn)(int sig));
+
+/**
+ * Leave a last-words marker for the crash dump: what went fatally
+ * wrong, with up to two detail strings. All pointers must have
+ * static (or leaked) lifetime — the values are read from signal
+ * handlers. Called by abort paths that know why they are aborting
+ * (the lock-rank checker, lag_assert wrappers) just before the
+ * abort, so the .flightrec dump names the cause.
+ */
+void noteFatal(const char *what, const char *detailA = nullptr,
+               const char *detailB = nullptr);
+
+/** The recorded last words; .what == nullptr when none. */
+struct FatalNote
+{
+    const char *what = nullptr;
+    const char *detailA = nullptr;
+    const char *detailB = nullptr;
+};
+
+/** Read the marker (async-signal-safe: three atomic loads). */
+FatalNote fatalNote();
+
 } // namespace lag
 
 #endif // LAG_UTIL_SHUTDOWN_HH

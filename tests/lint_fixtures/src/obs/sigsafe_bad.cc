@@ -1,0 +1,12 @@
+// lag-lint: signal-safe
+// Seeds: allocation and stdio in a marked fatal-handler file. The
+// malloc and printf mentions in this comment must stay silent.
+
+void
+dumpBad(int fd)
+{
+    char *p = static_cast<char *>(malloc(16));
+    printf("dumping fd %d\n", fd);
+    std::string label = "boom";
+    free(p);
+}

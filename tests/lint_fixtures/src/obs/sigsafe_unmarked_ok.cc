@@ -1,0 +1,10 @@
+// No signal-safe marker: the rule must stay silent here even
+// though the file is full of async-signal-unsafe calls.
+
+void
+notADumpPath()
+{
+    char *p = static_cast<char *>(malloc(16));
+    printf("fine\n");
+    free(p);
+}

@@ -178,6 +178,31 @@ TEST(LagLint, ObsClockRuleFires)
         << run.output;
 }
 
+TEST(LagLint, SignalSafeRuleFires)
+{
+    const LintRun run = lintFixture("src/obs/sigsafe_bad.cc");
+    EXPECT_EQ(run.exitCode, 1);
+    EXPECT_NE(run.output.find("[signal-safe]"), std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/obs/sigsafe_bad.cc:8:"),
+              std::string::npos)
+        << run.output;
+    EXPECT_NE(run.output.find("src/obs/sigsafe_bad.cc:10:"),
+              std::string::npos)
+        << run.output;
+    // malloc, printf, std::string, free — and the comment mentions
+    // stay silent: exactly the four seeded lines.
+    EXPECT_NE(run.output.find("4 finding(s)"), std::string::npos)
+        << run.output;
+}
+
+TEST(LagLint, SignalSafeIgnoresUnmarkedFiles)
+{
+    const LintRun run =
+        lintFixture("src/obs/sigsafe_unmarked_ok.cc");
+    EXPECT_EQ(run.exitCode, 0) << run.output;
+}
+
 TEST(LagLint, SuppressionSilencesFindings)
 {
     // Covers all three suppression forms: allow(rule),
@@ -218,7 +243,7 @@ TEST(LagLint, ListRulesNamesEveryRule)
     for (const char *rule :
          {"wallclock", "unordered-iter", "raw-mutex", "naked-new",
           "float-hash", "reserve-loop", "obs-clock",
-          "byte-hash-loop"}) {
+          "byte-hash-loop", "signal-safe"}) {
         EXPECT_NE(run.output.find(rule), std::string::npos)
             << "missing rule: " << rule;
     }

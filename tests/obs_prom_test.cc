@@ -1,0 +1,209 @@
+/**
+ * @file
+ * Prometheus exposition tests: dumpProm() output must pass the
+ * strict checkProm validator (the same one `trace_check --prom`
+ * runs), histogram series must be cumulative with `+Inf` equal to
+ * `_count`, label values must escape per the spec, and the checker
+ * itself must reject the classic malformed payloads.
+ *
+ * The registry is process-global; every instrument here uses a
+ * unique `test.prom.*` name so the assertions never collide with
+ * instruments other code registered.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/prom_check.hh"
+
+namespace
+{
+
+using namespace lag;
+
+/** All sample lines of @p family (exact name, optional labels). */
+std::vector<std::string>
+familyLines(const std::string &dump, const std::string &family)
+{
+    std::vector<std::string> lines;
+    std::size_t at = 0;
+    while (at < dump.size()) {
+        std::size_t end = dump.find('\n', at);
+        if (end == std::string::npos)
+            end = dump.size();
+        const std::string line = dump.substr(at, end - at);
+        if (line.compare(0, family.size(), family) == 0 &&
+            (line.size() == family.size() ||
+             line[family.size()] == '{' ||
+             line[family.size()] == ' '))
+            lines.push_back(line);
+        at = end + 1;
+    }
+    return lines;
+}
+
+double
+sampleValue(const std::string &line)
+{
+    return std::stod(line.substr(line.rfind(' ') + 1));
+}
+
+TEST(ObsProm, DumpPassesStrictChecker)
+{
+    obs::metrics().counter("test.prom.hits").add(3);
+    obs::metrics().gauge("test.prom.depth").set(7);
+    obs::Histogram &h = obs::metrics().histogram(
+        "test.prom.lat", {10, 100, 1000});
+    h.record(5);
+    h.record(50);
+    h.record(5000); // overflow bucket
+
+    const std::string dump = obs::metrics().dumpProm();
+    const obs::PromCheckResult result = obs::checkProm(dump);
+    EXPECT_TRUE(result.ok) << "line " << result.line << ": "
+                           << result.message << "\n"
+                           << dump;
+
+    // Counters are suffixed _total; gauges emit value and _max.
+    EXPECT_EQ(familyLines(dump, "lag_test_prom_hits_total").size(),
+              1u);
+    EXPECT_EQ(familyLines(dump, "lag_test_prom_depth").size(), 1u);
+    EXPECT_EQ(familyLines(dump, "lag_test_prom_depth_max").size(),
+              1u);
+}
+
+TEST(ObsProm, HistogramBucketsAreCumulativeWithInfEqualCount)
+{
+    obs::Histogram &h = obs::metrics().histogram(
+        "test.prom.cumulative", {10, 100, 1000});
+    h.record(5);
+    h.record(7);
+    h.record(50);
+    h.record(70000);
+
+    const std::string dump = obs::metrics().dumpProm();
+    const std::vector<std::string> buckets =
+        familyLines(dump, "lag_test_prom_cumulative_bucket");
+    ASSERT_EQ(buckets.size(), 4u); // 3 bounds + Inf
+
+    // Cumulative and nondecreasing: {2, 3, 3, 4}.
+    EXPECT_EQ(sampleValue(buckets[0]), 2);
+    EXPECT_EQ(sampleValue(buckets[1]), 3);
+    EXPECT_EQ(sampleValue(buckets[2]), 3);
+    EXPECT_NE(buckets[3].find("le=\"+Inf\""), std::string::npos)
+        << buckets[3];
+    EXPECT_EQ(sampleValue(buckets[3]), 4);
+
+    const std::vector<std::string> count =
+        familyLines(dump, "lag_test_prom_cumulative_count");
+    ASSERT_EQ(count.size(), 1u);
+    EXPECT_EQ(sampleValue(count[0]), 4);
+
+    const std::vector<std::string> sum =
+        familyLines(dump, "lag_test_prom_cumulative_sum");
+    ASSERT_EQ(sum.size(), 1u);
+    EXPECT_EQ(sampleValue(sum[0]), 5 + 7 + 50 + 70000);
+}
+
+TEST(ObsProm, LabeledInstrumentsRenderAndEscape)
+{
+    obs::metrics()
+        .counter("test.prom.labeled", "route", "/v1/patterns")
+        .add(2);
+    // A value exercising every escape the spec defines:
+    // backslash, double quote, newline.
+    obs::metrics()
+        .counter("test.prom.labeled", "route",
+                 "a\\b\"c\nd")
+        .add(1);
+
+    const std::string dump = obs::metrics().dumpProm();
+    const obs::PromCheckResult result = obs::checkProm(dump);
+    EXPECT_TRUE(result.ok) << "line " << result.line << ": "
+                           << result.message;
+
+    EXPECT_NE(
+        dump.find("lag_test_prom_labeled_total{route=\"/v1/"
+                  "patterns\"} 2"),
+        std::string::npos)
+        << dump;
+    EXPECT_NE(
+        dump.find("lag_test_prom_labeled_total{route=\"a\\\\b\\\""
+                  "c\\nd\"} 1"),
+        std::string::npos)
+        << dump;
+}
+
+TEST(ObsProm, LabelEscapeHelper)
+{
+    EXPECT_EQ(obs::promLabelEscape("plain"), "plain");
+    EXPECT_EQ(obs::promLabelEscape("a\\b"), "a\\\\b");
+    EXPECT_EQ(obs::promLabelEscape("a\"b"), "a\\\"b");
+    EXPECT_EQ(obs::promLabelEscape("a\nb"), "a\\nb");
+    EXPECT_EQ(obs::labeledMetricName("serve.x", "route", "/y"),
+              "serve.x{route=\"/y\"}");
+}
+
+TEST(ObsProm, CheckerAcceptsSpecSamples)
+{
+    const char *good =
+        "# HELP http_requests_total The total number of requests.\n"
+        "# TYPE http_requests_total counter\n"
+        "http_requests_total{method=\"post\",code=\"200\"} 1027 "
+        "1395066363000\n"
+        "http_requests_total{method=\"post\",code=\"400\"}    3 "
+        "1395066363000\n"
+        "# TYPE rpc_duration_hist histogram\n"
+        "rpc_duration_hist_bucket{le=\"0.5\"} 129389\n"
+        "rpc_duration_hist_bucket{le=\"1\"} 133988\n"
+        "rpc_duration_hist_bucket{le=\"+Inf\"} 144320\n"
+        "rpc_duration_hist_sum 53423\n"
+        "rpc_duration_hist_count 144320\n"
+        "something_weird{problem=\"division by zero\"} +Inf "
+        "-3982045\n";
+    const obs::PromCheckResult result = obs::checkProm(good);
+    EXPECT_TRUE(result.ok) << "line " << result.line << ": "
+                           << result.message;
+}
+
+TEST(ObsProm, CheckerRejectsMalformedPayloads)
+{
+    // Non-cumulative buckets.
+    EXPECT_FALSE(obs::checkProm("# TYPE h histogram\n"
+                                "h_bucket{le=\"1\"} 5\n"
+                                "h_bucket{le=\"2\"} 3\n"
+                                "h_bucket{le=\"+Inf\"} 5\n"
+                                "h_sum 1\nh_count 5\n")
+                     .ok);
+    // Missing +Inf bucket.
+    EXPECT_FALSE(obs::checkProm("# TYPE h histogram\n"
+                                "h_bucket{le=\"1\"} 5\n"
+                                "h_sum 1\nh_count 5\n")
+                     .ok);
+    // +Inf bucket != _count.
+    EXPECT_FALSE(obs::checkProm("# TYPE h histogram\n"
+                                "h_bucket{le=\"1\"} 5\n"
+                                "h_bucket{le=\"+Inf\"} 5\n"
+                                "h_sum 1\nh_count 7\n")
+                     .ok);
+    // Bad escape in a label value.
+    EXPECT_FALSE(
+        obs::checkProm("a{l=\"bad\\x\"} 1\n").ok);
+    // Unterminated label value.
+    EXPECT_FALSE(obs::checkProm("a{l=\"open} 1\n").ok);
+    // Bad metric name.
+    EXPECT_FALSE(obs::checkProm("9metric 1\n").ok);
+    // Unknown TYPE.
+    EXPECT_FALSE(obs::checkProm("# TYPE a weird\na 1\n").ok);
+    // TYPE after the family's samples.
+    EXPECT_FALSE(
+        obs::checkProm("a 1\n# TYPE a counter\na 2\n").ok);
+    // Garbage value.
+    EXPECT_FALSE(obs::checkProm("a one\n").ok);
+}
+
+} // namespace

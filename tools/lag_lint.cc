@@ -35,6 +35,11 @@
  *   obs-clock      no raw std::chrono clock in the span-
  *                  instrumented engine/decode paths (src/engine,
  *                  src/trace); timings go through the obs epoch
+ *   signal-safe    no async-signal-unsafe constructs (allocation,
+ *                  stdio, growable std:: containers) in files that
+ *                  declare the `lag-lint:` `signal-safe` marker
+ *                  comment — the crash-dump paths that run inside
+ *                  a fatal handler
  */
 
 #include <cstdio>
@@ -612,6 +617,89 @@ checkObsClock(const SourceFile &file, Diagnostics &out)
     }
 }
 
+// ---------------------------------------------------------------
+// Rule: signal-safe
+// ---------------------------------------------------------------
+
+/**
+ * Files that opt in with the `lag-lint:` `signal-safe` marker run
+ * (at least partly) inside a fatal-signal handler — the flight
+ * recorder's crash-dump path. POSIX allows only the
+ * async-signal-safe set there: write()/open()/close() and friends,
+ * no allocation, no stdio, no locks. The rule rejects the
+ * constructs that hide a malloc or a buffered FILE* behind a
+ * friendly name; the dump path writes through a fixed char buffer
+ * instead (obs/flightrec_dump.cc is the exemplar and must stay
+ * clean).
+ */
+void
+checkSignalSafe(const SourceFile &file, Diagnostics &out)
+{
+    // Opt-in marker lives in a comment, so look at the raw lines
+    // (comments are blanked out of file.code). The needle is
+    // spelled as adjacent literals so this file cannot mark
+    // itself.
+    static const std::string kMarker = std::string("lag-lint: ") +
+                                       "signal-safe";
+    bool marked = false;
+    for (const std::string &line : file.raw)
+        marked = marked ||
+                 line.find(kMarker) != std::string::npos;
+    if (!marked)
+        return;
+
+    // Allocation and stdio entry points (free-call shaped).
+    static const char *kCalls[] = {
+        "malloc",  "calloc",   "realloc", "free",
+        "printf",  "fprintf",  "sprintf", "snprintf",
+        "vsnprintf", "puts",   "fputs",   "fopen",
+        "fclose",  "fflush",   "fwrite",  "fread",
+    };
+    // Types/helpers that allocate under the hood. The "std::"
+    // prefix guarantees a clean left boundary (same trick as
+    // raw-mutex); check the right boundary only.
+    static const char *kTypes[] = {
+        "std::string",        "std::ostringstream",
+        "std::stringstream",  "std::istringstream",
+        "std::to_string",     "std::vector",
+        "std::map",           "std::unordered_map",
+        "std::function",      "std::make_unique",
+        "std::make_shared",
+    };
+    for (std::size_t ln = 1; ln <= file.code.size(); ++ln) {
+        const std::string &code = file.code[ln - 1];
+        for (const char *call : kCalls) {
+            if (hasFreeCall(code, call))
+                out.add(file, ln, "signal-safe",
+                        std::string("call to '") + call +
+                            "()' in signal-safe code; only the "
+                            "async-signal-safe set (write/open/"
+                            "close, fixed buffers) may run in a "
+                            "fatal handler");
+        }
+        for (const char *type : kTypes) {
+            std::size_t pos = code.find(type);
+            while (pos != std::string::npos) {
+                const std::size_t end = pos + std::strlen(type);
+                if (end >= code.size() ||
+                    !isIdentChar(code[end])) {
+                    out.add(file, ln, "signal-safe",
+                            std::string("'") + type +
+                                "' in signal-safe code; it "
+                                "allocates — use fixed char "
+                                "buffers in a fatal handler");
+                    break;
+                }
+                pos = code.find(type, pos + 1);
+            }
+        }
+        if (findWord(code, "new") != std::string::npos)
+            out.add(file, ln, "signal-safe",
+                    "'new' in signal-safe code; allocation is "
+                    "not async-signal-safe");
+    }
+}
+
 const Rule kRules[] = {
     {"wallclock",
      "no wall-clock/OS-entropy source in src/sim|jvm|core "
@@ -644,6 +732,10 @@ const Rule kRules[] = {
      "no raw std::chrono clock in src/engine|trace; share the obs "
      "epoch (processElapsedNs / LAG_SPAN)",
      checkObsClock},
+    {"signal-safe",
+     "no allocation/stdio in files marked '// lag-lint: "
+     "signal-safe' (fatal-handler code)",
+     checkSignalSafe},
 };
 
 } // namespace

@@ -8,12 +8,16 @@
  * the same client code the serve tests and the CI smoke exercise.
  *
  * Usage: ./lag_query [--host H] [--port N] [--timeout-ms N]
- *                    [--post] PATH
+ *                    [--post] [--print-trace-id] PATH
  *
  *   PATH          request target, e.g. /healthz or
  *                 "/v1/patterns?app=GanttProject&sort=total_lag"
  *   --post        send POST instead of GET (for /v1/refresh)
  *   --port        default 8437 or LAGALYZER_SERVE_PORT
+ *   --print-trace-id  print the response's X-Lag-Trace-Id header to
+ *                 stderr ("trace-id: <hex>"), so scripts can
+ *                 correlate a query with /debugz/requests and the
+ *                 Chrome-trace export
  *
  * Exit status: 0 on a 2xx response, 1 on any other HTTP status,
  * 2 on usage or transport errors — so shell scripts can gate on
@@ -34,7 +38,8 @@ int
 usage()
 {
     std::cerr << "usage: lag_query [--host H] [--port N] "
-                 "[--timeout-ms N] [--post] PATH\n";
+                 "[--timeout-ms N] [--post] [--print-trace-id] "
+                 "PATH\n";
     return 2;
 }
 
@@ -51,6 +56,7 @@ main(int argc, char **argv)
 
     std::string method = "GET";
     std::string target;
+    bool print_trace_id = false;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
         if (arg == "--host") {
@@ -68,6 +74,8 @@ main(int argc, char **argv)
             options.timeoutMs = std::atoi(argv[++i]);
         } else if (arg == "--post") {
             method = "POST";
+        } else if (arg == "--print-trace-id") {
+            print_trace_id = true;
         } else if (!arg.empty() && arg[0] == '/') {
             if (!target.empty())
                 return usage();
@@ -84,6 +92,12 @@ main(int argc, char **argv)
     if (!result.ok) {
         std::cerr << "lag_query: " << result.error << '\n';
         return 2;
+    }
+    if (print_trace_id) {
+        const std::string_view trace =
+            result.header("x-lag-trace-id");
+        std::cerr << "trace-id: "
+                  << (trace.empty() ? "none" : trace) << '\n';
     }
     std::cout << result.body << '\n';
     if (result.status < 200 || result.status >= 300) {

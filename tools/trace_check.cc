@@ -1,47 +1,182 @@
 /**
  * @file
  * trace_check: strict validation of the files the self-profiling
- * exporters write (`--self-trace`, `--metrics-out`).
+ * exporters write (`--self-trace`, `--metrics-out`,
+ * `--flightrec-path`) and the Prometheus exposition lagd serves.
  *
- * Usage: trace_check [--chrome] file...
+ * Usage: trace_check [--chrome|--prom|--flightrec|--jsonl] file...
  *
- * Every file must be exactly one well-formed JSON value (RFC 8259,
- * via obs::checkJson); with `--chrome` it must additionally have
- * the Chrome trace-event shape Perfetto requires — a top-level
- * object with a "traceEvents" array (obs::checkChromeTrace). The
- * point is to fail the CI gate at the byte that is wrong instead of
- * surfacing an exporter bug later as an opaque Perfetto import
- * error.
+ * `-` reads stdin, so a scrape can be piped straight through:
+ * `lag_query "/metricsz?format=prom" | trace_check --prom -`.
+ *
+ * Default mode requires each file to be exactly one well-formed
+ * JSON value (RFC 8259, via obs::checkJson). The modes layer shape
+ * checks on top:
+ *
+ *  --chrome     Chrome trace-event shape Perfetto requires — a
+ *               top-level object with a "traceEvents" array
+ *               (obs::checkChromeTrace);
+ *  --flightrec  flight-recorder dump shape — a top-level object
+ *               with a "flightrec" member and "requests"/"events"/
+ *               "spans" arrays (obs::checkFlightrec); works on both
+ *               crash dumps and /debugz/flightrecorder bodies;
+ *  --prom       Prometheus text exposition format 0.0.4
+ *               (obs::checkProm): grammar, HELP/TYPE discipline,
+ *               and histogram invariants (ascending cumulative
+ *               buckets, +Inf present and equal to _count);
+ *  --jsonl      one JSON value per non-empty line (bench emitters).
+ *
+ * The point is to fail the CI gate at the byte that is wrong
+ * instead of surfacing an exporter bug later as an opaque Perfetto
+ * import or Prometheus scrape error.
  *
  * Exit: 0 every file valid, 1 a file failed validation, 2 usage or
- * I/O error. ci/check.sh runs it over a smoke analyze_trace run.
+ * I/O error. ci/check.sh runs it over smoke artifacts.
  */
 
 #include <cstdio>
 #include <fstream>
+#include <iostream>
 #include <sstream>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/json_check.hh"
+#include "obs/prom_check.hh"
+
+namespace
+{
+
+enum class Mode
+{
+    Json,
+    Chrome,
+    Flightrec,
+    Prom,
+    JsonLines,
+};
+
+const char *
+modeName(Mode mode)
+{
+    switch (mode) {
+    case Mode::Json:
+        return "json";
+    case Mode::Chrome:
+        return "chrome-trace shape";
+    case Mode::Flightrec:
+        return "flightrec shape";
+    case Mode::Prom:
+        return "prometheus 0.0.4";
+    case Mode::JsonLines:
+        return "json lines";
+    }
+    return "?";
+}
+
+/** Validate @p text in @p mode; true when valid, else prints the
+ * failure for @p path to stderr. */
+bool
+checkOne(const std::string &path, const std::string &text,
+         Mode mode)
+{
+    if (mode == Mode::Prom) {
+        const lag::obs::PromCheckResult result =
+            lag::obs::checkProm(text);
+        if (result.ok)
+            return true;
+        std::fprintf(stderr,
+                     "trace_check: %s: invalid at line %zu: %s\n",
+                     path.c_str(), result.line,
+                     result.message.c_str());
+        return false;
+    }
+    if (mode == Mode::JsonLines) {
+        std::size_t line = 0;
+        std::size_t at = 0;
+        bool ok = true;
+        while (at < text.size()) {
+            std::size_t end = text.find('\n', at);
+            if (end == std::string::npos)
+                end = text.size();
+            ++line;
+            const std::string_view one(text.data() + at,
+                                       end - at);
+            if (!one.empty()) {
+                const lag::obs::JsonCheckResult result =
+                    lag::obs::checkJson(one);
+                if (!result.ok) {
+                    std::fprintf(stderr,
+                                 "trace_check: %s: line %zu "
+                                 "invalid at byte %zu: %s\n",
+                                 path.c_str(), line,
+                                 result.errorOffset,
+                                 result.message.c_str());
+                    ok = false;
+                }
+            }
+            at = end + 1;
+        }
+        if (line == 0) {
+            std::fprintf(stderr, "trace_check: %s: empty\n",
+                         path.c_str());
+            return false;
+        }
+        return ok;
+    }
+
+    lag::obs::JsonCheckResult result;
+    switch (mode) {
+    case Mode::Chrome:
+        result = lag::obs::checkChromeTrace(text);
+        break;
+    case Mode::Flightrec:
+        result = lag::obs::checkFlightrec(text);
+        break;
+    default:
+        result = lag::obs::checkJson(text);
+        break;
+    }
+    if (result.ok)
+        return true;
+    std::fprintf(stderr,
+                 "trace_check: %s: invalid at byte %zu: %s\n",
+                 path.c_str(), result.errorOffset,
+                 result.message.c_str());
+    return false;
+}
+
+} // namespace
 
 int
 main(int argc, char **argv)
 {
-    bool chrome = false;
+    Mode mode = Mode::Json;
     std::vector<std::string> paths;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg = argv[i];
         if (arg == "--chrome") {
-            chrome = true;
+            mode = Mode::Chrome;
+        } else if (arg == "--flightrec") {
+            mode = Mode::Flightrec;
+        } else if (arg == "--prom") {
+            mode = Mode::Prom;
+        } else if (arg == "--jsonl") {
+            mode = Mode::JsonLines;
         } else if (arg == "--help" || arg == "-h") {
             std::printf(
-                "usage: trace_check [--chrome] file...\n"
-                "Validates that each file is well-formed JSON; "
-                "--chrome also\nrequires the Chrome trace-event "
-                "shape (top-level \"traceEvents\"\narray) that "
-                "--self-trace output promises.\n");
+                "usage: trace_check "
+                "[--chrome|--prom|--flightrec|--jsonl] file...\n"
+                "Validates self-profiling artifacts:\n"
+                "  (default)    one well-formed JSON value\n"
+                "  --chrome     Chrome trace-event shape "
+                "(\"traceEvents\" array)\n"
+                "  --flightrec  flight-recorder dump shape\n"
+                "  --prom       Prometheus text format 0.0.4 + "
+                "histogram invariants\n"
+                "  --jsonl      one JSON value per non-empty "
+                "line\n");
             return 0;
         } else {
             paths.emplace_back(arg);
@@ -54,30 +189,30 @@ main(int argc, char **argv)
 
     int worst = 0;
     for (const std::string &path : paths) {
-        std::ifstream in(path, std::ios::binary);
-        if (!in) {
-            std::fprintf(stderr, "trace_check: cannot read '%s'\n",
-                         path.c_str());
-            worst = 2;
-            continue;
-        }
-        std::ostringstream buffer;
-        buffer << in.rdbuf();
-        const std::string text = buffer.str();
-        const lag::obs::JsonCheckResult result =
-            chrome ? lag::obs::checkChromeTrace(text)
-                   : lag::obs::checkJson(text);
-        if (result.ok) {
-            std::printf("trace_check: %s: ok (%zu bytes%s)\n",
-                        path.c_str(), text.size(),
-                        chrome ? ", chrome-trace shape" : "");
+        std::string text;
+        if (path == "-") {
+            std::ostringstream buffer;
+            buffer << std::cin.rdbuf();
+            text = buffer.str();
         } else {
-            std::fprintf(
-                stderr, "trace_check: %s: invalid at byte %zu: %s\n",
-                path.c_str(), result.errorOffset,
-                result.message.c_str());
-            if (worst < 1)
-                worst = 1;
+            std::ifstream in(path, std::ios::binary);
+            if (!in) {
+                std::fprintf(stderr,
+                             "trace_check: cannot read '%s'\n",
+                             path.c_str());
+                worst = 2;
+                continue;
+            }
+            std::ostringstream buffer;
+            buffer << in.rdbuf();
+            text = buffer.str();
+        }
+        if (checkOne(path, text, mode)) {
+            std::printf("trace_check: %s: ok (%zu bytes, %s)\n",
+                        path.c_str(), text.size(),
+                        modeName(mode));
+        } else if (worst < 1) {
+            worst = 1;
         }
     }
     return worst;
