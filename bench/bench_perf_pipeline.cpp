@@ -52,6 +52,7 @@
 #include "core/pattern.hh"
 #include "core/pattern_stats.hh"
 #include "core/triggers.hh"
+#include "engine/ingest.hh"
 #include "engine/parallel_analysis.hh"
 #include "engine/pool.hh"
 #include "engine/result_cache.hh"
@@ -592,6 +593,77 @@ reportIncrementalSpeedup(std::uint32_t jobs, bool enforce)
 }
 
 /**
+ * Live-ingest throughput as one JSON line. Streams the fixture
+ * trace into an IngestPipeline in chunked appends, cutting an epoch
+ * after every chunk — the `lagd --follow` hot loop without sockets.
+ * `ingest_mlines_per_s` is decoded records per wall second (in
+ * millions), the streaming analogue of the batch decode line above;
+ * `ingest_lag_ms` is the worst epoch turnaround (poll + reanalyze +
+ * publish), i.e. how stale a live dashboard can observe the store.
+ */
+void
+reportIngestThroughput(const Fixture &f, std::uint32_t jobs,
+                       int chunks)
+{
+    if (jobs == 0)
+        jobs = app::defaultJobs();
+    const std::string path = "lagalyzer-perf-ingest.lag";
+    std::filesystem::remove(path);
+
+    engine::ThreadPool pool(jobs);
+    engine::IngestOptions options;
+    std::size_t published = 0;
+    engine::IngestPipeline pipeline(
+        pool, options,
+        [&published](const engine::IngestUpdate &) { ++published; });
+    pipeline.addSource(path);
+
+    const std::size_t chunk =
+        f.bytes.size() / static_cast<std::size_t>(chunks) + 1;
+    double max_epoch_ms = 0.0;
+    const double total_ms = timedMs([&] {
+        std::ofstream out(path, std::ios::binary | std::ios::trunc);
+        std::size_t offset = 0;
+        while (offset < f.bytes.size()) {
+            const std::size_t n =
+                std::min(chunk, f.bytes.size() - offset);
+            out.write(f.bytes.data() + offset,
+                      static_cast<std::streamsize>(n));
+            out.flush();
+            offset += n;
+            const double epoch_ms =
+                timedMs([&] { pipeline.runEpoch(); });
+            max_epoch_ms = std::max(max_epoch_ms, epoch_ms);
+        }
+        while (!pipeline.allComplete()) {
+            const double epoch_ms =
+                timedMs([&] { pipeline.runEpoch(); });
+            max_epoch_ms = std::max(max_epoch_ms, epoch_ms);
+        }
+    });
+    std::filesystem::remove(path);
+
+    const obs::MetricsSnapshot snap = obs::metrics().snapshot();
+    const std::uint64_t records =
+        snap.counterValue("ingest.records");
+    const double total_s = total_ms / 1000.0;
+    std::printf(
+        "{\"bench\":\"ingest\",\"file_mb\":%.2f,\"records\":%llu,"
+        "\"epochs\":%llu,\"published\":%llu,"
+        "\"ingest_mlines_per_s\":%.3f,\"ingest_lag_ms\":%.2f,"
+        "\"jobs\":%u}\n",
+        static_cast<double>(f.bytes.size()) / (1024.0 * 1024.0),
+        static_cast<unsigned long long>(records),
+        static_cast<unsigned long long>(pipeline.epoch()),
+        static_cast<unsigned long long>(published),
+        total_s > 0.0
+            ? static_cast<double>(records) / total_s / 1e6
+            : 0.0,
+        max_epoch_ms, jobs);
+    std::fflush(stdout);
+}
+
+/**
  * End-to-end lagd query latency as one JSON line. Boots an
  * in-process HotStore + HttpServer over a tiny private study on an
  * ephemeral port, then measures @p requests client-side round trips
@@ -744,6 +816,7 @@ main(int argc, char **argv)
         reportDecodeThroughput(f, 3);
         reportSessionBuild(f, 3);
         reportShardSpeedup(f, jobs, 3);
+        reportIngestThroughput(f, jobs, 16);
         reportQueryLatency(jobs, 40);
         reportObsMetrics();
         return 0;
@@ -759,6 +832,7 @@ main(int argc, char **argv)
     reportDecodeThroughput(f, 10);
     reportSessionBuild(f, 10);
     reportShardSpeedup(f, jobs, 10);
+    reportIngestThroughput(f, jobs, 64);
     reportQueryLatency(jobs, 200);
     reportObsMetrics();
 

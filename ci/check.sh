@@ -225,6 +225,76 @@ grep -q "$crash_trace" "$crash_dir/crash.flightrec" || {
     exit 1
 }
 
+echo "== ingest smoke (lagd --follow vs the batch answer)"
+ingest_dir="$build/ingest-smoke"
+rm -rf "$ingest_dir"
+mkdir -p "$ingest_dir/watch"
+"$build/examples/record_session" GanttProject 10 0 \
+    "$ingest_dir/source.lag" >/dev/null
+rm -rf "$ingest_dir/source.lag.cache"
+replay="$build/tools/lag_replay"
+# The batch reference: the exact /v1/patterns body lagd must serve
+# once the streamed copy of this trace completes.
+"$replay" "$ingest_dir/source.lag" --batch-json \
+    > "$ingest_dir/batch.json"
+"$build/src/serve/lagd" --quick 2 --port 0 --jobs 4 \
+    --follow "$ingest_dir/watch" --epoch-ms 50 \
+    --cache-dir "$ingest_dir/cache" \
+    --port-file "$ingest_dir/port" >"$ingest_dir/lagd.out" 2>&1 &
+ingest_pid=$!
+for _ in $(seq 1 100); do
+    [ -s "$ingest_dir/port" ] && break
+    kill -0 "$ingest_pid" 2>/dev/null || {
+        echo "lagd --follow died during startup" >&2
+        cat "$ingest_dir/lagd.out" >&2
+        exit 1
+    }
+    sleep 0.2
+done
+ingest_port="$(cat "$ingest_dir/port")"
+# Replay the trace into the watched directory, paced so the write
+# overlaps several epochs (mid-record flushes via the prime chunk).
+"$replay" "$ingest_dir/source.lag" \
+    "$ingest_dir/watch/session.lag" --rps 20000 \
+    > "$ingest_dir/replay.out" &
+replay_pid=$!
+ingest_ok=0
+for _ in $(seq 1 200); do
+    "$lq" --port "$ingest_port" /v1/ingest \
+        > "$ingest_dir/ingest.json" 2>/dev/null || true
+    if grep -q '"all_complete":true' "$ingest_dir/ingest.json"; then
+        ingest_ok=1
+        break
+    fi
+    sleep 0.1
+done
+wait "$replay_pid" || {
+    echo "lag_replay failed" >&2
+    cat "$ingest_dir/replay.out" >&2
+    exit 1
+}
+[ "$ingest_ok" = 1 ] || {
+    echo "/v1/ingest never reported all_complete" >&2
+    cat "$ingest_dir/ingest.json" >&2
+    cat "$ingest_dir/lagd.out" >&2
+    exit 1
+}
+"$build/tools/trace_check" "$ingest_dir/ingest.json"
+"$lq" --port "$ingest_port" "/v1/patterns?app=GanttProject" \
+    > "$ingest_dir/live.json"
+# Byte-for-byte the batch answer (both tools newline-terminate):
+# the live-ingest correctness contract, end to end over HTTP.
+cmp "$ingest_dir/batch.json" "$ingest_dir/live.json" || {
+    echo "live /v1/patterns diverges from the batch answer" >&2
+    exit 1
+}
+kill -TERM "$ingest_pid"
+wait "$ingest_pid" || {
+    echo "lagd --follow did not exit cleanly on SIGTERM" >&2
+    cat "$ingest_dir/lagd.out" >&2
+    exit 1
+}
+
 echo "== obs suite (ctest -L obs)"
 (cd "$build" && ctest -L obs --output-on-failure)
 

@@ -1,0 +1,400 @@
+#include "ingest.hh"
+
+#include <algorithm>
+#include <chrono>
+#include <filesystem>
+#include <utility>
+
+#include "core/figure_json.hh"
+#include "core/session.hh"
+#include "obs/metrics.hh"
+#include "obs/span.hh"
+#include "study_driver.hh"
+#include "util/logging.hh"
+#include "util/thread_name.hh"
+
+namespace lag::engine
+{
+
+namespace
+{
+
+struct IngestMetrics
+{
+    obs::Counter &epochs;
+    obs::Counter &records;
+    obs::Counter &publishes;
+    obs::Gauge &backlogBytes;
+    obs::Gauge &lagMs;
+};
+
+IngestMetrics &
+ingestMetrics()
+{
+    static IngestMetrics metrics{
+        obs::metrics().counter("ingest.epochs"),
+        obs::metrics().counter("ingest.records"),
+        obs::metrics().counter("ingest.publishes"),
+        obs::metrics().gauge("ingest.backlog.bytes"),
+        obs::metrics().gauge("ingest.lag.ms"),
+    };
+    return metrics;
+}
+
+void
+appendJsonString(std::string &out, std::string_view value)
+{
+    out += '"';
+    out += core::jsonEscape(value);
+    out += '"';
+}
+
+} // namespace
+
+IngestPipeline::IngestPipeline(ThreadPool &pool,
+                               IngestOptions options,
+                               PublishFn publish)
+    : pool_(pool), options_(options), publish_(std::move(publish))
+{
+}
+
+IngestPipeline::~IngestPipeline() { stop(); }
+
+void
+IngestPipeline::addSource(const std::string &path)
+{
+    MutexLock lock(mutex_);
+    for (const auto &source : sources_) {
+        if (source->tailer.path() == path)
+            return;
+    }
+    sources_.push_back(std::make_unique<Source>(path));
+}
+
+void
+IngestPipeline::addDirectory(const std::string &dir)
+{
+    MutexLock lock(mutex_);
+    if (std::find(directories_.begin(), directories_.end(), dir) ==
+        directories_.end())
+        directories_.push_back(dir);
+}
+
+std::size_t
+IngestPipeline::scanDirectory(const std::string &dir)
+{
+    std::vector<std::string> found;
+    std::error_code ec;
+    std::filesystem::directory_iterator it(dir, ec);
+    if (ec)
+        return 0; // directory may not exist yet; rescan next epoch
+    for (const auto &entry :
+         std::filesystem::directory_iterator(dir, ec)) {
+        if (!entry.is_regular_file(ec))
+            continue;
+        if (entry.path().extension() == ".lag")
+            found.push_back(entry.path().string());
+    }
+    // Deterministic source order regardless of directory iteration
+    // order, so replays publish in a stable sequence.
+    std::sort(found.begin(), found.end());
+    std::size_t added = 0;
+    for (const std::string &path : found) {
+        MutexLock lock(mutex_);
+        bool known = false;
+        for (const auto &source : sources_) {
+            if (source->tailer.path() == path) {
+                known = true;
+                break;
+            }
+        }
+        if (!known) {
+            sources_.push_back(std::make_unique<Source>(path));
+            ++added;
+        }
+    }
+    return added;
+}
+
+std::size_t
+IngestPipeline::runEpoch()
+{
+    const std::int64_t epoch_start = processElapsedNs();
+    LAG_SPAN("ingest.epoch");
+
+    std::vector<Pending> pending;
+    std::uint64_t epoch_number = 0;
+    std::uint64_t new_records = 0;
+    std::uint64_t backlog = 0;
+
+    // Phase 1 — poll every tailer and snapshot the advanced ones.
+    {
+        MutexLock lock(mutex_);
+        epoch_number = ++epoch_;
+        pending.reserve(sources_.size());
+        for (auto &source : sources_) {
+            if (!source->error.empty())
+                continue;
+            obs::TraceContextScope scope(source->context);
+            trace::TailStatus status = trace::TailStatus::Waiting;
+            try {
+                status = source->tailer.poll();
+            } catch (const trace::TraceError &e) {
+                // Quarantine: the file can never become valid, but
+                // the other sources keep flowing.
+                source->error = e.what();
+                warn("ingest: source '", source->tailer.path(),
+                     "' is corrupt: ", e.what());
+                continue;
+            }
+            if (status == trace::TailStatus::Restarted) {
+                source->lastAnalyzedRecords = 0;
+                source->publishedComplete = false;
+            }
+            backlog += source->tailer.backlogBytes();
+            const std::uint64_t records =
+                source->tailer.recordsDecoded();
+            const bool complete = source->tailer.complete();
+            const bool fresh =
+                records != source->lastAnalyzedRecords ||
+                (complete && !source->publishedComplete);
+            if (!source->tailer.analyzable() || !fresh ||
+                source->publishedComplete)
+                continue;
+            new_records += records - std::min(
+                records, source->lastAnalyzedRecords);
+            Pending item;
+            item.source = source.get();
+            item.snapshot = source->tailer.snapshot();
+            item.complete = complete;
+            item.update.path = source->tailer.path();
+            item.update.complete = complete;
+            item.update.epoch = epoch_number;
+            pending.push_back(std::move(item));
+            source->lastAnalyzedRecords = records;
+        }
+    }
+
+    // Phase 2 — analyze off-lock, fanned out across the pool. Each
+    // task writes only its own index-addressed slot.
+    parallelFor(pool_, pending.size(), [&](std::size_t i) {
+        Pending &item = pending[i];
+        obs::TraceContextScope scope(item.source->context);
+        LAG_SPAN_ARG("ingest.analyze", "events",
+                     item.snapshot.events.size());
+        try {
+            core::Session session =
+                core::Session::fromTrace(std::move(item.snapshot));
+            item.update.appName = session.meta().appName;
+            item.update.sessionIndex = session.meta().sessionIndex;
+            item.update.analysis = analyzeSession(
+                session, options_.perceptibleThreshold);
+            item.ok = true;
+        } catch (const trace::TraceError &e) {
+            item.error = e.what();
+        }
+    });
+
+    // Phase 3 — commit per-source bookkeeping under the lock.
+    {
+        MutexLock lock(mutex_);
+        for (Pending &item : pending) {
+            if (!item.ok) {
+                if (!item.error.empty()) {
+                    item.source->error = item.error;
+                    warn("ingest: source '", item.update.path,
+                         "' failed analysis: ", item.error);
+                }
+                continue;
+            }
+            item.source->publishedComplete = item.complete;
+            ++item.source->epochsPublished;
+        }
+    }
+
+    // Phase 4 — publish with no pipeline lock held (the callback
+    // may take Serve-ranked locks above ours).
+    std::size_t published = 0;
+    for (Pending &item : pending) {
+        if (!item.ok)
+            continue;
+        obs::TraceContextScope scope(item.source->context);
+        LAG_SPAN("ingest.publish");
+        if (publish_)
+            publish_(item.update);
+        ++published;
+    }
+
+    const std::int64_t lag_ms =
+        (processElapsedNs() - epoch_start) / 1'000'000;
+    {
+        MutexLock lock(mutex_);
+        lastEpochLagMs_ = lag_ms;
+    }
+    IngestMetrics &metrics = ingestMetrics();
+    metrics.epochs.add(1);
+    metrics.records.add(new_records);
+    metrics.publishes.add(published);
+    metrics.backlogBytes.set(static_cast<std::int64_t>(backlog));
+    metrics.lagMs.set(lag_ms);
+    return published;
+}
+
+void
+IngestPipeline::start()
+{
+    if (driverRunning_)
+        return;
+    {
+        MutexLock lock(driverMutex_);
+        stopRequested_ = false;
+    }
+    driver_ = std::thread([this] { driverLoop(); });
+    driverRunning_ = true;
+}
+
+void
+IngestPipeline::stop()
+{
+    if (!driverRunning_)
+        return;
+    {
+        MutexLock lock(driverMutex_);
+        stopRequested_ = true;
+    }
+    driverWake_.notify_all();
+    driver_.join();
+    driverRunning_ = false;
+}
+
+void
+IngestPipeline::driverLoop()
+{
+    setThreadName("ingest-driver");
+    for (;;) {
+        {
+            MutexLock lock(driverMutex_);
+            if (stopRequested_)
+                return;
+        }
+        std::vector<std::string> dirs;
+        {
+            MutexLock lock(mutex_);
+            dirs = directories_;
+        }
+        for (const std::string &dir : dirs)
+            scanDirectory(dir);
+        runEpoch();
+        MutexLock lock(driverMutex_);
+        if (stopRequested_)
+            return;
+        driverWake_.wait_for(
+            lock, std::chrono::milliseconds(options_.epochMillis));
+    }
+}
+
+bool
+IngestPipeline::allComplete() const
+{
+    MutexLock lock(mutex_);
+    if (sources_.empty())
+        return false;
+    for (const auto &source : sources_) {
+        if (source->error.empty() && !source->tailer.complete())
+            return false;
+    }
+    return true;
+}
+
+std::uint64_t
+IngestPipeline::epoch() const
+{
+    MutexLock lock(mutex_);
+    return epoch_;
+}
+
+std::vector<IngestSourceStatus>
+IngestPipeline::status() const
+{
+    MutexLock lock(mutex_);
+    std::vector<IngestSourceStatus> out;
+    out.reserve(sources_.size());
+    for (const auto &source : sources_) {
+        IngestSourceStatus entry;
+        entry.path = source->tailer.path();
+        if (source->tailer.hasMeta()) {
+            entry.appName = source->tailer.meta().appName;
+            entry.sessionIndex = source->tailer.meta().sessionIndex;
+        }
+        entry.analyzable = source->tailer.analyzable();
+        entry.complete = source->tailer.complete();
+        entry.cursorBytes = source->tailer.cursor();
+        entry.knownSizeBytes = source->tailer.knownSize();
+        entry.backlogBytes = source->tailer.backlogBytes();
+        entry.recordsDecoded = source->tailer.recordsDecoded();
+        entry.restarts = source->tailer.restarts();
+        entry.epochsPublished = source->epochsPublished;
+        entry.error = source->error;
+        out.push_back(std::move(entry));
+    }
+    return out;
+}
+
+std::string
+IngestPipeline::statusJson() const
+{
+    const std::vector<IngestSourceStatus> sources = status();
+    std::uint64_t epoch_number = 0;
+    std::int64_t lag_ms = 0;
+    {
+        MutexLock lock(mutex_);
+        epoch_number = epoch_;
+        lag_ms = lastEpochLagMs_;
+    }
+    bool all_complete = !sources.empty();
+    for (const IngestSourceStatus &entry : sources) {
+        if (entry.error.empty() && !entry.complete)
+            all_complete = false;
+    }
+    std::string out = "{\"epoch\":";
+    out += std::to_string(epoch_number);
+    out += ",\"lag_ms\":";
+    out += std::to_string(lag_ms);
+    out += ",\"sources\":[";
+    for (std::size_t i = 0; i < sources.size(); ++i) {
+        const IngestSourceStatus &entry = sources[i];
+        if (i > 0)
+            out += ',';
+        out += "{\"path\":";
+        appendJsonString(out, entry.path);
+        out += ",\"app\":";
+        appendJsonString(out, entry.appName);
+        out += ",\"session\":";
+        out += std::to_string(entry.sessionIndex);
+        out += ",\"analyzable\":";
+        out += entry.analyzable ? "true" : "false";
+        out += ",\"complete\":";
+        out += entry.complete ? "true" : "false";
+        out += ",\"cursor\":";
+        out += std::to_string(entry.cursorBytes);
+        out += ",\"size\":";
+        out += std::to_string(entry.knownSizeBytes);
+        out += ",\"backlog\":";
+        out += std::to_string(entry.backlogBytes);
+        out += ",\"records\":";
+        out += std::to_string(entry.recordsDecoded);
+        out += ",\"restarts\":";
+        out += std::to_string(entry.restarts);
+        out += ",\"epochs_published\":";
+        out += std::to_string(entry.epochsPublished);
+        out += ",\"error\":";
+        appendJsonString(out, entry.error);
+        out += '}';
+    }
+    out += "],\"all_complete\":";
+    out += all_complete ? "true" : "false";
+    out += '}';
+    return out;
+}
+
+} // namespace lag::engine

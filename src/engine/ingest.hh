@@ -1,0 +1,205 @@
+/**
+ * @file
+ * Live-ingest pipeline: stream growing trace files into analyses.
+ *
+ * IngestPipeline owns one trace::TraceTailer per followed file and
+ * periodically cuts an **epoch**: poll every tailer for newly
+ * appended records, rebuild the sessions that advanced, re-run the
+ * full per-session analysis (engine::analyzeSession — the same
+ * function the batch path uses), and hand each fresh
+ * SessionAnalysis to the publish callback. The callback side (for
+ * lagd, serve::HotStore::applyIngest) merges the partial-session v2
+ * summaries into the hot aggregate with core::mergeAnalyses, so a
+ * session is queryable while it is still running.
+ *
+ * Batch-equivalence contract: once a source's writer finishes, the
+ * tailer's snapshot is byte-for-byte the Trace the batch reader
+ * produces, analyzeSession is deterministic, and the final
+ * published SessionAnalysis serializes to exactly the bytes the
+ * batch pipeline caches. tests/engine_ingest_test.cc proves it per
+ * example app across chunk sizes and pool widths.
+ *
+ * Epochs run either synchronously (runEpoch(), what the tests and
+ * benchmarks drive) or on a driver thread (start()/stop(), what
+ * `lagd --follow` uses). Analysis fans out across the provided
+ * ThreadPool via parallelFor; the pipeline's own mutex
+ * (LockRank::Ingest) is held only while polling tailers and
+ * mutating status — never across analysis or publish.
+ *
+ * A corrupt source (TraceError kind Corrupt) is quarantined: its
+ * error is recorded in the status, the tailer is left where it
+ * stopped, and the pipeline keeps serving the other sources.
+ */
+
+#ifndef LAG_ENGINE_INGEST_HH
+#define LAG_ENGINE_INGEST_HH
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/trace_context.hh"
+#include "pool.hh"
+#include "result_cache.hh"
+#include "trace/tailer.hh"
+#include "util/mutex.hh"
+#include "util/thread_annotations.hh"
+
+namespace lag::engine
+{
+
+/** Pipeline knobs. */
+struct IngestOptions
+{
+    /** Perceptibility threshold fed to analyzeSession (same knob as
+     * app::StudyConfig::perceptibleThreshold). */
+    DurationNs perceptibleThreshold = 100'000'000;
+
+    /** Driver-thread epoch cadence for start(); runEpoch() callers
+     * pace themselves. */
+    std::int64_t epochMillis = 100;
+};
+
+/** One followed file's externally visible state. */
+struct IngestSourceStatus
+{
+    std::string path;
+    std::string appName;     ///< empty until the meta record lands
+    std::uint32_t sessionIndex = 0;
+    bool analyzable = false;
+    bool complete = false;
+    std::uint64_t cursorBytes = 0;
+    std::uint64_t knownSizeBytes = 0;
+    std::uint64_t backlogBytes = 0;
+    std::uint64_t recordsDecoded = 0;
+    std::uint64_t restarts = 0;
+    std::uint64_t epochsPublished = 0;
+    std::string error; ///< non-empty once quarantined as corrupt
+};
+
+/** One published partial- or complete-session analysis. */
+struct IngestUpdate
+{
+    std::string path;
+    std::string appName;
+    std::uint32_t sessionIndex = 0;
+    bool complete = false;
+    std::uint64_t epoch = 0;
+    SessionAnalysis analysis;
+};
+
+/** See the file comment. */
+class IngestPipeline
+{
+  public:
+    using PublishFn = std::function<void(const IngestUpdate &)>;
+
+    /** @param pool analysis fan-out substrate; @param publish
+     * receives every fresh analysis, called with no pipeline lock
+     * held (it may take higher-ranked locks, e.g. Serve). */
+    IngestPipeline(ThreadPool &pool, IngestOptions options,
+                   PublishFn publish);
+
+    /** Stops the driver thread if running. */
+    ~IngestPipeline();
+
+    IngestPipeline(const IngestPipeline &) = delete;
+    IngestPipeline &operator=(const IngestPipeline &) = delete;
+
+    /** Follow @p path (a trace file, possibly not yet created). */
+    void addSource(const std::string &path);
+
+    /**
+     * Scan @p dir for `*.lag` files and follow any not yet known.
+     * Returns how many new sources were added. Called per epoch by
+     * the driver so files that appear later are picked up.
+     */
+    std::size_t scanDirectory(const std::string &dir);
+
+    /**
+     * Cut one epoch synchronously: poll every source, analyze the
+     * ones that advanced (in parallel on the pool), publish their
+     * updates. Returns the number of updates published.
+     */
+    std::size_t runEpoch();
+
+    /** Launch the driver thread: runEpoch every epochMillis, plus a
+     * directory rescan when follow directories are configured. */
+    void start();
+
+    /** Stop and join the driver thread (idempotent). */
+    void stop();
+
+    /** Follow @p dir: scanned at start() and then every epoch. */
+    void addDirectory(const std::string &dir);
+
+    /** True when at least one source exists and every non-failed
+     * source has decoded its whole file. */
+    bool allComplete() const;
+
+    /** Epochs cut so far. */
+    std::uint64_t epoch() const;
+
+    /** Per-source state snapshot. */
+    std::vector<IngestSourceStatus> status() const;
+
+    /** `/v1/ingest` body: epoch, totals and per-source state. */
+    std::string statusJson() const;
+
+  private:
+    struct Source
+    {
+        explicit Source(const std::string &path)
+            : tailer(path), context(obs::mintTraceContext())
+        {
+        }
+
+        trace::TraceTailer tailer;
+        obs::TraceContext context; ///< spans ingest work per source
+        std::uint64_t lastAnalyzedRecords = 0;
+        bool publishedComplete = false;
+        std::uint64_t epochsPublished = 0;
+        std::string error;
+    };
+
+    /** Work item carried from the poll phase to the analyze one. */
+    struct Pending
+    {
+        Source *source = nullptr;
+        trace::Trace snapshot;
+        bool complete = false;
+        IngestUpdate update; ///< analysis filled in by the fan-out
+        bool ok = false;
+        std::string error; ///< analysis failure, if any
+    };
+
+    void driverLoop();
+
+    ThreadPool &pool_;
+    IngestOptions options_;
+    PublishFn publish_;
+
+    /** Touched only by the start()/stop() caller thread, never by
+     * the driver — no lock needed. */
+    bool driverRunning_ = false;
+
+    mutable Mutex mutex_{LockRank::Ingest, "engine-ingest"};
+    std::vector<std::unique_ptr<Source>> sources_
+        LAG_GUARDED_BY(mutex_);
+    std::vector<std::string> directories_ LAG_GUARDED_BY(mutex_);
+    std::uint64_t epoch_ LAG_GUARDED_BY(mutex_) = 0;
+    std::int64_t lastEpochLagMs_ LAG_GUARDED_BY(mutex_) = 0;
+
+    Mutex driverMutex_{LockRank::Client, "engine-ingest-driver"};
+    bool stopRequested_ LAG_GUARDED_BY(driverMutex_) = false;
+    std::condition_variable_any driverWake_;
+    std::thread driver_;
+};
+
+} // namespace lag::engine
+
+#endif // LAG_ENGINE_INGEST_HH

@@ -100,6 +100,12 @@ parseTarget(std::string_view target, HttpRequest &out)
         if (eq != std::string_view::npos &&
             !percentDecode(pair.substr(eq + 1), value))
             return false;
+        // Same NUL rejection as the path above: a %00 smuggled into
+        // a query key or value would otherwise flow into app-name
+        // lookups and log lines.
+        if (key.find('\0') != std::string::npos ||
+            value.find('\0') != std::string::npos)
+            return false;
         out.query.emplace_back(std::move(key), std::move(value));
     }
     return true;
@@ -224,8 +230,18 @@ parseRequest(std::string_view data, const ParseLimits &limits,
     if (!out.header("transfer-encoding").empty())
         return ParseStatus::BadRequest;
     std::size_t content_length = 0;
-    const std::string_view length_header =
-        out.header("content-length");
+    // RFC 9110 §8.6: multiple Content-Length fields are only
+    // acceptable when their values are identical; differing values
+    // signal request smuggling and must be rejected. header()
+    // returns the first match, so scan all of them here.
+    std::string_view length_header;
+    for (const auto &[name, value] : out.headers) {
+        if (name != "content-length")
+            continue;
+        if (!length_header.empty() && value != length_header)
+            return ParseStatus::BadRequest;
+        length_header = value;
+    }
     if (!length_header.empty()) {
         const auto *first = length_header.data();
         const auto *last = first + length_header.size();

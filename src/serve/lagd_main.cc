@@ -11,10 +11,16 @@
  *               [--cache-dir PATH] [--port-file PATH] [--jobs N]
  *               [--no-incremental] [--self-trace OUT] [--metrics-out OUT]
  *               [--flightrec-path OUT] [--slow-request-ms N]
- *               [--watchdog-ms N]
+ *               [--watchdog-ms N] [--follow DIR] [--epoch-ms N]
  *
  *  --quick       serve StudyConfig::quickStudy (default 10 s
  *                sessions) instead of the full paper study;
+ *  --follow      live-ingest mode: skip the batch cache load and
+ *                instead tail every `*.lag` trace file under DIR
+ *                (rescanned each epoch), publishing partial-session
+ *                analyses into the hot store as the files grow;
+ *                `/v1/ingest` exposes the per-source state;
+ *  --epoch-ms    ingest epoch cadence in follow mode (default 100);
  *  --port        listen port (default 8437, or LAGALYZER_SERVE_PORT;
  *                0 = ephemeral, see the printed line / --port-file);
  *  --port-file   write the bound port to PATH (atomic rename) once
@@ -38,10 +44,12 @@
 #include <cstdio>
 #include <cstring>
 #include <iostream>
+#include <memory>
 #include <string>
 
 #include "app/params.hh"
 #include "app/study.hh"
+#include "engine/ingest.hh"
 #include "engine/pool.hh"
 #include "obs/flightrec.hh"
 #include "obs/scope.hh"
@@ -95,8 +103,10 @@ main(int argc, char **argv)
     int quick_seconds = 10;
     int slow_request_ms = 0;
     int watchdog_ms = 1000;
+    int epoch_ms = 100;
     std::string cache_dir;
     std::string port_file;
+    std::string follow_dir;
     for (int i = 1; i < argc; ++i) {
         const std::string_view arg(argv[i]);
         if (arg == "--quick") {
@@ -128,6 +138,22 @@ main(int argc, char **argv)
                 std::atoi(std::string(arg.substr(18)).c_str());
             if (slow_request_ms < 0)
                 fatal("--slow-request-ms must be >= 0");
+        } else if (arg == "--follow") {
+            if (i + 1 >= argc)
+                fatal("--follow needs a directory");
+            follow_dir = argv[++i];
+        } else if (arg.rfind("--follow=", 0) == 0) {
+            follow_dir = std::string(arg.substr(9));
+        } else if (arg == "--epoch-ms") {
+            if (i + 1 >= argc)
+                fatal("--epoch-ms needs a value");
+            epoch_ms = std::atoi(argv[++i]);
+            if (epoch_ms <= 0)
+                fatal("--epoch-ms must be > 0");
+        } else if (arg.rfind("--epoch-ms=", 0) == 0) {
+            epoch_ms = std::atoi(std::string(arg.substr(11)).c_str());
+            if (epoch_ms <= 0)
+                fatal("--epoch-ms must be > 0");
         } else if (arg == "--watchdog-ms") {
             if (i + 1 >= argc)
                 fatal("--watchdog-ms needs a value");
@@ -167,12 +193,33 @@ main(int argc, char **argv)
 
     engine::ThreadPool pool(config.jobs);
     serve::HotStore store(config, pool);
-    inform("lagd: loading ", store.appCount(),
-           " apps from the result cache");
-    store.load();
+
+    std::unique_ptr<engine::IngestPipeline> ingest;
+    if (follow_dir.empty()) {
+        inform("lagd: loading ", store.appCount(),
+               " apps from the result cache");
+        store.load();
+    } else {
+        inform("lagd: following '", follow_dir,
+               "' (epoch every ", epoch_ms, " ms)");
+        store.startFollow();
+        engine::IngestOptions ingest_options;
+        ingest_options.perceptibleThreshold =
+            config.perceptibleThreshold;
+        ingest_options.epochMillis = epoch_ms;
+        ingest = std::make_unique<engine::IngestPipeline>(
+            pool, ingest_options,
+            [&store](const engine::IngestUpdate &update) {
+                store.applyIngest(update);
+            });
+        ingest->addDirectory(follow_dir);
+        ingest->scanDirectory(follow_dir);
+    }
 
     serve::Router router;
     store.installRoutes(router);
+    if (ingest)
+        serve::installIngestRoute(router, *ingest);
 
     serve::ServerConfig server_config;
     server_config.port = serve_options.port;
@@ -181,6 +228,8 @@ main(int argc, char **argv)
     serve::HttpServer server(server_config, std::move(router),
                              pool);
     server.start();
+    if (ingest)
+        ingest->start();
 
     obs::WatchdogOptions watchdog_options;
     watchdog_options.periodMs = watchdog_ms;
@@ -205,6 +254,8 @@ main(int argc, char **argv)
 
     inform("lagd: signal ", shutdownSignal(),
            " received, draining");
+    if (ingest)
+        ingest->stop();
     server.stop();
     runShutdownCallbacks();
     std::cout << "lagd: shut down cleanly" << std::endl;

@@ -126,6 +126,61 @@ HotStore::load()
     loaded_ = true;
 }
 
+void
+HotStore::startFollow()
+{
+    MutexLock lock(mutex_);
+    lag_assert(!loaded_, "startFollow() after load()");
+    // Live mode starts empty: the config's app list describes the
+    // batch study, not what will stream in. Apps materialize as
+    // ingest updates arrive.
+    appNames_.clear();
+    apps_.clear();
+    liveSessions_.clear();
+    followMode_ = true;
+    loaded_ = true;
+}
+
+void
+HotStore::applyIngest(const engine::IngestUpdate &update)
+{
+    LAG_SPAN_ARG("serve.store.apply_ingest", "epoch", update.epoch);
+    static obs::Counter &applied =
+        obs::metrics().counter("serve.ingest.applied");
+
+    MutexLock lock(mutex_);
+    lag_assert(followMode_, "applyIngest() outside follow mode");
+    std::size_t a = appNames_.size();
+    for (std::size_t i = 0; i < appNames_.size(); ++i) {
+        if (appNames_[i] == update.appName) {
+            a = i;
+            break;
+        }
+    }
+    if (a == appNames_.size()) {
+        appNames_.push_back(update.appName);
+        apps_.emplace_back();
+        liveSessions_.emplace_back();
+    }
+    liveSessions_[a][update.path] = update.analysis;
+
+    // Rebuild the app's hot state from every live session's v2
+    // summary — same merge/average functions as the batch path, so
+    // completion implies byte-equal query responses.
+    std::vector<core::PatternSetSummary> summaries;
+    std::vector<engine::SessionAnalysis> sessions;
+    summaries.reserve(liveSessions_[a].size());
+    sessions.reserve(liveSessions_[a].size());
+    for (const auto &[path, analysis] : liveSessions_[a]) {
+        summaries.push_back(analysis.patternSummary);
+        sessions.push_back(analysis);
+    }
+    apps_[a].merged = core::mergeAnalyses(summaries);
+    apps_[a].figures =
+        engine::averageSessionAnalyses(appNames_[a], sessions);
+    applied.add(1);
+}
+
 RefreshResult
 HotStore::refresh()
 {
@@ -134,6 +189,12 @@ HotStore::refresh()
 
     MutexLock lock(mutex_);
     lag_assert(loaded_, "refresh() before load()");
+    if (followMode_) {
+        // Live apps have no cache digests to diff; every source is
+        // already refreshed per epoch by the ingest pipeline.
+        result.unchanged = appNames_.size();
+        return result;
+    }
     for (std::size_t a = 0; a < appNames_.size(); ++a) {
         const std::uint64_t digest = cache_.appDigest(
             appNames_[a], study_.config().sessionsPerApp);
@@ -161,6 +222,7 @@ HotStore::refresh()
 std::size_t
 HotStore::appCount() const
 {
+    MutexLock lock(mutex_);
     return appNames_.size();
 }
 
@@ -387,6 +449,17 @@ HotStore::installRoutes(Router &router)
                      bind(&HotStore::handleFigure));
     router.addExact("POST", "/v1/refresh",
                     bind(&HotStore::handleRefresh));
+}
+
+void
+installIngestRoute(Router &router, engine::IngestPipeline &pipeline)
+{
+    router.addExact("GET", "/v1/ingest",
+                    [&pipeline](const HttpRequest &) {
+                        HttpResponse response;
+                        response.body = pipeline.statusJson();
+                        return response;
+                    });
 }
 
 } // namespace lag::serve

@@ -29,12 +29,14 @@
 #define LAG_SERVE_STORE_HH
 
 #include <cstdint>
+#include <map>
 #include <string>
 #include <vector>
 
 #include "app/study.hh"
 #include "core/figure_json.hh"
 #include "engine/incremental.hh"
+#include "engine/ingest.hh"
 #include "engine/pool.hh"
 #include "engine/result_cache.hh"
 #include "http.hh"
@@ -87,9 +89,30 @@ class HotStore
      * Re-check every app's digest; re-aggregate the changed ones
      * serially (safe from a pool worker — see
      * engine::aggregateAppFromCache). Bumps
-     * `serve.refresh.recomputed` once per recomputed app.
+     * `serve.refresh.recomputed` once per recomputed app. No-op in
+     * follow mode (there is no batch cache to diff against).
      */
     RefreshResult refresh();
+
+    /**
+     * Switch to live-ingest mode instead of load(): start with zero
+     * apps and populate them from applyIngest() updates as traces
+     * stream in. Queries work immediately (404 until the first
+     * epoch publishes an app).
+     */
+    void startFollow();
+
+    /**
+     * Merge one published (partial- or complete-session) analysis
+     * into the hot state: the update replaces that trace file's
+     * previous contribution, then the app's MergedPatternSet and
+     * figure inputs are rebuilt via core::mergeAnalyses /
+     * engine::averageSessionAnalyses — the exact functions the
+     * batch path uses, which is what makes the served bytes equal
+     * the batch answer once every source completes. Called by the
+     * IngestPipeline's publish callback (no ingest lock held).
+     */
+    void applyIngest(const engine::IngestUpdate &update);
 
     /** Register every endpoint on @p router:
      * GET /healthz, /metricsz (JSON, or Prometheus text via
@@ -138,7 +161,19 @@ class HotStore
     mutable Mutex mutex_{LockRank::Serve, "serve-hot-store"};
     std::vector<AppState> apps_ LAG_GUARDED_BY(mutex_);
     bool loaded_ LAG_GUARDED_BY(mutex_) = false;
+    bool followMode_ LAG_GUARDED_BY(mutex_) = false;
+
+    /** Follow mode: per app, each followed trace file's latest
+     * analysis (keyed by path — ordered, so rebuild order and thus
+     * merged output is deterministic). */
+    std::vector<std::map<std::string, engine::SessionAnalysis>>
+        liveSessions_ LAG_GUARDED_BY(mutex_);
 };
+
+/** Register `GET /v1/ingest` (IngestPipeline::statusJson) on
+ * @p router. @p pipeline must outlive the router. */
+void installIngestRoute(Router &router,
+                        engine::IngestPipeline &pipeline);
 
 } // namespace lag::serve
 

@@ -145,10 +145,16 @@ class ByteReader
     need(std::size_t n)
     {
         if (remaining() < n) {
+            // Truncated, not Corrupt: from the reader's viewpoint
+            // the bytes simply end early, which is exactly what a
+            // half-flushed record in a still-growing file looks
+            // like. Callers that know the file is final treat both
+            // kinds as fatal; the tailer retries Truncated.
             throw TraceError(
                 "trace file truncated: need " + std::to_string(n) +
                 " bytes at offset " + std::to_string(pos_) + ", have " +
-                std::to_string(remaining()));
+                std::to_string(remaining()),
+                TraceErrorKind::Truncated);
         }
     }
 

@@ -14,6 +14,7 @@
 #include "util/hash.hh"
 #include "util/strings.hh"
 #include "util/thread_name.hh"
+#include "wire.hh"
 
 static_assert(std::endian::native == std::endian::little,
               "the trace format assumes a little-endian host");
@@ -21,202 +22,21 @@ static_assert(std::endian::native == std::endian::little,
 namespace lag::trace
 {
 
-namespace
-{
-
-constexpr char kMagic[8] = {'L', 'A', 'G', 'T', 'R', 'C', '\0', '\0'};
-
-/**
- * Sectioned count header at the head of the payload: record counts
- * up front so the decoder pre-sizes every vector exactly, plus
- * aggregate sample totals so implausible (corrupt) counts are
- * rejected before any large allocation.
- */
-struct SectionHeader
-{
-    std::uint32_t threadCount = 0;
-    std::uint32_t stringCount = 0;
-    std::uint64_t eventCount = 0;
-    std::uint64_t sampleCount = 0;
-    std::uint64_t sampleThreadTotal = 0;
-    std::uint64_t frameTotal = 0;
-};
-
-void
-writeSectionHeader(ByteWriter &w, const SectionHeader &header)
-{
-    w.u32(header.threadCount);
-    w.u32(header.stringCount);
-    w.u64(header.eventCount);
-    w.u64(header.sampleCount);
-    w.u64(header.sampleThreadTotal);
-    w.u64(header.frameTotal);
-}
-
-SectionHeader
-readSectionHeader(ByteReader &r)
-{
-    SectionHeader header;
-    header.threadCount = r.u32();
-    header.stringCount = r.u32();
-    header.eventCount = r.u64();
-    header.sampleCount = r.u64();
-    header.sampleThreadTotal = r.u64();
-    header.frameTotal = r.u64();
-    return header;
-}
-
-/**
- * Reject a section count that could not possibly fit in the bytes
- * that remain, before reserving storage for it.  @p minBytes is the
- * smallest legal wire size of one record.
- */
-void
-checkSectionCount(const char *section, std::uint64_t count,
-                  std::size_t minBytes, std::size_t remaining)
-{
-    if (count > 0 && count > remaining / minBytes) {
-        throw TraceError(
-            "implausible " + std::string(section) + " count " +
-            std::to_string(count) + ": only " +
-            std::to_string(remaining) + " payload bytes remain");
-    }
-}
-
-/** Context prefix for a malformed record: which one, and where. */
-std::string
-recordContext(const char *kind, std::uint64_t index,
-              std::size_t payloadOffset)
-{
-    return std::string(kind) + " " + std::to_string(index) +
-           " at payload offset " + std::to_string(payloadOffset) +
-           ": ";
-}
-
-void
-writeMeta(ByteWriter &w, const TraceMeta &meta)
-{
-    w.str(meta.appName);
-    w.u32(meta.sessionIndex);
-    w.u64(meta.seed);
-    w.i64(meta.startTime);
-    w.i64(meta.endTime);
-    w.i64(meta.samplePeriod);
-    w.i64(meta.filterThreshold);
-    w.u64(meta.filteredShortEpisodes);
-    w.i64(meta.totalInEpisodeTime);
-}
-
-TraceMeta
-readMeta(ByteReader &r)
-{
-    TraceMeta meta;
-    meta.appName = r.str();
-    meta.sessionIndex = r.u32();
-    meta.seed = r.u64();
-    meta.startTime = r.i64();
-    meta.endTime = r.i64();
-    meta.samplePeriod = r.i64();
-    meta.filterThreshold = r.i64();
-    meta.filteredShortEpisodes = r.u64();
-    meta.totalInEpisodeTime = r.i64();
-    return meta;
-}
-
-void
-writeEvent(ByteWriter &w, const TraceEvent &event)
-{
-    w.u8(static_cast<std::uint8_t>(event.type));
-    w.u32(event.thread);
-    w.i64(event.time);
-    w.u8(static_cast<std::uint8_t>(event.kind));
-    w.u32(event.classSym);
-    w.u32(event.methodSym);
-    w.u8(static_cast<std::uint8_t>(event.gcKind));
-}
-
-/**
- * Decode one fixed-size event record straight from the buffer: a
- * single bounds check covers all seven fields, so the hot decode
- * loop does one range test per event instead of seven.
- */
-TraceEvent
-readEvent(ByteReader &r)
-{
-    const char *p = r.bytes(kEventWireBytes);
-    TraceEvent event;
-    const auto type = static_cast<std::uint8_t>(p[0]);
-    if (type > static_cast<std::uint8_t>(EventType::GcEnd))
-        throw TraceError("unknown event type " + std::to_string(type));
-    event.type = static_cast<EventType>(type);
-    std::memcpy(&event.thread, p + 1, sizeof(event.thread));
-    std::memcpy(&event.time, p + 5, sizeof(event.time));
-    const auto kind = static_cast<std::uint8_t>(p[13]);
-    if (kind > static_cast<std::uint8_t>(IntervalKind::Async))
-        throw TraceError("unknown interval kind " + std::to_string(kind));
-    event.kind = static_cast<IntervalKind>(kind);
-    std::memcpy(&event.classSym, p + 14, sizeof(event.classSym));
-    std::memcpy(&event.methodSym, p + 18, sizeof(event.methodSym));
-    const auto gc = static_cast<std::uint8_t>(p[22]);
-    if (gc > static_cast<std::uint8_t>(TraceGcKind::Major))
-        throw TraceError("unknown GC kind " + std::to_string(gc));
-    event.gcKind = static_cast<TraceGcKind>(gc);
-    return event;
-}
-
-void
-writeSample(ByteWriter &w, const TraceSample &sample)
-{
-    w.i64(sample.time);
-    w.u32(static_cast<std::uint32_t>(sample.threads.size()));
-    for (const auto &entry : sample.threads) {
-        w.u32(entry.thread);
-        w.u8(static_cast<std::uint8_t>(entry.state));
-        w.u32(static_cast<std::uint32_t>(entry.frames.size()));
-        for (const auto &frame : entry.frames) {
-            w.u32(frame.classSym);
-            w.u32(frame.methodSym);
-        }
-    }
-}
-
-TraceSample
-readSample(ByteReader &r)
-{
-    TraceSample sample;
-    sample.time = r.i64();
-    const std::uint32_t threads = r.u32();
-    // Each entry needs at least thread id + state + frame count.
-    checkSectionCount("sample thread", threads, 9, r.remaining());
-    sample.threads.reserve(threads);
-    for (std::uint32_t i = 0; i < threads; ++i) {
-        SampleThread entry;
-        entry.thread = r.u32();
-        const std::uint8_t state = r.u8();
-        if (state > static_cast<std::uint8_t>(TraceThreadState::Sleeping))
-            throw TraceError("unknown thread state " +
-                             std::to_string(state));
-        entry.state = static_cast<TraceThreadState>(state);
-        const std::uint32_t frames = r.u32();
-        checkSectionCount("sample frame", frames, 8, r.remaining());
-        entry.frames.resize(frames);
-        if (frames > 0) {
-            // Frames are a flat run of {u32 class, u32 method}
-            // pairs: one bounds check, one copy.
-            static_assert(sizeof(SampleFrame) ==
-                              2 * sizeof(std::uint32_t),
-                          "SampleFrame must match its wire layout");
-            const char *raw =
-                r.bytes(static_cast<std::size_t>(frames) * 8);
-            std::memcpy(entry.frames.data(), raw,
-                        static_cast<std::size_t>(frames) * 8);
-        }
-        sample.threads.push_back(std::move(entry));
-    }
-    return sample;
-}
-
-} // namespace
+// The record-level codec lives in wire.hh so the incremental tail
+// reader (tailer.cc) decodes with the exact same functions — the
+// batch/streamed byte-identity contract depends on it.
+using wire::checkSectionCount;
+using wire::kMagic;
+using wire::readEvent;
+using wire::readMeta;
+using wire::readSample;
+using wire::readSectionHeader;
+using wire::recordContext;
+using wire::SectionHeader;
+using wire::writeEvent;
+using wire::writeMeta;
+using wire::writeSample;
+using wire::writeSectionHeader;
 
 std::string
 serializeTrace(const Trace &trace)
@@ -339,8 +159,11 @@ deserializeTrace(std::string_view data)
             try {
                 trace.events.push_back(readEvent(r));
             } catch (const TraceError &e) {
+                // Keep the kind: the tailer relies on Truncated
+                // surviving the context-wrapping rethrow.
                 throw TraceError(recordContext("event", i, at) +
-                                 e.what());
+                                     e.what(),
+                                 e.kind());
             }
         }
     }
@@ -354,10 +177,13 @@ deserializeTrace(std::string_view data)
         for (std::uint64_t i = 0; i < counts.sampleCount; ++i) {
             const std::size_t at = r.position();
             try {
-                trace.samples.push_back(readSample(r));
+                trace.samples.push_back(readSample(
+                    r, {counts.sampleThreadTotal, counts.frameTotal,
+                        /*completeBuffer=*/true}));
             } catch (const TraceError &e) {
                 throw TraceError(recordContext("sample", i, at) +
-                                 e.what());
+                                     e.what(),
+                                 e.kind());
             }
             const TraceSample &sample = trace.samples.back();
             sampleThreadTotal += sample.threads.size();

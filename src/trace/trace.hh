@@ -28,13 +28,38 @@
 namespace lag::trace
 {
 
+/**
+ * How a TraceError should be interpreted by a reader that may be
+ * looking at a file another process is still appending to.
+ *
+ * The distinction exists for the tail-reading path (tailer.hh): a
+ * half-flushed final record raises exactly the same "need more
+ * bytes" shape as genuine truncation damage, and only the producer
+ * knows which it is. Truncated therefore means "retry once more
+ * bytes exist"; Corrupt means "no amount of further appending can
+ * repair this file" (bad magic, unknown enum value, checksum or
+ * structural mismatch) and the reader must abort.
+ */
+enum class TraceErrorKind : std::uint8_t
+{
+    Corrupt = 0,   ///< definitely malformed; retrying cannot help
+    Truncated = 1, ///< ran out of bytes; possibly still being written
+};
+
 /** Error raised by trace validation and file parsing. */
 class TraceError : public std::runtime_error
 {
   public:
-    explicit TraceError(const std::string &msg)
-        : std::runtime_error(msg)
+    explicit TraceError(const std::string &msg,
+                        TraceErrorKind kind = TraceErrorKind::Corrupt)
+        : std::runtime_error(msg), kind_(kind)
     {}
+
+    /** Retry-vs-abort classification (see TraceErrorKind). */
+    TraceErrorKind kind() const { return kind_; }
+
+  private:
+    TraceErrorKind kind_ = TraceErrorKind::Corrupt;
 };
 
 /** Interned strings; SymbolId 0 is always the empty string. */

@@ -57,6 +57,13 @@ enum class LockRank : int
     /** Ad-hoc client/test state built on top of the engine. */
     Client = 1000,
 
+    /** IngestPipeline source/status bookkeeping (engine/ingest).
+     * Above the pool ranks because an epoch polls tailers under it
+     * before fanning analysis out to the pool; below Serve because
+     * publish callbacks into serve::HotStore run with no ingest
+     * lock held at all (the pipeline drops it before publishing). */
+    Ingest = 700,
+
     /** TaskGraph node bookkeeping (engine/graph). */
     TaskGraph = 500,
 

@@ -1,0 +1,393 @@
+/**
+ * @file
+ * Differential suite for the live-ingest pipeline: streaming every
+ * example app's trace through TraceTailer + IngestPipeline must end
+ * in a SessionAnalysis that serializes byte-identically to the
+ * batch path, no matter how the bytes arrived (chunk sizes from one
+ * byte to the whole file) or how wide the analysis pool is. Also
+ * covers kill-and-resume (a fresh pipeline converges on the same
+ * bytes) and the publish/quarantine bookkeeping.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstddef>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "app/study.hh"
+#include "engine/ingest.hh"
+#include "engine/pool.hh"
+#include "engine/result_cache.hh"
+
+namespace lag::engine
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Scoped scratch directory: clean before and after the test. */
+struct ScratchDir
+{
+    std::string path;
+
+    explicit ScratchDir(std::string p) : path(std::move(p))
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~ScratchDir() { fs::remove_all(path); }
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+/** The per-path terminal update captured from the publish hook. */
+struct Published
+{
+    std::map<std::string, IngestUpdate> last;
+    std::map<std::string, std::size_t> completeCount;
+
+    void
+    accept(const IngestUpdate &update)
+    {
+        last[update.path] = update;
+        if (update.complete)
+            ++completeCount[update.path];
+    }
+};
+
+/** Study fixture shared by the differential cases: one quick
+ * session per example app, traces materialized once. */
+struct StudyFixture
+{
+    ScratchDir cache{"lagalyzer-cache-test-ingest"};
+    app::StudyConfig config = app::StudyConfig::quickStudy(3);
+    std::vector<std::vector<std::string>> tracePaths;
+    std::vector<std::string> batchBytes; ///< reference per app
+
+    StudyFixture()
+    {
+        config.sessionsPerApp = 1;
+        config.cacheDir = cache.path;
+        config.jobs = 4;
+        app::Study study(config);
+        tracePaths = study.ensureTraces();
+        batchBytes.reserve(config.apps.size());
+        for (std::size_t a = 0; a < config.apps.size(); ++a) {
+            batchBytes.push_back(
+                serializeSessionAnalysis(analyzeSession(
+                    study.loadSession(a, 0),
+                    config.perceptibleThreshold)));
+        }
+    }
+};
+
+StudyFixture &
+fixture()
+{
+    static StudyFixture fixture;
+    return fixture;
+}
+
+/**
+ * Stream every app's trace into one IngestPipeline in @p chunk-byte
+ * writes, cutting epochs at roughly @p epochs points mid-stream,
+ * and assert the terminal update per app equals the batch bytes.
+ */
+void
+runDifferential(std::size_t chunk, std::uint32_t jobs,
+                std::size_t epochs)
+{
+    StudyFixture &fix = fixture();
+    ASSERT_GE(fix.config.apps.size(), 14u)
+        << "catalog shrank; the suite must cover every app model";
+
+    const ScratchDir live("lagalyzer-ingest-live-" +
+                          std::to_string(chunk) + "-" +
+                          std::to_string(jobs));
+    ThreadPool pool(jobs);
+    Published published;
+    IngestOptions options;
+    options.perceptibleThreshold = fix.config.perceptibleThreshold;
+    IngestPipeline pipeline(
+        pool, options, [&published](const IngestUpdate &update) {
+            published.accept(update);
+        });
+
+    struct Stream
+    {
+        std::string bytes;
+        std::string dest;
+        std::ofstream out;
+        std::size_t offset = 0;
+    };
+    std::vector<Stream> streams(fix.config.apps.size());
+    std::size_t totalBytes = 0;
+    for (std::size_t a = 0; a < streams.size(); ++a) {
+        streams[a].bytes = slurp(fix.tracePaths[a][0]);
+        ASSERT_FALSE(streams[a].bytes.empty());
+        streams[a].dest = live.path + "/app" + std::to_string(a) +
+                          ".lag";
+        streams[a].out.open(streams[a].dest,
+                            std::ios::binary | std::ios::trunc);
+        pipeline.addSource(streams[a].dest);
+        totalBytes += streams[a].bytes.size();
+    }
+
+    // Write all sources forward in lockstep, cutting an epoch every
+    // ~1/epochs of the total byte volume so epoch boundaries land at
+    // arbitrary (usually mid-record) offsets in every file.
+    std::size_t written = 0;
+    std::size_t nextEpochAt = totalBytes / epochs + 1;
+    bool sawPartialPublish = false;
+    for (bool progressed = true; progressed;) {
+        progressed = false;
+        for (Stream &s : streams) {
+            if (s.offset >= s.bytes.size())
+                continue;
+            const std::size_t n =
+                std::min(chunk, s.bytes.size() - s.offset);
+            s.out.write(s.bytes.data() + s.offset,
+                        static_cast<std::streamsize>(n));
+            s.offset += n;
+            written += n;
+            progressed = true;
+        }
+        if (written >= nextEpochAt && progressed) {
+            for (Stream &s : streams)
+                s.out.flush();
+            pipeline.runEpoch();
+            if (!published.last.empty() && !pipeline.allComplete())
+                sawPartialPublish = true;
+            nextEpochAt += totalBytes / epochs + 1;
+        }
+    }
+    for (Stream &s : streams)
+        s.out.close();
+
+    // Drain: a bounded number of epochs must finish every source.
+    for (int i = 0; i < 10 && !pipeline.allComplete(); ++i)
+        pipeline.runEpoch();
+    ASSERT_TRUE(pipeline.allComplete())
+        << "chunk=" << chunk << " jobs=" << jobs;
+    // Mid-stream epochs published partial sessions on the way
+    // (unless a single epoch swallowed everything, which whole-file
+    // chunks legitimately do).
+    if (chunk < 4096) {
+        EXPECT_TRUE(sawPartialPublish);
+    }
+
+    for (std::size_t a = 0; a < streams.size(); ++a) {
+        const auto it = published.last.find(streams[a].dest);
+        ASSERT_NE(it, published.last.end())
+            << "no update for " << streams[a].dest;
+        EXPECT_TRUE(it->second.complete);
+        EXPECT_EQ(it->second.appName, fix.config.apps[a].name);
+        EXPECT_EQ(serializeSessionAnalysis(it->second.analysis),
+                  fix.batchBytes[a])
+            << "streamed analysis diverges from batch for "
+            << fix.config.apps[a].name << " at chunk=" << chunk
+            << " jobs=" << jobs;
+        EXPECT_EQ(published.completeCount[streams[a].dest], 1u)
+            << "complete snapshot must publish exactly once";
+    }
+
+    // One more epoch publishes nothing: every source is complete
+    // and already published.
+    EXPECT_EQ(pipeline.runEpoch(), 0u);
+    for (const IngestSourceStatus &status : pipeline.status()) {
+        EXPECT_TRUE(status.complete);
+        EXPECT_EQ(status.backlogBytes, 0u);
+        EXPECT_TRUE(status.error.empty());
+    }
+}
+
+TEST(IngestDifferential, OneByteChunks)
+{
+    for (const std::uint32_t jobs : {1u, 8u})
+        runDifferential(1, jobs, 7);
+}
+
+TEST(IngestDifferential, OneRecordChunks)
+{
+    // 23 bytes is exactly one encoded event record, so the event
+    // section advances record-by-record but every other section's
+    // records straddle the write boundary.
+    for (const std::uint32_t jobs : {1u, 8u})
+        runDifferential(23, jobs, 7);
+}
+
+TEST(IngestDifferential, FourKiBChunks)
+{
+    for (const std::uint32_t jobs : {1u, 8u})
+        runDifferential(4096, jobs, 7);
+}
+
+TEST(IngestDifferential, WholeFileChunks)
+{
+    for (const std::uint32_t jobs : {1u, 8u})
+        runDifferential(std::size_t(-1) / 2, jobs, 1);
+}
+
+TEST(IngestDifferential, KillAndResumeConvergesToSameBytes)
+{
+    StudyFixture &fix = fixture();
+    const ScratchDir live("lagalyzer-ingest-resume");
+    const std::string bytes = slurp(fix.tracePaths[0][0]);
+    const std::string dest = live.path + "/resume.lag";
+
+    const std::size_t half = bytes.size() / 2;
+    {
+        std::ofstream out(dest, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(half));
+    }
+
+    ThreadPool pool(4);
+    IngestOptions options;
+    options.perceptibleThreshold = fix.config.perceptibleThreshold;
+
+    // First pipeline sees the first half, then dies mid-follow.
+    {
+        Published published;
+        IngestPipeline dying(
+            pool, options,
+            [&published](const IngestUpdate &update) {
+                published.accept(update);
+            });
+        dying.addSource(dest);
+        dying.runEpoch();
+        EXPECT_FALSE(dying.allComplete());
+    }
+
+    {
+        std::ofstream out(dest, std::ios::binary | std::ios::app);
+        out.write(bytes.data() + half,
+                  static_cast<std::streamsize>(bytes.size() - half));
+    }
+
+    // The replacement re-tails from byte zero and must converge on
+    // exactly the batch analysis.
+    Published published;
+    IngestPipeline resumed(
+        pool, options, [&published](const IngestUpdate &update) {
+            published.accept(update);
+        });
+    resumed.addSource(dest);
+    for (int i = 0; i < 10 && !resumed.allComplete(); ++i)
+        resumed.runEpoch();
+    ASSERT_TRUE(resumed.allComplete());
+    const auto it = published.last.find(dest);
+    ASSERT_NE(it, published.last.end());
+    EXPECT_TRUE(it->second.complete);
+    EXPECT_EQ(serializeSessionAnalysis(it->second.analysis),
+              fix.batchBytes[0]);
+}
+
+TEST(IngestDifferential, CorruptSourceIsQuarantined)
+{
+    StudyFixture &fix = fixture();
+    const ScratchDir live("lagalyzer-ingest-corrupt");
+    std::string bytes = slurp(fix.tracePaths[0][0]);
+    bytes[0] = 'X'; // bad magic: structurally corrupt
+    const std::string badDest = live.path + "/bad.lag";
+    {
+        std::ofstream out(badDest,
+                          std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    const std::string goodBytes = slurp(fix.tracePaths[1][0]);
+    const std::string goodDest = live.path + "/good.lag";
+    {
+        std::ofstream out(goodDest,
+                          std::ios::binary | std::ios::trunc);
+        out.write(goodBytes.data(),
+                  static_cast<std::streamsize>(goodBytes.size()));
+    }
+
+    ThreadPool pool(2);
+    IngestOptions options;
+    options.perceptibleThreshold = fix.config.perceptibleThreshold;
+    Published published;
+    IngestPipeline pipeline(
+        pool, options, [&published](const IngestUpdate &update) {
+            published.accept(update);
+        });
+    pipeline.addSource(badDest);
+    pipeline.addSource(goodDest);
+    for (int i = 0; i < 10 && !pipeline.allComplete(); ++i)
+        pipeline.runEpoch();
+
+    // The corrupt source is quarantined with its error recorded;
+    // the good one still completes and publishes the batch answer.
+    ASSERT_TRUE(pipeline.allComplete());
+    bool sawQuarantine = false;
+    for (const IngestSourceStatus &status : pipeline.status()) {
+        if (status.path == badDest) {
+            EXPECT_FALSE(status.error.empty());
+            EXPECT_FALSE(status.complete);
+            sawQuarantine = true;
+        } else {
+            EXPECT_TRUE(status.error.empty());
+            EXPECT_TRUE(status.complete);
+        }
+    }
+    EXPECT_TRUE(sawQuarantine);
+    EXPECT_EQ(published.last.count(badDest), 0u);
+    const auto it = published.last.find(goodDest);
+    ASSERT_NE(it, published.last.end());
+    EXPECT_EQ(serializeSessionAnalysis(it->second.analysis),
+              fix.batchBytes[1]);
+}
+
+TEST(IngestDifferential, DirectoryScanPicksUpNewFiles)
+{
+    StudyFixture &fix = fixture();
+    const ScratchDir live("lagalyzer-ingest-scan");
+    ThreadPool pool(2);
+    IngestOptions options;
+    options.perceptibleThreshold = fix.config.perceptibleThreshold;
+    Published published;
+    IngestPipeline pipeline(
+        pool, options, [&published](const IngestUpdate &update) {
+            published.accept(update);
+        });
+
+    EXPECT_EQ(pipeline.scanDirectory(live.path), 0u);
+    EXPECT_FALSE(pipeline.allComplete()); // no sources yet
+
+    const std::string bytes = slurp(fix.tracePaths[0][0]);
+    const std::string dest = live.path + "/late.lag";
+    {
+        std::ofstream out(dest, std::ios::binary | std::ios::trunc);
+        out.write(bytes.data(),
+                  static_cast<std::streamsize>(bytes.size()));
+    }
+    // A non-trace file must be ignored by the scan.
+    { std::ofstream noise(live.path + "/notes.txt"); }
+
+    EXPECT_EQ(pipeline.scanDirectory(live.path), 1u);
+    EXPECT_EQ(pipeline.scanDirectory(live.path), 0u); // idempotent
+    for (int i = 0; i < 10 && !pipeline.allComplete(); ++i)
+        pipeline.runEpoch();
+    ASSERT_TRUE(pipeline.allComplete());
+    EXPECT_EQ(serializeSessionAnalysis(
+                  published.last.at(dest).analysis),
+              fix.batchBytes[0]);
+}
+
+} // namespace
+} // namespace lag::engine

@@ -198,6 +198,56 @@ TEST(ServeHttp, MalformedRequestsAreBadRequest)
     }
 }
 
+TEST(ServeHttp, ConflictingContentLengthsAreBadRequest)
+{
+    // RFC 9110 §8.6: multiple differing Content-Length values make
+    // the message framing ambiguous — request-smuggling territory —
+    // and must be rejected, not first-or-last-value resolved.
+    HttpRequest request;
+    EXPECT_EQ(parse("POST /echo HTTP/1.1\r\n"
+                    "Content-Length: 5\r\n"
+                    "Content-Length: 6\r\n\r\nhello!",
+                    request),
+              ParseStatus::BadRequest);
+    // Order must not matter: the larger value first smuggles the
+    // same way.
+    EXPECT_EQ(parse("POST /echo HTTP/1.1\r\n"
+                    "Content-Length: 6\r\n"
+                    "Content-Length: 5\r\n\r\nhello!",
+                    request),
+              ParseStatus::BadRequest);
+}
+
+TEST(ServeHttp, RepeatedIdenticalContentLengthIsAccepted)
+{
+    // ... but identical repeats are unambiguous and stay valid per
+    // the same section.
+    HttpRequest request;
+    ASSERT_EQ(parse("POST /echo HTTP/1.1\r\n"
+                    "Content-Length: 5\r\n"
+                    "Content-Length: 5\r\n\r\nhello",
+                    request),
+              ParseStatus::Ok);
+    EXPECT_EQ(request.body, "hello");
+}
+
+TEST(ServeHttp, EncodedNulInQueryIsBadRequest)
+{
+    // %00 was already rejected in the path; the decoded query key
+    // and value must refuse embedded NULs the same way, or handlers
+    // compare C-string-truncated parameter names.
+    HttpRequest request;
+    EXPECT_EQ(parse("GET /a?%00key=1 HTTP/1.1\r\n\r\n", request),
+              ParseStatus::BadRequest)
+        << "NUL in decoded query key";
+    EXPECT_EQ(parse("GET /a?key=%00 HTTP/1.1\r\n\r\n", request),
+              ParseStatus::BadRequest)
+        << "NUL in decoded query value";
+    EXPECT_EQ(parse("GET /a?k%001=v HTTP/1.1\r\n\r\n", request),
+              ParseStatus::BadRequest)
+        << "NUL mid-key";
+}
+
 TEST(ServeHttp, HeaderBudgetIsFatalEvenWithoutTerminator)
 {
     ParseLimits limits;

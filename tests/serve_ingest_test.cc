@@ -1,0 +1,215 @@
+/**
+ * @file
+ * Follow-mode HotStore tests: IngestPipeline updates flow through
+ * applyIngest into the same emitters the batch path uses, so once a
+ * source completes, `/v1/patterns` serves byte-for-byte the batch
+ * answer — while partial sessions are queryable along the way. Also
+ * covers `/v1/ingest` (strict JSON, all_complete transition) and
+ * the follow-mode refresh no-op.
+ */
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "app/study.hh"
+#include "core/aggregate.hh"
+#include "core/figure_json.hh"
+#include "engine/ingest.hh"
+#include "engine/pool.hh"
+#include "engine/result_cache.hh"
+#include "obs/json_check.hh"
+#include "serve/router.hh"
+#include "serve/store.hh"
+
+namespace lag::serve
+{
+namespace
+{
+
+namespace fs = std::filesystem;
+
+/** Scoped scratch directory: clean before and after the test. */
+struct ScratchDir
+{
+    std::string path;
+
+    explicit ScratchDir(std::string p) : path(std::move(p))
+    {
+        fs::remove_all(path);
+        fs::create_directories(path);
+    }
+
+    ~ScratchDir() { fs::remove_all(path); }
+};
+
+std::string
+slurp(const std::string &path)
+{
+    std::ifstream in(path, std::ios::binary);
+    std::string bytes((std::istreambuf_iterator<char>(in)),
+                      std::istreambuf_iterator<char>());
+    return bytes;
+}
+
+void
+writeBytes(const std::string &path, const std::string &bytes,
+           std::size_t n)
+{
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(n));
+}
+
+HttpRequest
+getRequest(std::string path,
+           std::vector<std::pair<std::string, std::string>> query = {})
+{
+    HttpRequest request;
+    request.method = "GET";
+    request.path = std::move(path);
+    request.query = std::move(query);
+    return request;
+}
+
+TEST(ServeIngest, FollowModeConvergesToBatchPatterns)
+{
+    const ScratchDir cache("lagalyzer-cache-test-serve-ingest");
+    const ScratchDir live("lagalyzer-serve-ingest-live");
+
+    app::StudyConfig config = app::StudyConfig::quickStudy(3);
+    config.apps.resize(2);
+    config.sessionsPerApp = 1;
+    config.cacheDir = cache.path;
+    config.jobs = 2;
+    app::Study study(config);
+    const auto tracePaths = study.ensureTraces();
+
+    // Batch reference: the exact `/v1/patterns` bytes each app must
+    // serve once its single session has fully streamed in.
+    std::vector<std::string> appNames;
+    std::vector<std::string> expected;
+    for (std::size_t a = 0; a < config.apps.size(); ++a) {
+        const core::Session session = study.loadSession(a, 0);
+        const engine::SessionAnalysis analysis =
+            engine::analyzeSession(session,
+                                   config.perceptibleThreshold);
+        appNames.push_back(session.meta().appName);
+        expected.push_back(core::patternsJson(
+            session.meta().appName,
+            core::mergeAnalyses({analysis.patternSummary}),
+            "episodes", 0));
+    }
+
+    engine::ThreadPool pool(config.jobs);
+    HotStore store(config, pool);
+    store.startFollow();
+    EXPECT_EQ(store.appCount(), 0u);
+
+    engine::IngestOptions options;
+    options.perceptibleThreshold = config.perceptibleThreshold;
+    engine::IngestPipeline pipeline(
+        pool, options, [&store](const engine::IngestUpdate &update) {
+            store.applyIngest(update);
+        });
+
+    Router router;
+    store.installRoutes(router);
+    installIngestRoute(router, pipeline);
+
+    // Nothing has streamed yet: the store is up (not 503) but knows
+    // no app; the ingest status is valid JSON with zero sources.
+    {
+        const HttpResponse response = router.dispatch(getRequest(
+            "/v1/patterns", {{"app", appNames[0]}}));
+        EXPECT_EQ(response.status, 404);
+        const HttpResponse ingest =
+            router.dispatch(getRequest("/v1/ingest"));
+        EXPECT_EQ(ingest.status, 200);
+        EXPECT_TRUE(obs::checkJson(ingest.body).ok)
+            << ingest.body;
+        EXPECT_NE(ingest.body.find("\"all_complete\":false"),
+                  std::string::npos);
+    }
+
+    // Stream app 1 completely but only half of app 0: the complete
+    // app must already serve the batch bytes while its neighbour is
+    // still partial.
+    const std::string bytes0 = slurp(tracePaths[0][0]);
+    const std::string bytes1 = slurp(tracePaths[1][0]);
+    const std::string dest0 = live.path + "/session0.lag";
+    const std::string dest1 = live.path + "/session1.lag";
+    writeBytes(dest0, bytes0, bytes0.size() / 2);
+    writeBytes(dest1, bytes1, bytes1.size());
+    EXPECT_EQ(pipeline.scanDirectory(live.path), 2u);
+    for (int i = 0; i < 10 && !pipeline.allComplete(); ++i)
+        pipeline.runEpoch();
+    EXPECT_FALSE(pipeline.allComplete());
+
+    {
+        const HttpResponse response = router.dispatch(getRequest(
+            "/v1/patterns", {{"app", appNames[1]}}));
+        EXPECT_EQ(response.status, 200);
+        EXPECT_EQ(response.body, expected[1])
+            << "complete app must serve batch bytes mid-follow";
+
+        // The partial app either has not published yet (404) or
+        // serves a valid partial-session answer — never an error.
+        const HttpResponse partial = router.dispatch(getRequest(
+            "/v1/patterns", {{"app", appNames[0]}}));
+        EXPECT_TRUE(partial.status == 200 || partial.status == 404);
+        if (partial.status == 200) {
+            EXPECT_TRUE(obs::checkJson(partial.body).ok);
+        }
+    }
+
+    // Finish app 0 and drain.
+    writeBytes(dest0, bytes0, bytes0.size());
+    for (int i = 0; i < 10 && !pipeline.allComplete(); ++i)
+        pipeline.runEpoch();
+    ASSERT_TRUE(pipeline.allComplete());
+    EXPECT_EQ(store.appCount(), 2u);
+
+    for (std::size_t a = 0; a < appNames.size(); ++a) {
+        const HttpResponse response = router.dispatch(getRequest(
+            "/v1/patterns", {{"app", appNames[a]}}));
+        EXPECT_EQ(response.status, 200);
+        EXPECT_EQ(response.body, expected[a])
+            << "follow-mode /v1/patterns diverges from batch for "
+            << appNames[a];
+    }
+
+    // The companion endpoints answer over the same live state.
+    for (const char *path : {"/v1/cdf", "/v1/apps"}) {
+        HttpRequest request = getRequest(path);
+        if (std::string_view(path) == "/v1/cdf")
+            request.query = {{"app", appNames[0]}};
+        const HttpResponse response = router.dispatch(request);
+        EXPECT_EQ(response.status, 200) << path;
+        EXPECT_TRUE(obs::checkJson(response.body).ok) << path;
+    }
+
+    const HttpResponse ingest =
+        router.dispatch(getRequest("/v1/ingest"));
+    EXPECT_EQ(ingest.status, 200);
+    EXPECT_TRUE(obs::checkJson(ingest.body).ok) << ingest.body;
+    EXPECT_NE(ingest.body.find("\"all_complete\":true"),
+              std::string::npos);
+    EXPECT_NE(ingest.body.find(dest0), std::string::npos);
+
+    // refresh() is a declared no-op in follow mode: nothing to diff
+    // against a result cache that is not in play.
+    HttpRequest refresh;
+    refresh.method = "POST";
+    refresh.path = "/v1/refresh";
+    const HttpResponse response = router.dispatch(refresh);
+    EXPECT_EQ(response.status, 200);
+    EXPECT_TRUE(obs::checkJson(response.body).ok);
+    EXPECT_NE(response.body.find("\"recomputed\""),
+              std::string::npos);
+}
+
+} // namespace
+} // namespace lag::serve
